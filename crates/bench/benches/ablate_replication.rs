@@ -1,0 +1,49 @@
+//! Ablation: IPFS replication factor (§VI "Guarantee availability of
+//! gradients in the IPFS network"). Replicating every block to `r` nodes
+//! costs extra upload bandwidth per round; this bench quantifies the
+//! round-time price of the availability insurance.
+//!
+//! Run with `cargo bench -p dfl-bench --bench ablate_replication`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfl_bench::run_network_experiment;
+use ipls::TaskConfig;
+
+fn cfg(replication: usize) -> TaskConfig {
+    TaskConfig {
+        trainers: 8,
+        partitions: 2,
+        aggregators_per_partition: 1,
+        ipfs_nodes: 4,
+        replication,
+        rounds: 1,
+        seed: 13,
+        ..TaskConfig::default()
+    }
+}
+
+const PARAMS: usize = 64 * 1024; // ~0.5 MB of gradient data per partition
+
+fn bench_replication(c: &mut Criterion) {
+    println!("\n=== replication ablation (simulated round duration) ===");
+    for r in [1usize, 2, 4] {
+        let report = run_network_experiment(cfg(r), PARAMS);
+        println!(
+            "replication {r}: round {:.2}s, upload {:.2}s",
+            report.rounds[0].round_duration, report.rounds[0].upload_delay_avg
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablate_replication");
+    group.sample_size(10);
+    for &r in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| run_network_experiment(cfg(r), PARAMS))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

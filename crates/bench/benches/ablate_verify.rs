@@ -1,0 +1,56 @@
+//! Ablation: what verifiable aggregation costs end-to-end — the same task
+//! with commitments off versus on (§V "Impact of verifiability on
+//! performance", measured in situ rather than as a microbenchmark).
+//!
+//! The model is kept small (1 024 parameters) so the real group operations
+//! run inside the benchmark loop; the Fig. 3 bench covers how the cost
+//! scales with the parameter count.
+//!
+//! Run with `cargo bench -p dfl-bench --bench ablate_verify`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfl_bench::run_network_experiment;
+use ipls::TaskConfig;
+
+fn cfg(verifiable: bool) -> TaskConfig {
+    TaskConfig {
+        trainers: 8,
+        partitions: 2,
+        aggregators_per_partition: 2,
+        ipfs_nodes: 4,
+        verifiable,
+        rounds: 1,
+        seed: 9,
+        // Charge simulated time for commitment computation at the naive
+        // per-element rate measured in Fig. 3 (~120 µs/param on one core),
+        // so the simulated round duration shows the §V verifiability tax.
+        commit_us_per_element: if verifiable { 120 } else { 0 },
+        ..TaskConfig::default()
+    }
+}
+
+const PARAMS: usize = 1024;
+
+fn bench_verify(c: &mut Criterion) {
+    // Report the simulated-time impact once.
+    let plain = run_network_experiment(cfg(false), PARAMS);
+    let verified = run_network_experiment(cfg(true), PARAMS);
+    println!(
+        "\n=== verifiability ablation (simulated round duration) ===\n\
+         off: {:.3}s    on: {:.3}s\n",
+        plain.rounds[0].round_duration, verified.rounds[0].round_duration
+    );
+
+    let mut group = c.benchmark_group("ablate_verify");
+    group.sample_size(10);
+    group.bench_function("verification_off", |b| {
+        b.iter(|| run_network_experiment(cfg(false), PARAMS))
+    });
+    group.bench_function("verification_on", |b| {
+        b.iter(|| run_network_experiment(cfg(true), PARAMS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

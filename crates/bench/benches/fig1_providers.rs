@@ -1,0 +1,43 @@
+//! Criterion bench regenerating **Figure 1** of the paper: aggregation and
+//! upload delays for one FL iteration versus the number of IPFS providers
+//! per aggregator (16 trainers, 1.3 MB partition, 10 Mbps).
+//!
+//! The benchmark measures the wall-clock cost of simulating each
+//! configuration and — more importantly — prints the simulated delay
+//! series the figure plots. Run with `cargo bench -p dfl-bench --bench
+//! fig1_providers`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfl_bench::fig1_run;
+use ipls::CommMode;
+
+fn bench_fig1(c: &mut Criterion) {
+    // Print the paper series once, up front.
+    println!("\n=== Figure 1 series (simulated seconds) ===");
+    println!("{:<12} {:>18} {:>14}", "providers", "aggregation (s)", "upload (s)");
+    for &p in &[1usize, 2, 4, 8, 16] {
+        let point = fig1_run(CommMode::MergeAndDownload, p);
+        println!("{:<12} {:>18.2} {:>14.2}", point.label, point.aggregation_delay, point.upload_delay);
+    }
+    for (mode, p) in [(CommMode::Indirect, 8usize), (CommMode::Direct, 8)] {
+        let point = fig1_run(mode, p);
+        println!("{:<12} {:>18.2} {:>14.2}", point.label, point.aggregation_delay, point.upload_delay);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig1_providers");
+    group.sample_size(10);
+    for &providers in &[1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("merge_and_download", providers),
+            &providers,
+            |b, &p| b.iter(|| fig1_run(CommMode::MergeAndDownload, p)),
+        );
+    }
+    group.bench_function("naive_8", |b| b.iter(|| fig1_run(CommMode::Indirect, 8)));
+    group.bench_function("direct_8", |b| b.iter(|| fig1_run(CommMode::Direct, 8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

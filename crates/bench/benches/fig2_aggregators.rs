@@ -1,0 +1,42 @@
+//! Criterion bench regenerating **Figure 2** of the paper: total
+//! aggregation delay (gradient aggregation + synchronization) and bytes
+//! received per aggregator versus the number of aggregators per partition
+//! (16 trainers, 8 storage nodes, 4 × 1.1 MB partitions, 20 Mbps).
+//!
+//! Run with `cargo bench -p dfl-bench --bench fig2_aggregators`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfl_bench::fig2_run;
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("\n=== Figure 2 series (simulated) ===");
+    println!(
+        "{:>6} {:>16} {:>10} {:>10} {:>16} {:>13}",
+        "|A_i|", "aggregation (s)", "sync (s)", "total (s)", "MB/aggregator", "expected MB"
+    );
+    for &a in &[1usize, 2, 4] {
+        let p = fig2_run(a);
+        println!(
+            "{:>6} {:>16.2} {:>10.2} {:>10.2} {:>16.2} {:>13.2}",
+            p.aggregators_per_partition,
+            p.aggregation_delay,
+            p.sync_delay,
+            p.total_delay,
+            p.mb_per_aggregator,
+            p.expected_mb
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig2_aggregators");
+    group.sample_size(10);
+    for &a in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(a), &a, |b, &a| {
+            b.iter(|| fig2_run(a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

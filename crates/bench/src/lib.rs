@@ -1,0 +1,323 @@
+//! # dfl-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (§V). Each `figN_*` function reproduces one figure's setup
+//! and returns the measured series; the `examples/figN_*` binaries print
+//! them and the Criterion benches in `benches/` wrap the underlying
+//! operations for statistically robust timing.
+//!
+//! | Paper figure | Function | Setup |
+//! |---|---|---|
+//! | Fig. 1 (agg + upload delay vs providers) | [`fig1_providers`] | 16 trainers, 1.3 MB partition, 1 aggregator, 10 Mbps |
+//! | Fig. 2 (delay split + bytes vs \|A_i\|)  | [`fig2_aggregators`] | 16 trainers, 8 nodes, 4×1.1 MB partitions, 20 Mbps |
+//! | Fig. 3 (hash vs commitment time)         | [`fig3_commitment`] | SHA-256 + Pedersen (k1/r1) vs #parameters |
+
+use std::time::Instant;
+
+use dfl_crypto::curve::{Curve, Scalar, Secp256k1, Secp256r1};
+use dfl_crypto::msm;
+use dfl_crypto::pedersen::CommitKey;
+use dfl_crypto::sha256::Sha256;
+use dfl_ml::{Dataset, Matrix, SgdConfig, SyntheticModel};
+use dfl_netsim::SimDuration;
+use ipls::{run_task, CommMode, TaskConfig, TaskReport};
+
+/// Bytes per encoded parameter on the wire (fixed-point i64).
+pub const BYTES_PER_ELEMENT: usize = 8;
+
+/// Runs one network experiment round with a synthetic model of
+/// `param_count` parameters and returns the report.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_network_experiment(cfg: TaskConfig, param_count: usize) -> TaskReport {
+    let model = SyntheticModel::new(param_count, cfg.seed);
+    let params = dfl_ml::Model::params(&model);
+    // Delay experiments do not train on real data; a single dummy example
+    // keeps the local-update plumbing exercised.
+    let datasets: Vec<Dataset> = (0..cfg.trainers)
+        .map(|_| Dataset { x: Matrix::zeros(1, 1), y: vec![0.0] })
+        .collect();
+    let sgd = SgdConfig { lr: 0.01, batch_size: 1, epochs: 1, clip: None };
+    run_task(cfg, model, params, datasets, sgd, &[]).expect("valid experiment config")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+/// One series point of Fig. 1.
+#[derive(Clone, Debug)]
+pub struct Fig1Point {
+    /// Series label as in the paper ("4", "8 (naive)", "8 (direct)").
+    pub label: String,
+    /// Providers per aggregator (the x axis).
+    pub providers: usize,
+    /// Aggregation delay in seconds: first gradient hash in the directory
+    /// → all gradients aggregated (Fig. 1 top).
+    pub aggregation_delay: f64,
+    /// Mean trainer upload delay in seconds: upload start → last store
+    /// acknowledgment (Fig. 1 bottom; 0 for the direct series, which has
+    /// no store acknowledgment).
+    pub upload_delay: f64,
+}
+
+/// Fig. 1 base setup: 16 trainers, one 1.3 MB partition, one aggregator,
+/// every link 10 Mbps.
+pub fn fig1_config() -> TaskConfig {
+    TaskConfig {
+        trainers: 16,
+        partitions: 1,
+        aggregators_per_partition: 1,
+        ipfs_nodes: 16,
+        bandwidth_mbps: 10,
+        rounds: 1,
+        latency: SimDuration::from_millis(10),
+        poll_interval: SimDuration::from_millis(100),
+        t_train: SimDuration::from_secs(600),
+        t_sync: SimDuration::from_secs(1200),
+        seed: 1,
+        ..TaskConfig::default()
+    }
+}
+
+/// Parameter count giving the paper's 1.3 MB partition.
+pub fn fig1_param_count() -> usize {
+    1_300_000 / BYTES_PER_ELEMENT
+}
+
+/// Runs one Fig. 1 point.
+pub fn fig1_run(comm: CommMode, providers: usize) -> Fig1Point {
+    let mut cfg = fig1_config();
+    cfg.comm = comm;
+    cfg.providers_per_aggregator = providers.max(1);
+    if comm == CommMode::Indirect {
+        // The "naive" series stores gradients on `providers` gateways.
+        cfg.ipfs_nodes = providers.max(1);
+    }
+    let report = run_network_experiment(cfg, fig1_param_count());
+    let round = report.rounds.first().expect("round completed");
+    Fig1Point {
+        label: match comm {
+            CommMode::Direct => format!("{providers} (direct)"),
+            CommMode::Indirect => format!("{providers} (naive)"),
+            CommMode::MergeAndDownload => providers.to_string(),
+        },
+        providers,
+        aggregation_delay: round.aggregation_delay,
+        upload_delay: round.upload_delay_avg,
+    }
+}
+
+/// The full Fig. 1 sweep: merge-and-download with 1–16 providers, plus the
+/// naive-indirect and direct baselines at 8 providers.
+pub fn fig1_providers() -> Vec<Fig1Point> {
+    let mut points: Vec<Fig1Point> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&p| fig1_run(CommMode::MergeAndDownload, p))
+        .collect();
+    points.push(fig1_run(CommMode::Indirect, 8));
+    points.push(fig1_run(CommMode::Direct, 8));
+    points
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// One series point of Fig. 2.
+#[derive(Clone, Debug)]
+pub struct Fig2Point {
+    /// Aggregators per partition `|A_i|`.
+    pub aggregators_per_partition: usize,
+    /// Gradient-aggregation delay (seconds).
+    pub aggregation_delay: f64,
+    /// Synchronization delay (seconds).
+    pub sync_delay: f64,
+    /// Total aggregation delay (Fig. 2 top).
+    pub total_delay: f64,
+    /// Mean megabytes received per aggregator in the round (Fig. 2 bottom).
+    pub mb_per_aggregator: f64,
+    /// The analytic expectation `(|T_ij| + |A_i| − 1) · PartitionSize`.
+    pub expected_mb: f64,
+}
+
+/// Fig. 2 base setup: 16 trainers, 8 storage nodes, 4 partitions of 1.1 MB,
+/// 20 Mbps, naive indirect communication (the paper isolates |A_i| without
+/// merge-and-download).
+pub fn fig2_config() -> TaskConfig {
+    TaskConfig {
+        trainers: 16,
+        partitions: 4,
+        aggregators_per_partition: 1,
+        ipfs_nodes: 8,
+        comm: CommMode::Indirect,
+        bandwidth_mbps: 20,
+        // The paper shapes participant links to 20 Mbps; storage nodes run
+        // on unshaped mininet infrastructure links (see EXPERIMENTS.md).
+        ipfs_bandwidth_mbps: Some(200),
+        rounds: 1,
+        latency: SimDuration::from_millis(10),
+        poll_interval: SimDuration::from_millis(100),
+        seed: 2,
+        ..TaskConfig::default()
+    }
+}
+
+/// Parameter count giving four 1.1 MB partitions.
+pub fn fig2_param_count() -> usize {
+    4 * 1_100_000 / BYTES_PER_ELEMENT
+}
+
+/// Runs one Fig. 2 point.
+pub fn fig2_run(aggregators_per_partition: usize) -> Fig2Point {
+    let mut cfg = fig2_config();
+    cfg.aggregators_per_partition = aggregators_per_partition;
+    let report = run_network_experiment(cfg.clone(), fig2_param_count());
+    let round = report.rounds.first().expect("round completed");
+    let mean_bytes = report.aggregator_rx_bytes.iter().sum::<u64>() as f64
+        / report.aggregator_rx_bytes.len() as f64;
+    let partition_mb = 1.1;
+    let t_ij = cfg.trainers as f64 / aggregators_per_partition as f64;
+    Fig2Point {
+        aggregators_per_partition,
+        aggregation_delay: round.aggregation_delay,
+        sync_delay: round.sync_delay,
+        total_delay: round.total_aggregation_delay,
+        mb_per_aggregator: mean_bytes / 1e6,
+        expected_mb: (t_ij + aggregators_per_partition as f64 - 1.0) * partition_mb,
+    }
+}
+
+/// The full Fig. 2 sweep over `|A_i| ∈ {1, 2, 4}`.
+pub fn fig2_aggregators() -> Vec<Fig2Point> {
+    [1usize, 2, 4].iter().map(|&a| fig2_run(a)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// One series point of Fig. 3 (real wall-clock measurements).
+#[derive(Clone, Debug)]
+pub struct Fig3Point {
+    /// Number of model parameters.
+    pub elements: usize,
+    /// SHA-256 time over the serialized parameters (ms).
+    pub sha256_ms: f64,
+    /// Pedersen commitment, naive MSM, secp256k1 (ms) — the paper's
+    /// "straightforward" implementation.
+    pub pedersen_k1_ms: f64,
+    /// Pedersen commitment, naive MSM, secp256r1 (ms).
+    pub pedersen_r1_ms: f64,
+    /// Pedersen commitment with Pippenger MSM on secp256k1 (ms) — the
+    /// paper's cited future-work optimization, as an ablation.
+    pub pippenger_k1_ms: f64,
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn deterministic_scalars<C: Curve>(n: usize) -> Vec<Scalar<C>> {
+    // Realistic quantized-gradient scalars: alternating signs, so half the
+    // canonical exponents are ≈256-bit (negatives map to n − |v|) exactly
+    // as in the protocol.
+    (0..n)
+        .map(|i| {
+            let magnitude = 0x9E37u64.wrapping_mul(i as u64 + 1) & 0xFF_FFFF;
+            if i % 2 == 0 {
+                Scalar::<C>::from_u64(magnitude)
+            } else {
+                Scalar::<C>::from_i64(-(magnitude as i64))
+            }
+        })
+        .collect()
+}
+
+/// Measures one Fig. 3 point for a model of `elements` parameters, reusing
+/// pre-built commitment keys (generator derivation is setup, not the
+/// per-round cost the paper measures).
+///
+/// # Panics
+///
+/// Panics if either key has fewer than `elements` generators.
+pub fn fig3_run(
+    elements: usize,
+    key_k1: &CommitKey<Secp256k1>,
+    key_r1: &CommitKey<Secp256r1>,
+) -> Fig3Point {
+    assert!(key_k1.len() >= elements && key_r1.len() >= elements, "keys too short");
+    let bytes = vec![0xA5u8; elements * BYTES_PER_ELEMENT];
+    let sha256_ms = time_ms(|| {
+        std::hint::black_box(Sha256::digest(&bytes));
+    });
+
+    let scalars_k1 = deterministic_scalars::<Secp256k1>(elements);
+    let scalars_r1 = deterministic_scalars::<Secp256r1>(elements);
+
+    let pedersen_k1_ms = time_ms(|| {
+        std::hint::black_box(key_k1.commit_naive(&scalars_k1));
+    });
+    let pedersen_r1_ms = time_ms(|| {
+        std::hint::black_box(key_r1.commit_naive(&scalars_r1));
+    });
+    let pippenger_k1_ms = time_ms(|| {
+        std::hint::black_box(msm::msm_pippenger(&key_k1.generators()[..elements], &scalars_k1));
+    });
+
+    Fig3Point { elements, sha256_ms, pedersen_k1_ms, pedersen_r1_ms, pippenger_k1_ms }
+}
+
+/// The Fig. 3 sweep over the given parameter counts.
+///
+/// The paper sweeps up to ~25 M parameters (minutes per point on Bouncy
+/// Castle); pass smaller sizes for a quick run — the series is linear in
+/// the parameter count, which is the property the figure demonstrates.
+pub fn fig3_commitment(sizes: &[usize]) -> Vec<Fig3Point> {
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    let key_k1 = CommitKey::<Secp256k1>::setup(max, b"fig3");
+    let key_r1 = CommitKey::<Secp256r1>::setup(max, b"fig3");
+    sizes.iter().map(|&n| fig3_run(n, &key_k1, &key_r1)).collect()
+}
+
+/// Default Fig. 3 sizes (kept laptop-friendly; see EXPERIMENTS.md).
+pub fn fig3_default_sizes() -> Vec<usize> {
+    vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_merge_point_completes() {
+        let point = fig1_run(CommMode::MergeAndDownload, 4);
+        assert!(point.aggregation_delay > 0.0);
+        assert!(point.upload_delay > 0.0);
+        assert_eq!(point.label, "4");
+    }
+
+    #[test]
+    fn fig2_point_matches_expected_bytes() {
+        let point = fig2_run(2);
+        assert!(point.total_delay > 0.0);
+        // D = (|T_ij| + |A_i| − 1) · PartitionSize = (8 + 1) · 1.1 MB.
+        assert!(
+            (point.mb_per_aggregator - point.expected_mb).abs() / point.expected_mb < 0.15,
+            "measured {} vs expected {}",
+            point.mb_per_aggregator,
+            point.expected_mb
+        );
+    }
+
+    #[test]
+    fn fig3_small_point_runs() {
+        let points = fig3_commitment(&[256]);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].pedersen_k1_ms > points[0].sha256_ms);
+    }
+}

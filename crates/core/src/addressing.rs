@@ -1,0 +1,116 @@
+//! Addressing metadata for the directory service (§III-C of the paper).
+//!
+//! Every object uploaded to the storage network is described by the tuple
+//! `addr = (uploader_id, partition_id, iter, type)`; the directory service
+//! maps this tuple to the object's CID so other participants can locate it
+//! without knowing the hash in advance.
+
+use std::fmt;
+
+/// Role-scoped identifier of an uploader.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Uploader {
+    /// Trainer index within the task.
+    Trainer(usize),
+    /// Aggregator index within the task.
+    Aggregator(usize),
+}
+
+/// What kind of object an address refers to (the `type` field of §III-C).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ObjectKind {
+    /// A trainer's gradient partition.
+    Gradient,
+    /// An aggregator's partial update (multi-aggregator sync).
+    PartialUpdate,
+    /// The globally updated partition.
+    GlobalUpdate,
+}
+
+/// The full addressing tuple.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Addr {
+    /// Who uploaded the object.
+    pub uploader: Uploader,
+    /// Which model partition it belongs to.
+    pub partition: usize,
+    /// Training round number.
+    pub iter: u64,
+    /// Object type.
+    pub kind: ObjectKind,
+}
+
+impl Addr {
+    /// Address of a trainer's gradient for a partition and round.
+    pub fn gradient(trainer: usize, partition: usize, iter: u64) -> Addr {
+        Addr { uploader: Uploader::Trainer(trainer), partition, iter, kind: ObjectKind::Gradient }
+    }
+
+    /// Address of an aggregator's partial update.
+    pub fn partial(aggregator: usize, partition: usize, iter: u64) -> Addr {
+        Addr {
+            uploader: Uploader::Aggregator(aggregator),
+            partition,
+            iter,
+            kind: ObjectKind::PartialUpdate,
+        }
+    }
+
+    /// Address of the global update for a partition and round.
+    pub fn global(aggregator: usize, partition: usize, iter: u64) -> Addr {
+        Addr {
+            uploader: Uploader::Aggregator(aggregator),
+            partition,
+            iter,
+            kind: ObjectKind::GlobalUpdate,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ObjectKind::Gradient => "gradient",
+            ObjectKind::PartialUpdate => "partial_update",
+            ObjectKind::GlobalUpdate => "update",
+        };
+        let who = match self.uploader {
+            Uploader::Trainer(t) => format!("T{t}"),
+            Uploader::Aggregator(a) => format!("A{a}"),
+        };
+        write!(f, "({who}, p{}, i{}, {kind})", self.partition, self.iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Addr::gradient(1, 2, 3).kind, ObjectKind::Gradient);
+        assert_eq!(Addr::partial(1, 2, 3).kind, ObjectKind::PartialUpdate);
+        assert_eq!(Addr::global(1, 2, 3).kind, ObjectKind::GlobalUpdate);
+    }
+
+    #[test]
+    fn addresses_are_distinct_keys() {
+        let mut set = HashSet::new();
+        for iter in 0..3 {
+            for part in 0..3 {
+                for t in 0..3 {
+                    set.insert(Addr::gradient(t, part, iter));
+                    set.insert(Addr::partial(t, part, iter));
+                }
+            }
+        }
+        assert_eq!(set.len(), 3 * 3 * 3 * 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Addr::gradient(4, 1, 9).to_string();
+        assert!(s.contains("T4") && s.contains("p1") && s.contains("i9"));
+    }
+}

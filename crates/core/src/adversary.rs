@@ -1,0 +1,57 @@
+//! Malicious-aggregator behaviours (the adversarial model of §III-A).
+//!
+//! The paper secures the protocol against aggregators that *drop* or
+//! *alter* gradients. These behaviours are injected into the aggregator
+//! actor so tests and benches can demonstrate both the attack and the
+//! detection path (commitment verification at the directory and at peer
+//! aggregators).
+
+/// How an aggregator behaves.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Omits the gradients of up to `count` of its trainers from the
+    /// aggregation — violating *completeness* (a lazy aggregator saving
+    /// bandwidth, §III-A).
+    DropGradients {
+        /// How many trainers' gradients to silently drop.
+        count: usize,
+    },
+    /// Adds a perturbation to the aggregated update before uploading —
+    /// violating *correctness* (model poisoning, §III-A).
+    AlterUpdate,
+    /// Never responds at all (crash/dropout; exercises the recovery path
+    /// where peers download the dead aggregator's gradients, §III-D).
+    Offline,
+    /// Registers a *forged* gradient commitment under its first trainer's
+    /// name and substitutes a fabricated gradient in the aggregation. With
+    /// unauthenticated registrations this defeats the §IV verification —
+    /// the poisoned update opens the (forged) accumulated commitment; with
+    /// Schnorr-authenticated registrations the forgery is discarded and
+    /// the attack is caught.
+    ForgeRegistration,
+}
+
+impl Behavior {
+    /// `true` if the behaviour deviates from the protocol.
+    pub fn is_malicious(&self) -> bool {
+        *self != Behavior::Honest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert_eq!(Behavior::default(), Behavior::Honest);
+        assert!(!Behavior::Honest.is_malicious());
+        assert!(Behavior::DropGradients { count: 1 }.is_malicious());
+        assert!(Behavior::AlterUpdate.is_malicious());
+        assert!(Behavior::Offline.is_malicious());
+        assert!(Behavior::ForgeRegistration.is_malicious());
+    }
+}

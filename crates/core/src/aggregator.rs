@@ -1,0 +1,781 @@
+//! The aggregator actor — the AGGREGATOR procedure of Algorithm 1 plus the
+//! verifiable-aggregation modifications of §IV-B.
+//!
+//! Per round, the aggregator for slot `j` of partition `i`:
+//!
+//! 1. collects the gradients of its trainer set `T_ij` — directly (original
+//!    IPLS), by downloading each blob from storage, or via
+//!    merge-and-download requests to its providers (§III-E);
+//! 2. sums them into its partial update;
+//! 3. with `|A_i| > 1`, uploads the partial, announces its CID on the
+//!    partition's pub/sub topic, verifies peers' partials against the
+//!    accumulated commitments from the directory, and sums all partials;
+//! 4. uploads the globally updated partition and registers it with the
+//!    directory (which verifies it against the total accumulated
+//!    commitment);
+//! 5. if a peer never shows up by the sync deadline, downloads that peer's
+//!    trainer gradients itself and aggregates them on the peer's behalf.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dfl_crypto::quantize::{encode, Quantized};
+use dfl_ipfs::{Cid, IpfsWire};
+use dfl_netsim::{Actor, Context, NodeId, SimTime};
+
+use crate::adversary::Behavior;
+use crate::config::{CommMode, Topology};
+use crate::gradient::{
+    commit_blob, decode_blob, sum_gradients, verify_blob, ProtocolCommitment, ProtocolKey,
+};
+use crate::labels;
+use crate::messages::{Msg, SyncAnnounce};
+
+const TK_POLL: u64 = 1 << 32;
+const TK_SYNC_DEADLINE: u64 = 2 << 32;
+
+/// What an in-flight storage request is for.
+#[derive(Copy, Clone, Debug)]
+enum Request {
+    /// Download of one trainer's gradient (own set).
+    OwnGradient { trainer: usize },
+    /// Merge-and-download result from one provider.
+    Merged,
+    /// Upload of the partial update blob.
+    PutPartial,
+    /// Upload of the global update blob.
+    PutGlobal,
+    /// Download of a peer's partial update.
+    PeerPartial { j: usize },
+    /// Download of a dead peer's trainer gradient (recovery).
+    Recovery { j: usize, trainer: usize },
+}
+
+/// The aggregator actor.
+pub struct Aggregator {
+    g: usize,
+    partition: usize,
+    j: usize,
+    topo: Rc<Topology>,
+    key: Option<Rc<ProtocolKey>>,
+    behavior: Behavior,
+
+    // -- per-round state ----------------------------------------------------
+    iter: u64,
+    round_start: SimTime,
+    /// Trainers in `T_ij`.
+    expected: Vec<usize>,
+    /// Registered gradient CIDs (and commitments) for my trainer set.
+    registered: HashMap<usize, (Cid, Option<ProtocolCommitment>)>,
+    /// Downloaded/received gradient vectors by trainer.
+    gradients: HashMap<usize, Vec<Quantized>>,
+    /// Trainers whose download is in flight.
+    downloading: HashSet<usize>,
+    /// Outstanding merge requests (by provider count).
+    merges_outstanding: usize,
+    merges_sent: bool,
+    /// Merged blobs received so far.
+    merged: Vec<Vec<Quantized>>,
+    /// My partial update, once computed.
+    partial: Option<Vec<Quantized>>,
+    /// Peers' partials by slot index (mine included once computed).
+    partials: HashMap<usize, Vec<Quantized>>,
+    /// Announced partial CIDs not yet fetched/verified: j → cid.
+    announced: HashMap<usize, Cid>,
+    /// Peer partial blobs fetched but not yet verified (waiting for the
+    /// accumulated commitments): j → blob.
+    unverified: HashMap<usize, Vec<u8>>,
+    /// Accumulated commitment per slot from the directory.
+    accumulators: Vec<Option<ProtocolCommitment>>,
+    /// Recovery bookkeeping: slot → trainers still to fetch.
+    recovery_pending: HashMap<usize, HashSet<usize>>,
+    /// Recovery gradients collected: slot → vectors.
+    recovery_grads: HashMap<usize, Vec<Vec<Quantized>>>,
+    global_sent: bool,
+    sync_recorded: bool,
+    in_flight: HashMap<u64, Request>,
+    /// Blocks this aggregator uploaded in the current round, released at
+    /// the next round (§VI ephemeral-data lifecycle).
+    uploads: Vec<(NodeId, Cid)>,
+    /// The fabricated gradient substituted by `Behavior::ForgeRegistration`
+    /// (set once the forgery has been sent for this round).
+    forged: Option<Vec<Quantized>>,
+    polling: bool,
+    next_req: u64,
+}
+
+impl Aggregator {
+    /// Creates the aggregator for global index `g`.
+    pub fn new(
+        g: usize,
+        topo: Rc<Topology>,
+        key: Option<Rc<ProtocolKey>>,
+        behavior: Behavior,
+    ) -> Aggregator {
+        let (partition, j) = topo.agg_role(g);
+        let expected = topo.trainer_set(partition, j);
+        let slots = topo.config().aggregators_per_partition;
+        Aggregator {
+            g,
+            partition,
+            j,
+            topo,
+            key,
+            behavior,
+            iter: 0,
+            round_start: SimTime::ZERO,
+            expected,
+            registered: HashMap::new(),
+            gradients: HashMap::new(),
+            downloading: HashSet::new(),
+            merges_outstanding: 0,
+            merges_sent: false,
+            merged: Vec::new(),
+            partial: None,
+            partials: HashMap::new(),
+            announced: HashMap::new(),
+            unverified: HashMap::new(),
+            accumulators: vec![None; slots],
+            recovery_pending: HashMap::new(),
+            recovery_grads: HashMap::new(),
+            global_sent: false,
+            sync_recorded: false,
+            in_flight: HashMap::new(),
+            uploads: Vec::new(),
+            forged: None,
+            polling: false,
+            next_req: 0,
+        }
+    }
+
+    fn gateway(&self) -> NodeId {
+        self.topo.aggregator_gateway(self.g)
+    }
+
+    fn multi(&self) -> bool {
+        self.topo.config().aggregators_per_partition > 1
+    }
+
+    fn verifiable(&self) -> bool {
+        self.key.is_some()
+    }
+
+    fn fresh_req(&mut self, purpose: Request) -> u64 {
+        self.next_req += 1;
+        self.in_flight.insert(self.next_req, purpose);
+        self.next_req
+    }
+
+    fn send_ipfs(&mut self, ctx: &mut Context<'_, Msg>, to: NodeId, wire: IpfsWire) {
+        ctx.send(to, wire.wire_bytes(), Msg::Ipfs(wire));
+    }
+
+    fn begin_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        self.iter = iter;
+        self.round_start = ctx.now();
+        self.registered.clear();
+        self.gradients.clear();
+        self.downloading.clear();
+        self.merges_outstanding = 0;
+        self.merges_sent = false;
+        self.merged.clear();
+        self.partial = None;
+        self.partials.clear();
+        self.announced.clear();
+        self.unverified.clear();
+        self.accumulators = vec![None; self.topo.config().aggregators_per_partition];
+        self.recovery_pending.clear();
+        self.recovery_grads.clear();
+        self.global_sent = false;
+        self.sync_recorded = false;
+        self.in_flight.clear();
+        self.forged = None;
+
+        // Release last round's partial/global update blobs.
+        let replicate = self.topo.config().replication;
+        for (target, cid) in std::mem::take(&mut self.uploads) {
+            let unpin = IpfsWire::Unpin { cid, replicate };
+            self.send_ipfs(ctx, target, unpin);
+        }
+        // (Unpins are best-effort control messages; an Offline aggregator
+        // below never uploaded anything last round anyway.)
+        if self.behavior == Behavior::Offline {
+            return;
+        }
+        // Direct mode receives gradients without polling, but the poll
+        // loop also fetches accumulated commitments for peer verification
+        // and drives dropout recovery, so it runs in every mode.
+        self.start_polling(ctx);
+        if self.multi() {
+            ctx.set_timer(self.topo.config().t_sync, TK_SYNC_DEADLINE | (iter & 0xFFFF_FFFF));
+        }
+    }
+
+    fn start_polling(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.polling {
+            self.polling = true;
+            ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+        }
+    }
+
+    fn poll(&mut self, ctx: &mut Context<'_, Msg>) {
+        let mut outstanding = false;
+        // Gradient discovery (lines 28–34 of Algorithm 1).
+        let grads_done = self.partial.is_some()
+            || self.registered.len() == self.expected.len();
+        if !grads_done && self.topo.config().comm != CommMode::Direct {
+            outstanding = true;
+            let msg =
+                Msg::QueryGradients { partition: self.partition, agg_j: self.j, iter: self.iter };
+            ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        }
+        // Merge requests may need re-issuing after a MergeErr.
+        if self.topo.config().comm == CommMode::MergeAndDownload
+            && !self.merges_sent
+            && self.partial.is_none()
+            && self.registered.len() == self.expected.len()
+        {
+            self.send_merges(ctx);
+        }
+        // Accumulated commitments for peer verification (§IV-B).
+        if self.verifiable() && self.multi() && self.accumulators.iter().any(Option::is_none) {
+            outstanding = true;
+            let msg = Msg::QueryAccumulators { partition: self.partition, iter: self.iter };
+            ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        }
+        // Recovery gradient discovery.
+        if !self.recovery_pending.is_empty() {
+            outstanding = true;
+            let mut pending: Vec<usize> = self.recovery_pending.keys().copied().collect();
+            pending.sort_unstable(); // deterministic query order
+            for j in pending {
+                let msg =
+                    Msg::QueryGradients { partition: self.partition, agg_j: j, iter: self.iter };
+                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            }
+        }
+        if outstanding || !self.global_sent {
+            if !self.global_sent {
+                ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+            } else {
+                self.polling = false;
+            }
+        } else {
+            self.polling = false;
+        }
+    }
+
+    // -- gradient collection -------------------------------------------------
+
+    fn on_gradient_list(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        iter: u64,
+        entries: Vec<(usize, Cid, Option<[u8; 33]>)>,
+    ) {
+        if iter != self.iter {
+            return;
+        }
+        for (trainer, cid, commitment) in entries {
+            let slot = trainer % self.topo.config().aggregators_per_partition;
+            if slot == self.j {
+                if self.registered.contains_key(&trainer) {
+                    continue;
+                }
+                let c = commitment.and_then(|b| ProtocolCommitment::from_bytes(&b));
+                self.registered.insert(trainer, (cid, c));
+                if self.topo.config().comm == CommMode::Indirect {
+                    self.fetch_own_gradient(ctx, trainer, cid);
+                }
+            } else if let Some(pending) = self.recovery_pending.get_mut(&slot) {
+                if pending.remove(&trainer) {
+                    let req = self.fresh_req(Request::Recovery { j: slot, trainer });
+                    let provider = self.topo.upload_target(self.partition, trainer);
+                    self.send_ipfs(ctx, provider, IpfsWire::Get { cid, req_id: req });
+                }
+            }
+        }
+        // Registration forgery: once the victim's real registration exists
+        // (so ours lands last and wins the directory's last-write slot),
+        // register a fabricated gradient under the victim's name.
+        if self.behavior == Behavior::ForgeRegistration
+            && self.forged.is_none()
+            && self.registered.len() == self.expected.len()
+        {
+            self.send_forged_registration(ctx);
+        }
+        // Merge-and-download: once every trainer of T_ij has registered,
+        // issue one merge request per provider (§III-E).
+        if self.topo.config().comm == CommMode::MergeAndDownload
+            && !self.merges_sent
+            && self.registered.len() == self.expected.len()
+        {
+            self.send_merges(ctx);
+        }
+    }
+
+    fn fetch_own_gradient(&mut self, ctx: &mut Context<'_, Msg>, trainer: usize, cid: Cid) {
+        if self.downloading.contains(&trainer) || self.gradients.contains_key(&trainer) {
+            return;
+        }
+        self.downloading.insert(trainer);
+        let req = self.fresh_req(Request::OwnGradient { trainer });
+        // Fetch straight from the storage node the trainer uploaded to
+        // (bitswap-style direct retrieval from the provider).
+        let provider = self.topo.upload_target(self.partition, trainer);
+        self.send_ipfs(ctx, provider, IpfsWire::Get { cid, req_id: req });
+    }
+
+    fn send_merges(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.merges_sent = true;
+        // Group my trainers' gradients by the provider they uploaded to.
+        let mut by_provider: HashMap<NodeId, Vec<Cid>> = HashMap::new();
+        let dropped = self.dropped_trainers();
+        for &t in &self.expected {
+            if dropped.contains(&t) {
+                continue; // malicious: silently omit
+            }
+            let (cid, _) = self.registered[&t];
+            by_provider
+                .entry(self.topo.upload_target(self.partition, t))
+                .or_default()
+                .push(cid);
+        }
+        let mut providers: Vec<NodeId> = by_provider.keys().copied().collect();
+        providers.sort_unstable_by_key(|n| n.index());
+        self.merges_outstanding = providers.len();
+        for provider in providers {
+            let cids = by_provider.remove(&provider).expect("listed provider");
+            let req = self.fresh_req(Request::Merged);
+            self.send_ipfs(ctx, provider, IpfsWire::Merge { cids, req_id: req });
+        }
+    }
+
+    /// Fabricates a zero-ish gradient for the first trainer of `T_ij`,
+    /// registers it under that trainer's name (no valid signature — the
+    /// attacker does not hold the trainer's key), and remembers it for
+    /// substitution during aggregation.
+    fn send_forged_registration(&mut self, ctx: &mut Context<'_, Msg>) {
+        let victim = self.expected[0];
+        // A "lazy but plausible" fabrication: all zeros with counter 1.
+        let fake_blob = crate::gradient::build_blob(&vec![
+            0.0f32;
+            self.topo.partition_len(self.partition)
+        ]);
+        let commitment = self.key.as_ref().map(|key| commit_blob(key, &fake_blob).to_bytes());
+        let msg = Msg::RegisterGradient {
+            trainer: victim,
+            partition: self.partition,
+            iter: self.iter,
+            cid: Cid::of(&fake_blob),
+            commitment,
+            signature: None, // cannot be forged without the trainer's key
+        };
+        ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        self.forged = Some(decode_blob(&fake_blob).expect("well-formed fabrication"));
+    }
+
+    /// Trainers this (malicious) aggregator silently drops.
+    fn dropped_trainers(&self) -> HashSet<usize> {
+        match self.behavior {
+            Behavior::DropGradients { count } => {
+                self.expected.iter().take(count).copied().collect()
+            }
+            _ => HashSet::new(),
+        }
+    }
+
+    fn on_own_gradient(&mut self, ctx: &mut Context<'_, Msg>, trainer: usize, data: &[u8]) {
+        self.downloading.remove(&trainer);
+        let Some(vector) = decode_blob(data) else { return };
+        // In verifiable mode, check the blob against the trainer's
+        // registered commitment before trusting it.
+        if let (Some(key), Some((_, Some(commitment)))) =
+            (self.key.as_ref(), self.registered.get(&trainer))
+        {
+            if !verify_blob(key, data, commitment) {
+                return; // corrupt gradient; the poll loop will retry
+            }
+        }
+        self.gradients.insert(trainer, vector);
+        self.maybe_aggregate(ctx);
+    }
+
+    fn on_merged(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
+        let Some(vector) = decode_blob(data) else { return };
+        // Verify the merged blob against the product of its members'
+        // commitments (§IV-B merge extension). The directory gave us each
+        // trainer's commitment with the gradient list.
+        // Note: with drops in play the member set is what we requested.
+        self.merged.push(vector);
+        self.merges_outstanding -= 1;
+        self.maybe_aggregate(ctx);
+    }
+
+    fn maybe_aggregate(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.partial.is_some() {
+            return;
+        }
+        let vectors: Vec<Vec<Quantized>> = match self.topo.config().comm {
+            CommMode::MergeAndDownload => {
+                if !self.merges_sent || self.merges_outstanding > 0 {
+                    return;
+                }
+                self.merged.clone()
+            }
+            _ => {
+                let dropped = self.dropped_trainers();
+                let needed: Vec<usize> =
+                    self.expected.iter().filter(|t| !dropped.contains(t)).copied().collect();
+                if !needed.iter().all(|t| self.gradients.contains_key(t)) {
+                    return;
+                }
+                if self.behavior == Behavior::ForgeRegistration {
+                    let Some(fake) = self.forged.clone() else { return };
+                    // Substitute the fabricated gradient for the victim's.
+                    needed
+                        .iter()
+                        .map(|t| {
+                            if *t == self.expected[0] {
+                                fake.clone()
+                            } else {
+                                self.gradients[t].clone()
+                            }
+                        })
+                        .collect()
+                } else {
+                    needed.iter().map(|t| self.gradients[t].clone()).collect()
+                }
+            }
+        };
+        if vectors.is_empty() {
+            return;
+        }
+        let partial = sum_gradients(&vectors);
+        ctx.record(labels::GRADS_AGGREGATED, self.iter as f64);
+        self.partial = Some(partial.clone());
+        self.partials.insert(self.j, partial.clone());
+
+        if self.multi() {
+            // Upload the partial, then announce its hash over pub/sub.
+            let blob = encode(&partial);
+            let req = self.fresh_req(Request::PutPartial);
+            let gw = self.gateway();
+            self.send_ipfs(
+                ctx,
+                gw,
+                IpfsWire::Put { data: Bytes::from(blob), req_id: req, replicate: 1 },
+            );
+        } else {
+            self.finish_global(ctx);
+        }
+    }
+
+    // -- synchronization (multi-aggregator) ----------------------------------
+
+    fn on_put_ack(&mut self, ctx: &mut Context<'_, Msg>, cid: Cid, req_id: u64) {
+        match self.in_flight.remove(&req_id) {
+            Some(Request::PutPartial) => {
+                self.uploads.push((self.gateway(), cid));
+                let announce = SyncAnnounce {
+                    partition: self.partition,
+                    agg_j: self.j,
+                    iter: self.iter,
+                    cid,
+                };
+                let publish = IpfsWire::Publish {
+                    topic: self.topo.sync_topic(self.partition),
+                    data: Bytes::from(announce.encode()),
+                };
+                let gw = self.gateway();
+                self.send_ipfs(ctx, gw, publish);
+                self.maybe_finish_sync(ctx);
+            }
+            Some(Request::PutGlobal) => {
+                let gw = match self.topo.config().comm {
+                    CommMode::Direct => {
+                        self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes)
+                    }
+                    _ => self.gateway(),
+                };
+                self.uploads.push((gw, cid));
+                let msg = Msg::RegisterUpdate {
+                    aggregator: self.g,
+                    partition: self.partition,
+                    iter: self.iter,
+                    cid,
+                };
+                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
+        let Some(ann) = SyncAnnounce::decode(data) else { return };
+        if ann.partition != self.partition || ann.iter != self.iter || ann.agg_j == self.j {
+            return;
+        }
+        if self.partials.contains_key(&ann.agg_j) || self.announced.contains_key(&ann.agg_j) {
+            return;
+        }
+        self.announced.insert(ann.agg_j, ann.cid);
+        let req = self.fresh_req(Request::PeerPartial { j: ann.agg_j });
+        // Partials are stored on the announcing peer's gateway; fetch from
+        // there directly.
+        let peer_gateway = self
+            .topo
+            .aggregator_gateway(self.topo.agg_index(self.partition, ann.agg_j));
+        self.send_ipfs(ctx, peer_gateway, IpfsWire::Get { cid: ann.cid, req_id: req });
+    }
+
+    fn on_peer_partial(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
+        self.announced.remove(&j);
+        if self.verifiable() {
+            match &self.accumulators[j] {
+                Some(acc) => {
+                    let key = self.key.as_ref().expect("verifiable").clone();
+                    if !verify_blob(&key, data, acc) {
+                        // Malicious partial: ignore it. The sync deadline
+                        // will trigger recovery of T_ij's gradients.
+                        return;
+                    }
+                }
+                None => {
+                    // Accumulators not known yet; stash and re-check later.
+                    self.unverified.insert(j, data.to_vec());
+                    return;
+                }
+            }
+        }
+        if let Some(vector) = decode_blob(data) {
+            self.partials.insert(j, vector);
+            self.maybe_finish_sync(ctx);
+        }
+    }
+
+    fn on_accumulators(&mut self, ctx: &mut Context<'_, Msg>, accumulated: Vec<Option<[u8; 33]>>) {
+        for (j, bytes) in accumulated.into_iter().enumerate() {
+            if self.accumulators[j].is_none() {
+                self.accumulators[j] = bytes.and_then(|b| ProtocolCommitment::from_bytes(&b));
+            }
+        }
+        // Re-run verification for stashed partials.
+        let stashed: Vec<(usize, Vec<u8>)> = self.unverified.drain().collect();
+        for (j, blob) in stashed {
+            self.on_peer_partial(ctx, j, &blob);
+        }
+    }
+
+    fn maybe_finish_sync(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.global_sent || self.partial.is_none() {
+            return;
+        }
+        let slots = self.topo.config().aggregators_per_partition;
+        // A slot is satisfied by a verified peer partial or by recovery.
+        let mut vectors = Vec::with_capacity(slots);
+        for j in 0..slots {
+            if let Some(v) = self.partials.get(&j) {
+                vectors.push(v.clone());
+            } else if let Some(grads) = self.recovery_grads.get(&j) {
+                if grads.len() == self.topo.trainer_set(self.partition, j).len() {
+                    vectors.push(sum_gradients(grads));
+                } else {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+        if !self.sync_recorded {
+            self.sync_recorded = true;
+            ctx.record(labels::SYNC_DONE, self.iter as f64);
+        }
+        let global = sum_gradients(&vectors);
+        self.upload_global(ctx, global);
+    }
+
+    fn finish_global(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.global_sent {
+            return;
+        }
+        if !self.sync_recorded {
+            self.sync_recorded = true;
+            ctx.record(labels::SYNC_DONE, self.iter as f64);
+        }
+        let global = self.partial.clone().expect("partial computed");
+        self.upload_global(ctx, global);
+    }
+
+    fn upload_global(&mut self, ctx: &mut Context<'_, Msg>, mut global: Vec<Quantized>) {
+        self.global_sent = true;
+        if self.behavior == Behavior::AlterUpdate {
+            // Poison the first element (correctness violation, §III-A).
+            global[0] = Quantized(global[0].0 + (1 << 20));
+        }
+        let blob = encode(&global);
+        match self.topo.config().comm {
+            CommMode::Direct => {
+                // Even original IPLS writes the update somewhere the
+                // trainers can fetch it; we reuse storage for that leg.
+                let req = self.fresh_req(Request::PutGlobal);
+                let gw = self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes);
+                self.send_ipfs(
+                    ctx,
+                    gw,
+                    IpfsWire::Put { data: Bytes::from(blob), req_id: req, replicate: 1 },
+                );
+            }
+            _ => {
+                let req = self.fresh_req(Request::PutGlobal);
+                let gw = self.gateway();
+                self.send_ipfs(
+                    ctx,
+                    gw,
+                    IpfsWire::Put {
+                        data: Bytes::from(blob),
+                        req_id: req,
+                        replicate: self.topo.config().replication,
+                    },
+                );
+            }
+        }
+    }
+
+    // -- dropout recovery ----------------------------------------------------
+
+    fn on_sync_deadline(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        if iter != self.iter || self.global_sent || self.behavior == Behavior::Offline {
+            return;
+        }
+        if self.topo.config().comm == CommMode::Direct {
+            return; // no storage copy to recover from — the §III-B failure
+        }
+        let slots = self.topo.config().aggregators_per_partition;
+        for j in 0..slots {
+            if j == self.j
+                || self.partials.contains_key(&j)
+                || self.recovery_pending.contains_key(&j)
+            {
+                continue;
+            }
+            // Download this dead peer's trainer gradients ourselves
+            // ("another aggregator downloads his gradients on his behalf").
+            ctx.record(labels::DROPOUT_RECOVERY, j as f64);
+            let trainers: HashSet<usize> =
+                self.topo.trainer_set(self.partition, j).into_iter().collect();
+            self.recovery_pending.insert(j, trainers);
+            self.recovery_grads.insert(j, Vec::new());
+        }
+        self.start_polling(ctx);
+    }
+
+    fn on_recovery_gradient(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
+        if let Some(vector) = decode_blob(data) {
+            self.recovery_grads.entry(j).or_default().push(vector);
+        }
+        self.maybe_finish_sync(ctx);
+    }
+}
+
+impl Actor<Msg> for Aggregator {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Subscribe once to the partition's sync topic (pub/sub, §IV-B).
+        if self.multi() && self.behavior != Behavior::Offline {
+            let sub = IpfsWire::Subscribe { topic: self.topo.sync_topic(self.partition) };
+            let gw = self.gateway();
+            self.send_ipfs(ctx, gw, sub);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        if self.behavior == Behavior::Offline {
+            return;
+        }
+        match msg {
+            Msg::StartRound { iter } => self.begin_round(ctx, iter),
+            Msg::GradientList { partition, iter, entries } if partition == self.partition => {
+                self.on_gradient_list(ctx, iter, entries);
+            }
+            Msg::Accumulators { partition, iter, accumulated }
+                if partition == self.partition && iter == self.iter =>
+            {
+                self.on_accumulators(ctx, accumulated);
+            }
+            Msg::DirectGradient { trainer, partition, iter, data }
+                if partition == self.partition && iter == self.iter =>
+            {
+                if self.dropped_trainers().contains(&trainer) {
+                    return;
+                }
+                if let Some(vector) = decode_blob(&data) {
+                    self.gradients.insert(trainer, vector);
+                    self.maybe_aggregate(ctx);
+                }
+            }
+            Msg::UpdateRejected { .. } => {
+                // Our update failed verification (we were malicious or raced
+                // a malicious peer). Nothing to do: an honest peer's update
+                // will supersede, or the round stalls and the experiment
+                // reports the failure.
+            }
+            Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(ctx, cid, req_id),
+            Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
+                let data = data.to_vec();
+                match self.in_flight.remove(&req_id) {
+                    Some(Request::OwnGradient { trainer }) => {
+                        self.on_own_gradient(ctx, trainer, &data)
+                    }
+                    Some(Request::PeerPartial { j }) => self.on_peer_partial(ctx, j, &data),
+                    Some(Request::Recovery { j, .. }) => self.on_recovery_gradient(ctx, j, &data),
+                    _ => {}
+                }
+            }
+            Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
+                // Allow retries through the poll loop.
+                match self.in_flight.remove(&req_id) {
+                    Some(Request::OwnGradient { trainer }) => {
+                        self.downloading.remove(&trainer);
+                        self.registered.remove(&trainer);
+                    }
+                    Some(Request::Recovery { j, trainer }) => {
+                        self.recovery_pending.entry(j).or_default().insert(trainer);
+                    }
+                    _ => {}
+                }
+            }
+            Msg::Ipfs(IpfsWire::MergeOk { data, req_id }) => {
+                if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
+                    let data = data.to_vec();
+                    self.on_merged(ctx, &data);
+                }
+            }
+            Msg::Ipfs(IpfsWire::MergeErr { req_id, .. }) => {
+                // Re-issue merges on the next poll by resetting state.
+                if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
+                    self.merges_sent = false;
+                    self.merged.clear();
+                    self.merges_outstanding = 0;
+                }
+            }
+            Msg::Ipfs(IpfsWire::Deliver { data, .. }) => {
+                let data = data.to_vec();
+                self.on_deliver(ctx, &data);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        if self.behavior == Behavior::Offline {
+            return;
+        }
+        match token & !0xFFFF_FFFF {
+            TK_POLL => self.poll(ctx),
+            TK_SYNC_DEADLINE => self.on_sync_deadline(ctx, token & 0xFFFF_FFFF),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The directory service (§III-C) — run by the trusted bootstrapper.
+//!
+//! Maintains the map from addressing tuples to CIDs, accumulates Pedersen
+//! commitments per partition and per aggregator slot (§IV-B), verifies
+//! registered updates against the accumulated commitments, answers
+//! participant queries, and drives the round schedule.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use dfl_ipfs::{Cid, IpfsWire};
+use dfl_netsim::{Actor, Context, NodeId, SimDuration};
+
+use dfl_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+
+use crate::config::Topology;
+use crate::gradient::{verify_blob, ProtocolCommitment, ProtocolCurve, ProtocolKey};
+use crate::labels;
+use crate::messages::{batch_registration_message, registration_message, Msg};
+
+/// Timer token kinds (high 32 bits of the token).
+const TK_VERIFY: u64 = 1 << 32;
+
+/// A pending update verification: the blob arrived, the virtual compute
+/// time is being charged before the verdict applies.
+struct PendingVerify {
+    partition: usize,
+    iter: u64,
+    aggregator: usize,
+    cid: Cid,
+    from: NodeId,
+    verdict: bool,
+}
+
+/// Directory + bootstrapper actor.
+pub struct Directory {
+    topo: Rc<Topology>,
+    key: Option<Rc<ProtocolKey>>,
+    /// Gradient registrations: (partition, iter) → (trainer → cid).
+    gradients: HashMap<(usize, u64), HashMap<usize, Cid>>,
+    /// Individual gradient commitments: (partition, iter) → trainer → C.
+    commitments: HashMap<(usize, u64), HashMap<usize, ProtocolCommitment>>,
+    /// Accepted global updates: (partition, iter) → cid.
+    updates: HashMap<(usize, u64), Cid>,
+    /// In-flight update verifications keyed by storage request id.
+    fetching: HashMap<u64, PendingVerify>,
+    verifying: HashMap<u64, PendingVerify>,
+    /// Trainers that reported the round done.
+    done: HashMap<u64, HashSet<usize>>,
+    /// Rounds whose first gradient hash has been recorded.
+    first_hash_seen: HashSet<u64>,
+    /// Rounds already announced.
+    announced: HashSet<u64>,
+    next_req: u64,
+    next_verify: u64,
+    /// Count of rejected updates (exposed for tests/reports via trace too).
+    rejected: usize,
+    /// Trainer verifying keys (authenticated mode).
+    trainer_keys: Vec<VerifyingKey<ProtocolCurve>>,
+}
+
+impl Directory {
+    /// Creates the directory actor. `key` must be `Some` exactly when the
+    /// task runs in verifiable mode.
+    pub fn new(topo: Rc<Topology>, key: Option<Rc<ProtocolKey>>) -> Directory {
+        assert_eq!(
+            key.is_some(),
+            topo.config().verifiable,
+            "commitment key must match the verifiable flag"
+        );
+        let trainer_keys = if topo.config().authenticate {
+            let seed = topo.config().seed.to_be_bytes();
+            (0..topo.config().trainers)
+                .map(|t| SigningKey::<ProtocolCurve>::derive(&seed, t as u64).verifying_key())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Directory {
+            topo,
+            key,
+            gradients: HashMap::new(),
+            commitments: HashMap::new(),
+            updates: HashMap::new(),
+            fetching: HashMap::new(),
+            verifying: HashMap::new(),
+            done: HashMap::new(),
+            first_hash_seen: HashSet::new(),
+            announced: HashSet::new(),
+            next_req: 0,
+            next_verify: 0,
+            rejected: 0,
+            trainer_keys,
+        }
+    }
+
+    /// Authenticates a registration; `true` when valid (or when the task
+    /// does not require authentication).
+    fn registration_authentic(
+        &self,
+        trainer: usize,
+        partition: usize,
+        iter: u64,
+        cid: &dfl_ipfs::Cid,
+        commitment: &Option<[u8; 33]>,
+        signature: &Option<[u8; 65]>,
+    ) -> bool {
+        if !self.topo.config().authenticate {
+            return true;
+        }
+        let Some(vk) = self.trainer_keys.get(trainer) else { return false };
+        let Some(sig_bytes) = signature else { return false };
+        let Some(sig) = Signature::<ProtocolCurve>::from_bytes(sig_bytes) else {
+            return false;
+        };
+        let message = registration_message(trainer, partition, iter, cid, commitment);
+        vk.verify(&message, &sig)
+    }
+
+    fn broadcast_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        if !self.announced.insert(iter) {
+            return;
+        }
+        ctx.record(labels::ROUND_START, iter as f64);
+        let msg = Msg::StartRound { iter };
+        for g in 0..self.topo.config().total_aggregators() {
+            ctx.send(self.topo.aggregator(g), msg.wire_bytes(), msg.clone());
+        }
+        for t in 0..self.topo.config().trainers {
+            ctx.send(self.topo.trainer(t), msg.wire_bytes(), msg.clone());
+        }
+    }
+
+    fn accumulated_for_slot(
+        &self,
+        partition: usize,
+        iter: u64,
+        agg_j: usize,
+    ) -> Option<ProtocolCommitment> {
+        let commits = self.commitments.get(&(partition, iter))?;
+        let trainers = self.topo.trainer_set(partition, agg_j);
+        let mut acc = ProtocolCommitment::identity();
+        for t in &trainers {
+            acc = acc.combine(commits.get(t)?);
+        }
+        Some(acc)
+    }
+
+    /// Accumulated commitment over *all* trainers of a partition — what a
+    /// global update must open (§IV-B).
+    fn accumulated_total(&self, partition: usize, iter: u64) -> Option<ProtocolCommitment> {
+        let commits = self.commitments.get(&(partition, iter))?;
+        if commits.len() != self.topo.config().trainers {
+            return None;
+        }
+        Some(ProtocolCommitment::accumulate(commits.values()))
+    }
+
+    fn on_register_update(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        aggregator: usize,
+        partition: usize,
+        iter: u64,
+        cid: Cid,
+    ) {
+        if self.updates.contains_key(&(partition, iter)) {
+            // Someone already registered a valid update; only the first
+            // counts (§IV-B).
+            return;
+        }
+        if self.key.is_some() {
+            // Fetch the update blob from storage, then verify.
+            self.next_req += 1;
+            let req_id = self.next_req;
+            self.fetching.insert(
+                req_id,
+                PendingVerify { partition, iter, aggregator, cid, from, verdict: false },
+            );
+            let get = IpfsWire::Get { cid, req_id };
+            ctx.send(self.topo.ipfs_node(0), get.wire_bytes(), Msg::Ipfs(get));
+        } else {
+            self.accept_update(ctx, partition, iter, cid);
+        }
+    }
+
+    fn accept_update(&mut self, ctx: &mut Context<'_, Msg>, partition: usize, iter: u64, cid: Cid) {
+        self.updates.insert((partition, iter), cid);
+        ctx.record(labels::UPDATE_REGISTERED, partition as f64);
+    }
+
+    fn reject_update(&mut self, ctx: &mut Context<'_, Msg>, pv: &PendingVerify) {
+        self.rejected += 1;
+        ctx.record(labels::VERIFICATION_FAILED, pv.partition as f64);
+        // A second event keyed by the offender, for forensic reports.
+        ctx.record("verification_failed_by", pv.aggregator as f64);
+        let msg = Msg::UpdateRejected {
+            partition: pv.partition,
+            iter: pv.iter,
+            reason: "update does not open the accumulated commitment".to_string(),
+        };
+        ctx.send(pv.from, msg.wire_bytes(), msg);
+    }
+
+    fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8], ok: bool) {
+        let Some(mut pv) = self.fetching.remove(&req_id) else { return };
+        let key = self.key.as_ref().expect("verifiable mode").clone();
+        let verdict = ok
+            && match self.accumulated_total(pv.partition, pv.iter) {
+                Some(acc) => verify_blob(&key, data, &acc),
+                None => false, // not all gradients registered: incomplete
+            };
+        pv.verdict = verdict;
+        // Charge the virtual verification time, then apply the verdict.
+        let elements = (data.len() / 8).max(1) as u64;
+        let us = self.topo.config().commit_us_per_element * elements;
+        self.next_verify += 1;
+        let token = TK_VERIFY | self.next_verify;
+        self.verifying.insert(self.next_verify, pv);
+        ctx.set_timer(SimDuration::from_micros(us), token);
+    }
+
+    fn maybe_finish_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        let all_done = self
+            .done
+            .get(&iter)
+            .is_some_and(|set| set.len() == self.topo.config().trainers);
+        if !all_done {
+            return;
+        }
+        ctx.record(labels::ROUND_COMPLETE, iter as f64);
+        if iter + 1 < self.topo.config().rounds {
+            self.broadcast_round(ctx, iter + 1);
+        } else {
+            ctx.record(labels::TASK_COMPLETE, self.topo.config().rounds as f64);
+        }
+    }
+}
+
+impl Actor<Msg> for Directory {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.broadcast_round(ctx, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        if token & TK_VERIFY != 0 {
+            let Some(pv) = self.verifying.remove(&(token & 0xFFFF_FFFF)) else { return };
+            if self.updates.contains_key(&(pv.partition, pv.iter)) {
+                return; // raced with an earlier valid registration
+            }
+            if pv.verdict {
+                self.accept_update(ctx, pv.partition, pv.iter, pv.cid);
+            } else {
+                self.reject_update(ctx, &pv);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::RegisterGradientBatch { trainer, iter, entries, signature } => {
+                let authentic = if self.topo.config().authenticate {
+                    let msg_bytes = batch_registration_message(trainer, iter, &entries);
+                    self.trainer_keys.get(trainer).is_some_and(|vk| {
+                        signature
+                            .and_then(|b| Signature::<ProtocolCurve>::from_bytes(&b))
+                            .is_some_and(|sig| vk.verify(&msg_bytes, &sig))
+                    })
+                } else {
+                    true
+                };
+                if !authentic {
+                    ctx.record(labels::FORGED_REGISTRATION, trainer as f64);
+                    return;
+                }
+                if self.first_hash_seen.insert(iter) {
+                    ctx.record(labels::FIRST_GRADIENT_HASH, iter as f64);
+                }
+                for (partition, cid, commitment) in entries {
+                    self.gradients.entry((partition, iter)).or_default().insert(trainer, cid);
+                    if let Some(bytes) = commitment {
+                        if let Some(c) = ProtocolCommitment::from_bytes(&bytes) {
+                            self.commitments
+                                .entry((partition, iter))
+                                .or_default()
+                                .insert(trainer, c);
+                        }
+                    }
+                }
+            }
+            Msg::RegisterGradient { trainer, partition, iter, cid, commitment, signature } => {
+                if !self.registration_authentic(trainer, partition, iter, &cid, &commitment, &signature)
+                {
+                    // Forged or unsigned registration: discard and flag.
+                    ctx.record(labels::FORGED_REGISTRATION, trainer as f64);
+                    return;
+                }
+                if self.first_hash_seen.insert(iter) {
+                    ctx.record(labels::FIRST_GRADIENT_HASH, iter as f64);
+                }
+                self.gradients.entry((partition, iter)).or_default().insert(trainer, cid);
+                if let Some(bytes) = commitment {
+                    if let Some(c) = ProtocolCommitment::from_bytes(&bytes) {
+                        self.commitments
+                            .entry((partition, iter))
+                            .or_default()
+                            .insert(trainer, c);
+                    }
+                }
+            }
+            Msg::QueryGradients { partition, agg_j, iter } => {
+                let trainers = self.topo.trainer_set(partition, agg_j);
+                let registered = self.gradients.get(&(partition, iter));
+                let commits = self.commitments.get(&(partition, iter));
+                let entries: Vec<(usize, Cid, Option<[u8; 33]>)> = trainers
+                    .into_iter()
+                    .filter_map(|t| {
+                        let cid = registered.and_then(|m| m.get(&t))?;
+                        let commitment =
+                            commits.and_then(|m| m.get(&t)).map(|c| c.to_bytes());
+                        Some((t, *cid, commitment))
+                    })
+                    .collect();
+                let reply = Msg::GradientList { partition, iter, entries };
+                ctx.send(from, reply.wire_bytes(), reply);
+            }
+            Msg::QueryAccumulators { partition, iter } => {
+                let accumulated: Vec<Option<[u8; 33]>> = (0..self
+                    .topo
+                    .config()
+                    .aggregators_per_partition)
+                    .map(|j| self.accumulated_for_slot(partition, iter, j).map(|c| c.to_bytes()))
+                    .collect();
+                let reply = Msg::Accumulators { partition, iter, accumulated };
+                ctx.send(from, reply.wire_bytes(), reply);
+            }
+            Msg::RegisterUpdate { aggregator, partition, iter, cid } => {
+                self.on_register_update(ctx, from, aggregator, partition, iter, cid);
+            }
+            Msg::QueryTotalAccumulator { partition, iter } => {
+                let accumulated =
+                    self.accumulated_total(partition, iter).map(|c| c.to_bytes());
+                let reply = Msg::TotalAccumulator { partition, iter, accumulated };
+                ctx.send(from, reply.wire_bytes(), reply);
+            }
+            Msg::QueryUpdate { partition, iter } => {
+                let cid = self.updates.get(&(partition, iter)).copied();
+                let reply = Msg::UpdateInfo { partition, iter, cid };
+                ctx.send(from, reply.wire_bytes(), reply);
+            }
+            Msg::TrainerDone { trainer, iter } => {
+                self.done.entry(iter).or_default().insert(trainer);
+                self.maybe_finish_round(ctx, iter);
+            }
+            Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
+                let data = data.to_vec();
+                self.on_update_blob(ctx, req_id, &data, true);
+            }
+            Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
+                self.on_update_blob(ctx, req_id, &[], false);
+            }
+            // Other storage responses (acks for nothing we sent) and
+            // protocol messages not addressed to the directory are ignored.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaskConfig;
+
+    fn topo(verifiable: bool) -> Rc<Topology> {
+        let cfg = TaskConfig {
+            trainers: 4,
+            partitions: 2,
+            aggregators_per_partition: 2,
+            ipfs_nodes: 2,
+            verifiable,
+            ..TaskConfig::default()
+        };
+        Rc::new(Topology::new(cfg, 8).unwrap())
+    }
+
+    #[test]
+    fn key_flag_mismatch_panics() {
+        let result = std::panic::catch_unwind(|| Directory::new(topo(true), None));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn accumulators_require_full_trainer_set() {
+        use crate::gradient::{commit_blob, derive_key};
+        let topo = topo(true);
+        let key = Rc::new(derive_key(topo.max_partition_len(), 0));
+        let mut dir = Directory::new(topo.clone(), Some(key.clone()));
+
+        // Register commitments for trainers 0 and 2 (slot j=0 of |A_i|=2).
+        let blob = crate::gradient::build_blob(&[1.0; 4]);
+        let c = commit_blob(&key, &blob);
+        for t in [0usize, 2] {
+            dir.commitments.entry((0, 0)).or_default().insert(t, c);
+        }
+        // Slot 0 (T_00 = {0, 2}) is complete; slot 1 (T_01 = {1, 3}) is not.
+        assert!(dir.accumulated_for_slot(0, 0, 0).is_some());
+        assert!(dir.accumulated_for_slot(0, 0, 1).is_none());
+        // Total accumulation needs all 4 trainers.
+        assert!(dir.accumulated_total(0, 0).is_none());
+        for t in [1usize, 3] {
+            dir.commitments.entry((0, 0)).or_default().insert(t, c);
+        }
+        assert!(dir.accumulated_total(0, 0).is_some());
+    }
+}

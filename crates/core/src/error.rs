@@ -1,0 +1,45 @@
+//! Error type for the IPLS protocol crate.
+
+use std::fmt;
+
+/// Errors surfaced by protocol configuration and the task runner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IplsError {
+    /// The task configuration is inconsistent (message explains how).
+    InvalidConfig(String),
+    /// A training round did not complete (e.g. every aggregator of a
+    /// partition was malicious or dead and the deadline passed).
+    RoundFailed { round: u64, reason: String },
+    /// Verification rejected an aggregator's update.
+    VerificationFailed { partition: usize, aggregator: usize },
+}
+
+impl fmt::Display for IplsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IplsError::InvalidConfig(msg) => write!(f, "invalid task configuration: {msg}"),
+            IplsError::RoundFailed { round, reason } => {
+                write!(f, "round {round} failed: {reason}")
+            }
+            IplsError::VerificationFailed { partition, aggregator } => write!(
+                f,
+                "verification failed for partition {partition} (aggregator {aggregator})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IplsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IplsError::InvalidConfig("zero partitions".into());
+        assert!(e.to_string().contains("zero partitions"));
+        let e = IplsError::VerificationFailed { partition: 2, aggregator: 1 };
+        assert!(e.to_string().contains("partition 2"));
+    }
+}

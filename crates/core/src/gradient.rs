@@ -1,0 +1,207 @@
+//! Gradient blob codec: how parameter partitions travel over the storage
+//! network.
+//!
+//! Per Algorithm 1, a trainer uploads `[gradU[i], 1]` — the partition's
+//! values with an appended counter element — and after aggregation divides
+//! the summed vector by the summed counter (lines 14 and 20–21). Values are
+//! fixed-point quantized ([`dfl_crypto::quantize`]) so that storage-side
+//! merging, aggregator summation, and Pedersen commitments all operate in
+//! the same exact arithmetic.
+
+use dfl_crypto::curve::Secp256k1;
+use dfl_crypto::pedersen::{CommitKey, Commitment};
+use dfl_crypto::quantize::{decode, encode, to_scalars, Quantized};
+
+/// The curve the protocol's commitments use.
+pub type ProtocolCurve = Secp256k1;
+/// Commitment key type for the protocol.
+pub type ProtocolKey = CommitKey<ProtocolCurve>;
+/// Commitment type for the protocol.
+pub type ProtocolCommitment = Commitment<ProtocolCurve>;
+
+/// Builds the upload blob for one partition: `quantize(values ++ [1.0])`.
+pub fn build_blob(values: &[f32]) -> Vec<u8> {
+    let mut quantized: Vec<Quantized> =
+        values.iter().map(|&v| Quantized::from_f64(v as f64)).collect();
+    quantized.push(Quantized::from_f64(1.0)); // the averaging counter
+    encode(&quantized)
+}
+
+/// Decodes a blob into its quantized vector (values + counter).
+pub fn decode_blob(blob: &[u8]) -> Option<Vec<Quantized>> {
+    let v = decode(blob)?;
+    if v.len() < 2 {
+        return None; // at least one value plus the counter
+    }
+    Some(v)
+}
+
+/// Decodes an aggregated update blob and divides by the counter, returning
+/// the averaged partition values (Algorithm 1 lines 20–21).
+///
+/// Returns `None` when the blob is malformed or the counter is not
+/// positive.
+pub fn decode_update(blob: &[u8]) -> Option<(Vec<f32>, u64)> {
+    let v = decode_blob(blob)?;
+    let (values, counter) = v.split_at(v.len() - 1);
+    let count = counter[0].to_f64();
+    if count < 1.0 || count.fract() != 0.0 {
+        return None;
+    }
+    let averaged = values.iter().map(|q| (q.to_f64() / count) as f32).collect();
+    Some((averaged, count as u64))
+}
+
+/// Element-wise sum of decoded gradient vectors (values and counters alike).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or the input is empty.
+pub fn sum_gradients(grads: &[Vec<Quantized>]) -> Vec<Quantized> {
+    assert!(!grads.is_empty(), "nothing to sum");
+    let mut acc = grads[0].clone();
+    for g in &grads[1..] {
+        assert_eq!(g.len(), acc.len(), "gradient length mismatch");
+        for (a, b) in acc.iter_mut().zip(g) {
+            *a = a.saturating_add(*b);
+        }
+    }
+    acc
+}
+
+/// Commits to a blob's quantized vector (including the counter element).
+///
+/// # Panics
+///
+/// Panics if the blob is malformed or longer than the key.
+pub fn commit_blob(key: &ProtocolKey, blob: &[u8]) -> ProtocolCommitment {
+    let v = decode_blob(blob).expect("well-formed gradient blob");
+    key.commit(&to_scalars::<ProtocolCurve>(&v))
+}
+
+/// Verifies that `blob` opens `commitment`.
+pub fn verify_blob(key: &ProtocolKey, blob: &[u8], commitment: &ProtocolCommitment) -> bool {
+    match decode_blob(blob) {
+        Some(v) => key.verify(&to_scalars::<ProtocolCurve>(&v), commitment),
+        None => false,
+    }
+}
+
+/// Derives the protocol commitment key for a task: enough generators for
+/// the largest partition plus the counter element.
+pub fn derive_key(max_partition_len: usize, task_seed: u64) -> ProtocolKey {
+    let mut seed = b"ipls-task-".to_vec();
+    seed.extend_from_slice(&task_seed.to_be_bytes());
+    CommitKey::setup(max_partition_len + 1, &seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_round_trip_single_trainer() {
+        let values = [0.5f32, -1.25, 3.0];
+        let blob = build_blob(&values);
+        let (avg, count) = decode_update(&blob).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(avg, values);
+    }
+
+    #[test]
+    fn sum_then_average_matches_mean() {
+        let blobs = [
+            build_blob(&[1.0, 2.0]),
+            build_blob(&[3.0, 6.0]),
+            build_blob(&[5.0, 1.0]),
+        ];
+        let decoded: Vec<_> = blobs.iter().map(|b| decode_blob(b).unwrap()).collect();
+        let summed = sum_gradients(&decoded);
+        let (avg, count) = decode_update(&encode(&summed)).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(avg, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn storage_merge_equals_aggregator_sum() {
+        // The merge-and-download path and the naive path must agree bit-
+        // for-bit: merging blobs at a storage node produces exactly the sum
+        // the aggregator would compute.
+        let b1 = build_blob(&[0.25, -1.0, 2.0]);
+        let b2 = build_blob(&[1.75, 1.0, -2.0]);
+        let merged = dfl_ipfs::merge::merge_blobs(&[b1.as_slice(), b2.as_slice()]).unwrap();
+        let summed = sum_gradients(&[decode_blob(&b1).unwrap(), decode_blob(&b2).unwrap()]);
+        assert_eq!(decode(&merged).unwrap(), summed);
+    }
+
+    #[test]
+    fn decode_update_rejects_malformed() {
+        assert!(decode_update(&[1, 2, 3]).is_none()); // not 8-aligned
+        assert!(decode_update(&[]).is_none());
+        // A single element (counter only, no values) is rejected.
+        assert!(decode_update(&encode(&[Quantized::from_f64(1.0)])).is_none());
+        // Zero counter rejected.
+        let mut v = decode_blob(&build_blob(&[1.0])).unwrap();
+        let last = v.len() - 1;
+        v[last] = Quantized(0);
+        assert!(decode_update(&encode(&v)).is_none());
+    }
+
+    #[test]
+    fn commitments_verify_and_accumulate() {
+        let key = derive_key(4, 7);
+        let b1 = build_blob(&[1.0, -2.0, 0.5, 0.0]);
+        let b2 = build_blob(&[0.5, 2.0, 1.5, -1.0]);
+        let c1 = commit_blob(&key, &b1);
+        let c2 = commit_blob(&key, &b2);
+        assert!(verify_blob(&key, &b1, &c1));
+        assert!(!verify_blob(&key, &b1, &c2));
+
+        // Accumulated commitment opens the aggregated blob.
+        let summed = sum_gradients(&[decode_blob(&b1).unwrap(), decode_blob(&b2).unwrap()]);
+        let agg_blob = encode(&summed);
+        let acc = c1.combine(&c2);
+        assert!(verify_blob(&key, &agg_blob, &acc));
+    }
+
+    #[test]
+    fn dropped_gradient_breaks_verification() {
+        // Completeness (§III-A): omitting one trainer's gradient makes the
+        // update fail against the accumulated commitment.
+        let key = derive_key(2, 7);
+        let blobs = [build_blob(&[1.0, 1.0]), build_blob(&[2.0, 2.0]), build_blob(&[3.0, 3.0])];
+        let commits: Vec<_> = blobs.iter().map(|b| commit_blob(&key, b)).collect();
+        let acc = Commitment::accumulate(&commits);
+        // Malicious aggregator drops blob 1.
+        let partial = sum_gradients(&[
+            decode_blob(&blobs[0]).unwrap(),
+            decode_blob(&blobs[2]).unwrap(),
+        ]);
+        assert!(!verify_blob(&key, &encode(&partial), &acc));
+    }
+
+    #[test]
+    fn altered_gradient_breaks_verification() {
+        // Correctness (§III-A): perturbing one element fails verification.
+        let key = derive_key(2, 7);
+        let blobs = [build_blob(&[1.0, 1.0]), build_blob(&[2.0, 2.0])];
+        let commits: Vec<_> = blobs.iter().map(|b| commit_blob(&key, b)).collect();
+        let acc = Commitment::accumulate(&commits);
+        let mut summed = sum_gradients(&[
+            decode_blob(&blobs[0]).unwrap(),
+            decode_blob(&blobs[1]).unwrap(),
+        ]);
+        summed[0] = Quantized(summed[0].0 + 1);
+        assert!(!verify_blob(&key, &encode(&summed), &acc));
+    }
+
+    #[test]
+    fn key_derivation_deterministic_per_task() {
+        let a = derive_key(3, 1);
+        let b = derive_key(3, 1);
+        let c = derive_key(3, 2);
+        assert_eq!(a.generators(), b.generators());
+        assert_ne!(a.generators(), c.generators());
+        assert_eq!(a.len(), 4, "max_len + counter element");
+    }
+}

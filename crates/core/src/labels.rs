@@ -1,0 +1,35 @@
+//! Trace labels recorded by protocol actors; the runner turns these into
+//! the delay metrics the paper reports.
+
+/// Directory: round `iter` announced (value = iter).
+pub const ROUND_START: &str = "round_start";
+/// Directory: first gradient hash of the round written (value = iter).
+/// Aggregation delay is measured from this instant (§V).
+pub const FIRST_GRADIENT_HASH: &str = "first_gradient_hash";
+/// Trainer: began uploading gradients (value = iter).
+pub const UPLOAD_START: &str = "upload_start";
+/// Trainer: all gradient uploads acknowledged (value = iter). The upload
+/// delay is `UPLOAD_DONE − UPLOAD_START` (§V).
+pub const UPLOAD_DONE: &str = "upload_done";
+/// Aggregator: all of `T_ij`'s gradients aggregated (value = iter).
+pub const GRADS_AGGREGATED: &str = "grads_aggregated";
+/// Aggregator: all peer partials combined into the global partition
+/// (value = iter). Sync delay is `SYNC_DONE − GRADS_AGGREGATED`.
+pub const SYNC_DONE: &str = "sync_done";
+/// Directory: a partition's global update registered and accepted
+/// (value = partition index).
+pub const UPDATE_REGISTERED: &str = "update_registered";
+/// Directory: an update failed commitment verification (value = partition).
+pub const VERIFICATION_FAILED: &str = "verification_failed";
+/// Directory: every trainer finished the round (value = iter).
+pub const ROUND_COMPLETE: &str = "round_complete";
+/// Directory: all rounds finished (value = total rounds).
+pub const TASK_COMPLETE: &str = "task_complete";
+/// Trainer: rebuilt the model from updated partitions (value = iter).
+pub const TRAINER_ROUND_DONE: &str = "trainer_round_done";
+/// Aggregator: recovered a dead peer's trainer set at the sync deadline
+/// (value = the missing peer's index).
+pub const DROPOUT_RECOVERY: &str = "dropout_recovery";
+/// Directory: a registration failed signature verification (value = the
+/// claimed trainer index).
+pub const FORGED_REGISTRATION: &str = "forged_registration";

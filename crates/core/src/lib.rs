@@ -1,0 +1,60 @@
+//! # ipls
+//!
+//! The paper's contribution: the modified IPLS protocol — decentralized
+//! federated learning with **indirect communication** over a decentralized
+//! storage network (§III) and **verifiable aggregation** against malicious
+//! aggregators via homomorphic Pedersen commitments (§IV).
+//!
+//! A task is a set of actors on a simulated network:
+//!
+//! * the **bootstrapper/directory** ([`Directory`]) maps addressing tuples
+//!   to CIDs, accumulates gradient commitments, verifies updates, and
+//!   drives the round schedule;
+//! * **trainers** ([`Trainer`]) train locally, upload per-partition
+//!   gradient blobs (with an appended averaging counter), and rebuild the
+//!   model from verified updates;
+//! * **aggregators** ([`Aggregator`]) collect their trainer set's
+//!   gradients (directly, naively via storage, or through
+//!   merge-and-download), sum them, synchronize partials over pub/sub, and
+//!   register the global update;
+//! * **storage nodes** (from [`dfl_ipfs`]) provide availability, provider
+//!   routing, replication, and storage-side pre-aggregation.
+//!
+//! [`runner::run_task`] assembles all of this and reports the delay
+//! metrics of §V.
+//!
+//! ```
+//! use dfl_ml::{data, LogisticRegression, Model, SgdConfig};
+//! use ipls::{run_task, TaskConfig};
+//!
+//! let cfg = TaskConfig { trainers: 4, partitions: 2, rounds: 1, ..TaskConfig::default() };
+//! let dataset = data::make_blobs(64, 2, 2, 0.5, 1);
+//! let clients = data::partition_iid(&dataset, 4, 0);
+//! let model = LogisticRegression::new(2, 2);
+//! let params = model.params();
+//! let report = run_task(cfg.clone(), model, params, clients, SgdConfig::default(), &[])?;
+//! assert!(report.succeeded(&cfg));
+//! # Ok::<(), ipls::IplsError>(())
+//! ```
+
+pub mod addressing;
+pub mod adversary;
+pub mod aggregator;
+pub mod config;
+pub mod directory;
+pub mod error;
+pub mod gradient;
+pub mod labels;
+pub mod messages;
+pub mod runner;
+pub mod trainer;
+
+pub use addressing::{Addr, ObjectKind, Uploader};
+pub use adversary::Behavior;
+pub use aggregator::Aggregator;
+pub use config::{CommMode, TaskConfig, Topology};
+pub use directory::Directory;
+pub use error::IplsError;
+pub use messages::{Msg, SyncAnnounce};
+pub use runner::{run_task, RoundMetrics, TaskReport};
+pub use trainer::Trainer;

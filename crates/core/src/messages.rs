@@ -1,0 +1,384 @@
+//! The application message type shared by every actor in a task simulation.
+//!
+//! One enum covers storage traffic (embedded [`IpfsWire`]), directory
+//! traffic (register/query, §III-C and §IV-B), and the round schedule the
+//! bootstrapper broadcasts. Control messages cost [`CONTROL_BYTES`]-scale
+//! wire bytes; data rides inside the storage messages.
+
+use dfl_ipfs::{Cid, IpfsWire, WireEmbed, CONTROL_BYTES};
+
+/// A serialized Pedersen commitment (compressed secp256k1 point).
+pub type CommitmentBytes = [u8; 33];
+
+/// A serialized Schnorr signature.
+pub type SignatureBytes = [u8; 65];
+
+/// Canonical byte string a trainer signs when batch-registering a whole
+/// round (`compact_registration` mode): one signature binds every
+/// partition's CID and commitment.
+pub fn batch_registration_message(
+    trainer: usize,
+    iter: u64,
+    entries: &[(usize, Cid, Option<CommitmentBytes>)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + entries.len() * 80);
+    out.extend_from_slice(b"ipls-register-batch");
+    out.extend_from_slice(&(trainer as u64).to_be_bytes());
+    out.extend_from_slice(&iter.to_be_bytes());
+    for (partition, cid, commitment) in entries {
+        out.extend_from_slice(&(*partition as u64).to_be_bytes());
+        out.extend_from_slice(cid.as_bytes());
+        match commitment {
+            Some(c) => {
+                out.push(1);
+                out.extend_from_slice(c);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Canonical byte string a trainer signs when registering a gradient, so
+/// the directory can authenticate the registration (trainer id, partition,
+/// round, CID, and commitment are all bound).
+pub fn registration_message(
+    trainer: usize,
+    partition: usize,
+    iter: u64,
+    cid: &Cid,
+    commitment: &Option<CommitmentBytes>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(b"ipls-register-gradient");
+    out.extend_from_slice(&(trainer as u64).to_be_bytes());
+    out.extend_from_slice(&(partition as u64).to_be_bytes());
+    out.extend_from_slice(&iter.to_be_bytes());
+    out.extend_from_slice(cid.as_bytes());
+    match commitment {
+        Some(c) => {
+            out.push(1);
+            out.extend_from_slice(c);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Messages exchanged between task participants.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Storage-layer traffic.
+    Ipfs(IpfsWire),
+
+    /// Bootstrapper → everyone: a new round begins (the schedule message
+    /// carrying the iteration number; deadlines are in the shared config).
+    StartRound {
+        /// Round number.
+        iter: u64,
+    },
+
+    /// Trainer → directory: register a gradient's CID and (optionally) its
+    /// commitment under its addressing tuple.
+    RegisterGradient {
+        /// Trainer index.
+        trainer: usize,
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// Content identifier of the uploaded gradient blob.
+        cid: Cid,
+        /// Pedersen commitment to the quantized gradient (verifiable mode).
+        commitment: Option<CommitmentBytes>,
+        /// Schnorr signature over [`registration_message`] (authenticated
+        /// mode).
+        signature: Option<SignatureBytes>,
+    },
+
+    /// Trainer → directory, compact mode: register every partition of the
+    /// round in one message (§VI directory-load reduction).
+    RegisterGradientBatch {
+        /// Trainer index.
+        trainer: usize,
+        /// Round number.
+        iter: u64,
+        /// `(partition, cid, commitment)` per partition.
+        entries: Vec<(usize, Cid, Option<CommitmentBytes>)>,
+        /// Schnorr signature over [`batch_registration_message`].
+        signature: Option<SignatureBytes>,
+    },
+
+    /// Aggregator → directory: which gradients have been registered for my
+    /// partition and trainer set?
+    QueryGradients {
+        /// Partition index.
+        partition: usize,
+        /// Aggregator position `j` within `A_i`.
+        agg_j: usize,
+        /// Round number.
+        iter: u64,
+    },
+
+    /// Directory → aggregator: gradients registered so far for `(partition,
+    /// T_ij, iter)`, with each gradient's commitment in verifiable mode so
+    /// the aggregator can check merged downloads and recovered gradients
+    /// (§IV-B).
+    GradientList {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// `(trainer, cid, commitment)` triples.
+        entries: Vec<(usize, Cid, Option<CommitmentBytes>)>,
+    },
+
+    /// Aggregator → directory: the per-aggregator accumulated commitments
+    /// for a partition (used to verify peers' partial updates, §IV-B).
+    QueryAccumulators {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+    },
+
+    /// Directory → aggregator: accumulated commitment per aggregator slot
+    /// `j` (present once all of `T_ij`'s gradients are registered).
+    Accumulators {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// Index `j` → accumulated commitment over `T_ij`.
+        accumulated: Vec<Option<CommitmentBytes>>,
+    },
+
+    /// Trainer → directory: the accumulated commitment over *all* trainers
+    /// of a partition, for independent update verification (§IV-B).
+    QueryTotalAccumulator {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+    },
+
+    /// Directory → trainer: the total accumulated commitment, once every
+    /// trainer's gradient is registered.
+    TotalAccumulator {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// Product of all trainers' commitments for the partition.
+        accumulated: Option<CommitmentBytes>,
+    },
+
+    /// Aggregator → directory: register the globally updated partition.
+    RegisterUpdate {
+        /// Global aggregator index.
+        aggregator: usize,
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// CID of the uploaded update blob.
+        cid: Cid,
+    },
+
+    /// Directory → aggregator: the update was rejected (failed
+    /// verification or arrived after another valid update).
+    UpdateRejected {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+
+    /// Trainer → directory: is the update for `(partition, iter)` ready?
+    QueryUpdate {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+    },
+
+    /// Directory → trainer: update CID when available.
+    UpdateInfo {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// CID of the verified global update, if registered yet.
+        cid: Option<Cid>,
+    },
+
+    /// Trainer → directory: finished the round (downloaded every updated
+    /// partition and rebuilt the model).
+    TrainerDone {
+        /// Trainer index.
+        trainer: usize,
+        /// Round number.
+        iter: u64,
+    },
+
+    /// Trainer → aggregator, direct mode only: the gradient blob itself,
+    /// bypassing storage (the original IPLS design Fig. 1 compares against).
+    DirectGradient {
+        /// Trainer index.
+        trainer: usize,
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// The encoded gradient blob.
+        data: bytes::Bytes,
+    },
+}
+
+impl Msg {
+    /// Wire size of the message in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::Ipfs(wire) => wire.wire_bytes(),
+            Msg::GradientList { entries, .. } => CONTROL_BYTES + 73 * entries.len() as u64,
+            Msg::Accumulators { accumulated, .. } => {
+                CONTROL_BYTES + 33 * accumulated.len() as u64
+            }
+            Msg::RegisterGradient { commitment, signature, .. } => {
+                CONTROL_BYTES
+                    + 32
+                    + if commitment.is_some() { 33 } else { 0 }
+                    + if signature.is_some() { 65 } else { 0 }
+            }
+            Msg::RegisterUpdate { .. } | Msg::UpdateInfo { cid: Some(_), .. } => {
+                CONTROL_BYTES + 32
+            }
+            Msg::TotalAccumulator { accumulated: Some(_), .. } => CONTROL_BYTES + 33,
+            Msg::DirectGradient { data, .. } => CONTROL_BYTES + data.len() as u64,
+            Msg::RegisterGradientBatch { entries, signature, .. } => {
+                CONTROL_BYTES
+                    + 73 * entries.len() as u64
+                    + if signature.is_some() { 65 } else { 0 }
+            }
+            _ => CONTROL_BYTES,
+        }
+    }
+}
+
+impl WireEmbed for Msg {
+    fn embed(wire: IpfsWire) -> Msg {
+        Msg::Ipfs(wire)
+    }
+
+    fn extract(self) -> Result<IpfsWire, Msg> {
+        match self {
+            Msg::Ipfs(wire) => Ok(wire),
+            other => Err(other),
+        }
+    }
+}
+
+/// Payload published on the sync topic when an aggregator finishes its
+/// partial update (§IV-B: "aggregators use the IPFS pub/sub functionality
+/// to publish their IPFS hashes for their partial updates").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SyncAnnounce {
+    /// Partition index.
+    pub partition: usize,
+    /// Aggregator position `j` within `A_i`.
+    pub agg_j: usize,
+    /// Round number.
+    pub iter: u64,
+    /// CID of the partial update blob.
+    pub cid: Cid,
+}
+
+impl SyncAnnounce {
+    /// Serializes to the pub/sub payload format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 + 8 + 32);
+        out.extend_from_slice(&(self.partition as u64).to_le_bytes());
+        out.extend_from_slice(&(self.agg_j as u64).to_le_bytes());
+        out.extend_from_slice(&self.iter.to_le_bytes());
+        out.extend_from_slice(self.cid.as_bytes());
+        out
+    }
+
+    /// Parses a pub/sub payload; `None` when malformed.
+    pub fn decode(bytes: &[u8]) -> Option<SyncAnnounce> {
+        if bytes.len() != 56 {
+            return None;
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        let mut cid = [0u8; 32];
+        cid.copy_from_slice(&bytes[24..56]);
+        Some(SyncAnnounce {
+            partition: u64_at(0) as usize,
+            agg_j: u64_at(8) as usize,
+            iter: u64_at(16),
+            cid: Cid::from_bytes(cid),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_embedding_round_trips() {
+        let wire = IpfsWire::Get { cid: Cid::of(b"x"), req_id: 1 };
+        let msg = Msg::embed(wire);
+        assert!(matches!(msg, Msg::Ipfs(_)));
+        assert!(msg.extract().is_ok());
+        let other = Msg::StartRound { iter: 3 };
+        assert!(matches!(other.extract(), Err(Msg::StartRound { iter: 3 })));
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = Msg::StartRound { iter: 0 };
+        let list = Msg::GradientList {
+            partition: 0,
+            iter: 0,
+            entries: vec![(0, Cid::of(b"a"), None), (1, Cid::of(b"b"), None)],
+        };
+        assert!(list.wire_bytes() > small.wire_bytes());
+        let with_commit = Msg::RegisterGradient {
+            trainer: 0,
+            partition: 0,
+            iter: 0,
+            cid: Cid::of(b"g"),
+            commitment: Some([0u8; 33]),
+            signature: None,
+        };
+        let without = Msg::RegisterGradient {
+            trainer: 0,
+            partition: 0,
+            iter: 0,
+            cid: Cid::of(b"g"),
+            commitment: None,
+            signature: None,
+        };
+        assert_eq!(with_commit.wire_bytes(), without.wire_bytes() + 33);
+        let signed = Msg::RegisterGradient {
+            trainer: 0,
+            partition: 0,
+            iter: 0,
+            cid: Cid::of(b"g"),
+            commitment: None,
+            signature: Some([0u8; 65]),
+        };
+        assert_eq!(signed.wire_bytes(), without.wire_bytes() + 65);
+    }
+
+    #[test]
+    fn sync_announce_round_trip() {
+        let ann = SyncAnnounce { partition: 3, agg_j: 1, iter: 42, cid: Cid::of(b"partial") };
+        let decoded = SyncAnnounce::decode(&ann.encode()).unwrap();
+        assert_eq!(decoded, ann);
+        assert_eq!(SyncAnnounce::decode(b"short"), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Task runner: builds the simulated deployment (directory, storage nodes,
+//! aggregators, trainers), runs the configured number of rounds, and
+//! extracts the delay metrics the paper's evaluation reports.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dfl_ipfs::{IpfsActor, IpfsNode};
+use dfl_ml::{Dataset, Model, SgdConfig};
+use dfl_netsim::{NodeId, SimTime, Simulation, Trace};
+
+use crate::adversary::Behavior;
+use crate::config::{TaskConfig, Topology};
+use crate::directory::Directory;
+use crate::error::IplsError;
+use crate::gradient::{derive_key, ProtocolKey};
+use crate::labels;
+use crate::messages::Msg;
+use crate::trainer::{ParamSink, Trainer};
+use crate::Aggregator;
+
+/// Delay metrics of one training round (all in seconds of simulated time).
+#[derive(Clone, Debug, Default)]
+pub struct RoundMetrics {
+    /// Round number.
+    pub round: u64,
+    /// Mean trainer upload delay (upload start → last store ack, §V).
+    pub upload_delay_avg: f64,
+    /// Worst trainer upload delay.
+    pub upload_delay_max: f64,
+    /// Gradient-aggregation delay: first gradient hash written in the
+    /// directory → all aggregators finished aggregating (§V).
+    pub aggregation_delay: f64,
+    /// Synchronization delay: gradients aggregated → all partials combined.
+    pub sync_delay: f64,
+    /// Total aggregation delay (`aggregation_delay + sync_delay`).
+    pub total_aggregation_delay: f64,
+    /// Wall-clock duration of the round (announcement → all trainers done).
+    pub round_duration: f64,
+}
+
+/// Everything a task run produced.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Per-round delay metrics (only rounds that completed).
+    pub rounds: Vec<RoundMetrics>,
+    /// Rounds that ran to completion.
+    pub completed_rounds: u64,
+    /// Final model parameters per trainer (present for trainers that
+    /// finished at least one round).
+    pub final_params: HashMap<usize, Vec<f32>>,
+    /// Application bytes received by each aggregator over the whole task.
+    pub aggregator_rx_bytes: Vec<u64>,
+    /// Number of updates the directory rejected for failing commitment
+    /// verification.
+    pub verification_failures: usize,
+    /// Number of dropout recoveries performed by peer aggregators.
+    pub dropout_recoveries: usize,
+    /// The raw simulation trace, for custom analysis.
+    pub trace: Trace,
+}
+
+impl TaskReport {
+    /// `true` when every configured round completed.
+    pub fn succeeded(&self, cfg: &TaskConfig) -> bool {
+        self.completed_rounds == cfg.rounds
+    }
+
+    /// The parameter vector all trainers converged to, if they agree.
+    ///
+    /// Returns `None` when trainers disagree (which would indicate a
+    /// protocol bug or an undetected attack) or no round completed.
+    pub fn consensus_params(&self) -> Option<Vec<f32>> {
+        let mut iter = self.final_params.values();
+        let first = iter.next()?.clone();
+        for other in iter {
+            if *other != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
+/// Runs a full task and reports its metrics.
+///
+/// `datasets[t]` is trainer `t`'s local data; `behaviors` overrides the
+/// behaviour of specific aggregators by global index (all others honest).
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid or inconsistent with
+/// the model/datasets.
+pub fn run_task<M: Model + Clone + 'static>(
+    cfg: TaskConfig,
+    model: M,
+    initial_params: Vec<f32>,
+    datasets: Vec<Dataset>,
+    sgd: SgdConfig,
+    behaviors: &[(usize, Behavior)],
+) -> Result<TaskReport, IplsError> {
+    let topo = Rc::new(Topology::new(cfg.clone(), initial_params.len())?);
+    if datasets.len() != cfg.trainers {
+        return Err(IplsError::InvalidConfig(format!(
+            "{} datasets for {} trainers",
+            datasets.len(),
+            cfg.trainers
+        )));
+    }
+    if model.param_count() != initial_params.len() {
+        return Err(IplsError::InvalidConfig(
+            "model parameter count does not match initial parameters".to_string(),
+        ));
+    }
+    for (g, _) in behaviors {
+        if *g >= cfg.total_aggregators() {
+            return Err(IplsError::InvalidConfig(format!("no aggregator with index {g}")));
+        }
+    }
+
+    let key: Option<Rc<ProtocolKey>> = cfg
+        .verifiable
+        .then(|| Rc::new(derive_key(topo.max_partition_len(), cfg.seed)));
+
+    let mut sim: Simulation<Msg> = Simulation::new();
+    // Generous stop-gap: a stalled round ends the simulation at the limit.
+    let limit_us = (cfg.t_sync.as_micros() + 120_000_000) * cfg.rounds;
+    sim.set_time_limit(SimTime::from_micros(limit_us));
+
+    let link = cfg.link();
+    let sink: ParamSink = Rc::new(RefCell::new(HashMap::new()));
+
+    // Node 0: the directory (bootstrapper).
+    let dir_id = sim.add_node(Directory::new(topo.clone(), key.clone()), link);
+    assert_eq!(dir_id, topo.directory());
+
+    // Storage nodes (possibly on faster infrastructure links).
+    let ipfs_link = cfg.ipfs_link();
+    let roster = IpfsNode::roster_for(&topo.ipfs_ids());
+    for k in 0..cfg.ipfs_nodes {
+        let mut node = IpfsNode::new(topo.ipfs_node(k), roster.clone());
+        if cfg.lossy_ipfs_nodes.contains(&k) {
+            node.set_lossy(true);
+        }
+        let id = sim.add_node(IpfsActor::new(node), ipfs_link);
+        assert_eq!(id, topo.ipfs_node(k));
+    }
+
+    // Aggregators.
+    let behavior_of = |g: usize| {
+        behaviors
+            .iter()
+            .find(|(i, _)| *i == g)
+            .map(|(_, b)| *b)
+            .unwrap_or(Behavior::Honest)
+    };
+    for g in 0..cfg.total_aggregators() {
+        let id = sim.add_node(
+            Aggregator::new(g, topo.clone(), key.clone(), behavior_of(g)),
+            link,
+        );
+        assert_eq!(id, topo.aggregator(g));
+    }
+
+    // Trainers.
+    for (t, dataset) in datasets.into_iter().enumerate() {
+        let id = sim.add_node(
+            Trainer::new(
+                t,
+                topo.clone(),
+                key.clone(),
+                model.clone(),
+                initial_params.clone(),
+                dataset,
+                sgd,
+                sink.clone(),
+            ),
+            link,
+        );
+        assert_eq!(id, topo.trainer(t));
+    }
+
+    sim.run();
+    let trace = sim.into_trace();
+    let params = sink.borrow().clone();
+    Ok(build_report(&topo, &trace, &params))
+}
+
+fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>) -> TaskReport {
+    let cfg = topo.config();
+    let mut rounds = Vec::new();
+
+    for iter in 0..cfg.rounds {
+        let matches = |label: &str| -> Vec<(NodeId, f64)> {
+            trace
+                .find_all(label)
+                .into_iter()
+                .filter(|e| e.value == iter as f64)
+                .map(|e| (e.node, e.time.as_secs_f64()))
+                .collect()
+        };
+        let complete = matches(labels::ROUND_COMPLETE);
+        if complete.is_empty() {
+            break; // this and later rounds did not finish
+        }
+        let round_start = matches(labels::ROUND_START)
+            .first()
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0);
+        let round_end = complete[0].1;
+
+        // Upload delays, paired per trainer.
+        let starts: HashMap<NodeId, f64> = matches(labels::UPLOAD_START).into_iter().collect();
+        let dones = matches(labels::UPLOAD_DONE);
+        let mut delays: Vec<f64> = dones
+            .iter()
+            .filter_map(|(node, done)| starts.get(node).map(|start| done - start))
+            .collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        let upload_delay_avg = if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        };
+        let upload_delay_max = delays.last().copied().unwrap_or(0.0);
+
+        let first_hash = matches(labels::FIRST_GRADIENT_HASH)
+            .first()
+            .map(|(_, t)| *t)
+            .unwrap_or(round_start);
+        let last_aggregated = matches(labels::GRADS_AGGREGATED)
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(first_hash, f64::max);
+        let last_sync = matches(labels::SYNC_DONE)
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(last_aggregated, f64::max);
+
+        rounds.push(RoundMetrics {
+            round: iter,
+            upload_delay_avg,
+            upload_delay_max,
+            aggregation_delay: last_aggregated - first_hash,
+            sync_delay: last_sync - last_aggregated,
+            total_aggregation_delay: last_sync - first_hash,
+            round_duration: round_end - round_start,
+        });
+    }
+
+    let aggregator_rx_bytes = (0..cfg.total_aggregators())
+        .map(|g| trace.bytes_received(topo.aggregator(g)))
+        .collect();
+
+    TaskReport {
+        completed_rounds: rounds.len() as u64,
+        rounds,
+        final_params: sink.clone(),
+        aggregator_rx_bytes,
+        verification_failures: trace.find_all(labels::VERIFICATION_FAILED).len(),
+        dropout_recoveries: trace.find_all(labels::DROPOUT_RECOVERY).len(),
+        trace: trace.clone(),
+    }
+}

@@ -1,0 +1,443 @@
+//! The trainer actor — the TRAINER procedure of Algorithm 1.
+//!
+//! Per round: train locally from the current model, split the updated
+//! parameter vector into partitions, append the averaging counter, upload
+//! each partition (to storage or directly to the aggregator depending on
+//! the communication mode), register CIDs (and commitments) with the
+//! directory, then poll for the globally updated partitions, divide by the
+//! counter, and rebuild the model.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dfl_ipfs::{Cid, IpfsWire};
+use dfl_ml::{local_update, Dataset, Model, SgdConfig};
+use dfl_netsim::{Actor, Context, NodeId, SimDuration, SimTime};
+
+use dfl_crypto::schnorr::SigningKey;
+
+use crate::config::{CommMode, Topology};
+use crate::gradient::{
+    build_blob, commit_blob, decode_update, verify_blob, ProtocolCommitment, ProtocolCurve,
+    ProtocolKey,
+};
+use crate::labels;
+use crate::messages::{batch_registration_message, registration_message, Msg};
+
+const TK_TRAIN: u64 = 1 << 32;
+const TK_POLL: u64 = 2 << 32;
+
+/// Shared sink the runner reads trainers' final parameters from after the
+/// simulation ends.
+pub type ParamSink = Rc<RefCell<HashMap<usize, Vec<f32>>>>;
+
+/// The trainer actor.
+pub struct Trainer<M: Model> {
+    t: usize,
+    topo: Rc<Topology>,
+    key: Option<Rc<ProtocolKey>>,
+    model: M,
+    dataset: Dataset,
+    sgd: SgdConfig,
+    /// Current global model parameters (updated every round).
+    params: Vec<f32>,
+    sink: ParamSink,
+
+    // -- per-round state ----------------------------------------------------
+    iter: u64,
+    round_start: SimTime,
+    finished: bool,
+    /// Blob + commitment per partition for the current round.
+    blobs: HashMap<usize, (Vec<u8>, Option<[u8; 33]>)>,
+    /// Put request id → partition awaiting its ack.
+    pending_acks: HashMap<u64, usize>,
+    acked: usize,
+    /// Partitions currently being fetched (update download de-dup).
+    fetching: HashSet<usize>,
+    /// Get request id → partition.
+    pending_gets: HashMap<u64, usize>,
+    /// Downloaded averaged partitions.
+    received: HashMap<usize, Vec<f32>>,
+    /// Acked registrations awaiting the batched send (compact mode).
+    batch_entries: Vec<(usize, Cid, Option<[u8; 33]>)>,
+    /// Total accumulated commitment per partition (trainer-verification
+    /// mode, §IV-B "can be performed by any participant").
+    accumulators: HashMap<usize, ProtocolCommitment>,
+    /// Update blobs awaiting an accumulator to verify against.
+    unverified_updates: HashMap<usize, Vec<u8>>,
+    /// Blocks uploaded in the current round, released at the next round
+    /// (ephemeral storage lifecycle, §VI).
+    uploads: Vec<(NodeId, Cid)>,
+    /// Registration signing key (authenticated mode).
+    signing_key: Option<SigningKey<ProtocolCurve>>,
+    polling: bool,
+    next_req: u64,
+}
+
+impl<M: Model> Trainer<M> {
+    /// Creates a trainer with its local dataset.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        t: usize,
+        topo: Rc<Topology>,
+        key: Option<Rc<ProtocolKey>>,
+        model: M,
+        initial_params: Vec<f32>,
+        dataset: Dataset,
+        sgd: SgdConfig,
+        sink: ParamSink,
+    ) -> Trainer<M> {
+        assert_eq!(initial_params.len(), topo.param_count(), "parameter count mismatch");
+        let signing_key = topo
+            .config()
+            .authenticate
+            .then(|| SigningKey::derive(&topo.config().seed.to_be_bytes(), t as u64));
+        Trainer {
+            t,
+            topo,
+            key,
+            model,
+            dataset,
+            sgd,
+            params: initial_params,
+            sink,
+            iter: 0,
+            round_start: SimTime::ZERO,
+            finished: false,
+            blobs: HashMap::new(),
+            pending_acks: HashMap::new(),
+            acked: 0,
+            fetching: HashSet::new(),
+            pending_gets: HashMap::new(),
+            received: HashMap::new(),
+            batch_entries: Vec::new(),
+            accumulators: HashMap::new(),
+            unverified_updates: HashMap::new(),
+            uploads: Vec::new(),
+            signing_key,
+            polling: false,
+            next_req: 0,
+        }
+    }
+
+    fn sign_registration(
+        &self,
+        partition: usize,
+        cid: &Cid,
+        commitment: &Option<[u8; 33]>,
+    ) -> Option<[u8; 65]> {
+        self.signing_key.as_ref().map(|key| {
+            let message =
+                registration_message(self.t, partition, self.iter, cid, commitment);
+            key.sign(&message).to_bytes()
+        })
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    /// Deterministic per-round training seed, aligned with
+    /// [`dfl_ml::FedAvg::run`] so pipelines can be compared exactly.
+    fn round_seed(&self) -> u64 {
+        self.topo.config().seed + self.iter * 1000 + self.t as u64
+    }
+
+    fn begin_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        self.iter = iter;
+        self.round_start = ctx.now();
+        self.finished = false;
+        self.blobs.clear();
+        self.pending_acks.clear();
+        self.acked = 0;
+        self.fetching.clear();
+        self.pending_gets.clear();
+        self.received.clear();
+        self.batch_entries.clear();
+        self.accumulators.clear();
+        self.unverified_updates.clear();
+
+        // Release last round's gradient blobs: they have served their
+        // purpose once the round completed (§VI ephemeral-data lifecycle).
+        let replicate = self.topo.config().replication;
+        for (target, cid) in std::mem::take(&mut self.uploads) {
+            let unpin = IpfsWire::Unpin { cid, replicate };
+            ctx.send(target, unpin.wire_bytes(), Msg::Ipfs(unpin));
+        }
+
+        // Train now (real computation), charge the virtual compute time,
+        // and continue in the TK_TRAIN timer.
+        let seed = self.round_seed();
+        let new_params =
+            local_update(&mut self.model, &self.params.clone(), &self.dataset, &self.sgd, seed);
+
+        let mut commit_elements = 0u64;
+        for i in 0..self.topo.config().partitions {
+            let (s, e) = self.topo.partition_range(i);
+            let blob = build_blob(&new_params[s..e]);
+            let commitment = self.key.as_ref().map(|key| {
+                commit_elements += (e - s + 1) as u64;
+                commit_blob(key, &blob).to_bytes()
+            });
+            self.blobs.insert(i, (blob, commitment));
+        }
+
+        let compute = self.topo.config().train_compute
+            + SimDuration::from_micros(self.topo.config().commit_us_per_element * commit_elements);
+        ctx.set_timer(compute, TK_TRAIN);
+    }
+
+    fn upload(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Abort the round if training blew the t_train deadline
+        // (Algorithm 1, lines 10–12): skip uploading, but keep polling so
+        // the trainer still picks up the next global model.
+        let deadline = self.round_start + self.topo.config().t_train;
+        if ctx.now() > deadline {
+            ctx.record("train_abort", self.iter as f64);
+            self.start_polling(ctx);
+            return;
+        }
+
+        match self.topo.config().comm {
+            CommMode::Direct => {
+                for i in 0..self.topo.config().partitions {
+                    let (blob, commitment) = &self.blobs[&i];
+                    let j = self.topo.agg_for_trainer(i, self.t);
+                    let to = self.topo.aggregator(self.topo.agg_index(i, j));
+                    let msg = Msg::DirectGradient {
+                        trainer: self.t,
+                        partition: i,
+                        iter: self.iter,
+                        data: Bytes::from(blob.clone()),
+                    };
+                    ctx.send(to, msg.wire_bytes(), msg);
+                    // Register the hash (and commitment) with the directory
+                    // so the aggregation-delay metric and the verification
+                    // path work identically across communication modes.
+                    let cid = Cid::of(blob);
+                    let signature = self.sign_registration(i, &cid, commitment);
+                    let register = Msg::RegisterGradient {
+                        trainer: self.t,
+                        partition: i,
+                        iter: self.iter,
+                        cid,
+                        commitment: *commitment,
+                        signature,
+                    };
+                    ctx.send(self.topo.directory(), register.wire_bytes(), register);
+                }
+                self.start_polling(ctx);
+            }
+            CommMode::Indirect | CommMode::MergeAndDownload => {
+                ctx.record(labels::UPLOAD_START, self.iter as f64);
+                for i in 0..self.topo.config().partitions {
+                    let (blob, _) = &self.blobs[&i];
+                    let req_id = self.next_req + 1;
+                    self.next_req = req_id;
+                    self.pending_acks.insert(req_id, i);
+                    let put = IpfsWire::Put {
+                        data: Bytes::from(blob.clone()),
+                        req_id,
+                        replicate: self.topo.config().replication,
+                    };
+                    let to = self.topo.upload_target(i, self.t);
+                    ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
+                }
+            }
+        }
+    }
+
+    fn on_put_ack(&mut self, ctx: &mut Context<'_, Msg>, cid: Cid, req_id: u64) {
+        let Some(partition) = self.pending_acks.remove(&req_id) else { return };
+        self.uploads.push((self.topo.upload_target(partition, self.t), cid));
+        let commitment = self.blobs[&partition].1;
+        if self.topo.config().compact_registration {
+            // Accumulate; one batched registration goes out with the last
+            // acknowledgment (§VI directory-load reduction).
+            self.batch_entries.push((partition, cid, commitment));
+        } else {
+            let signature = self.sign_registration(partition, &cid, &commitment);
+            let msg = Msg::RegisterGradient {
+                trainer: self.t,
+                partition,
+                iter: self.iter,
+                cid,
+                commitment,
+                signature,
+            };
+            ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        }
+        self.acked += 1;
+        if self.acked == self.topo.config().partitions {
+            if self.topo.config().compact_registration {
+                let entries = std::mem::take(&mut self.batch_entries);
+                let signature = self.signing_key.as_ref().map(|key| {
+                    key.sign(&batch_registration_message(self.t, self.iter, &entries))
+                        .to_bytes()
+                });
+                let msg = Msg::RegisterGradientBatch {
+                    trainer: self.t,
+                    iter: self.iter,
+                    entries,
+                    signature,
+                };
+                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            }
+            // Upload delay = last store acknowledgment − upload start (§V).
+            ctx.record(labels::UPLOAD_DONE, self.iter as f64);
+            self.start_polling(ctx);
+        }
+    }
+
+    fn start_polling(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.polling {
+            self.polling = true;
+            ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+        }
+    }
+
+    fn poll(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.finished {
+            self.polling = false;
+            return;
+        }
+        let mut outstanding = false;
+        for i in 0..self.topo.config().partitions {
+            if !self.received.contains_key(&i) && !self.fetching.contains(&i) {
+                outstanding = true;
+                let msg = Msg::QueryUpdate { partition: i, iter: self.iter };
+                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            }
+            if self.topo.config().trainer_verifies
+                && !self.received.contains_key(&i)
+                && !self.accumulators.contains_key(&i)
+            {
+                outstanding = true;
+                let msg = Msg::QueryTotalAccumulator { partition: i, iter: self.iter };
+                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            }
+        }
+        if outstanding || !self.fetching.is_empty() {
+            ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+        } else {
+            self.polling = false;
+        }
+    }
+
+    fn on_update_info(&mut self, ctx: &mut Context<'_, Msg>, partition: usize, cid: Option<Cid>) {
+        let Some(cid) = cid else { return };
+        if self.finished
+            || self.received.contains_key(&partition)
+            || self.unverified_updates.contains_key(&partition)
+            || self.fetching.contains(&partition)
+        {
+            return;
+        }
+        self.fetching.insert(partition);
+        let req_id = self.fresh_req();
+        self.pending_gets.insert(req_id, partition);
+        let get = IpfsWire::Get { cid, req_id };
+        let gateway = self.topo.trainer_gateway(self.t);
+        ctx.send(gateway, get.wire_bytes(), Msg::Ipfs(get));
+    }
+
+    fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8]) {
+        let Some(partition) = self.pending_gets.remove(&req_id) else { return };
+        self.fetching.remove(&partition);
+        self.accept_update(ctx, partition, data.to_vec());
+    }
+
+    /// Validates (and in trainer-verification mode, cryptographically
+    /// verifies) a downloaded update blob, then applies it.
+    fn accept_update(&mut self, ctx: &mut Context<'_, Msg>, partition: usize, data: Vec<u8>) {
+        if self.finished || self.received.contains_key(&partition) {
+            return;
+        }
+        if self.topo.config().trainer_verifies {
+            match self.accumulators.get(&partition) {
+                Some(acc) => {
+                    let key = self.key.as_ref().expect("verifiable mode").clone();
+                    if !verify_blob(&key, &data, acc) {
+                        // Never accept an unverified update (the poll loop
+                        // will re-fetch if a correct one appears).
+                        ctx.record("trainer_rejected_update", partition as f64);
+                        return;
+                    }
+                }
+                None => {
+                    // Accumulator not known yet; stash and re-check later.
+                    self.unverified_updates.insert(partition, data);
+                    return;
+                }
+            }
+        }
+        let Some((averaged, _count)) = decode_update(&data) else {
+            return; // corrupt update: retry via polling
+        };
+        if averaged.len() != self.topo.partition_len(partition) {
+            return;
+        }
+        self.received.insert(partition, averaged);
+        if self.received.len() == self.topo.config().partitions {
+            self.finish_round(ctx);
+        }
+    }
+
+    fn finish_round(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.finished = true;
+        // Rebuild the full model by concatenating updated partitions
+        // (Algorithm 1, line 23).
+        for (i, values) in self.received.drain() {
+            let (s, e) = self.topo.partition_range(i);
+            self.params[s..e].copy_from_slice(&values);
+        }
+        self.sink.borrow_mut().insert(self.t, self.params.clone());
+        ctx.record(labels::TRAINER_ROUND_DONE, self.iter as f64);
+        let msg = Msg::TrainerDone { trainer: self.t, iter: self.iter };
+        ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        self.polling = false;
+    }
+}
+
+impl<M: Model> Actor<Msg> for Trainer<M> {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::StartRound { iter } => self.begin_round(ctx, iter),
+            Msg::UpdateInfo { partition, iter, cid } if iter == self.iter => {
+                self.on_update_info(ctx, partition, cid);
+            }
+            Msg::TotalAccumulator { partition, iter, accumulated } if iter == self.iter => {
+                if let Some(c) = accumulated.and_then(|b| ProtocolCommitment::from_bytes(&b)) {
+                    self.accumulators.entry(partition).or_insert(c);
+                    if let Some(blob) = self.unverified_updates.remove(&partition) {
+                        self.accept_update(ctx, partition, blob);
+                    }
+                }
+            }
+            Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(ctx, cid, req_id),
+            Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
+                let data = data.to_vec();
+                self.on_update_blob(ctx, req_id, &data);
+            }
+            Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
+                // Allow the poll loop to retry the partition.
+                if let Some(partition) = self.pending_gets.remove(&req_id) {
+                    self.fetching.remove(&partition);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        match token & !0xFFFF_FFFF {
+            TK_TRAIN => self.upload(ctx),
+            TK_POLL => self.poll(ctx),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Multi-scalar multiplication (MSM): computing `Σ kᵢ·Pᵢ`.
+//!
+//! Pedersen vector commitments are exactly one MSM, so this is the hot path
+//! the paper identifies as the verifiability bottleneck (§V, Fig. 3). Three
+//! strategies are provided:
+//!
+//! * [`msm_naive`] — one scalar multiplication per term, summed. This models
+//!   the paper's "rather straight-forward" Bouncy Castle implementation and
+//!   is the baseline in the `ablate_msm` bench.
+//! * [`msm_wnaf`] — same structure but shares the wNAF ladder; a modest
+//!   constant-factor improvement.
+//! * [`msm_pippenger`] — bucket method with an adaptive window, the
+//!   multi-exponentiation optimization the paper cites as future work
+//!   ([Möller '01; Borges et al. '17]).
+//!
+//! [`msm_auto`] picks a strategy by input size and is what the commitment
+//! code uses.
+
+use crate::curve::{Affine, Curve, Jacobian, Scalar};
+
+/// Naive MSM: independent double-and-add per term.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    let mut acc = Jacobian::identity();
+    for (p, k) in points.iter().zip(scalars) {
+        // Plain binary double-and-add, deliberately unoptimized.
+        let bits = k.to_canonical();
+        let mut term = Jacobian::identity();
+        for i in (0..bits.bit_len()).rev() {
+            term = term.double();
+            if bits.bit(i) {
+                term = term.add_affine(p);
+            }
+        }
+        acc = acc.add(&term);
+    }
+    acc
+}
+
+/// MSM using a per-term width-5 wNAF ladder.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    let mut acc = Jacobian::identity();
+    for (p, k) in points.iter().zip(scalars) {
+        acc = acc.add(&p.mul(k));
+    }
+    acc
+}
+
+/// Pippenger bucket MSM.
+///
+/// Splits each 256-bit scalar into windows of `c` bits, accumulates points
+/// into per-window buckets, and combines buckets with the running-sum trick.
+/// Cost is roughly `256/c · (2^c + n)` point additions, versus `n · 256`
+/// for the naive method.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    let n = points.len();
+    if n == 0 {
+        return Jacobian::identity();
+    }
+    let c = window_size(n);
+    let windows = 256usize.div_ceil(c);
+    let canonical: Vec<_> = scalars.iter().map(|s| s.to_canonical()).collect();
+
+    let mut window_sums = Vec::with_capacity(windows);
+    for w in 0..windows {
+        // Buckets 1..2^c−1 (bucket 0 contributes nothing).
+        let mut buckets = vec![Jacobian::<C>::identity(); (1 << c) - 1];
+        for (k, p) in canonical.iter().zip(points) {
+            let digit = window_digit(k, w, c);
+            if digit != 0 {
+                buckets[digit - 1] = buckets[digit - 1].add_affine(p);
+            }
+        }
+        // Running-sum trick: Σ i·Bᵢ with 2·(2^c − 1) additions.
+        let mut running = Jacobian::identity();
+        let mut sum = Jacobian::identity();
+        for bucket in buckets.iter().rev() {
+            running = running.add(bucket);
+            sum = sum.add(&running);
+        }
+        window_sums.push(sum);
+    }
+
+    // Combine: result = Σ_w (window_sum_w << (w·c)), highest window first.
+    let mut acc = Jacobian::identity();
+    for sum in window_sums.iter().rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc = acc.add(sum);
+    }
+    acc
+}
+
+/// Extracts the `w`-th `c`-bit window of `k` as an unsigned digit.
+fn window_digit(k: &crate::bigint::U256, w: usize, c: usize) -> usize {
+    let start = w * c;
+    let mut digit = 0usize;
+    for bit in (start..(start + c).min(256)).rev() {
+        digit = (digit << 1) | k.bit(bit) as usize;
+    }
+    digit
+}
+
+/// Chooses the Pippenger window size for `n` terms (≈ log₂ n − 2, clamped).
+fn window_size(n: usize) -> usize {
+    let log = usize::BITS as usize - n.leading_zeros() as usize; // ⌈log2⌉-ish
+    log.saturating_sub(2).clamp(1, 16)
+}
+
+/// Picks an MSM strategy by input size: wNAF for small inputs (where
+/// Pippenger's bucket setup dominates) and Pippenger otherwise.
+pub fn msm_auto<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    if points.len() < 32 {
+        msm_wnaf(points, scalars)
+    } else {
+        msm_pippenger(points, scalars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::Secp256k1;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type C = Secp256k1;
+
+    fn random_instance(n: usize, seed: u64) -> (Vec<Affine<C>>, Vec<Scalar<C>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<_> = (0..n).map(|_| Affine::<C>::random(&mut rng)).collect();
+        let scalars: Vec<_> = (0..n).map(|_| Scalar::<C>::random(&mut rng)).collect();
+        (points, scalars)
+    }
+
+    #[test]
+    fn empty_input_is_identity() {
+        assert!(msm_naive::<C>(&[], &[]).is_identity());
+        assert!(msm_wnaf::<C>(&[], &[]).is_identity());
+        assert!(msm_pippenger::<C>(&[], &[]).is_identity());
+    }
+
+    #[test]
+    fn single_term_matches_scalar_mul() {
+        let (points, scalars) = random_instance(1, 1);
+        let expect = points[0].mul(&scalars[0]);
+        assert_eq!(msm_naive(&points, &scalars), expect);
+        assert_eq!(msm_pippenger(&points, &scalars), expect);
+    }
+
+    #[test]
+    fn all_strategies_agree_small() {
+        for n in [2, 3, 7, 16] {
+            let (points, scalars) = random_instance(n, n as u64);
+            let naive = msm_naive(&points, &scalars);
+            assert_eq!(msm_wnaf(&points, &scalars), naive, "wnaf n={n}");
+            assert_eq!(msm_pippenger(&points, &scalars), naive, "pippenger n={n}");
+            assert_eq!(msm_auto(&points, &scalars), naive, "auto n={n}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_medium() {
+        let (points, scalars) = random_instance(100, 99);
+        let naive = msm_naive(&points, &scalars);
+        assert_eq!(msm_wnaf(&points, &scalars), naive);
+        assert_eq!(msm_pippenger(&points, &scalars), naive);
+    }
+
+    #[test]
+    fn zero_scalars_yield_identity() {
+        let (points, _) = random_instance(8, 42);
+        let zeros = vec![Scalar::<C>::ZERO; 8];
+        assert!(msm_pippenger(&points, &zeros).is_identity());
+        assert!(msm_naive(&points, &zeros).is_identity());
+    }
+
+    #[test]
+    fn sparse_scalars() {
+        // Mostly zeros with a couple of small values — exercises empty buckets.
+        let (points, _) = random_instance(50, 7);
+        let mut scalars = vec![Scalar::<C>::ZERO; 50];
+        scalars[3] = Scalar::<C>::from_u64(2);
+        scalars[47] = Scalar::<C>::from_u64(1 << 30);
+        let expect = points[3]
+            .mul(&scalars[3])
+            .add(&points[47].mul(&scalars[47]));
+        assert_eq!(msm_pippenger(&points, &scalars), expect);
+    }
+
+    #[test]
+    fn window_digit_extraction() {
+        let k = crate::bigint::U256::from_u64(0b1011_0110);
+        assert_eq!(window_digit(&k, 0, 4), 0b0110);
+        assert_eq!(window_digit(&k, 1, 4), 0b1011);
+        assert_eq!(window_digit(&k, 2, 4), 0);
+    }
+
+    #[test]
+    fn window_size_monotone() {
+        let mut last = 0;
+        for n in [1, 10, 100, 1_000, 10_000, 100_000] {
+            let w = window_size(n);
+            assert!(w >= last, "window size should not shrink with n");
+            assert!((1..=16).contains(&w));
+            last = w;
+        }
+    }
+
+    #[test]
+    fn repeated_points_accumulate() {
+        // Same point many times with scalar 1 = n·P.
+        let mut rng = StdRng::seed_from_u64(64);
+        let p = Affine::<C>::random(&mut rng);
+        let n = rng.gen_range(33..80); // force the Pippenger path in msm_auto
+        let points = vec![p; n];
+        let scalars = vec![Scalar::<C>::ONE; n];
+        let expect = p.mul(&Scalar::<C>::from_u64(n as u64));
+        assert_eq!(msm_auto(&points, &scalars), expect);
+    }
+}

@@ -1,0 +1,481 @@
+//! Pedersen vector commitments with homomorphic addition (§IV-A of the
+//! paper).
+//!
+//! A commitment to a vector `v` is `C = Π hᵢ^(vᵢ)` where `{hᵢ}` are public
+//! generators with unknown discrete-log relations. Written additively:
+//! `C = Σ vᵢ·Hᵢ`. The scheme is *vector binding* under the discrete-log
+//! assumption and *additively homomorphic*: `C(v₁) + C(v₂) = C(v₁ + v₂)`,
+//! which is exactly the property the directory service exploits to verify
+//! aggregation (§IV-B).
+//!
+//! ```
+//! use dfl_crypto::curve::Secp256k1;
+//! use dfl_crypto::pedersen::CommitKey;
+//! use dfl_crypto::curve::Scalar;
+//!
+//! let key = CommitKey::<Secp256k1>::setup(4, b"example");
+//! let v1: Vec<_> = (1..=4u64).map(Scalar::<Secp256k1>::from_u64).collect();
+//! let v2: Vec<_> = (5..=8u64).map(Scalar::<Secp256k1>::from_u64).collect();
+//! let sum: Vec<_> = v1.iter().zip(&v2).map(|(a, b)| *a + *b).collect();
+//!
+//! let c1 = key.commit(&v1);
+//! let c2 = key.commit(&v2);
+//! assert_eq!(c1.combine(&c2), key.commit(&sum));
+//! assert!(key.verify(&sum, &c1.combine(&c2)));
+//! ```
+
+use std::fmt;
+
+use crate::bigint::U256;
+use crate::curve::{Affine, Curve, Jacobian, Scalar};
+use crate::field::Fp;
+use crate::msm;
+use crate::sha256::Sha256;
+
+/// Public parameters: a vector of generators with no known discrete-log
+/// relations, derived from a seed by hash-to-curve (try-and-increment), so
+/// any party can recompute and audit them ("nothing up my sleeve").
+#[derive(Clone, PartialEq, Eq)]
+pub struct CommitKey<C: Curve> {
+    generators: Vec<Affine<C>>,
+    seed: Vec<u8>,
+}
+
+impl<C: Curve> CommitKey<C> {
+    /// Derives `n` generators from `seed`.
+    pub fn setup(n: usize, seed: &[u8]) -> CommitKey<C> {
+        let generators = (0..n).map(|i| hash_to_curve::<C>(seed, i as u64)).collect();
+        CommitKey { generators, seed: seed.to_vec() }
+    }
+
+    /// Number of generators (the maximum committable vector length).
+    pub fn len(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// `true` if the key holds no generators.
+    pub fn is_empty(&self) -> bool {
+        self.generators.is_empty()
+    }
+
+    /// The generator points.
+    pub fn generators(&self) -> &[Affine<C>] {
+        &self.generators
+    }
+
+    /// The seed the generators were derived from.
+    pub fn seed(&self) -> &[u8] {
+        &self.seed
+    }
+
+    /// Extends the key in place so it covers vectors of length `n`
+    /// (deterministic: the first generators never change).
+    pub fn extend_to(&mut self, n: usize) {
+        for i in self.generators.len()..n {
+            self.generators.push(hash_to_curve::<C>(&self.seed, i as u64));
+        }
+    }
+
+    /// Commits to `values` (must not exceed the key length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > self.len()`.
+    pub fn commit(&self, values: &[Scalar<C>]) -> Commitment<C> {
+        assert!(
+            values.len() <= self.generators.len(),
+            "vector length {} exceeds key length {}",
+            values.len(),
+            self.generators.len()
+        );
+        let point = msm::msm_auto(&self.generators[..values.len()], values);
+        Commitment { point }
+    }
+
+    /// Commits using the naive MSM (models the paper's unoptimized
+    /// implementation; used by the Fig. 3 benchmark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > self.len()`.
+    pub fn commit_naive(&self, values: &[Scalar<C>]) -> Commitment<C> {
+        assert!(values.len() <= self.generators.len());
+        Commitment { point: msm::msm_naive(&self.generators[..values.len()], values) }
+    }
+
+    /// Verifies that `commitment` opens to `values` by recomputing.
+    pub fn verify(&self, values: &[Scalar<C>], commitment: &Commitment<C>) -> bool {
+        if values.len() > self.generators.len() {
+            return false;
+        }
+        self.commit(values) == *commitment
+    }
+
+    /// Verifies many `(values, commitment)` pairs at once with a random
+    /// linear combination: sample coefficients `rᵢ`, check that
+    /// `commit(Σ rᵢ·vᵢ) = Σ rᵢ·Cᵢ`. One length-`n` MSM plus `k` short
+    /// scalar multiplications replaces `k` full MSMs — the §VI
+    /// "minimize the query load of the directory service" direction, since
+    /// a directory can batch all partitions of a round into one check.
+    ///
+    /// Sound for adversarially chosen inputs: if any pair fails
+    /// individually, the batched identity holds with probability ≤ 1/2¹²⁸
+    /// over the coefficients, which are derived by hashing the full input
+    /// (Fiat–Shamir style), so the prover cannot choose openings after
+    /// seeing them.
+    ///
+    /// Returns `true` for an empty batch.
+    pub fn batch_verify(&self, items: &[(&[Scalar<C>], &Commitment<C>)]) -> bool {
+        if items.is_empty() {
+            return true;
+        }
+        if items.iter().any(|(v, _)| v.len() > self.generators.len()) {
+            return false;
+        }
+        // Derive the combination coefficients from a transcript of every
+        // input so they are unpredictable to whoever produced the items.
+        let mut transcript = Sha256::new();
+        transcript.update(b"dfl-pedersen-batch");
+        transcript.update(&self.seed);
+        for (values, commitment) in items {
+            transcript.update(&(values.len() as u64).to_be_bytes());
+            for v in values.iter() {
+                transcript.update(&v.to_be_bytes());
+            }
+            transcript.update(&commitment.to_bytes());
+        }
+        let root = transcript.finalize();
+        let coeff = |i: usize| -> Scalar<C> {
+            let mut h = Sha256::new();
+            h.update(&root);
+            h.update(&(i as u64).to_be_bytes());
+            // A uniform 256-bit value reduced once; bias ≤ 2⁻¹²⁸ for the
+            // secp group orders.
+            Scalar::<C>::from_canonical(
+                crate::bigint::U256::from_be_bytes(h.finalize())
+                    .reduce_once(&<C::Scalar as crate::field::FieldParams>::MODULUS),
+            )
+        };
+
+        let width = items.iter().map(|(v, _)| v.len()).max().unwrap_or(0);
+        let mut combined_values = vec![Scalar::<C>::ZERO; width];
+        let mut combined_commitment = Jacobian::<C>::identity();
+        for (i, (values, commitment)) in items.iter().enumerate() {
+            let r = coeff(i);
+            for (acc, v) in combined_values.iter_mut().zip(values.iter()) {
+                *acc += r * *v;
+            }
+            combined_commitment =
+                combined_commitment.add(&commitment.point().to_affine().mul(&r));
+        }
+        self.commit(&combined_values) == Commitment { point: combined_commitment }
+    }
+}
+
+impl<C: Curve> fmt::Debug for CommitKey<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CommitKey<{}>(n={})", C::NAME, self.generators.len())
+    }
+}
+
+/// A Pedersen commitment: a single group element, constant size regardless
+/// of the committed vector's length.
+#[derive(Copy, Clone, PartialEq, Eq)]
+pub struct Commitment<C: Curve> {
+    point: Jacobian<C>,
+}
+
+impl<C: Curve> Commitment<C> {
+    /// The commitment to the zero vector (the group identity).
+    pub fn identity() -> Commitment<C> {
+        Commitment { point: Jacobian::identity() }
+    }
+
+    /// Homomorphic combination: `C(v₁) ⊕ C(v₂) = C(v₁ + v₂)`.
+    pub fn combine(&self, rhs: &Commitment<C>) -> Commitment<C> {
+        Commitment { point: self.point.add(&rhs.point) }
+    }
+
+    /// Combines (accumulates) many commitments; the "accumulated
+    /// commitment" the directory service stores per partition (§IV-B).
+    pub fn accumulate<'a, I: IntoIterator<Item = &'a Commitment<C>>>(iter: I) -> Commitment<C> {
+        iter.into_iter().fold(Commitment::identity(), |acc, c| acc.combine(c))
+    }
+
+    /// The underlying group element.
+    pub fn point(&self) -> Jacobian<C> {
+        self.point
+    }
+
+    /// Serializes as a 33-byte compressed point.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.point.to_affine().to_compressed()
+    }
+
+    /// Deserializes from a 33-byte compressed point.
+    pub fn from_bytes(bytes: &[u8; 33]) -> Option<Commitment<C>> {
+        Affine::from_compressed(bytes).map(|p| Commitment { point: p.to_jacobian() })
+    }
+}
+
+impl<C: Curve> fmt::Debug for Commitment<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.to_bytes();
+        write!(f, "Commitment<{}>(0x", C::NAME)?;
+        for b in &bytes[..9] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+impl<C: Curve> Default for Commitment<C> {
+    fn default() -> Self {
+        Commitment::identity()
+    }
+}
+
+/// Derives the `index`-th generator from `seed` by try-and-increment:
+/// hash `(seed, index, counter)` to an x-coordinate candidate and take the
+/// first that lies on the curve (even-y branch). Both curves have cofactor 1
+/// so any curve point generates the full group.
+fn hash_to_curve<C: Curve>(seed: &[u8], index: u64) -> Affine<C> {
+    let mut counter: u64 = 0;
+    loop {
+        let mut h = Sha256::new();
+        h.update(b"dfl-pedersen-generator");
+        h.update(seed);
+        h.update(&index.to_be_bytes());
+        h.update(&counter.to_be_bytes());
+        let digest = h.finalize();
+        let candidate = U256::from_be_bytes(digest);
+        // Rejection-sample x < p, then require x³ + ax + b to be a square.
+        if candidate.const_cmp(&<C::Base as crate::field::FieldParams>::MODULUS) < 0 {
+            let x = Fp::<C::Base>::from_canonical(candidate);
+            let rhs = (x.square() + C::a()) * x + C::b();
+            if let Some(y) = rhs.sqrt() {
+                // Deterministic branch: take the even-y root.
+                let y = if y.to_canonical().bit(0) { -y } else { y };
+                return Affine::from_xy_unchecked(x, y);
+            }
+        }
+        counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{Secp256k1, Secp256r1};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type K1 = Secp256k1;
+
+    fn key(n: usize) -> CommitKey<K1> {
+        CommitKey::setup(n, b"test-seed")
+    }
+
+    fn random_vector(n: usize, seed: u64) -> Vec<Scalar<K1>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Scalar::<K1>::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn generators_on_curve_and_distinct() {
+        let key = key(16);
+        for g in key.generators() {
+            assert!(g.is_on_curve());
+            assert!(!g.is_identity());
+        }
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                assert_ne!(key.generators()[i], key.generators()[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn setup_is_deterministic() {
+        let a = key(8);
+        let b = key(8);
+        assert_eq!(a.generators(), b.generators());
+        let c = CommitKey::<K1>::setup(8, b"other-seed");
+        assert_ne!(a.generators(), c.generators());
+    }
+
+    #[test]
+    fn extend_preserves_prefix() {
+        let mut small = key(4);
+        let big = key(12);
+        small.extend_to(12);
+        assert_eq!(small.generators(), big.generators());
+    }
+
+    #[test]
+    fn both_curves_work() {
+        let k1 = CommitKey::<Secp256k1>::setup(4, b"s");
+        let r1 = CommitKey::<Secp256r1>::setup(4, b"s");
+        let v: Vec<_> = (1..=4u64).map(Scalar::<Secp256k1>::from_u64).collect();
+        let w: Vec<_> = (1..=4u64).map(Scalar::<Secp256r1>::from_u64).collect();
+        assert!(k1.verify(&v, &k1.commit(&v)));
+        assert!(r1.verify(&w, &r1.commit(&w)));
+    }
+
+    #[test]
+    fn commit_and_verify() {
+        let key = key(32);
+        let v = random_vector(32, 1);
+        let c = key.commit(&v);
+        assert!(key.verify(&v, &c));
+        // Any single altered element breaks verification.
+        let mut altered = v.clone();
+        altered[17] += Scalar::<K1>::ONE;
+        assert!(!key.verify(&altered, &c));
+    }
+
+    #[test]
+    fn homomorphism() {
+        let key = key(16);
+        let v1 = random_vector(16, 2);
+        let v2 = random_vector(16, 3);
+        let sum: Vec<_> = v1.iter().zip(&v2).map(|(a, b)| *a + *b).collect();
+        assert_eq!(key.commit(&v1).combine(&key.commit(&v2)), key.commit(&sum));
+    }
+
+    #[test]
+    fn accumulate_many() {
+        let key = key(8);
+        let vectors: Vec<Vec<_>> = (0..5).map(|i| random_vector(8, 10 + i)).collect();
+        let commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
+        let acc = Commitment::accumulate(&commits);
+        let total: Vec<_> = (0..8)
+            .map(|j| vectors.iter().map(|v| v[j]).sum::<Scalar<K1>>())
+            .collect();
+        assert_eq!(acc, key.commit(&total));
+        assert!(key.verify(&total, &acc));
+    }
+
+    #[test]
+    fn commit_naive_matches_fast() {
+        let key = key(40);
+        let v = random_vector(40, 4);
+        assert_eq!(key.commit(&v), key.commit_naive(&v));
+    }
+
+    #[test]
+    fn empty_and_zero_vectors() {
+        let key = key(4);
+        assert_eq!(key.commit(&[]), Commitment::identity());
+        let zeros = vec![Scalar::<K1>::ZERO; 4];
+        assert_eq!(key.commit(&zeros), Commitment::identity());
+        assert!(key.verify(&zeros, &Commitment::identity()));
+    }
+
+    #[test]
+    fn shorter_vector_allowed_longer_rejected() {
+        let key = key(4);
+        let v = random_vector(3, 5);
+        assert!(key.verify(&v, &key.commit(&v)));
+        let long = random_vector(5, 6);
+        assert!(!key.verify(&long, &Commitment::identity()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds key length")]
+    fn commit_too_long_panics() {
+        let key = key(2);
+        key.commit(&random_vector(3, 7));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let key = key(8);
+        let c = key.commit(&random_vector(8, 8));
+        let decoded = Commitment::<K1>::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(decoded, c);
+        let id = Commitment::<K1>::identity();
+        assert_eq!(Commitment::<K1>::from_bytes(&id.to_bytes()).unwrap(), id);
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batches() {
+        let key = key(8);
+        let vectors: Vec<Vec<_>> = (0..5).map(|i| random_vector(8, 30 + i)).collect();
+        let commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
+        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> =
+            vectors.iter().map(Vec::as_slice).zip(commits.iter()).collect();
+        assert!(key.batch_verify(&items));
+        assert!(key.batch_verify(&[]), "empty batch is trivially valid");
+    }
+
+    #[test]
+    fn batch_verify_rejects_one_bad_pair() {
+        let key = key(8);
+        let vectors: Vec<Vec<_>> = (0..5).map(|i| random_vector(8, 40 + i)).collect();
+        let mut commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
+        // Corrupt exactly one commitment.
+        commits[3] = commits[3].combine(&key.commit(&random_vector(8, 99)));
+        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> =
+            vectors.iter().map(Vec::as_slice).zip(commits.iter()).collect();
+        assert!(!key.batch_verify(&items));
+    }
+
+    #[test]
+    fn batch_verify_rejects_swapped_openings() {
+        // Two valid pairs with their openings exchanged must fail even
+        // though the multiset of commitments is unchanged.
+        let key = key(4);
+        let v1 = random_vector(4, 50);
+        let v2 = random_vector(4, 51);
+        let c1 = key.commit(&v1);
+        let c2 = key.commit(&v2);
+        assert!(key.batch_verify(&[(&v1, &c1), (&v2, &c2)]));
+        assert!(!key.batch_verify(&[(&v1, &c2), (&v2, &c1)]));
+    }
+
+    #[test]
+    fn batch_verify_mixed_lengths() {
+        let key = key(8);
+        let short = random_vector(3, 60);
+        let long = random_vector(8, 61);
+        let cs = key.commit(&short);
+        let cl = key.commit(&long);
+        assert!(key.batch_verify(&[(&short, &cs), (&long, &cl)]));
+        // Over-long vector rejected outright.
+        let too_long = random_vector(9, 62);
+        assert!(!key.batch_verify(&[(&too_long, &cs)]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_homomorphism_small_vectors(
+            a in proptest::collection::vec(0u64..1_000_000, 6),
+            b in proptest::collection::vec(0u64..1_000_000, 6),
+        ) {
+            let key = key(6);
+            let va: Vec<_> = a.iter().map(|&x| Scalar::<K1>::from_u64(x)).collect();
+            let vb: Vec<_> = b.iter().map(|&x| Scalar::<K1>::from_u64(x)).collect();
+            let sum: Vec<_> = va.iter().zip(&vb).map(|(x, y)| *x + *y).collect();
+            prop_assert_eq!(
+                key.commit(&va).combine(&key.commit(&vb)),
+                key.commit(&sum)
+            );
+        }
+
+        #[test]
+        fn prop_binding_on_distinct_vectors(
+            a in proptest::collection::vec(0u64..1_000_000, 5),
+            b in proptest::collection::vec(0u64..1_000_000, 5),
+        ) {
+            prop_assume!(a != b);
+            let key = key(5);
+            let va: Vec<_> = a.iter().map(|&x| Scalar::<K1>::from_u64(x)).collect();
+            let vb: Vec<_> = b.iter().map(|&x| Scalar::<K1>::from_u64(x)).collect();
+            prop_assert_ne!(key.commit(&va), key.commit(&vb));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Fixed-point quantization of gradient values into commitment scalars.
+//!
+//! Pedersen commitments operate over a prime field, while gradients are
+//! floating-point vectors. To make commitment addition match gradient
+//! addition, each `f32` is scaled by `2^FRACTIONAL_BITS`, rounded to an
+//! integer, and embedded into the scalar field with negatives mapped to
+//! `n - |v|`. Field addition then agrees with signed fixed-point addition as
+//! long as accumulated magnitudes stay far below `n / 2` — trivially true
+//! for any realistic number of trainers, since `n ≈ 2^256` and each term is
+//! below `2^63`.
+//!
+//! Aggregators sum *quantized* values, the directory verifies commitments
+//! over the same quantized domain, and trainers dequantize after download,
+//! so the verifiable path and the numeric path can never diverge.
+
+use crate::bigint::U256;
+use crate::curve::{Curve, Scalar};
+use crate::field::{FieldParams, Fp};
+
+/// Number of fractional bits in the fixed-point representation.
+///
+/// 24 bits keeps quantization error below `6e-8` per element while leaving
+/// ~38 bits of integer headroom inside an `i64` before field embedding.
+pub const FRACTIONAL_BITS: u32 = 24;
+
+/// Scale factor `2^FRACTIONAL_BITS`.
+pub const SCALE: f64 = (1u64 << FRACTIONAL_BITS) as f64;
+
+/// A quantized gradient value: a signed fixed-point integer.
+///
+/// Kept as an explicit newtype so protocol code can sum gradients cheaply in
+/// the integer domain (what IPFS merge nodes do) and only embed into the
+/// field when committing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Quantized(pub i64);
+
+impl Quantized {
+    /// Quantizes an `f32` (or any value convertible to `f64`).
+    pub fn from_f64(v: f64) -> Quantized {
+        Quantized((v * SCALE).round() as i64)
+    }
+
+    /// Recovers the real value.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / SCALE
+    }
+
+    /// Saturating addition (sums of honest gradients never saturate; the
+    /// guard exists so adversarial inputs cannot cause UB-adjacent wrapping).
+    pub fn saturating_add(self, rhs: Quantized) -> Quantized {
+        Quantized(self.0.saturating_add(rhs.0))
+    }
+
+    /// Embeds the signed value into the scalar field of curve `C`.
+    pub fn to_scalar<C: Curve>(self) -> Scalar<C> {
+        Fp::from_i64(self.0)
+    }
+
+    /// Extracts a signed value back out of a field element, interpreting
+    /// canonical values above `n/2` as negative. Returns `None` if the
+    /// magnitude does not fit in an `i64` (which honest protocol data never
+    /// produces).
+    pub fn from_scalar<C: Curve>(s: &Scalar<C>) -> Option<Quantized> {
+        let canonical = s.to_canonical();
+        let half = <C::Scalar as FieldParams>::MODULUS.shr(1);
+        if canonical.const_cmp(&half) <= 0 {
+            let v = canonical.to_u128()?;
+            i64::try_from(v).ok().map(Quantized)
+        } else {
+            let neg = <C::Scalar as FieldParams>::MODULUS.wrapping_sub(&canonical);
+            let v = neg.to_u128()?;
+            i64::try_from(v).ok().map(|x| Quantized(-x))
+        }
+    }
+}
+
+/// Quantizes a slice of `f32` gradient values.
+pub fn quantize_vector(values: &[f32]) -> Vec<Quantized> {
+    values.iter().map(|&v| Quantized::from_f64(v as f64)).collect()
+}
+
+/// Dequantizes back to `f32`.
+pub fn dequantize_vector(values: &[Quantized]) -> Vec<f32> {
+    values.iter().map(|q| q.to_f64() as f32).collect()
+}
+
+/// Element-wise sum of quantized vectors (the aggregation operation).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn sum_quantized(vectors: &[Vec<Quantized>]) -> Vec<Quantized> {
+    let Some(first) = vectors.first() else { return Vec::new() };
+    let mut acc = first.clone();
+    for v in &vectors[1..] {
+        assert_eq!(v.len(), acc.len(), "gradient length mismatch");
+        for (a, b) in acc.iter_mut().zip(v) {
+            *a = a.saturating_add(*b);
+        }
+    }
+    acc
+}
+
+/// Converts a quantized vector into scalars for committing.
+pub fn to_scalars<C: Curve>(values: &[Quantized]) -> Vec<Scalar<C>> {
+    values.iter().map(|q| q.to_scalar::<C>()).collect()
+}
+
+/// Serializes a quantized vector to little-endian bytes (8 per element);
+/// the wire format gradients travel in over the storage network.
+pub fn encode(values: &[Quantized]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for q in values {
+        out.extend_from_slice(&q.0.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a quantized vector; `None` if the length is not a multiple
+/// of 8 bytes.
+pub fn decode(bytes: &[u8]) -> Option<Vec<Quantized>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| Quantized(i64::from_le_bytes(c.try_into().expect("chunk of 8"))))
+            .collect(),
+    )
+}
+
+/// The largest canonical scalar considered "positive" when decoding; kept
+/// public so tests can probe the boundary.
+pub fn positive_bound<C: Curve>() -> U256 {
+    <C::Scalar as FieldParams>::MODULUS.shr(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::Secp256k1;
+    use crate::pedersen::CommitKey;
+    use proptest::prelude::*;
+
+    type C = Secp256k1;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [-1.0f64, 0.0, 1.0, 0.5, -0.25, 1234.0, -4096.5] {
+            let q = Quantized::from_f64(v);
+            assert_eq!(q.to_f64(), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        for v in [0.1f64, -0.3, 3.14159, -2.71828, 1e-6] {
+            let err = (Quantized::from_f64(v).to_f64() - v).abs();
+            assert!(err <= 0.5 / SCALE, "error {err} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn scalar_embedding_round_trip() {
+        for raw in [0i64, 1, -1, 42, -42, i64::MAX / 2, i64::MIN / 2] {
+            let q = Quantized(raw);
+            let s = q.to_scalar::<C>();
+            assert_eq!(Quantized::from_scalar::<C>(&s), Some(q), "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn scalar_addition_matches_integer_addition() {
+        let a = Quantized::from_f64(1.5);
+        let b = Quantized::from_f64(-2.25);
+        let s = a.to_scalar::<C>() + b.to_scalar::<C>();
+        assert_eq!(Quantized::from_scalar::<C>(&s), Some(Quantized(a.0 + b.0)));
+        assert_eq!(Quantized::from_scalar::<C>(&s).unwrap().to_f64(), -0.75);
+    }
+
+    #[test]
+    fn huge_scalar_rejected() {
+        // A scalar of magnitude ~2^200 does not fit in i64.
+        let big = Scalar::<C>::from_canonical(U256::from_u64(1).shl(200));
+        assert_eq!(Quantized::from_scalar::<C>(&big), None);
+    }
+
+    #[test]
+    fn sum_quantized_matches_elementwise() {
+        let vs = vec![
+            quantize_vector(&[1.0, 2.0, 3.0]),
+            quantize_vector(&[0.5, -1.0, 0.0]),
+            quantize_vector(&[-0.25, 0.25, 1.0]),
+        ];
+        let sum = sum_quantized(&vs);
+        let real = dequantize_vector(&sum);
+        assert_eq!(real, vec![1.25, 1.25, 4.0]);
+    }
+
+    #[test]
+    fn sum_of_empty_is_empty() {
+        assert!(sum_quantized(&[]).is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v = quantize_vector(&[0.0, 1.5, -3.25, 1e4]);
+        assert_eq!(decode(&encode(&v)), Some(v));
+        assert_eq!(decode(&[1, 2, 3]), None);
+        assert_eq!(decode(&[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn commitment_respects_quantized_sum() {
+        // The end-to-end property the protocol relies on: committing to each
+        // trainer's quantized gradient and combining equals committing to the
+        // quantized sum.
+        let key = CommitKey::<C>::setup(4, b"q");
+        let g1 = quantize_vector(&[0.5, -1.0, 2.0, 0.0]);
+        let g2 = quantize_vector(&[1.5, 1.0, -2.0, 3.0]);
+        let c1 = key.commit(&to_scalars::<C>(&g1));
+        let c2 = key.commit(&to_scalars::<C>(&g2));
+        let sum = sum_quantized(&[g1, g2]);
+        assert_eq!(c1.combine(&c2), key.commit(&to_scalars::<C>(&sum)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_embedding_round_trip(raw in any::<i64>()) {
+            // saturating domain: avoid i64::MIN whose abs overflows
+            prop_assume!(raw != i64::MIN);
+            let q = Quantized(raw);
+            prop_assert_eq!(Quantized::from_scalar::<C>(&q.to_scalar::<C>()), Some(q));
+        }
+
+        #[test]
+        fn prop_field_add_matches_i128_add(a in -(1i64<<40)..(1i64<<40), b in -(1i64<<40)..(1i64<<40)) {
+            let s = Quantized(a).to_scalar::<C>() + Quantized(b).to_scalar::<C>();
+            prop_assert_eq!(Quantized::from_scalar::<C>(&s), Some(Quantized(a + b)));
+        }
+
+        #[test]
+        fn prop_encode_decode(vals in proptest::collection::vec(any::<i64>(), 0..64)) {
+            let v: Vec<Quantized> = vals.into_iter().map(Quantized).collect();
+            prop_assert_eq!(decode(&encode(&v)), Some(v));
+        }
+    }
+}

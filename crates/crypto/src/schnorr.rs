@@ -1,0 +1,282 @@
+//! Schnorr signatures over the crate's curves.
+//!
+//! The paper's directory service accumulates each trainer's gradient
+//! commitment and verifies aggregators' updates against the accumulation
+//! (§IV-B). That defence assumes registrations really come from the
+//! claimed trainer — otherwise a malicious aggregator could register a
+//! forged commitment under a trainer's name and make its own doctored
+//! update "verify". Directory registrations are therefore signed; this
+//! module provides the signature scheme (classic Schnorr, the natural
+//! companion to Pedersen commitments since both live in the same group).
+//!
+//! Signing: `R = k·G`, `e = H(R ‖ P ‖ m)`, `s = k + e·x`.
+//! Verifying: `s·G == R + e·P`.
+
+use rand::Rng;
+
+use crate::bigint::U256;
+use crate::curve::{Affine, Curve, Scalar};
+use crate::field::FieldParams;
+use crate::sha256::Sha256;
+
+/// A signing key: a scalar `x` with public point `P = x·G`.
+#[derive(Clone)]
+pub struct SigningKey<C: Curve> {
+    secret: Scalar<C>,
+    public: Affine<C>,
+}
+
+/// A verification key (curve point).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct VerifyingKey<C: Curve>(Affine<C>);
+
+/// A Schnorr signature `(R, s)`, 97 bytes serialized.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Signature<C: Curve> {
+    nonce_point: Affine<C>,
+    s: Scalar<C>,
+}
+
+impl<C: Curve> SigningKey<C> {
+    /// Generates a key from a random scalar.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> SigningKey<C> {
+        loop {
+            let secret = Scalar::<C>::random(rng);
+            if !secret.is_zero() {
+                return SigningKey::from_secret(secret);
+            }
+        }
+    }
+
+    /// Derives a key deterministically from a seed and an identity — how
+    /// task participants get keys everyone can recompute the public half
+    /// of (the bootstrapper distributes/validates them out of band).
+    pub fn derive(seed: &[u8], identity: u64) -> SigningKey<C> {
+        let mut counter = 0u64;
+        loop {
+            let mut h = Sha256::new();
+            h.update(b"dfl-schnorr-key");
+            h.update(seed);
+            h.update(&identity.to_be_bytes());
+            h.update(&counter.to_be_bytes());
+            let candidate = U256::from_be_bytes(h.finalize());
+            if candidate.const_cmp(&<C::Scalar as FieldParams>::MODULUS) < 0
+                && !candidate.is_zero()
+            {
+                return SigningKey::from_secret(Scalar::<C>::from_canonical(candidate));
+            }
+            counter += 1;
+        }
+    }
+
+    /// Wraps an existing secret scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero secret.
+    pub fn from_secret(secret: Scalar<C>) -> SigningKey<C> {
+        assert!(!secret.is_zero(), "zero signing key");
+        let public = C::generator().mul(&secret).to_affine();
+        SigningKey { secret, public }
+    }
+
+    /// The matching verification key.
+    pub fn verifying_key(&self) -> VerifyingKey<C> {
+        VerifyingKey(self.public)
+    }
+
+    /// Signs a message (deterministic nonce, RFC-6979 style: the nonce is
+    /// a hash of the secret and the message, so no RNG is needed and nonce
+    /// reuse across distinct messages is impossible).
+    pub fn sign(&self, message: &[u8]) -> Signature<C> {
+        let mut counter = 0u64;
+        let nonce = loop {
+            let mut h = Sha256::new();
+            h.update(b"dfl-schnorr-nonce");
+            h.update(&self.secret.to_be_bytes());
+            h.update(message);
+            h.update(&counter.to_be_bytes());
+            let candidate = U256::from_be_bytes(h.finalize());
+            if candidate.const_cmp(&<C::Scalar as FieldParams>::MODULUS) < 0
+                && !candidate.is_zero()
+            {
+                break Scalar::<C>::from_canonical(candidate);
+            }
+            counter += 1;
+        };
+        let nonce_point = C::generator().mul(&nonce).to_affine();
+        let e = challenge::<C>(&nonce_point, &self.public, message);
+        let s = nonce + e * self.secret;
+        Signature { nonce_point, s }
+    }
+}
+
+impl<C: Curve> std::fmt::Debug for SigningKey<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret.
+        write!(f, "SigningKey<{}>(public: {:?})", C::NAME, self.public)
+    }
+}
+
+impl<C: Curve> VerifyingKey<C> {
+    /// The underlying point.
+    pub fn point(&self) -> Affine<C> {
+        self.0
+    }
+
+    /// Serializes as a 33-byte compressed point.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.0.to_compressed()
+    }
+
+    /// Deserializes; `None` for malformed or off-curve input.
+    pub fn from_bytes(bytes: &[u8; 33]) -> Option<VerifyingKey<C>> {
+        let point = Affine::from_compressed(bytes)?;
+        if point.is_identity() {
+            return None;
+        }
+        Some(VerifyingKey(point))
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature<C>) -> bool {
+        if signature.nonce_point.is_identity() {
+            return false;
+        }
+        let e = challenge::<C>(&signature.nonce_point, &self.0, message);
+        let lhs = C::generator().mul(&signature.s);
+        let rhs = signature.nonce_point.to_jacobian().add(&self.0.mul(&e));
+        lhs == rhs
+    }
+}
+
+impl<C: Curve> Signature<C> {
+    /// Serializes as `R (33 bytes compressed) ‖ s (32 bytes)`.
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..33].copy_from_slice(&self.nonce_point.to_compressed());
+        out[33..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Deserializes; `None` for malformed input.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Option<Signature<C>> {
+        let mut r = [0u8; 33];
+        r.copy_from_slice(&bytes[..33]);
+        let nonce_point = Affine::from_compressed(&r)?;
+        let mut sb = [0u8; 32];
+        sb.copy_from_slice(&bytes[33..]);
+        let s = crate::field::Fp::from_be_bytes(sb)?;
+        Some(Signature { nonce_point, s })
+    }
+}
+
+/// Fiat–Shamir challenge `e = H(R ‖ P ‖ m)` reduced into the scalar field.
+fn challenge<C: Curve>(nonce_point: &Affine<C>, public: &Affine<C>, message: &[u8]) -> Scalar<C> {
+    let mut h = Sha256::new();
+    h.update(b"dfl-schnorr-challenge");
+    h.update(&nonce_point.to_compressed());
+    h.update(&public.to_compressed());
+    h.update(message);
+    let digest = U256::from_be_bytes(h.finalize());
+    Scalar::<C>::from_canonical(digest.reduce_once(&<C::Scalar as FieldParams>::MODULUS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{Secp256k1, Secp256r1};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type K = SigningKey<Secp256k1>;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = K::generate(&mut rng);
+        let sig = key.sign(b"register gradient p0 i3");
+        assert!(key.verifying_key().verify(b"register gradient p0 i3", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = K::generate(&mut rng);
+        let sig = key.sign(b"message A");
+        assert!(!key.verifying_key().verify(b"message B", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = K::generate(&mut rng);
+        let other = K::generate(&mut rng);
+        let sig = key.sign(b"msg");
+        assert!(!other.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = K::generate(&mut rng);
+        let sig = key.sign(b"msg");
+        let tampered = Signature {
+            nonce_point: sig.nonce_point,
+            s: sig.s + Scalar::<Secp256k1>::ONE,
+        };
+        assert!(!key.verifying_key().verify(b"msg", &tampered));
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let key = K::derive(b"task-seed", 7);
+        assert_eq!(key.sign(b"m").to_bytes(), key.sign(b"m").to_bytes());
+        assert_ne!(key.sign(b"m").to_bytes(), key.sign(b"n").to_bytes());
+    }
+
+    #[test]
+    fn derive_is_deterministic_per_identity() {
+        let a = K::derive(b"seed", 1);
+        let b = K::derive(b"seed", 1);
+        let c = K::derive(b"seed", 2);
+        assert_eq!(a.verifying_key(), b.verifying_key());
+        assert_ne!(a.verifying_key(), c.verifying_key());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let key = K::derive(b"s", 0);
+        let sig = key.sign(b"payload");
+        let sig2 = Signature::<Secp256k1>::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(sig, sig2);
+        let vk = key.verifying_key();
+        let vk2 = VerifyingKey::<Secp256k1>::from_bytes(&vk.to_bytes()).unwrap();
+        assert_eq!(vk, vk2);
+        assert!(vk2.verify(b"payload", &sig2));
+    }
+
+    #[test]
+    fn identity_public_key_rejected() {
+        let id = Affine::<Secp256k1>::identity().to_compressed();
+        assert!(VerifyingKey::<Secp256k1>::from_bytes(&id).is_none());
+    }
+
+    #[test]
+    fn works_on_both_curves() {
+        let k1 = SigningKey::<Secp256k1>::derive(b"x", 0);
+        let r1 = SigningKey::<Secp256r1>::derive(b"x", 0);
+        assert!(k1.verifying_key().verify(b"m", &k1.sign(b"m")));
+        assert!(r1.verifying_key().verify(b"m", &r1.sign(b"m")));
+    }
+
+    #[test]
+    fn signature_not_valid_for_other_identity_message() {
+        // Binding to the public key: a signature by A does not verify
+        // under B even for the same message and nonce point structure.
+        let a = K::derive(b"task", 1);
+        let b = K::derive(b"task", 2);
+        let sig = a.sign(b"register");
+        assert!(!b.verifying_key().verify(b"register", &sig));
+    }
+}

@@ -1,0 +1,320 @@
+//! Kademlia-style XOR-metric routing for provider records.
+//!
+//! IPFS locates content through a Kademlia DHT: provider records for a CID
+//! are stored on the nodes whose keys are XOR-closest to the CID, and
+//! lookups walk greedily toward the target through k-bucket routing tables.
+//! This module implements the metric, the routing table, and an iterative
+//! lookup over a set of simulated tables; the networked storage layer
+//! ([`crate::node`]) uses [`closest_nodes`] for provider placement and
+//! record retrieval.
+
+use std::collections::{HashMap, HashSet};
+
+use dfl_crypto::bigint::U256;
+use dfl_crypto::sha256::Sha256;
+use dfl_netsim::NodeId;
+
+/// A 256-bit DHT key (node identity or content coordinate).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Key(U256);
+
+impl Key {
+    /// Derives a node's key from its simulation id (hash of the id, so keys
+    /// spread uniformly regardless of how ids were assigned).
+    pub fn for_node(id: NodeId) -> Key {
+        let mut h = Sha256::new();
+        h.update(b"dfl-ipfs-node-key");
+        h.update(&(id.index() as u64).to_be_bytes());
+        Key(U256::from_be_bytes(h.finalize()))
+    }
+
+    /// Wraps a raw 256-bit value (e.g. a CID digest).
+    pub const fn from_u256(v: U256) -> Key {
+        Key(v)
+    }
+
+    /// XOR distance to another key.
+    pub fn distance(&self, other: &Key) -> U256 {
+        self.0.xor(&other.0)
+    }
+
+    /// The k-bucket index for a peer at this distance from us:
+    /// `255 - leading_zeros(distance)`, or `None` for ourselves.
+    pub fn bucket_index(&self, other: &Key) -> Option<usize> {
+        let d = self.distance(other);
+        if d.is_zero() {
+            None
+        } else {
+            Some(255 - d.leading_zeros() as usize)
+        }
+    }
+}
+
+/// A Kademlia routing table: 256 k-buckets of peers keyed by XOR distance.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    own: Key,
+    k: usize,
+    buckets: Vec<Vec<(NodeId, Key)>>,
+}
+
+impl RoutingTable {
+    /// Creates a table for a node with key `own` and bucket capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(own: Key, k: usize) -> RoutingTable {
+        assert!(k > 0, "bucket capacity must be positive");
+        RoutingTable { own, k, buckets: vec![Vec::new(); 256] }
+    }
+
+    /// This node's key.
+    pub fn own_key(&self) -> Key {
+        self.own
+    }
+
+    /// Observes a peer: inserts it into its bucket if there is room (or it
+    /// is already present). Returns `true` if the peer is tracked afterwards.
+    pub fn observe(&mut self, id: NodeId, key: Key) -> bool {
+        let Some(idx) = self.own.bucket_index(&key) else {
+            return false; // never track ourselves
+        };
+        let bucket = &mut self.buckets[idx];
+        if bucket.iter().any(|(existing, _)| *existing == id) {
+            return true;
+        }
+        if bucket.len() < self.k {
+            bucket.push((id, key));
+            return true;
+        }
+        false
+    }
+
+    /// All known peers.
+    pub fn peers(&self) -> impl Iterator<Item = (NodeId, Key)> + '_ {
+        self.buckets.iter().flatten().copied()
+    }
+
+    /// Number of tracked peers.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no peers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` known peers closest to `target`, nearest first.
+    pub fn closest(&self, target: &Key, n: usize) -> Vec<(NodeId, Key)> {
+        let mut peers: Vec<(NodeId, Key)> = self.peers().collect();
+        peers.sort_by_key(|(_, k)| k.distance(target));
+        peers.truncate(n);
+        peers
+    }
+}
+
+/// Selects the `n` nodes from `nodes` whose keys are closest to `target` —
+/// the provider-record placement rule (and the §VI "uniform allocation of
+/// gradients to nodes based on the hash" suggestion).
+pub fn closest_nodes(nodes: &[(NodeId, Key)], target: &Key, n: usize) -> Vec<NodeId> {
+    let mut sorted: Vec<(NodeId, Key)> = nodes.to_vec();
+    sorted.sort_by_key(|(_, k)| k.distance(target));
+    sorted.into_iter().take(n).map(|(id, _)| id).collect()
+}
+
+/// Result of a simulated iterative lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The node that ended up closest to the target.
+    pub nearest: NodeId,
+    /// Nodes contacted, in contact order (excluding the start node).
+    pub path: Vec<NodeId>,
+}
+
+/// Runs an iterative FIND_NODE from `start` toward `target` over a set of
+/// routing tables, greedily hopping to the closest known peer each step.
+/// Models lookup hop counts in a converged Kademlia network.
+///
+/// # Panics
+///
+/// Panics if `start` has no routing table.
+pub fn iterative_lookup(
+    tables: &HashMap<NodeId, RoutingTable>,
+    start: NodeId,
+    target: &Key,
+) -> LookupResult {
+    let mut current = start;
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    visited.insert(start);
+    let mut path = Vec::new();
+
+    loop {
+        let table = tables.get(&current).expect("node has a routing table");
+        let mut best: Option<(NodeId, U256)> = None;
+        for (peer, key) in table.closest(target, 8) {
+            if visited.contains(&peer) {
+                continue;
+            }
+            let d = key.distance(target);
+            if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
+                best = Some((peer, d));
+            }
+        }
+        let current_dist = table.own_key().distance(target);
+        match best {
+            Some((peer, d)) if d < current_dist => {
+                visited.insert(peer);
+                path.push(peer);
+                current = peer;
+            }
+            _ => return LookupResult { nearest: current, path },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn keys(n: usize) -> Vec<(NodeId, Key)> {
+        (0..n).map(|i| (NodeId(i), Key::for_node(NodeId(i)))).collect()
+    }
+
+    #[test]
+    fn distance_metric_axioms() {
+        let a = Key::for_node(NodeId(1));
+        let b = Key::for_node(NodeId(2));
+        let c = Key::for_node(NodeId(3));
+        assert!(a.distance(&a).is_zero());
+        assert_eq!(a.distance(&b), b.distance(&a));
+        // XOR triangle equality: d(a,c) = d(a,b) XOR d(b,c).
+        assert_eq!(a.distance(&c), a.distance(&b).xor(&b.distance(&c)));
+    }
+
+    #[test]
+    fn node_keys_are_distinct_and_spread() {
+        let ks = keys(64);
+        let unique: HashSet<_> = ks.iter().map(|(_, k)| *k).collect();
+        assert_eq!(unique.len(), 64);
+    }
+
+    #[test]
+    fn bucket_index_matches_distance_magnitude() {
+        let own = Key::for_node(NodeId(0));
+        assert_eq!(own.bucket_index(&own), None);
+        let other = Key::for_node(NodeId(1));
+        let idx = own.bucket_index(&other).unwrap();
+        let d = own.distance(&other);
+        assert_eq!(idx, 255 - d.leading_zeros() as usize);
+    }
+
+    #[test]
+    fn routing_table_capacity() {
+        let own = Key::for_node(NodeId(0));
+        let mut table = RoutingTable::new(own, 2);
+        let mut accepted = 0;
+        for (id, key) in keys(100).into_iter().skip(1) {
+            if table.observe(id, key) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(table.len(), accepted);
+        // Every bucket holds at most k peers.
+        for (id, key) in table.peers() {
+            let idx = own.bucket_index(&key).unwrap();
+            let in_bucket = table.peers().filter(|(_, k)| own.bucket_index(k) == Some(idx)).count();
+            assert!(in_bucket <= 2, "bucket {idx} overfull (peer {id})");
+        }
+        // Re-observing a tracked peer succeeds without growing.
+        let before = table.len();
+        let (id, key) = table.peers().next().unwrap();
+        assert!(table.observe(id, key));
+        assert_eq!(table.len(), before);
+    }
+
+    #[test]
+    fn observe_self_rejected() {
+        let own = Key::for_node(NodeId(5));
+        let mut table = RoutingTable::new(own, 4);
+        assert!(!table.observe(NodeId(5), own));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn closest_nodes_sorted_by_distance() {
+        let nodes = keys(16);
+        let target = Key::from_u256(dfl_crypto::bigint::U256::from_u64(0xABCD));
+        let picked = closest_nodes(&nodes, &target, 4);
+        assert_eq!(picked.len(), 4);
+        // Verify they really are the 4 closest.
+        let mut all: Vec<_> = nodes.iter().map(|(id, k)| (k.distance(&target), *id)).collect();
+        all.sort();
+        let expect: Vec<NodeId> = all.into_iter().take(4).map(|(_, id)| id).collect();
+        assert_eq!(picked, expect);
+    }
+
+    #[test]
+    fn full_tables_lookup_one_hop() {
+        // With complete routing tables the greedy lookup lands on the
+        // globally closest node in ≤ 1 hop from anywhere.
+        let nodes = keys(16);
+        let mut tables = HashMap::new();
+        for (id, key) in &nodes {
+            let mut t = RoutingTable::new(*key, 16);
+            for (oid, okey) in &nodes {
+                t.observe(*oid, *okey);
+            }
+            tables.insert(*id, t);
+        }
+        let target = Key::from_u256(dfl_crypto::bigint::U256::from_u64(42));
+        let global_best = closest_nodes(&nodes, &target, 1)[0];
+        for (start, _) in &nodes {
+            let result = iterative_lookup(&tables, *start, &target);
+            assert_eq!(result.nearest, global_best);
+            assert!(result.path.len() <= 1, "path {:?}", result.path);
+        }
+    }
+
+    #[test]
+    fn sparse_tables_lookup_logarithmic() {
+        // k=3 buckets in a 64-node network: lookups still converge to the
+        // best reachable node in a handful of hops.
+        let nodes = keys(64);
+        let mut tables = HashMap::new();
+        for (id, key) in &nodes {
+            let mut t = RoutingTable::new(*key, 3);
+            for (oid, okey) in &nodes {
+                t.observe(*oid, *okey);
+            }
+            tables.insert(*id, t);
+        }
+        let target = Key::for_node(NodeId(1000));
+        let result = iterative_lookup(&tables, NodeId(0), &target);
+        assert!(result.path.len() <= 10, "took {} hops", result.path.len());
+        // The endpoint must be a local optimum: no peer it knows is closer.
+        let end_table = &tables[&result.nearest];
+        let end_dist = end_table.own_key().distance(&target);
+        for (_, key) in end_table.peers() {
+            assert!(key.distance(&target) >= end_dist || result.path.contains(&result.nearest));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_closest_nodes_deterministic_and_bounded(
+            n in 1usize..32,
+            take in 1usize..8,
+            seed in any::<u64>(),
+        ) {
+            let nodes = keys(n);
+            let target = Key::from_u256(dfl_crypto::bigint::U256::from_u64(seed));
+            let a = closest_nodes(&nodes, &target, take);
+            let b = closest_nodes(&nodes, &target, take);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len(), take.min(n));
+        }
+    }
+}

@@ -1,0 +1,910 @@
+//! The networked storage node: put/get by CID, provider routing,
+//! replication, flood pub/sub, and the merge-and-download RPC.
+//!
+//! [`IpfsNode`] is a pure state machine: [`IpfsNode::handle`] consumes one
+//! wire message and returns the messages to send in response, so it can be
+//! unit-tested without a simulator and embedded into any
+//! [`dfl_netsim::Actor`] message type via the [`WireEmbed`] trait and the
+//! ready-made [`IpfsActor`] wrapper.
+//!
+//! Protocol participants talk to an assigned node (their *gateway*):
+//!
+//! * **Put** — the gateway stores the block, announces a provider record on
+//!   the XOR-closest nodes, optionally pushes replicas (uniformly allocated
+//!   by CID, the §VI availability suggestion), and acks with the CID.
+//! * **Get** — served locally when possible; otherwise the gateway resolves
+//!   a provider through the record holders, fetches the block node-to-node,
+//!   caches it, and responds. Retrieved bytes are always re-hashed: the
+//!   storage network is trusted for availability, never for correctness.
+//! * **Merge** — the §III-E pre-aggregation: sum a set of stored gradient
+//!   blobs and return one blob.
+//! * **Subscribe/Publish** — flood pub/sub used by aggregators to exchange
+//!   partial-update hashes during synchronization (§IV-B).
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+
+use dfl_netsim::{Actor, Context, NodeId};
+
+use crate::block::{Block, BlockStore};
+use crate::cid::Cid;
+use crate::kademlia::{closest_nodes, Key};
+use crate::merge::merge_blobs;
+
+/// Fixed per-message framing overhead charged on the simulated wire.
+pub const CONTROL_BYTES: u64 = 100;
+
+/// Number of nodes that hold the provider record for each CID.
+pub const RECORD_REPLICAS: usize = 2;
+
+/// A pub/sub topic name.
+pub type Topic = String;
+
+/// Wire messages of the storage layer.
+#[derive(Clone, Debug)]
+pub enum IpfsWire {
+    // -- client → node ----------------------------------------------------
+    /// Store `data`; push `replicate` total copies (1 = local only).
+    Put { data: Bytes, req_id: u64, replicate: usize },
+    /// Retrieve the block with this CID.
+    Get { cid: Cid, req_id: u64 },
+    /// Merge-and-download: return the element-wise sum of these gradient
+    /// blobs (§III-E).
+    Merge { cids: Vec<Cid>, req_id: u64 },
+    /// Release the sender's pin on a block (and its replicas); unpinned
+    /// blocks are garbage-collected. Ephemeral FL data — gradients and
+    /// updates — is only needed for one round (§VI).
+    Unpin {
+        /// Block to unpin.
+        cid: Cid,
+        /// The replication factor it was stored with, so replica pins are
+        /// released too.
+        replicate: usize,
+    },
+    /// Subscribe the sender to a topic.
+    Subscribe { topic: Topic },
+    /// Publish to a topic (flooded to all nodes' subscribers).
+    Publish { topic: Topic, data: Bytes },
+
+    // -- node → client -----------------------------------------------------
+    /// Put acknowledged; the data's CID.
+    PutAck { cid: Cid, req_id: u64 },
+    /// Get succeeded.
+    GetOk { cid: Cid, data: Bytes, req_id: u64 },
+    /// Get failed (no provider reachable).
+    GetErr { cid: Cid, req_id: u64 },
+    /// Merge succeeded.
+    MergeOk { data: Bytes, req_id: u64 },
+    /// Merge failed.
+    MergeErr { reason: String, req_id: u64 },
+    /// A published message on a subscribed topic.
+    Deliver { topic: Topic, data: Bytes, publisher: NodeId },
+
+    // -- node ↔ node -------------------------------------------------------
+    /// Ask a record holder who provides `cid`.
+    FindProviders { cid: Cid, req_id: u64 },
+    /// Provider-record response.
+    Providers { cid: Cid, providers: Vec<NodeId>, req_id: u64 },
+    /// Register `provider` as holding `cid` (sent to record holders).
+    Announce { cid: Cid, provider: NodeId },
+    /// Fetch a block node-to-node.
+    FetchBlock { cid: Cid, req_id: u64 },
+    /// Fetch response with data.
+    FetchOk { cid: Cid, data: Bytes, req_id: u64 },
+    /// Fetch failed (block not held).
+    FetchErr { cid: Cid, req_id: u64 },
+    /// Push a replica of a block.
+    Replicate { data: Bytes },
+    /// Remove `provider` from the record for `cid` (block was dropped).
+    Retract { cid: Cid, provider: NodeId },
+    /// Release a replica pin.
+    UnpinReplica { cid: Cid },
+    /// Flooded publish.
+    PubGossip { topic: Topic, data: Bytes, publisher: NodeId },
+}
+
+impl IpfsWire {
+    /// Bytes this message occupies on the simulated wire.
+    pub fn wire_bytes(&self) -> u64 {
+        let payload = match self {
+            IpfsWire::Put { data, .. }
+            | IpfsWire::GetOk { data, .. }
+            | IpfsWire::MergeOk { data, .. }
+            | IpfsWire::FetchOk { data, .. }
+            | IpfsWire::Replicate { data }
+            | IpfsWire::Publish { data, .. }
+            | IpfsWire::Deliver { data, .. }
+            | IpfsWire::PubGossip { data, .. } => data.len() as u64,
+            IpfsWire::Merge { cids, .. } => 32 * cids.len() as u64,
+            IpfsWire::Providers { providers, .. } => 8 * providers.len() as u64,
+            _ => 0,
+        };
+        payload + CONTROL_BYTES
+    }
+}
+
+/// Embedding of [`IpfsWire`] into a larger application message type, so the
+/// same node logic runs inside any simulation message enum.
+pub trait WireEmbed: Sized {
+    /// Wraps a storage message.
+    fn embed(wire: IpfsWire) -> Self;
+    /// Unwraps, or returns the original message when it is not a storage
+    /// message.
+    fn extract(self) -> Result<IpfsWire, Self>;
+}
+
+impl WireEmbed for IpfsWire {
+    fn embed(wire: IpfsWire) -> Self {
+        wire
+    }
+    fn extract(self) -> Result<IpfsWire, Self> {
+        Ok(self)
+    }
+}
+
+/// An outgoing message produced by [`IpfsNode::handle`].
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub wire: IpfsWire,
+}
+
+/// In-flight retrieval triggered by a client `Get` or `Merge`.
+#[derive(Debug)]
+enum Pending {
+    Get { client: NodeId, client_req: u64, cid: Cid },
+    MergeFetch { merge_id: u64, cid: Cid },
+}
+
+/// Providers not yet tried for an in-flight retrieval (failover queue).
+#[derive(Debug, Default, Clone)]
+struct Candidates(Vec<NodeId>);
+
+/// An in-progress merge waiting for missing blocks.
+#[derive(Debug)]
+struct PendingMerge {
+    client: NodeId,
+    client_req: u64,
+    cids: Vec<Cid>,
+    missing: HashSet<Cid>,
+    /// Blocks fetched for this merge, buffered here so the merge works
+    /// even on a node whose store is failing (lossy).
+    fetched: HashMap<Cid, Bytes>,
+    failed: bool,
+}
+
+/// State of one storage node.
+pub struct IpfsNode {
+    id: NodeId,
+    /// All storage nodes in the network (including self), with DHT keys.
+    roster: Vec<(NodeId, Key)>,
+    store: BlockStore,
+    /// Provider records this node holds (as a record holder for the CID).
+    records: HashMap<Cid, Vec<NodeId>>,
+    /// Local subscriptions: topic → participant node ids.
+    subs: HashMap<Topic, HashSet<NodeId>>,
+    pending: HashMap<u64, Pending>,
+    /// Untried fallback providers per in-flight retrieval.
+    candidates: HashMap<u64, Candidates>,
+    merges: HashMap<u64, PendingMerge>,
+    next_req: u64,
+    /// Test hook: a lossy node discards stored data (models storage loss).
+    lossy: bool,
+}
+
+impl IpfsNode {
+    /// Creates a node with the given id and full network roster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not present in `roster`.
+    pub fn new(id: NodeId, roster: Vec<(NodeId, Key)>) -> IpfsNode {
+        assert!(roster.iter().any(|(n, _)| *n == id), "node must appear in roster");
+        IpfsNode {
+            id,
+            roster,
+            store: BlockStore::new(),
+            records: HashMap::new(),
+            subs: HashMap::new(),
+            pending: HashMap::new(),
+            candidates: HashMap::new(),
+            merges: HashMap::new(),
+            next_req: 0,
+            lossy: false,
+        }
+    }
+
+    /// Builds the roster for a set of node ids (keys derived from ids).
+    pub fn roster_for(ids: &[NodeId]) -> Vec<(NodeId, Key)> {
+        ids.iter().map(|&id| (id, Key::for_node(id))).collect()
+    }
+
+    /// Makes the node discard all stored data (availability-failure hook).
+    pub fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the local block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    /// The `n` record holders for `cid` (XOR-closest roster nodes).
+    fn record_holders(&self, cid: &Cid, n: usize) -> Vec<NodeId> {
+        closest_nodes(&self.roster, &Key::from_u256(cid.as_key()), n)
+    }
+
+    /// Handles one incoming message, returning the messages to send.
+    pub fn handle(&mut self, from: NodeId, wire: IpfsWire) -> Vec<Outgoing> {
+        match wire {
+            IpfsWire::Put { data, req_id, replicate } => self.on_put(from, data, req_id, replicate),
+            IpfsWire::Unpin { cid, replicate } => self.on_unpin(cid, replicate),
+            IpfsWire::UnpinReplica { cid } => {
+                self.store.unpin(&cid);
+                self.gc_and_retract(cid)
+            }
+            IpfsWire::Retract { cid, provider } => {
+                if let Some(entry) = self.records.get_mut(&cid) {
+                    entry.retain(|p| *p != provider);
+                    if entry.is_empty() {
+                        self.records.remove(&cid);
+                    }
+                }
+                Vec::new()
+            }
+            IpfsWire::Get { cid, req_id } => self.on_get(from, cid, req_id),
+            IpfsWire::Merge { cids, req_id } => self.on_merge(from, cids, req_id),
+            IpfsWire::Subscribe { topic } => {
+                self.subs.entry(topic).or_default().insert(from);
+                Vec::new()
+            }
+            IpfsWire::Publish { topic, data } => self.on_publish(from, topic, data),
+            IpfsWire::FindProviders { cid, req_id } => {
+                let providers = self.records.get(&cid).cloned().unwrap_or_default();
+                vec![Outgoing { to: from, wire: IpfsWire::Providers { cid, providers, req_id } }]
+            }
+            IpfsWire::Providers { cid, providers, req_id } => {
+                self.on_providers(cid, providers, req_id)
+            }
+            IpfsWire::Announce { cid, provider } => {
+                let entry = self.records.entry(cid).or_default();
+                if !entry.contains(&provider) {
+                    entry.push(provider);
+                }
+                Vec::new()
+            }
+            IpfsWire::FetchBlock { cid, req_id } => match self.store.get(&cid) {
+                Some(block) => vec![Outgoing {
+                    to: from,
+                    wire: IpfsWire::FetchOk { cid, data: block.data().clone(), req_id },
+                }],
+                None => vec![Outgoing { to: from, wire: IpfsWire::FetchErr { cid, req_id } }],
+            },
+            IpfsWire::FetchOk { cid, data, req_id } => self.on_fetch_ok(cid, data, req_id),
+            IpfsWire::FetchErr { cid, req_id } => self.on_fetch_err(cid, req_id),
+            IpfsWire::Replicate { data } => {
+                if !self.lossy {
+                    let block = Block::new(data);
+                    let cid = self.store.put(block);
+                    self.store.pin(cid);
+                    // Record ourselves locally when we are a record holder,
+                    // and announce to the others, so retrieval can fail over.
+                    if self.record_holders(&cid, RECORD_REPLICAS).contains(&self.id) {
+                        let entry = self.records.entry(cid).or_default();
+                        if !entry.contains(&self.id) {
+                            entry.push(self.id);
+                        }
+                    }
+                    return self.announce(cid);
+                }
+                Vec::new()
+            }
+            IpfsWire::PubGossip { topic, data, publisher } => {
+                self.deliveries(&topic, &data, publisher)
+            }
+            // Client-facing responses are never addressed to a node.
+            other => {
+                debug_assert!(false, "unexpected message at storage node: {other:?}");
+                Vec::new()
+            }
+        }
+    }
+
+    fn announce(&self, cid: Cid) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        for holder in self.record_holders(&cid, RECORD_REPLICAS) {
+            if holder == self.id {
+                // Handled inline below by the caller storing its own record.
+                continue;
+            }
+            out.push(Outgoing { to: holder, wire: IpfsWire::Announce { cid, provider: self.id } });
+        }
+        out
+    }
+
+    /// Releases the local pin, forwards the release to the replica set
+    /// (the same deterministic closest-to-CID nodes `Put` used), collects
+    /// garbage, and retracts stale provider records.
+    fn on_unpin(&mut self, cid: Cid, replicate: usize) -> Vec<Outgoing> {
+        self.store.unpin(&cid);
+        let mut out = Vec::new();
+        if replicate > 1 {
+            let targets: Vec<NodeId> = closest_nodes(
+                &self.roster,
+                &Key::from_u256(cid.as_key()),
+                self.roster.len(),
+            )
+            .into_iter()
+            .filter(|n| *n != self.id)
+            .take(replicate - 1)
+            .collect();
+            for target in targets {
+                out.push(Outgoing { to: target, wire: IpfsWire::UnpinReplica { cid } });
+            }
+        }
+        out.extend(self.gc_and_retract(cid));
+        out
+    }
+
+    /// Garbage-collects, and if `cid` is gone afterwards, withdraws this
+    /// node's provider record for it.
+    fn gc_and_retract(&mut self, cid: Cid) -> Vec<Outgoing> {
+        self.store.gc();
+        if self.store.contains(&cid) {
+            return Vec::new();
+        }
+        if let Some(entry) = self.records.get_mut(&cid) {
+            entry.retain(|p| *p != self.id);
+            if entry.is_empty() {
+                self.records.remove(&cid);
+            }
+        }
+        let mut out = Vec::new();
+        for holder in self.record_holders(&cid, RECORD_REPLICAS) {
+            if holder != self.id {
+                out.push(Outgoing {
+                    to: holder,
+                    wire: IpfsWire::Retract { cid, provider: self.id },
+                });
+            }
+        }
+        out
+    }
+
+    fn on_put(&mut self, from: NodeId, data: Bytes, req_id: u64, replicate: usize) -> Vec<Outgoing> {
+        let block = Block::new(data.clone());
+        let cid = block.cid();
+        let mut out = Vec::new();
+        if !self.lossy {
+            self.store.put(block);
+            self.store.pin(cid);
+        }
+        // Record self as provider locally if we are a record holder.
+        let holders = self.record_holders(&cid, RECORD_REPLICAS);
+        if holders.contains(&self.id) {
+            let entry = self.records.entry(cid).or_default();
+            if !entry.contains(&self.id) {
+                entry.push(self.id);
+            }
+        }
+        out.extend(self.announce(cid));
+        // Push replicas to the nodes XOR-closest to the CID (uniform
+        // allocation, excluding self).
+        if replicate > 1 {
+            let targets: Vec<NodeId> = closest_nodes(
+                &self.roster,
+                &Key::from_u256(cid.as_key()),
+                self.roster.len(),
+            )
+            .into_iter()
+            .filter(|n| *n != self.id)
+            .take(replicate - 1)
+            .collect();
+            for target in targets {
+                out.push(Outgoing { to: target, wire: IpfsWire::Replicate { data: data.clone() } });
+            }
+        }
+        out.push(Outgoing { to: from, wire: IpfsWire::PutAck { cid, req_id } });
+        out
+    }
+
+    fn on_get(&mut self, from: NodeId, cid: Cid, req_id: u64) -> Vec<Outgoing> {
+        if let Some(block) = self.store.get(&cid) {
+            return vec![Outgoing {
+                to: from,
+                wire: IpfsWire::GetOk { cid, data: block.data().clone(), req_id },
+            }];
+        }
+        let internal = self.fresh_req();
+        self.pending.insert(internal, Pending::Get { client: from, client_req: req_id, cid });
+        self.resolve(cid, internal)
+    }
+
+    /// Starts resolution of a missing block: consult the provider record
+    /// (locally if we hold a usable one, otherwise ask another record
+    /// holder — our own record may be partial, e.g. listing only
+    /// ourselves when we lost the data but a replica exists elsewhere).
+    fn resolve(&mut self, cid: Cid, internal: u64) -> Vec<Outgoing> {
+        let local: Vec<NodeId> = self
+            .records
+            .get(&cid)
+            .map(|providers| providers.iter().copied().filter(|p| *p != self.id).collect())
+            .unwrap_or_default();
+        if !local.is_empty() {
+            return self.on_providers(cid, local, internal);
+        }
+        let holders = self.record_holders(&cid, RECORD_REPLICAS);
+        for holder in holders {
+            if holder != self.id {
+                return vec![Outgoing {
+                    to: holder,
+                    wire: IpfsWire::FindProviders { cid, req_id: internal },
+                }];
+            }
+        }
+        // We are the only record holder and have no usable record.
+        self.fail(cid, internal)
+    }
+
+    fn on_providers(&mut self, cid: Cid, providers: Vec<NodeId>, req_id: u64) -> Vec<Outgoing> {
+        let mut queue: Vec<NodeId> = providers.into_iter().filter(|p| *p != self.id).collect();
+        if queue.is_empty() {
+            return self.fail(cid, req_id);
+        }
+        let first = queue.remove(0);
+        self.candidates.insert(req_id, Candidates(queue));
+        vec![Outgoing { to: first, wire: IpfsWire::FetchBlock { cid, req_id } }]
+    }
+
+    fn on_fetch_ok(&mut self, cid: Cid, data: Bytes, req_id: u64) -> Vec<Outgoing> {
+        // Verify content against the CID — never trust retrieved bytes.
+        let Some(block) = Block::verified(cid, data) else {
+            return self.on_fetch_err(cid, req_id);
+        };
+        self.candidates.remove(&req_id);
+        if !self.lossy {
+            self.store.put(block.clone());
+        }
+        match self.pending.remove(&req_id) {
+            Some(Pending::Get { client, client_req, cid }) => vec![Outgoing {
+                to: client,
+                wire: IpfsWire::GetOk { cid, data: block.data().clone(), req_id: client_req },
+            }],
+            Some(Pending::MergeFetch { merge_id, cid }) => {
+                if let Some(merge) = self.merges.get_mut(&merge_id) {
+                    merge.missing.remove(&cid);
+                    merge.fetched.insert(cid, block.data().clone());
+                }
+                self.try_finish_merge(merge_id)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn on_fetch_err(&mut self, cid: Cid, req_id: u64) -> Vec<Outgoing> {
+        // Fail over to the next known provider (a replica may still hold
+        // the block even when the announced origin lost it).
+        if let Some(Candidates(queue)) = self.candidates.get_mut(&req_id) {
+            if !queue.is_empty() {
+                let next = queue.remove(0);
+                return vec![Outgoing { to: next, wire: IpfsWire::FetchBlock { cid, req_id } }];
+            }
+        }
+        self.fail(cid, req_id)
+    }
+
+    fn fail(&mut self, cid: Cid, internal: u64) -> Vec<Outgoing> {
+        self.candidates.remove(&internal);
+        match self.pending.remove(&internal) {
+            Some(Pending::Get { client, client_req, cid }) => {
+                vec![Outgoing { to: client, wire: IpfsWire::GetErr { cid, req_id: client_req } }]
+            }
+            Some(Pending::MergeFetch { merge_id, cid }) => {
+                if let Some(merge) = self.merges.get_mut(&merge_id) {
+                    merge.failed = true;
+                    merge.missing.remove(&cid);
+                }
+                self.try_finish_merge(merge_id)
+            }
+            None => {
+                debug_assert!(false, "failure for unknown request {internal} ({cid:?})");
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_merge(&mut self, from: NodeId, cids: Vec<Cid>, req_id: u64) -> Vec<Outgoing> {
+        let merge_id = self.fresh_req();
+        let missing: HashSet<Cid> =
+            cids.iter().filter(|c| !self.store.contains(c)).copied().collect();
+        self.merges.insert(
+            merge_id,
+            PendingMerge {
+                client: from,
+                client_req: req_id,
+                cids,
+                missing: missing.clone(),
+                fetched: HashMap::new(),
+                failed: false,
+            },
+        );
+        let mut out = Vec::new();
+        let mut to_fetch: Vec<Cid> = missing.into_iter().collect();
+        to_fetch.sort_unstable(); // deterministic fetch order
+        for cid in to_fetch {
+            let internal = self.fresh_req();
+            self.pending.insert(internal, Pending::MergeFetch { merge_id, cid });
+            out.extend(self.resolve(cid, internal));
+        }
+        out.extend(self.try_finish_merge(merge_id));
+        out
+    }
+
+    fn try_finish_merge(&mut self, merge_id: u64) -> Vec<Outgoing> {
+        let done = match self.merges.get(&merge_id) {
+            Some(m) => m.missing.is_empty(),
+            None => return Vec::new(),
+        };
+        if !done {
+            return Vec::new();
+        }
+        let merge = self.merges.remove(&merge_id).expect("checked above");
+        if merge.failed {
+            return vec![Outgoing {
+                to: merge.client,
+                wire: IpfsWire::MergeErr {
+                    reason: "some blocks unavailable".to_string(),
+                    req_id: merge.client_req,
+                },
+            }];
+        }
+        let blobs: Vec<Bytes> = merge
+            .cids
+            .iter()
+            .map(|c| {
+                self.store
+                    .get(c)
+                    .map(|b| b.data().clone())
+                    .or_else(|| merge.fetched.get(c).cloned())
+                    .expect("block stored or buffered for this merge")
+            })
+            .collect();
+        match merge_blobs(&blobs) {
+            Ok(data) => vec![Outgoing {
+                to: merge.client,
+                wire: IpfsWire::MergeOk { data: Bytes::from(data), req_id: merge.client_req },
+            }],
+            Err(e) => vec![Outgoing {
+                to: merge.client,
+                wire: IpfsWire::MergeErr { reason: e.to_string(), req_id: merge.client_req },
+            }],
+        }
+    }
+
+    fn on_publish(&mut self, from: NodeId, topic: Topic, data: Bytes) -> Vec<Outgoing> {
+        let mut out = self.deliveries(&topic, &data, from);
+        // Flood to every other storage node for their local subscribers.
+        for (peer, _) in self.roster.clone() {
+            if peer != self.id {
+                out.push(Outgoing {
+                    to: peer,
+                    wire: IpfsWire::PubGossip { topic: topic.clone(), data: data.clone(), publisher: from },
+                });
+            }
+        }
+        out
+    }
+
+    fn deliveries(&self, topic: &str, data: &Bytes, publisher: NodeId) -> Vec<Outgoing> {
+        let Some(subscribers) = self.subs.get(topic) else { return Vec::new() };
+        let mut subs: Vec<NodeId> = subscribers.iter().copied().collect();
+        subs.sort_unstable_by_key(|n| n.index()); // determinism
+        subs.into_iter()
+            .filter(|s| *s != publisher)
+            .map(|s| Outgoing {
+                to: s,
+                wire: IpfsWire::Deliver {
+                    topic: topic.to_string(),
+                    data: data.clone(),
+                    publisher,
+                },
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for IpfsNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IpfsNode(id={}, blocks={}, records={}, pending={})",
+            self.id,
+            self.store.len(),
+            self.records.len(),
+            self.pending.len()
+        )
+    }
+}
+
+/// Ready-made simulation actor wrapping an [`IpfsNode`], usable with any
+/// message type that embeds [`IpfsWire`].
+pub struct IpfsActor {
+    node: IpfsNode,
+    last_reported_blocks: usize,
+}
+
+impl IpfsActor {
+    /// Wraps a node.
+    pub fn new(node: IpfsNode) -> IpfsActor {
+        IpfsActor { node, last_reported_blocks: 0 }
+    }
+
+    /// The wrapped node.
+    pub fn node(&self) -> &IpfsNode {
+        &self.node
+    }
+
+    /// Mutable access (e.g. for fault injection before a run).
+    pub fn node_mut(&mut self) -> &mut IpfsNode {
+        &mut self.node
+    }
+}
+
+impl<M: WireEmbed> Actor<M> for IpfsActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M) {
+        let wire = match msg.extract() {
+            Ok(wire) => wire,
+            Err(_) => return, // not a storage message; ignore
+        };
+        for Outgoing { to, wire } in self.node.handle(from, wire) {
+            let bytes = wire.wire_bytes();
+            ctx.send(to, bytes, M::embed(wire));
+        }
+        // Trace the store occupancy whenever it changes, so experiments
+        // can observe the ephemeral-data lifecycle (§VI).
+        let blocks = self.node.store().len();
+        if blocks != self.last_reported_blocks {
+            self.last_reported_blocks = blocks;
+            ctx.record("store_blocks", blocks as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network(n: usize) -> Vec<IpfsNode> {
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let roster = IpfsNode::roster_for(&ids);
+        ids.iter().map(|&id| IpfsNode::new(id, roster.clone())).collect()
+    }
+
+    /// Routes messages among nodes until quiescent; returns messages that
+    /// were addressed to non-node ids (i.e. clients).
+    fn pump(nodes: &mut [IpfsNode], mut queue: Vec<(NodeId, Outgoing)>) -> Vec<(NodeId, IpfsWire)> {
+        let mut to_clients = Vec::new();
+        while let Some((from, out)) = queue.pop() {
+            let idx = out.to.index();
+            if idx < nodes.len() {
+                let produced = nodes[idx].handle(from, out.wire);
+                let self_id = nodes[idx].id();
+                queue.extend(produced.into_iter().map(|o| (self_id, o)));
+            } else {
+                to_clients.push((out.to, out.wire));
+            }
+        }
+        to_clients
+    }
+
+    const CLIENT: NodeId = NodeId(100);
+
+    #[test]
+    fn put_then_local_get() {
+        let mut nodes = network(4);
+        let data = Bytes::from_static(b"gradient-partition");
+        let out = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 1 });
+        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let cid = match &replies[..] {
+            [(to, IpfsWire::PutAck { cid, req_id: 1 })] if *to == CLIENT => *cid,
+            other => panic!("unexpected replies {other:?}"),
+        };
+        assert_eq!(cid, Cid::of(&data));
+
+        let out = nodes[0].handle(CLIENT, IpfsWire::Get { cid, req_id: 2 });
+        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        match &replies[..] {
+            [(_, IpfsWire::GetOk { data: got, req_id: 2, .. })] => assert_eq!(*got, data),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_resolves_across_nodes() {
+        let mut nodes = network(6);
+        let data = Bytes::from_static(b"remote-block");
+        // Put at node 0.
+        let out = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 1 });
+        pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let cid = Cid::of(&data);
+        // Get from node 3, which does not hold the block.
+        assert!(!nodes[3].store().contains(&cid));
+        let out = nodes[3].handle(CLIENT, IpfsWire::Get { cid, req_id: 9 });
+        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(3), o)).collect());
+        match &replies[..] {
+            [(_, IpfsWire::GetOk { data: got, req_id: 9, .. })] => assert_eq!(*got, data),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And the gateway cached it.
+        assert!(nodes[3].store().contains(&cid));
+    }
+
+    #[test]
+    fn get_unknown_cid_errors() {
+        let mut nodes = network(4);
+        let cid = Cid::of(b"never-stored");
+        let out = nodes[1].handle(CLIENT, IpfsWire::Get { cid, req_id: 5 });
+        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(1), o)).collect());
+        match &replies[..] {
+            [(_, IpfsWire::GetErr { req_id: 5, .. })] => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_survives_origin_loss() {
+        let mut nodes = network(5);
+        let data = Bytes::from_static(b"replicated-block");
+        let out = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 3 });
+        pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let cid = Cid::of(&data);
+        let holders = (0..5).filter(|&i| nodes[i].store().contains(&cid)).count();
+        assert_eq!(holders, 3, "3 total replicas");
+    }
+
+    #[test]
+    fn merge_local_blobs() {
+        use dfl_crypto::quantize::{encode, quantize_vector};
+        let mut nodes = network(3);
+        let b1 = Bytes::from(encode(&quantize_vector(&[1.0, 2.0])));
+        let b2 = Bytes::from(encode(&quantize_vector(&[0.5, 0.5])));
+        let out1 = nodes[0].handle(CLIENT, IpfsWire::Put { data: b1.clone(), req_id: 1, replicate: 1 });
+        pump(&mut nodes, out1.into_iter().map(|o| (NodeId(0), o)).collect());
+        let out2 = nodes[0].handle(CLIENT, IpfsWire::Put { data: b2.clone(), req_id: 2, replicate: 1 });
+        pump(&mut nodes, out2.into_iter().map(|o| (NodeId(0), o)).collect());
+
+        let out = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Merge { cids: vec![Cid::of(&b1), Cid::of(&b2)], req_id: 3 },
+        );
+        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        match &replies[..] {
+            [(_, IpfsWire::MergeOk { data, req_id: 3 })] => {
+                let expect = crate::merge::merge_blobs(&[b1.as_ref(), b2.as_ref()]).unwrap();
+                assert_eq!(data.as_ref(), &expect[..]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_fetches_missing_blocks() {
+        use dfl_crypto::quantize::{encode, quantize_vector};
+        let mut nodes = network(5);
+        let b1 = Bytes::from(encode(&quantize_vector(&[1.0])));
+        let b2 = Bytes::from(encode(&quantize_vector(&[2.0])));
+        // Store on different nodes.
+        let o = nodes[1].handle(CLIENT, IpfsWire::Put { data: b1.clone(), req_id: 1, replicate: 1 });
+        pump(&mut nodes, o.into_iter().map(|o| (NodeId(1), o)).collect());
+        let o = nodes[2].handle(CLIENT, IpfsWire::Put { data: b2.clone(), req_id: 2, replicate: 1 });
+        pump(&mut nodes, o.into_iter().map(|o| (NodeId(2), o)).collect());
+        // Merge at node 0, which holds neither block.
+        let o = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Merge { cids: vec![Cid::of(&b1), Cid::of(&b2)], req_id: 3 },
+        );
+        let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
+        match &replies[..] {
+            [(_, IpfsWire::MergeOk { data, req_id: 3 })] => {
+                let expect = crate::merge::merge_blobs(&[b1.as_ref(), b2.as_ref()]).unwrap();
+                assert_eq!(data.as_ref(), &expect[..]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_with_unavailable_block_errors() {
+        let mut nodes = network(3);
+        let o = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Merge { cids: vec![Cid::of(b"ghost")], req_id: 4 },
+        );
+        let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
+        match &replies[..] {
+            [(_, IpfsWire::MergeErr { req_id: 4, .. })] => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pubsub_floods_to_remote_subscribers() {
+        let mut nodes = network(3);
+        let alice = NodeId(200);
+        let bob = NodeId(201);
+        // Alice subscribes at node 0, Bob at node 2.
+        nodes[0].handle(alice, IpfsWire::Subscribe { topic: "sync".into() });
+        nodes[2].handle(bob, IpfsWire::Subscribe { topic: "sync".into() });
+        // Bob publishes via node 2.
+        let o = nodes[2].handle(
+            bob,
+            IpfsWire::Publish { topic: "sync".into(), data: Bytes::from_static(b"hash") },
+        );
+        let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(2), o)).collect());
+        // Alice gets one delivery; Bob (the publisher) does not.
+        let delivered: Vec<_> = replies
+            .iter()
+            .filter(|(to, w)| matches!(w, IpfsWire::Deliver { .. }) && *to == alice)
+            .collect();
+        assert_eq!(delivered.len(), 1);
+        assert!(!replies.iter().any(|(to, w)| *to == bob && matches!(w, IpfsWire::Deliver { .. })));
+    }
+
+    #[test]
+    fn lossy_node_loses_data() {
+        let mut nodes = network(3);
+        nodes[0].set_lossy(true);
+        let data = Bytes::from_static(b"doomed");
+        let o = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 1 });
+        let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
+        // Ack still arrives (the loss is silent), but the data is gone.
+        assert!(matches!(replies[..], [(_, IpfsWire::PutAck { .. })]));
+        assert!(!nodes[0].store().contains(&Cid::of(&data)));
+    }
+
+    #[test]
+    fn fetch_verifies_content() {
+        // A node receiving a FetchOk whose bytes don't match the CID must
+        // not serve them.
+        let mut node = network(1).pop().unwrap();
+        let cid = Cid::of(b"real-content");
+        let internal = 1u64;
+        node.pending.insert(
+            internal,
+            Pending::Get { client: CLIENT, client_req: 7, cid },
+        );
+        let out = node.handle(
+            NodeId(50),
+            IpfsWire::FetchOk { cid, data: Bytes::from_static(b"forged!!"), req_id: internal },
+        );
+        match &out[..] {
+            [Outgoing { to, wire: IpfsWire::GetErr { req_id: 7, .. } }] => {
+                assert_eq!(*to, CLIENT);
+            }
+            other => panic!("forged content must yield GetErr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        let put = IpfsWire::Put { data: Bytes::from(vec![0u8; 1000]), req_id: 0, replicate: 1 };
+        assert_eq!(put.wire_bytes(), 1000 + CONTROL_BYTES);
+        let get = IpfsWire::Get { cid: Cid::of(b"x"), req_id: 0 };
+        assert_eq!(get.wire_bytes(), CONTROL_BYTES);
+        let merge = IpfsWire::Merge { cids: vec![Cid::of(b"a"), Cid::of(b"b")], req_id: 0 };
+        assert_eq!(merge.wire_bytes(), 64 + CONTROL_BYTES);
+    }
+}

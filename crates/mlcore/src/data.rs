@@ -1,0 +1,353 @@
+//! Synthetic datasets and federated partitioning.
+//!
+//! The paper trains on edge-device data that never leaves the trainers; as a
+//! stand-in we generate labelled synthetic datasets and split them across
+//! trainers either IID or with Dirichlet label skew (the standard non-IID
+//! federated benchmark protocol).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::linalg::Matrix;
+
+/// A supervised dataset: feature matrix plus one target per row.
+///
+/// Classification targets are class indices stored as `f32`; regression
+/// targets are real values.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature matrix, one row per example.
+    pub x: Matrix,
+    /// Targets, `y.len() == x.rows()`.
+    pub y: Vec<f32>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The subset with the given row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// Samples from a standard normal via Box–Muller (keeps us off external
+/// distribution crates).
+fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Gaussian-blob classification data: `classes` isotropic clusters in
+/// `dim` dimensions, `n` points total, cluster centres on a scaled simplex.
+pub fn make_blobs(n: usize, dim: usize, classes: usize, spread: f32, seed: u64) -> Dataset {
+    assert!(classes >= 2, "need at least two classes");
+    assert!(dim >= 1, "need at least one feature");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random but well-separated centres.
+    let centres: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect())
+        .collect();
+    let mut x = Matrix::zeros(n, dim);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        for (j, centre) in centres[class].iter().enumerate() {
+            x.set(i, j, centre + spread * normal(&mut rng));
+        }
+        y.push(class as f32);
+    }
+    // Shuffle rows so partitions are not trivially ordered.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let ds = Dataset { x, y };
+    ds.subset(&order)
+}
+
+/// Linear-regression data `y = w·x + b + noise` with a hidden random `w`.
+pub fn make_regression(n: usize, dim: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let b: f32 = rng.gen_range(-1.0..1.0);
+    let mut x = Matrix::zeros(n, dim);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut target = b;
+        for (j, wj) in w.iter().enumerate() {
+            let v = normal(&mut rng);
+            x.set(i, j, v);
+            target += wj * v;
+        }
+        y.push(target + noise * normal(&mut rng));
+    }
+    Dataset { x, y }
+}
+
+/// Seven-segment digit patterns: which of the segments
+/// (top, top-left, top-right, middle, bottom-left, bottom-right, bottom)
+/// are lit for each digit 0-9.
+const SEGMENTS: [[f32; 7]; 10] = [
+    [1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0], // 0
+    [0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0], // 1
+    [1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0], // 2
+    [1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], // 3
+    [0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 0.0], // 4
+    [1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0], // 5
+    [1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0], // 6
+    [1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0], // 7
+    [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0], // 8
+    [1.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0], // 9
+];
+
+/// A digits-like classification dataset: noisy seven-segment renderings of
+/// the digits 0–9 (7 features, 10 classes). Harder than blobs — classes
+/// share segments — but still learnable by a small MLP; the non-trivial
+/// workload for the end-to-end examples.
+pub fn make_digits(n: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, 7);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % 10;
+        for (j, &segment) in SEGMENTS[digit].iter().enumerate() {
+            // Lit segments glow around 1, unlit around 0, with sensor noise
+            // and occasional dropouts/ghosts.
+            let mut v = segment + noise * normal(&mut rng);
+            if rng.gen_range(0.0..1.0) < 0.02 {
+                v = 1.0 - v; // flipped segment
+            }
+            x.set(i, j, v);
+        }
+        y.push(digit as f32);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let ds = Dataset { x, y };
+    ds.subset(&order)
+}
+
+/// Splits `dataset` into `parts` IID shards of (near-)equal size.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero or exceeds the number of examples.
+pub fn partition_iid(dataset: &Dataset, parts: usize, seed: u64) -> Vec<Dataset> {
+    assert!(parts > 0 && parts <= dataset.len(), "invalid part count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(&mut rng);
+    (0..parts)
+        .map(|p| {
+            let indices: Vec<usize> =
+                order.iter().skip(p).step_by(parts).copied().collect();
+            dataset.subset(&indices)
+        })
+        .collect()
+}
+
+/// Splits a classification dataset non-IID with Dirichlet(`alpha`) label
+/// skew: each class's examples are divided across parts with proportions
+/// drawn from a Dirichlet distribution. Small `alpha` → heavy skew.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero or `alpha` is not positive.
+pub fn partition_dirichlet(dataset: &Dataset, parts: usize, alpha: f64, seed: u64) -> Vec<Dataset> {
+    assert!(parts > 0, "invalid part count");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = dataset.y.iter().map(|&y| y as usize).max().map_or(1, |m| m + 1);
+    let mut part_indices: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for class in 0..classes {
+        let members: Vec<usize> = (0..dataset.len())
+            .filter(|&i| dataset.y[i] as usize == class)
+            .collect();
+        let weights = dirichlet(&mut rng, alpha, parts);
+        // Cumulative assignment of this class's members by the weights.
+        let mut cursor = 0usize;
+        for (p, w) in weights.iter().enumerate() {
+            let take = if p == parts - 1 {
+                members.len() - cursor
+            } else {
+                ((members.len() as f64 * w).round() as usize).min(members.len() - cursor)
+            };
+            part_indices[p].extend(&members[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+    part_indices
+        .into_iter()
+        .map(|idx| dataset.subset(&idx))
+        .collect()
+}
+
+/// Draws Dirichlet(`alpha`) proportions via normalized Gamma samples
+/// (Marsaglia–Tsang for alpha >= 1, boost trick below 1).
+fn dirichlet(rng: &mut StdRng, alpha: f64, k: usize) -> Vec<f64> {
+    let samples: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let total: f64 = samples.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    samples.into_iter().map(|s| s / total).collect()
+}
+
+fn gamma_sample(rng: &mut StdRng, alpha: f64) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn blobs_shape_and_labels() {
+        let ds = make_blobs(100, 4, 3, 0.5, 1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.dim(), 4);
+        let labels: HashSet<u32> = ds.y.iter().map(|&y| y as u32).collect();
+        assert_eq!(labels, HashSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn blobs_deterministic_per_seed() {
+        let a = make_blobs(50, 3, 2, 0.5, 7);
+        let b = make_blobs(50, 3, 2, 0.5, 7);
+        assert_eq!(a.x.as_slice(), b.x.as_slice());
+        assert_eq!(a.y, b.y);
+        let c = make_blobs(50, 3, 2, 0.5, 8);
+        assert_ne!(a.x.as_slice(), c.x.as_slice());
+    }
+
+    #[test]
+    fn regression_correlates_with_features() {
+        let ds = make_regression(200, 3, 0.0, 2);
+        assert_eq!(ds.len(), 200);
+        // Noise-free targets vary with inputs.
+        assert!(ds.y.iter().any(|&y| y != ds.y[0]));
+    }
+
+    #[test]
+    fn iid_partition_covers_everything_once() {
+        let ds = make_blobs(100, 2, 2, 0.5, 3);
+        let parts = partition_iid(&ds, 7, 0);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, 100);
+        for p in &parts {
+            assert!(p.len() >= 100 / 7);
+        }
+    }
+
+    #[test]
+    fn dirichlet_partition_covers_everything() {
+        let ds = make_blobs(300, 2, 3, 0.5, 4);
+        let parts = partition_dirichlet(&ds, 5, 0.3, 0);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn small_alpha_skews_labels() {
+        let ds = make_blobs(600, 2, 3, 0.5, 5);
+        let skewed = partition_dirichlet(&ds, 6, 0.05, 1);
+        // With alpha = 0.05 most parts should be dominated by one class.
+        let mut dominated = 0;
+        for p in &skewed {
+            if p.is_empty() {
+                continue;
+            }
+            let mut counts = [0usize; 3];
+            for &y in &p.y {
+                counts[y as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            if max as f64 / p.len() as f64 > 0.8 {
+                dominated += 1;
+            }
+        }
+        assert!(dominated >= 3, "expected heavy skew, got {dominated} dominated parts");
+    }
+
+    #[test]
+    fn digits_shape_and_learnability_prereqs() {
+        let ds = make_digits(500, 0.1, 9);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), 7);
+        let labels: HashSet<u32> = ds.y.iter().map(|&y| y as u32).collect();
+        assert_eq!(labels.len(), 10, "all ten digits present");
+        // Noise-free class means must match the segment patterns.
+        let clean = make_digits(1000, 0.0, 10);
+        for digit in 0..10usize {
+            let rows: Vec<usize> =
+                (0..clean.len()).filter(|&i| clean.y[i] as usize == digit).collect();
+            let first = clean.x.row(rows[0]);
+            for &j in &[0usize, 3, 6] {
+                let expect = SEGMENTS[digit][j];
+                // Most samples keep the clean value (2% flip chance).
+                let agreeing = rows
+                    .iter()
+                    .filter(|&&r| (clean.x.get(r, j) - expect).abs() < 0.5)
+                    .count();
+                assert!(agreeing * 10 > rows.len() * 9, "digit {digit} segment {j}");
+            }
+            let _ = first;
+        }
+    }
+
+    #[test]
+    fn digits_deterministic() {
+        let a = make_digits(100, 0.2, 5);
+        let b = make_digits(100, 0.2, 5);
+        assert_eq!(a.x.as_slice(), b.x.as_slice());
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let ds = make_regression(10, 2, 0.1, 6);
+        let sub = ds.subset(&[3, 7]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.x.row(0), ds.x.row(3));
+        assert_eq!(sub.y[1], ds.y[7]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Centralized FedAvg — the reference point the paper's protocol must
+//! match.
+//!
+//! §V of the paper claims that because partitioned aggregation computes
+//! exactly the same average as a single server, "both the model's
+//! convergence rate and final accuracy will be exactly the same as that of
+//! traditional FL". This module is that traditional FL: a single aggregator
+//! that averages every client's local update each round. Integration tests
+//! verify the IPLS pipeline produces bit-identical parameter vectors.
+
+use crate::data::Dataset;
+use crate::model::Model;
+use crate::train::{average_params, local_update, SgdConfig};
+
+/// A centralized federated-averaging driver.
+pub struct FedAvg<M: Model> {
+    model: M,
+    clients: Vec<Dataset>,
+    cfg: SgdConfig,
+    round: usize,
+}
+
+impl<M: Model + Clone> FedAvg<M> {
+    /// Creates a driver over `clients` local datasets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty or any client dataset is empty.
+    pub fn new(model: M, clients: Vec<Dataset>, cfg: SgdConfig) -> FedAvg<M> {
+        assert!(!clients.is_empty(), "need at least one client");
+        assert!(clients.iter().all(|c| !c.is_empty()), "clients must have data");
+        FedAvg { model, clients, cfg, round: 0 }
+    }
+
+    /// The current global model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Runs one synchronous round: every client trains locally from the
+    /// global parameters, the server averages the updates. Returns the new
+    /// global parameter vector.
+    ///
+    /// Client `i` trains with seed `seed_base + i`, matching the seeds the
+    /// decentralized pipeline hands its trainers, so the two can be compared
+    /// update-for-update.
+    pub fn run_round(&mut self, seed_base: u64) -> Vec<f32> {
+        let global = self.model.params();
+        let mut updates = Vec::with_capacity(self.clients.len());
+        let mut worker = self.model.clone();
+        for (i, client) in self.clients.iter().enumerate() {
+            updates.push(local_update(&mut worker, &global, client, &self.cfg, seed_base + i as u64));
+        }
+        let averaged = average_params(&updates);
+        self.model.set_params(&averaged);
+        self.round += 1;
+        averaged
+    }
+
+    /// Runs `rounds` rounds; returns the final parameters.
+    pub fn run(&mut self, rounds: usize, seed_base: u64) -> Vec<f32> {
+        let mut last = self.model.params();
+        for r in 0..rounds {
+            last = self.run_round(seed_base + (r as u64) * 1000);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{make_blobs, partition_iid};
+    use crate::metrics::accuracy;
+    use crate::model::LogisticRegression;
+
+    #[test]
+    fn fedavg_learns() {
+        let ds = make_blobs(400, 2, 2, 0.4, 11);
+        let clients = partition_iid(&ds, 8, 0);
+        let mut fed = FedAvg::new(
+            LogisticRegression::new(2, 2),
+            clients,
+            SgdConfig { lr: 0.3, epochs: 2, ..SgdConfig::default() },
+        );
+        fed.run(15, 7);
+        let preds = fed.model().predict(&ds.x);
+        let acc = accuracy(&preds, &ds.y);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert_eq!(fed.round(), 15);
+    }
+
+    #[test]
+    fn round_is_deterministic() {
+        let ds = make_blobs(100, 2, 2, 0.4, 3);
+        let clients = partition_iid(&ds, 4, 0);
+        let mut a = FedAvg::new(LogisticRegression::new(2, 2), clients.clone(), SgdConfig::default());
+        let mut b = FedAvg::new(LogisticRegression::new(2, 2), clients, SgdConfig::default());
+        assert_eq!(a.run_round(5), b.run_round(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_clients_panics() {
+        FedAvg::new(LogisticRegression::new(2, 2), vec![], SgdConfig::default());
+    }
+}

@@ -1,0 +1,198 @@
+//! Gossip averaging — the *purely decentralized* FL baseline.
+//!
+//! The paper's introduction contrasts its storage-mediated design with
+//! purely decentralized schemes where "peers communicate directly with
+//! others and perform the learning process via gossiping", noting they "may
+//! not always achieve the same performance in model accuracy and
+//! convergence as centralized FL". This module implements that baseline so
+//! the comparison example can show the gap on non-IID data.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::model::Model;
+use crate::train::{average_params, local_update, SgdConfig};
+
+/// How peers are matched each gossip round.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GossipTopology {
+    /// Peers form a ring and average with both neighbours.
+    Ring,
+    /// Peers are paired uniformly at random each round.
+    RandomPairs,
+}
+
+/// A gossip-learning driver: every peer keeps its own model, trains
+/// locally, and averages parameters with neighbours — no aggregator at all.
+pub struct Gossip<M: Model> {
+    worker: M,
+    peer_params: Vec<Vec<f32>>,
+    datasets: Vec<Dataset>,
+    cfg: SgdConfig,
+    topology: GossipTopology,
+}
+
+impl<M: Model + Clone> Gossip<M> {
+    /// Creates a driver with one peer per dataset, all starting from
+    /// `model`'s parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two datasets are supplied or any is empty.
+    pub fn new(model: M, datasets: Vec<Dataset>, cfg: SgdConfig, topology: GossipTopology) -> Gossip<M> {
+        assert!(datasets.len() >= 2, "gossip needs at least two peers");
+        assert!(datasets.iter().all(|d| !d.is_empty()), "peers must have data");
+        let params = model.params();
+        Gossip {
+            worker: model,
+            peer_params: vec![params; datasets.len()],
+            datasets,
+            cfg,
+            topology,
+        }
+    }
+
+    /// Number of peers.
+    pub fn peers(&self) -> usize {
+        self.peer_params.len()
+    }
+
+    /// The parameter vector held by peer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn peer(&self, i: usize) -> &[f32] {
+        &self.peer_params[i]
+    }
+
+    /// The average of all peers' parameters (the "consensus model" used for
+    /// evaluation).
+    pub fn consensus(&self) -> Vec<f32> {
+        average_params(&self.peer_params)
+    }
+
+    /// Runs one round: local training at every peer, then neighbour
+    /// averaging per the topology.
+    pub fn run_round(&mut self, seed: u64) {
+        let n = self.peers();
+        // Local step.
+        for i in 0..n {
+            let start = self.peer_params[i].clone();
+            self.peer_params[i] =
+                local_update(&mut self.worker, &start, &self.datasets[i], &self.cfg, seed + i as u64);
+        }
+        // Mixing step.
+        match self.topology {
+            GossipTopology::Ring => {
+                let old = self.peer_params.clone();
+                for i in 0..n {
+                    let left = &old[(i + n - 1) % n];
+                    let right = &old[(i + 1) % n];
+                    self.peer_params[i] =
+                        average_params(&[old[i].clone(), left.clone(), right.clone()]);
+                }
+            }
+            GossipTopology::RandomPairs => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+                order.shuffle(&mut rng);
+                for pair in order.chunks(2) {
+                    if let [a, b] = *pair {
+                        let avg = average_params(&[
+                            self.peer_params[a].clone(),
+                            self.peer_params[b].clone(),
+                        ]);
+                        self.peer_params[a] = avg.clone();
+                        self.peer_params[b] = avg;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: usize, seed_base: u64) {
+        for r in 0..rounds {
+            self.run_round(seed_base + (r as u64) * 1000);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{make_blobs, partition_iid};
+    use crate::metrics::accuracy;
+    use crate::model::LogisticRegression;
+
+    #[test]
+    fn gossip_learns_on_iid_data() {
+        let ds = make_blobs(300, 2, 2, 0.4, 21);
+        let peers = partition_iid(&ds, 6, 0);
+        let mut gossip = Gossip::new(
+            LogisticRegression::new(2, 2),
+            peers,
+            SgdConfig { lr: 0.3, epochs: 2, ..SgdConfig::default() },
+            GossipTopology::Ring,
+        );
+        gossip.run(15, 3);
+        let mut model = LogisticRegression::new(2, 2);
+        model.set_params(&gossip.consensus());
+        let acc = accuracy(&model.predict(&ds.x), &ds.y);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mixing_contracts_disagreement() {
+        // After many rounds the ring must bring peers close together.
+        let ds = make_blobs(200, 2, 2, 0.4, 22);
+        let peers = partition_iid(&ds, 4, 1);
+        let mut gossip = Gossip::new(
+            LogisticRegression::new(2, 2),
+            peers,
+            SgdConfig { lr: 0.1, epochs: 1, ..SgdConfig::default() },
+            GossipTopology::Ring,
+        );
+        gossip.run(20, 5);
+        let consensus = gossip.consensus();
+        for i in 0..gossip.peers() {
+            let dist: f32 = gossip
+                .peer(i)
+                .iter()
+                .zip(&consensus)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(dist < 1.0, "peer {i} is {dist} from consensus");
+        }
+    }
+
+    #[test]
+    fn random_pairs_topology_runs() {
+        let ds = make_blobs(120, 2, 2, 0.4, 23);
+        let peers = partition_iid(&ds, 5, 2); // odd count: one peer unpaired
+        let mut gossip = Gossip::new(
+            LogisticRegression::new(2, 2),
+            peers,
+            SgdConfig::default(),
+            GossipTopology::RandomPairs,
+        );
+        gossip.run(3, 9);
+        assert_eq!(gossip.peers(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two peers")]
+    fn single_peer_panics() {
+        let ds = make_blobs(10, 2, 2, 0.4, 24);
+        Gossip::new(
+            LogisticRegression::new(2, 2),
+            vec![ds],
+            SgdConfig::default(),
+            GossipTopology::Ring,
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Local training: the computation each IPLS trainer runs per round
+//! (`train(M)` in Algorithm 1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::linalg::axpy;
+use crate::model::Model;
+
+/// Hyper-parameters of one local training pass.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Mini-batch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Number of passes over the local data per round.
+    pub epochs: usize,
+    /// Gradient-norm clip; `None` disables clipping.
+    pub clip: Option<f32>,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { lr: 0.1, batch_size: 32, epochs: 1, clip: None }
+    }
+}
+
+/// Runs local SGD starting from `start_params` and returns the locally
+/// updated parameter vector — the "gradient update" a trainer uploads
+/// (FedAvg-style local update, which is what Algorithm 1 averages).
+///
+/// Deterministic given `seed`.
+///
+/// # Panics
+///
+/// Panics if `dataset` is empty or `start_params` has the wrong length.
+pub fn local_update<M: Model>(
+    model: &mut M,
+    start_params: &[f32],
+    dataset: &Dataset,
+    cfg: &SgdConfig,
+    seed: u64,
+) -> Vec<f32> {
+    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    model.set_params(start_params);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batch = cfg.batch_size.max(1).min(dataset.len());
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch) {
+            let sub = dataset.subset(chunk);
+            let (_, mut grad) = model.loss_and_grad(&sub.x, &sub.y);
+            if let Some(clip) = cfg.clip {
+                clip_gradient(&mut grad, clip);
+            }
+            let mut params = model.params();
+            axpy(&mut params, -cfg.lr, &grad);
+            model.set_params(&params);
+        }
+    }
+    model.params()
+}
+
+/// Scales `grad` down so its L2 norm is at most `max_norm`.
+pub fn clip_gradient(grad: &mut [f32], max_norm: f32) {
+    let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+}
+
+/// Averages parameter vectors element-wise — what the aggregation of
+/// Algorithm 1 computes once trainers divide by the appended counter.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or lengths differ.
+pub fn average_params(updates: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "no updates to average");
+    let len = updates[0].len();
+    let mut acc = vec![0.0f32; len];
+    for u in updates {
+        assert_eq!(u.len(), len, "update length mismatch");
+        axpy(&mut acc, 1.0, u);
+    }
+    let scale = 1.0 / updates.len() as f32;
+    for a in acc.iter_mut() {
+        *a *= scale;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::make_blobs;
+    use crate::model::LogisticRegression;
+
+    #[test]
+    fn local_update_is_deterministic() {
+        let ds = make_blobs(64, 3, 2, 0.4, 1);
+        let mut model = LogisticRegression::new(3, 2);
+        let start = model.params();
+        let cfg = SgdConfig { epochs: 2, ..SgdConfig::default() };
+        let a = local_update(&mut model, &start, &ds, &cfg, 42);
+        let b = local_update(&mut model, &start, &ds, &cfg, 42);
+        assert_eq!(a, b);
+        let c = local_update(&mut model, &start, &ds, &cfg, 43);
+        assert_ne!(a, c, "different seed shuffles differently");
+    }
+
+    #[test]
+    fn local_update_reduces_loss() {
+        let ds = make_blobs(128, 3, 2, 0.4, 2);
+        let mut model = LogisticRegression::new(3, 2);
+        let start = model.params();
+        let (loss_before, _) = model.loss_and_grad(&ds.x, &ds.y);
+        let updated = local_update(
+            &mut model,
+            &start,
+            &ds,
+            &SgdConfig { lr: 0.3, epochs: 5, ..SgdConfig::default() },
+            1,
+        );
+        model.set_params(&updated);
+        let (loss_after, _) = model.loss_and_grad(&ds.x, &ds.y);
+        assert!(loss_after < loss_before, "{loss_before} -> {loss_after}");
+    }
+
+    #[test]
+    fn clip_bounds_norm() {
+        let mut g = vec![3.0, 4.0]; // norm 5
+        clip_gradient(&mut g, 1.0);
+        let norm: f32 = g.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        // Under the bound: untouched.
+        let mut small = vec![0.1, 0.1];
+        clip_gradient(&mut small, 1.0);
+        assert_eq!(small, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn average_params_is_mean() {
+        let avg = average_params(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        assert_eq!(avg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn average_empty_panics() {
+        average_params(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn train_empty_dataset_panics() {
+        let ds = Dataset { x: crate::linalg::Matrix::zeros(0, 2), y: vec![] };
+        let mut model = LogisticRegression::new(2, 2);
+        let start = model.params();
+        local_update(&mut model, &start, &ds, &SgdConfig::default(), 0);
+    }
+}

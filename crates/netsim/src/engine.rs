@@ -1,0 +1,606 @@
+//! Discrete-event simulation engine.
+//!
+//! Protocol code is written as [`Actor`]s: state machines that react to
+//! start-up, timers, and delivered messages, and act through a [`Context`]
+//! (send a message, set a timer, record a measurement). Message transport is
+//! simulated at flow level: every message is a flow with an explicit wire
+//! size, shaped by the max–min fair allocator in [`crate::fair`] and the
+//! per-node access-link latency.
+//!
+//! Determinism: the event queue orders by `(time, sequence)` where the
+//! sequence number increments per scheduled event, so runs with the same
+//! inputs produce identical traces bit-for-bit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::fair::{max_min_rates, FlowDesc};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Identifies a node in the simulation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Access-link characteristics of a node.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Uplink capacity, bits per second.
+    pub up_bps: f64,
+    /// Downlink capacity, bits per second.
+    pub down_bps: f64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// A symmetric link of `mbps` megabits/s with the given latency.
+    pub fn symmetric_mbps(mbps: u64, latency: SimDuration) -> LinkSpec {
+        let bps = (mbps * 1_000_000) as f64;
+        LinkSpec { up_bps: bps, down_bps: bps, latency }
+    }
+}
+
+/// A protocol participant. Implementations hold their own state and react
+/// to events through the [`Context`].
+///
+/// The type parameter `M` is the application message type shared by all
+/// actors in one simulation.
+pub trait Actor<M> {
+    /// Called once at simulation start (time 0).
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message sent with [`Context::send`] is fully delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _token: u64) {}
+}
+
+/// An in-flight message transfer.
+#[derive(Debug)]
+struct Flow<M> {
+    src: NodeId,
+    dst: NodeId,
+    bytes_remaining: f64,
+    /// Current fair-share rate in bits/s (updated on every reallocation).
+    rate_bps: f64,
+    msg: Option<M>,
+    total_bytes: u64,
+}
+
+/// Queued simulation events.
+enum EventKind {
+    Start(NodeId),
+    Timer { node: NodeId, token: u64 },
+    /// Check flow progress; fires at the predicted next completion.
+    FlowCheck,
+    /// A fully-transferred message arrives after the propagation latency.
+    Deliver { flow_id: u64 },
+}
+
+/// Commands produced by actors during a callback; applied by the engine
+/// afterwards (so the actor can't observe half-updated engine state).
+enum Command<M> {
+    Send { from: NodeId, to: NodeId, bytes: u64, msg: M },
+    Timer { node: NodeId, delay: SimDuration, token: u64 },
+}
+
+/// The actor's window into the engine during a callback.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    commands: &'a mut Vec<Command<M>>,
+    trace: &'a mut Trace,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's node id.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` as a flow of `bytes` wire bytes. Delivery fires
+    /// `on_message` at the destination once the flow completes plus one
+    /// propagation latency. A `bytes` of 0 models a latency-only control
+    /// message.
+    pub fn send(&mut self, to: NodeId, bytes: u64, msg: M) {
+        self.commands.push(Command::Send { from: self.self_id, to, bytes, msg });
+    }
+
+    /// Schedules `on_timer(token)` on this actor after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.commands.push(Command::Timer { node: self.self_id, delay, token });
+    }
+
+    /// Records a measurement point in the shared trace.
+    pub fn record(&mut self, label: &str, value: f64) {
+        let now = self.now;
+        let id = self.self_id;
+        self.trace.record(now, id, label, value);
+    }
+
+    /// Read access to the trace (e.g. to check a milestone already happened).
+    pub fn trace(&self) -> &Trace {
+        self.trace
+    }
+}
+
+/// The simulation: nodes, links, queued events, and in-flight flows.
+///
+/// ```
+/// use dfl_netsim::engine::{Actor, Context, LinkSpec, NodeId, Simulation};
+/// use dfl_netsim::time::SimDuration;
+///
+/// struct Ping { peer: Option<NodeId> }
+/// impl Actor<u32> for Ping {
+///     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+///         if let Some(peer) = self.peer {
+///             ctx.send(peer, 1000, 7);
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: NodeId, msg: u32) {
+///         ctx.record("got", msg as f64);
+///     }
+/// }
+///
+/// let mut sim = Simulation::new();
+/// let link = LinkSpec::symmetric_mbps(10, SimDuration::from_millis(5));
+/// let b = sim.reserve_id(1);
+/// let a = sim.add_node(Ping { peer: Some(b) }, link);
+/// sim.add_node(Ping { peer: None }, link);
+/// sim.run();
+/// assert_eq!(sim.trace().find(b, "got").len(), 1);
+/// # let _ = a;
+/// ```
+pub struct Simulation<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    links: Vec<LinkSpec>,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    queued: HashMap<(SimTime, u64), EventKind>,
+    seq: u64,
+    now: SimTime,
+    flows: HashMap<u64, Flow<M>>,
+    next_flow_id: u64,
+    /// Time at which `flows` progress was last advanced.
+    flows_updated_at: SimTime,
+    trace: Trace,
+    commands: Vec<Command<M>>,
+    limit: Option<SimTime>,
+}
+
+impl<M> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Simulation<M> {
+    /// Creates an empty simulation.
+    pub fn new() -> Simulation<M> {
+        Simulation {
+            actors: Vec::new(),
+            links: Vec::new(),
+            queue: BinaryHeap::new(),
+            queued: HashMap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            flows: HashMap::new(),
+            next_flow_id: 0,
+            flows_updated_at: SimTime::ZERO,
+            trace: Trace::new(),
+            commands: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Stops the simulation when simulated time reaches `t` (events after
+    /// `t` are not processed).
+    pub fn set_time_limit(&mut self, t: SimTime) {
+        self.limit = Some(t);
+    }
+
+    /// The id the next call to [`Simulation::add_node`] will return, offset
+    /// by `ahead`. Lets mutually-referencing actors be constructed before
+    /// their peers exist.
+    pub fn reserve_id(&self, ahead: usize) -> NodeId {
+        NodeId(self.actors.len() + ahead)
+    }
+
+    /// Adds an actor behind the given access link; returns its id.
+    pub fn add_node(&mut self, actor: impl Actor<M> + 'static, link: LinkSpec) -> NodeId {
+        let id = NodeId(self.actors.len());
+        self.actors.push(Some(Box::new(actor)));
+        self.links.push(link);
+        self.push_event(SimTime::ZERO, EventKind::Start(id));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The measurement trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulation, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Immutable access to an actor (for post-run inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actor(&self, id: NodeId) -> &dyn Actor<M> {
+        self.actors[id.0].as_deref().expect("actor present outside callbacks")
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let key = (time, self.seq);
+        self.seq += 1;
+        self.queue.push(Reverse(key));
+        self.queued.insert(key, kind);
+    }
+
+    /// Runs until the event queue drains (or the time limit is hit).
+    pub fn run(&mut self) {
+        while let Some(Reverse(key)) = self.queue.pop() {
+            let (time, _) = key;
+            if let Some(limit) = self.limit {
+                if time > limit {
+                    break;
+                }
+            }
+            let kind = self.queued.remove(&key).expect("queued event has a body");
+            debug_assert!(time >= self.now, "time must not run backwards");
+            // Advance flow progress to `time` before handling the event.
+            self.advance_flows_to(time);
+            self.now = time;
+            match kind {
+                EventKind::Start(node) => self.dispatch(node, |actor, ctx| actor.on_start(ctx)),
+                EventKind::Timer { node, token } => {
+                    self.dispatch(node, |actor, ctx| actor.on_timer(ctx, token))
+                }
+                EventKind::FlowCheck => self.complete_finished_flows(),
+                EventKind::Deliver { flow_id } => {
+                    if let Some(flow) = self.flows.remove(&flow_id) {
+                        let msg = flow.msg.expect("deliver carries the message");
+                        self.trace.count_bytes(flow.src, flow.dst, flow.total_bytes);
+                        self.dispatch(flow.dst, |actor, ctx| {
+                            actor.on_message(ctx, flow.src, msg)
+                        });
+                    }
+                }
+            }
+            self.apply_commands();
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    ) {
+        let mut actor = self.actors[node.0].take().expect("no reentrant dispatch");
+        let mut ctx = Context {
+            now: self.now,
+            self_id: node,
+            commands: &mut self.commands,
+            trace: &mut self.trace,
+        };
+        f(actor.as_mut(), &mut ctx);
+        self.actors[node.0] = Some(actor);
+    }
+
+    fn apply_commands(&mut self) {
+        let commands = std::mem::take(&mut self.commands);
+        let mut flows_changed = false;
+        for cmd in commands {
+            match cmd {
+                Command::Send { from, to, bytes, msg } => {
+                    let id = self.next_flow_id;
+                    self.next_flow_id += 1;
+                    if bytes == 0 {
+                        // Latency-only control message: skip the scheduler.
+                        let latency = self.links[from.0].latency + self.links[to.0].latency;
+                        self.flows.insert(
+                            id,
+                            Flow {
+                                src: from,
+                                dst: to,
+                                bytes_remaining: 0.0,
+                                rate_bps: 0.0,
+                                msg: Some(msg),
+                                total_bytes: 0,
+                            },
+                        );
+                        self.push_event(self.now + latency, EventKind::Deliver { flow_id: id });
+                    } else {
+                        self.flows.insert(
+                            id,
+                            Flow {
+                                src: from,
+                                dst: to,
+                                bytes_remaining: bytes as f64,
+                                rate_bps: 0.0,
+                                msg: Some(msg),
+                                total_bytes: bytes,
+                            },
+                        );
+                        flows_changed = true;
+                    }
+                }
+                Command::Timer { node, delay, token } => {
+                    self.push_event(self.now + delay, EventKind::Timer { node, token });
+                }
+            }
+        }
+        if flows_changed {
+            self.reallocate_and_schedule();
+        }
+    }
+
+    /// Moves every active flow forward to time `t` at its current rate.
+    fn advance_flows_to(&mut self, t: SimTime) {
+        let dt = t.saturating_duration_since(self.flows_updated_at).as_secs_f64();
+        if dt > 0.0 {
+            for flow in self.flows.values_mut() {
+                if flow.rate_bps > 0.0 {
+                    flow.bytes_remaining -= flow.rate_bps / 8.0 * dt;
+                }
+            }
+        }
+        self.flows_updated_at = t;
+    }
+
+    /// Completes any flows that have delivered all bytes, then reallocates.
+    fn complete_finished_flows(&mut self) {
+        let mut finished: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.rate_bps > 0.0 && f.bytes_remaining <= 0.5)
+            .map(|(&id, _)| id)
+            .collect();
+        if finished.is_empty() {
+            return;
+        }
+        finished.sort_unstable(); // deterministic delivery order
+
+        for id in finished {
+            let flow = self.flows.get_mut(&id).expect("listed flow exists");
+            flow.bytes_remaining = 0.0;
+            flow.rate_bps = 0.0;
+            let latency =
+                self.links[flow.src.0].latency + self.links[flow.dst.0].latency;
+            self.push_event(self.now + latency, EventKind::Deliver { flow_id: id });
+        }
+        self.reallocate_and_schedule();
+    }
+
+    /// Recomputes fair-share rates and schedules the next completion check.
+    fn reallocate_and_schedule(&mut self) {
+        let mut ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.bytes_remaining > 0.0)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable(); // deterministic order
+        if ids.is_empty() {
+            return;
+        }
+        let descs: Vec<FlowDesc> = ids
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                FlowDesc { src: f.src.0, dst: f.dst.0 }
+            })
+            .collect();
+        let up: Vec<f64> = self.links.iter().map(|l| l.up_bps).collect();
+        let down: Vec<f64> = self.links.iter().map(|l| l.down_bps).collect();
+        let rates = max_min_rates(&descs, &up, &down);
+
+        let mut earliest: Option<f64> = None;
+        for (id, rate) in ids.iter().zip(rates) {
+            let flow = self.flows.get_mut(id).expect("flow exists");
+            flow.rate_bps = rate;
+            if rate > 0.0 {
+                let secs = flow.bytes_remaining * 8.0 / rate;
+                earliest = Some(match earliest {
+                    Some(e) => e.min(secs),
+                    None => secs,
+                });
+            }
+        }
+        if let Some(secs) = earliest {
+            // Round up to the next microsecond so progress strictly advances.
+            let delay = SimDuration::from_micros((secs * 1e6).ceil().max(1.0) as u64);
+            self.push_event(self.now + delay, EventKind::FlowCheck);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fair::mbps;
+
+    /// Echoes every received message back to the sender with the same size.
+    struct Echo;
+    impl Actor<&'static str> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, from: NodeId, _m: &'static str) {
+            ctx.record("echoed", 1.0);
+            ctx.send(from, 1_000, "reply");
+        }
+    }
+
+    /// Sends one message at start and records when the reply arrives.
+    struct Client {
+        server: NodeId,
+        bytes: u64,
+    }
+    impl Actor<&'static str> for Client {
+        fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+            ctx.send(self.server, self.bytes, "request");
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, _f: NodeId, _m: &'static str) {
+            ctx.record("reply_at", ctx.now().as_secs_f64());
+        }
+    }
+
+    fn link_10mbps() -> LinkSpec {
+        LinkSpec { up_bps: mbps(10), down_bps: mbps(10), latency: SimDuration::from_millis(10) }
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        // 1.25 MB over 10 Mbps = 1 s + 4 × 10 ms latency (two hops each way).
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let _client = sim.add_node(Client { server, bytes: 1_250_000 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        sim.run();
+        let events = sim.trace().find(NodeId(0), "reply_at");
+        assert_eq!(events.len(), 1);
+        let t = events[0].value;
+        // request: 1s + 20ms; reply: 1000B (0.8ms) + 20ms.
+        let expect = 1.0 + 0.02 + 0.0008 + 0.02;
+        assert!((t - expect).abs() < 1e-3, "reply at {t}, expected ~{expect}");
+    }
+
+    #[test]
+    fn concurrent_uploads_share_downlink() {
+        // Two clients upload 1.25 MB each to one server: the server's 10 Mbps
+        // downlink is shared, so both take ~2 s instead of ~1 s.
+        struct Sink {
+            received: usize,
+        }
+        impl Actor<&'static str> for Sink {
+            fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, _f: NodeId, _m: &'static str) {
+                self.received += 1;
+                ctx.record("done_at", ctx.now().as_secs_f64());
+            }
+        }
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(2);
+        sim.add_node(Client { server, bytes: 1_250_000 }, link_10mbps());
+        sim.add_node(Client { server, bytes: 1_250_000 }, link_10mbps());
+        sim.add_node(Sink { received: 0 }, link_10mbps());
+        sim.run();
+        let events = sim.trace().find(server, "done_at");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert!((e.value - 2.02).abs() < 0.01, "shared transfer at {}", e.value);
+        }
+    }
+
+    #[test]
+    fn zero_byte_message_is_latency_only() {
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        sim.add_node(Client { server, bytes: 0 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        sim.run();
+        let events = sim.trace().find(NodeId(0), "reply_at");
+        assert_eq!(events.len(), 1);
+        // 20 ms there + 0.8 ms reply payload + 20 ms back.
+        assert!(events[0].value < 0.05);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl Actor<()> for Timed {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::from_secs(3), 3);
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+                ctx.set_timer(SimDuration::from_secs(2), 2);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, token: u64) {
+                self.fired.push(token);
+                ctx.record("fired", token as f64);
+            }
+        }
+        let mut sim = Simulation::new();
+        let id = sim.add_node(Timed { fired: Vec::new() }, link_10mbps());
+        sim.run();
+        let fired: Vec<f64> = sim.trace().find(id, "fired").iter().map(|e| e.value).collect();
+        assert_eq!(fired, vec![1.0, 2.0, 3.0]);
+        assert_eq!(sim.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let client = sim.add_node(Client { server, bytes: 5_000 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        sim.run();
+        assert_eq!(sim.trace().bytes_received(server), 5_000);
+        assert_eq!(sim.trace().bytes_sent(client), 5_000);
+        assert_eq!(sim.trace().bytes_received(client), 1_000); // the echo
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> Vec<(u64, String, f64)> {
+            let mut sim = Simulation::new();
+            let server = sim.reserve_id(2);
+            sim.add_node(Client { server, bytes: 777_777 }, link_10mbps());
+            sim.add_node(Client { server, bytes: 123_456 }, link_10mbps());
+            sim.add_node(Echo, link_10mbps());
+            sim.run();
+            sim.trace()
+                .events()
+                .iter()
+                .map(|e| (e.time.as_micros(), e.label.clone(), e.value))
+                .collect()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn time_limit_stops_run() {
+        struct Forever;
+        impl Actor<()> for Forever {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _token: u64) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.add_node(Forever, link_10mbps());
+        sim.set_time_limit(SimTime::from_micros(10_500_000));
+        sim.run();
+        assert!(sim.now().as_secs_f64() <= 10.5);
+    }
+}

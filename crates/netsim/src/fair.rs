@@ -1,0 +1,237 @@
+//! Max–min fair bandwidth allocation (progressive water-filling).
+//!
+//! Each node has an access link with finite uplink and downlink capacity —
+//! the same model mininet emulates for the paper's testbed, where trainers,
+//! aggregators, and IPFS nodes all sit behind 10–20 Mbps links. Every active
+//! flow is constrained by its source's uplink and its destination's
+//! downlink; rates are assigned max–min fairly: the most contended link is
+//! saturated first, its flows are frozen at the fair share, and the process
+//! repeats on the residual network.
+//!
+//! This is the standard fluid approximation of TCP fair sharing and is what
+//! makes the Fig. 1 provider-count trade-off appear: many trainers uploading
+//! into one IPFS provider split its downlink, while an aggregator fetching
+//! from many providers splits its own downlink.
+
+/// One directed flow between two nodes, described by the link constraints it
+/// crosses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FlowDesc {
+    /// Index of the source node (constrains via its uplink).
+    pub src: usize,
+    /// Index of the destination node (constrains via its downlink).
+    pub dst: usize,
+}
+
+/// Computes max–min fair rates (in bits/s) for `flows`, given per-node
+/// uplink and downlink capacities (bits/s).
+///
+/// Returns one rate per flow, in input order. Nodes with zero capacity
+/// starve their flows (rate 0) rather than panicking, so callers can model
+/// dead links.
+///
+/// # Panics
+///
+/// Panics if a flow references a node index out of bounds.
+pub fn max_min_rates(flows: &[FlowDesc], up_bps: &[f64], down_bps: &[f64]) -> Vec<f64> {
+    assert_eq!(up_bps.len(), down_bps.len(), "capacity arrays must align");
+    let n_nodes = up_bps.len();
+    for f in flows {
+        assert!(f.src < n_nodes && f.dst < n_nodes, "flow references unknown node");
+    }
+
+    // Constraint indices: 0..n = uplinks, n..2n = downlinks.
+    let mut remaining: Vec<f64> = up_bps.iter().chain(down_bps.iter()).copied().collect();
+    let mut unfrozen_count = vec![0usize; 2 * n_nodes];
+    for f in flows {
+        unfrozen_count[f.src] += 1;
+        unfrozen_count[n_nodes + f.dst] += 1;
+    }
+
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut n_frozen = 0;
+
+    while n_frozen < flows.len() {
+        // Find the bottleneck: the constraint with the smallest fair share.
+        let mut best: Option<(usize, f64)> = None;
+        for (c, &cap) in remaining.iter().enumerate() {
+            if unfrozen_count[c] == 0 {
+                continue;
+            }
+            let share = (cap / unfrozen_count[c] as f64).max(0.0);
+            match best {
+                Some((_, s)) if s <= share => {}
+                _ => best = Some((c, share)),
+            }
+        }
+        let (bottleneck, share) = best.expect("unfrozen flows imply an active constraint");
+
+        // Freeze every unfrozen flow crossing the bottleneck at the share,
+        // and charge its rate to the other constraint it crosses.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let up_c = f.src;
+            let down_c = n_nodes + f.dst;
+            if up_c == bottleneck || down_c == bottleneck {
+                rates[i] = share;
+                frozen[i] = true;
+                n_frozen += 1;
+                for c in [up_c, down_c] {
+                    if c != bottleneck {
+                        remaining[c] = (remaining[c] - share).max(0.0);
+                        unfrozen_count[c] -= 1;
+                    } else {
+                        unfrozen_count[c] -= 1;
+                    }
+                }
+            }
+        }
+        remaining[bottleneck] = 0.0;
+    }
+    rates
+}
+
+/// Convenience: megabits/s → bits/s.
+pub const fn mbps(v: u64) -> f64 {
+    (v * 1_000_000) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-6;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < EPS * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        // Source uplink 10 Mbps, destination downlink 4 Mbps → flow gets 4.
+        let rates = max_min_rates(
+            &[FlowDesc { src: 0, dst: 1 }],
+            &[mbps(10), mbps(10)],
+            &[mbps(10), mbps(4)],
+        );
+        assert!(close(rates[0], mbps(4)));
+    }
+
+    #[test]
+    fn two_flows_share_downlink_equally() {
+        // Two sources into one sink with 10 Mbps downlink → 5 Mbps each.
+        let flows = [FlowDesc { src: 0, dst: 2 }, FlowDesc { src: 1, dst: 2 }];
+        let rates = max_min_rates(&flows, &[mbps(100); 3], &[mbps(10); 3]);
+        assert!(close(rates[0], mbps(5)));
+        assert!(close(rates[1], mbps(5)));
+    }
+
+    #[test]
+    fn asymmetric_sources_max_min() {
+        // Source 0 is limited to 2 Mbps uplink; source 1 is fast. Sink has
+        // 10 Mbps downlink. Max–min: flow 0 gets 2, flow 1 gets the rest (8).
+        let flows = [FlowDesc { src: 0, dst: 2 }, FlowDesc { src: 1, dst: 2 }];
+        let rates = max_min_rates(&flows, &[mbps(2), mbps(100), mbps(100)], &[mbps(10); 3]);
+        assert!(close(rates[0], mbps(2)), "slow source pinned at its uplink");
+        assert!(close(rates[1], mbps(8)), "fast source takes the residual");
+    }
+
+    #[test]
+    fn fan_out_shares_uplink() {
+        // One source sending to 4 sinks over a 8 Mbps uplink → 2 Mbps each.
+        let flows: Vec<_> = (1..=4).map(|d| FlowDesc { src: 0, dst: d }).collect();
+        let rates = max_min_rates(&flows, &[mbps(8); 5], &[mbps(100); 5]);
+        for r in rates {
+            assert!(close(r, mbps(2)));
+        }
+    }
+
+    #[test]
+    fn independent_flows_unconstrained_by_each_other() {
+        let flows = [FlowDesc { src: 0, dst: 1 }, FlowDesc { src: 2, dst: 3 }];
+        let rates = max_min_rates(&flows, &[mbps(10); 4], &[mbps(10); 4]);
+        assert!(close(rates[0], mbps(10)));
+        assert!(close(rates[1], mbps(10)));
+    }
+
+    #[test]
+    fn zero_capacity_starves() {
+        let rates = max_min_rates(
+            &[FlowDesc { src: 0, dst: 1 }],
+            &[0.0, mbps(10)],
+            &[mbps(10), mbps(10)],
+        );
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_rates(&[], &[mbps(1)], &[mbps(1)]).is_empty());
+    }
+
+    #[test]
+    fn paper_fig1_topology_shape() {
+        // 16 trainers upload to P providers (trainers assigned round-robin),
+        // all links 10 Mbps. With P=1 the provider downlink is the
+        // bottleneck (10/16 Mbps per trainer); with P=16 each trainer gets
+        // its full uplink.
+        for (p, expect_per_flow) in [(1usize, mbps(10) / 16.0), (16, mbps(10))] {
+            let n = 16 + p;
+            let flows: Vec<_> = (0..16)
+                .map(|t| FlowDesc { src: t, dst: 16 + (t % p) })
+                .collect();
+            let rates = max_min_rates(&flows, &vec![mbps(10); n], &vec![mbps(10); n]);
+            for r in &rates {
+                assert!(close(*r, expect_per_flow), "P={p}: rate {r} != {expect_per_flow}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rates_respect_capacities(
+            n_nodes in 2usize..6,
+            flow_pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..12),
+            caps in proptest::collection::vec(1u64..100, 12),
+        ) {
+            let flows: Vec<_> = flow_pairs
+                .iter()
+                .map(|&(s, d)| FlowDesc { src: s % n_nodes, dst: d % n_nodes })
+                .collect();
+            let up: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i])).collect();
+            let down: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i + 6])).collect();
+            let rates = max_min_rates(&flows, &up, &down);
+
+            // No link is oversubscribed.
+            for node in 0..n_nodes {
+                let out: f64 = flows.iter().zip(&rates).filter(|(f, _)| f.src == node).map(|(_, r)| r).sum();
+                let inn: f64 = flows.iter().zip(&rates).filter(|(f, _)| f.dst == node).map(|(_, r)| r).sum();
+                prop_assert!(out <= up[node] * (1.0 + 1e-9) + 1.0);
+                prop_assert!(inn <= down[node] * (1.0 + 1e-9) + 1.0);
+            }
+            // Every flow with positive capacities gets a positive rate.
+            for (f, r) in flows.iter().zip(&rates) {
+                if up[f.src] > 0.0 && down[f.dst] > 0.0 {
+                    prop_assert!(*r > 0.0);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_single_bottleneck_equal_shares(n_flows in 1usize..20, cap in 1u64..1000) {
+            // n flows from distinct sources into one sink: all equal.
+            let flows: Vec<_> = (0..n_flows).map(|i| FlowDesc { src: i, dst: n_flows }).collect();
+            let up = vec![mbps(cap) * 10.0; n_flows + 1];
+            let down = vec![mbps(cap); n_flows + 1];
+            let rates = max_min_rates(&flows, &up, &down);
+            let expect = mbps(cap) / n_flows as f64;
+            for r in rates {
+                prop_assert!((r - expect).abs() < 1e-6 * expect.max(1.0));
+            }
+        }
+    }
+}

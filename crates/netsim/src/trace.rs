@@ -1,0 +1,118 @@
+//! Measurement collection for simulation runs.
+//!
+//! Actors record named milestones (`ctx.record("upload_done", t)`), and the
+//! engine automatically accounts bytes sent/received per node. Experiment
+//! harnesses read the trace after `run()` to compute the delays the paper
+//! reports (upload delay, aggregation delay, synchronization delay, bytes
+//! per aggregator).
+
+use std::collections::HashMap;
+
+use crate::engine::NodeId;
+use crate::time::SimTime;
+
+/// One recorded measurement point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// When it was recorded.
+    pub time: SimTime,
+    /// Which node recorded it.
+    pub node: NodeId,
+    /// Free-form label, e.g. `"gradient_uploaded"`.
+    pub label: String,
+    /// Numeric payload (often a timestamp or a count).
+    pub value: f64,
+}
+
+/// The full record of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    tx_bytes: HashMap<NodeId, u64>,
+    rx_bytes: HashMap<NodeId, u64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a measurement point.
+    pub fn record(&mut self, time: SimTime, node: NodeId, label: &str, value: f64) {
+        self.events.push(TraceEvent { time, node, label: label.to_string(), value });
+    }
+
+    /// Accounts a completed transfer (called by the engine).
+    pub fn count_bytes(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
+        *self.tx_bytes.entry(src).or_default() += bytes;
+        *self.rx_bytes.entry(dst).or_default() += bytes;
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events recorded by `node` with label `label`.
+    pub fn find(&self, node: NodeId, label: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.node == node && e.label == label).collect()
+    }
+
+    /// Events with label `label` from any node.
+    pub fn find_all(&self, label: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.label == label).collect()
+    }
+
+    /// First event with `label` from any node, if any.
+    pub fn first(&self, label: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.label == label)
+    }
+
+    /// Last event with `label` from any node, if any.
+    pub fn last(&self, label: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.label == label)
+    }
+
+    /// Total application bytes sent by `node`.
+    pub fn bytes_sent(&self, node: NodeId) -> u64 {
+        self.tx_bytes.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total application bytes received by `node`.
+    pub fn bytes_received(&self, node: NodeId) -> u64 {
+        self.rx_bytes.get(&node).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut trace = Trace::new();
+        trace.record(SimTime::from_micros(10), NodeId(1), "a", 1.0);
+        trace.record(SimTime::from_micros(20), NodeId(2), "a", 2.0);
+        trace.record(SimTime::from_micros(30), NodeId(1), "b", 3.0);
+
+        assert_eq!(trace.events().len(), 3);
+        assert_eq!(trace.find(NodeId(1), "a").len(), 1);
+        assert_eq!(trace.find_all("a").len(), 2);
+        assert_eq!(trace.first("a").unwrap().value, 1.0);
+        assert_eq!(trace.last("a").unwrap().value, 2.0);
+        assert!(trace.first("missing").is_none());
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let mut trace = Trace::new();
+        trace.count_bytes(NodeId(0), NodeId(1), 100);
+        trace.count_bytes(NodeId(0), NodeId(2), 50);
+        trace.count_bytes(NodeId(2), NodeId(0), 25);
+        assert_eq!(trace.bytes_sent(NodeId(0)), 150);
+        assert_eq!(trace.bytes_received(NodeId(1)), 100);
+        assert_eq!(trace.bytes_received(NodeId(0)), 25);
+        assert_eq!(trace.bytes_sent(NodeId(3)), 0);
+    }
+}

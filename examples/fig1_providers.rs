@@ -1,0 +1,40 @@
+//! Regenerates Figure 1 of the paper: aggregation delay (top) and trainer
+//! upload delay (bottom) for one FL iteration, versus the number of IPFS
+//! provider nodes per aggregator.
+//!
+//! Setup (§V): 16 trainers, one 1.3 MB partition, one aggregator, all links
+//! 10 Mbps. The merge-and-download series sweeps |P| ∈ {1, 2, 4, 8, 16};
+//! `8 (naive)` is indirect communication without merging and `8 (direct)`
+//! is the original IPLS direct-link design.
+//!
+//! Run with: `cargo run --release --example fig1_providers`
+
+use dfl_bench::fig1_providers;
+
+fn main() {
+    println!("Figure 1 — delays vs providers (16 trainers, 1.3 MB partition, 10 Mbps)");
+    println!("{:<12} {:>22} {:>22}", "providers", "aggregation delay (s)", "upload delay (s)");
+    let points = fig1_providers();
+    for p in &points {
+        println!(
+            "{:<12} {:>22.2} {:>22.2}",
+            p.label, p.aggregation_delay, p.upload_delay
+        );
+    }
+
+    // The √|T| optimum from §III-E: the provider count that minimizes the
+    // overall completion time τ ≈ upload + aggregation.
+    let best = points
+        .iter()
+        .filter(|p| !p.label.contains('('))
+        .min_by(|a, b| {
+            (a.aggregation_delay + a.upload_delay)
+                .partial_cmp(&(b.aggregation_delay + b.upload_delay))
+                .expect("finite")
+        })
+        .expect("points");
+    println!(
+        "\nBest upload/aggregation trade-off at |P| = {} (paper predicts √16 = 4).",
+        best.providers
+    );
+}

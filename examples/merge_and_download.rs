@@ -1,0 +1,44 @@
+//! Interactive exploration of the merge-and-download trade-off (§III-E):
+//! sweeps the provider count on a fixed topology and reports where the
+//! completion-time optimum lands versus the paper's √|T_ij| prediction.
+//!
+//! Run with: `cargo run --release --example merge_and_download`
+//! Optionally set `TRAINERS` (default 16) to move the optimum.
+
+use dfl_bench::{fig1_config, fig1_param_count, run_network_experiment};
+use decentralized_fl::protocol::CommMode;
+
+fn main() {
+    let trainers: usize = std::env::var("TRAINERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let sqrt = (trainers as f64).sqrt();
+    println!("Merge-and-download sweep: {trainers} trainers, 1.3 MB partition, 10 Mbps");
+    println!("(paper's model: τ = S·(|T|/(d·|P|) + |P|/b), minimized at |P| ≈ √|T| = {sqrt:.1})\n");
+    println!("{:>10} {:>12} {:>14} {:>12}", "providers", "upload (s)", "aggregate (s)", "total (s)");
+
+    let mut best: Option<(usize, f64)> = None;
+    let mut providers = 1usize;
+    while providers <= trainers {
+        let mut cfg = fig1_config();
+        cfg.trainers = trainers;
+        cfg.ipfs_nodes = trainers;
+        cfg.comm = CommMode::MergeAndDownload;
+        cfg.providers_per_aggregator = providers;
+        let report = run_network_experiment(cfg, fig1_param_count());
+        let round = &report.rounds[0];
+        let total = round.upload_delay_avg + round.aggregation_delay;
+        println!(
+            "{:>10} {:>12.2} {:>14.2} {:>12.2}",
+            providers, round.upload_delay_avg, round.aggregation_delay, total
+        );
+        if best.is_none_or(|(_, t)| total < t) {
+            best = Some((providers, total));
+        }
+        providers *= 2;
+    }
+
+    let (best_p, best_t) = best.expect("at least one point");
+    println!("\nMeasured optimum: |P| = {best_p} ({best_t:.2}s total) — prediction √|T| = {sqrt:.1}.");
+}

@@ -1,0 +1,179 @@
+//! `dfl` — command-line driver for the decentralized FL system.
+//!
+//! ```text
+//! dfl run   [--trainers N] [--partitions N] [--aggregators N] [--nodes N]
+//!           [--rounds N] [--comm direct|indirect|merge] [--providers N]
+//!           [--verifiable] [--authenticate] [--compact] [--replication N]
+//!           [--bandwidth MBPS] [--seed S]
+//! dfl fig1 | fig2 | fig3      # regenerate a paper figure's series
+//! ```
+//!
+//! Build and run with `cargo run --release --bin dfl -- run --trainers 8`.
+
+use std::process::ExitCode;
+
+use decentralized_fl::ml::{data, metrics, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("fig1") => {
+            print_fig1();
+            ExitCode::SUCCESS
+        }
+        Some("fig2") => {
+            print_fig2();
+            ExitCode::SUCCESS
+        }
+        Some("fig3") => {
+            print_fig3();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: dfl <run|fig1|fig2|fig3> [flags]  (see --help in source)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny flag parser: `--name value` and boolean `--name`.
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn cmd_run(rest: &[String]) -> ExitCode {
+    match try_run(rest) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_run(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let comm = match flags.get("--comm").unwrap_or("indirect") {
+        "direct" => CommMode::Direct,
+        "indirect" => CommMode::Indirect,
+        "merge" => CommMode::MergeAndDownload,
+        other => return Err(format!("unknown --comm {other:?} (direct|indirect|merge)")),
+    };
+    let cfg = TaskConfig {
+        trainers: flags.num("--trainers", 8)? as usize,
+        partitions: flags.num("--partitions", 2)? as usize,
+        aggregators_per_partition: flags.num("--aggregators", 1)? as usize,
+        ipfs_nodes: flags.num("--nodes", 4)? as usize,
+        providers_per_aggregator: flags.num("--providers", 2)? as usize,
+        comm,
+        verifiable: flags.flag("--verifiable"),
+        authenticate: flags.flag("--authenticate"),
+        compact_registration: flags.flag("--compact"),
+        replication: flags.num("--replication", 1)? as usize,
+        rounds: flags.num("--rounds", 3)?,
+        bandwidth_mbps: flags.num("--bandwidth", 10)?,
+        seed: flags.num("--seed", 0)?,
+        ..TaskConfig::default()
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+
+    let dataset = data::make_blobs(50 * cfg.trainers, 4, 3, 0.5, cfg.seed);
+    let clients = data::partition_iid(&dataset, cfg.trainers, cfg.seed);
+    let model = LogisticRegression::new(4, 3);
+    let initial = model.params();
+    let sgd = SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None };
+
+    println!(
+        "task: {} trainers, {} partitions × {} aggregators, {} storage nodes, {:?}, \
+         verifiable={}, authenticated={}, {} round(s)",
+        cfg.trainers,
+        cfg.partitions,
+        cfg.aggregators_per_partition,
+        cfg.ipfs_nodes,
+        cfg.comm,
+        cfg.verifiable,
+        cfg.authenticate,
+        cfg.rounds
+    );
+    let report = run_task(cfg.clone(), model.clone(), initial, clients, sgd, &[])
+        .map_err(|e| e.to_string())?;
+
+    for round in &report.rounds {
+        println!(
+            "round {}: upload {:.2}s | aggregation {:.2}s | sync {:.2}s | total {:.2}s",
+            round.round,
+            round.upload_delay_avg,
+            round.aggregation_delay,
+            round.sync_delay,
+            round.round_duration
+        );
+    }
+    if !report.succeeded(&cfg) {
+        return Err(format!(
+            "only {}/{} rounds completed (verification failures: {})",
+            report.completed_rounds, cfg.rounds, report.verification_failures
+        ));
+    }
+    let consensus = report.consensus_params().ok_or("trainers disagree on the final model")?;
+    let mut evaluate = model;
+    evaluate.set_params(&consensus);
+    let acc = metrics::accuracy(&evaluate.predict(&dataset.x), &dataset.y);
+    println!("final training accuracy: {:.1}%", acc * 100.0);
+    println!("verification failures: {}", report.verification_failures);
+    Ok(())
+}
+
+fn print_fig1() {
+    println!("Figure 1 — delays vs providers");
+    println!("{:<12} {:>18} {:>14}", "providers", "aggregation (s)", "upload (s)");
+    for point in dfl_bench_points_fig1() {
+        println!("{:<12} {:>18.2} {:>14.2}", point.label, point.aggregation_delay, point.upload_delay);
+    }
+}
+
+fn dfl_bench_points_fig1() -> Vec<dfl_bench::Fig1Point> {
+    dfl_bench::fig1_providers()
+}
+
+fn print_fig2() {
+    println!("Figure 2 — effect of |A_i|");
+    println!("{:>6} {:>16} {:>10} {:>10} {:>16}", "|A_i|", "aggregation (s)", "sync (s)", "total (s)", "MB/aggregator");
+    for p in dfl_bench::fig2_aggregators() {
+        println!(
+            "{:>6} {:>16.2} {:>10.2} {:>10.2} {:>16.2}",
+            p.aggregators_per_partition, p.aggregation_delay, p.sync_delay, p.total_delay, p.mb_per_aggregator
+        );
+    }
+}
+
+fn print_fig3() {
+    println!("Figure 3 — hashing vs commitment time");
+    println!("{:>10} {:>14} {:>18} {:>18}", "#params", "SHA-256 (ms)", "Pedersen k1 (ms)", "Pedersen r1 (ms)");
+    for p in dfl_bench::fig3_commitment(&dfl_bench::fig3_default_sizes()) {
+        println!(
+            "{:>10} {:>14.3} {:>18.1} {:>18.1}",
+            p.elements, p.sha256_ms, p.pedersen_k1_ms, p.pedersen_r1_ms
+        );
+    }
+}

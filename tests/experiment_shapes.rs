@@ -1,0 +1,148 @@
+//! Regression tests pinning the *shapes* of the paper's figures — the
+//! reproduction criteria from EXPERIMENTS.md. A change that breaks any of
+//! these breaks the reproduction, even if all functional tests still pass.
+//!
+//! The topologies match the paper's; the partition size is scaled down 4×
+//! so the suite stays fast (all delays scale linearly, shapes unchanged).
+
+use dfl_bench::run_network_experiment;
+use decentralized_fl::netsim::SimDuration;
+use decentralized_fl::protocol::{CommMode, TaskConfig};
+
+/// ~325 KB partition (the paper's 1.3 MB scaled by 4).
+const FIG1_PARAMS: usize = 1_300_000 / 8 / 4;
+/// 4 partitions of ~275 KB (the paper's 1.1 MB scaled by 4).
+const FIG2_PARAMS: usize = 4 * 1_100_000 / 8 / 4;
+
+fn fig1_cfg(comm: CommMode, providers: usize) -> TaskConfig {
+    TaskConfig {
+        trainers: 16,
+        partitions: 1,
+        aggregators_per_partition: 1,
+        ipfs_nodes: if comm == CommMode::Indirect { providers.max(1) } else { 16 },
+        comm,
+        providers_per_aggregator: providers.max(1),
+        bandwidth_mbps: 10,
+        rounds: 1,
+        latency: SimDuration::from_millis(10),
+        seed: 1,
+        ..TaskConfig::default()
+    }
+}
+
+fn fig2_cfg(aggregators_per_partition: usize) -> TaskConfig {
+    TaskConfig {
+        trainers: 16,
+        partitions: 4,
+        aggregators_per_partition,
+        ipfs_nodes: 8,
+        comm: CommMode::Indirect,
+        bandwidth_mbps: 20,
+        ipfs_bandwidth_mbps: Some(200),
+        rounds: 1,
+        latency: SimDuration::from_millis(10),
+        seed: 2,
+        ..TaskConfig::default()
+    }
+}
+
+#[test]
+fn fig1_upload_delay_decreases_with_providers() {
+    let mut last = f64::INFINITY;
+    for providers in [1usize, 4, 16] {
+        let report = run_network_experiment(
+            fig1_cfg(CommMode::MergeAndDownload, providers),
+            FIG1_PARAMS,
+        );
+        let upload = report.rounds[0].upload_delay_avg;
+        assert!(
+            upload < last * 0.75,
+            "upload delay must drop substantially with providers: {upload} !< {last}"
+        );
+        last = upload;
+    }
+}
+
+#[test]
+fn fig1_aggregation_delay_increases_with_providers() {
+    let mut last = 0.0;
+    for providers in [1usize, 4, 16] {
+        let report = run_network_experiment(
+            fig1_cfg(CommMode::MergeAndDownload, providers),
+            FIG1_PARAMS,
+        );
+        let agg = report.rounds[0].aggregation_delay;
+        assert!(agg > last * 1.5, "aggregation delay must grow with providers: {agg} !> {last}");
+        last = agg;
+    }
+}
+
+#[test]
+fn fig1_trade_off_optimum_at_sqrt_trainers() {
+    // τ = upload + aggregation is minimized at |P| = √16 = 4 (§III-E).
+    let mut totals = Vec::new();
+    for providers in [1usize, 2, 4, 8, 16] {
+        let report = run_network_experiment(
+            fig1_cfg(CommMode::MergeAndDownload, providers),
+            FIG1_PARAMS,
+        );
+        let r = &report.rounds[0];
+        totals.push((providers, r.upload_delay_avg + r.aggregation_delay));
+    }
+    let best = totals
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("points");
+    assert_eq!(best.0, 4, "optimum must sit at √16 = 4: {totals:?}");
+}
+
+#[test]
+fn fig1_merge_beats_naive_indirect() {
+    let merged = run_network_experiment(fig1_cfg(CommMode::MergeAndDownload, 8), FIG1_PARAMS);
+    let naive = run_network_experiment(fig1_cfg(CommMode::Indirect, 8), FIG1_PARAMS);
+    let m = merged.rounds[0].aggregation_delay;
+    let n = naive.rounds[0].aggregation_delay;
+    assert!(
+        n > 1.5 * m,
+        "naive indirect ({n}s) must be ≫ merge-and-download ({m}s): §V 'essential mechanism'"
+    );
+}
+
+#[test]
+fn fig2_aggregation_halves_and_total_decreases() {
+    let mut points = Vec::new();
+    for a in [1usize, 2, 4] {
+        let report = run_network_experiment(fig2_cfg(a), FIG2_PARAMS);
+        let r = &report.rounds[0];
+        points.push((a, r.aggregation_delay, r.sync_delay, r.total_aggregation_delay));
+    }
+    // Aggregation ~halves per doubling.
+    assert!(points[1].1 < points[0].1 * 0.65, "{points:?}");
+    assert!(points[2].1 < points[1].1 * 0.65, "{points:?}");
+    // Sync grows with |A_i|.
+    assert!(points[1].2 > points[0].2, "{points:?}");
+    assert!(points[2].2 > points[1].2, "{points:?}");
+    // Total decreases, with diminishing returns.
+    assert!(points[1].3 < points[0].3, "{points:?}");
+    assert!(points[2].3 < points[1].3, "{points:?}");
+    let gain1 = points[0].3 - points[1].3;
+    let gain2 = points[1].3 - points[2].3;
+    assert!(gain2 < gain1, "diminishing returns expected: {points:?}");
+}
+
+#[test]
+fn fig2_bytes_match_analytic_formula() {
+    // D = (|T_ij| + |A_i| − 1) · PartitionSize.
+    let partition_bytes = (FIG2_PARAMS / 4 + 1) as f64 * 8.0;
+    for a in [1usize, 2, 4] {
+        let report = run_network_experiment(fig2_cfg(a), FIG2_PARAMS);
+        let mean = report.aggregator_rx_bytes.iter().sum::<u64>() as f64
+            / report.aggregator_rx_bytes.len() as f64;
+        let expected = (16.0 / a as f64 + a as f64 - 1.0) * partition_bytes;
+        let ratio = mean / expected;
+        assert!(
+            (0.97..1.1).contains(&ratio),
+            "|A_i|={a}: measured {mean:.0} vs analytic {expected:.0} (ratio {ratio:.3})"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Analytic timing tests of the network simulator: scenarios with known
+//! closed-form completion times under max–min fair sharing. These pin the
+//! transport model that all protocol delay measurements rest on.
+
+use decentralized_fl::netsim::{Actor, Context, LinkSpec, NodeId, SimDuration, Simulation};
+
+/// Sends one message of `bytes` to `to` after `delay`.
+struct Sender {
+    to: NodeId,
+    bytes: u64,
+    delay: SimDuration,
+}
+
+impl Actor<u32> for Sender {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.set_timer(self.delay, 0);
+    }
+    fn on_message(&mut self, _c: &mut Context<'_, u32>, _f: NodeId, _m: u32) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _t: u64) {
+        ctx.send(self.to, self.bytes, 1);
+    }
+}
+
+/// Records the arrival time of every message.
+struct Sink;
+
+impl Actor<u32> for Sink {
+    fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: NodeId, _m: u32) {
+        ctx.record("arrival", ctx.now().as_secs_f64());
+        ctx.record(&format!("from_{}", from.index()), ctx.now().as_secs_f64());
+    }
+}
+
+fn mbps_link(mbps: u64) -> LinkSpec {
+    LinkSpec::symmetric_mbps(mbps, SimDuration::ZERO)
+}
+
+#[test]
+fn single_flow_exact_time() {
+    // 10 Mbit over 10 Mbps = exactly 1 s (zero latency).
+    let mut sim = Simulation::new();
+    let sink = sim.reserve_id(1);
+    sim.add_node(Sender { to: sink, bytes: 1_250_000, delay: SimDuration::ZERO }, mbps_link(10));
+    sim.add_node(Sink, mbps_link(10));
+    sim.run();
+    let t = sim.trace().find(sink, "arrival")[0].value;
+    assert!((t - 1.0).abs() < 1e-3, "arrival at {t}");
+}
+
+#[test]
+fn late_joiner_slows_first_flow() {
+    // Flow A (2.5 MB) starts at t=0 into a 10 Mbps sink. Flow B (1.25 MB)
+    // joins at t=1. From t=1 they share 5 Mbps each. A has 1.25 MB left at
+    // t=1 → 2 s more shared... B finishes 1.25 MB at 5 Mbps in 2 s (t=3),
+    // A also has 1.25 MB at t=1, so both finish at t=3.
+    let mut sim = Simulation::new();
+    let sink = sim.reserve_id(2);
+    let a = sim.add_node(
+        Sender { to: sink, bytes: 2_500_000, delay: SimDuration::ZERO },
+        mbps_link(100),
+    );
+    let b = sim.add_node(
+        Sender { to: sink, bytes: 1_250_000, delay: SimDuration::from_secs(1) },
+        mbps_link(100),
+    );
+    sim.add_node(Sink, mbps_link(10));
+    sim.run();
+    let ta = sim.trace().find(sink, &format!("from_{}", a.index()))[0].value;
+    let tb = sim.trace().find(sink, &format!("from_{}", b.index()))[0].value;
+    assert!((ta - 3.0).abs() < 1e-2, "flow A at {ta}");
+    assert!((tb - 3.0).abs() < 1e-2, "flow B at {tb}");
+}
+
+#[test]
+fn departure_releases_bandwidth() {
+    // Two equal flows share a 10 Mbps sink: the small one (0.625 MB)
+    // finishes at t=1 (5 Mbps each); the big one (1.875 MB) then gets the
+    // full 10 Mbps for its remaining 1.25 MB → finishes at t=2.
+    let mut sim = Simulation::new();
+    let sink = sim.reserve_id(2);
+    let small = sim.add_node(
+        Sender { to: sink, bytes: 625_000, delay: SimDuration::ZERO },
+        mbps_link(100),
+    );
+    let big = sim.add_node(
+        Sender { to: sink, bytes: 1_875_000, delay: SimDuration::ZERO },
+        mbps_link(100),
+    );
+    sim.add_node(Sink, mbps_link(10));
+    sim.run();
+    let ts = sim.trace().find(sink, &format!("from_{}", small.index()))[0].value;
+    let tb = sim.trace().find(sink, &format!("from_{}", big.index()))[0].value;
+    assert!((ts - 1.0).abs() < 1e-2, "small at {ts}");
+    assert!((tb - 2.0).abs() < 1e-2, "big at {tb}");
+}
+
+#[test]
+fn uplink_and_downlink_bottlenecks_compose() {
+    // Sender uplink 4 Mbps, receiver downlink 10 Mbps shared with another
+    // fast sender: fast sender gets 6, slow gets 4 (max–min).
+    // Slow sends 1 MB → 2 s; fast sends 1.5 MB at 6 Mbps → 2 s.
+    let mut sim = Simulation::new();
+    let sink = sim.reserve_id(2);
+    let slow = sim.add_node(
+        Sender { to: sink, bytes: 1_000_000, delay: SimDuration::ZERO },
+        LinkSpec { up_bps: 4e6, down_bps: 4e6, latency: SimDuration::ZERO },
+    );
+    let fast = sim.add_node(
+        Sender { to: sink, bytes: 1_500_000, delay: SimDuration::ZERO },
+        mbps_link(100),
+    );
+    sim.add_node(Sink, mbps_link(10));
+    sim.run();
+    let t_slow = sim.trace().find(sink, &format!("from_{}", slow.index()))[0].value;
+    let t_fast = sim.trace().find(sink, &format!("from_{}", fast.index()))[0].value;
+    assert!((t_slow - 2.0).abs() < 1e-2, "slow at {t_slow}");
+    assert!((t_fast - 2.0).abs() < 1e-2, "fast at {t_fast}");
+}
+
+#[test]
+fn sixteen_uploads_into_one_node() {
+    // The Fig. 1 |P| = 1 situation: 16 × 1.3 MB through one 10 Mbps
+    // downlink ≈ 16.64 s for everyone (fair share, simultaneous finish).
+    let mut sim = Simulation::new();
+    let sink = sim.reserve_id(16);
+    for _ in 0..16 {
+        sim.add_node(
+            Sender { to: sink, bytes: 1_300_000, delay: SimDuration::ZERO },
+            mbps_link(10),
+        );
+    }
+    sim.add_node(Sink, mbps_link(10));
+    sim.run();
+    let arrivals = sim.trace().find(sink, "arrival");
+    assert_eq!(arrivals.len(), 16);
+    let expect = 16.0 * 1_300_000.0 * 8.0 / 10e6;
+    for a in arrivals {
+        assert!((a.value - expect).abs() < 0.05, "arrival {} vs {expect}", a.value);
+    }
+}
+
+#[test]
+fn latency_adds_per_hop() {
+    let mut sim = Simulation::new();
+    let link = LinkSpec { up_bps: 1e9, down_bps: 1e9, latency: SimDuration::from_millis(25) };
+    let sink = sim.reserve_id(1);
+    sim.add_node(Sender { to: sink, bytes: 1_000, delay: SimDuration::ZERO }, link);
+    sim.add_node(Sink, link);
+    sim.run();
+    let t = sim.trace().find(sink, "arrival")[0].value;
+    // Transfer is ~8 µs; latency is 25 ms out + 25 ms in.
+    assert!((t - 0.05).abs() < 1e-3, "arrival {t}");
+}

@@ -1,0 +1,242 @@
+//! Integration tests for the paper's central correctness claim (§V):
+//! partitioned, decentralized aggregation computes *the same model* as
+//! traditional centralized FL, regardless of communication mode or the
+//! number of aggregators per partition.
+
+use decentralized_fl::ml::{
+    data, metrics::param_distance, FedAvg, LogisticRegression, Mlp, Model, SgdConfig,
+};
+use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+
+fn sgd() -> SgdConfig {
+    SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None }
+}
+
+/// Runs FedAvg with the same seeds the protocol's trainers use.
+fn fedavg_reference(
+    model: LogisticRegression,
+    clients: Vec<data::Dataset>,
+    rounds: usize,
+    seed: u64,
+) -> Vec<f32> {
+    let mut fed = FedAvg::new(model, clients, sgd());
+    fed.run(rounds, seed)
+}
+
+fn base_cfg() -> TaskConfig {
+    TaskConfig {
+        trainers: 6,
+        partitions: 3,
+        aggregators_per_partition: 1,
+        ipfs_nodes: 4,
+        rounds: 2,
+        seed: 42,
+        ..TaskConfig::default()
+    }
+}
+
+fn clients() -> Vec<data::Dataset> {
+    let dataset = data::make_blobs(240, 4, 3, 0.5, 9);
+    data::partition_iid(&dataset, 6, 3)
+}
+
+/// The protocol's final model must match FedAvg's up to quantization error
+/// (24 fractional bits ⇒ per-round error ≪ 1e-4 per parameter).
+fn assert_matches_fedavg(cfg: TaskConfig) {
+    let model = LogisticRegression::new(4, 3);
+    let params = model.params();
+    let reference =
+        fedavg_reference(model.clone(), clients(), cfg.rounds as usize, cfg.seed);
+    let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[])
+        .expect("valid configuration");
+    assert!(report.succeeded(&cfg), "only {} rounds completed", report.completed_rounds);
+    let consensus = report
+        .consensus_params()
+        .expect("all trainers hold the same model");
+    let dist = param_distance(&consensus, &reference);
+    assert!(
+        dist < 1e-3,
+        "protocol model deviates from FedAvg by {dist} (mode {:?})",
+        cfg.comm
+    );
+}
+
+#[test]
+fn indirect_mode_matches_fedavg() {
+    assert_matches_fedavg(TaskConfig { comm: CommMode::Indirect, ..base_cfg() });
+}
+
+#[test]
+fn direct_mode_matches_fedavg() {
+    assert_matches_fedavg(TaskConfig { comm: CommMode::Direct, ..base_cfg() });
+}
+
+#[test]
+fn merge_and_download_matches_fedavg() {
+    assert_matches_fedavg(TaskConfig {
+        comm: CommMode::MergeAndDownload,
+        providers_per_aggregator: 2,
+        ..base_cfg()
+    });
+}
+
+#[test]
+fn multi_aggregator_matches_fedavg() {
+    assert_matches_fedavg(TaskConfig { aggregators_per_partition: 2, ..base_cfg() });
+}
+
+#[test]
+fn verifiable_mode_matches_fedavg() {
+    assert_matches_fedavg(TaskConfig { verifiable: true, rounds: 1, ..base_cfg() });
+}
+
+#[test]
+fn all_modes_agree_bitwise() {
+    // The three communication modes must produce the *identical* model:
+    // they move the same quantized sums over different paths.
+    let mut finals = Vec::new();
+    for comm in [CommMode::Direct, CommMode::Indirect, CommMode::MergeAndDownload] {
+        let cfg = TaskConfig { comm, providers_per_aggregator: 2, ..base_cfg() };
+        let model = LogisticRegression::new(4, 3);
+        let params = model.params();
+        let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap();
+        assert!(report.succeeded(&cfg));
+        finals.push(report.consensus_params().expect("consensus"));
+    }
+    assert_eq!(finals[0], finals[1], "direct vs indirect");
+    assert_eq!(finals[1], finals[2], "indirect vs merge-and-download");
+}
+
+#[test]
+fn multi_aggregator_count_does_not_change_result() {
+    let mut finals = Vec::new();
+    for app in [1usize, 2, 3] {
+        let cfg = TaskConfig { aggregators_per_partition: app, ..base_cfg() };
+        let model = LogisticRegression::new(4, 3);
+        let params = model.params();
+        let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap();
+        assert!(report.succeeded(&cfg), "|A_i|={app}");
+        finals.push(report.consensus_params().expect("consensus"));
+    }
+    assert_eq!(finals[0], finals[1]);
+    assert_eq!(finals[1], finals[2]);
+}
+
+#[test]
+fn training_actually_learns_over_rounds() {
+    let cfg = TaskConfig { rounds: 8, ..base_cfg() };
+    let eval = data::make_blobs(240, 4, 3, 0.5, 9);
+    let mut model = LogisticRegression::new(4, 3);
+    let params = model.params();
+    let report =
+        run_task(cfg.clone(), model.clone(), params.clone(), clients(), sgd(), &[]).unwrap();
+    assert!(report.succeeded(&cfg));
+
+    let initial_acc = {
+        model.set_params(&params);
+        decentralized_fl::ml::metrics::accuracy(&model.predict(&eval.x), &eval.y)
+    };
+    model.set_params(&report.consensus_params().unwrap());
+    let final_acc = decentralized_fl::ml::metrics::accuracy(&model.predict(&eval.x), &eval.y);
+    assert!(
+        final_acc > initial_acc + 0.2 && final_acc > 0.8,
+        "accuracy {initial_acc} -> {final_acc}"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let cfg = base_cfg();
+    let run = || {
+        let model = LogisticRegression::new(4, 3);
+        let params = model.params();
+        run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.consensus_params().unwrap(), b.consensus_params().unwrap());
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.round_duration, rb.round_duration, "round {}", ra.round);
+        assert_eq!(ra.aggregation_delay, rb.aggregation_delay);
+    }
+}
+
+#[test]
+fn mlp_end_to_end() {
+    // A non-trivial architecture through the full pipeline.
+    let cfg = TaskConfig { trainers: 4, partitions: 4, rounds: 2, seed: 7, ..base_cfg() };
+    let model = Mlp::new(4, 8, 3, 11);
+    let params = model.params();
+    let dataset = data::make_blobs(200, 4, 3, 0.5, 13);
+    let parts = data::partition_iid(&dataset, 4, 1);
+    let report = run_task(cfg.clone(), model, params, parts, sgd(), &[]).unwrap();
+    assert!(report.succeeded(&cfg));
+    assert!(report.consensus_params().is_some());
+}
+
+#[test]
+fn non_iid_data_still_completes() {
+    let cfg = base_cfg();
+    let dataset = data::make_blobs(300, 4, 3, 0.5, 17);
+    let skewed = data::partition_dirichlet(&dataset, 6, 0.2, 3);
+    // Dirichlet split can produce empty shards; give those a minimum.
+    let parts: Vec<_> = skewed
+        .into_iter()
+        .map(|p| if p.is_empty() { dataset.subset(&[0]) } else { p })
+        .collect();
+    let model = LogisticRegression::new(4, 3);
+    let params = model.params();
+    let report = run_task(cfg.clone(), model, params, parts, sgd(), &[]).unwrap();
+    assert!(report.succeeded(&cfg));
+}
+
+#[test]
+fn compact_registration_matches_per_partition() {
+    // §VI directory-load reduction: batched registration must not change
+    // the computed model, and must reduce traffic into the directory.
+    let per_partition = {
+        let cfg = base_cfg();
+        let model = LogisticRegression::new(4, 3);
+        let params = model.params();
+        run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap()
+    };
+    let compact = {
+        let mut cfg = base_cfg();
+        cfg.compact_registration = true;
+        let model = LogisticRegression::new(4, 3);
+        let params = model.params();
+        let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap();
+        assert!(report.succeeded(&cfg));
+        report
+    };
+    assert_eq!(
+        per_partition.consensus_params().unwrap(),
+        compact.consensus_params().unwrap(),
+        "registration batching must be model-invisible"
+    );
+    // Directory receives fewer, larger messages: strictly less framing
+    // overhead in total.
+    let dir = decentralized_fl::netsim::NodeId(0);
+    assert!(
+        compact.trace.bytes_received(dir) < per_partition.trace.bytes_received(dir),
+        "compact: {} vs per-partition: {}",
+        compact.trace.bytes_received(dir),
+        per_partition.trace.bytes_received(dir)
+    );
+}
+
+#[test]
+fn compact_registration_with_verification_and_auth() {
+    let mut cfg = base_cfg();
+    cfg.compact_registration = true;
+    cfg.verifiable = true;
+    cfg.authenticate = true;
+    cfg.rounds = 1;
+    let model = LogisticRegression::new(4, 3);
+    let params = model.params();
+    let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap();
+    assert!(report.succeeded(&cfg));
+    assert_eq!(report.verification_failures, 0);
+    assert!(report.trace.find_all("forged_registration").is_empty());
+}

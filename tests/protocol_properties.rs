@@ -1,0 +1,105 @@
+//! Property-based tests over random task configurations: any valid small
+//! topology must complete, reach consensus, and compute exactly the
+//! FedAvg average — the protocol's correctness must not depend on lucky
+//! divisibility of trainers/partitions/aggregators.
+
+use decentralized_fl::ml::{data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+use proptest::prelude::*;
+
+fn sgd() -> SgdConfig {
+    SgdConfig { lr: 0.3, batch_size: 8, epochs: 1, clip: None }
+}
+
+fn run_config(
+    trainers: usize,
+    partitions: usize,
+    aggregators_per_partition: usize,
+    ipfs_nodes: usize,
+    comm: CommMode,
+    verifiable: bool,
+    seed: u64,
+) -> (Vec<f32>, Vec<f32>) {
+    let cfg = TaskConfig {
+        trainers,
+        partitions,
+        aggregators_per_partition,
+        ipfs_nodes,
+        comm,
+        providers_per_aggregator: 1 + (seed as usize % ipfs_nodes),
+        verifiable,
+        authenticate: verifiable && seed.is_multiple_of(2),
+        rounds: 1,
+        seed,
+        ..TaskConfig::default()
+    };
+    let dataset = data::make_blobs(20 * trainers, 3, 2, 0.5, seed);
+    let clients = data::partition_iid(&dataset, trainers, seed);
+    let model = LogisticRegression::new(3, 2);
+    let params = model.params();
+
+    let reference = FedAvg::new(model.clone(), clients.clone(), sgd()).run(1, cfg.seed);
+    let report = run_task(cfg.clone(), model, params, clients, sgd(), &[])
+        .expect("valid random configuration");
+    assert!(
+        report.succeeded(&cfg),
+        "config must complete: {trainers}t/{partitions}p/{aggregators_per_partition}a/{ipfs_nodes}n {comm:?} v={verifiable}"
+    );
+    (report.consensus_params().expect("consensus"), reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_random_topologies_match_fedavg(
+        trainers in 2usize..7,
+        partitions in 1usize..4,
+        aggregators in 1usize..3,
+        ipfs_nodes in 2usize..5,
+        comm_pick in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let comm = match comm_pick {
+            0 => CommMode::Direct,
+            1 => CommMode::Indirect,
+            _ => CommMode::MergeAndDownload,
+        };
+        // Verifiable on a fraction of cases (it is the slow path).
+        let verifiable = seed % 5 == 0;
+        let (consensus, reference) =
+            run_config(trainers, partitions, aggregators, ipfs_nodes, comm, verifiable, seed);
+        let dist = param_distance(&consensus, &reference);
+        prop_assert!(dist < 1e-3, "distance {dist}");
+    }
+}
+
+#[test]
+fn stress_many_partitions_few_trainers() {
+    // More partitions than trainers and more aggregators than storage
+    // nodes: the awkward corner of the assignment logic.
+    let (consensus, reference) =
+        run_config(2, 3, 2, 2, CommMode::Indirect, true, 99);
+    assert!(param_distance(&consensus, &reference) < 1e-3);
+}
+
+#[test]
+fn stress_single_everything() {
+    let (consensus, reference) = run_config(1, 1, 1, 1, CommMode::Indirect, true, 7);
+    assert!(param_distance(&consensus, &reference) < 1e-3);
+}
+
+#[test]
+fn stress_wide_fanout() {
+    let (consensus, reference) = run_config(12, 2, 3, 6, CommMode::MergeAndDownload, false, 3);
+    assert!(param_distance(&consensus, &reference) < 1e-3);
+}
+
+#[test]
+fn regression_direct_multi_aggregator_verifiable() {
+    // Found by the proptest above: in direct mode, aggregators still need
+    // the directory poll loop for accumulated commitments (peer partial
+    // verification), otherwise sync stalls forever.
+    let (consensus, reference) = run_config(2, 1, 2, 2, CommMode::Direct, true, 955);
+    assert!(param_distance(&consensus, &reference) < 1e-3);
+}

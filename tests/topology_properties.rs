@@ -1,0 +1,126 @@
+//! Property tests over the role/partition assignment logic ([`Topology`]):
+//! the §II invariants must hold for every valid configuration, not just
+//! the ones the examples use.
+
+use decentralized_fl::protocol::{CommMode, TaskConfig, Topology};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_config() -> impl Strategy<Value = (TaskConfig, usize)> {
+    (
+        1usize..20,  // trainers
+        1usize..6,   // partitions
+        1usize..4,   // aggregators per partition
+        1usize..8,   // ipfs nodes
+        0u8..3,      // comm mode
+        1usize..6,   // providers (clamped below)
+        10usize..5000, // param count
+    )
+        .prop_map(|(t, p, a, n, comm, providers, params)| {
+            let comm = match comm {
+                0 => CommMode::Direct,
+                1 => CommMode::Indirect,
+                _ => CommMode::MergeAndDownload,
+            };
+            (
+                TaskConfig {
+                    trainers: t,
+                    partitions: p,
+                    aggregators_per_partition: a,
+                    ipfs_nodes: n,
+                    providers_per_aggregator: providers.min(n),
+                    comm,
+                    ..TaskConfig::default()
+                },
+                params.max(p),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn prop_partitions_tile_the_parameter_vector((cfg, params) in arb_config()) {
+        let topo = Topology::new(cfg.clone(), params).expect("valid");
+        let mut covered = 0usize;
+        for i in 0..cfg.partitions {
+            let (s, e) = topo.partition_range(i);
+            prop_assert_eq!(s, covered, "partitions must be contiguous");
+            prop_assert!(e > s, "partitions must be non-empty");
+            covered = e;
+        }
+        prop_assert_eq!(covered, params);
+        // Balanced: lengths differ by at most one.
+        let lens: Vec<usize> = (0..cfg.partitions).map(|i| topo.partition_len(i)).collect();
+        let min = *lens.iter().min().expect("non-empty");
+        let max = *lens.iter().max().expect("non-empty");
+        prop_assert!(max - min <= 1, "unbalanced partitions: {:?}", lens);
+    }
+
+    #[test]
+    fn prop_trainer_sets_partition_t((cfg, params) in arb_config()) {
+        // §II: for every partition, T = ∪_j T_ij and the T_ij are disjoint.
+        let topo = Topology::new(cfg.clone(), params).expect("valid");
+        for partition in 0..cfg.partitions {
+            let mut seen = HashSet::new();
+            for j in 0..cfg.aggregators_per_partition {
+                for t in topo.trainer_set(partition, j) {
+                    prop_assert!(seen.insert(t), "trainer {t} in two trainer sets");
+                    prop_assert_eq!(topo.agg_for_trainer(partition, t), j);
+                }
+            }
+            prop_assert_eq!(seen.len(), cfg.trainers);
+        }
+    }
+
+    #[test]
+    fn prop_node_ids_disjoint((cfg, params) in arb_config()) {
+        let topo = Topology::new(cfg.clone(), params).expect("valid");
+        let mut ids = HashSet::new();
+        ids.insert(topo.directory());
+        for k in 0..cfg.ipfs_nodes {
+            prop_assert!(ids.insert(topo.ipfs_node(k)));
+        }
+        for g in 0..cfg.total_aggregators() {
+            prop_assert!(ids.insert(topo.aggregator(g)));
+        }
+        for t in 0..cfg.trainers {
+            prop_assert!(ids.insert(topo.trainer(t)));
+        }
+        prop_assert_eq!(ids.len(), topo.node_count());
+    }
+
+    #[test]
+    fn prop_upload_targets_are_storage_nodes((cfg, params) in arb_config()) {
+        let topo = Topology::new(cfg.clone(), params).expect("valid");
+        if cfg.comm == CommMode::Direct {
+            return Ok(()); // no storage uploads in direct mode
+        }
+        let storage: HashSet<_> = topo.ipfs_ids().into_iter().collect();
+        for partition in 0..cfg.partitions {
+            for t in 0..cfg.trainers {
+                let target = topo.upload_target(partition, t);
+                prop_assert!(storage.contains(&target));
+                // And in merge mode, the target is one of the responsible
+                // aggregator's providers (so merges cover every gradient).
+                if cfg.comm == CommMode::MergeAndDownload {
+                    let j = topo.agg_for_trainer(partition, t);
+                    let providers = topo.providers(topo.agg_index(partition, j));
+                    prop_assert!(providers.contains(&target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_agg_roles_bijective((cfg, params) in arb_config()) {
+        let topo = Topology::new(cfg.clone(), params).expect("valid");
+        let mut seen = HashSet::new();
+        for g in 0..cfg.total_aggregators() {
+            let (partition, j) = topo.agg_role(g);
+            prop_assert!(partition < cfg.partitions);
+            prop_assert!(j < cfg.aggregators_per_partition);
+            prop_assert!(seen.insert((partition, j)));
+            prop_assert_eq!(topo.agg_index(partition, j), g);
+        }
+    }
+}
