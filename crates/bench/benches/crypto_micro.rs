@@ -13,9 +13,8 @@ use dfl_crypto::schnorr::SigningKey;
 use dfl_crypto::sha256::Sha256;
 
 fn bench_field(c: &mut Criterion) {
-    let a = Fp::<<Secp256k1 as Curve>::Base>::from_u64(0xDEADBEEF).pow(
-        &dfl_crypto::bigint::U256::from_u64(12345),
-    );
+    let a = Fp::<<Secp256k1 as Curve>::Base>::from_u64(0xDEADBEEF)
+        .pow(&dfl_crypto::bigint::U256::from_u64(12345));
     let b = a.square();
     let mut group = c.benchmark_group("field");
     group.bench_function("mul_secp256k1", |bch| bch.iter(|| a * b));
@@ -35,7 +34,9 @@ fn bench_curve(c: &mut Criterion) {
     group.bench_function("add_jacobian", |b| b.iter(|| g.add(&p)));
     group.bench_function("add_mixed", |b| b.iter(|| g.add_affine(&pa)));
     group.bench_function("double", |b| b.iter(|| g.double()));
-    group.bench_function("scalar_mul_wnaf", |b| b.iter(|| Secp256k1::generator().mul(&k)));
+    group.bench_function("scalar_mul_wnaf", |b| {
+        b.iter(|| Secp256k1::generator().mul(&k))
+    });
     group.bench_function("to_affine", |b| b.iter(|| g.to_affine()));
     group.bench_function("decompress", |b| {
         let bytes = Secp256k1::generator().to_compressed();
@@ -79,8 +80,11 @@ fn bench_verification(c: &mut Criterion) {
         })
         .collect();
     let commits: Vec<Commitment<Secp256k1>> = vectors.iter().map(|v| key.commit(v)).collect();
-    let items: Vec<(&[Scalar<Secp256k1>], &Commitment<Secp256k1>)> =
-        vectors.iter().map(Vec::as_slice).zip(commits.iter()).collect();
+    let items: Vec<(&[Scalar<Secp256k1>], &Commitment<Secp256k1>)> = vectors
+        .iter()
+        .map(Vec::as_slice)
+        .zip(commits.iter())
+        .collect();
 
     let mut group = c.benchmark_group("verification");
     group.sample_size(10);
@@ -91,7 +95,9 @@ fn bench_verification(c: &mut Criterion) {
             }
         })
     });
-    group.bench_function("batched_x8", |b| b.iter(|| assert!(key.batch_verify(&items))));
+    group.bench_function("batched_x8", |b| {
+        b.iter(|| assert!(key.batch_verify(&items)))
+    });
     group.finish();
 
     // Schnorr registration authentication.
@@ -100,7 +106,9 @@ fn bench_verification(c: &mut Criterion) {
     let sig = sk.sign(b"register gradient");
     let mut group = c.benchmark_group("schnorr");
     group.bench_function("sign", |b| b.iter(|| sk.sign(b"register gradient")));
-    group.bench_function("verify", |b| b.iter(|| vk.verify(b"register gradient", &sig)));
+    group.bench_function("verify", |b| {
+        b.iter(|| vk.verify(b"register gradient", &sig))
+    });
     group.finish();
 }
 

@@ -14,14 +14,23 @@ use ipls::CommMode;
 fn bench_fig1(c: &mut Criterion) {
     // Print the paper series once, up front.
     println!("\n=== Figure 1 series (simulated seconds) ===");
-    println!("{:<12} {:>18} {:>14}", "providers", "aggregation (s)", "upload (s)");
+    println!(
+        "{:<12} {:>18} {:>14}",
+        "providers", "aggregation (s)", "upload (s)"
+    );
     for &p in &[1usize, 2, 4, 8, 16] {
         let point = fig1_run(CommMode::MergeAndDownload, p);
-        println!("{:<12} {:>18.2} {:>14.2}", point.label, point.aggregation_delay, point.upload_delay);
+        println!(
+            "{:<12} {:>18.2} {:>14.2}",
+            point.label, point.aggregation_delay, point.upload_delay
+        );
     }
     for (mode, p) in [(CommMode::Indirect, 8usize), (CommMode::Direct, 8)] {
         let point = fig1_run(mode, p);
-        println!("{:<12} {:>18.2} {:>14.2}", point.label, point.aggregation_delay, point.upload_delay);
+        println!(
+            "{:<12} {:>18.2} {:>14.2}",
+            point.label, point.aggregation_delay, point.upload_delay
+        );
     }
     println!();
 

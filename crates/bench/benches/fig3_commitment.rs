@@ -15,13 +15,25 @@ const SIZES: &[usize] = &[1 << 10, 1 << 12, 1 << 14];
 
 fn scalars_k1(n: usize) -> Vec<Scalar<Secp256k1>> {
     (0..n)
-        .map(|i| Scalar::<Secp256k1>::from_i64(if i % 2 == 0 { 7 * i as i64 + 1 } else { -(7 * i as i64) - 1 }))
+        .map(|i| {
+            Scalar::<Secp256k1>::from_i64(if i % 2 == 0 {
+                7 * i as i64 + 1
+            } else {
+                -(7 * i as i64) - 1
+            })
+        })
         .collect()
 }
 
 fn scalars_r1(n: usize) -> Vec<Scalar<Secp256r1>> {
     (0..n)
-        .map(|i| Scalar::<Secp256r1>::from_i64(if i % 2 == 0 { 7 * i as i64 + 1 } else { -(7 * i as i64) - 1 }))
+        .map(|i| {
+            Scalar::<Secp256r1>::from_i64(if i % 2 == 0 {
+                7 * i as i64 + 1
+            } else {
+                -(7 * i as i64) - 1
+            })
+        })
         .collect()
 }
 

@@ -19,7 +19,7 @@ use dfl_crypto::msm;
 use dfl_crypto::pedersen::CommitKey;
 use dfl_crypto::sha256::Sha256;
 use dfl_ml::{Dataset, Matrix, SgdConfig, SyntheticModel};
-use dfl_netsim::SimDuration;
+use dfl_netsim::{FaultPlan, NodeId, SimDuration, SimTime};
 use ipls::{run_task, CommMode, TaskConfig, TaskReport};
 
 /// Bytes per encoded parameter on the wire (fixed-point i64).
@@ -37,9 +37,17 @@ pub fn run_network_experiment(cfg: TaskConfig, param_count: usize) -> TaskReport
     // Delay experiments do not train on real data; a single dummy example
     // keeps the local-update plumbing exercised.
     let datasets: Vec<Dataset> = (0..cfg.trainers)
-        .map(|_| Dataset { x: Matrix::zeros(1, 1), y: vec![0.0] })
+        .map(|_| Dataset {
+            x: Matrix::zeros(1, 1),
+            y: vec![0.0],
+        })
         .collect();
-    let sgd = SgdConfig { lr: 0.01, batch_size: 1, epochs: 1, clip: None };
+    let sgd = SgdConfig {
+        lr: 0.01,
+        batch_size: 1,
+        epochs: 1,
+        clip: None,
+    };
     run_task(cfg, model, params, datasets, sgd, &[]).expect("valid experiment config")
 }
 
@@ -250,7 +258,10 @@ pub fn fig3_run(
     key_k1: &CommitKey<Secp256k1>,
     key_r1: &CommitKey<Secp256r1>,
 ) -> Fig3Point {
-    assert!(key_k1.len() >= elements && key_r1.len() >= elements, "keys too short");
+    assert!(
+        key_k1.len() >= elements && key_r1.len() >= elements,
+        "keys too short"
+    );
     let bytes = vec![0xA5u8; elements * BYTES_PER_ELEMENT];
     let sha256_ms = time_ms(|| {
         std::hint::black_box(Sha256::digest(&bytes));
@@ -266,10 +277,19 @@ pub fn fig3_run(
         std::hint::black_box(key_r1.commit_naive(&scalars_r1));
     });
     let pippenger_k1_ms = time_ms(|| {
-        std::hint::black_box(msm::msm_pippenger(&key_k1.generators()[..elements], &scalars_k1));
+        std::hint::black_box(msm::msm_pippenger(
+            &key_k1.generators()[..elements],
+            &scalars_k1,
+        ));
     });
 
-    Fig3Point { elements, sha256_ms, pedersen_k1_ms, pedersen_r1_ms, pippenger_k1_ms }
+    Fig3Point {
+        elements,
+        sha256_ms,
+        pedersen_k1_ms,
+        pedersen_r1_ms,
+        pippenger_k1_ms,
+    }
 }
 
 /// The Fig. 3 sweep over the given parameter counts.
@@ -281,12 +301,104 @@ pub fn fig3_commitment(sizes: &[usize]) -> Vec<Fig3Point> {
     let max = sizes.iter().copied().max().unwrap_or(0);
     let key_k1 = CommitKey::<Secp256k1>::setup(max, b"fig3");
     let key_r1 = CommitKey::<Secp256r1>::setup(max, b"fig3");
-    sizes.iter().map(|&n| fig3_run(n, &key_k1, &key_r1)).collect()
+    sizes
+        .iter()
+        .map(|&n| fig3_run(n, &key_k1, &key_r1))
+        .collect()
 }
 
 /// Default Fig. 3 sizes (kept laptop-friendly; see EXPERIMENTS.md).
 pub fn fig3_default_sizes() -> Vec<usize> {
     vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+}
+
+// ---------------------------------------------------------------------------
+// Churn sweep (storage fault tolerance)
+// ---------------------------------------------------------------------------
+
+/// One point of the storage-churn sweep: how the protocol degrades as
+/// scheduled storage outages get longer.
+#[derive(Clone, Debug)]
+pub struct ChurnPoint {
+    /// Length of each injected storage outage (seconds; 0 = no churn).
+    pub outage_secs: f64,
+    /// Rounds that ran to completion, out of [`ChurnPoint::rounds`].
+    pub completed_rounds: u64,
+    /// Rounds the task was configured for.
+    pub rounds: u64,
+    /// Mean duration of the completed rounds (seconds of simulated time).
+    pub avg_round_duration: f64,
+    /// Sync-deadline quorum degradations across the task.
+    pub quorum_degradations: usize,
+}
+
+/// Churn sweep base setup: 6 trainers on 4 storage nodes, 0.4 MB model in
+/// 2 partitions, every block on 2 replicas, 2 s fetch timeout.
+pub fn churn_config() -> TaskConfig {
+    TaskConfig {
+        trainers: 6,
+        partitions: 2,
+        aggregators_per_partition: 1,
+        ipfs_nodes: 4,
+        comm: CommMode::Indirect,
+        replication: 2,
+        rounds: 3,
+        bandwidth_mbps: 10,
+        latency: SimDuration::from_millis(10),
+        poll_interval: SimDuration::from_millis(100),
+        t_train: SimDuration::from_secs(60),
+        t_sync: SimDuration::from_secs(120),
+        fetch_timeout: SimDuration::from_secs(2),
+        seed: 9,
+        ..TaskConfig::default()
+    }
+}
+
+/// Parameter count of the churn sweep's synthetic model (0.4 MB).
+pub fn churn_param_count() -> usize {
+    400_000 / BYTES_PER_ELEMENT
+}
+
+/// Runs one churn point: every `period`, one storage node (drawn
+/// deterministically from `churn_seed`) crashes for `outage`. With
+/// `outage == 0` no faults are injected (the healthy baseline).
+pub fn churn_run(outage: SimDuration, period: SimDuration, churn_seed: u64) -> ChurnPoint {
+    let mut cfg = churn_config();
+    if outage > SimDuration::ZERO {
+        let storage: Vec<NodeId> = (1..=cfg.ipfs_nodes).map(NodeId).collect();
+        cfg.fault_plan = FaultPlan::churn(
+            &storage,
+            SimTime::from_micros(2_000_000),
+            SimTime::from_micros(cfg.t_sync.as_micros() * cfg.rounds),
+            period,
+            outage,
+            churn_seed,
+        );
+    }
+    let rounds = cfg.rounds;
+    let report = run_network_experiment(cfg, churn_param_count());
+    let avg_round_duration = if report.rounds.is_empty() {
+        0.0
+    } else {
+        report.rounds.iter().map(|r| r.round_duration).sum::<f64>() / report.rounds.len() as f64
+    };
+    ChurnPoint {
+        outage_secs: outage.as_secs_f64(),
+        completed_rounds: report.completed_rounds,
+        rounds,
+        avg_round_duration,
+        quorum_degradations: report.quorum_degradations,
+    }
+}
+
+/// The churn sweep: outage lengths from "none" to "longer than the retry
+/// budget", with a fixed period between outages.
+pub fn churn_sweep() -> Vec<ChurnPoint> {
+    let period = SimDuration::from_secs(10);
+    [0u64, 1, 4, 8]
+        .iter()
+        .map(|&o| churn_run(SimDuration::from_secs(o), period, 42))
+        .collect()
 }
 
 #[cfg(test)]
@@ -319,5 +431,21 @@ mod tests {
         let points = fig3_commitment(&[256]);
         assert_eq!(points.len(), 1);
         assert!(points[0].pedersen_k1_ms > points[0].sha256_ms);
+    }
+
+    #[test]
+    fn churn_baseline_completes_every_round() {
+        let point = churn_run(SimDuration::ZERO, SimDuration::from_secs(10), 42);
+        assert_eq!(point.completed_rounds, point.rounds);
+        assert!(point.avg_round_duration > 0.0);
+        assert_eq!(point.quorum_degradations, 0);
+    }
+
+    #[test]
+    fn churn_point_with_short_outages_still_completes() {
+        // 1 s outages are far below the 2 s fetch timeout + failover
+        // budget: retry masks them and no round is lost.
+        let point = churn_run(SimDuration::from_secs(1), SimDuration::from_secs(10), 42);
+        assert_eq!(point.completed_rounds, point.rounds);
     }
 }

@@ -43,7 +43,12 @@ pub struct Addr {
 impl Addr {
     /// Address of a trainer's gradient for a partition and round.
     pub fn gradient(trainer: usize, partition: usize, iter: u64) -> Addr {
-        Addr { uploader: Uploader::Trainer(trainer), partition, iter, kind: ObjectKind::Gradient }
+        Addr {
+            uploader: Uploader::Trainer(trainer),
+            partition,
+            iter,
+            kind: ObjectKind::Gradient,
+        }
     }
 
     /// Address of an aggregator's partial update.

@@ -35,6 +35,7 @@ use crate::messages::{Msg, SyncAnnounce};
 
 const TK_POLL: u64 = 1 << 32;
 const TK_SYNC_DEADLINE: u64 = 2 << 32;
+const TK_FETCH: u64 = 3 << 32;
 
 /// What an in-flight storage request is for.
 #[derive(Copy, Clone, Debug)]
@@ -95,7 +96,20 @@ pub struct Aggregator {
     recovery_grads: HashMap<usize, Vec<Vec<Quantized>>>,
     global_sent: bool,
     sync_recorded: bool,
+    /// The t_sync deadline passed and `min_quorum` authorized completing
+    /// the round with the gradients received so far.
+    deadline_degraded: bool,
+    /// Member `(trainer, cid)` lists of in-flight merge requests, kept so
+    /// a failed merge can degrade to plain per-CID fetches.
+    merge_members: HashMap<u64, Vec<(usize, Cid)>>,
+    /// Trainers being fetched individually after their merge failed.
+    fallback_pending: HashSet<usize>,
     in_flight: HashMap<u64, Request>,
+    /// Storage requests eligible for client-side retry: req → last target
+    /// and the wire to re-issue. On timeout the request is re-sent to the
+    /// next storage node, which resolves the data wherever a live replica
+    /// exists.
+    retry_wires: HashMap<u64, (NodeId, IpfsWire)>,
     /// Blocks this aggregator uploaded in the current round, released at
     /// the next round (§VI ephemeral-data lifecycle).
     uploads: Vec<(NodeId, Cid)>,
@@ -142,7 +156,11 @@ impl Aggregator {
             recovery_grads: HashMap::new(),
             global_sent: false,
             sync_recorded: false,
+            deadline_degraded: false,
+            merge_members: HashMap::new(),
+            fallback_pending: HashSet::new(),
             in_flight: HashMap::new(),
+            retry_wires: HashMap::new(),
             uploads: Vec::new(),
             forged: None,
             polling: false,
@@ -172,6 +190,50 @@ impl Aggregator {
         ctx.send(to, wire.wire_bytes(), Msg::Ipfs(wire));
     }
 
+    /// Sends a storage request that must survive a dead target: if no reply
+    /// arrives within `fetch_timeout`, the same request (same `req`) is
+    /// re-issued to the next storage node, round-robin, until the round
+    /// ends or a reply lands. Late replies from earlier targets dedupe via
+    /// `in_flight`.
+    fn send_retryable(&mut self, ctx: &mut Context<'_, Msg>, to: NodeId, wire: IpfsWire, req: u64) {
+        self.retry_wires.insert(req, (to, wire.clone()));
+        ctx.set_timer(
+            self.topo.config().fetch_timeout,
+            TK_FETCH | (req & 0xFFFF_FFFF),
+        );
+        self.send_ipfs(ctx, to, wire);
+    }
+
+    fn on_fetch_retry(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+        if !self.in_flight.contains_key(&req) {
+            self.retry_wires.remove(&req);
+            return; // answered (or the round moved on) meanwhile
+        }
+        let Some((last, wire)) = self.retry_wires.get(&req).cloned() else {
+            return;
+        };
+        let ids = self.topo.ipfs_ids();
+        let idx = ids.iter().position(|n| *n == last).unwrap_or(0);
+        let next = ids[(idx + 1) % ids.len()];
+        self.send_retryable(ctx, next, wire, req);
+    }
+
+    /// How many of `expected` must be in before a degraded round may
+    /// complete: the global `min_quorum` budget of missing trainers,
+    /// applied to this aggregator's set.
+    fn quorum_threshold(&self) -> Option<usize> {
+        self.quorum_threshold_for(self.expected.len())
+    }
+
+    /// The same budget applied to a trainer set of `set_len` (used for the
+    /// trainer sets recovered on a dead peer's behalf).
+    fn quorum_threshold_for(&self, set_len: usize) -> Option<usize> {
+        self.topo.config().min_quorum.map(|q| {
+            let missing_allowed = self.topo.config().trainers - q;
+            set_len.saturating_sub(missing_allowed).max(1)
+        })
+    }
+
     fn begin_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
         self.iter = iter;
         self.round_start = ctx.now();
@@ -190,7 +252,11 @@ impl Aggregator {
         self.recovery_grads.clear();
         self.global_sent = false;
         self.sync_recorded = false;
+        self.deadline_degraded = false;
+        self.merge_members.clear();
+        self.fallback_pending.clear();
         self.in_flight.clear();
+        self.retry_wires.clear();
         self.forged = None;
 
         // Release last round's partial/global update blobs.
@@ -208,8 +274,13 @@ impl Aggregator {
         // loop also fetches accumulated commitments for peer verification
         // and drives dropout recovery, so it runs in every mode.
         self.start_polling(ctx);
-        if self.multi() {
-            ctx.set_timer(self.topo.config().t_sync, TK_SYNC_DEADLINE | (iter & 0xFFFF_FFFF));
+        // The deadline drives peer recovery (multi-aggregator) and quorum
+        // degradation, so it is armed whenever either can trigger.
+        if self.multi() || self.topo.config().min_quorum.is_some() {
+            ctx.set_timer(
+                self.topo.config().t_sync,
+                TK_SYNC_DEADLINE | (iter & 0xFFFF_FFFF),
+            );
         }
     }
 
@@ -223,26 +294,31 @@ impl Aggregator {
     fn poll(&mut self, ctx: &mut Context<'_, Msg>) {
         let mut outstanding = false;
         // Gradient discovery (lines 28–34 of Algorithm 1).
-        let grads_done = self.partial.is_some()
-            || self.registered.len() == self.expected.len();
+        let grads_done = self.partial.is_some() || self.registered.len() == self.expected.len();
         if !grads_done && self.topo.config().comm != CommMode::Direct {
             outstanding = true;
-            let msg =
-                Msg::QueryGradients { partition: self.partition, agg_j: self.j, iter: self.iter };
+            let msg = Msg::QueryGradients {
+                partition: self.partition,
+                agg_j: self.j,
+                iter: self.iter,
+            };
             ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
         }
         // Merge requests may need re-issuing after a MergeErr.
         if self.topo.config().comm == CommMode::MergeAndDownload
             && !self.merges_sent
             && self.partial.is_none()
-            && self.registered.len() == self.expected.len()
+            && self.merge_ready()
         {
             self.send_merges(ctx);
         }
         // Accumulated commitments for peer verification (§IV-B).
         if self.verifiable() && self.multi() && self.accumulators.iter().any(Option::is_none) {
             outstanding = true;
-            let msg = Msg::QueryAccumulators { partition: self.partition, iter: self.iter };
+            let msg = Msg::QueryAccumulators {
+                partition: self.partition,
+                iter: self.iter,
+            };
             ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
         }
         // Recovery gradient discovery.
@@ -251,8 +327,11 @@ impl Aggregator {
             let mut pending: Vec<usize> = self.recovery_pending.keys().copied().collect();
             pending.sort_unstable(); // deterministic query order
             for j in pending {
-                let msg =
-                    Msg::QueryGradients { partition: self.partition, agg_j: j, iter: self.iter };
+                let msg = Msg::QueryGradients {
+                    partition: self.partition,
+                    agg_j: j,
+                    iter: self.iter,
+                };
                 ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
             }
         }
@@ -286,14 +365,18 @@ impl Aggregator {
                 }
                 let c = commitment.and_then(|b| ProtocolCommitment::from_bytes(&b));
                 self.registered.insert(trainer, (cid, c));
-                if self.topo.config().comm == CommMode::Indirect {
+                // Indirect mode fetches every gradient individually; merge
+                // mode only fetches ones whose merge failed (fallback).
+                if self.topo.config().comm == CommMode::Indirect
+                    || self.fallback_pending.contains(&trainer)
+                {
                     self.fetch_own_gradient(ctx, trainer, cid);
                 }
             } else if let Some(pending) = self.recovery_pending.get_mut(&slot) {
                 if pending.remove(&trainer) {
                     let req = self.fresh_req(Request::Recovery { j: slot, trainer });
                     let provider = self.topo.upload_target(self.partition, trainer);
-                    self.send_ipfs(ctx, provider, IpfsWire::Get { cid, req_id: req });
+                    self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
                 }
             }
         }
@@ -306,14 +389,26 @@ impl Aggregator {
         {
             self.send_forged_registration(ctx);
         }
-        // Merge-and-download: once every trainer of T_ij has registered,
-        // issue one merge request per provider (§III-E).
+        // Merge-and-download: once every trainer of T_ij has registered
+        // (or a quorum, after the deadline), issue one merge request per
+        // provider (§III-E).
         if self.topo.config().comm == CommMode::MergeAndDownload
             && !self.merges_sent
-            && self.registered.len() == self.expected.len()
+            && self.merge_ready()
         {
             self.send_merges(ctx);
         }
+    }
+
+    /// Whether enough gradients are registered to issue the merges: the
+    /// full trainer set normally, or the quorum threshold once the round
+    /// is deadline-degraded.
+    fn merge_ready(&self) -> bool {
+        self.registered.len() == self.expected.len()
+            || (self.deadline_degraded
+                && self
+                    .quorum_threshold()
+                    .is_some_and(|th| self.registered.len() >= th))
     }
 
     fn fetch_own_gradient(&mut self, ctx: &mut Context<'_, Msg>, trainer: usize, cid: Cid) {
@@ -325,31 +420,37 @@ impl Aggregator {
         // Fetch straight from the storage node the trainer uploaded to
         // (bitswap-style direct retrieval from the provider).
         let provider = self.topo.upload_target(self.partition, trainer);
-        self.send_ipfs(ctx, provider, IpfsWire::Get { cid, req_id: req });
+        self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
     }
 
     fn send_merges(&mut self, ctx: &mut Context<'_, Msg>) {
         self.merges_sent = true;
         // Group my trainers' gradients by the provider they uploaded to.
-        let mut by_provider: HashMap<NodeId, Vec<Cid>> = HashMap::new();
+        // Under quorum degradation not every trainer has registered;
+        // unregistered ones are simply absent from the merge.
+        let mut by_provider: HashMap<NodeId, Vec<(usize, Cid)>> = HashMap::new();
         let dropped = self.dropped_trainers();
         for &t in &self.expected {
             if dropped.contains(&t) {
                 continue; // malicious: silently omit
             }
-            let (cid, _) = self.registered[&t];
+            let Some(&(cid, _)) = self.registered.get(&t) else {
+                continue;
+            };
             by_provider
                 .entry(self.topo.upload_target(self.partition, t))
                 .or_default()
-                .push(cid);
+                .push((t, cid));
         }
         let mut providers: Vec<NodeId> = by_provider.keys().copied().collect();
         providers.sort_unstable_by_key(|n| n.index());
         self.merges_outstanding = providers.len();
         for provider in providers {
-            let cids = by_provider.remove(&provider).expect("listed provider");
+            let members = by_provider.remove(&provider).expect("listed provider");
+            let cids = members.iter().map(|&(_, cid)| cid).collect();
             let req = self.fresh_req(Request::Merged);
-            self.send_ipfs(ctx, provider, IpfsWire::Merge { cids, req_id: req });
+            self.merge_members.insert(req, members);
+            self.send_retryable(ctx, provider, IpfsWire::Merge { cids, req_id: req }, req);
         }
     }
 
@@ -360,11 +461,12 @@ impl Aggregator {
     fn send_forged_registration(&mut self, ctx: &mut Context<'_, Msg>) {
         let victim = self.expected[0];
         // A "lazy but plausible" fabrication: all zeros with counter 1.
-        let fake_blob = crate::gradient::build_blob(&vec![
-            0.0f32;
-            self.topo.partition_len(self.partition)
-        ]);
-        let commitment = self.key.as_ref().map(|key| commit_blob(key, &fake_blob).to_bytes());
+        let fake_blob =
+            crate::gradient::build_blob(&vec![0.0f32; self.topo.partition_len(self.partition)]);
+        let commitment = self
+            .key
+            .as_ref()
+            .map(|key| commit_blob(key, &fake_blob).to_bytes());
         let msg = Msg::RegisterGradient {
             trainer: victim,
             partition: self.partition,
@@ -389,7 +491,10 @@ impl Aggregator {
 
     fn on_own_gradient(&mut self, ctx: &mut Context<'_, Msg>, trainer: usize, data: &[u8]) {
         self.downloading.remove(&trainer);
-        let Some(vector) = decode_blob(data) else { return };
+        self.fallback_pending.remove(&trainer);
+        let Some(vector) = decode_blob(data) else {
+            return;
+        };
         // In verifiable mode, check the blob against the trainer's
         // registered commitment before trusting it.
         if let (Some(key), Some((_, Some(commitment)))) =
@@ -404,7 +509,9 @@ impl Aggregator {
     }
 
     fn on_merged(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
-        let Some(vector) = decode_blob(data) else { return };
+        let Some(vector) = decode_blob(data) else {
+            return;
+        };
         // Verify the merged blob against the product of its members'
         // commitments (§IV-B merge extension). The directory gave us each
         // trainer's commitment with the gradient list.
@@ -420,23 +527,47 @@ impl Aggregator {
         }
         let vectors: Vec<Vec<Quantized>> = match self.topo.config().comm {
             CommMode::MergeAndDownload => {
-                if !self.merges_sent || self.merges_outstanding > 0 {
+                if !self.merges_sent
+                    || self.merges_outstanding > 0
+                    || !self.fallback_pending.is_empty()
+                {
                     return;
                 }
-                self.merged.clone()
+                // Merged blobs plus any gradients fetched individually
+                // after a failed merge, in deterministic trainer order.
+                let mut vectors = self.merged.clone();
+                let mut fallback: Vec<usize> = self.gradients.keys().copied().collect();
+                fallback.sort_unstable();
+                vectors.extend(fallback.into_iter().map(|t| self.gradients[&t].clone()));
+                vectors
             }
             _ => {
                 let dropped = self.dropped_trainers();
-                let needed: Vec<usize> =
-                    self.expected.iter().filter(|t| !dropped.contains(t)).copied().collect();
-                if !needed.iter().all(|t| self.gradients.contains_key(t)) {
-                    return;
+                let needed: Vec<usize> = self
+                    .expected
+                    .iter()
+                    .filter(|t| !dropped.contains(t))
+                    .copied()
+                    .collect();
+                let have: Vec<usize> = needed
+                    .iter()
+                    .filter(|t| self.gradients.contains_key(t))
+                    .copied()
+                    .collect();
+                if have.len() < needed.len() {
+                    // Normally wait for the full set; a deadline-degraded
+                    // round may proceed once the quorum is in.
+                    match self.quorum_threshold() {
+                        Some(th) if self.deadline_degraded && have.len() >= th => {}
+                        _ => return,
+                    }
                 }
                 if self.behavior == Behavior::ForgeRegistration {
-                    let Some(fake) = self.forged.clone() else { return };
+                    let Some(fake) = self.forged.clone() else {
+                        return;
+                    };
                     // Substitute the fabricated gradient for the victim's.
-                    needed
-                        .iter()
+                    have.iter()
                         .map(|t| {
                             if *t == self.expected[0] {
                                 fake.clone()
@@ -446,14 +577,20 @@ impl Aggregator {
                         })
                         .collect()
                 } else {
-                    needed.iter().map(|t| self.gradients[t].clone()).collect()
+                    have.iter().map(|t| self.gradients[t].clone()).collect()
                 }
             }
         };
         if vectors.is_empty() {
             return;
         }
-        let partial = sum_gradients(&vectors);
+        let partial = match sum_gradients(&vectors) {
+            Ok(partial) => partial,
+            Err(_) => {
+                ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
+                return;
+            }
+        };
         ctx.record(labels::GRADS_AGGREGATED, self.iter as f64);
         self.partial = Some(partial.clone());
         self.partials.insert(self.j, partial.clone());
@@ -463,10 +600,15 @@ impl Aggregator {
             let blob = encode(&partial);
             let req = self.fresh_req(Request::PutPartial);
             let gw = self.gateway();
-            self.send_ipfs(
+            self.send_retryable(
                 ctx,
                 gw,
-                IpfsWire::Put { data: Bytes::from(blob), req_id: req, replicate: 1 },
+                IpfsWire::Put {
+                    data: Bytes::from(blob),
+                    req_id: req,
+                    replicate: 1,
+                },
+                req,
             );
         } else {
             self.finish_global(ctx);
@@ -476,6 +618,7 @@ impl Aggregator {
     // -- synchronization (multi-aggregator) ----------------------------------
 
     fn on_put_ack(&mut self, ctx: &mut Context<'_, Msg>, cid: Cid, req_id: u64) {
+        self.retry_wires.remove(&req_id);
         match self.in_flight.remove(&req_id) {
             Some(Request::PutPartial) => {
                 self.uploads.push((self.gateway(), cid));
@@ -495,9 +638,7 @@ impl Aggregator {
             }
             Some(Request::PutGlobal) => {
                 let gw = match self.topo.config().comm {
-                    CommMode::Direct => {
-                        self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes)
-                    }
+                    CommMode::Direct => self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes),
                     _ => self.gateway(),
                 };
                 self.uploads.push((gw, cid));
@@ -514,7 +655,9 @@ impl Aggregator {
     }
 
     fn on_deliver(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
-        let Some(ann) = SyncAnnounce::decode(data) else { return };
+        let Some(ann) = SyncAnnounce::decode(data) else {
+            return;
+        };
         if ann.partition != self.partition || ann.iter != self.iter || ann.agg_j == self.j {
             return;
         }
@@ -528,7 +671,15 @@ impl Aggregator {
         let peer_gateway = self
             .topo
             .aggregator_gateway(self.topo.agg_index(self.partition, ann.agg_j));
-        self.send_ipfs(ctx, peer_gateway, IpfsWire::Get { cid: ann.cid, req_id: req });
+        self.send_retryable(
+            ctx,
+            peer_gateway,
+            IpfsWire::Get {
+                cid: ann.cid,
+                req_id: req,
+            },
+            req,
+        );
     }
 
     fn on_peer_partial(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
@@ -580,10 +731,23 @@ impl Aggregator {
             if let Some(v) = self.partials.get(&j) {
                 vectors.push(v.clone());
             } else if let Some(grads) = self.recovery_grads.get(&j) {
-                if grads.len() == self.topo.trainer_set(self.partition, j).len() {
-                    vectors.push(sum_gradients(grads));
-                } else {
+                // Recovery normally needs the peer's whole trainer set; a
+                // deadline-degraded round accepts the per-set quorum.
+                let want = self.topo.trainer_set(self.partition, j).len();
+                let enough = grads.len() == want
+                    || (self.deadline_degraded
+                        && self
+                            .quorum_threshold_for(want)
+                            .is_some_and(|th| grads.len() >= th));
+                if !enough || grads.is_empty() {
                     return;
+                }
+                match sum_gradients(grads) {
+                    Ok(sum) => vectors.push(sum),
+                    Err(_) => {
+                        ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
+                        return;
+                    }
                 }
             } else {
                 return;
@@ -593,7 +757,13 @@ impl Aggregator {
             self.sync_recorded = true;
             ctx.record(labels::SYNC_DONE, self.iter as f64);
         }
-        let global = sum_gradients(&vectors);
+        let global = match sum_gradients(&vectors) {
+            Ok(global) => global,
+            Err(_) => {
+                ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
+                return;
+            }
+        };
         self.upload_global(ctx, global);
     }
 
@@ -622,16 +792,21 @@ impl Aggregator {
                 // trainers can fetch it; we reuse storage for that leg.
                 let req = self.fresh_req(Request::PutGlobal);
                 let gw = self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes);
-                self.send_ipfs(
+                self.send_retryable(
                     ctx,
                     gw,
-                    IpfsWire::Put { data: Bytes::from(blob), req_id: req, replicate: 1 },
+                    IpfsWire::Put {
+                        data: Bytes::from(blob),
+                        req_id: req,
+                        replicate: 1,
+                    },
+                    req,
                 );
             }
             _ => {
                 let req = self.fresh_req(Request::PutGlobal);
                 let gw = self.gateway();
-                self.send_ipfs(
+                self.send_retryable(
                     ctx,
                     gw,
                     IpfsWire::Put {
@@ -639,6 +814,7 @@ impl Aggregator {
                         req_id: req,
                         replicate: self.topo.config().replication,
                     },
+                    req,
                 );
             }
         }
@@ -649,6 +825,30 @@ impl Aggregator {
     fn on_sync_deadline(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
         if iter != self.iter || self.global_sent || self.behavior == Behavior::Offline {
             return;
+        }
+        // t_sync is a hard deadline: with `min_quorum` configured, stop
+        // waiting for trainers that never delivered and complete the round
+        // with what arrived. The FedAvg denominator scales automatically —
+        // blobs carry a contribution counter that averaging divides by.
+        if self.quorum_threshold().is_some() && !self.deadline_degraded {
+            self.deadline_degraded = true;
+            let received = match self.topo.config().comm {
+                CommMode::Direct => self.gradients.len(),
+                _ => self.registered.len(),
+            };
+            let missing = self.expected.len().saturating_sub(received);
+            ctx.record(labels::QUORUM_DEGRADED, missing as f64);
+            if self.topo.config().comm == CommMode::MergeAndDownload
+                && !self.merges_sent
+                && self.merge_ready()
+            {
+                self.send_merges(ctx);
+            }
+            self.maybe_aggregate(ctx);
+            self.maybe_finish_sync(ctx);
+            if self.global_sent {
+                return;
+            }
         }
         if self.topo.config().comm == CommMode::Direct {
             return; // no storage copy to recover from — the §III-B failure
@@ -664,8 +864,11 @@ impl Aggregator {
             // Download this dead peer's trainer gradients ourselves
             // ("another aggregator downloads his gradients on his behalf").
             ctx.record(labels::DROPOUT_RECOVERY, j as f64);
-            let trainers: HashSet<usize> =
-                self.topo.trainer_set(self.partition, j).into_iter().collect();
+            let trainers: HashSet<usize> = self
+                .topo
+                .trainer_set(self.partition, j)
+                .into_iter()
+                .collect();
             self.recovery_pending.insert(j, trainers);
             self.recovery_grads.insert(j, Vec::new());
         }
@@ -684,7 +887,9 @@ impl Actor<Msg> for Aggregator {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
         // Subscribe once to the partition's sync topic (pub/sub, §IV-B).
         if self.multi() && self.behavior != Behavior::Offline {
-            let sub = IpfsWire::Subscribe { topic: self.topo.sync_topic(self.partition) };
+            let sub = IpfsWire::Subscribe {
+                topic: self.topo.sync_topic(self.partition),
+            };
             let gw = self.gateway();
             self.send_ipfs(ctx, gw, sub);
         }
@@ -696,17 +901,26 @@ impl Actor<Msg> for Aggregator {
         }
         match msg {
             Msg::StartRound { iter } => self.begin_round(ctx, iter),
-            Msg::GradientList { partition, iter, entries } if partition == self.partition => {
+            Msg::GradientList {
+                partition,
+                iter,
+                entries,
+            } if partition == self.partition => {
                 self.on_gradient_list(ctx, iter, entries);
             }
-            Msg::Accumulators { partition, iter, accumulated }
-                if partition == self.partition && iter == self.iter =>
-            {
+            Msg::Accumulators {
+                partition,
+                iter,
+                accumulated,
+            } if partition == self.partition && iter == self.iter => {
                 self.on_accumulators(ctx, accumulated);
             }
-            Msg::DirectGradient { trainer, partition, iter, data }
-                if partition == self.partition && iter == self.iter =>
-            {
+            Msg::DirectGradient {
+                trainer,
+                partition,
+                iter,
+                data,
+            } if partition == self.partition && iter == self.iter => {
                 if self.dropped_trainers().contains(&trainer) {
                     return;
                 }
@@ -723,6 +937,7 @@ impl Actor<Msg> for Aggregator {
             }
             Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(ctx, cid, req_id),
             Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
+                self.retry_wires.remove(&req_id);
                 let data = data.to_vec();
                 match self.in_flight.remove(&req_id) {
                     Some(Request::OwnGradient { trainer }) => {
@@ -734,6 +949,7 @@ impl Actor<Msg> for Aggregator {
                 }
             }
             Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
+                self.retry_wires.remove(&req_id);
                 // Allow retries through the poll loop.
                 match self.in_flight.remove(&req_id) {
                     Some(Request::OwnGradient { trainer }) => {
@@ -747,17 +963,31 @@ impl Actor<Msg> for Aggregator {
                 }
             }
             Msg::Ipfs(IpfsWire::MergeOk { data, req_id }) => {
+                self.retry_wires.remove(&req_id);
+                self.merge_members.remove(&req_id);
                 if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
                     let data = data.to_vec();
                     self.on_merged(ctx, &data);
                 }
             }
             Msg::Ipfs(IpfsWire::MergeErr { req_id, .. }) => {
-                // Re-issue merges on the next poll by resetting state.
+                self.retry_wires.remove(&req_id);
+                // Degrade this merge to plain per-CID fetches of its
+                // members; each Get fails over across replicas at the
+                // storage layer, so one unmergeable blob no longer forces
+                // re-merging everything through the poll loop.
                 if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
-                    self.merges_sent = false;
-                    self.merged.clear();
-                    self.merges_outstanding = 0;
+                    self.merges_outstanding = self.merges_outstanding.saturating_sub(1);
+                    let members = self.merge_members.remove(&req_id).unwrap_or_default();
+                    ctx.record(labels::MERGE_FALLBACK, members.len() as f64);
+                    for (trainer, cid) in members {
+                        if self.gradients.contains_key(&trainer) {
+                            continue;
+                        }
+                        self.fallback_pending.insert(trainer);
+                        self.fetch_own_gradient(ctx, trainer, cid);
+                    }
+                    self.maybe_aggregate(ctx);
                 }
             }
             Msg::Ipfs(IpfsWire::Deliver { data, .. }) => {
@@ -775,6 +1005,7 @@ impl Actor<Msg> for Aggregator {
         match token & !0xFFFF_FFFF {
             TK_POLL => self.poll(ctx),
             TK_SYNC_DEADLINE => self.on_sync_deadline(ctx, token & 0xFFFF_FFFF),
+            TK_FETCH => self.on_fetch_retry(ctx, token & 0xFFFF_FFFF),
             _ => {}
         }
     }

@@ -9,7 +9,7 @@
 //! (T_ij), which storage nodes serve as an aggregator's providers (P_ij),
 //! and where everyone sits in the simulated network.
 
-use dfl_netsim::{LinkSpec, NodeId, SimDuration};
+use dfl_netsim::{FaultPlan, LinkSpec, NodeId, SimDuration};
 
 use crate::error::IplsError;
 
@@ -82,6 +82,22 @@ pub struct TaskConfig {
     /// Storage nodes (by index) that silently discard stored data —
     /// availability-failure injection for the §VI replication experiments.
     pub lossy_ipfs_nodes: Vec<usize>,
+    /// Clock-driven fault schedule (crashes, recoveries, data loss, link
+    /// degradation) applied to the simulation before it runs. Node ids
+    /// refer to the task's simulated layout
+    /// (`directory | ipfs | aggregators | trainers`).
+    pub fault_plan: FaultPlan,
+    /// Minimum number of trainers (globally) whose gradients must be in
+    /// before the t_sync deadline lets the round complete without the
+    /// rest. `None` keeps the strict behavior: a round waits for every
+    /// trainer, so one crashed trainer stalls it. Incompatible with
+    /// `verifiable` (the accumulated commitment needs every trainer).
+    pub min_quorum: Option<usize>,
+    /// Base timeout for storage-layer retrievals before the client gateway
+    /// retries and then fails over to another provider. Must comfortably
+    /// exceed the worst-case transfer time under contention, or healthy
+    /// slow fetches get duplicated.
+    pub fetch_timeout: SimDuration,
     /// Virtual cost of committing, microseconds per vector element
     /// (0 = commitments are free in simulated time; the real group
     /// operations still run when `verifiable` is set).
@@ -113,6 +129,9 @@ impl Default for TaskConfig {
             t_sync: SimDuration::from_secs(1200),
             train_compute: SimDuration::ZERO,
             lossy_ipfs_nodes: Vec::new(),
+            fault_plan: FaultPlan::new(),
+            min_quorum: None,
+            fetch_timeout: SimDuration::from_secs(30),
             commit_us_per_element: 0,
             seed: 0,
         }
@@ -162,6 +181,18 @@ impl TaskConfig {
         }
         if self.trainer_verifies && !self.verifiable {
             return err("trainer verification requires verifiable mode");
+        }
+        if let Some(q) = self.min_quorum {
+            if !(1..=self.trainers).contains(&q) {
+                return err("min_quorum must be in 1..=trainers");
+            }
+            if self.verifiable {
+                return err("min_quorum is incompatible with verifiable aggregation \
+                     (the accumulated commitment requires every trainer)");
+            }
+        }
+        if self.fetch_timeout <= SimDuration::ZERO {
+            return err("fetch_timeout must be positive");
         }
         Ok(())
     }
@@ -220,7 +251,10 @@ impl Topology {
             ranges.push((start, start + len));
             start += len;
         }
-        Ok(Topology { cfg, partition_ranges: ranges })
+        Ok(Topology {
+            cfg,
+            partition_ranges: ranges,
+        })
     }
 
     /// The underlying configuration.
@@ -250,7 +284,10 @@ impl Topology {
 
     /// Largest partition length (sizes the commitment key).
     pub fn max_partition_len(&self) -> usize {
-        (0..self.cfg.partitions).map(|i| self.partition_len(i)).max().unwrap_or(0)
+        (0..self.cfg.partitions)
+            .map(|i| self.partition_len(i))
+            .max()
+            .unwrap_or(0)
     }
 
     // -- simulation node ids ------------------------------------------------
@@ -277,7 +314,9 @@ impl Topology {
 
     /// All storage node ids.
     pub fn ipfs_ids(&self) -> Vec<NodeId> {
-        (0..self.cfg.ipfs_nodes).map(|k| self.ipfs_node(k)).collect()
+        (0..self.cfg.ipfs_nodes)
+            .map(|k| self.ipfs_node(k))
+            .collect()
     }
 
     /// The aggregator with global index `g`.
@@ -286,7 +325,10 @@ impl Topology {
     ///
     /// Panics if `g` is out of range.
     pub fn aggregator(&self, g: usize) -> NodeId {
-        assert!(g < self.cfg.total_aggregators(), "aggregator {g} out of range");
+        assert!(
+            g < self.cfg.total_aggregators(),
+            "aggregator {g} out of range"
+        );
         NodeId(1 + self.cfg.ipfs_nodes + g)
     }
 
@@ -438,7 +480,10 @@ mod tests {
             let mut cfg = cfg_16_trainers();
             mutate(&mut cfg);
             let err = cfg.validate().unwrap_err();
-            assert!(err.to_string().contains(expect), "{err} should mention {expect}");
+            assert!(
+                err.to_string().contains(expect),
+                "{err} should mention {expect}"
+            );
         }
     }
 

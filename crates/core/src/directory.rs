@@ -51,6 +51,9 @@ pub struct Directory {
     first_hash_seen: HashSet<u64>,
     /// Rounds already announced.
     announced: HashSet<u64>,
+    /// Rounds already recorded complete (quorum completion would otherwise
+    /// re-fire on each late `TrainerDone`).
+    completed: HashSet<u64>,
     next_req: u64,
     next_verify: u64,
     /// Count of rejected updates (exposed for tests/reports via trace too).
@@ -87,6 +90,7 @@ impl Directory {
             done: HashMap::new(),
             first_hash_seen: HashSet::new(),
             announced: HashSet::new(),
+            completed: HashSet::new(),
             next_req: 0,
             next_verify: 0,
             rejected: 0,
@@ -108,8 +112,12 @@ impl Directory {
         if !self.topo.config().authenticate {
             return true;
         }
-        let Some(vk) = self.trainer_keys.get(trainer) else { return false };
-        let Some(sig_bytes) = signature else { return false };
+        let Some(vk) = self.trainer_keys.get(trainer) else {
+            return false;
+        };
+        let Some(sig_bytes) = signature else {
+            return false;
+        };
         let Some(sig) = Signature::<ProtocolCurve>::from_bytes(sig_bytes) else {
             return false;
         };
@@ -176,7 +184,14 @@ impl Directory {
             let req_id = self.next_req;
             self.fetching.insert(
                 req_id,
-                PendingVerify { partition, iter, aggregator, cid, from, verdict: false },
+                PendingVerify {
+                    partition,
+                    iter,
+                    aggregator,
+                    cid,
+                    from,
+                    verdict: false,
+                },
             );
             let get = IpfsWire::Get { cid, req_id };
             ctx.send(self.topo.ipfs_node(0), get.wire_bytes(), Msg::Ipfs(get));
@@ -204,7 +219,9 @@ impl Directory {
     }
 
     fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8], ok: bool) {
-        let Some(mut pv) = self.fetching.remove(&req_id) else { return };
+        let Some(mut pv) = self.fetching.remove(&req_id) else {
+            return;
+        };
         let key = self.key.as_ref().expect("verifiable mode").clone();
         let verdict = ok
             && match self.accumulated_total(pv.partition, pv.iter) {
@@ -222,11 +239,15 @@ impl Directory {
     }
 
     fn maybe_finish_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
-        let all_done = self
-            .done
-            .get(&iter)
-            .is_some_and(|set| set.len() == self.topo.config().trainers);
-        if !all_done {
+        // With a quorum configured, the round completes once that many
+        // trainers report done: a crashed trainer must not stall the task.
+        let needed = self
+            .topo
+            .config()
+            .min_quorum
+            .unwrap_or(self.topo.config().trainers);
+        let enough = self.done.get(&iter).is_some_and(|set| set.len() >= needed);
+        if !enough || !self.completed.insert(iter) {
             return;
         }
         ctx.record(labels::ROUND_COMPLETE, iter as f64);
@@ -245,7 +266,9 @@ impl Actor<Msg> for Directory {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
         if token & TK_VERIFY != 0 {
-            let Some(pv) = self.verifying.remove(&(token & 0xFFFF_FFFF)) else { return };
+            let Some(pv) = self.verifying.remove(&(token & 0xFFFF_FFFF)) else {
+                return;
+            };
             if self.updates.contains_key(&(pv.partition, pv.iter)) {
                 return; // raced with an earlier valid registration
             }
@@ -259,7 +282,12 @@ impl Actor<Msg> for Directory {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
-            Msg::RegisterGradientBatch { trainer, iter, entries, signature } => {
+            Msg::RegisterGradientBatch {
+                trainer,
+                iter,
+                entries,
+                signature,
+            } => {
                 let authentic = if self.topo.config().authenticate {
                     let msg_bytes = batch_registration_message(trainer, iter, &entries);
                     self.trainer_keys.get(trainer).is_some_and(|vk| {
@@ -278,7 +306,10 @@ impl Actor<Msg> for Directory {
                     ctx.record(labels::FIRST_GRADIENT_HASH, iter as f64);
                 }
                 for (partition, cid, commitment) in entries {
-                    self.gradients.entry((partition, iter)).or_default().insert(trainer, cid);
+                    self.gradients
+                        .entry((partition, iter))
+                        .or_default()
+                        .insert(trainer, cid);
                     if let Some(bytes) = commitment {
                         if let Some(c) = ProtocolCommitment::from_bytes(&bytes) {
                             self.commitments
@@ -289,9 +320,22 @@ impl Actor<Msg> for Directory {
                     }
                 }
             }
-            Msg::RegisterGradient { trainer, partition, iter, cid, commitment, signature } => {
-                if !self.registration_authentic(trainer, partition, iter, &cid, &commitment, &signature)
-                {
+            Msg::RegisterGradient {
+                trainer,
+                partition,
+                iter,
+                cid,
+                commitment,
+                signature,
+            } => {
+                if !self.registration_authentic(
+                    trainer,
+                    partition,
+                    iter,
+                    &cid,
+                    &commitment,
+                    &signature,
+                ) {
                     // Forged or unsigned registration: discard and flag.
                     ctx.record(labels::FORGED_REGISTRATION, trainer as f64);
                     return;
@@ -299,7 +343,10 @@ impl Actor<Msg> for Directory {
                 if self.first_hash_seen.insert(iter) {
                     ctx.record(labels::FIRST_GRADIENT_HASH, iter as f64);
                 }
-                self.gradients.entry((partition, iter)).or_default().insert(trainer, cid);
+                self.gradients
+                    .entry((partition, iter))
+                    .or_default()
+                    .insert(trainer, cid);
                 if let Some(bytes) = commitment {
                     if let Some(c) = ProtocolCommitment::from_bytes(&bytes) {
                         self.commitments
@@ -309,7 +356,11 @@ impl Actor<Msg> for Directory {
                     }
                 }
             }
-            Msg::QueryGradients { partition, agg_j, iter } => {
+            Msg::QueryGradients {
+                partition,
+                agg_j,
+                iter,
+            } => {
                 let trainers = self.topo.trainer_set(partition, agg_j);
                 let registered = self.gradients.get(&(partition, iter));
                 let commits = self.commitments.get(&(partition, iter));
@@ -317,36 +368,58 @@ impl Actor<Msg> for Directory {
                     .into_iter()
                     .filter_map(|t| {
                         let cid = registered.and_then(|m| m.get(&t))?;
-                        let commitment =
-                            commits.and_then(|m| m.get(&t)).map(|c| c.to_bytes());
+                        let commitment = commits.and_then(|m| m.get(&t)).map(|c| c.to_bytes());
                         Some((t, *cid, commitment))
                     })
                     .collect();
-                let reply = Msg::GradientList { partition, iter, entries };
+                let reply = Msg::GradientList {
+                    partition,
+                    iter,
+                    entries,
+                };
                 ctx.send(from, reply.wire_bytes(), reply);
             }
             Msg::QueryAccumulators { partition, iter } => {
-                let accumulated: Vec<Option<[u8; 33]>> = (0..self
-                    .topo
-                    .config()
-                    .aggregators_per_partition)
-                    .map(|j| self.accumulated_for_slot(partition, iter, j).map(|c| c.to_bytes()))
-                    .collect();
-                let reply = Msg::Accumulators { partition, iter, accumulated };
+                let accumulated: Vec<Option<[u8; 33]>> =
+                    (0..self.topo.config().aggregators_per_partition)
+                        .map(|j| {
+                            self.accumulated_for_slot(partition, iter, j)
+                                .map(|c| c.to_bytes())
+                        })
+                        .collect();
+                let reply = Msg::Accumulators {
+                    partition,
+                    iter,
+                    accumulated,
+                };
                 ctx.send(from, reply.wire_bytes(), reply);
             }
-            Msg::RegisterUpdate { aggregator, partition, iter, cid } => {
+            Msg::RegisterUpdate {
+                aggregator,
+                partition,
+                iter,
+                cid,
+            } => {
                 self.on_register_update(ctx, from, aggregator, partition, iter, cid);
             }
             Msg::QueryTotalAccumulator { partition, iter } => {
-                let accumulated =
-                    self.accumulated_total(partition, iter).map(|c| c.to_bytes());
-                let reply = Msg::TotalAccumulator { partition, iter, accumulated };
+                let accumulated = self
+                    .accumulated_total(partition, iter)
+                    .map(|c| c.to_bytes());
+                let reply = Msg::TotalAccumulator {
+                    partition,
+                    iter,
+                    accumulated,
+                };
                 ctx.send(from, reply.wire_bytes(), reply);
             }
             Msg::QueryUpdate { partition, iter } => {
                 let cid = self.updates.get(&(partition, iter)).copied();
-                let reply = Msg::UpdateInfo { partition, iter, cid };
+                let reply = Msg::UpdateInfo {
+                    partition,
+                    iter,
+                    cid,
+                };
                 ctx.send(from, reply.wire_bytes(), reply);
             }
             Msg::TrainerDone { trainer, iter } => {

@@ -12,6 +12,9 @@ pub enum IplsError {
     RoundFailed { round: u64, reason: String },
     /// Verification rejected an aggregator's update.
     VerificationFailed { partition: usize, aggregator: usize },
+    /// Summed quantized gradients exceeded the fixed-point range (would
+    /// have wrapped or saturated silently).
+    Overflow,
 }
 
 impl fmt::Display for IplsError {
@@ -21,10 +24,16 @@ impl fmt::Display for IplsError {
             IplsError::RoundFailed { round, reason } => {
                 write!(f, "round {round} failed: {reason}")
             }
-            IplsError::VerificationFailed { partition, aggregator } => write!(
+            IplsError::VerificationFailed {
+                partition,
+                aggregator,
+            } => write!(
                 f,
                 "verification failed for partition {partition} (aggregator {aggregator})"
             ),
+            IplsError::Overflow => {
+                write!(f, "quantized gradient sum overflowed the fixed-point range")
+            }
         }
     }
 }
@@ -39,7 +48,10 @@ mod tests {
     fn display_messages() {
         let e = IplsError::InvalidConfig("zero partitions".into());
         assert!(e.to_string().contains("zero partitions"));
-        let e = IplsError::VerificationFailed { partition: 2, aggregator: 1 };
+        let e = IplsError::VerificationFailed {
+            partition: 2,
+            aggregator: 1,
+        };
         assert!(e.to_string().contains("partition 2"));
     }
 }

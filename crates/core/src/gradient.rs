@@ -12,6 +12,8 @@ use dfl_crypto::curve::Secp256k1;
 use dfl_crypto::pedersen::{CommitKey, Commitment};
 use dfl_crypto::quantize::{decode, encode, to_scalars, Quantized};
 
+use crate::error::IplsError;
+
 /// The curve the protocol's commitments use.
 pub type ProtocolCurve = Secp256k1;
 /// Commitment key type for the protocol.
@@ -21,8 +23,10 @@ pub type ProtocolCommitment = Commitment<ProtocolCurve>;
 
 /// Builds the upload blob for one partition: `quantize(values ++ [1.0])`.
 pub fn build_blob(values: &[f32]) -> Vec<u8> {
-    let mut quantized: Vec<Quantized> =
-        values.iter().map(|&v| Quantized::from_f64(v as f64)).collect();
+    let mut quantized: Vec<Quantized> = values
+        .iter()
+        .map(|&v| Quantized::from_f64(v as f64))
+        .collect();
     quantized.push(Quantized::from_f64(1.0)); // the averaging counter
     encode(&quantized)
 }
@@ -54,19 +58,30 @@ pub fn decode_update(blob: &[u8]) -> Option<(Vec<f32>, u64)> {
 
 /// Element-wise sum of decoded gradient vectors (values and counters alike).
 ///
+/// Accumulates in `i128` and reports overflow explicitly: a sum past the
+/// `i64` fixed-point range would previously saturate silently, which both
+/// skews the averaged update and breaks the homomorphic commitment check
+/// (the commitments accumulate the TRUE sum, not the clamped one).
+///
 /// # Panics
 ///
 /// Panics if the vectors differ in length or the input is empty.
-pub fn sum_gradients(grads: &[Vec<Quantized>]) -> Vec<Quantized> {
+pub fn sum_gradients(grads: &[Vec<Quantized>]) -> Result<Vec<Quantized>, IplsError> {
     assert!(!grads.is_empty(), "nothing to sum");
-    let mut acc = grads[0].clone();
+    let mut acc: Vec<i128> = grads[0].iter().map(|q| q.0 as i128).collect();
     for g in &grads[1..] {
         assert_eq!(g.len(), acc.len(), "gradient length mismatch");
         for (a, b) in acc.iter_mut().zip(g) {
-            *a = a.saturating_add(*b);
+            *a += b.0 as i128;
         }
     }
-    acc
+    acc.into_iter()
+        .map(|v| {
+            i64::try_from(v)
+                .map(Quantized)
+                .map_err(|_| IplsError::Overflow)
+        })
+        .collect()
 }
 
 /// Commits to a blob's quantized vector (including the counter element).
@@ -116,7 +131,7 @@ mod tests {
             build_blob(&[5.0, 1.0]),
         ];
         let decoded: Vec<_> = blobs.iter().map(|b| decode_blob(b).unwrap()).collect();
-        let summed = sum_gradients(&decoded);
+        let summed = sum_gradients(&decoded).unwrap();
         let (avg, count) = decode_update(&encode(&summed)).unwrap();
         assert_eq!(count, 3);
         assert_eq!(avg, vec![3.0, 3.0]);
@@ -130,7 +145,8 @@ mod tests {
         let b1 = build_blob(&[0.25, -1.0, 2.0]);
         let b2 = build_blob(&[1.75, 1.0, -2.0]);
         let merged = dfl_ipfs::merge::merge_blobs(&[b1.as_slice(), b2.as_slice()]).unwrap();
-        let summed = sum_gradients(&[decode_blob(&b1).unwrap(), decode_blob(&b2).unwrap()]);
+        let summed =
+            sum_gradients(&[decode_blob(&b1).unwrap(), decode_blob(&b2).unwrap()]).unwrap();
         assert_eq!(decode(&merged).unwrap(), summed);
     }
 
@@ -158,7 +174,8 @@ mod tests {
         assert!(!verify_blob(&key, &b1, &c2));
 
         // Accumulated commitment opens the aggregated blob.
-        let summed = sum_gradients(&[decode_blob(&b1).unwrap(), decode_blob(&b2).unwrap()]);
+        let summed =
+            sum_gradients(&[decode_blob(&b1).unwrap(), decode_blob(&b2).unwrap()]).unwrap();
         let agg_blob = encode(&summed);
         let acc = c1.combine(&c2);
         assert!(verify_blob(&key, &agg_blob, &acc));
@@ -169,14 +186,19 @@ mod tests {
         // Completeness (§III-A): omitting one trainer's gradient makes the
         // update fail against the accumulated commitment.
         let key = derive_key(2, 7);
-        let blobs = [build_blob(&[1.0, 1.0]), build_blob(&[2.0, 2.0]), build_blob(&[3.0, 3.0])];
+        let blobs = [
+            build_blob(&[1.0, 1.0]),
+            build_blob(&[2.0, 2.0]),
+            build_blob(&[3.0, 3.0]),
+        ];
         let commits: Vec<_> = blobs.iter().map(|b| commit_blob(&key, b)).collect();
         let acc = Commitment::accumulate(&commits);
         // Malicious aggregator drops blob 1.
         let partial = sum_gradients(&[
             decode_blob(&blobs[0]).unwrap(),
             decode_blob(&blobs[2]).unwrap(),
-        ]);
+        ])
+        .unwrap();
         assert!(!verify_blob(&key, &encode(&partial), &acc));
     }
 
@@ -190,9 +212,28 @@ mod tests {
         let mut summed = sum_gradients(&[
             decode_blob(&blobs[0]).unwrap(),
             decode_blob(&blobs[1]).unwrap(),
-        ]);
+        ])
+        .unwrap();
         summed[0] = Quantized(summed[0].0 + 1);
         assert!(!verify_blob(&key, &encode(&summed), &acc));
+    }
+
+    #[test]
+    fn sum_reports_overflow_instead_of_saturating() {
+        // Regression: two near-max quantized values used to clamp at
+        // i64::MAX silently, corrupting the average AND the commitment
+        // check. The boundary case (sum == i64::MAX exactly) must still
+        // succeed; one past it must error.
+        let near = Quantized(i64::MAX - 1);
+        let at_boundary =
+            sum_gradients(&[vec![near, Quantized(1)], vec![Quantized(1), Quantized(1)]]);
+        assert_eq!(at_boundary.unwrap()[0], Quantized(i64::MAX));
+        let past = sum_gradients(&[vec![near, Quantized(1)], vec![Quantized(2), Quantized(1)]]);
+        assert_eq!(past.unwrap_err(), IplsError::Overflow);
+        // Same at the negative end.
+        let low = Quantized(i64::MIN + 1);
+        let neg = sum_gradients(&[vec![low, Quantized(1)], vec![Quantized(-2), Quantized(1)]]);
+        assert_eq!(neg.unwrap_err(), IplsError::Overflow);
     }
 
     #[test]

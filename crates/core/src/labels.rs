@@ -33,3 +33,14 @@ pub const DROPOUT_RECOVERY: &str = "dropout_recovery";
 /// Directory: a registration failed signature verification (value = the
 /// claimed trainer index).
 pub const FORGED_REGISTRATION: &str = "forged_registration";
+/// Aggregator: the sync deadline passed and the round continued with a
+/// quorum of the received gradients instead of the full trainer set
+/// (value = number of gradients missing).
+pub const QUORUM_DEGRADED: &str = "quorum_degraded";
+/// Aggregator: a merge-and-download RPC failed and the aggregator fell
+/// back to fetching that provider's gradients individually (value = number
+/// of CIDs fetched individually).
+pub const MERGE_FALLBACK: &str = "merge_fallback";
+/// Aggregator: summing gradients overflowed the fixed-point range and the
+/// aggregate was abandoned rather than silently clamped (value = iter).
+pub const SUM_OVERFLOW: &str = "sum_overflow";

@@ -243,24 +243,27 @@ impl Msg {
         match self {
             Msg::Ipfs(wire) => wire.wire_bytes(),
             Msg::GradientList { entries, .. } => CONTROL_BYTES + 73 * entries.len() as u64,
-            Msg::Accumulators { accumulated, .. } => {
-                CONTROL_BYTES + 33 * accumulated.len() as u64
-            }
-            Msg::RegisterGradient { commitment, signature, .. } => {
+            Msg::Accumulators { accumulated, .. } => CONTROL_BYTES + 33 * accumulated.len() as u64,
+            Msg::RegisterGradient {
+                commitment,
+                signature,
+                ..
+            } => {
                 CONTROL_BYTES
                     + 32
                     + if commitment.is_some() { 33 } else { 0 }
                     + if signature.is_some() { 65 } else { 0 }
             }
-            Msg::RegisterUpdate { .. } | Msg::UpdateInfo { cid: Some(_), .. } => {
-                CONTROL_BYTES + 32
-            }
-            Msg::TotalAccumulator { accumulated: Some(_), .. } => CONTROL_BYTES + 33,
+            Msg::RegisterUpdate { .. } | Msg::UpdateInfo { cid: Some(_), .. } => CONTROL_BYTES + 32,
+            Msg::TotalAccumulator {
+                accumulated: Some(_),
+                ..
+            } => CONTROL_BYTES + 33,
             Msg::DirectGradient { data, .. } => CONTROL_BYTES + data.len() as u64,
-            Msg::RegisterGradientBatch { entries, signature, .. } => {
-                CONTROL_BYTES
-                    + 73 * entries.len() as u64
-                    + if signature.is_some() { 65 } else { 0 }
+            Msg::RegisterGradientBatch {
+                entries, signature, ..
+            } => {
+                CONTROL_BYTES + 73 * entries.len() as u64 + if signature.is_some() { 65 } else { 0 }
             }
             _ => CONTROL_BYTES,
         }
@@ -329,7 +332,10 @@ mod tests {
 
     #[test]
     fn wire_embedding_round_trips() {
-        let wire = IpfsWire::Get { cid: Cid::of(b"x"), req_id: 1 };
+        let wire = IpfsWire::Get {
+            cid: Cid::of(b"x"),
+            req_id: 1,
+        };
         let msg = Msg::embed(wire);
         assert!(matches!(msg, Msg::Ipfs(_)));
         assert!(msg.extract().is_ok());
@@ -376,7 +382,12 @@ mod tests {
 
     #[test]
     fn sync_announce_round_trip() {
-        let ann = SyncAnnounce { partition: 3, agg_j: 1, iter: 42, cid: Cid::of(b"partial") };
+        let ann = SyncAnnounce {
+            partition: 3,
+            agg_j: 1,
+            iter: 42,
+            cid: Cid::of(b"partial"),
+        };
         let decoded = SyncAnnounce::decode(&ann.encode()).unwrap();
         assert_eq!(decoded, ann);
         assert_eq!(SyncAnnounce::decode(b"short"), None);

@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use dfl_ipfs::{IpfsActor, IpfsNode};
+use dfl_ipfs::{IpfsActor, IpfsNode, RetryPolicy};
 use dfl_ml::{Dataset, Model, SgdConfig};
 use dfl_netsim::{NodeId, SimTime, Simulation, Trace};
 
@@ -57,6 +57,11 @@ pub struct TaskReport {
     pub verification_failures: usize,
     /// Number of dropout recoveries performed by peer aggregators.
     pub dropout_recoveries: usize,
+    /// Number of times an aggregator passed its sync deadline and continued
+    /// with a quorum of received gradients instead of the full trainer set.
+    pub quorum_degradations: usize,
+    /// Number of merge RPC failures that degraded to plain per-CID fetches.
+    pub merge_fallbacks: usize,
     /// The raw simulation trace, for custom analysis.
     pub trace: Trace,
 }
@@ -115,7 +120,18 @@ pub fn run_task<M: Model + Clone + 'static>(
     }
     for (g, _) in behaviors {
         if *g >= cfg.total_aggregators() {
-            return Err(IplsError::InvalidConfig(format!("no aggregator with index {g}")));
+            return Err(IplsError::InvalidConfig(format!(
+                "no aggregator with index {g}"
+            )));
+        }
+    }
+    let node_count = topo.node_count();
+    for node in cfg.fault_plan.nodes() {
+        if node.index() >= node_count {
+            return Err(IplsError::InvalidConfig(format!(
+                "fault plan targets node {} but the deployment has only {node_count} nodes",
+                node.index()
+            )));
         }
     }
 
@@ -140,6 +156,10 @@ pub fn run_task<M: Model + Clone + 'static>(
     let roster = IpfsNode::roster_for(&topo.ipfs_ids());
     for k in 0..cfg.ipfs_nodes {
         let mut node = IpfsNode::new(topo.ipfs_node(k), roster.clone());
+        node.set_retry_policy(RetryPolicy {
+            base_timeout: cfg.fetch_timeout,
+            ..RetryPolicy::default()
+        });
         if cfg.lossy_ipfs_nodes.contains(&k) {
             node.set_lossy(true);
         }
@@ -180,6 +200,8 @@ pub fn run_task<M: Model + Clone + 'static>(
         );
         assert_eq!(id, topo.trainer(t));
     }
+
+    sim.apply_fault_plan(&cfg.fault_plan);
 
     sim.run();
     let trace = sim.into_trace();
@@ -260,6 +282,8 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
         aggregator_rx_bytes,
         verification_failures: trace.find_all(labels::VERIFICATION_FAILED).len(),
         dropout_recoveries: trace.find_all(labels::DROPOUT_RECOVERY).len(),
+        quorum_degradations: trace.find_all(labels::QUORUM_DEGRADED).len(),
+        merge_fallbacks: trace.find_all(labels::MERGE_FALLBACK).len(),
         trace: trace.clone(),
     }
 }

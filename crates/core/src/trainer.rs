@@ -29,6 +29,7 @@ use crate::messages::{batch_registration_message, registration_message, Msg};
 
 const TK_TRAIN: u64 = 1 << 32;
 const TK_POLL: u64 = 2 << 32;
+const TK_RETRY: u64 = 3 << 32;
 
 /// Shared sink the runner reads trainers' final parameters from after the
 /// simulation ends.
@@ -57,8 +58,8 @@ pub struct Trainer<M: Model> {
     acked: usize,
     /// Partitions currently being fetched (update download de-dup).
     fetching: HashSet<usize>,
-    /// Get request id → partition.
-    pending_gets: HashMap<u64, usize>,
+    /// Get request id → (partition, update cid), kept for retransmission.
+    pending_gets: HashMap<u64, (usize, Cid)>,
     /// Downloaded averaged partitions.
     received: HashMap<usize, Vec<f32>>,
     /// Acked registrations awaiting the batched send (compact mode).
@@ -74,6 +75,8 @@ pub struct Trainer<M: Model> {
     /// Registration signing key (authenticated mode).
     signing_key: Option<SigningKey<ProtocolCurve>>,
     polling: bool,
+    /// Whether a storage-retransmission timer is armed.
+    retrying: bool,
     next_req: u64,
 }
 
@@ -90,7 +93,11 @@ impl<M: Model> Trainer<M> {
         sgd: SgdConfig,
         sink: ParamSink,
     ) -> Trainer<M> {
-        assert_eq!(initial_params.len(), topo.param_count(), "parameter count mismatch");
+        assert_eq!(
+            initial_params.len(),
+            topo.param_count(),
+            "parameter count mismatch"
+        );
         let signing_key = topo
             .config()
             .authenticate
@@ -119,6 +126,7 @@ impl<M: Model> Trainer<M> {
             uploads: Vec::new(),
             signing_key,
             polling: false,
+            retrying: false,
             next_req: 0,
         }
     }
@@ -130,8 +138,7 @@ impl<M: Model> Trainer<M> {
         commitment: &Option<[u8; 33]>,
     ) -> Option<[u8; 65]> {
         self.signing_key.as_ref().map(|key| {
-            let message =
-                registration_message(self.t, partition, self.iter, cid, commitment);
+            let message = registration_message(self.t, partition, self.iter, cid, commitment);
             key.sign(&message).to_bytes()
         })
     }
@@ -172,8 +179,13 @@ impl<M: Model> Trainer<M> {
         // Train now (real computation), charge the virtual compute time,
         // and continue in the TK_TRAIN timer.
         let seed = self.round_seed();
-        let new_params =
-            local_update(&mut self.model, &self.params.clone(), &self.dataset, &self.sgd, seed);
+        let new_params = local_update(
+            &mut self.model,
+            &self.params.clone(),
+            &self.dataset,
+            &self.sgd,
+            seed,
+        );
 
         let mut commit_elements = 0u64;
         for i in 0..self.topo.config().partitions {
@@ -247,13 +259,67 @@ impl<M: Model> Trainer<M> {
                     let to = self.topo.upload_target(i, self.t);
                     ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
                 }
+                self.arm_retry(ctx);
             }
         }
     }
 
+    /// Arms the storage-retransmission timer: a Put or Get sent to a
+    /// storage node that crashes before answering is silently lost, so
+    /// anything still unanswered after `fetch_timeout` is re-sent.
+    fn arm_retry(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.retrying {
+            self.retrying = true;
+            let token = TK_RETRY | (self.iter & 0xFFFF_FFFF);
+            ctx.set_timer(self.topo.config().fetch_timeout, token);
+        }
+    }
+
+    fn on_retry(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        self.retrying = false;
+        if iter != self.iter || self.finished {
+            // Stale timer from a previous round; re-cover the current one.
+            if !self.pending_acks.is_empty() || !self.pending_gets.is_empty() {
+                self.arm_retry(ctx);
+            }
+            return;
+        }
+        // Re-send in request order — iterating the maps directly would make
+        // the wire order (and so the whole simulation) nondeterministic.
+        let mut puts: Vec<(u64, usize)> = self.pending_acks.iter().map(|(&r, &p)| (r, p)).collect();
+        puts.sort_unstable();
+        for (req_id, partition) in puts {
+            let (blob, _) = &self.blobs[&partition];
+            let put = IpfsWire::Put {
+                data: Bytes::from(blob.clone()),
+                req_id,
+                replicate: self.topo.config().replication,
+            };
+            let to = self.topo.upload_target(partition, self.t);
+            ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
+        }
+        let mut gets: Vec<(u64, Cid)> = self
+            .pending_gets
+            .iter()
+            .map(|(&r, &(_, cid))| (r, cid))
+            .collect();
+        gets.sort_unstable_by_key(|&(r, _)| r);
+        let gateway = self.topo.trainer_gateway(self.t);
+        for (req_id, cid) in gets {
+            let get = IpfsWire::Get { cid, req_id };
+            ctx.send(gateway, get.wire_bytes(), Msg::Ipfs(get));
+        }
+        if !self.pending_acks.is_empty() || !self.pending_gets.is_empty() {
+            self.arm_retry(ctx);
+        }
+    }
+
     fn on_put_ack(&mut self, ctx: &mut Context<'_, Msg>, cid: Cid, req_id: u64) {
-        let Some(partition) = self.pending_acks.remove(&req_id) else { return };
-        self.uploads.push((self.topo.upload_target(partition, self.t), cid));
+        let Some(partition) = self.pending_acks.remove(&req_id) else {
+            return;
+        };
+        self.uploads
+            .push((self.topo.upload_target(partition, self.t), cid));
         let commitment = self.blobs[&partition].1;
         if self.topo.config().compact_registration {
             // Accumulate; one batched registration goes out with the last
@@ -309,7 +375,10 @@ impl<M: Model> Trainer<M> {
         for i in 0..self.topo.config().partitions {
             if !self.received.contains_key(&i) && !self.fetching.contains(&i) {
                 outstanding = true;
-                let msg = Msg::QueryUpdate { partition: i, iter: self.iter };
+                let msg = Msg::QueryUpdate {
+                    partition: i,
+                    iter: self.iter,
+                };
                 ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
             }
             if self.topo.config().trainer_verifies
@@ -317,7 +386,10 @@ impl<M: Model> Trainer<M> {
                 && !self.accumulators.contains_key(&i)
             {
                 outstanding = true;
-                let msg = Msg::QueryTotalAccumulator { partition: i, iter: self.iter };
+                let msg = Msg::QueryTotalAccumulator {
+                    partition: i,
+                    iter: self.iter,
+                };
                 ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
             }
         }
@@ -339,14 +411,17 @@ impl<M: Model> Trainer<M> {
         }
         self.fetching.insert(partition);
         let req_id = self.fresh_req();
-        self.pending_gets.insert(req_id, partition);
+        self.pending_gets.insert(req_id, (partition, cid));
         let get = IpfsWire::Get { cid, req_id };
         let gateway = self.topo.trainer_gateway(self.t);
         ctx.send(gateway, get.wire_bytes(), Msg::Ipfs(get));
+        self.arm_retry(ctx);
     }
 
     fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8]) {
-        let Some(partition) = self.pending_gets.remove(&req_id) else { return };
+        let Some((partition, _)) = self.pending_gets.remove(&req_id) else {
+            return;
+        };
         self.fetching.remove(&partition);
         self.accept_update(ctx, partition, data.to_vec());
     }
@@ -397,7 +472,10 @@ impl<M: Model> Trainer<M> {
         }
         self.sink.borrow_mut().insert(self.t, self.params.clone());
         ctx.record(labels::TRAINER_ROUND_DONE, self.iter as f64);
-        let msg = Msg::TrainerDone { trainer: self.t, iter: self.iter };
+        let msg = Msg::TrainerDone {
+            trainer: self.t,
+            iter: self.iter,
+        };
         ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
         self.polling = false;
     }
@@ -407,10 +485,18 @@ impl<M: Model> Actor<Msg> for Trainer<M> {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
             Msg::StartRound { iter } => self.begin_round(ctx, iter),
-            Msg::UpdateInfo { partition, iter, cid } if iter == self.iter => {
+            Msg::UpdateInfo {
+                partition,
+                iter,
+                cid,
+            } if iter == self.iter => {
                 self.on_update_info(ctx, partition, cid);
             }
-            Msg::TotalAccumulator { partition, iter, accumulated } if iter == self.iter => {
+            Msg::TotalAccumulator {
+                partition,
+                iter,
+                accumulated,
+            } if iter == self.iter => {
                 if let Some(c) = accumulated.and_then(|b| ProtocolCommitment::from_bytes(&b)) {
                     self.accumulators.entry(partition).or_insert(c);
                     if let Some(blob) = self.unverified_updates.remove(&partition) {
@@ -425,7 +511,7 @@ impl<M: Model> Actor<Msg> for Trainer<M> {
             }
             Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
                 // Allow the poll loop to retry the partition.
-                if let Some(partition) = self.pending_gets.remove(&req_id) {
+                if let Some((partition, _)) = self.pending_gets.remove(&req_id) {
                     self.fetching.remove(&partition);
                 }
             }
@@ -437,6 +523,7 @@ impl<M: Model> Actor<Msg> for Trainer<M> {
         match token & !0xFFFF_FFFF {
             TK_TRAIN => self.upload(ctx),
             TK_POLL => self.poll(ctx),
+            TK_RETRY => self.on_retry(ctx, token & 0xFFFF_FFFF),
             _ => {}
         }
     }

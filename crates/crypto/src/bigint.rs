@@ -30,9 +30,13 @@ impl U256 {
     /// The value 0.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value 1.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum representable value, `2^256 - 1`.
-    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
 
     /// Creates a value from little-endian limbs.
     pub const fn from_limbs(limbs: [u64; 4]) -> U256 {
@@ -46,12 +50,16 @@ impl U256 {
 
     /// Creates a value from a `u64`.
     pub const fn from_u64(v: u64) -> U256 {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Creates a value from a `u128`.
     pub const fn from_u128(v: u128) -> U256 {
-        U256 { limbs: [v as u64, (v >> 64) as u64, 0, 0] }
+        U256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
     }
 
     /// Parses a big-endian hex string (exactly 64 hex digits, no prefix).
@@ -343,15 +351,21 @@ impl U512 {
     /// Splits into (low 256 bits, high 256 bits).
     pub const fn split(&self) -> (U256, U256) {
         (
-            U256 { limbs: [self.limbs[0], self.limbs[1], self.limbs[2], self.limbs[3]] },
-            U256 { limbs: [self.limbs[4], self.limbs[5], self.limbs[6], self.limbs[7]] },
+            U256 {
+                limbs: [self.limbs[0], self.limbs[1], self.limbs[2], self.limbs[3]],
+            },
+            U256 {
+                limbs: [self.limbs[4], self.limbs[5], self.limbs[6], self.limbs[7]],
+            },
         )
     }
 
     /// Widens a `U256` into the low half of a `U512`.
     pub const fn from_u256(v: &U256) -> U512 {
         let l = v.limbs;
-        U512 { limbs: [l[0], l[1], l[2], l[3], 0, 0, 0, 0] }
+        U512 {
+            limbs: [l[0], l[1], l[2], l[3], 0, 0, 0, 0],
+        }
     }
 }
 
@@ -416,9 +430,8 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        let v = U256::from_be_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        );
+        let v =
+            U256::from_be_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
         assert_eq!(v.limbs()[0], 0xfffffffefffffc2f);
         assert_eq!(v.limbs()[3], 0xffffffffffffffff);
         let bytes = v.to_be_bytes();
@@ -505,9 +518,8 @@ mod tests {
 
     #[test]
     fn reduce_once_mod_top_heavy() {
-        let p = U256::from_be_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        );
+        let p =
+            U256::from_be_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
         assert_eq!(p.reduce_once(&p), U256::ZERO);
         let below = p.wrapping_sub(&U256::ONE);
         assert_eq!(below.reduce_once(&p), below);
@@ -517,9 +529,8 @@ mod tests {
 
     #[test]
     fn u512_split_round_trip() {
-        let a = U256::from_be_hex(
-            "00000000000000010000000000000002000000000000000300000000000000f4",
-        );
+        let a =
+            U256::from_be_hex("00000000000000010000000000000002000000000000000300000000000000f4");
         let w = U512::from_u256(&a);
         let (lo, hi) = w.split();
         assert_eq!(lo, a);
@@ -529,9 +540,8 @@ mod tests {
     #[test]
     fn const_evaluation_works() {
         // Ensure the const-fn paths actually evaluate at compile time.
-        const P: U256 = U256::from_be_hex(
-            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-        );
+        const P: U256 =
+            U256::from_be_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
         const SUM: U256 = P.wrapping_add(&U256::ONE);
         assert!(SUM.const_cmp(&P) > 0);
     }

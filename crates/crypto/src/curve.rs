@@ -23,9 +23,8 @@ use crate::field::{FieldParams, Fp};
 pub struct Secp256k1Base;
 
 impl FieldParams for Secp256k1Base {
-    const MODULUS: U256 = U256::from_be_hex(
-        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-    );
+    const MODULUS: U256 =
+        U256::from_be_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
     const NAME: &'static str = "Fp-k1";
 }
 
@@ -34,9 +33,8 @@ impl FieldParams for Secp256k1Base {
 pub struct Secp256k1Scalar;
 
 impl FieldParams for Secp256k1Scalar {
-    const MODULUS: U256 = U256::from_be_hex(
-        "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
-    );
+    const MODULUS: U256 =
+        U256::from_be_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
     const NAME: &'static str = "Fr-k1";
 }
 
@@ -45,9 +43,8 @@ impl FieldParams for Secp256k1Scalar {
 pub struct Secp256r1Base;
 
 impl FieldParams for Secp256r1Base {
-    const MODULUS: U256 = U256::from_be_hex(
-        "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-    );
+    const MODULUS: U256 =
+        U256::from_be_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
     const NAME: &'static str = "Fp-r1";
 }
 
@@ -56,9 +53,8 @@ impl FieldParams for Secp256r1Base {
 pub struct Secp256r1Scalar;
 
 impl FieldParams for Secp256r1Scalar {
-    const MODULUS: U256 = U256::from_be_hex(
-        "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
-    );
+    const MODULUS: U256 =
+        U256::from_be_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
     const NAME: &'static str = "Fr-r1";
 }
 
@@ -165,14 +161,22 @@ pub struct Affine<C: Curve> {
 impl<C: Curve> Affine<C> {
     /// The point at infinity (group identity).
     pub fn identity() -> Affine<C> {
-        Affine { x: Fp::ZERO, y: Fp::ZERO, infinity: true }
+        Affine {
+            x: Fp::ZERO,
+            y: Fp::ZERO,
+            infinity: true,
+        }
     }
 
     /// Builds a point from coordinates without checking the curve equation.
     ///
     /// Used for trusted constants; prefer [`Affine::from_xy`] elsewhere.
     pub fn from_xy_unchecked(x: BaseField<C>, y: BaseField<C>) -> Affine<C> {
-        Affine { x, y, infinity: false }
+        Affine {
+            x,
+            y,
+            infinity: false,
+        }
     }
 
     /// Builds a point from coordinates, returning `None` if `(x, y)` is not
@@ -226,7 +230,11 @@ impl<C: Curve> Affine<C> {
         if self.infinity {
             *self
         } else {
-            Affine { x: self.x, y: -self.y, infinity: false }
+            Affine {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
         }
     }
 
@@ -235,7 +243,11 @@ impl<C: Curve> Affine<C> {
         if self.infinity {
             Jacobian::identity()
         } else {
-            Jacobian { x: self.x, y: self.y, z: Fp::ONE }
+            Jacobian {
+                x: self.x,
+                y: self.y,
+                z: Fp::ONE,
+            }
         }
     }
 
@@ -251,7 +263,11 @@ impl<C: Curve> Affine<C> {
         if self.infinity {
             return out;
         }
-        out[0] = if self.y.to_canonical().bit(0) { 0x03 } else { 0x02 };
+        out[0] = if self.y.to_canonical().bit(0) {
+            0x03
+        } else {
+            0x02
+        };
         out[1..].copy_from_slice(&self.x.to_be_bytes());
         out
     }
@@ -276,7 +292,11 @@ impl<C: Curve> Affine<C> {
         if y.to_canonical().bit(0) != sign {
             y = -y;
         }
-        Some(Affine { x, y, infinity: false })
+        Some(Affine {
+            x,
+            y,
+            infinity: false,
+        })
     }
 
     /// Samples a random point by multiplying the generator by a random
@@ -292,7 +312,13 @@ impl<C: Curve> fmt::Debug for Affine<C> {
         if self.infinity {
             write!(f, "{}::Infinity", C::NAME)
         } else {
-            write!(f, "{}({}, {})", C::NAME, self.x.to_canonical(), self.y.to_canonical())
+            write!(
+                f,
+                "{}({}, {})",
+                C::NAME,
+                self.x.to_canonical(),
+                self.y.to_canonical()
+            )
         }
     }
 }
@@ -313,7 +339,11 @@ pub struct Jacobian<C: Curve> {
 impl<C: Curve> Jacobian<C> {
     /// The group identity.
     pub fn identity() -> Jacobian<C> {
-        Jacobian { x: Fp::ONE, y: Fp::ONE, z: Fp::ZERO }
+        Jacobian {
+            x: Fp::ONE,
+            y: Fp::ONE,
+            z: Fp::ZERO,
+        }
     }
 
     /// Returns `true` for the identity.
@@ -337,7 +367,11 @@ impl<C: Curve> Jacobian<C> {
         let eight_yyyy = yyyy.double().double().double();
         let y3 = e * (d - x3) - eight_yyyy;
         let z3 = (self.y * self.z).double();
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General point addition.
@@ -355,7 +389,11 @@ impl<C: Curve> Jacobian<C> {
         let s1 = self.y * rhs.z * z2z2;
         let s2 = rhs.y * self.z * z1z1;
         if u1 == u2 {
-            return if s1 == s2 { self.double() } else { Jacobian::identity() };
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Jacobian::identity()
+            };
         }
         let h = u2 - u1;
         let i = h.double().square();
@@ -365,7 +403,11 @@ impl<C: Curve> Jacobian<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (s1 * j).double();
         let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point (saves field operations when one
@@ -381,7 +423,11 @@ impl<C: Curve> Jacobian<C> {
         let u2 = rhs.x * z1z1;
         let s2 = rhs.y * self.z * z1z1;
         if self.x == u2 {
-            return if self.y == s2 { self.double() } else { Jacobian::identity() };
+            return if self.y == s2 {
+                self.double()
+            } else {
+                Jacobian::identity()
+            };
         }
         let h = u2 - self.x;
         let hh = h.square();
@@ -392,12 +438,20 @@ impl<C: Curve> Jacobian<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (self.y * j).double();
         let z3 = (self.z + h).square() - z1z1 - hh;
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point negation.
     pub fn negate(&self) -> Jacobian<C> {
-        Jacobian { x: self.x, y: -self.y, z: self.z }
+        Jacobian {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
     }
 
     /// Scalar multiplication via width-5 wNAF.
@@ -431,12 +485,17 @@ impl<C: Curve> Jacobian<C> {
         }
         let zinv = self.z.invert().expect("nonzero z");
         let zinv2 = zinv.square();
-        Affine { x: self.x * zinv2, y: self.y * zinv2 * zinv, infinity: false }
+        Affine {
+            x: self.x * zinv2,
+            y: self.y * zinv2 * zinv,
+            infinity: false,
+        }
     }
 
     /// Sums an iterator of points.
     pub fn sum<I: IntoIterator<Item = Jacobian<C>>>(iter: I) -> Jacobian<C> {
-        iter.into_iter().fold(Jacobian::identity(), |acc, p| acc.add(&p))
+        iter.into_iter()
+            .fold(Jacobian::identity(), |acc, p| acc.add(&p))
     }
 }
 
@@ -476,7 +535,11 @@ pub(crate) fn wnaf_digits(k: &U256, w: u32) -> Vec<i8> {
     while !k.is_zero() {
         if k.bit(0) {
             let low = k.low_u64() & (window - 1);
-            let digit: i64 = if low >= half { low as i64 - window as i64 } else { low as i64 };
+            let digit: i64 = if low >= half {
+                low as i64 - window as i64
+            } else {
+                low as i64
+            };
             digits.push(digit as i8);
             if digit > 0 {
                 k = k.wrapping_sub(&U256::from_u64(digit as u64));
@@ -653,9 +716,10 @@ mod tests {
 
     #[test]
     fn wnaf_digit_constraints() {
-        let digits = wnaf_digits(&U256::from_be_hex(
-            "00000000000000000000000000000000deadbeefcafebabe0123456789abcdef",
-        ), 5);
+        let digits = wnaf_digits(
+            &U256::from_be_hex("00000000000000000000000000000000deadbeefcafebabe0123456789abcdef"),
+            5,
+        );
         for &d in &digits {
             if d != 0 {
                 assert!(d % 2 != 0, "wNAF digits must be odd");

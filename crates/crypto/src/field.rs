@@ -49,7 +49,11 @@ const fn mont_r2(p: &U256) -> U256 {
     while i < 256 {
         let (sum, carry) = r.adc(&r);
         // sum (+2^256 if carry) is < 2p, so a single subtraction reduces it.
-        r = if carry || sum.const_cmp(p) >= 0 { sum.wrapping_sub(p) } else { sum };
+        r = if carry || sum.const_cmp(p) >= 0 {
+            sum.wrapping_sub(p)
+        } else {
+            sum
+        };
         i += 1;
     }
     r
@@ -141,15 +145,24 @@ pub struct Fp<P: FieldParams> {
 
 impl<P: FieldParams> Fp<P> {
     /// The additive identity.
-    pub const ZERO: Fp<P> = Fp { mont: U256::ZERO, _marker: PhantomData };
+    pub const ZERO: Fp<P> = Fp {
+        mont: U256::ZERO,
+        _marker: PhantomData,
+    };
     /// The multiplicative identity.
-    pub const ONE: Fp<P> = Fp { mont: P::R, _marker: PhantomData };
+    pub const ONE: Fp<P> = Fp {
+        mont: P::R,
+        _marker: PhantomData,
+    };
 
     /// Builds an element from a canonical integer, reducing mod p.
     pub fn from_canonical(v: U256) -> Fp<P> {
         // v < 2^256 < 2p, so one conditional subtraction canonicalizes.
         let reduced = v.reduce_once(&P::MODULUS);
-        Fp { mont: mont_mul(&reduced, &P::R2, &P::MODULUS, P::N0), _marker: PhantomData }
+        Fp {
+            mont: mont_mul(&reduced, &P::R2, &P::MODULUS, P::N0),
+            _marker: PhantomData,
+        }
     }
 
     /// Builds an element from a `u64`.
@@ -208,14 +221,24 @@ impl<P: FieldParams> Fp<P> {
         } else {
             sum
         };
-        Fp { mont: reduced, _marker: PhantomData }
+        Fp {
+            mont: reduced,
+            _marker: PhantomData,
+        }
     }
 
     /// Field subtraction (also available via the `-` operator).
     fn sub_inner(&self, rhs: &Fp<P>) -> Fp<P> {
         let (diff, borrow) = self.mont.sbb(&rhs.mont);
-        let reduced = if borrow { diff.wrapping_add(&P::MODULUS) } else { diff };
-        Fp { mont: reduced, _marker: PhantomData }
+        let reduced = if borrow {
+            diff.wrapping_add(&P::MODULUS)
+        } else {
+            diff
+        };
+        Fp {
+            mont: reduced,
+            _marker: PhantomData,
+        }
     }
 
     /// Additive inverse.
@@ -223,13 +246,19 @@ impl<P: FieldParams> Fp<P> {
         if self.is_zero() {
             *self
         } else {
-            Fp { mont: P::MODULUS.wrapping_sub(&self.mont), _marker: PhantomData }
+            Fp {
+                mont: P::MODULUS.wrapping_sub(&self.mont),
+                _marker: PhantomData,
+            }
         }
     }
 
     /// Field multiplication (also available via the `*` operator).
     fn mul_inner(&self, rhs: &Fp<P>) -> Fp<P> {
-        Fp { mont: mont_mul(&self.mont, &rhs.mont, &P::MODULUS, P::N0), _marker: PhantomData }
+        Fp {
+            mont: mont_mul(&self.mont, &rhs.mont, &P::MODULUS, P::N0),
+            _marker: PhantomData,
+        }
     }
 
     /// Squaring (currently delegates to `mul`).

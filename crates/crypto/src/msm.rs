@@ -24,7 +24,11 @@ use crate::curve::{Affine, Curve, Jacobian, Scalar};
 ///
 /// Panics if `points` and `scalars` have different lengths.
 pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points/scalars length mismatch"
+    );
     let mut acc = Jacobian::identity();
     for (p, k) in points.iter().zip(scalars) {
         // Plain binary double-and-add, deliberately unoptimized.
@@ -47,7 +51,11 @@ pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacob
 ///
 /// Panics if `points` and `scalars` have different lengths.
 pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points/scalars length mismatch"
+    );
     let mut acc = Jacobian::identity();
     for (p, k) in points.iter().zip(scalars) {
         acc = acc.add(&p.mul(k));
@@ -66,7 +74,11 @@ pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobi
 ///
 /// Panics if `points` and `scalars` have different lengths.
 pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points/scalars length mismatch"
+    );
     let n = points.len();
     if n == 0 {
         return Jacobian::identity();

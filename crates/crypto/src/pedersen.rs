@@ -45,7 +45,10 @@ impl<C: Curve> CommitKey<C> {
     /// Derives `n` generators from `seed`.
     pub fn setup(n: usize, seed: &[u8]) -> CommitKey<C> {
         let generators = (0..n).map(|i| hash_to_curve::<C>(seed, i as u64)).collect();
-        CommitKey { generators, seed: seed.to_vec() }
+        CommitKey {
+            generators,
+            seed: seed.to_vec(),
+        }
     }
 
     /// Number of generators (the maximum committable vector length).
@@ -72,7 +75,8 @@ impl<C: Curve> CommitKey<C> {
     /// (deterministic: the first generators never change).
     pub fn extend_to(&mut self, n: usize) {
         for i in self.generators.len()..n {
-            self.generators.push(hash_to_curve::<C>(&self.seed, i as u64));
+            self.generators
+                .push(hash_to_curve::<C>(&self.seed, i as u64));
         }
     }
 
@@ -100,7 +104,9 @@ impl<C: Curve> CommitKey<C> {
     /// Panics if `values.len() > self.len()`.
     pub fn commit_naive(&self, values: &[Scalar<C>]) -> Commitment<C> {
         assert!(values.len() <= self.generators.len());
-        Commitment { point: msm::msm_naive(&self.generators[..values.len()], values) }
+        Commitment {
+            point: msm::msm_naive(&self.generators[..values.len()], values),
+        }
     }
 
     /// Verifies that `commitment` opens to `values` by recomputing.
@@ -165,10 +171,12 @@ impl<C: Curve> CommitKey<C> {
             for (acc, v) in combined_values.iter_mut().zip(values.iter()) {
                 *acc += r * *v;
             }
-            combined_commitment =
-                combined_commitment.add(&commitment.point().to_affine().mul(&r));
+            combined_commitment = combined_commitment.add(&commitment.point().to_affine().mul(&r));
         }
-        self.commit(&combined_values) == Commitment { point: combined_commitment }
+        self.commit(&combined_values)
+            == Commitment {
+                point: combined_commitment,
+            }
     }
 }
 
@@ -188,18 +196,23 @@ pub struct Commitment<C: Curve> {
 impl<C: Curve> Commitment<C> {
     /// The commitment to the zero vector (the group identity).
     pub fn identity() -> Commitment<C> {
-        Commitment { point: Jacobian::identity() }
+        Commitment {
+            point: Jacobian::identity(),
+        }
     }
 
     /// Homomorphic combination: `C(v₁) ⊕ C(v₂) = C(v₁ + v₂)`.
     pub fn combine(&self, rhs: &Commitment<C>) -> Commitment<C> {
-        Commitment { point: self.point.add(&rhs.point) }
+        Commitment {
+            point: self.point.add(&rhs.point),
+        }
     }
 
     /// Combines (accumulates) many commitments; the "accumulated
     /// commitment" the directory service stores per partition (§IV-B).
     pub fn accumulate<'a, I: IntoIterator<Item = &'a Commitment<C>>>(iter: I) -> Commitment<C> {
-        iter.into_iter().fold(Commitment::identity(), |acc, c| acc.combine(c))
+        iter.into_iter()
+            .fold(Commitment::identity(), |acc, c| acc.combine(c))
     }
 
     /// The underlying group element.
@@ -214,7 +227,9 @@ impl<C: Curve> Commitment<C> {
 
     /// Deserializes from a 33-byte compressed point.
     pub fn from_bytes(bytes: &[u8; 33]) -> Option<Commitment<C>> {
-        Affine::from_compressed(bytes).map(|p| Commitment { point: p.to_jacobian() })
+        Affine::from_compressed(bytes).map(|p| Commitment {
+            point: p.to_jacobian(),
+        })
     }
 }
 
@@ -404,8 +419,11 @@ mod tests {
         let key = key(8);
         let vectors: Vec<Vec<_>> = (0..5).map(|i| random_vector(8, 30 + i)).collect();
         let commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
-        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> =
-            vectors.iter().map(Vec::as_slice).zip(commits.iter()).collect();
+        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> = vectors
+            .iter()
+            .map(Vec::as_slice)
+            .zip(commits.iter())
+            .collect();
         assert!(key.batch_verify(&items));
         assert!(key.batch_verify(&[]), "empty batch is trivially valid");
     }
@@ -417,8 +435,11 @@ mod tests {
         let mut commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
         // Corrupt exactly one commitment.
         commits[3] = commits[3].combine(&key.commit(&random_vector(8, 99)));
-        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> =
-            vectors.iter().map(Vec::as_slice).zip(commits.iter()).collect();
+        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> = vectors
+            .iter()
+            .map(Vec::as_slice)
+            .zip(commits.iter())
+            .collect();
         assert!(!key.batch_verify(&items));
     }
 

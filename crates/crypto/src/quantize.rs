@@ -76,7 +76,10 @@ impl Quantized {
 
 /// Quantizes a slice of `f32` gradient values.
 pub fn quantize_vector(values: &[f32]) -> Vec<Quantized> {
-    values.iter().map(|&v| Quantized::from_f64(v as f64)).collect()
+    values
+        .iter()
+        .map(|&v| Quantized::from_f64(v as f64))
+        .collect()
 }
 
 /// Dequantizes back to `f32`.
@@ -90,7 +93,9 @@ pub fn dequantize_vector(values: &[Quantized]) -> Vec<f32> {
 ///
 /// Panics if the vectors have different lengths.
 pub fn sum_quantized(vectors: &[Vec<Quantized>]) -> Vec<Quantized> {
-    let Some(first) = vectors.first() else { return Vec::new() };
+    let Some(first) = vectors.first() else {
+        return Vec::new();
+    };
     let mut acc = first.clone();
     for v in &vectors[1..] {
         assert_eq!(v.len(), acc.len(), "gradient length mismatch");
@@ -155,7 +160,7 @@ mod tests {
 
     #[test]
     fn quantization_error_bounded() {
-        for v in [0.1f64, -0.3, 3.14159, -2.71828, 1e-6] {
+        for v in [0.1f64, -0.3, std::f64::consts::PI, -std::f64::consts::E, 1e-6] {
             let err = (Quantized::from_f64(v).to_f64() - v).abs();
             assert!(err <= 0.5 / SCALE, "error {err} too large for {v}");
         }

@@ -60,8 +60,7 @@ impl<C: Curve> SigningKey<C> {
             h.update(&identity.to_be_bytes());
             h.update(&counter.to_be_bytes());
             let candidate = U256::from_be_bytes(h.finalize());
-            if candidate.const_cmp(&<C::Scalar as FieldParams>::MODULUS) < 0
-                && !candidate.is_zero()
+            if candidate.const_cmp(&<C::Scalar as FieldParams>::MODULUS) < 0 && !candidate.is_zero()
             {
                 return SigningKey::from_secret(Scalar::<C>::from_canonical(candidate));
             }
@@ -97,8 +96,7 @@ impl<C: Curve> SigningKey<C> {
             h.update(message);
             h.update(&counter.to_be_bytes());
             let candidate = U256::from_be_bytes(h.finalize());
-            if candidate.const_cmp(&<C::Scalar as FieldParams>::MODULUS) < 0
-                && !candidate.is_zero()
+            if candidate.const_cmp(&<C::Scalar as FieldParams>::MODULUS) < 0 && !candidate.is_zero()
             {
                 break Scalar::<C>::from_canonical(candidate);
             }

@@ -16,7 +16,10 @@ pub struct Block {
 impl Block {
     /// Creates a block, computing its CID from the data.
     pub fn new(data: Bytes) -> Block {
-        Block { cid: Cid::of(&data), data }
+        Block {
+            cid: Cid::of(&data),
+            data,
+        }
     }
 
     /// Reassembles a block received over the wire, verifying integrity.

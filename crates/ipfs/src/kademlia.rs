@@ -66,7 +66,11 @@ impl RoutingTable {
     /// Panics if `k == 0`.
     pub fn new(own: Key, k: usize) -> RoutingTable {
         assert!(k > 0, "bucket capacity must be positive");
-        RoutingTable { own, k, buckets: vec![Vec::new(); 256] }
+        RoutingTable {
+            own,
+            k,
+            buckets: vec![Vec::new(); 256],
+        }
     }
 
     /// This node's key.
@@ -169,7 +173,12 @@ pub fn iterative_lookup(
                 path.push(peer);
                 current = peer;
             }
-            _ => return LookupResult { nearest: current, path },
+            _ => {
+                return LookupResult {
+                    nearest: current,
+                    path,
+                }
+            }
         }
     }
 }
@@ -180,7 +189,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn keys(n: usize) -> Vec<(NodeId, Key)> {
-        (0..n).map(|i| (NodeId(i), Key::for_node(NodeId(i)))).collect()
+        (0..n)
+            .map(|i| (NodeId(i), Key::for_node(NodeId(i))))
+            .collect()
     }
 
     #[test]
@@ -225,7 +236,10 @@ mod tests {
         // Every bucket holds at most k peers.
         for (id, key) in table.peers() {
             let idx = own.bucket_index(&key).unwrap();
-            let in_bucket = table.peers().filter(|(_, k)| own.bucket_index(k) == Some(idx)).count();
+            let in_bucket = table
+                .peers()
+                .filter(|(_, k)| own.bucket_index(k) == Some(idx))
+                .count();
             assert!(in_bucket <= 2, "bucket {idx} overfull (peer {id})");
         }
         // Re-observing a tracked peer succeeds without growing.
@@ -250,7 +264,10 @@ mod tests {
         let picked = closest_nodes(&nodes, &target, 4);
         assert_eq!(picked.len(), 4);
         // Verify they really are the 4 closest.
-        let mut all: Vec<_> = nodes.iter().map(|(id, k)| (k.distance(&target), *id)).collect();
+        let mut all: Vec<_> = nodes
+            .iter()
+            .map(|(id, k)| (k.distance(&target), *id))
+            .collect();
         all.sort();
         let expect: Vec<NodeId> = all.into_iter().take(4).map(|(_, id)| id).collect();
         assert_eq!(picked, expect);

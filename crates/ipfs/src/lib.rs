@@ -30,4 +30,6 @@ pub mod node;
 pub use block::{Block, BlockStore};
 pub use cid::Cid;
 pub use kademlia::Key;
-pub use node::{IpfsActor, IpfsNode, IpfsWire, Outgoing, Topic, WireEmbed, CONTROL_BYTES};
+pub use node::{
+    IpfsActor, IpfsNode, IpfsWire, Outgoing, RetryPolicy, Topic, WireEmbed, CONTROL_BYTES,
+};

@@ -18,7 +18,11 @@ pub enum MergeError {
     /// A blob was not a valid encoded gradient vector.
     MalformedBlob { index: usize },
     /// Two blobs had different vector lengths.
-    LengthMismatch { expected: usize, found: usize, index: usize },
+    LengthMismatch {
+        expected: usize,
+        found: usize,
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for MergeError {
@@ -28,10 +32,11 @@ impl std::fmt::Display for MergeError {
             MergeError::MalformedBlob { index } => {
                 write!(f, "blob {index} is not a valid encoded gradient vector")
             }
-            MergeError::LengthMismatch { expected, found, index } => write!(
-                f,
-                "blob {index} has {found} elements, expected {expected}"
-            ),
+            MergeError::LengthMismatch {
+                expected,
+                found,
+                index,
+            } => write!(f, "blob {index} has {found} elements, expected {expected}"),
         }
     }
 }
@@ -55,7 +60,11 @@ pub fn merge_blobs<B: AsRef<[u8]>>(blobs: &[B]) -> Result<Vec<u8>, MergeError> {
         match expected_len {
             None => expected_len = Some(v.len()),
             Some(expected) if expected != v.len() => {
-                return Err(MergeError::LengthMismatch { expected, found: v.len(), index });
+                return Err(MergeError::LengthMismatch {
+                    expected,
+                    found: v.len(),
+                    index,
+                });
             }
             _ => {}
         }
@@ -109,7 +118,11 @@ mod tests {
         );
         assert_eq!(
             merge_blobs(&[blob(&[1.0, 2.0]), blob(&[1.0])]),
-            Err(MergeError::LengthMismatch { expected: 2, found: 1, index: 1 })
+            Err(MergeError::LengthMismatch {
+                expected: 2,
+                found: 1,
+                index: 1
+            })
         );
     }
 

@@ -25,7 +25,7 @@ use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
 
-use dfl_netsim::{Actor, Context, NodeId};
+use dfl_netsim::{Actor, Context, Fault, NodeId, SimDuration};
 
 use crate::block::{Block, BlockStore};
 use crate::cid::Cid;
@@ -35,8 +35,41 @@ use crate::merge::merge_blobs;
 /// Fixed per-message framing overhead charged on the simulated wire.
 pub const CONTROL_BYTES: u64 = 100;
 
+/// Bytes a CID occupies on the wire (SHA-256 digest).
+pub const CID_BYTES: u64 = 32;
+
+/// Bytes a node id occupies on the wire.
+pub const NODE_ID_BYTES: u64 = 8;
+
 /// Number of nodes that hold the provider record for each CID.
 pub const RECORD_REPLICAS: usize = 2;
+
+/// Client-side retry/failover policy for node-to-node requests
+/// (provider-record lookups and block fetches).
+///
+/// A request leg that receives no reply within its timeout is retried
+/// against the same peer with the timeout doubled; after
+/// [`RetryPolicy::attempts_per_peer`] attempts the peer is declared dead,
+/// its provider record is retracted (so records self-heal), and the
+/// request fails over to the next untried peer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Timeout of the first attempt of each request leg. Must comfortably
+    /// exceed the worst-case transfer time of a block under contention —
+    /// a premature timeout wastes bandwidth on duplicate fetches.
+    pub base_timeout: SimDuration,
+    /// Attempts per peer (including the first) before failing over.
+    pub attempts_per_peer: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base_timeout: SimDuration::from_secs(30),
+            attempts_per_peer: 2,
+        }
+    }
+}
 
 /// A pub/sub topic name.
 pub type Topic = String;
@@ -46,7 +79,11 @@ pub type Topic = String;
 pub enum IpfsWire {
     // -- client → node ----------------------------------------------------
     /// Store `data`; push `replicate` total copies (1 = local only).
-    Put { data: Bytes, req_id: u64, replicate: usize },
+    Put {
+        data: Bytes,
+        req_id: u64,
+        replicate: usize,
+    },
     /// Retrieve the block with this CID.
     Get { cid: Cid, req_id: u64 },
     /// Merge-and-download: return the element-wise sum of these gradient
@@ -79,13 +116,21 @@ pub enum IpfsWire {
     /// Merge failed.
     MergeErr { reason: String, req_id: u64 },
     /// A published message on a subscribed topic.
-    Deliver { topic: Topic, data: Bytes, publisher: NodeId },
+    Deliver {
+        topic: Topic,
+        data: Bytes,
+        publisher: NodeId,
+    },
 
     // -- node ↔ node -------------------------------------------------------
     /// Ask a record holder who provides `cid`.
     FindProviders { cid: Cid, req_id: u64 },
     /// Provider-record response.
-    Providers { cid: Cid, providers: Vec<NodeId>, req_id: u64 },
+    Providers {
+        cid: Cid,
+        providers: Vec<NodeId>,
+        req_id: u64,
+    },
     /// Register `provider` as holding `cid` (sent to record holders).
     Announce { cid: Cid, provider: NodeId },
     /// Fetch a block node-to-node.
@@ -101,24 +146,53 @@ pub enum IpfsWire {
     /// Release a replica pin.
     UnpinReplica { cid: Cid },
     /// Flooded publish.
-    PubGossip { topic: Topic, data: Bytes, publisher: NodeId },
+    PubGossip {
+        topic: Topic,
+        data: Bytes,
+        publisher: NodeId,
+    },
 }
 
 impl IpfsWire {
-    /// Bytes this message occupies on the simulated wire.
+    /// Bytes this message occupies on the simulated wire: the fixed
+    /// [`CONTROL_BYTES`] framing plus every variable-length field — block
+    /// payloads, CIDs ([`CID_BYTES`] each), node ids ([`NODE_ID_BYTES`]
+    /// each), topic strings, and error reasons. Control traffic generated
+    /// by the retry/failover machinery (`FindProviders`, `FetchErr`,
+    /// `Retract`) is charged the same way as the happy path, so failure
+    /// handling shows up honestly in the byte accounting.
     pub fn wire_bytes(&self) -> u64 {
         let payload = match self {
-            IpfsWire::Put { data, .. }
-            | IpfsWire::GetOk { data, .. }
-            | IpfsWire::MergeOk { data, .. }
-            | IpfsWire::FetchOk { data, .. }
-            | IpfsWire::Replicate { data }
-            | IpfsWire::Publish { data, .. }
-            | IpfsWire::Deliver { data, .. }
-            | IpfsWire::PubGossip { data, .. } => data.len() as u64,
-            IpfsWire::Merge { cids, .. } => 32 * cids.len() as u64,
-            IpfsWire::Providers { providers, .. } => 8 * providers.len() as u64,
-            _ => 0,
+            // Data-bearing messages.
+            IpfsWire::Put { data, .. } | IpfsWire::Replicate { data } => data.len() as u64,
+            IpfsWire::GetOk { data, .. } | IpfsWire::FetchOk { data, .. } => {
+                CID_BYTES + data.len() as u64
+            }
+            IpfsWire::MergeOk { data, .. } => data.len() as u64,
+            // Pub/sub carries a topic, a payload, and (when flooded or
+            // delivered) the publisher's id.
+            IpfsWire::Subscribe { topic } => topic.len() as u64,
+            IpfsWire::Publish { topic, data } => (topic.len() + data.len()) as u64,
+            IpfsWire::Deliver { topic, data, .. } | IpfsWire::PubGossip { topic, data, .. } => {
+                (topic.len() + data.len()) as u64 + NODE_ID_BYTES
+            }
+            // CID-list messages.
+            IpfsWire::Merge { cids, .. } => CID_BYTES * cids.len() as u64,
+            IpfsWire::Providers { providers, .. } => {
+                CID_BYTES + NODE_ID_BYTES * providers.len() as u64
+            }
+            // Single-CID control messages (requests, acks, errors).
+            IpfsWire::Get { .. }
+            | IpfsWire::GetErr { .. }
+            | IpfsWire::PutAck { .. }
+            | IpfsWire::FindProviders { .. }
+            | IpfsWire::FetchBlock { .. }
+            | IpfsWire::FetchErr { .. }
+            | IpfsWire::Unpin { .. }
+            | IpfsWire::UnpinReplica { .. } => CID_BYTES,
+            // CID + provider id.
+            IpfsWire::Announce { .. } | IpfsWire::Retract { .. } => CID_BYTES + NODE_ID_BYTES,
+            IpfsWire::MergeErr { reason, .. } => reason.len() as u64,
         };
         payload + CONTROL_BYTES
     }
@@ -155,13 +229,39 @@ pub struct Outgoing {
 /// In-flight retrieval triggered by a client `Get` or `Merge`.
 #[derive(Debug)]
 enum Pending {
-    Get { client: NodeId, client_req: u64, cid: Cid },
-    MergeFetch { merge_id: u64, cid: Cid },
+    Get {
+        client: NodeId,
+        client_req: u64,
+        cid: Cid,
+    },
+    MergeFetch {
+        merge_id: u64,
+        cid: Cid,
+    },
 }
 
-/// Providers not yet tried for an in-flight retrieval (failover queue).
-#[derive(Debug, Default, Clone)]
-struct Candidates(Vec<NodeId>);
+/// Which reply an in-flight retrieval is currently waiting for.
+#[derive(Debug)]
+enum Leg {
+    /// Waiting for a `Providers` reply; the queue holds untried record
+    /// holders to fail over to.
+    Resolve { holders: Vec<NodeId> },
+    /// Waiting for a `FetchOk`; the queue holds untried providers.
+    Fetch { queue: Vec<NodeId> },
+}
+
+/// Timeout/retry/failover state of one in-flight retrieval.
+#[derive(Debug)]
+struct FetchAttempt {
+    cid: Cid,
+    /// The peer currently being waited on.
+    peer: NodeId,
+    /// Retries already spent on `peer` (0 = first attempt).
+    attempt: u32,
+    /// Token of the currently armed timeout; earlier tokens are stale.
+    timer: u64,
+    leg: Leg,
+}
 
 /// An in-progress merge waiting for missing blocks.
 #[derive(Debug)]
@@ -187,10 +287,17 @@ pub struct IpfsNode {
     /// Local subscriptions: topic → participant node ids.
     subs: HashMap<Topic, HashSet<NodeId>>,
     pending: HashMap<u64, Pending>,
-    /// Untried fallback providers per in-flight retrieval.
-    candidates: HashMap<u64, Candidates>,
+    /// Retry/failover state per in-flight retrieval.
+    fetches: HashMap<u64, FetchAttempt>,
     merges: HashMap<u64, PendingMerge>,
     next_req: u64,
+    policy: RetryPolicy,
+    /// Timeouts requested but not yet armed; the hosting actor drains
+    /// these with [`IpfsNode::take_timer_requests`] and arms real timers.
+    timer_requests: Vec<(u64, SimDuration)>,
+    /// Armed timeout token → the retrieval it guards.
+    timer_owner: HashMap<u64, u64>,
+    next_timer: u64,
     /// Test hook: a lossy node discards stored data (models storage loss).
     lossy: bool,
 }
@@ -202,7 +309,10 @@ impl IpfsNode {
     ///
     /// Panics if `id` is not present in `roster`.
     pub fn new(id: NodeId, roster: Vec<(NodeId, Key)>) -> IpfsNode {
-        assert!(roster.iter().any(|(n, _)| *n == id), "node must appear in roster");
+        assert!(
+            roster.iter().any(|(n, _)| *n == id),
+            "node must appear in roster"
+        );
         IpfsNode {
             id,
             roster,
@@ -210,9 +320,13 @@ impl IpfsNode {
             records: HashMap::new(),
             subs: HashMap::new(),
             pending: HashMap::new(),
-            candidates: HashMap::new(),
+            fetches: HashMap::new(),
             merges: HashMap::new(),
             next_req: 0,
+            policy: RetryPolicy::default(),
+            timer_requests: Vec::new(),
+            timer_owner: HashMap::new(),
+            next_timer: 0,
             lossy: false,
         }
     }
@@ -225,6 +339,46 @@ impl IpfsNode {
     /// Makes the node discard all stored data (availability-failure hook).
     pub fn set_lossy(&mut self, lossy: bool) {
         self.lossy = lossy;
+    }
+
+    /// Overrides the retry/failover policy (defaults to
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(
+            policy.attempts_per_peer > 0,
+            "at least one attempt per peer"
+        );
+        assert!(
+            policy.base_timeout > SimDuration::ZERO,
+            "timeout must be positive"
+        );
+        self.policy = policy;
+    }
+
+    /// Drains the timeouts this node wants armed, as `(token, delay)`
+    /// pairs. The hosting actor must arm a timer per entry and route its
+    /// expiry back into [`IpfsNode::on_timeout`]. Called by [`IpfsActor`]
+    /// after every `handle`/`on_timeout`.
+    pub fn take_timer_requests(&mut self) -> Vec<(u64, SimDuration)> {
+        std::mem::take(&mut self.timer_requests)
+    }
+
+    /// Drops all volatile request state — in-flight retrievals, merges, and
+    /// timeout bookkeeping — as a crash would. Stored blocks, provider
+    /// records, and subscriptions survive (they model durable state).
+    pub fn drop_volatile_state(&mut self) {
+        self.pending.clear();
+        self.fetches.clear();
+        self.merges.clear();
+        self.timer_requests.clear();
+        self.timer_owner.clear();
+    }
+
+    /// Silently discards every stored block (durable data loss). Provider
+    /// records survive, so peers discover the loss only when a fetch fails
+    /// — at which point retraction self-heals the records.
+    pub fn drop_stored_data(&mut self) {
+        self.store = BlockStore::new();
     }
 
     /// This node's id.
@@ -250,7 +404,11 @@ impl IpfsNode {
     /// Handles one incoming message, returning the messages to send.
     pub fn handle(&mut self, from: NodeId, wire: IpfsWire) -> Vec<Outgoing> {
         match wire {
-            IpfsWire::Put { data, req_id, replicate } => self.on_put(from, data, req_id, replicate),
+            IpfsWire::Put {
+                data,
+                req_id,
+                replicate,
+            } => self.on_put(from, data, req_id, replicate),
             IpfsWire::Unpin { cid, replicate } => self.on_unpin(cid, replicate),
             IpfsWire::UnpinReplica { cid } => {
                 self.store.unpin(&cid);
@@ -274,11 +432,20 @@ impl IpfsNode {
             IpfsWire::Publish { topic, data } => self.on_publish(from, topic, data),
             IpfsWire::FindProviders { cid, req_id } => {
                 let providers = self.records.get(&cid).cloned().unwrap_or_default();
-                vec![Outgoing { to: from, wire: IpfsWire::Providers { cid, providers, req_id } }]
+                vec![Outgoing {
+                    to: from,
+                    wire: IpfsWire::Providers {
+                        cid,
+                        providers,
+                        req_id,
+                    },
+                }]
             }
-            IpfsWire::Providers { cid, providers, req_id } => {
-                self.on_providers(cid, providers, req_id)
-            }
+            IpfsWire::Providers {
+                cid,
+                providers,
+                req_id,
+            } => self.on_providers(cid, providers, req_id),
             IpfsWire::Announce { cid, provider } => {
                 let entry = self.records.entry(cid).or_default();
                 if !entry.contains(&provider) {
@@ -289,12 +456,19 @@ impl IpfsNode {
             IpfsWire::FetchBlock { cid, req_id } => match self.store.get(&cid) {
                 Some(block) => vec![Outgoing {
                     to: from,
-                    wire: IpfsWire::FetchOk { cid, data: block.data().clone(), req_id },
+                    wire: IpfsWire::FetchOk {
+                        cid,
+                        data: block.data().clone(),
+                        req_id,
+                    },
                 }],
-                None => vec![Outgoing { to: from, wire: IpfsWire::FetchErr { cid, req_id } }],
+                None => vec![Outgoing {
+                    to: from,
+                    wire: IpfsWire::FetchErr { cid, req_id },
+                }],
             },
-            IpfsWire::FetchOk { cid, data, req_id } => self.on_fetch_ok(cid, data, req_id),
-            IpfsWire::FetchErr { cid, req_id } => self.on_fetch_err(cid, req_id),
+            IpfsWire::FetchOk { cid, data, req_id } => self.on_fetch_ok(from, cid, data, req_id),
+            IpfsWire::FetchErr { cid, req_id } => self.on_fetch_err(from, cid, req_id),
             IpfsWire::Replicate { data } => {
                 if !self.lossy {
                     let block = Block::new(data);
@@ -302,7 +476,10 @@ impl IpfsNode {
                     self.store.pin(cid);
                     // Record ourselves locally when we are a record holder,
                     // and announce to the others, so retrieval can fail over.
-                    if self.record_holders(&cid, RECORD_REPLICAS).contains(&self.id) {
+                    if self
+                        .record_holders(&cid, RECORD_REPLICAS)
+                        .contains(&self.id)
+                    {
                         let entry = self.records.entry(cid).or_default();
                         if !entry.contains(&self.id) {
                             entry.push(self.id);
@@ -312,9 +489,11 @@ impl IpfsNode {
                 }
                 Vec::new()
             }
-            IpfsWire::PubGossip { topic, data, publisher } => {
-                self.deliveries(&topic, &data, publisher)
-            }
+            IpfsWire::PubGossip {
+                topic,
+                data,
+                publisher,
+            } => self.deliveries(&topic, &data, publisher),
             // Client-facing responses are never addressed to a node.
             other => {
                 debug_assert!(false, "unexpected message at storage node: {other:?}");
@@ -330,7 +509,13 @@ impl IpfsNode {
                 // Handled inline below by the caller storing its own record.
                 continue;
             }
-            out.push(Outgoing { to: holder, wire: IpfsWire::Announce { cid, provider: self.id } });
+            out.push(Outgoing {
+                to: holder,
+                wire: IpfsWire::Announce {
+                    cid,
+                    provider: self.id,
+                },
+            });
         }
         out
     }
@@ -352,7 +537,10 @@ impl IpfsNode {
             .take(replicate - 1)
             .collect();
             for target in targets {
-                out.push(Outgoing { to: target, wire: IpfsWire::UnpinReplica { cid } });
+                out.push(Outgoing {
+                    to: target,
+                    wire: IpfsWire::UnpinReplica { cid },
+                });
             }
         }
         out.extend(self.gc_and_retract(cid));
@@ -377,14 +565,23 @@ impl IpfsNode {
             if holder != self.id {
                 out.push(Outgoing {
                     to: holder,
-                    wire: IpfsWire::Retract { cid, provider: self.id },
+                    wire: IpfsWire::Retract {
+                        cid,
+                        provider: self.id,
+                    },
                 });
             }
         }
         out
     }
 
-    fn on_put(&mut self, from: NodeId, data: Bytes, req_id: u64, replicate: usize) -> Vec<Outgoing> {
+    fn on_put(
+        &mut self,
+        from: NodeId,
+        data: Bytes,
+        req_id: u64,
+        replicate: usize,
+    ) -> Vec<Outgoing> {
         let block = Block::new(data.clone());
         let cid = block.cid();
         let mut out = Vec::new();
@@ -414,10 +611,16 @@ impl IpfsNode {
             .take(replicate - 1)
             .collect();
             for target in targets {
-                out.push(Outgoing { to: target, wire: IpfsWire::Replicate { data: data.clone() } });
+                out.push(Outgoing {
+                    to: target,
+                    wire: IpfsWire::Replicate { data: data.clone() },
+                });
             }
         }
-        out.push(Outgoing { to: from, wire: IpfsWire::PutAck { cid, req_id } });
+        out.push(Outgoing {
+            to: from,
+            wire: IpfsWire::PutAck { cid, req_id },
+        });
         out
     }
 
@@ -425,11 +628,22 @@ impl IpfsNode {
         if let Some(block) = self.store.get(&cid) {
             return vec![Outgoing {
                 to: from,
-                wire: IpfsWire::GetOk { cid, data: block.data().clone(), req_id },
+                wire: IpfsWire::GetOk {
+                    cid,
+                    data: block.data().clone(),
+                    req_id,
+                },
             }];
         }
         let internal = self.fresh_req();
-        self.pending.insert(internal, Pending::Get { client: from, client_req: req_id, cid });
+        self.pending.insert(
+            internal,
+            Pending::Get {
+                client: from,
+                client_req: req_id,
+                cid,
+            },
+        );
         self.resolve(cid, internal)
     }
 
@@ -441,47 +655,148 @@ impl IpfsNode {
         let local: Vec<NodeId> = self
             .records
             .get(&cid)
-            .map(|providers| providers.iter().copied().filter(|p| *p != self.id).collect())
+            .map(|providers| {
+                providers
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.id)
+                    .collect()
+            })
             .unwrap_or_default();
         if !local.is_empty() {
-            return self.on_providers(cid, local, internal);
+            return self.begin_fetch(cid, internal, local);
         }
-        let holders = self.record_holders(&cid, RECORD_REPLICAS);
-        for holder in holders {
-            if holder != self.id {
-                return vec![Outgoing {
-                    to: holder,
-                    wire: IpfsWire::FindProviders { cid, req_id: internal },
-                }];
-            }
+        let mut holders: Vec<NodeId> = self
+            .record_holders(&cid, RECORD_REPLICAS)
+            .into_iter()
+            .filter(|h| *h != self.id)
+            .collect();
+        if holders.is_empty() {
+            // We are the only record holder and have no usable record.
+            return self.fail(cid, internal);
         }
-        // We are the only record holder and have no usable record.
-        self.fail(cid, internal)
+        let first = holders.remove(0);
+        self.fetches.insert(
+            internal,
+            FetchAttempt {
+                cid,
+                peer: first,
+                attempt: 0,
+                timer: 0,
+                leg: Leg::Resolve { holders },
+            },
+        );
+        self.arm_timeout(internal);
+        vec![Outgoing {
+            to: first,
+            wire: IpfsWire::FindProviders {
+                cid,
+                req_id: internal,
+            },
+        }]
+    }
+
+    /// Arms the timeout guarding request `internal`'s current attempt,
+    /// with exponential backoff across retries of the same peer.
+    fn arm_timeout(&mut self, internal: u64) {
+        let state = self
+            .fetches
+            .get_mut(&internal)
+            .expect("armed for live request");
+        self.next_timer += 1;
+        state.timer = self.next_timer;
+        let backoff = self.policy.base_timeout.as_micros() << state.attempt.min(16);
+        self.timer_owner.insert(self.next_timer, internal);
+        self.timer_requests
+            .push((self.next_timer, SimDuration::from_micros(backoff)));
+    }
+
+    /// Starts fetching `cid` from the first of `providers`, keeping the
+    /// rest as failover candidates.
+    fn begin_fetch(&mut self, cid: Cid, internal: u64, providers: Vec<NodeId>) -> Vec<Outgoing> {
+        let mut queue: Vec<NodeId> = providers.into_iter().filter(|p| *p != self.id).collect();
+        if queue.is_empty() {
+            return self.fail(cid, internal);
+        }
+        let first = queue.remove(0);
+        self.fetches.insert(
+            internal,
+            FetchAttempt {
+                cid,
+                peer: first,
+                attempt: 0,
+                timer: 0,
+                leg: Leg::Fetch { queue },
+            },
+        );
+        self.arm_timeout(internal);
+        vec![Outgoing {
+            to: first,
+            wire: IpfsWire::FetchBlock {
+                cid,
+                req_id: internal,
+            },
+        }]
     }
 
     fn on_providers(&mut self, cid: Cid, providers: Vec<NodeId>, req_id: u64) -> Vec<Outgoing> {
-        let mut queue: Vec<NodeId> = providers.into_iter().filter(|p| *p != self.id).collect();
-        if queue.is_empty() {
+        let candidates: Vec<NodeId> = providers.into_iter().filter(|p| *p != self.id).collect();
+        if let Some(state) = self.fetches.remove(&req_id) {
+            self.timer_owner.remove(&state.timer);
+            if candidates.is_empty() {
+                // This holder answered but knows no provider; another
+                // holder's record may be more complete.
+                if let Leg::Resolve { mut holders } = state.leg {
+                    if !holders.is_empty() {
+                        let next = holders.remove(0);
+                        self.fetches.insert(
+                            req_id,
+                            FetchAttempt {
+                                cid,
+                                peer: next,
+                                attempt: 0,
+                                timer: 0,
+                                leg: Leg::Resolve { holders },
+                            },
+                        );
+                        self.arm_timeout(req_id);
+                        return vec![Outgoing {
+                            to: next,
+                            wire: IpfsWire::FindProviders { cid, req_id },
+                        }];
+                    }
+                }
+                return self.fail(cid, req_id);
+            }
+        } else if candidates.is_empty() {
             return self.fail(cid, req_id);
         }
-        let first = queue.remove(0);
-        self.candidates.insert(req_id, Candidates(queue));
-        vec![Outgoing { to: first, wire: IpfsWire::FetchBlock { cid, req_id } }]
+        self.begin_fetch(cid, req_id, candidates)
     }
 
-    fn on_fetch_ok(&mut self, cid: Cid, data: Bytes, req_id: u64) -> Vec<Outgoing> {
+    fn on_fetch_ok(&mut self, from: NodeId, cid: Cid, data: Bytes, req_id: u64) -> Vec<Outgoing> {
         // Verify content against the CID — never trust retrieved bytes.
         let Some(block) = Block::verified(cid, data) else {
-            return self.on_fetch_err(cid, req_id);
+            return self.on_fetch_err(from, cid, req_id);
         };
-        self.candidates.remove(&req_id);
+        if let Some(state) = self.fetches.remove(&req_id) {
+            self.timer_owner.remove(&state.timer);
+        }
         if !self.lossy {
             self.store.put(block.clone());
         }
         match self.pending.remove(&req_id) {
-            Some(Pending::Get { client, client_req, cid }) => vec![Outgoing {
+            Some(Pending::Get {
+                client,
+                client_req,
+                cid,
+            }) => vec![Outgoing {
                 to: client,
-                wire: IpfsWire::GetOk { cid, data: block.data().clone(), req_id: client_req },
+                wire: IpfsWire::GetOk {
+                    cid,
+                    data: block.data().clone(),
+                    req_id: client_req,
+                },
             }],
             Some(Pending::MergeFetch { merge_id, cid }) => {
                 if let Some(merge) = self.merges.get_mut(&merge_id) {
@@ -494,23 +809,148 @@ impl IpfsNode {
         }
     }
 
-    fn on_fetch_err(&mut self, cid: Cid, req_id: u64) -> Vec<Outgoing> {
-        // Fail over to the next known provider (a replica may still hold
-        // the block even when the announced origin lost it).
-        if let Some(Candidates(queue)) = self.candidates.get_mut(&req_id) {
-            if !queue.is_empty() {
+    fn on_fetch_err(&mut self, from: NodeId, cid: Cid, req_id: u64) -> Vec<Outgoing> {
+        // The peer is reachable but does not hold the block: withdraw its
+        // provider record so later retrievals skip it, then fail over (a
+        // replica may still hold the block even when the announced origin
+        // lost it).
+        let mut out = self.retract_provider(cid, from);
+        match self.fetches.get(&req_id) {
+            Some(state) if state.peer == from => {
+                self.timer_owner.remove(&state.timer);
+                out.extend(self.advance_fetch(req_id));
+            }
+            // A stale reply from a peer we already failed over from: the
+            // retraction above is all there is to do.
+            _ => {}
+        }
+        out
+    }
+
+    /// Moves an in-flight retrieval to its next untried peer, or fails the
+    /// request when none remain.
+    fn advance_fetch(&mut self, internal: u64) -> Vec<Outgoing> {
+        let Some(state) = self.fetches.get_mut(&internal) else {
+            return Vec::new();
+        };
+        let cid = state.cid;
+        match &mut state.leg {
+            Leg::Fetch { queue } if !queue.is_empty() => {
                 let next = queue.remove(0);
-                return vec![Outgoing { to: next, wire: IpfsWire::FetchBlock { cid, req_id } }];
+                state.peer = next;
+                state.attempt = 0;
+                self.arm_timeout(internal);
+                vec![Outgoing {
+                    to: next,
+                    wire: IpfsWire::FetchBlock {
+                        cid,
+                        req_id: internal,
+                    },
+                }]
+            }
+            Leg::Resolve { holders } if !holders.is_empty() => {
+                let next = holders.remove(0);
+                state.peer = next;
+                state.attempt = 0;
+                self.arm_timeout(internal);
+                vec![Outgoing {
+                    to: next,
+                    wire: IpfsWire::FindProviders {
+                        cid,
+                        req_id: internal,
+                    },
+                }]
+            }
+            _ => self.fail(cid, internal),
+        }
+    }
+
+    /// Withdraws `provider` from the record for `cid`: locally when this
+    /// node is a record holder, and by `Retract` on the other holders.
+    /// This is how records self-heal after a provider dies or loses data.
+    fn retract_provider(&mut self, cid: Cid, provider: NodeId) -> Vec<Outgoing> {
+        let held = self
+            .records
+            .get(&cid)
+            .is_some_and(|entry| entry.contains(&provider));
+        if held {
+            let entry = self.records.get_mut(&cid).expect("checked above");
+            entry.retain(|p| *p != provider);
+            if entry.is_empty() {
+                self.records.remove(&cid);
             }
         }
-        self.fail(cid, req_id)
+        // The provider itself is included: if it is a record holder that
+        // merely lost the data (not crashed), its own record heals too.
+        self.record_holders(&cid, RECORD_REPLICAS)
+            .into_iter()
+            .filter(|h| *h != self.id)
+            .map(|h| Outgoing {
+                to: h,
+                wire: IpfsWire::Retract { cid, provider },
+            })
+            .collect()
+    }
+
+    /// Handles the expiry of a timeout previously requested via
+    /// [`IpfsNode::take_timer_requests`]. Retries the current peer with
+    /// backoff, then declares it dead: retracts it (fetch leg) and fails
+    /// over to the next candidate.
+    pub fn on_timeout(&mut self, token: u64) -> Vec<Outgoing> {
+        let Some(internal) = self.timer_owner.remove(&token) else {
+            return Vec::new(); // stale: the request already progressed
+        };
+        let Some(state) = self.fetches.get_mut(&internal) else {
+            return Vec::new();
+        };
+        if state.timer != token {
+            return Vec::new();
+        }
+        if state.attempt + 1 < self.policy.attempts_per_peer {
+            state.attempt += 1;
+            let (cid, peer) = (state.cid, state.peer);
+            let wire = match state.leg {
+                Leg::Resolve { .. } => IpfsWire::FindProviders {
+                    cid,
+                    req_id: internal,
+                },
+                Leg::Fetch { .. } => IpfsWire::FetchBlock {
+                    cid,
+                    req_id: internal,
+                },
+            };
+            self.arm_timeout(internal);
+            return vec![Outgoing { to: peer, wire }];
+        }
+        // Peer exhausted its attempts: treat it as dead. A dead provider
+        // is retracted so the record heals; a dead record holder is simply
+        // skipped (it holds no provider entry to withdraw).
+        let (cid, peer) = (state.cid, state.peer);
+        let mut out = match state.leg {
+            Leg::Fetch { .. } => self.retract_provider(cid, peer),
+            Leg::Resolve { .. } => Vec::new(),
+        };
+        out.extend(self.advance_fetch(internal));
+        out
     }
 
     fn fail(&mut self, cid: Cid, internal: u64) -> Vec<Outgoing> {
-        self.candidates.remove(&internal);
+        if let Some(state) = self.fetches.remove(&internal) {
+            self.timer_owner.remove(&state.timer);
+        }
         match self.pending.remove(&internal) {
-            Some(Pending::Get { client, client_req, cid }) => {
-                vec![Outgoing { to: client, wire: IpfsWire::GetErr { cid, req_id: client_req } }]
+            Some(Pending::Get {
+                client,
+                client_req,
+                cid,
+            }) => {
+                vec![Outgoing {
+                    to: client,
+                    wire: IpfsWire::GetErr {
+                        cid,
+                        req_id: client_req,
+                    },
+                }]
             }
             Some(Pending::MergeFetch { merge_id, cid }) => {
                 if let Some(merge) = self.merges.get_mut(&merge_id) {
@@ -528,8 +968,11 @@ impl IpfsNode {
 
     fn on_merge(&mut self, from: NodeId, cids: Vec<Cid>, req_id: u64) -> Vec<Outgoing> {
         let merge_id = self.fresh_req();
-        let missing: HashSet<Cid> =
-            cids.iter().filter(|c| !self.store.contains(c)).copied().collect();
+        let missing: HashSet<Cid> = cids
+            .iter()
+            .filter(|c| !self.store.contains(c))
+            .copied()
+            .collect();
         self.merges.insert(
             merge_id,
             PendingMerge {
@@ -546,7 +989,8 @@ impl IpfsNode {
         to_fetch.sort_unstable(); // deterministic fetch order
         for cid in to_fetch {
             let internal = self.fresh_req();
-            self.pending.insert(internal, Pending::MergeFetch { merge_id, cid });
+            self.pending
+                .insert(internal, Pending::MergeFetch { merge_id, cid });
             out.extend(self.resolve(cid, internal));
         }
         out.extend(self.try_finish_merge(merge_id));
@@ -585,11 +1029,17 @@ impl IpfsNode {
         match merge_blobs(&blobs) {
             Ok(data) => vec![Outgoing {
                 to: merge.client,
-                wire: IpfsWire::MergeOk { data: Bytes::from(data), req_id: merge.client_req },
+                wire: IpfsWire::MergeOk {
+                    data: Bytes::from(data),
+                    req_id: merge.client_req,
+                },
             }],
             Err(e) => vec![Outgoing {
                 to: merge.client,
-                wire: IpfsWire::MergeErr { reason: e.to_string(), req_id: merge.client_req },
+                wire: IpfsWire::MergeErr {
+                    reason: e.to_string(),
+                    req_id: merge.client_req,
+                },
             }],
         }
     }
@@ -601,7 +1051,11 @@ impl IpfsNode {
             if peer != self.id {
                 out.push(Outgoing {
                     to: peer,
-                    wire: IpfsWire::PubGossip { topic: topic.clone(), data: data.clone(), publisher: from },
+                    wire: IpfsWire::PubGossip {
+                        topic: topic.clone(),
+                        data: data.clone(),
+                        publisher: from,
+                    },
                 });
             }
         }
@@ -609,7 +1063,9 @@ impl IpfsNode {
     }
 
     fn deliveries(&self, topic: &str, data: &Bytes, publisher: NodeId) -> Vec<Outgoing> {
-        let Some(subscribers) = self.subs.get(topic) else { return Vec::new() };
+        let Some(subscribers) = self.subs.get(topic) else {
+            return Vec::new();
+        };
         let mut subs: Vec<NodeId> = subscribers.iter().copied().collect();
         subs.sort_unstable_by_key(|n| n.index()); // determinism
         subs.into_iter()
@@ -649,7 +1105,10 @@ pub struct IpfsActor {
 impl IpfsActor {
     /// Wraps a node.
     pub fn new(node: IpfsNode) -> IpfsActor {
-        IpfsActor { node, last_reported_blocks: 0 }
+        IpfsActor {
+            node,
+            last_reported_blocks: 0,
+        }
     }
 
     /// The wrapped node.
@@ -661,6 +1120,24 @@ impl IpfsActor {
     pub fn node_mut(&mut self) -> &mut IpfsNode {
         &mut self.node
     }
+
+    /// Ships produced messages, arms requested timeouts, and traces store
+    /// occupancy changes so experiments can observe the ephemeral-data
+    /// lifecycle (§VI).
+    fn flush<M: WireEmbed>(&mut self, ctx: &mut Context<'_, M>, outgoing: Vec<Outgoing>) {
+        for Outgoing { to, wire } in outgoing {
+            let bytes = wire.wire_bytes();
+            ctx.send(to, bytes, M::embed(wire));
+        }
+        for (token, delay) in self.node.take_timer_requests() {
+            ctx.set_timer(delay, token);
+        }
+        let blocks = self.node.store().len();
+        if blocks != self.last_reported_blocks {
+            self.last_reported_blocks = blocks;
+            ctx.record("store_blocks", blocks as f64);
+        }
+    }
 }
 
 impl<M: WireEmbed> Actor<M> for IpfsActor {
@@ -669,16 +1146,26 @@ impl<M: WireEmbed> Actor<M> for IpfsActor {
             Ok(wire) => wire,
             Err(_) => return, // not a storage message; ignore
         };
-        for Outgoing { to, wire } in self.node.handle(from, wire) {
-            let bytes = wire.wire_bytes();
-            ctx.send(to, bytes, M::embed(wire));
-        }
-        // Trace the store occupancy whenever it changes, so experiments
-        // can observe the ephemeral-data lifecycle (§VI).
-        let blocks = self.node.store().len();
-        if blocks != self.last_reported_blocks {
-            self.last_reported_blocks = blocks;
-            ctx.record("store_blocks", blocks as f64);
+        let out = self.node.handle(from, wire);
+        self.flush(ctx, out);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, token: u64) {
+        let out = self.node.on_timeout(token);
+        self.flush(ctx, out);
+    }
+
+    fn on_fault(&mut self, ctx: &mut Context<'_, M>, fault: Fault) {
+        match fault {
+            // A crash loses volatile state (request tables, armed timers);
+            // stored blocks are durable and survive the outage.
+            Fault::Crash(_) => self.node.drop_volatile_state(),
+            Fault::DataLoss(_) => {
+                self.node.drop_stored_data();
+                self.last_reported_blocks = 0;
+                ctx.record("store_blocks", 0.0);
+            }
+            Fault::Recover(_) | Fault::DegradeLink { .. } => {}
         }
     }
 }
@@ -690,7 +1177,9 @@ mod tests {
     fn network(n: usize) -> Vec<IpfsNode> {
         let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
         let roster = IpfsNode::roster_for(&ids);
-        ids.iter().map(|&id| IpfsNode::new(id, roster.clone())).collect()
+        ids.iter()
+            .map(|&id| IpfsNode::new(id, roster.clone()))
+            .collect()
     }
 
     /// Routes messages among nodes until quiescent; returns messages that
@@ -716,8 +1205,18 @@ mod tests {
     fn put_then_local_get() {
         let mut nodes = network(4);
         let data = Bytes::from_static(b"gradient-partition");
-        let out = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 1 });
-        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let out = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: data.clone(),
+                req_id: 1,
+                replicate: 1,
+            },
+        );
+        let replies = pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
         let cid = match &replies[..] {
             [(to, IpfsWire::PutAck { cid, req_id: 1 })] if *to == CLIENT => *cid,
             other => panic!("unexpected replies {other:?}"),
@@ -725,9 +1224,19 @@ mod tests {
         assert_eq!(cid, Cid::of(&data));
 
         let out = nodes[0].handle(CLIENT, IpfsWire::Get { cid, req_id: 2 });
-        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let replies = pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
         match &replies[..] {
-            [(_, IpfsWire::GetOk { data: got, req_id: 2, .. })] => assert_eq!(*got, data),
+            [(
+                _,
+                IpfsWire::GetOk {
+                    data: got,
+                    req_id: 2,
+                    ..
+                },
+            )] => assert_eq!(*got, data),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -737,15 +1246,35 @@ mod tests {
         let mut nodes = network(6);
         let data = Bytes::from_static(b"remote-block");
         // Put at node 0.
-        let out = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 1 });
-        pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let out = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: data.clone(),
+                req_id: 1,
+                replicate: 1,
+            },
+        );
+        pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
         let cid = Cid::of(&data);
         // Get from node 3, which does not hold the block.
         assert!(!nodes[3].store().contains(&cid));
         let out = nodes[3].handle(CLIENT, IpfsWire::Get { cid, req_id: 9 });
-        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(3), o)).collect());
+        let replies = pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(3), o)).collect(),
+        );
         match &replies[..] {
-            [(_, IpfsWire::GetOk { data: got, req_id: 9, .. })] => assert_eq!(*got, data),
+            [(
+                _,
+                IpfsWire::GetOk {
+                    data: got,
+                    req_id: 9,
+                    ..
+                },
+            )] => assert_eq!(*got, data),
             other => panic!("unexpected {other:?}"),
         }
         // And the gateway cached it.
@@ -757,7 +1286,10 @@ mod tests {
         let mut nodes = network(4);
         let cid = Cid::of(b"never-stored");
         let out = nodes[1].handle(CLIENT, IpfsWire::Get { cid, req_id: 5 });
-        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(1), o)).collect());
+        let replies = pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(1), o)).collect(),
+        );
         match &replies[..] {
             [(_, IpfsWire::GetErr { req_id: 5, .. })] => {}
             other => panic!("unexpected {other:?}"),
@@ -768,8 +1300,18 @@ mod tests {
     fn replication_survives_origin_loss() {
         let mut nodes = network(5);
         let data = Bytes::from_static(b"replicated-block");
-        let out = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 3 });
-        pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let out = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: data.clone(),
+                req_id: 1,
+                replicate: 3,
+            },
+        );
+        pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
         let cid = Cid::of(&data);
         let holders = (0..5).filter(|&i| nodes[i].store().contains(&cid)).count();
         assert_eq!(holders, 3, "3 total replicas");
@@ -781,16 +1323,42 @@ mod tests {
         let mut nodes = network(3);
         let b1 = Bytes::from(encode(&quantize_vector(&[1.0, 2.0])));
         let b2 = Bytes::from(encode(&quantize_vector(&[0.5, 0.5])));
-        let out1 = nodes[0].handle(CLIENT, IpfsWire::Put { data: b1.clone(), req_id: 1, replicate: 1 });
-        pump(&mut nodes, out1.into_iter().map(|o| (NodeId(0), o)).collect());
-        let out2 = nodes[0].handle(CLIENT, IpfsWire::Put { data: b2.clone(), req_id: 2, replicate: 1 });
-        pump(&mut nodes, out2.into_iter().map(|o| (NodeId(0), o)).collect());
+        let out1 = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: b1.clone(),
+                req_id: 1,
+                replicate: 1,
+            },
+        );
+        pump(
+            &mut nodes,
+            out1.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
+        let out2 = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: b2.clone(),
+                req_id: 2,
+                replicate: 1,
+            },
+        );
+        pump(
+            &mut nodes,
+            out2.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
 
         let out = nodes[0].handle(
             CLIENT,
-            IpfsWire::Merge { cids: vec![Cid::of(&b1), Cid::of(&b2)], req_id: 3 },
+            IpfsWire::Merge {
+                cids: vec![Cid::of(&b1), Cid::of(&b2)],
+                req_id: 3,
+            },
         );
-        let replies = pump(&mut nodes, out.into_iter().map(|o| (NodeId(0), o)).collect());
+        let replies = pump(
+            &mut nodes,
+            out.into_iter().map(|o| (NodeId(0), o)).collect(),
+        );
         match &replies[..] {
             [(_, IpfsWire::MergeOk { data, req_id: 3 })] => {
                 let expect = crate::merge::merge_blobs(&[b1.as_ref(), b2.as_ref()]).unwrap();
@@ -807,14 +1375,31 @@ mod tests {
         let b1 = Bytes::from(encode(&quantize_vector(&[1.0])));
         let b2 = Bytes::from(encode(&quantize_vector(&[2.0])));
         // Store on different nodes.
-        let o = nodes[1].handle(CLIENT, IpfsWire::Put { data: b1.clone(), req_id: 1, replicate: 1 });
+        let o = nodes[1].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: b1.clone(),
+                req_id: 1,
+                replicate: 1,
+            },
+        );
         pump(&mut nodes, o.into_iter().map(|o| (NodeId(1), o)).collect());
-        let o = nodes[2].handle(CLIENT, IpfsWire::Put { data: b2.clone(), req_id: 2, replicate: 1 });
+        let o = nodes[2].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: b2.clone(),
+                req_id: 2,
+                replicate: 1,
+            },
+        );
         pump(&mut nodes, o.into_iter().map(|o| (NodeId(2), o)).collect());
         // Merge at node 0, which holds neither block.
         let o = nodes[0].handle(
             CLIENT,
-            IpfsWire::Merge { cids: vec![Cid::of(&b1), Cid::of(&b2)], req_id: 3 },
+            IpfsWire::Merge {
+                cids: vec![Cid::of(&b1), Cid::of(&b2)],
+                req_id: 3,
+            },
         );
         let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
         match &replies[..] {
@@ -831,7 +1416,10 @@ mod tests {
         let mut nodes = network(3);
         let o = nodes[0].handle(
             CLIENT,
-            IpfsWire::Merge { cids: vec![Cid::of(b"ghost")], req_id: 4 },
+            IpfsWire::Merge {
+                cids: vec![Cid::of(b"ghost")],
+                req_id: 4,
+            },
         );
         let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
         match &replies[..] {
@@ -846,12 +1434,25 @@ mod tests {
         let alice = NodeId(200);
         let bob = NodeId(201);
         // Alice subscribes at node 0, Bob at node 2.
-        nodes[0].handle(alice, IpfsWire::Subscribe { topic: "sync".into() });
-        nodes[2].handle(bob, IpfsWire::Subscribe { topic: "sync".into() });
+        nodes[0].handle(
+            alice,
+            IpfsWire::Subscribe {
+                topic: "sync".into(),
+            },
+        );
+        nodes[2].handle(
+            bob,
+            IpfsWire::Subscribe {
+                topic: "sync".into(),
+            },
+        );
         // Bob publishes via node 2.
         let o = nodes[2].handle(
             bob,
-            IpfsWire::Publish { topic: "sync".into(), data: Bytes::from_static(b"hash") },
+            IpfsWire::Publish {
+                topic: "sync".into(),
+                data: Bytes::from_static(b"hash"),
+            },
         );
         let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(2), o)).collect());
         // Alice gets one delivery; Bob (the publisher) does not.
@@ -860,7 +1461,9 @@ mod tests {
             .filter(|(to, w)| matches!(w, IpfsWire::Deliver { .. }) && *to == alice)
             .collect();
         assert_eq!(delivered.len(), 1);
-        assert!(!replies.iter().any(|(to, w)| *to == bob && matches!(w, IpfsWire::Deliver { .. })));
+        assert!(!replies
+            .iter()
+            .any(|(to, w)| *to == bob && matches!(w, IpfsWire::Deliver { .. })));
     }
 
     #[test]
@@ -868,7 +1471,14 @@ mod tests {
         let mut nodes = network(3);
         nodes[0].set_lossy(true);
         let data = Bytes::from_static(b"doomed");
-        let o = nodes[0].handle(CLIENT, IpfsWire::Put { data: data.clone(), req_id: 1, replicate: 1 });
+        let o = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data: data.clone(),
+                req_id: 1,
+                replicate: 1,
+            },
+        );
         let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
         // Ack still arrives (the loss is silent), but the data is gone.
         assert!(matches!(replies[..], [(_, IpfsWire::PutAck { .. })]));
@@ -882,29 +1492,390 @@ mod tests {
         let mut node = network(1).pop().unwrap();
         let cid = Cid::of(b"real-content");
         let internal = 1u64;
+        let forger = NodeId(50);
         node.pending.insert(
             internal,
-            Pending::Get { client: CLIENT, client_req: 7, cid },
+            Pending::Get {
+                client: CLIENT,
+                client_req: 7,
+                cid,
+            },
+        );
+        node.fetches.insert(
+            internal,
+            FetchAttempt {
+                cid,
+                peer: forger,
+                attempt: 0,
+                timer: 0,
+                leg: Leg::Fetch { queue: vec![] },
+            },
         );
         let out = node.handle(
-            NodeId(50),
-            IpfsWire::FetchOk { cid, data: Bytes::from_static(b"forged!!"), req_id: internal },
+            forger,
+            IpfsWire::FetchOk {
+                cid,
+                data: Bytes::from_static(b"forged!!"),
+                req_id: internal,
+            },
         );
         match &out[..] {
-            [Outgoing { to, wire: IpfsWire::GetErr { req_id: 7, .. } }] => {
+            [Outgoing {
+                to,
+                wire: IpfsWire::GetErr { req_id: 7, .. },
+            }] => {
                 assert_eq!(*to, CLIENT);
             }
             other => panic!("forged content must yield GetErr, got {other:?}"),
         }
     }
 
+    /// Pins the wire cost of every message variant, so a change to the byte
+    /// accounting (which feeds every traffic figure) is always deliberate.
     #[test]
     fn wire_bytes_accounting() {
-        let put = IpfsWire::Put { data: Bytes::from(vec![0u8; 1000]), req_id: 0, replicate: 1 };
-        assert_eq!(put.wire_bytes(), 1000 + CONTROL_BYTES);
-        let get = IpfsWire::Get { cid: Cid::of(b"x"), req_id: 0 };
-        assert_eq!(get.wire_bytes(), CONTROL_BYTES);
-        let merge = IpfsWire::Merge { cids: vec![Cid::of(b"a"), Cid::of(b"b")], req_id: 0 };
-        assert_eq!(merge.wire_bytes(), 64 + CONTROL_BYTES);
+        let cid = Cid::of(b"x");
+        let data = Bytes::from(vec![0u8; 1000]);
+        let peer = NodeId(3);
+        let cases: Vec<(IpfsWire, u64)> = vec![
+            (
+                IpfsWire::Put {
+                    data: data.clone(),
+                    req_id: 0,
+                    replicate: 1,
+                },
+                1000,
+            ),
+            (IpfsWire::Get { cid, req_id: 0 }, 32),
+            (
+                IpfsWire::Merge {
+                    cids: vec![Cid::of(b"a"), Cid::of(b"b")],
+                    req_id: 0,
+                },
+                64,
+            ),
+            (IpfsWire::Unpin { cid, replicate: 2 }, 32),
+            (
+                IpfsWire::Subscribe {
+                    topic: "sync".into(),
+                },
+                4,
+            ),
+            (
+                IpfsWire::Publish {
+                    topic: "sync".into(),
+                    data: data.clone(),
+                },
+                4 + 1000,
+            ),
+            (IpfsWire::PutAck { cid, req_id: 0 }, 32),
+            (
+                IpfsWire::GetOk {
+                    cid,
+                    data: data.clone(),
+                    req_id: 0,
+                },
+                32 + 1000,
+            ),
+            (IpfsWire::GetErr { cid, req_id: 0 }, 32),
+            (
+                IpfsWire::MergeOk {
+                    data: data.clone(),
+                    req_id: 0,
+                },
+                1000,
+            ),
+            (
+                IpfsWire::MergeErr {
+                    reason: "missing".into(),
+                    req_id: 0,
+                },
+                7,
+            ),
+            (
+                IpfsWire::Deliver {
+                    topic: "sync".into(),
+                    data: data.clone(),
+                    publisher: peer,
+                },
+                4 + 1000 + 8,
+            ),
+            (IpfsWire::FindProviders { cid, req_id: 0 }, 32),
+            (
+                IpfsWire::Providers {
+                    cid,
+                    providers: vec![peer, NodeId(4)],
+                    req_id: 0,
+                },
+                32 + 16,
+            ),
+            (
+                IpfsWire::Announce {
+                    cid,
+                    provider: peer,
+                },
+                32 + 8,
+            ),
+            (IpfsWire::FetchBlock { cid, req_id: 0 }, 32),
+            (
+                IpfsWire::FetchOk {
+                    cid,
+                    data: data.clone(),
+                    req_id: 0,
+                },
+                32 + 1000,
+            ),
+            (IpfsWire::FetchErr { cid, req_id: 0 }, 32),
+            (IpfsWire::Replicate { data: data.clone() }, 1000),
+            (
+                IpfsWire::Retract {
+                    cid,
+                    provider: peer,
+                },
+                32 + 8,
+            ),
+            (IpfsWire::UnpinReplica { cid }, 32),
+            (
+                IpfsWire::PubGossip {
+                    topic: "sync".into(),
+                    data,
+                    publisher: peer,
+                },
+                4 + 1000 + 8,
+            ),
+        ];
+        for (wire, payload) in cases {
+            assert_eq!(
+                wire.wire_bytes(),
+                payload + CONTROL_BYTES,
+                "variant {wire:?}"
+            );
+        }
+    }
+
+    /// Drives `nodes`, delivering messages *and* expiring armed timeouts in
+    /// arrival order, while `down` nodes drop everything sent to them.
+    /// Returns the messages addressed to clients.
+    fn pump_with_timers(
+        nodes: &mut [IpfsNode],
+        mut queue: Vec<(NodeId, Outgoing)>,
+        down: &[NodeId],
+    ) -> Vec<(NodeId, IpfsWire)> {
+        let mut to_clients = Vec::new();
+        let mut armed: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..10_000 {
+            // Deliver what we can; messages to down nodes vanish.
+            while let Some((from, out)) = queue.pop() {
+                let idx = out.to.index();
+                if down.contains(&out.to) {
+                    continue;
+                }
+                if idx < nodes.len() {
+                    let produced = nodes[idx].handle(from, out.wire);
+                    let self_id = nodes[idx].id();
+                    queue.extend(produced.into_iter().map(|o| (self_id, o)));
+                } else {
+                    to_clients.push((out.to, out.wire));
+                }
+            }
+            for (idx, node) in nodes.iter_mut().enumerate() {
+                armed.extend(
+                    node.take_timer_requests()
+                        .into_iter()
+                        .map(|(t, _)| (idx, t)),
+                );
+            }
+            // Quiescent: expire the oldest armed timeout, if any.
+            if armed.is_empty() {
+                return to_clients;
+            }
+            let (idx, token) = armed.remove(0);
+            let produced = nodes[idx].on_timeout(token);
+            let self_id = nodes[idx].id();
+            queue.extend(produced.into_iter().map(|o| (self_id, o)));
+        }
+        panic!("pump_with_timers did not quiesce");
+    }
+
+    #[test]
+    fn timeout_retries_then_fails_over_and_retracts() {
+        // Construct the worst case directly: the provider listed FIRST in
+        // every record (node 0) is dead, and a live replica (node 3) is
+        // listed second. The retrieval must time out on node 0, retry it,
+        // give up, retract it from the records, and succeed via node 3.
+        let mut nodes = network(4);
+        let data = Bytes::from_static(b"resilient");
+        let cid = Cid::of(&data);
+        for idx in [0usize, 3] {
+            let stored = nodes[idx].store.put(Block::new(data.clone()));
+            nodes[idx].store.pin(stored);
+        }
+        let rec_holders = nodes[0].record_holders(&cid, RECORD_REPLICAS);
+        for holder in &rec_holders {
+            nodes[holder.index()]
+                .records
+                .insert(cid, vec![NodeId(0), NodeId(3)]);
+        }
+
+        let down = [NodeId(0)];
+        let asker = (1..nodes.len())
+            .map(NodeId)
+            .find(|n| *n != NodeId(3))
+            .unwrap();
+        let o = nodes[asker.index()].handle(CLIENT, IpfsWire::Get { cid, req_id: 2 });
+        let replies = pump_with_timers(
+            &mut nodes,
+            o.into_iter().map(|o| (asker, o)).collect(),
+            &down,
+        );
+        match &replies[..] {
+            [(to, IpfsWire::GetOk { cid: got, .. })] => {
+                assert_eq!(*to, CLIENT);
+                assert_eq!(*got, cid);
+            }
+            other => panic!("expected failover GetOk, got {other:?}"),
+        }
+
+        // The dead provider was retracted: surviving records no longer list
+        // node 0 (the replica stays listed), so the next retrieval goes
+        // straight to the replica.
+        for node in nodes.iter().filter(|n| !down.contains(&n.id())) {
+            if let Some(entry) = node.records.get(&cid) {
+                assert!(
+                    !entry.contains(&NodeId(0)),
+                    "node {} still lists the dead provider",
+                    node.id()
+                );
+                assert!(
+                    entry.contains(&NodeId(3)),
+                    "replica vanished from {}",
+                    node.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_fails_over_to_next_record_holder() {
+        // The first record holder for the CID is down; resolution must ask
+        // the next holder instead of giving up.
+        let mut nodes = network(5);
+        let data = Bytes::from_static(b"holder-failover");
+        let cid = Cid::of(&data);
+        let o = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data,
+                req_id: 1,
+                replicate: 2,
+            },
+        );
+        pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
+
+        let holders = nodes[0].record_holders(&cid, RECORD_REPLICAS);
+        assert!(holders.len() >= 2, "need at least two record holders");
+        // Ask from a node that is neither a record holder nor a block holder,
+        // with the primary record holder down (unless that would also kill
+        // the block's only copies — then just verify the happy path).
+        let storers: Vec<NodeId> = nodes
+            .iter()
+            .filter(|n| n.store().contains(&cid))
+            .map(|n| n.id())
+            .collect();
+        let asker = (0..nodes.len())
+            .map(NodeId)
+            .find(|n| !holders.contains(n) && !storers.contains(n))
+            .expect("a neutral asker");
+        let down: Vec<NodeId> = holders
+            .iter()
+            .copied()
+            .filter(|h| !storers.contains(h))
+            .take(1)
+            .collect();
+        let o = nodes[asker.index()].handle(CLIENT, IpfsWire::Get { cid, req_id: 9 });
+        let replies = pump_with_timers(
+            &mut nodes,
+            o.into_iter().map(|o| (asker, o)).collect(),
+            &down,
+        );
+        match &replies[..] {
+            [(to, IpfsWire::GetOk { cid: got, .. })] => {
+                assert_eq!(*to, CLIENT);
+                assert_eq!(*got, cid);
+            }
+            other => panic!("expected GetOk via surviving record holder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_err_heals_provider_records() {
+        // A provider that lost its data (stays responsive, answers FetchErr)
+        // is withdrawn from the provider records everywhere.
+        let mut nodes = network(4);
+        let data = Bytes::from_static(b"self-heal");
+        let cid = Cid::of(&data);
+        let o = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data,
+                req_id: 1,
+                replicate: 2,
+            },
+        );
+        pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
+
+        // Node 0 silently loses its durable state.
+        nodes[0].drop_stored_data();
+
+        let asker = NodeId(3);
+        let o = nodes[asker.index()].handle(CLIENT, IpfsWire::Get { cid, req_id: 2 });
+        let replies =
+            pump_with_timers(&mut nodes, o.into_iter().map(|o| (asker, o)).collect(), &[]);
+        match &replies[..] {
+            [(_, IpfsWire::GetOk { cid: got, .. })] => assert_eq!(*got, cid),
+            other => panic!("expected GetOk from replica, got {other:?}"),
+        }
+        // Every surviving record has dropped the data-less provider.
+        for node in nodes.iter() {
+            if let Some(entry) = node.records.get(&cid) {
+                assert!(
+                    !entry.contains(&NodeId(0)),
+                    "node {} still lists the provider that lost the data",
+                    node.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_drops_volatile_but_not_stored_state() {
+        let mut nodes = network(3);
+        let data = Bytes::from_static(b"durable");
+        let cid = Cid::of(&data);
+        let o = nodes[0].handle(
+            CLIENT,
+            IpfsWire::Put {
+                data,
+                req_id: 1,
+                replicate: 1,
+            },
+        );
+        pump(&mut nodes, o.into_iter().map(|o| (NodeId(0), o)).collect());
+
+        // Arm an in-flight retrieval, then crash.
+        let o = nodes[1].handle(
+            CLIENT,
+            IpfsWire::Get {
+                cid: Cid::of(b"missing"),
+                req_id: 5,
+            },
+        );
+        assert!(!o.is_empty());
+        nodes[0].drop_volatile_state();
+        nodes[1].drop_volatile_state();
+        assert!(nodes[1].take_timer_requests().is_empty());
+        // Stored blocks survive a crash; only request state is gone.
+        assert!(nodes[0].store().contains(&cid));
+        assert!(nodes[1].fetches.is_empty() && nodes[1].pending.is_empty());
     }
 }

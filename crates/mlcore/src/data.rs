@@ -62,10 +62,36 @@ pub fn make_blobs(n: usize, dim: usize, classes: usize, spread: f32, seed: u64) 
     assert!(classes >= 2, "need at least two classes");
     assert!(dim >= 1, "need at least one feature");
     let mut rng = StdRng::seed_from_u64(seed);
-    // Random but well-separated centres.
-    let centres: Vec<Vec<f32>> = (0..classes)
-        .map(|_| (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect())
-        .collect();
+    // Random but well-separated centres: resample any centre that lands too
+    // close to an earlier one (separation is what callers rely on — the
+    // learning tests assume the classes are actually distinguishable), and
+    // keep the best candidate if the box is too crowded to separate fully.
+    let min_sep = (5.0 * spread).max(2.0);
+    let mut centres: Vec<Vec<f32>> = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        let mut best: Option<(f32, Vec<f32>)> = None;
+        for _ in 0..64 {
+            let cand: Vec<f32> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let sep = centres
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .zip(&cand)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .fold(f32::INFINITY, f32::min);
+            let better = best.as_ref().is_none_or(|(b, _)| sep > *b);
+            if better {
+                best = Some((sep, cand));
+            }
+            if sep >= min_sep {
+                break;
+            }
+        }
+        centres.push(best.expect("at least one candidate").1);
+    }
     let mut x = Matrix::zeros(n, dim);
     let mut y = Vec::with_capacity(n);
     for i in 0..n {
@@ -156,8 +182,7 @@ pub fn partition_iid(dataset: &Dataset, parts: usize, seed: u64) -> Vec<Dataset>
     order.shuffle(&mut rng);
     (0..parts)
         .map(|p| {
-            let indices: Vec<usize> =
-                order.iter().skip(p).step_by(parts).copied().collect();
+            let indices: Vec<usize> = order.iter().skip(p).step_by(parts).copied().collect();
             dataset.subset(&indices)
         })
         .collect()
@@ -174,7 +199,12 @@ pub fn partition_dirichlet(dataset: &Dataset, parts: usize, alpha: f64, seed: u6
     assert!(parts > 0, "invalid part count");
     assert!(alpha > 0.0, "alpha must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
-    let classes = dataset.y.iter().map(|&y| y as usize).max().map_or(1, |m| m + 1);
+    let classes = dataset
+        .y
+        .iter()
+        .map(|&y| y as usize)
+        .max()
+        .map_or(1, |m| m + 1);
     let mut part_indices: Vec<Vec<usize>> = vec![Vec::new(); parts];
     for class in 0..classes {
         let members: Vec<usize> = (0..dataset.len())
@@ -306,7 +336,10 @@ mod tests {
                 dominated += 1;
             }
         }
-        assert!(dominated >= 3, "expected heavy skew, got {dominated} dominated parts");
+        assert!(
+            dominated >= 3,
+            "expected heavy skew, got {dominated} dominated parts"
+        );
     }
 
     #[test]
@@ -318,12 +351,13 @@ mod tests {
         assert_eq!(labels.len(), 10, "all ten digits present");
         // Noise-free class means must match the segment patterns.
         let clean = make_digits(1000, 0.0, 10);
-        for digit in 0..10usize {
-            let rows: Vec<usize> =
-                (0..clean.len()).filter(|&i| clean.y[i] as usize == digit).collect();
+        for (digit, segments) in SEGMENTS.iter().enumerate() {
+            let rows: Vec<usize> = (0..clean.len())
+                .filter(|&i| clean.y[i] as usize == digit)
+                .collect();
             let first = clean.x.row(rows[0]);
             for &j in &[0usize, 3, 6] {
-                let expect = SEGMENTS[digit][j];
+                let expect = segments[j];
                 // Most samples keep the clean value (2% flip chance).
                 let agreeing = rows
                     .iter()

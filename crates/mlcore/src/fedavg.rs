@@ -28,8 +28,16 @@ impl<M: Model + Clone> FedAvg<M> {
     /// Panics if `clients` is empty or any client dataset is empty.
     pub fn new(model: M, clients: Vec<Dataset>, cfg: SgdConfig) -> FedAvg<M> {
         assert!(!clients.is_empty(), "need at least one client");
-        assert!(clients.iter().all(|c| !c.is_empty()), "clients must have data");
-        FedAvg { model, clients, cfg, round: 0 }
+        assert!(
+            clients.iter().all(|c| !c.is_empty()),
+            "clients must have data"
+        );
+        FedAvg {
+            model,
+            clients,
+            cfg,
+            round: 0,
+        }
     }
 
     /// The current global model.
@@ -54,7 +62,13 @@ impl<M: Model + Clone> FedAvg<M> {
         let mut updates = Vec::with_capacity(self.clients.len());
         let mut worker = self.model.clone();
         for (i, client) in self.clients.iter().enumerate() {
-            updates.push(local_update(&mut worker, &global, client, &self.cfg, seed_base + i as u64));
+            updates.push(local_update(
+                &mut worker,
+                &global,
+                client,
+                &self.cfg,
+                seed_base + i as u64,
+            ));
         }
         let averaged = average_params(&updates);
         self.model.set_params(&averaged);
@@ -86,7 +100,11 @@ mod tests {
         let mut fed = FedAvg::new(
             LogisticRegression::new(2, 2),
             clients,
-            SgdConfig { lr: 0.3, epochs: 2, ..SgdConfig::default() },
+            SgdConfig {
+                lr: 0.3,
+                epochs: 2,
+                ..SgdConfig::default()
+            },
         );
         fed.run(15, 7);
         let preds = fed.model().predict(&ds.x);
@@ -99,7 +117,11 @@ mod tests {
     fn round_is_deterministic() {
         let ds = make_blobs(100, 2, 2, 0.4, 3);
         let clients = partition_iid(&ds, 4, 0);
-        let mut a = FedAvg::new(LogisticRegression::new(2, 2), clients.clone(), SgdConfig::default());
+        let mut a = FedAvg::new(
+            LogisticRegression::new(2, 2),
+            clients.clone(),
+            SgdConfig::default(),
+        );
         let mut b = FedAvg::new(LogisticRegression::new(2, 2), clients, SgdConfig::default());
         assert_eq!(a.run_round(5), b.run_round(5));
     }

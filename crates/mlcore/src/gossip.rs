@@ -41,9 +41,17 @@ impl<M: Model + Clone> Gossip<M> {
     /// # Panics
     ///
     /// Panics if fewer than two datasets are supplied or any is empty.
-    pub fn new(model: M, datasets: Vec<Dataset>, cfg: SgdConfig, topology: GossipTopology) -> Gossip<M> {
+    pub fn new(
+        model: M,
+        datasets: Vec<Dataset>,
+        cfg: SgdConfig,
+        topology: GossipTopology,
+    ) -> Gossip<M> {
         assert!(datasets.len() >= 2, "gossip needs at least two peers");
-        assert!(datasets.iter().all(|d| !d.is_empty()), "peers must have data");
+        assert!(
+            datasets.iter().all(|d| !d.is_empty()),
+            "peers must have data"
+        );
         let params = model.params();
         Gossip {
             worker: model,
@@ -81,8 +89,13 @@ impl<M: Model + Clone> Gossip<M> {
         // Local step.
         for i in 0..n {
             let start = self.peer_params[i].clone();
-            self.peer_params[i] =
-                local_update(&mut self.worker, &start, &self.datasets[i], &self.cfg, seed + i as u64);
+            self.peer_params[i] = local_update(
+                &mut self.worker,
+                &start,
+                &self.datasets[i],
+                &self.cfg,
+                seed + i as u64,
+            );
         }
         // Mixing step.
         match self.topology {
@@ -135,7 +148,11 @@ mod tests {
         let mut gossip = Gossip::new(
             LogisticRegression::new(2, 2),
             peers,
-            SgdConfig { lr: 0.3, epochs: 2, ..SgdConfig::default() },
+            SgdConfig {
+                lr: 0.3,
+                epochs: 2,
+                ..SgdConfig::default()
+            },
             GossipTopology::Ring,
         );
         gossip.run(15, 3);
@@ -153,7 +170,11 @@ mod tests {
         let mut gossip = Gossip::new(
             LogisticRegression::new(2, 2),
             peers,
-            SgdConfig { lr: 0.1, epochs: 1, ..SgdConfig::default() },
+            SgdConfig {
+                lr: 0.1,
+                epochs: 1,
+                ..SgdConfig::default()
+            },
             GossipTopology::Ring,
         );
         gossip.run(20, 5);

@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wraps existing data.

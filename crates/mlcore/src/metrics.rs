@@ -8,7 +8,11 @@
 pub fn accuracy(predictions: &[f32], targets: &[f32]) -> f32 {
     assert_eq!(predictions.len(), targets.len(), "length mismatch");
     assert!(!predictions.is_empty(), "empty evaluation set");
-    let correct = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
     correct as f32 / predictions.len() as f32
 }
 
@@ -36,7 +40,11 @@ pub fn mse(predictions: &[f32], targets: &[f32]) -> f32 {
 /// Panics if the slices differ in length.
 pub fn param_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ pub struct LinearRegression {
 impl LinearRegression {
     /// Zero-initialized model for `dim` features.
     pub fn new(dim: usize) -> LinearRegression {
-        LinearRegression { w: vec![0.0; dim], b: 0.0 }
+        LinearRegression {
+            w: vec![0.0; dim],
+            b: 0.0,
+        }
     }
 }
 
@@ -62,7 +65,11 @@ impl Model for LinearRegression {
     }
 
     fn set_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "parameter length mismatch"
+        );
         let (w, b) = params.split_at(self.w.len());
         self.w.copy_from_slice(w);
         self.b = b[0];
@@ -84,7 +91,9 @@ impl Model for LinearRegression {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f32> {
-        (0..x.rows()).map(|i| dot(&self.w, x.row(i)) + self.b).collect()
+        (0..x.rows())
+            .map(|i| dot(&self.w, x.row(i)) + self.b)
+            .collect()
     }
 }
 
@@ -110,7 +119,12 @@ impl LogisticRegression {
     /// Panics if `classes < 2`.
     pub fn new(dim: usize, classes: usize) -> LogisticRegression {
         assert!(classes >= 2, "need at least two classes");
-        LogisticRegression { dim, classes, w: vec![0.0; classes * dim], b: vec![0.0; classes] }
+        LogisticRegression {
+            dim,
+            classes,
+            w: vec![0.0; classes * dim],
+            b: vec![0.0; classes],
+        }
     }
 
     fn logits(&self, row: &[f32]) -> Vec<f32> {
@@ -132,7 +146,11 @@ impl Model for LogisticRegression {
     }
 
     fn set_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "parameter length mismatch"
+        );
         let (w, b) = params.split_at(self.w.len());
         self.w.copy_from_slice(w);
         self.b.copy_from_slice(b);
@@ -194,7 +212,12 @@ impl Mlp {
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = (1.0 / dim as f32).sqrt();
         let params = (0..count).map(|_| rng.gen_range(-scale..scale)).collect();
-        Mlp { dim, hidden, classes, params }
+        Mlp {
+            dim,
+            hidden,
+            classes,
+            params,
+        }
     }
 
     /// Parameter count for a given architecture (handy for sizing
@@ -277,7 +300,11 @@ impl Model for Mlp {
                     &hidden,
                 );
                 grad[w1_len + b1_len + w2_len + c] += dl;
-                axpy(&mut dhidden, dlogits[c], &w2[c * self.hidden..(c + 1) * self.hidden]);
+                axpy(
+                    &mut dhidden,
+                    dlogits[c],
+                    &w2[c * self.hidden..(c + 1) * self.hidden],
+                );
             }
             // Through tanh: dpre = dhidden * (1 - h²).
             for h in 0..self.hidden {
@@ -322,7 +349,11 @@ impl SyntheticModel {
     pub fn new(count: usize, seed: u64) -> SyntheticModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = (0..count).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        SyntheticModel { params, seed, step: 0 }
+        SyntheticModel {
+            params,
+            seed,
+            step: 0,
+        }
     }
 }
 
@@ -344,7 +375,9 @@ impl Model for SyntheticModel {
     fn loss_and_grad(&self, _x: &Matrix, _y: &[f32]) -> (f32, Vec<f32>) {
         // Deterministic pseudo-gradient that varies per step.
         let mut rng = StdRng::seed_from_u64(self.seed ^ self.step.wrapping_mul(0x9E3779B97F4A7C15));
-        let grad = (0..self.params.len()).map(|_| rng.gen_range(-0.01..0.01)).collect();
+        let grad = (0..self.params.len())
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect();
         (1.0, grad)
     }
 
@@ -393,7 +426,9 @@ mod tests {
     fn logistic_regression_gradient_check() {
         let ds = make_blobs(32, 3, 3, 0.5, 2);
         let mut model = LogisticRegression::new(3, 3);
-        let p: Vec<f32> = (0..model.param_count()).map(|i| (i as f32 * 0.1).sin() * 0.2).collect();
+        let p: Vec<f32> = (0..model.param_count())
+            .map(|i| (i as f32 * 0.1).sin() * 0.2)
+            .collect();
         model.set_params(&p);
         numeric_grad_check(&model, &ds.x, &ds.y, &[0, 4, 8, 9, 11]);
     }
@@ -447,7 +482,10 @@ mod tests {
                 model.set_params(&p);
             }
             let (fin, _) = model.loss_and_grad(x, y);
-            assert!(fin < initial * 0.8, "loss {initial} -> {fin} did not drop enough");
+            assert!(
+                fin < initial * 0.8,
+                "loss {initial} -> {fin} did not drop enough"
+            );
         }
     }
 
@@ -463,7 +501,11 @@ mod tests {
         }
         let preds = model.predict(&ds.x);
         let correct = preds.iter().zip(&ds.y).filter(|(p, y)| p == y).count();
-        assert!(correct as f32 / 300.0 > 0.95, "accuracy {}", correct as f32 / 300.0);
+        assert!(
+            correct as f32 / 300.0 > 0.95,
+            "accuracy {}",
+            correct as f32 / 300.0
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.1, batch_size: 32, epochs: 1, clip: None }
+        SgdConfig {
+            lr: 0.1,
+            batch_size: 32,
+            epochs: 1,
+            clip: None,
+        }
     }
 }
 
@@ -109,7 +114,10 @@ mod tests {
         let ds = make_blobs(64, 3, 2, 0.4, 1);
         let mut model = LogisticRegression::new(3, 2);
         let start = model.params();
-        let cfg = SgdConfig { epochs: 2, ..SgdConfig::default() };
+        let cfg = SgdConfig {
+            epochs: 2,
+            ..SgdConfig::default()
+        };
         let a = local_update(&mut model, &start, &ds, &cfg, 42);
         let b = local_update(&mut model, &start, &ds, &cfg, 42);
         assert_eq!(a, b);
@@ -127,7 +135,11 @@ mod tests {
             &mut model,
             &start,
             &ds,
-            &SgdConfig { lr: 0.3, epochs: 5, ..SgdConfig::default() },
+            &SgdConfig {
+                lr: 0.3,
+                epochs: 5,
+                ..SgdConfig::default()
+            },
             1,
         );
         model.set_params(&updated);
@@ -162,7 +174,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty dataset")]
     fn train_empty_dataset_panics() {
-        let ds = Dataset { x: crate::linalg::Matrix::zeros(0, 2), y: vec![] };
+        let ds = Dataset {
+            x: crate::linalg::Matrix::zeros(0, 2),
+            y: vec![],
+        };
         let mut model = LogisticRegression::new(2, 2);
         let start = model.params();
         local_update(&mut model, &start, &ds, &SgdConfig::default(), 0);

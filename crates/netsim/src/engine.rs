@@ -15,6 +15,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::fair::{max_min_rates, FlowDesc};
+use crate::fault::{Fault, FaultPlan};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -50,7 +51,11 @@ impl LinkSpec {
     /// A symmetric link of `mbps` megabits/s with the given latency.
     pub fn symmetric_mbps(mbps: u64, latency: SimDuration) -> LinkSpec {
         let bps = (mbps * 1_000_000) as f64;
-        LinkSpec { up_bps: bps, down_bps: bps, latency }
+        LinkSpec {
+            up_bps: bps,
+            down_bps: bps,
+            latency,
+        }
     }
 }
 
@@ -68,6 +73,12 @@ pub trait Actor<M> {
 
     /// Called when a timer set with [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _token: u64) {}
+
+    /// Called when an injected fault hits this node (see [`Fault`] for the
+    /// semantics of each kind). Crashed nodes still receive this callback —
+    /// it is how they model losing volatile state — but any command they
+    /// issue while down is discarded by the engine.
+    fn on_fault(&mut self, _ctx: &mut Context<'_, M>, _fault: Fault) {}
 }
 
 /// An in-flight message transfer.
@@ -85,18 +96,34 @@ struct Flow<M> {
 /// Queued simulation events.
 enum EventKind {
     Start(NodeId),
-    Timer { node: NodeId, token: u64 },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     /// Check flow progress; fires at the predicted next completion.
     FlowCheck,
     /// A fully-transferred message arrives after the propagation latency.
-    Deliver { flow_id: u64 },
+    Deliver {
+        flow_id: u64,
+    },
+    /// An injected fault takes effect.
+    Fault(Fault),
 }
 
 /// Commands produced by actors during a callback; applied by the engine
 /// afterwards (so the actor can't observe half-updated engine state).
 enum Command<M> {
-    Send { from: NodeId, to: NodeId, bytes: u64, msg: M },
-    Timer { node: NodeId, delay: SimDuration, token: u64 },
+    Send {
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        delay: SimDuration,
+        token: u64,
+    },
 }
 
 /// The actor's window into the engine during a callback.
@@ -123,12 +150,21 @@ impl<'a, M> Context<'a, M> {
     /// propagation latency. A `bytes` of 0 models a latency-only control
     /// message.
     pub fn send(&mut self, to: NodeId, bytes: u64, msg: M) {
-        self.commands.push(Command::Send { from: self.self_id, to, bytes, msg });
+        self.commands.push(Command::Send {
+            from: self.self_id,
+            to,
+            bytes,
+            msg,
+        });
     }
 
     /// Schedules `on_timer(token)` on this actor after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.commands.push(Command::Timer { node: self.self_id, delay, token });
+        self.commands.push(Command::Timer {
+            node: self.self_id,
+            delay,
+            token,
+        });
     }
 
     /// Records a measurement point in the shared trace.
@@ -174,6 +210,8 @@ impl<'a, M> Context<'a, M> {
 pub struct Simulation<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     links: Vec<LinkSpec>,
+    /// Which nodes are currently crashed (no callbacks, no traffic).
+    down: Vec<bool>,
     queue: BinaryHeap<Reverse<(SimTime, u64)>>,
     queued: HashMap<(SimTime, u64), EventKind>,
     seq: u64,
@@ -199,6 +237,7 @@ impl<M> Simulation<M> {
         Simulation {
             actors: Vec::new(),
             links: Vec::new(),
+            down: Vec::new(),
             queue: BinaryHeap::new(),
             queued: HashMap::new(),
             seq: 0,
@@ -230,8 +269,36 @@ impl<M> Simulation<M> {
         let id = NodeId(self.actors.len());
         self.actors.push(Some(Box::new(actor)));
         self.links.push(link);
+        self.down.push(false);
         self.push_event(SimTime::ZERO, EventKind::Start(id));
         id
+    }
+
+    /// Schedules an injected fault at absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references a node that has not been added yet
+    /// (apply fault plans after building the topology).
+    pub fn schedule_fault(&mut self, t: SimTime, fault: Fault) {
+        assert!(
+            fault.node().0 < self.actors.len(),
+            "fault references unknown node {}",
+            fault.node()
+        );
+        self.push_event(t, EventKind::Fault(fault));
+    }
+
+    /// Schedules every fault in `plan`. Call after all nodes are added.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for &(t, fault) in plan.events() {
+            self.schedule_fault(t, fault);
+        }
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.0]
     }
 
     /// Current simulated time.
@@ -255,7 +322,9 @@ impl<M> Simulation<M> {
     ///
     /// Panics if `id` is out of range.
     pub fn actor(&self, id: NodeId) -> &dyn Actor<M> {
-        self.actors[id.0].as_deref().expect("actor present outside callbacks")
+        self.actors[id.0]
+            .as_deref()
+            .expect("actor present outside callbacks")
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
@@ -280,30 +349,38 @@ impl<M> Simulation<M> {
             self.advance_flows_to(time);
             self.now = time;
             match kind {
-                EventKind::Start(node) => self.dispatch(node, |actor, ctx| actor.on_start(ctx)),
+                EventKind::Start(node) => {
+                    if !self.down[node.0] {
+                        self.dispatch(node, |actor, ctx| actor.on_start(ctx))
+                    }
+                }
                 EventKind::Timer { node, token } => {
-                    self.dispatch(node, |actor, ctx| actor.on_timer(ctx, token))
+                    // Timers queued for a crashed node are dropped, not
+                    // deferred: the actor re-arms what it needs on Recover.
+                    if !self.down[node.0] {
+                        self.dispatch(node, |actor, ctx| actor.on_timer(ctx, token))
+                    }
                 }
                 EventKind::FlowCheck => self.complete_finished_flows(),
                 EventKind::Deliver { flow_id } => {
                     if let Some(flow) = self.flows.remove(&flow_id) {
+                        if self.down[flow.dst.0] {
+                            // Receiver crashed after the transfer completed
+                            // but before delivery: the message is lost.
+                            continue;
+                        }
                         let msg = flow.msg.expect("deliver carries the message");
                         self.trace.count_bytes(flow.src, flow.dst, flow.total_bytes);
-                        self.dispatch(flow.dst, |actor, ctx| {
-                            actor.on_message(ctx, flow.src, msg)
-                        });
+                        self.dispatch(flow.dst, |actor, ctx| actor.on_message(ctx, flow.src, msg));
                     }
                 }
+                EventKind::Fault(fault) => self.apply_fault(fault),
             }
             self.apply_commands();
         }
     }
 
-    fn dispatch(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
-    ) {
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>)) {
         let mut actor = self.actors[node.0].take().expect("no reentrant dispatch");
         let mut ctx = Context {
             now: self.now,
@@ -315,12 +392,73 @@ impl<M> Simulation<M> {
         self.actors[node.0] = Some(actor);
     }
 
+    /// Applies one injected fault (see [`Fault`] for semantics).
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash(node) => {
+                if self.down[node.0] {
+                    return;
+                }
+                self.down[node.0] = true;
+                self.trace.record(self.now, node, "fault/crash", 1.0);
+                // Tear down every transfer touching the node: senders see
+                // the connection die (no delivery), receivers get nothing.
+                let torn: Vec<u64> = self
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| f.src == node || f.dst == node)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in torn {
+                    self.flows.remove(&id);
+                }
+                self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
+                self.apply_commands(); // discards the down node's commands
+                self.reallocate_and_schedule();
+            }
+            Fault::Recover(node) => {
+                if !self.down[node.0] {
+                    return;
+                }
+                self.down[node.0] = false;
+                self.trace.record(self.now, node, "fault/recover", 1.0);
+                self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
+                self.apply_commands();
+            }
+            Fault::DataLoss(node) => {
+                self.trace.record(self.now, node, "fault/data_loss", 1.0);
+                self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
+                self.apply_commands();
+            }
+            Fault::DegradeLink {
+                node,
+                up_bps,
+                down_bps,
+            } => {
+                self.trace.record(self.now, node, "fault/degrade_link", 1.0);
+                self.links[node.0].up_bps = up_bps;
+                self.links[node.0].down_bps = down_bps;
+                self.reallocate_and_schedule();
+            }
+        }
+    }
+
     fn apply_commands(&mut self) {
         let commands = std::mem::take(&mut self.commands);
         let mut flows_changed = false;
         for cmd in commands {
             match cmd {
-                Command::Send { from, to, bytes, msg } => {
+                Command::Send {
+                    from,
+                    to,
+                    bytes,
+                    msg,
+                } => {
+                    if self.down[from.0] {
+                        // A crashed node cannot transmit (its on_fault may
+                        // still run, but its output is discarded).
+                        continue;
+                    }
                     let id = self.next_flow_id;
                     self.next_flow_id += 1;
                     if bytes == 0 {
@@ -354,6 +492,9 @@ impl<M> Simulation<M> {
                     }
                 }
                 Command::Timer { node, delay, token } => {
+                    if self.down[node.0] {
+                        continue;
+                    }
                     self.push_event(self.now + delay, EventKind::Timer { node, token });
                 }
             }
@@ -365,7 +506,9 @@ impl<M> Simulation<M> {
 
     /// Moves every active flow forward to time `t` at its current rate.
     fn advance_flows_to(&mut self, t: SimTime) {
-        let dt = t.saturating_duration_since(self.flows_updated_at).as_secs_f64();
+        let dt = t
+            .saturating_duration_since(self.flows_updated_at)
+            .as_secs_f64();
         if dt > 0.0 {
             for flow in self.flows.values_mut() {
                 if flow.rate_bps > 0.0 {
@@ -393,8 +536,7 @@ impl<M> Simulation<M> {
             let flow = self.flows.get_mut(&id).expect("listed flow exists");
             flow.bytes_remaining = 0.0;
             flow.rate_bps = 0.0;
-            let latency =
-                self.links[flow.src.0].latency + self.links[flow.dst.0].latency;
+            let latency = self.links[flow.src.0].latency + self.links[flow.dst.0].latency;
             self.push_event(self.now + latency, EventKind::Deliver { flow_id: id });
         }
         self.reallocate_and_schedule();
@@ -416,7 +558,10 @@ impl<M> Simulation<M> {
             .iter()
             .map(|id| {
                 let f = &self.flows[id];
-                FlowDesc { src: f.src.0, dst: f.dst.0 }
+                FlowDesc {
+                    src: f.src.0,
+                    dst: f.dst.0,
+                }
             })
             .collect();
         let up: Vec<f64> = self.links.iter().map(|l| l.up_bps).collect();
@@ -451,7 +596,12 @@ mod tests {
     /// Echoes every received message back to the sender with the same size.
     struct Echo;
     impl Actor<&'static str> for Echo {
-        fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, from: NodeId, _m: &'static str) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, &'static str>,
+            from: NodeId,
+            _m: &'static str,
+        ) {
             ctx.record("echoed", 1.0);
             ctx.send(from, 1_000, "reply");
         }
@@ -466,13 +616,22 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
             ctx.send(self.server, self.bytes, "request");
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, _f: NodeId, _m: &'static str) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, &'static str>,
+            _f: NodeId,
+            _m: &'static str,
+        ) {
             ctx.record("reply_at", ctx.now().as_secs_f64());
         }
     }
 
     fn link_10mbps() -> LinkSpec {
-        LinkSpec { up_bps: mbps(10), down_bps: mbps(10), latency: SimDuration::from_millis(10) }
+        LinkSpec {
+            up_bps: mbps(10),
+            down_bps: mbps(10),
+            latency: SimDuration::from_millis(10),
+        }
     }
 
     #[test]
@@ -480,7 +639,13 @@ mod tests {
         // 1.25 MB over 10 Mbps = 1 s + 4 × 10 ms latency (two hops each way).
         let mut sim = Simulation::new();
         let server = sim.reserve_id(1);
-        let _client = sim.add_node(Client { server, bytes: 1_250_000 }, link_10mbps());
+        let _client = sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
         sim.add_node(Echo, link_10mbps());
         sim.run();
         let events = sim.trace().find(NodeId(0), "reply_at");
@@ -488,7 +653,10 @@ mod tests {
         let t = events[0].value;
         // request: 1s + 20ms; reply: 1000B (0.8ms) + 20ms.
         let expect = 1.0 + 0.02 + 0.0008 + 0.02;
-        assert!((t - expect).abs() < 1e-3, "reply at {t}, expected ~{expect}");
+        assert!(
+            (t - expect).abs() < 1e-3,
+            "reply at {t}, expected ~{expect}"
+        );
     }
 
     #[test]
@@ -499,21 +667,42 @@ mod tests {
             received: usize,
         }
         impl Actor<&'static str> for Sink {
-            fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, _f: NodeId, _m: &'static str) {
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
                 self.received += 1;
                 ctx.record("done_at", ctx.now().as_secs_f64());
             }
         }
         let mut sim = Simulation::new();
         let server = sim.reserve_id(2);
-        sim.add_node(Client { server, bytes: 1_250_000 }, link_10mbps());
-        sim.add_node(Client { server, bytes: 1_250_000 }, link_10mbps());
+        sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
+        sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
         sim.add_node(Sink { received: 0 }, link_10mbps());
         sim.run();
         let events = sim.trace().find(server, "done_at");
         assert_eq!(events.len(), 2);
         for e in events {
-            assert!((e.value - 2.02).abs() < 0.01, "shared transfer at {}", e.value);
+            assert!(
+                (e.value - 2.02).abs() < 0.01,
+                "shared transfer at {}",
+                e.value
+            );
         }
     }
 
@@ -550,7 +739,12 @@ mod tests {
         let mut sim = Simulation::new();
         let id = sim.add_node(Timed { fired: Vec::new() }, link_10mbps());
         sim.run();
-        let fired: Vec<f64> = sim.trace().find(id, "fired").iter().map(|e| e.value).collect();
+        let fired: Vec<f64> = sim
+            .trace()
+            .find(id, "fired")
+            .iter()
+            .map(|e| e.value)
+            .collect();
         assert_eq!(fired, vec![1.0, 2.0, 3.0]);
         assert_eq!(sim.now().as_secs_f64(), 3.0);
     }
@@ -559,7 +753,13 @@ mod tests {
     fn byte_accounting() {
         let mut sim = Simulation::new();
         let server = sim.reserve_id(1);
-        let client = sim.add_node(Client { server, bytes: 5_000 }, link_10mbps());
+        let client = sim.add_node(
+            Client {
+                server,
+                bytes: 5_000,
+            },
+            link_10mbps(),
+        );
         sim.add_node(Echo, link_10mbps());
         sim.run();
         assert_eq!(sim.trace().bytes_received(server), 5_000);
@@ -572,9 +772,161 @@ mod tests {
         fn run_once() -> Vec<(u64, String, f64)> {
             let mut sim = Simulation::new();
             let server = sim.reserve_id(2);
-            sim.add_node(Client { server, bytes: 777_777 }, link_10mbps());
-            sim.add_node(Client { server, bytes: 123_456 }, link_10mbps());
+            sim.add_node(
+                Client {
+                    server,
+                    bytes: 777_777,
+                },
+                link_10mbps(),
+            );
+            sim.add_node(
+                Client {
+                    server,
+                    bytes: 123_456,
+                },
+                link_10mbps(),
+            );
             sim.add_node(Echo, link_10mbps());
+            sim.run();
+            sim.trace()
+                .events()
+                .iter()
+                .map(|e| (e.time.as_micros(), e.label.clone(), e.value))
+                .collect()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_and_timers_until_recovery() {
+        // A pinger sends to an echo server every second. The server is
+        // crashed during [1.5s, 3.5s]: pings sent in that window vanish.
+        struct Pinger {
+            server: NodeId,
+            replies: usize,
+        }
+        impl Actor<&'static str> for Pinger {
+            fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
+                self.replies += 1;
+                ctx.record("reply", 1.0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, &'static str>, _t: u64) {
+                ctx.send(self.server, 1_000, "ping");
+                if ctx.now().as_secs_f64() < 4.5 {
+                    ctx.set_timer(SimDuration::from_secs(1), 0);
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let pinger = sim.add_node(Pinger { server, replies: 0 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        sim.schedule_fault(SimTime::from_micros(1_500_000), Fault::Crash(server));
+        sim.schedule_fault(SimTime::from_micros(3_500_000), Fault::Recover(server));
+        sim.run();
+        // Pings at 1s, 4s, 5s get replies; pings at 2s and 3s are lost.
+        assert_eq!(sim.trace().find(pinger, "reply").len(), 3);
+        assert!(!sim.is_down(server));
+        assert_eq!(sim.trace().find(server, "fault/crash").len(), 1);
+        assert_eq!(sim.trace().find(server, "fault/recover").len(), 1);
+    }
+
+    #[test]
+    fn crash_tears_down_inflight_transfers() {
+        // 1.25 MB at 10 Mbps takes ~1 s; the receiver crashes at 0.5 s, so
+        // the transfer must never complete even after recovery.
+        struct Sink;
+        impl Actor<&'static str> for Sink {
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
+                ctx.record("arrived", 1.0);
+            }
+        }
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
+        sim.add_node(Sink, link_10mbps());
+        sim.schedule_fault(SimTime::from_micros(500_000), Fault::Crash(server));
+        sim.schedule_fault(SimTime::from_micros(700_000), Fault::Recover(server));
+        sim.run();
+        assert!(sim.trace().find(server, "arrived").is_empty());
+    }
+
+    #[test]
+    fn degrade_link_slows_active_flow() {
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
+        sim.add_node(Echo, link_10mbps());
+        // Halfway through the ~1 s transfer, throttle the receiver to 1 Mbps:
+        // the remaining ~625 kB now take ~5 s.
+        sim.schedule_fault(
+            SimTime::from_micros(500_000),
+            Fault::DegradeLink {
+                node: server,
+                up_bps: mbps(1),
+                down_bps: mbps(1),
+            },
+        );
+        sim.run();
+        let events = sim.trace().find(NodeId(0), "reply_at");
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].value > 5.0 && events[0].value < 6.5,
+            "reply at {} (expected ~5.5s)",
+            events[0].value
+        );
+    }
+
+    #[test]
+    fn fault_plan_determinism() {
+        fn run_once() -> Vec<(u64, String, f64)> {
+            let mut sim = Simulation::new();
+            let server = sim.reserve_id(2);
+            sim.add_node(
+                Client {
+                    server,
+                    bytes: 777_777,
+                },
+                link_10mbps(),
+            );
+            sim.add_node(
+                Client {
+                    server,
+                    bytes: 123_456,
+                },
+                link_10mbps(),
+            );
+            sim.add_node(Echo, link_10mbps());
+            let plan = crate::fault::FaultPlan::new()
+                .crash_at(SimTime::from_micros(300_000), server)
+                .recover_at(SimTime::from_micros(400_000), server)
+                .degrade_link_at(SimTime::from_micros(500_000), NodeId(0), mbps(2), mbps(2));
+            sim.apply_fault_plan(&plan);
             sim.run();
             sim.trace()
                 .events()

@@ -37,7 +37,10 @@ pub fn max_min_rates(flows: &[FlowDesc], up_bps: &[f64], down_bps: &[f64]) -> Ve
     assert_eq!(up_bps.len(), down_bps.len(), "capacity arrays must align");
     let n_nodes = up_bps.len();
     for f in flows {
-        assert!(f.src < n_nodes && f.dst < n_nodes, "flow references unknown node");
+        assert!(
+            f.src < n_nodes && f.dst < n_nodes,
+            "flow references unknown node"
+        );
     }
 
     // Constraint indices: 0..n = uplinks, n..2n = downlinks.
@@ -182,11 +185,17 @@ mod tests {
         for (p, expect_per_flow) in [(1usize, mbps(10) / 16.0), (16, mbps(10))] {
             let n = 16 + p;
             let flows: Vec<_> = (0..16)
-                .map(|t| FlowDesc { src: t, dst: 16 + (t % p) })
+                .map(|t| FlowDesc {
+                    src: t,
+                    dst: 16 + (t % p),
+                })
                 .collect();
             let rates = max_min_rates(&flows, &vec![mbps(10); n], &vec![mbps(10); n]);
             for r in &rates {
-                assert!(close(*r, expect_per_flow), "P={p}: rate {r} != {expect_per_flow}");
+                assert!(
+                    close(*r, expect_per_flow),
+                    "P={p}: rate {r} != {expect_per_flow}"
+                );
             }
         }
     }
@@ -218,6 +227,74 @@ mod tests {
                 if up[f.src] > 0.0 && down[f.dst] > 0.0 {
                     prop_assert!(*r > 0.0);
                 }
+            }
+        }
+
+        #[test]
+        fn prop_work_conserving(
+            n_nodes in 2usize..6,
+            flow_pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..12),
+            caps in proptest::collection::vec(1u64..100, 12),
+        ) {
+            // Max–min optimality: no flow's rate can be raised without
+            // violating a constraint, i.e. every flow crosses at least one
+            // saturated link. (A merely feasible allocation — e.g. all
+            // zeros — would fail this.)
+            let flows: Vec<_> = flow_pairs
+                .iter()
+                .map(|&(s, d)| FlowDesc { src: s % n_nodes, dst: d % n_nodes })
+                .collect();
+            let up: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i])).collect();
+            let down: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i + 6])).collect();
+            let rates = max_min_rates(&flows, &up, &down);
+
+            for f in &flows {
+                let out: f64 = flows.iter().zip(&rates).filter(|(g, _)| g.src == f.src).map(|(_, r)| r).sum();
+                let inn: f64 = flows.iter().zip(&rates).filter(|(g, _)| g.dst == f.dst).map(|(_, r)| r).sum();
+                let up_saturated = out >= up[f.src] * (1.0 - 1e-9) - 1.0;
+                let down_saturated = inn >= down[f.dst] * (1.0 - 1e-9) - 1.0;
+                prop_assert!(
+                    up_saturated || down_saturated,
+                    "flow {f:?} crosses no saturated link (out={out}, up={}, in={inn}, down={})",
+                    up[f.src],
+                    down[f.dst]
+                );
+            }
+        }
+
+        #[test]
+        fn prop_rates_invariant_under_flow_permutation(
+            n_nodes in 2usize..6,
+            flow_pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..12),
+            caps in proptest::collection::vec(1u64..100, 12),
+            rotation in 0usize..12,
+        ) {
+            // A flow's rate depends only on the network, never on its
+            // position in the input: rotating the flow list rotates the
+            // rate vector identically. (Guards against order-dependent
+            // tie-breaking in the water-filling loop leaking into rates —
+            // the determinism the fault-injection replays rely on.)
+            let flows: Vec<_> = flow_pairs
+                .iter()
+                .map(|&(s, d)| FlowDesc { src: s % n_nodes, dst: d % n_nodes })
+                .collect();
+            let up: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i])).collect();
+            let down: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i + 6])).collect();
+            let base = max_min_rates(&flows, &up, &down);
+
+            let k = rotation % flows.len();
+            let mut rotated = flows.clone();
+            rotated.rotate_left(k);
+            let rotated_rates = max_min_rates(&rotated, &up, &down);
+            for i in 0..flows.len() {
+                let j = (i + k) % flows.len();
+                prop_assert!(
+                    (base[j] - rotated_rates[i]).abs() <= 1e-9 * base[j].abs().max(1.0),
+                    "rate of flow {:?} changed with input order: {} vs {}",
+                    rotated[i],
+                    base[j],
+                    rotated_rates[i]
+                );
             }
         }
 

@@ -1,0 +1,200 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a clock-driven schedule of failures — crashes,
+//! recoveries, silent data loss, per-link degradation — applied to a
+//! [`crate::engine::Simulation`] before it runs. Because the plan is an
+//! explicit list of `(time, fault)` pairs and the engine's event queue is
+//! totally ordered, the same plan on the same workload reproduces the same
+//! trace bit-for-bit: churn experiments are exactly replayable per seed.
+//!
+//! Fault semantics (implemented by the engine):
+//!
+//! * **Crash** — the node stops responding: in-flight transfers touching it
+//!   are torn down, queued timers and deliveries addressed to it are
+//!   dropped, and it receives no callbacks until recovery. The actor is
+//!   notified via [`crate::engine::Actor::on_fault`] so it can model losing
+//!   volatile state (e.g. in-RAM request tables).
+//! * **Recover** — callbacks resume; the actor is notified so it can re-arm
+//!   timers (dead timers do not resurrect on their own).
+//! * **DataLoss** — the node stays up but the actor is told to silently
+//!   drop durable state (e.g. stored blocks); peers observe nothing until
+//!   they next ask for the data.
+//! * **DegradeLink** — the node's access-link capacities are replaced and
+//!   all active flows are re-shaped from that instant.
+
+use crate::engine::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// One injectable failure.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// The node stops responding (loses volatile state, drops connections).
+    Crash(NodeId),
+    /// A crashed node starts responding again.
+    Recover(NodeId),
+    /// The node silently loses durable state (it stays responsive).
+    DataLoss(NodeId),
+    /// The node's access link is re-provisioned to the given capacities
+    /// (bits/s). Use the original capacities to lift a degradation.
+    DegradeLink {
+        node: NodeId,
+        up_bps: f64,
+        down_bps: f64,
+    },
+}
+
+impl Fault {
+    /// The node the fault applies to.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Fault::Crash(n) | Fault::Recover(n) | Fault::DataLoss(n) => n,
+            Fault::DegradeLink { node, .. } => node,
+        }
+    }
+}
+
+/// A clock-driven schedule of faults, reproducible by construction.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` at absolute simulated time `t`.
+    pub fn at(mut self, t: SimTime, fault: Fault) -> FaultPlan {
+        self.events.push((t, fault));
+        self
+    }
+
+    /// Crashes `node` at `t`.
+    pub fn crash_at(self, t: SimTime, node: NodeId) -> FaultPlan {
+        self.at(t, Fault::Crash(node))
+    }
+
+    /// Recovers `node` at `t`.
+    pub fn recover_at(self, t: SimTime, node: NodeId) -> FaultPlan {
+        self.at(t, Fault::Recover(node))
+    }
+
+    /// Makes `node` silently lose its durable state at `t`.
+    pub fn data_loss_at(self, t: SimTime, node: NodeId) -> FaultPlan {
+        self.at(t, Fault::DataLoss(node))
+    }
+
+    /// Re-provisions `node`'s access link at `t`.
+    pub fn degrade_link_at(
+        self,
+        t: SimTime,
+        node: NodeId,
+        up_bps: f64,
+        down_bps: f64,
+    ) -> FaultPlan {
+        self.at(
+            t,
+            Fault::DegradeLink {
+                node,
+                up_bps,
+                down_bps,
+            },
+        )
+    }
+
+    /// A churn schedule: starting at `start` and every `period` until `end`,
+    /// one node drawn deterministically from `nodes` (SplitMix64 on `seed`)
+    /// crashes and recovers after `outage`. Crash/recover pairs may overlap
+    /// across nodes; repeated crashes of an already-down node are harmless.
+    pub fn churn(
+        nodes: &[NodeId],
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+        outage: SimDuration,
+        seed: u64,
+    ) -> FaultPlan {
+        assert!(!nodes.is_empty(), "churn needs at least one candidate node");
+        assert!(period.as_micros() > 0, "churn period must be positive");
+        let mut plan = FaultPlan::new();
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next_u64 = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut t = start;
+        while t <= end {
+            let victim = nodes[(next_u64() % nodes.len() as u64) as usize];
+            plan = plan.crash_at(t, victim).recover_at(t + outage, victim);
+            t += period;
+        }
+        plan
+    }
+
+    /// Whether the plan injects anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled `(time, fault)` pairs, in insertion order.
+    pub fn events(&self) -> &[(SimTime, Fault)] {
+        &self.events
+    }
+
+    /// The nodes the plan touches (with repeats), for validation against a
+    /// deployment's node count.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.events.iter().map(|(_, f)| f.node())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let n = NodeId(3);
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_micros(5), n)
+            .recover_at(SimTime::from_micros(9), n)
+            .data_loss_at(SimTime::from_micros(12), NodeId(1));
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.events()[0], (SimTime::from_micros(5), Fault::Crash(n)));
+        assert_eq!(
+            plan.events()[1],
+            (SimTime::from_micros(9), Fault::Recover(n))
+        );
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+        let mk = |seed| {
+            FaultPlan::churn(
+                &nodes,
+                SimTime::from_micros(1_000_000),
+                SimTime::from_micros(60_000_000),
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(5),
+                seed,
+            )
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+        // 1s, 11s, ..., 51s -> 6 windows, each a crash + a recover.
+        assert_eq!(mk(7).events().len(), 12);
+        for pair in mk(7).events().chunks(2) {
+            assert!(matches!(pair[0].1, Fault::Crash(_)));
+            assert!(matches!(pair[1].1, Fault::Recover(_)));
+            assert_eq!(pair[1].0, pair[0].0 + SimDuration::from_secs(5));
+        }
+    }
+}

@@ -21,9 +21,11 @@
 
 pub mod engine;
 pub mod fair;
+pub mod fault;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Actor, Context, LinkSpec, NodeId, Simulation};
+pub use fault::{Fault, FaultPlan};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

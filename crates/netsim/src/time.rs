@@ -41,7 +41,10 @@ impl SimTime {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn duration_since(&self, earlier: SimTime) -> SimDuration {
-        assert!(earlier.0 <= self.0, "duration_since: earlier is later than self");
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier is later than self"
+        );
         SimDuration(self.0 - earlier.0)
     }
 
@@ -77,7 +80,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 

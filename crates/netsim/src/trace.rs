@@ -40,7 +40,12 @@ impl Trace {
 
     /// Appends a measurement point.
     pub fn record(&mut self, time: SimTime, node: NodeId, label: &str, value: f64) {
-        self.events.push(TraceEvent { time, node, label: label.to_string(), value });
+        self.events.push(TraceEvent {
+            time,
+            node,
+            label: label.to_string(),
+            value,
+        });
     }
 
     /// Accounts a completed transfer (called by the engine).
@@ -56,7 +61,10 @@ impl Trace {
 
     /// Events recorded by `node` with label `label`.
     pub fn find(&self, node: NodeId, label: &str) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.node == node && e.label == label).collect()
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.label == label)
+            .collect()
     }
 
     /// Events with label `label` from any node.

@@ -4,6 +4,11 @@
 //! retrieval layer fails over to the surviving copies and the task
 //! completes with the exact same model.
 //!
+//! The second half sweeps scheduled storage churn (crash/recover cycles of
+//! increasing outage length, `FaultPlan::churn`) and reports how many
+//! rounds survive and how much the retry/failover machinery stretches
+//! them.
+//!
 //! Run with: `cargo run --release --example availability`
 
 use decentralized_fl::ml::{data, LogisticRegression, Model, SgdConfig};
@@ -26,11 +31,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clients = data::partition_iid(&dataset, base.trainers, 3);
     let model = LogisticRegression::new(3, 2);
     let initial = model.params();
-    let sgd = SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None };
+    let sgd = SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    };
 
     println!("Scenario: storage node 0 silently discards everything it is asked to store.\n");
 
-    for (label, replication) in [("replication = 1 (no replicas)", 1usize), ("replication = 2", 2)] {
+    for (label, replication) in [
+        ("replication = 1 (no replicas)", 1usize),
+        ("replication = 2", 2),
+    ] {
         let mut cfg = base.clone();
         cfg.lossy_ipfs_nodes = vec![0];
         cfg.replication = replication;
@@ -46,17 +59,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label}: completed {}/{} rounds{}",
             report.completed_rounds,
             cfg.rounds,
-            if report.succeeded(&cfg) { " — survived the data loss" } else { " — stalled" }
+            if report.succeeded(&cfg) {
+                " — survived the data loss"
+            } else {
+                " — stalled"
+            }
         );
     }
 
     // Replication only buys availability; the computed model is identical.
-    let healthy = run_task(base.clone(), model.clone(), initial.clone(), clients.clone(), sgd, &[])?;
+    let healthy = run_task(
+        base.clone(),
+        model.clone(),
+        initial.clone(),
+        clients.clone(),
+        sgd,
+        &[],
+    )?;
     let mut replicated_cfg = base.clone();
     replicated_cfg.lossy_ipfs_nodes = vec![0];
     replicated_cfg.replication = 2;
     let replicated = run_task(replicated_cfg, model, initial, clients, sgd, &[])?;
     let same = healthy.consensus_params() == replicated.consensus_params();
     println!("\nModel under loss+replication identical to the healthy run: {same}");
+
+    println!(
+        "\nScenario: storage churn — every 10 s one storage node crashes for the given outage.\n"
+    );
+    println!(
+        "{:>10}  {:>9}  {:>17}  {:>7}",
+        "outage (s)", "rounds", "avg duration (s)", "quorum"
+    );
+    for p in dfl_bench::churn_sweep() {
+        println!(
+            "{:>10}  {:>6}/{}  {:>17.2}  {:>7}",
+            p.outage_secs,
+            p.completed_rounds,
+            p.rounds,
+            p.avg_round_duration,
+            p.quorum_degradations
+        );
+    }
     Ok(())
 }

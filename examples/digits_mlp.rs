@@ -35,9 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.trainers
     );
     let initial = model.params();
-    let sgd = SgdConfig { lr: 0.5, batch_size: 32, epochs: 2, clip: Some(5.0) };
+    let sgd = SgdConfig {
+        lr: 0.5,
+        batch_size: 32,
+        epochs: 2,
+        clip: Some(5.0),
+    };
 
-    let report = run_task(cfg.clone(), model.clone(), initial.clone(), clients, sgd, &[])?;
+    let report = run_task(
+        cfg.clone(),
+        model.clone(),
+        initial.clone(),
+        clients,
+        sgd,
+        &[],
+    )?;
     assert!(report.succeeded(&cfg), "all rounds must complete");
 
     let mut evaluate = model.clone();
@@ -46,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     evaluate.set_params(&report.consensus_params().expect("consensus"));
     let after = metrics::accuracy(&evaluate.predict(&eval.x), &eval.y);
 
-    println!("held-out accuracy: {:.1}% → {:.1}%", before * 100.0, after * 100.0);
+    println!(
+        "held-out accuracy: {:.1}% → {:.1}%",
+        before * 100.0,
+        after * 100.0
+    );
     for round in &report.rounds {
         println!(
             "  round {}: total aggregation {:.2}s, round {:.2}s",

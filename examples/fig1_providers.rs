@@ -13,7 +13,10 @@ use dfl_bench::fig1_providers;
 
 fn main() {
     println!("Figure 1 — delays vs providers (16 trainers, 1.3 MB partition, 10 Mbps)");
-    println!("{:<12} {:>22} {:>22}", "providers", "aggregation delay (s)", "upload delay (s)");
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "providers", "aggregation delay (s)", "upload delay (s)"
+    );
     let points = fig1_providers();
     for p in &points {
         println!(

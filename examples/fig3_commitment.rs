@@ -17,7 +17,10 @@
 use dfl_bench::{fig3_commitment, fig3_default_sizes};
 
 fn main() {
-    let sizes = match std::env::var("FIG3_MAX_LOG2").ok().and_then(|v| v.parse::<u32>().ok()) {
+    let sizes = match std::env::var("FIG3_MAX_LOG2")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
         Some(max_log2) => (10..=max_log2).step_by(2).map(|l| 1usize << l).collect(),
         None => fig3_default_sizes(),
     };

@@ -27,9 +27,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval = pool.subset(&(800..1200).collect::<Vec<_>>());
     let clients: Vec<_> = data::partition_dirichlet(&dataset, PEERS, 0.05, 1)
         .into_iter()
-        .map(|p| if p.is_empty() { dataset.subset(&[0]) } else { p })
+        .map(|p| {
+            if p.is_empty() {
+                dataset.subset(&[0])
+            } else {
+                p
+            }
+        })
         .collect();
-    let sgd = SgdConfig { lr: 0.3, batch_size: 16, epochs: 2, clip: None };
+    let sgd = SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 2,
+        clip: None,
+    };
     let model = LogisticRegression::new(4, 4);
     let seed = 11u64;
 
@@ -44,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Gossip averaging.
     let mut gossip = Gossip::new(model.clone(), clients.clone(), sgd, GossipTopology::Ring);
 
-    println!("{:>6} {:>10} {:>10} {:>12}", "round", "fedavg", "gossip", "ipls (ours)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}",
+        "round", "fedavg", "gossip", "ipls (ours)"
+    );
     for round in 0..ROUNDS {
         let round_seed = seed + (round as u64) * 1000;
         let fed_params = fedavg.run_round(round_seed);
@@ -63,7 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed,
             ..TaskConfig::default()
         };
-        let report = run_task(cfg, model.clone(), model.params(), clients.clone(), sgd, &[])?;
+        let report = run_task(
+            cfg,
+            model.clone(),
+            model.params(),
+            clients.clone(),
+            sgd,
+            &[],
+        )?;
         let ipls_params = report.consensus_params().expect("consensus");
 
         println!(

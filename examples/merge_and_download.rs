@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example merge_and_download`
 //! Optionally set `TRAINERS` (default 16) to move the optimum.
 
-use dfl_bench::{fig1_config, fig1_param_count, run_network_experiment};
 use decentralized_fl::protocol::CommMode;
+use dfl_bench::{fig1_config, fig1_param_count, run_network_experiment};
 
 fn main() {
     let trainers: usize = std::env::var("TRAINERS")
@@ -16,7 +16,10 @@ fn main() {
     let sqrt = (trainers as f64).sqrt();
     println!("Merge-and-download sweep: {trainers} trainers, 1.3 MB partition, 10 Mbps");
     println!("(paper's model: τ = S·(|T|/(d·|P|) + |P|/b), minimized at |P| ≈ √|T| = {sqrt:.1})\n");
-    println!("{:>10} {:>12} {:>14} {:>12}", "providers", "upload (s)", "aggregate (s)", "total (s)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "providers", "upload (s)", "aggregate (s)", "total (s)"
+    );
 
     let mut best: Option<(usize, f64)> = None;
     let mut providers = 1usize;
@@ -40,5 +43,7 @@ fn main() {
     }
 
     let (best_p, best_t) = best.expect("at least one point");
-    println!("\nMeasured optimum: |P| = {best_p} ({best_t:.2}s total) — prediction √|T| = {sqrt:.1}.");
+    println!(
+        "\nMeasured optimum: |P| = {best_p} ({best_t:.2}s total) — prediction √|T| = {sqrt:.1}."
+    );
 }

@@ -28,11 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let model = LogisticRegression::new(4, 2);
     let initial = model.params();
-    let sgd = SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None };
+    let sgd = SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    };
 
     let report = run_task(cfg.clone(), model.clone(), initial, clients, sgd, &[])?;
 
-    println!("Completed {} / {} rounds", report.completed_rounds, cfg.rounds);
+    println!(
+        "Completed {} / {} rounds",
+        report.completed_rounds, cfg.rounds
+    );
     for round in &report.rounds {
         println!(
             "  round {}: upload {:.2}s, aggregation {:.2}s, round total {:.2}s",

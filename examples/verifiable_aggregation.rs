@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --release --example verifiable_aggregation`
 
-use decentralized_fl::ml::{data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::ml::{
+    data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig,
+};
 use decentralized_fl::netsim::SimDuration;
 use decentralized_fl::protocol::{run_task, Behavior, TaskConfig};
 
@@ -26,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clients = data::partition_iid(&dataset, cfg.trainers, 1);
     let model = LogisticRegression::new(3, 2);
     let initial = model.params();
-    let sgd = SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None };
+    let sgd = SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    };
 
     // The honest FedAvg reference for comparison.
     let reference = FedAvg::new(model.clone(), clients.clone(), sgd).run(1, cfg.seed);
@@ -49,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("   but the poisoned model is never accepted)\n");
 
     println!("== Attack 2: same attacker, but |A_i| = 2 with an honest peer ==");
-    let cfg2 = TaskConfig { aggregators_per_partition: 2, ..cfg.clone() };
+    let cfg2 = TaskConfig {
+        aggregators_per_partition: 2,
+        ..cfg.clone()
+    };
     let report = run_task(
         cfg2.clone(),
         model.clone(),

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so the subset of the `proptest 1.x` API the workspace uses is
+//! reimplemented here and wired in via `[patch.crates-io]`. Semantics are
+//! simplified but honest:
+//!
+//! * strategies generate random values from a deterministic per-test RNG
+//!   (seeded from the test name, so runs are reproducible);
+//! * `prop_assert*` failures abort the test with the failing case index;
+//! * there is **no shrinking** — the first failing input is reported as-is.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supports the common form used in this workspace: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test] fn`
+/// items whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (@body ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($pat,)+)| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) via an early `Err` return.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?} == {:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?} == {:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two expressions are not equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?} != {:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?} != {:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (resampled, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,143 @@
+//! The [`Strategy`] trait and primitive strategies (ranges, tuples, map).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random test inputs.
+///
+/// Unlike real proptest there is no value tree and no shrinking; a
+/// strategy simply produces a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Values samplable from a half-open range (backing `low..high` strategies).
+pub trait RangeValue: Copy + PartialOrd {
+    fn sample(rng: &mut TestRng, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample(rng: &mut TestRng, start: Self, end: Self) -> Self {
+                assert!(start < end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn sample(rng: &mut TestRng, start: Self, end: Self) -> Self {
+        assert!(start < end, "empty range strategy");
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + frac * (end - start)
+    }
+}
+
+impl RangeValue for f32 {
+    fn sample(rng: &mut TestRng, start: Self, end: Self) -> Self {
+        assert!(start < end, "empty range strategy");
+        let frac = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        start + frac * (end - start)
+    }
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_range_inclusive_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}

@@ -1,0 +1,17 @@
+//! Sequence helpers (subset of `rand::seq`).
+
+use crate::Rng;
+
+/// Extension trait providing in-place shuffling (Fisher–Yates).
+pub trait SliceRandom {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}

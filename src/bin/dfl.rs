@@ -53,7 +53,9 @@ impl<'a> Flags<'a> {
     fn num(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got {v:?}")),
         }
     }
 
@@ -102,7 +104,12 @@ fn try_run(rest: &[String]) -> Result<(), String> {
     let clients = data::partition_iid(&dataset, cfg.trainers, cfg.seed);
     let model = LogisticRegression::new(4, 3);
     let initial = model.params();
-    let sgd = SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None };
+    let sgd = SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    };
 
     println!(
         "task: {} trainers, {} partitions × {} aggregators, {} storage nodes, {:?}, \
@@ -135,7 +142,9 @@ fn try_run(rest: &[String]) -> Result<(), String> {
             report.completed_rounds, cfg.rounds, report.verification_failures
         ));
     }
-    let consensus = report.consensus_params().ok_or("trainers disagree on the final model")?;
+    let consensus = report
+        .consensus_params()
+        .ok_or("trainers disagree on the final model")?;
     let mut evaluate = model;
     evaluate.set_params(&consensus);
     let acc = metrics::accuracy(&evaluate.predict(&dataset.x), &dataset.y);
@@ -144,36 +153,72 @@ fn try_run(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+#[cfg(feature = "figures")]
 fn print_fig1() {
     println!("Figure 1 — delays vs providers");
-    println!("{:<12} {:>18} {:>14}", "providers", "aggregation (s)", "upload (s)");
-    for point in dfl_bench_points_fig1() {
-        println!("{:<12} {:>18.2} {:>14.2}", point.label, point.aggregation_delay, point.upload_delay);
-    }
-}
-
-fn dfl_bench_points_fig1() -> Vec<dfl_bench::Fig1Point> {
-    dfl_bench::fig1_providers()
-}
-
-fn print_fig2() {
-    println!("Figure 2 — effect of |A_i|");
-    println!("{:>6} {:>16} {:>10} {:>10} {:>16}", "|A_i|", "aggregation (s)", "sync (s)", "total (s)", "MB/aggregator");
-    for p in dfl_bench::fig2_aggregators() {
+    println!(
+        "{:<12} {:>18} {:>14}",
+        "providers", "aggregation (s)", "upload (s)"
+    );
+    for point in dfl_bench::fig1_providers() {
         println!(
-            "{:>6} {:>16.2} {:>10.2} {:>10.2} {:>16.2}",
-            p.aggregators_per_partition, p.aggregation_delay, p.sync_delay, p.total_delay, p.mb_per_aggregator
+            "{:<12} {:>18.2} {:>14.2}",
+            point.label, point.aggregation_delay, point.upload_delay
         );
     }
 }
 
+#[cfg(feature = "figures")]
+fn print_fig2() {
+    println!("Figure 2 — effect of |A_i|");
+    println!(
+        "{:>6} {:>16} {:>10} {:>10} {:>16}",
+        "|A_i|", "aggregation (s)", "sync (s)", "total (s)", "MB/aggregator"
+    );
+    for p in dfl_bench::fig2_aggregators() {
+        println!(
+            "{:>6} {:>16.2} {:>10.2} {:>10.2} {:>16.2}",
+            p.aggregators_per_partition,
+            p.aggregation_delay,
+            p.sync_delay,
+            p.total_delay,
+            p.mb_per_aggregator
+        );
+    }
+}
+
+#[cfg(feature = "figures")]
 fn print_fig3() {
     println!("Figure 3 — hashing vs commitment time");
-    println!("{:>10} {:>14} {:>18} {:>18}", "#params", "SHA-256 (ms)", "Pedersen k1 (ms)", "Pedersen r1 (ms)");
+    println!(
+        "{:>10} {:>14} {:>18} {:>18}",
+        "#params", "SHA-256 (ms)", "Pedersen k1 (ms)", "Pedersen r1 (ms)"
+    );
     for p in dfl_bench::fig3_commitment(&dfl_bench::fig3_default_sizes()) {
         println!(
             "{:>10} {:>14.3} {:>18.1} {:>18.1}",
             p.elements, p.sha256_ms, p.pedersen_k1_ms, p.pedersen_r1_ms
         );
     }
+}
+
+#[cfg(not(feature = "figures"))]
+fn print_fig1() {
+    figures_hint()
+}
+
+#[cfg(not(feature = "figures"))]
+fn print_fig2() {
+    figures_hint()
+}
+
+#[cfg(not(feature = "figures"))]
+fn print_fig3() {
+    figures_hint()
+}
+
+#[cfg(not(feature = "figures"))]
+fn figures_hint() {
+    eprintln!("figure subcommands need the experiment harness; rebuild with:");
+    eprintln!("    cargo run --release --features figures --bin dfl -- <fig1|fig2|fig3>");
 }

@@ -5,9 +5,9 @@
 //! The topologies match the paper's; the partition size is scaled down 4×
 //! so the suite stays fast (all delays scale linearly, shapes unchanged).
 
-use dfl_bench::run_network_experiment;
 use decentralized_fl::netsim::SimDuration;
 use decentralized_fl::protocol::{CommMode, TaskConfig};
+use dfl_bench::run_network_experiment;
 
 /// ~325 KB partition (the paper's 1.3 MB scaled by 4).
 const FIG1_PARAMS: usize = 1_300_000 / 8 / 4;
@@ -19,7 +19,11 @@ fn fig1_cfg(comm: CommMode, providers: usize) -> TaskConfig {
         trainers: 16,
         partitions: 1,
         aggregators_per_partition: 1,
-        ipfs_nodes: if comm == CommMode::Indirect { providers.max(1) } else { 16 },
+        ipfs_nodes: if comm == CommMode::Indirect {
+            providers.max(1)
+        } else {
+            16
+        },
         comm,
         providers_per_aggregator: providers.max(1),
         bandwidth_mbps: 10,
@@ -50,10 +54,8 @@ fn fig2_cfg(aggregators_per_partition: usize) -> TaskConfig {
 fn fig1_upload_delay_decreases_with_providers() {
     let mut last = f64::INFINITY;
     for providers in [1usize, 4, 16] {
-        let report = run_network_experiment(
-            fig1_cfg(CommMode::MergeAndDownload, providers),
-            FIG1_PARAMS,
-        );
+        let report =
+            run_network_experiment(fig1_cfg(CommMode::MergeAndDownload, providers), FIG1_PARAMS);
         let upload = report.rounds[0].upload_delay_avg;
         assert!(
             upload < last * 0.75,
@@ -67,12 +69,13 @@ fn fig1_upload_delay_decreases_with_providers() {
 fn fig1_aggregation_delay_increases_with_providers() {
     let mut last = 0.0;
     for providers in [1usize, 4, 16] {
-        let report = run_network_experiment(
-            fig1_cfg(CommMode::MergeAndDownload, providers),
-            FIG1_PARAMS,
-        );
+        let report =
+            run_network_experiment(fig1_cfg(CommMode::MergeAndDownload, providers), FIG1_PARAMS);
         let agg = report.rounds[0].aggregation_delay;
-        assert!(agg > last * 1.5, "aggregation delay must grow with providers: {agg} !> {last}");
+        assert!(
+            agg > last * 1.5,
+            "aggregation delay must grow with providers: {agg} !> {last}"
+        );
         last = agg;
     }
 }
@@ -82,10 +85,8 @@ fn fig1_trade_off_optimum_at_sqrt_trainers() {
     // τ = upload + aggregation is minimized at |P| = √16 = 4 (§III-E).
     let mut totals = Vec::new();
     for providers in [1usize, 2, 4, 8, 16] {
-        let report = run_network_experiment(
-            fig1_cfg(CommMode::MergeAndDownload, providers),
-            FIG1_PARAMS,
-        );
+        let report =
+            run_network_experiment(fig1_cfg(CommMode::MergeAndDownload, providers), FIG1_PARAMS);
         let r = &report.rounds[0];
         totals.push((providers, r.upload_delay_avg + r.aggregation_delay));
     }
@@ -114,7 +115,12 @@ fn fig2_aggregation_halves_and_total_decreases() {
     for a in [1usize, 2, 4] {
         let report = run_network_experiment(fig2_cfg(a), FIG2_PARAMS);
         let r = &report.rounds[0];
-        points.push((a, r.aggregation_delay, r.sync_delay, r.total_aggregation_delay));
+        points.push((
+            a,
+            r.aggregation_delay,
+            r.sync_delay,
+            r.total_aggregation_delay,
+        ));
     }
     // Aggregation ~halves per doubling.
     assert!(points[1].1 < points[0].1 * 0.65, "{points:?}");

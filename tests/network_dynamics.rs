@@ -40,7 +40,14 @@ fn single_flow_exact_time() {
     // 10 Mbit over 10 Mbps = exactly 1 s (zero latency).
     let mut sim = Simulation::new();
     let sink = sim.reserve_id(1);
-    sim.add_node(Sender { to: sink, bytes: 1_250_000, delay: SimDuration::ZERO }, mbps_link(10));
+    sim.add_node(
+        Sender {
+            to: sink,
+            bytes: 1_250_000,
+            delay: SimDuration::ZERO,
+        },
+        mbps_link(10),
+    );
     sim.add_node(Sink, mbps_link(10));
     sim.run();
     let t = sim.trace().find(sink, "arrival")[0].value;
@@ -56,11 +63,19 @@ fn late_joiner_slows_first_flow() {
     let mut sim = Simulation::new();
     let sink = sim.reserve_id(2);
     let a = sim.add_node(
-        Sender { to: sink, bytes: 2_500_000, delay: SimDuration::ZERO },
+        Sender {
+            to: sink,
+            bytes: 2_500_000,
+            delay: SimDuration::ZERO,
+        },
         mbps_link(100),
     );
     let b = sim.add_node(
-        Sender { to: sink, bytes: 1_250_000, delay: SimDuration::from_secs(1) },
+        Sender {
+            to: sink,
+            bytes: 1_250_000,
+            delay: SimDuration::from_secs(1),
+        },
         mbps_link(100),
     );
     sim.add_node(Sink, mbps_link(10));
@@ -79,11 +94,19 @@ fn departure_releases_bandwidth() {
     let mut sim = Simulation::new();
     let sink = sim.reserve_id(2);
     let small = sim.add_node(
-        Sender { to: sink, bytes: 625_000, delay: SimDuration::ZERO },
+        Sender {
+            to: sink,
+            bytes: 625_000,
+            delay: SimDuration::ZERO,
+        },
         mbps_link(100),
     );
     let big = sim.add_node(
-        Sender { to: sink, bytes: 1_875_000, delay: SimDuration::ZERO },
+        Sender {
+            to: sink,
+            bytes: 1_875_000,
+            delay: SimDuration::ZERO,
+        },
         mbps_link(100),
     );
     sim.add_node(Sink, mbps_link(10));
@@ -102,11 +125,23 @@ fn uplink_and_downlink_bottlenecks_compose() {
     let mut sim = Simulation::new();
     let sink = sim.reserve_id(2);
     let slow = sim.add_node(
-        Sender { to: sink, bytes: 1_000_000, delay: SimDuration::ZERO },
-        LinkSpec { up_bps: 4e6, down_bps: 4e6, latency: SimDuration::ZERO },
+        Sender {
+            to: sink,
+            bytes: 1_000_000,
+            delay: SimDuration::ZERO,
+        },
+        LinkSpec {
+            up_bps: 4e6,
+            down_bps: 4e6,
+            latency: SimDuration::ZERO,
+        },
     );
     let fast = sim.add_node(
-        Sender { to: sink, bytes: 1_500_000, delay: SimDuration::ZERO },
+        Sender {
+            to: sink,
+            bytes: 1_500_000,
+            delay: SimDuration::ZERO,
+        },
         mbps_link(100),
     );
     sim.add_node(Sink, mbps_link(10));
@@ -125,7 +160,11 @@ fn sixteen_uploads_into_one_node() {
     let sink = sim.reserve_id(16);
     for _ in 0..16 {
         sim.add_node(
-            Sender { to: sink, bytes: 1_300_000, delay: SimDuration::ZERO },
+            Sender {
+                to: sink,
+                bytes: 1_300_000,
+                delay: SimDuration::ZERO,
+            },
             mbps_link(10),
         );
     }
@@ -135,16 +174,31 @@ fn sixteen_uploads_into_one_node() {
     assert_eq!(arrivals.len(), 16);
     let expect = 16.0 * 1_300_000.0 * 8.0 / 10e6;
     for a in arrivals {
-        assert!((a.value - expect).abs() < 0.05, "arrival {} vs {expect}", a.value);
+        assert!(
+            (a.value - expect).abs() < 0.05,
+            "arrival {} vs {expect}",
+            a.value
+        );
     }
 }
 
 #[test]
 fn latency_adds_per_hop() {
     let mut sim = Simulation::new();
-    let link = LinkSpec { up_bps: 1e9, down_bps: 1e9, latency: SimDuration::from_millis(25) };
+    let link = LinkSpec {
+        up_bps: 1e9,
+        down_bps: 1e9,
+        latency: SimDuration::from_millis(25),
+    };
     let sink = sim.reserve_id(1);
-    sim.add_node(Sender { to: sink, bytes: 1_000, delay: SimDuration::ZERO }, link);
+    sim.add_node(
+        Sender {
+            to: sink,
+            bytes: 1_000,
+            delay: SimDuration::ZERO,
+        },
+        link,
+    );
     sim.add_node(Sink, link);
     sim.run();
     let t = sim.trace().find(sink, "arrival")[0].value;

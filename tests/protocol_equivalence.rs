@@ -9,7 +9,12 @@ use decentralized_fl::ml::{
 use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
 
 fn sgd() -> SgdConfig {
-    SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None }
+    SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    }
 }
 
 /// Runs FedAvg with the same seeds the protocol's trainers use.
@@ -45,11 +50,14 @@ fn clients() -> Vec<data::Dataset> {
 fn assert_matches_fedavg(cfg: TaskConfig) {
     let model = LogisticRegression::new(4, 3);
     let params = model.params();
-    let reference =
-        fedavg_reference(model.clone(), clients(), cfg.rounds as usize, cfg.seed);
-    let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[])
-        .expect("valid configuration");
-    assert!(report.succeeded(&cfg), "only {} rounds completed", report.completed_rounds);
+    let reference = fedavg_reference(model.clone(), clients(), cfg.rounds as usize, cfg.seed);
+    let report =
+        run_task(cfg.clone(), model, params, clients(), sgd(), &[]).expect("valid configuration");
+    assert!(
+        report.succeeded(&cfg),
+        "only {} rounds completed",
+        report.completed_rounds
+    );
     let consensus = report
         .consensus_params()
         .expect("all trainers hold the same model");
@@ -63,12 +71,18 @@ fn assert_matches_fedavg(cfg: TaskConfig) {
 
 #[test]
 fn indirect_mode_matches_fedavg() {
-    assert_matches_fedavg(TaskConfig { comm: CommMode::Indirect, ..base_cfg() });
+    assert_matches_fedavg(TaskConfig {
+        comm: CommMode::Indirect,
+        ..base_cfg()
+    });
 }
 
 #[test]
 fn direct_mode_matches_fedavg() {
-    assert_matches_fedavg(TaskConfig { comm: CommMode::Direct, ..base_cfg() });
+    assert_matches_fedavg(TaskConfig {
+        comm: CommMode::Direct,
+        ..base_cfg()
+    });
 }
 
 #[test]
@@ -82,12 +96,19 @@ fn merge_and_download_matches_fedavg() {
 
 #[test]
 fn multi_aggregator_matches_fedavg() {
-    assert_matches_fedavg(TaskConfig { aggregators_per_partition: 2, ..base_cfg() });
+    assert_matches_fedavg(TaskConfig {
+        aggregators_per_partition: 2,
+        ..base_cfg()
+    });
 }
 
 #[test]
 fn verifiable_mode_matches_fedavg() {
-    assert_matches_fedavg(TaskConfig { verifiable: true, rounds: 1, ..base_cfg() });
+    assert_matches_fedavg(TaskConfig {
+        verifiable: true,
+        rounds: 1,
+        ..base_cfg()
+    });
 }
 
 #[test]
@@ -95,8 +116,16 @@ fn all_modes_agree_bitwise() {
     // The three communication modes must produce the *identical* model:
     // they move the same quantized sums over different paths.
     let mut finals = Vec::new();
-    for comm in [CommMode::Direct, CommMode::Indirect, CommMode::MergeAndDownload] {
-        let cfg = TaskConfig { comm, providers_per_aggregator: 2, ..base_cfg() };
+    for comm in [
+        CommMode::Direct,
+        CommMode::Indirect,
+        CommMode::MergeAndDownload,
+    ] {
+        let cfg = TaskConfig {
+            comm,
+            providers_per_aggregator: 2,
+            ..base_cfg()
+        };
         let model = LogisticRegression::new(4, 3);
         let params = model.params();
         let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap();
@@ -111,7 +140,10 @@ fn all_modes_agree_bitwise() {
 fn multi_aggregator_count_does_not_change_result() {
     let mut finals = Vec::new();
     for app in [1usize, 2, 3] {
-        let cfg = TaskConfig { aggregators_per_partition: app, ..base_cfg() };
+        let cfg = TaskConfig {
+            aggregators_per_partition: app,
+            ..base_cfg()
+        };
         let model = LogisticRegression::new(4, 3);
         let params = model.params();
         let report = run_task(cfg.clone(), model, params, clients(), sgd(), &[]).unwrap();
@@ -124,12 +156,22 @@ fn multi_aggregator_count_does_not_change_result() {
 
 #[test]
 fn training_actually_learns_over_rounds() {
-    let cfg = TaskConfig { rounds: 8, ..base_cfg() };
+    let cfg = TaskConfig {
+        rounds: 8,
+        ..base_cfg()
+    };
     let eval = data::make_blobs(240, 4, 3, 0.5, 9);
     let mut model = LogisticRegression::new(4, 3);
     let params = model.params();
-    let report =
-        run_task(cfg.clone(), model.clone(), params.clone(), clients(), sgd(), &[]).unwrap();
+    let report = run_task(
+        cfg.clone(),
+        model.clone(),
+        params.clone(),
+        clients(),
+        sgd(),
+        &[],
+    )
+    .unwrap();
     assert!(report.succeeded(&cfg));
 
     let initial_acc = {
@@ -165,7 +207,13 @@ fn deterministic_across_runs() {
 #[test]
 fn mlp_end_to_end() {
     // A non-trivial architecture through the full pipeline.
-    let cfg = TaskConfig { trainers: 4, partitions: 4, rounds: 2, seed: 7, ..base_cfg() };
+    let cfg = TaskConfig {
+        trainers: 4,
+        partitions: 4,
+        rounds: 2,
+        seed: 7,
+        ..base_cfg()
+    };
     let model = Mlp::new(4, 8, 3, 11);
     let params = model.params();
     let dataset = data::make_blobs(200, 4, 3, 0.5, 13);
@@ -183,7 +231,13 @@ fn non_iid_data_still_completes() {
     // Dirichlet split can produce empty shards; give those a minimum.
     let parts: Vec<_> = skewed
         .into_iter()
-        .map(|p| if p.is_empty() { dataset.subset(&[0]) } else { p })
+        .map(|p| {
+            if p.is_empty() {
+                dataset.subset(&[0])
+            } else {
+                p
+            }
+        })
         .collect();
     let model = LogisticRegression::new(4, 3);
     let params = model.params();

@@ -3,12 +3,19 @@
 //! FedAvg average — the protocol's correctness must not depend on lucky
 //! divisibility of trainers/partitions/aggregators.
 
-use decentralized_fl::ml::{data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::ml::{
+    data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig,
+};
 use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
 use proptest::prelude::*;
 
 fn sgd() -> SgdConfig {
-    SgdConfig { lr: 0.3, batch_size: 8, epochs: 1, clip: None }
+    SgdConfig {
+        lr: 0.3,
+        batch_size: 8,
+        epochs: 1,
+        clip: None,
+    }
 }
 
 fn run_config(
@@ -78,8 +85,7 @@ proptest! {
 fn stress_many_partitions_few_trainers() {
     // More partitions than trainers and more aggregators than storage
     // nodes: the awkward corner of the assignment logic.
-    let (consensus, reference) =
-        run_config(2, 3, 2, 2, CommMode::Indirect, true, 99);
+    let (consensus, reference) = run_config(2, 3, 2, 2, CommMode::Indirect, true, 99);
     assert!(param_distance(&consensus, &reference) < 1e-3);
 }
 

@@ -7,7 +7,12 @@ use decentralized_fl::netsim::SimDuration;
 use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
 
 fn sgd() -> SgdConfig {
-    SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None }
+    SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    }
 }
 
 fn cfg() -> TaskConfig {
@@ -52,7 +57,10 @@ fn data_loss_without_replication_stalls_the_round() {
     c.lossy_ipfs_nodes = vec![0];
     c.replication = 1;
     let report = run(c.clone());
-    assert!(!report.succeeded(&c), "a lossy node without replicas must stall the round");
+    assert!(
+        !report.succeeded(&c),
+        "a lossy node without replicas must stall the round"
+    );
 }
 
 #[test]
@@ -88,7 +96,10 @@ fn merge_mode_survives_loss_with_replication() {
     c.lossy_ipfs_nodes = vec![1];
     c.replication = 2;
     let report = run(c.clone());
-    assert!(report.succeeded(&c), "merge requests must fetch lost members from replicas");
+    assert!(
+        report.succeeded(&c),
+        "merge requests must fetch lost members from replicas"
+    );
 }
 
 #[test]
@@ -136,5 +147,8 @@ fn old_round_data_is_garbage_collected() {
         .last()
         .map(|e| e.value as usize)
         .unwrap_or(usize::MAX);
-    assert!(last <= per_round_blocks * 2, "final occupancy {last} too high");
+    assert!(
+        last <= per_round_blocks * 2,
+        "final occupancy {last} too high"
+    );
 }

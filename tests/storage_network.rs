@@ -18,11 +18,21 @@ struct Client {
 
 impl Client {
     fn new(target: NodeId, script: Vec<IpfsWire>) -> Client {
-        Client { script, target, cursor: 0, start_delay: SimDuration::ZERO }
+        Client {
+            script,
+            target,
+            cursor: 0,
+            start_delay: SimDuration::ZERO,
+        }
     }
 
     fn delayed(target: NodeId, script: Vec<IpfsWire>, delay: SimDuration) -> Client {
-        Client { script, target, cursor: 0, start_delay: delay }
+        Client {
+            script,
+            target,
+            cursor: 0,
+            start_delay: delay,
+        }
     }
 
     fn step(&mut self, ctx: &mut Context<'_, IpfsWire>) {
@@ -82,7 +92,14 @@ fn put_timing_matches_bandwidth() {
     let data = Bytes::from(vec![7u8; 1_250_000]);
     let link = LinkSpec::symmetric_mbps(10, SimDuration::from_millis(5));
     let client = sim.add_node(
-        Client::new(NodeId(0), vec![IpfsWire::Put { data, req_id: 1, replicate: 1 }]),
+        Client::new(
+            NodeId(0),
+            vec![IpfsWire::Put {
+                data,
+                req_id: 1,
+                replicate: 1,
+            }],
+        ),
         link,
     );
     sim.run();
@@ -102,7 +119,14 @@ fn cross_node_get_pays_two_transfers() {
     let cid = Cid::of(&data);
     let link = LinkSpec::symmetric_mbps(10, SimDuration::from_millis(5));
     let writer = sim.add_node(
-        Client::new(NodeId(0), vec![IpfsWire::Put { data, req_id: 1, replicate: 1 }]),
+        Client::new(
+            NodeId(0),
+            vec![IpfsWire::Put {
+                data,
+                req_id: 1,
+                replicate: 1,
+            }],
+        ),
         link,
     );
     let reader = sim.add_node(
@@ -137,7 +161,11 @@ fn merge_returns_one_blob_for_many() {
     let mut script: Vec<IpfsWire> = blobs
         .into_iter()
         .enumerate()
-        .map(|(i, data)| IpfsWire::Put { data, req_id: i as u64, replicate: 1 })
+        .map(|(i, data)| IpfsWire::Put {
+            data,
+            req_id: i as u64,
+            replicate: 1,
+        })
         .collect();
     script.push(IpfsWire::Merge { cids, req_id: 99 });
     let client = sim.add_node(Client::new(NodeId(0), script), link);
@@ -145,7 +173,10 @@ fn merge_returns_one_blob_for_many() {
     assert_eq!(sim.trace().find(client, "merge_ok").len(), 1);
     // The merged response is one blob (~400 KB), not four.
     let rx = sim.trace().bytes_received(client);
-    assert!(rx < 450_000, "client received {rx} bytes; merge should return one blob");
+    assert!(
+        rx < 450_000,
+        "client received {rx} bytes; merge should return one blob"
+    );
 }
 
 #[test]
@@ -155,7 +186,9 @@ fn pubsub_delivery_over_network() {
     }
     impl Actor<IpfsWire> for Subscriber {
         fn on_start(&mut self, ctx: &mut Context<'_, IpfsWire>) {
-            let sub = IpfsWire::Subscribe { topic: "updates".into() };
+            let sub = IpfsWire::Subscribe {
+                topic: "updates".into(),
+            };
             ctx.send(self.gateway, sub.wire_bytes(), sub);
         }
         fn on_message(&mut self, ctx: &mut Context<'_, IpfsWire>, _f: NodeId, msg: IpfsWire) {
@@ -191,8 +224,16 @@ fn pubsub_delivery_over_network() {
     sim.add_node(Publisher { gateway: NodeId(1) }, link);
     sim.run();
 
-    assert_eq!(sim.trace().find(sub_a, "delivered").len(), 1, "flood reached gateway 0");
-    assert_eq!(sim.trace().find(sub_b, "delivered").len(), 1, "flood reached gateway 2");
+    assert_eq!(
+        sim.trace().find(sub_a, "delivered").len(),
+        1,
+        "flood reached gateway 0"
+    );
+    assert_eq!(
+        sim.trace().find(sub_b, "delivered").len(),
+        1,
+        "flood reached gateway 2"
+    );
 }
 
 #[test]
@@ -207,14 +248,24 @@ fn replicated_put_is_slower_but_bounded() {
         let link = LinkSpec::symmetric_mbps(10, SimDuration::from_millis(5));
         let data = Bytes::from(vec![3u8; 500_000]);
         let client = sim.add_node(
-            Client::new(NodeId(0), vec![IpfsWire::Put { data, req_id: 1, replicate }]),
+            Client::new(
+                NodeId(0),
+                vec![IpfsWire::Put {
+                    data,
+                    req_id: 1,
+                    replicate,
+                }],
+            ),
             link,
         );
         sim.run();
         ack_times.push(sim.trace().find(client, "put_ack")[0].value);
         node_tx.push(sim.trace().bytes_sent(NodeId(0)));
     }
-    assert!((ack_times[0] - ack_times[1]).abs() < 0.2, "ack times {ack_times:?}");
+    assert!(
+        (ack_times[0] - ack_times[1]).abs() < 0.2,
+        "ack times {ack_times:?}"
+    );
     assert!(
         node_tx[1] > node_tx[0] + 900_000,
         "replication must push ≈2 extra copies: {node_tx:?}"

@@ -8,12 +8,12 @@ use std::collections::HashSet;
 
 fn arb_config() -> impl Strategy<Value = (TaskConfig, usize)> {
     (
-        1usize..20,  // trainers
-        1usize..6,   // partitions
-        1usize..4,   // aggregators per partition
-        1usize..8,   // ipfs nodes
-        0u8..3,      // comm mode
-        1usize..6,   // providers (clamped below)
+        1usize..20,    // trainers
+        1usize..6,     // partitions
+        1usize..4,     // aggregators per partition
+        1usize..8,     // ipfs nodes
+        0u8..3,        // comm mode
+        1usize..6,     // providers (clamped below)
         10usize..5000, // param count
     )
         .prop_map(|(t, p, a, n, comm, providers, params)| {

@@ -4,11 +4,18 @@
 //! attacks silently succeed when verifiability is off — which is exactly
 //! why the paper adds it.
 
-use decentralized_fl::ml::{data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::ml::{
+    data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig,
+};
 use decentralized_fl::protocol::{run_task, Behavior, TaskConfig};
 
 fn sgd() -> SgdConfig {
-    SgdConfig { lr: 0.3, batch_size: 16, epochs: 1, clip: None }
+    SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    }
 }
 
 fn cfg(verifiable: bool) -> TaskConfig {
@@ -53,8 +60,14 @@ fn dropping_aggregator_is_detected() {
     // complete — but the attack is *detected*, not silently absorbed.
     let c = cfg(true);
     let report = run(c.clone(), &[(0, Behavior::DropGradients { count: 2 })]);
-    assert!(report.verification_failures > 0, "drop attack must be caught");
-    assert!(!report.succeeded(&c), "partition 0 has no honest aggregator");
+    assert!(
+        report.verification_failures > 0,
+        "drop attack must be caught"
+    );
+    assert!(
+        !report.succeeded(&c),
+        "partition 0 has no honest aggregator"
+    );
 }
 
 #[test]
@@ -62,7 +75,10 @@ fn altering_aggregator_is_detected() {
     // Correctness violation: the update is perturbed before upload.
     let c = cfg(true);
     let report = run(c.clone(), &[(1, Behavior::AlterUpdate)]);
-    assert!(report.verification_failures > 0, "alter attack must be caught");
+    assert!(
+        report.verification_failures > 0,
+        "alter attack must be caught"
+    );
     assert!(!report.succeeded(&c));
 }
 
@@ -81,7 +97,9 @@ fn without_verification_attacks_succeed_silently() {
         let mut fed = FedAvg::new(model, clients(), sgd());
         fed.run(1, c.seed)
     };
-    let poisoned = report.consensus_params().expect("trainers agree on the poisoned model");
+    let poisoned = report
+        .consensus_params()
+        .expect("trainers agree on the poisoned model");
     let dist = param_distance(&poisoned, &reference);
     assert!(dist > 0.01, "poison should move the model, distance {dist}");
 }
@@ -108,7 +126,10 @@ fn honest_peer_aggregator_saves_the_round() {
     };
     let consensus = report.consensus_params().expect("consensus");
     let dist = param_distance(&consensus, &reference);
-    assert!(dist < 1e-3, "model must match honest FedAvg, distance {dist}");
+    assert!(
+        dist < 1e-3,
+        "model must match honest FedAvg, distance {dist}"
+    );
 }
 
 #[test]
@@ -154,7 +175,11 @@ fn verifiable_multi_round_with_malicious_minority() {
     c.t_train = dfl_netsim::SimDuration::from_secs(15);
     c.t_sync = dfl_netsim::SimDuration::from_secs(20);
     let report = run(c.clone(), &[(1, Behavior::AlterUpdate)]);
-    assert!(report.succeeded(&c), "completed {}", report.completed_rounds);
+    assert!(
+        report.succeeded(&c),
+        "completed {}",
+        report.completed_rounds
+    );
 
     let reference = {
         let model = LogisticRegression::new(3, 2);
@@ -175,8 +200,14 @@ fn forged_registration_defeats_unauthenticated_verification() {
     let mut c = cfg(true);
     c.authenticate = false;
     let report = run(c.clone(), &[(0, Behavior::ForgeRegistration)]);
-    assert!(report.succeeded(&c), "the forgery slips through unauthenticated verification");
-    assert_eq!(report.verification_failures, 0, "verification was defeated, not triggered");
+    assert!(
+        report.succeeded(&c),
+        "the forgery slips through unauthenticated verification"
+    );
+    assert_eq!(
+        report.verification_failures, 0,
+        "verification was defeated, not triggered"
+    );
 
     // And the accepted model is NOT the honest one.
     let reference = {
@@ -185,7 +216,10 @@ fn forged_registration_defeats_unauthenticated_verification() {
         fed.run(1, c.seed)
     };
     let poisoned = report.consensus_params().expect("consensus");
-    assert!(param_distance(&poisoned, &reference) > 1e-3, "model was poisoned");
+    assert!(
+        param_distance(&poisoned, &reference) > 1e-3,
+        "model was poisoned"
+    );
 }
 
 #[test]
@@ -200,8 +234,14 @@ fn authentication_stops_registration_forgery() {
         report.trace.find_all("forged_registration").len() == 1,
         "the forgery must be flagged"
     );
-    assert!(report.verification_failures > 0, "the poisoned update must be rejected");
-    assert!(!report.succeeded(&c), "no honest aggregator covers partition 0");
+    assert!(
+        report.verification_failures > 0,
+        "the poisoned update must be rejected"
+    );
+    assert!(
+        !report.succeeded(&c),
+        "no honest aggregator covers partition 0"
+    );
 }
 
 #[test]
