@@ -1,13 +1,14 @@
 //! Ablation: multi-scalar-multiplication strategy for Pedersen commitment
 //! computation — naive double-and-add (the paper's implementation), per-
-//! term wNAF, and Pippenger buckets (the multi-exponentiation optimization
-//! the paper cites as future work [27, 28]).
+//! term wNAF, Jacobian Pippenger buckets (the multi-exponentiation
+//! optimization the paper cites as future work [27, 28]), batch-affine
+//! Pippenger, and the precomputed fixed-base table.
 //!
 //! Run with `cargo bench -p dfl-bench --bench ablate_msm`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfl_crypto::curve::{Scalar, Secp256k1};
-use dfl_crypto::msm::{msm_naive, msm_pippenger, msm_wnaf};
+use dfl_crypto::msm::{Msm, MsmTable, Strategy};
 use dfl_crypto::pedersen::CommitKey;
 
 const SIZES: &[usize] = &[256, 1024, 4096];
@@ -33,14 +34,19 @@ fn bench_msm(c: &mut Criterion) {
     for &n in SIZES {
         let points = &key.generators()[..n];
         let ks = &scalars[..n];
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| msm_naive(points, ks))
-        });
-        group.bench_with_input(BenchmarkId::new("wnaf", n), &n, |b, _| {
-            b.iter(|| msm_wnaf(points, ks))
-        });
-        group.bench_with_input(BenchmarkId::new("pippenger", n), &n, |b, _| {
-            b.iter(|| msm_pippenger(points, ks))
+        for (label, strategy) in [
+            ("naive", Strategy::Naive),
+            ("wnaf", Strategy::Wnaf),
+            ("pippenger", Strategy::Pippenger),
+            ("batch_affine", Strategy::BatchAffine),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| Msm::new(points).with_strategy(strategy).eval(ks))
+            });
+        }
+        let table = MsmTable::build(points);
+        group.bench_with_input(BenchmarkId::new("table", n), &n, |b, _| {
+            b.iter(|| Msm::new(points).with_table(&table).eval(ks))
         });
     }
     group.finish();

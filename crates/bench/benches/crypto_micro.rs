@@ -5,8 +5,9 @@
 //! Run with `cargo bench -p dfl-bench --bench crypto_micro`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dfl_crypto::curve::{Affine, Curve, Scalar, Secp256k1, Secp256r1};
+use dfl_crypto::curve::{Affine, Curve, Jacobian, Scalar, Secp256k1, Secp256r1};
 use dfl_crypto::field::Fp;
+use dfl_crypto::msm::MsmTable;
 use dfl_crypto::pedersen::{CommitKey, Commitment};
 use dfl_crypto::quantize::{encode, quantize_vector};
 use dfl_crypto::schnorr::SigningKey;
@@ -58,6 +59,52 @@ fn bench_hash_and_quantize(c: &mut Criterion) {
     group.bench_function("quantize_64k", |b| b.iter(|| quantize_vector(&values)));
     let q = quantize_vector(&values);
     group.bench_function("encode_64k", |b| b.iter(|| encode(&q)));
+    group.finish();
+}
+
+fn bench_msm_pipeline(c: &mut Criterion) {
+    // The building blocks of the batch-affine/table pipeline, plus the
+    // commit before/after at one representative size.
+    const N: usize = 1024;
+    let key = CommitKey::<Secp256k1>::setup(N, b"micro-msm");
+    let scalars: Vec<Scalar<Secp256k1>> = (0..N)
+        .map(|i| {
+            Scalar::<Secp256k1>::from_i64(if i % 2 == 0 {
+                i as i64 + 1
+            } else {
+                -(i as i64)
+            })
+        })
+        .collect();
+    let jacobians: Vec<Jacobian<Secp256k1>> = key
+        .generators()
+        .iter()
+        .map(|p| p.to_jacobian().double())
+        .collect();
+    let field_elems: Vec<Fp<<Secp256k1 as Curve>::Base>> = (1..=N as u64)
+        .map(Fp::<<Secp256k1 as Curve>::Base>::from_u64)
+        .collect();
+
+    let mut group = c.benchmark_group("msm_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("batch_invert_1k", |b| {
+        b.iter(|| {
+            let mut elems = field_elems.clone();
+            Fp::batch_invert(&mut elems);
+            elems
+        })
+    });
+    group.bench_function("batch_normalize_1k", |b| {
+        b.iter(|| Jacobian::batch_normalize(&jacobians))
+    });
+    group.bench_function("table_build_1k", |b| {
+        b.iter(|| MsmTable::build(key.generators()))
+    });
+    let mut fast_key = key.clone();
+    fast_key.precompute();
+    group.bench_function("commit_naive_1k", |b| b.iter(|| key.commit_naive(&scalars)));
+    group.bench_function("commit_fast_1k", |b| b.iter(|| fast_key.commit(&scalars)));
     group.finish();
 }
 
@@ -117,6 +164,7 @@ criterion_group!(
     bench_field,
     bench_curve,
     bench_hash_and_quantize,
+    bench_msm_pipeline,
     bench_verification
 );
 criterion_main!(benches);

@@ -41,6 +41,8 @@ fn bench_fig3(c: &mut Criterion) {
     let max = *SIZES.last().expect("sizes");
     let key_k1 = CommitKey::<Secp256k1>::setup(max, b"fig3-bench");
     let key_r1 = CommitKey::<Secp256r1>::setup(max, b"fig3-bench");
+    let fast_k1 = CommitKey::<Secp256k1>::setup_precomputed(max, b"fig3-bench");
+    let fast_r1 = CommitKey::<Secp256r1>::setup_precomputed(max, b"fig3-bench");
 
     let mut group = c.benchmark_group("fig3_sha256");
     for &n in SIZES {
@@ -68,6 +70,27 @@ fn bench_fig3(c: &mut Criterion) {
         let scalars = scalars_r1(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &scalars, |b, s| {
             b.iter(|| key_r1.commit_naive(s))
+        });
+    }
+    group.finish();
+
+    // The redesigned pipeline: same commitments, precomputed-table MSM.
+    let mut group = c.benchmark_group("fig3_pedersen_fast_secp256k1");
+    group.sample_size(10);
+    for &n in SIZES {
+        let scalars = scalars_k1(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scalars, |b, s| {
+            b.iter(|| fast_k1.commit(s))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_pedersen_fast_secp256r1");
+    group.sample_size(10);
+    for &n in SIZES {
+        let scalars = scalars_r1(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scalars, |b, s| {
+            b.iter(|| fast_r1.commit(s))
         });
     }
     group.finish();

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use dfl_crypto::curve::{Curve, Scalar, Secp256k1, Secp256r1};
-use dfl_crypto::msm;
+use dfl_crypto::msm::{self, Msm, MsmTable, Strategy};
 use dfl_crypto::pedersen::CommitKey;
 use dfl_crypto::sha256::Sha256;
 use dfl_ml::{Dataset, Matrix, SgdConfig, SyntheticModel};
@@ -222,6 +222,12 @@ pub struct Fig3Point {
     /// Pedersen commitment with Pippenger MSM on secp256k1 (ms) — the
     /// paper's cited future-work optimization, as an ablation.
     pub pippenger_k1_ms: f64,
+    /// Pedersen commitment through the precomputed-table fast path,
+    /// secp256k1 (ms).
+    pub fast_k1_ms: f64,
+    /// Pedersen commitment through the precomputed-table fast path,
+    /// secp256r1 (ms).
+    pub fast_r1_ms: f64,
 }
 
 fn time_ms(f: impl FnOnce()) -> f64 {
@@ -277,10 +283,20 @@ pub fn fig3_run(
         std::hint::black_box(key_r1.commit_naive(&scalars_r1));
     });
     let pippenger_k1_ms = time_ms(|| {
-        std::hint::black_box(msm::msm_pippenger(
-            &key_k1.generators()[..elements],
-            &scalars_k1,
-        ));
+        std::hint::black_box(
+            Msm::new(&key_k1.generators()[..elements])
+                .with_strategy(Strategy::Pippenger)
+                .eval(&scalars_k1),
+        );
+    });
+    // The redesigned pipeline: `commit` routes through the precomputed
+    // table when the key carries one (see `fig3_commitment`), and through
+    // batch-affine Pippenger otherwise.
+    let fast_k1_ms = time_ms(|| {
+        std::hint::black_box(key_k1.commit(&scalars_k1));
+    });
+    let fast_r1_ms = time_ms(|| {
+        std::hint::black_box(key_r1.commit(&scalars_r1));
     });
 
     Fig3Point {
@@ -289,6 +305,8 @@ pub fn fig3_run(
         pedersen_k1_ms,
         pedersen_r1_ms,
         pippenger_k1_ms,
+        fast_k1_ms,
+        fast_r1_ms,
     }
 }
 
@@ -299,8 +317,8 @@ pub fn fig3_run(
 /// the parameter count, which is the property the figure demonstrates.
 pub fn fig3_commitment(sizes: &[usize]) -> Vec<Fig3Point> {
     let max = sizes.iter().copied().max().unwrap_or(0);
-    let key_k1 = CommitKey::<Secp256k1>::setup(max, b"fig3");
-    let key_r1 = CommitKey::<Secp256r1>::setup(max, b"fig3");
+    let key_k1 = CommitKey::<Secp256k1>::setup_precomputed(max, b"fig3");
+    let key_r1 = CommitKey::<Secp256r1>::setup_precomputed(max, b"fig3");
     sizes
         .iter()
         .map(|&n| fig3_run(n, &key_k1, &key_r1))
@@ -310,6 +328,184 @@ pub fn fig3_commitment(sizes: &[usize]) -> Vec<Fig3Point> {
 /// Default Fig. 3 sizes (kept laptop-friendly; see EXPERIMENTS.md).
 pub fn fig3_default_sizes() -> Vec<usize> {
     vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+}
+
+// ---------------------------------------------------------------------------
+// Commitment-pipeline before/after report (BENCH_crypto.json)
+// ---------------------------------------------------------------------------
+
+/// Before/after timings of every MSM kernel and of the end-to-end Pedersen
+/// commit on one curve, at a fixed vector length. Produced by
+/// [`crypto_report`], serialized by [`crypto_report_json`].
+#[derive(Clone, Debug)]
+pub struct MsmProfile {
+    /// Curve name (`secp256k1` / `secp256r1`).
+    pub curve: &'static str,
+    /// MSM length (number of generators = model-partition parameters).
+    pub elements: usize,
+    /// Naive double-and-add (ms) — the seed's serial baseline.
+    pub naive_ms: f64,
+    /// Width-5 wNAF (ms).
+    pub wnaf_ms: f64,
+    /// Jacobian Pippenger (ms).
+    pub pippenger_ms: f64,
+    /// Batch-affine Pippenger (ms) — the new tableless default.
+    pub batch_affine_ms: f64,
+    /// One-time fixed-base table construction (ms) — setup, not per-commit.
+    pub table_build_ms: f64,
+    /// Precomputed-table evaluation, single-threaded (ms).
+    pub table_ms: f64,
+    /// Precomputed-table evaluation across threads (ms); `None` when the
+    /// `rayon` feature is off and no parallel path exists.
+    pub table_parallel_ms: Option<f64>,
+    /// End-to-end `CommitKey::commit_naive` (ms) — the seed commit path.
+    pub commit_naive_ms: f64,
+    /// End-to-end `CommitKey::commit` on a precomputed key (ms).
+    pub commit_fast_ms: f64,
+}
+
+impl MsmProfile {
+    /// Commit speedup of the precomputed fast path over the seed's naive
+    /// serial path (the acceptance metric).
+    pub fn commit_speedup(&self) -> f64 {
+        self.commit_naive_ms / self.commit_fast_ms.max(1e-9)
+    }
+}
+
+fn profile_curve<C: Curve>(elements: usize) -> MsmProfile {
+    let key = CommitKey::<C>::setup(elements, b"bench-crypto");
+    let scalars = deterministic_scalars::<C>(elements);
+    let points = &key.generators()[..elements];
+
+    let naive_ms = time_ms(|| {
+        std::hint::black_box(
+            Msm::new(points)
+                .with_strategy(Strategy::Naive)
+                .eval(&scalars),
+        );
+    });
+    let wnaf_ms = time_ms(|| {
+        std::hint::black_box(
+            Msm::new(points)
+                .with_strategy(Strategy::Wnaf)
+                .eval(&scalars),
+        );
+    });
+    let pippenger_ms = time_ms(|| {
+        std::hint::black_box(
+            Msm::new(points)
+                .with_strategy(Strategy::Pippenger)
+                .eval(&scalars),
+        );
+    });
+    let batch_affine_ms = time_ms(|| {
+        std::hint::black_box(
+            Msm::new(points)
+                .with_strategy(Strategy::BatchAffine)
+                .with_parallel(false)
+                .eval(&scalars),
+        );
+    });
+
+    let start = Instant::now();
+    let table = MsmTable::build(points);
+    let table_build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let table_ms = time_ms(|| {
+        std::hint::black_box(table.eval_parallel(&scalars, false));
+    });
+    let table_parallel_ms = msm::parallel_enabled().then(|| {
+        time_ms(|| {
+            std::hint::black_box(table.eval_parallel(&scalars, true));
+        })
+    });
+
+    let commit_naive_ms = time_ms(|| {
+        std::hint::black_box(key.commit_naive(&scalars));
+    });
+    let mut fast_key = key;
+    fast_key.precompute();
+    let commit_fast_ms = time_ms(|| {
+        std::hint::black_box(fast_key.commit(&scalars));
+    });
+
+    MsmProfile {
+        curve: C::NAME,
+        elements,
+        naive_ms,
+        wnaf_ms,
+        pippenger_ms,
+        batch_affine_ms,
+        table_build_ms,
+        table_ms,
+        table_parallel_ms,
+        commit_naive_ms,
+        commit_fast_ms,
+    }
+}
+
+/// Profiles the full commitment pipeline — every MSM kernel plus the
+/// end-to-end commit — at `elements` scalars on both protocol curves.
+pub fn crypto_report(elements: usize) -> Vec<MsmProfile> {
+    vec![
+        profile_curve::<Secp256k1>(elements),
+        profile_curve::<Secp256r1>(elements),
+    ]
+}
+
+fn json_f64(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Hand-formats the report as the `BENCH_crypto.json` document (the repo
+/// carries no JSON dependency; the schema is flat enough to emit directly).
+pub fn crypto_report_json(profiles: &[MsmProfile]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"parallel_enabled\": {},\n  \"curves\": [\n",
+        msm::parallel_enabled()
+    ));
+    for (i, p) in profiles.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"curve\": \"{}\",\n", p.curve));
+        out.push_str(&format!("      \"elements\": {},\n", p.elements));
+        out.push_str("      \"before_ms\": {\n");
+        out.push_str(&format!("        \"naive\": {},\n", json_f64(p.naive_ms)));
+        out.push_str(&format!("        \"wnaf\": {},\n", json_f64(p.wnaf_ms)));
+        out.push_str(&format!(
+            "        \"pippenger\": {}\n      }},\n",
+            json_f64(p.pippenger_ms)
+        ));
+        out.push_str("      \"after_ms\": {\n");
+        out.push_str(&format!(
+            "        \"batch_affine\": {},\n",
+            json_f64(p.batch_affine_ms)
+        ));
+        out.push_str(&format!(
+            "        \"table_build\": {},\n",
+            json_f64(p.table_build_ms)
+        ));
+        out.push_str(&format!("        \"table\": {}", json_f64(p.table_ms)));
+        if let Some(par) = p.table_parallel_ms {
+            out.push_str(&format!(",\n        \"table_parallel\": {}", json_f64(par)));
+        }
+        out.push_str("\n      },\n");
+        out.push_str("      \"commit_ms\": {\n");
+        out.push_str(&format!(
+            "        \"seed_naive\": {},\n",
+            json_f64(p.commit_naive_ms)
+        ));
+        out.push_str(&format!(
+            "        \"precomputed\": {}\n      }},\n",
+            json_f64(p.commit_fast_ms)
+        ));
+        out.push_str(&format!(
+            "      \"commit_speedup\": {}\n    }}{}\n",
+            json_f64(p.commit_speedup()),
+            if i + 1 < profiles.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -431,6 +627,31 @@ mod tests {
         let points = fig3_commitment(&[256]);
         assert_eq!(points.len(), 1);
         assert!(points[0].pedersen_k1_ms > points[0].sha256_ms);
+        assert!(points[0].fast_k1_ms > 0.0);
+        assert!(points[0].fast_r1_ms > 0.0);
+    }
+
+    #[test]
+    fn crypto_report_shows_fast_path_winning() {
+        let profiles = crypto_report(512);
+        assert_eq!(profiles.len(), 2);
+        for p in &profiles {
+            // Even at a small size the table path must beat the naive
+            // serial baseline comfortably (the full d=8192 numbers go to
+            // BENCH_crypto.json via examples/bench_crypto.rs).
+            assert!(
+                p.commit_speedup() > 2.0,
+                "{}: naive {:.2} ms vs fast {:.2} ms",
+                p.curve,
+                p.commit_naive_ms,
+                p.commit_fast_ms
+            );
+        }
+        let json = crypto_report_json(&profiles);
+        assert!(json.contains("\"secp256k1\""));
+        assert!(json.contains("\"secp256r1\""));
+        assert!(json.contains("\"commit_speedup\""));
+        assert_eq!(json.matches("\"elements\": 512").count(), 2);
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub struct TaskConfig {
     /// (0 = commitments are free in simulated time; the real group
     /// operations still run when `verifiable` is set).
     pub commit_us_per_element: u64,
+    /// Build the commitment key's fixed-base MSM precomputation table at
+    /// task start (one-time cost ≈ one scalar multiplication per
+    /// generator), so every commit and verification in the run takes the
+    /// table fast path. Results are bit-identical either way; only
+    /// real-world wall-clock changes. Only meaningful with `verifiable`.
+    pub commit_precompute: bool,
     /// Master seed for all task randomness.
     pub seed: u64,
 }
@@ -133,12 +139,43 @@ impl Default for TaskConfig {
             min_quorum: None,
             fetch_timeout: SimDuration::from_secs(30),
             commit_us_per_element: 0,
+            commit_precompute: true,
             seed: 0,
         }
     }
 }
 
 impl TaskConfig {
+    /// Starts a [`TaskConfigBuilder`] from the default configuration.
+    /// [`TaskConfigBuilder::build`] validates, so an inconsistent
+    /// configuration is caught at construction instead of deep inside
+    /// [`Topology::new`] or the runner:
+    ///
+    /// ```
+    /// use ipls::config::{CommMode, TaskConfig};
+    ///
+    /// let cfg = TaskConfig::builder()
+    ///     .trainers(16)
+    ///     .partitions(4)
+    ///     .comm(CommMode::MergeAndDownload)
+    ///     .verifiable(true)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.trainers, 16);
+    ///
+    /// // Contradictory settings fail at build time.
+    /// assert!(TaskConfig::builder()
+    ///     .verifiable(true)
+    ///     .min_quorum(Some(2))
+    ///     .build()
+    ///     .is_err());
+    /// ```
+    pub fn builder() -> TaskConfigBuilder {
+        TaskConfigBuilder {
+            cfg: TaskConfig::default(),
+        }
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -213,6 +250,69 @@ impl TaskConfig {
             self.ipfs_bandwidth_mbps.unwrap_or(self.bandwidth_mbps),
             self.latency,
         )
+    }
+}
+
+macro_rules! builder_setters {
+    ($($name:ident: $ty:ty),* $(,)?) => {
+        $(
+            #[doc = concat!("Sets [`TaskConfig::", stringify!($name), "`].")]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.cfg.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+/// Builder for [`TaskConfig`] that validates on [`TaskConfigBuilder::build`].
+///
+/// Starts from [`TaskConfig::default`]; every field has a same-named
+/// setter. Construct via [`TaskConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct TaskConfigBuilder {
+    cfg: TaskConfig,
+}
+
+impl TaskConfigBuilder {
+    builder_setters! {
+        trainers: usize,
+        partitions: usize,
+        aggregators_per_partition: usize,
+        ipfs_nodes: usize,
+        providers_per_aggregator: usize,
+        comm: CommMode,
+        verifiable: bool,
+        compact_registration: bool,
+        trainer_verifies: bool,
+        authenticate: bool,
+        replication: usize,
+        rounds: u64,
+        bandwidth_mbps: u64,
+        ipfs_bandwidth_mbps: Option<u64>,
+        latency: SimDuration,
+        poll_interval: SimDuration,
+        t_train: SimDuration,
+        t_sync: SimDuration,
+        train_compute: SimDuration,
+        lossy_ipfs_nodes: Vec<usize>,
+        fault_plan: FaultPlan,
+        min_quorum: Option<usize>,
+        fetch_timeout: SimDuration,
+        commit_us_per_element: u64,
+        commit_precompute: bool,
+        seed: u64,
+    }
+
+    /// Validates the assembled configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IplsError::InvalidConfig`] (from
+    /// [`TaskConfig::validate`]) describing the first violated constraint.
+    pub fn build(self) -> Result<TaskConfig, IplsError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -449,6 +549,59 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         TaskConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(
+            TaskConfig::builder().build().unwrap(),
+            TaskConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_sets_every_touched_field() {
+        let cfg = TaskConfig::builder()
+            .trainers(16)
+            .partitions(4)
+            .aggregators_per_partition(2)
+            .ipfs_nodes(8)
+            .providers_per_aggregator(4)
+            .comm(CommMode::MergeAndDownload)
+            .verifiable(true)
+            .trainer_verifies(true)
+            .authenticate(true)
+            .replication(2)
+            .rounds(3)
+            .commit_precompute(false)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.trainers, 16);
+        assert_eq!(cfg.comm, CommMode::MergeAndDownload);
+        assert!(cfg.verifiable && cfg.trainer_verifies && cfg.authenticate);
+        assert!(!cfg.commit_precompute);
+        assert_eq!(cfg.seed, 42);
+        // Untouched fields keep their defaults.
+        assert_eq!(cfg.poll_interval, TaskConfig::default().poll_interval);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_at_build() {
+        let err = TaskConfig::builder().trainers(0).build().unwrap_err();
+        assert!(err.to_string().contains("trainer"));
+        let err = TaskConfig::builder()
+            .verifiable(true)
+            .min_quorum(Some(1))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("min_quorum"));
+        let err = TaskConfig::builder()
+            .t_train(SimDuration::from_secs(10))
+            .t_sync(SimDuration::from_secs(5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("t_train"));
     }
 
     #[test]

@@ -467,7 +467,7 @@ mod tests {
     fn accumulators_require_full_trainer_set() {
         use crate::gradient::{commit_blob, derive_key};
         let topo = topo(true);
-        let key = Rc::new(derive_key(topo.max_partition_len(), 0));
+        let key = Rc::new(derive_key(topo.max_partition_len(), 0, true));
         let mut dir = Directory::new(topo.clone(), Some(key.clone()));
 
         // Register commitments for trainers 0 and 2 (slot j=0 of |A_i|=2).

@@ -104,10 +104,20 @@ pub fn verify_blob(key: &ProtocolKey, blob: &[u8], commitment: &ProtocolCommitme
 
 /// Derives the protocol commitment key for a task: enough generators for
 /// the largest partition plus the counter element.
-pub fn derive_key(max_partition_len: usize, task_seed: u64) -> ProtocolKey {
+///
+/// `precompute` additionally builds the key's fixed-base MSM table
+/// ([`CommitKey::precompute`]) — a one-time per-task cost that makes every
+/// subsequent commit and verification take the table fast path. All peers
+/// derive identical keys either way; the table is derived data and does
+/// not affect key equality.
+pub fn derive_key(max_partition_len: usize, task_seed: u64, precompute: bool) -> ProtocolKey {
     let mut seed = b"ipls-task-".to_vec();
     seed.extend_from_slice(&task_seed.to_be_bytes());
-    CommitKey::setup(max_partition_len + 1, &seed)
+    if precompute {
+        CommitKey::setup_precomputed(max_partition_len + 1, &seed)
+    } else {
+        CommitKey::setup(max_partition_len + 1, &seed)
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +175,7 @@ mod tests {
 
     #[test]
     fn commitments_verify_and_accumulate() {
-        let key = derive_key(4, 7);
+        let key = derive_key(4, 7, false);
         let b1 = build_blob(&[1.0, -2.0, 0.5, 0.0]);
         let b2 = build_blob(&[0.5, 2.0, 1.5, -1.0]);
         let c1 = commit_blob(&key, &b1);
@@ -185,7 +195,7 @@ mod tests {
     fn dropped_gradient_breaks_verification() {
         // Completeness (§III-A): omitting one trainer's gradient makes the
         // update fail against the accumulated commitment.
-        let key = derive_key(2, 7);
+        let key = derive_key(2, 7, false);
         let blobs = [
             build_blob(&[1.0, 1.0]),
             build_blob(&[2.0, 2.0]),
@@ -205,7 +215,7 @@ mod tests {
     #[test]
     fn altered_gradient_breaks_verification() {
         // Correctness (§III-A): perturbing one element fails verification.
-        let key = derive_key(2, 7);
+        let key = derive_key(2, 7, false);
         let blobs = [build_blob(&[1.0, 1.0]), build_blob(&[2.0, 2.0])];
         let commits: Vec<_> = blobs.iter().map(|b| commit_blob(&key, b)).collect();
         let acc = Commitment::accumulate(&commits);
@@ -238,11 +248,26 @@ mod tests {
 
     #[test]
     fn key_derivation_deterministic_per_task() {
-        let a = derive_key(3, 1);
-        let b = derive_key(3, 1);
-        let c = derive_key(3, 2);
+        let a = derive_key(3, 1, false);
+        let b = derive_key(3, 1, false);
+        let c = derive_key(3, 2, false);
         assert_eq!(a.generators(), b.generators());
         assert_ne!(a.generators(), c.generators());
         assert_eq!(a.len(), 4, "max_len + counter element");
+    }
+
+    #[test]
+    fn precomputed_key_commits_identically() {
+        // Protocol-critical: a peer that precomputes and one that does not
+        // must produce the same commitments, or verification would fail
+        // between them.
+        let plain = derive_key(4, 9, false);
+        let fast = derive_key(4, 9, true);
+        assert!(fast.is_precomputed() && !plain.is_precomputed());
+        assert_eq!(plain, fast, "table must not affect key identity");
+        let blob = build_blob(&[1.5, -0.25, 3.0, 0.125]);
+        let c = commit_blob(&plain, &blob);
+        assert_eq!(c, commit_blob(&fast, &blob));
+        assert!(verify_blob(&fast, &blob, &c));
     }
 }

@@ -49,10 +49,27 @@ pub mod messages;
 pub mod runner;
 pub mod trainer;
 
+/// One-stop imports for task setup: `use ipls::prelude::*;`.
+///
+/// Covers what nearly every experiment touches — configuration
+/// ([`TaskConfig`] and its builder, [`CommMode`], [`Topology`]), the
+/// runner entry points ([`run_task`], [`TaskReport`], [`RoundMetrics`]),
+/// adversary [`Behavior`], the error type, and the network-simulation
+/// vocabulary types ([`prelude::SimDuration`], [`prelude::SimTime`],
+/// [`prelude::FaultPlan`], [`prelude::Fault`], [`prelude::LinkSpec`],
+/// [`prelude::NodeId`]) that configs and fault plans are built from.
+pub mod prelude {
+    pub use crate::adversary::Behavior;
+    pub use crate::config::{CommMode, TaskConfig, TaskConfigBuilder, Topology};
+    pub use crate::error::IplsError;
+    pub use crate::runner::{run_task, RoundMetrics, TaskReport};
+    pub use dfl_netsim::{Fault, FaultPlan, LinkSpec, NodeId, SimDuration, SimTime};
+}
+
 pub use addressing::{Addr, ObjectKind, Uploader};
 pub use adversary::Behavior;
 pub use aggregator::Aggregator;
-pub use config::{CommMode, TaskConfig, Topology};
+pub use config::{CommMode, TaskConfig, TaskConfigBuilder, Topology};
 pub use directory::Directory;
 pub use error::IplsError;
 pub use messages::{Msg, SyncAnnounce};

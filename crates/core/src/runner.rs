@@ -135,9 +135,13 @@ pub fn run_task<M: Model + Clone + 'static>(
         }
     }
 
-    let key: Option<Rc<ProtocolKey>> = cfg
-        .verifiable
-        .then(|| Rc::new(derive_key(topo.max_partition_len(), cfg.seed)));
+    let key: Option<Rc<ProtocolKey>> = cfg.verifiable.then(|| {
+        Rc::new(derive_key(
+            topo.max_partition_len(),
+            cfg.seed,
+            cfg.commit_precompute,
+        ))
+    });
 
     let mut sim: Simulation<Msg> = Simulation::new();
     // Generous stop-gap: a stalled round ends the simulation at the limit.

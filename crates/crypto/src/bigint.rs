@@ -132,6 +132,33 @@ impl U256 {
         (self.limbs[i / 64] >> (i % 64)) & 1 == 1
     }
 
+    /// Extracts `width` bits starting at bit `start` (0 = least
+    /// significant) as a `u64`, reading limb-at-a-time rather than
+    /// bit-by-bit. Bits past position 255 read as zero, so windows may
+    /// overhang the top. This is the digit-decomposition primitive of the
+    /// windowed MSM paths, where it replaces a per-bit loop on the hot
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64, or if `start >= 256`.
+    pub const fn bits(&self, start: usize, width: usize) -> u64 {
+        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!(start < 256, "start must be below 256");
+        let limb = start / 64;
+        let shift = start % 64;
+        let mut v = self.limbs[limb] >> shift;
+        // Bits spilling into the next limb (guard shift == 0: `<< 64` is UB).
+        if shift != 0 && limb + 1 < 4 {
+            v |= self.limbs[limb + 1] << (64 - shift);
+        }
+        if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        }
+    }
+
     /// Number of bits required to represent the value (0 for zero).
     pub const fn bit_len(&self) -> usize {
         let mut i = 3;
@@ -496,6 +523,32 @@ mod tests {
         assert_eq!(v.shr(200), U256::ONE);
         assert_eq!(U256::from_u64(0b1010).shr(1), U256::from_u64(0b101));
         assert_eq!(U256::from_u64(1).shl(64).limbs()[1], 1);
+    }
+
+    #[test]
+    fn bits_window_extraction() {
+        let v =
+            U256::from_be_hex("00000000000000000000000000000000deadbeefcafebabe0123456789abcdef");
+        // Windows agree with the per-bit reference at every offset/width.
+        for start in (0..256).step_by(7) {
+            for width in [1usize, 4, 11, 13, 52, 64] {
+                let mut expect = 0u64;
+                let mut i = width;
+                while i > 0 {
+                    i -= 1;
+                    if start + i < 256 {
+                        expect = (expect << 1) | v.bit(start + i) as u64;
+                    } else {
+                        expect <<= 1;
+                    }
+                }
+                assert_eq!(v.bits(start, width), expect, "start={start} width={width}");
+            }
+        }
+        // Limb boundary spill and top-of-range overhang.
+        assert_eq!(U256::MAX.bits(60, 8), 0xFF);
+        assert_eq!(U256::MAX.bits(250, 10), 0x3F);
+        assert_eq!(U256::ONE.bits(0, 64), 1);
     }
 
     #[test]

@@ -497,6 +497,36 @@ impl<C: Curve> Jacobian<C> {
         iter.into_iter()
             .fold(Jacobian::identity(), |acc, p| acc.add(&p))
     }
+
+    /// Converts a slice of points to affine form with a *single* field
+    /// inversion via [`Fp::batch_invert`], instead of one inversion per
+    /// point as repeated [`Jacobian::to_affine`] calls would cost.
+    /// Identity points map to the affine identity.
+    ///
+    /// Affine coordinates are canonical, so the output is bit-identical to
+    /// normalizing each point individually — this is what makes results of
+    /// differently-parenthesized (e.g. parallel) MSM reductions comparable
+    /// byte-for-byte.
+    pub fn batch_normalize(points: &[Jacobian<C>]) -> Vec<Affine<C>> {
+        let mut zs: Vec<BaseField<C>> = points.iter().map(|p| p.z).collect();
+        Fp::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(&zs)
+            .map(|(p, zinv)| {
+                if p.is_identity() {
+                    Affine::identity()
+                } else {
+                    let zinv2 = zinv.square();
+                    Affine {
+                        x: p.x * zinv2,
+                        y: p.y * zinv2 * *zinv,
+                        infinity: false,
+                    }
+                }
+            })
+            .collect()
+    }
 }
 
 impl<C: Curve> PartialEq for Jacobian<C> {
@@ -674,6 +704,26 @@ mod tests {
             let rhs = g_k1().mul(&a).add(&g_k1().mul(&b));
             assert_eq!(lhs, rhs);
         }
+    }
+
+    #[test]
+    fn batch_normalize_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut points: Vec<Jacobian<Secp256k1>> = (0..9)
+            .map(|_| {
+                let k = Scalar::<Secp256k1>::random(&mut rng);
+                g_k1().mul(&k)
+            })
+            .collect();
+        points.insert(3, Jacobian::identity());
+        points.push(Jacobian::identity());
+        let normalized = Jacobian::batch_normalize(&points);
+        assert_eq!(normalized.len(), points.len());
+        for (j, a) in points.iter().zip(&normalized) {
+            assert_eq!(j.to_affine(), *a);
+        }
+        assert!(normalized[3].is_identity());
+        assert!(Jacobian::<Secp256k1>::batch_normalize(&[]).is_empty());
     }
 
     #[test]

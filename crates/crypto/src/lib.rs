@@ -10,8 +10,10 @@
 //! * [`field`] — Montgomery-form prime fields, generic over the modulus.
 //! * [`curve`] — secp256k1 and secp256r1 with Jacobian arithmetic and wNAF
 //!   scalar multiplication.
-//! * [`msm`] — naive, wNAF, and Pippenger multi-scalar multiplication (the
-//!   paper's cited future-work optimization implemented as an ablation).
+//! * [`msm`] — one [`msm::Msm`] entry point over naive, wNAF, Pippenger,
+//!   and batch-affine kernels, plus fixed-base precomputation tables
+//!   ([`msm::MsmTable`]) and opt-in parallelism (`rayon` feature; the
+//!   paper's cited future-work optimization, implemented with ablations).
 //! * [`pedersen`] — homomorphic Pedersen vector commitments (§IV-A) with
 //!   single and batched verification.
 //! * [`schnorr`] — Schnorr signatures authenticating directory
@@ -52,6 +54,7 @@ pub mod schnorr;
 pub mod sha256;
 
 pub use curve::{Affine, Curve, Jacobian, Scalar, Secp256k1, Secp256r1};
+pub use msm::{Msm, MsmTable, Strategy};
 pub use pedersen::{CommitKey, Commitment};
 pub use quantize::Quantized;
 pub use schnorr::{Signature, SigningKey, VerifyingKey};

@@ -1,37 +1,333 @@
 //! Multi-scalar multiplication (MSM): computing `Σ kᵢ·Pᵢ`.
 //!
 //! Pedersen vector commitments are exactly one MSM, so this is the hot path
-//! the paper identifies as the verifiability bottleneck (§V, Fig. 3). Three
-//! strategies are provided:
+//! the paper identifies as the verifiability bottleneck (§V, Fig. 3). The
+//! crate exposes one entry point, [`Msm`], which selects among several
+//! kernels:
 //!
-//! * [`msm_naive`] — one scalar multiplication per term, summed. This models
-//!   the paper's "rather straight-forward" Bouncy Castle implementation and
-//!   is the baseline in the `ablate_msm` bench.
-//! * [`msm_wnaf`] — same structure but shares the wNAF ladder; a modest
+//! * [`Strategy::Naive`] — one plain double-and-add per term, summed. This
+//!   models the paper's "rather straight-forward" Bouncy Castle
+//!   implementation and is the baseline in the `ablate_msm` bench.
+//! * [`Strategy::Wnaf`] — per-term width-5 wNAF ladder; a modest
 //!   constant-factor improvement.
-//! * [`msm_pippenger`] — bucket method with an adaptive window, the
-//!   multi-exponentiation optimization the paper cites as future work
-//!   ([Möller '01; Borges et al. '17]).
+//! * [`Strategy::Pippenger`] — bucket method with an adaptive window and
+//!   Jacobian bucket accumulation, the multi-exponentiation optimization
+//!   the paper cites as future work ([Möller '01; Borges et al. '17]).
+//! * [`Strategy::BatchAffine`] — Pippenger with the bucket contents summed
+//!   in *affine* coordinates, batching the per-addition division across
+//!   every bucket with Montgomery's simultaneous-inversion trick
+//!   ([`Fp::batch_invert`]). An affine addition costs ~6 field
+//!   multiplications amortized versus ~11 for a mixed Jacobian addition.
+//! * [`MsmTable`] — fixed-base precomputation: windowed shift tables
+//!   (`2^(w·c)·Pᵢ`) built once per point set collapse the entire MSM into a
+//!   **single** batch-affine bucket pass with no doubling chain at all.
+//!   This is the commitment fast path; [`crate::pedersen::CommitKey`]
+//!   builds one per task.
 //!
-//! [`msm_auto`] picks a strategy by input size and is what the commitment
-//! code uses.
+//! With the `rayon` feature enabled, the batch-affine and table kernels
+//! chunk the scalar vector across threads and fold the per-chunk partial
+//! sums in a fixed order. Elliptic-curve addition is exact (no rounding),
+//! so the folded result is the same group element regardless of the split;
+//! after affine normalization — which is canonical — parallel and serial
+//! results are bit-identical, preserving simulator determinism.
+//!
+//! ```
+//! use dfl_crypto::curve::{Affine, Curve, Scalar, Secp256k1};
+//! use dfl_crypto::msm::{Msm, Strategy};
+//!
+//! let points = vec![Secp256k1::generator(); 4];
+//! let scalars: Vec<_> = (1..=4u64).map(Scalar::<Secp256k1>::from_u64).collect();
+//! let sum = Msm::new(&points).with_strategy(Strategy::Auto).eval(&scalars);
+//! assert_eq!(sum, Secp256k1::generator().mul(&Scalar::<Secp256k1>::from_u64(10)));
+//! ```
 
 use crate::curve::{Affine, Curve, Jacobian, Scalar};
+use crate::field::Fp;
 
-/// Naive MSM: independent double-and-add per term.
+/// `true` when the crate was built with the `rayon` feature, i.e. when
+/// [`Msm::with_parallel`]`(true)` actually runs multi-threaded. Lets
+/// benchmark harnesses label their numbers honestly.
+pub const fn parallel_enabled() -> bool {
+    cfg!(feature = "rayon")
+}
+
+/// MSM kernel selection for [`Msm`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Independent binary double-and-add per term (the paper's baseline).
+    Naive,
+    /// Per-term width-5 wNAF ladder.
+    Wnaf,
+    /// Bucket method with Jacobian bucket accumulation.
+    Pippenger,
+    /// Bucket method with batch-affine bucket accumulation.
+    BatchAffine,
+    /// Pick by input size: wNAF for small inputs (where bucket setup
+    /// dominates), batch-affine Pippenger otherwise — or the precomputed
+    /// table when one is attached via [`Msm::with_table`].
+    #[default]
+    Auto,
+}
+
+/// Builder-style MSM entry point: `Msm::new(points).eval(scalars)`.
 ///
-/// # Panics
+/// Replaces the former `msm_naive` / `msm_wnaf` / `msm_pippenger` /
+/// `msm_auto` free functions (still present as deprecated wrappers for one
+/// release).
+#[derive(Copy, Clone, Debug)]
+pub struct Msm<'a, C: Curve> {
+    points: &'a [Affine<C>],
+    strategy: Strategy,
+    table: Option<&'a MsmTable<C>>,
+    parallel: bool,
+}
+
+impl<'a, C: Curve> Msm<'a, C> {
+    /// Starts an MSM over `points` with [`Strategy::Auto`]. Parallelism
+    /// defaults to on when the crate's `rayon` feature is enabled.
+    pub fn new(points: &'a [Affine<C>]) -> Msm<'a, C> {
+        Msm {
+            points,
+            strategy: Strategy::Auto,
+            table: None,
+            parallel: cfg!(feature = "rayon"),
+        }
+    }
+
+    /// Selects the kernel. [`Strategy::Auto`] (the default) picks by input
+    /// size and prefers an attached table.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Msm<'a, C> {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Attaches a fixed-base precomputation table. Used by
+    /// [`Strategy::Auto`]; an explicit non-auto strategy still runs its own
+    /// kernel, which lets benchmarks and tests compare paths on identical
+    /// inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table covers fewer base points than `points`, or was
+    /// built over a different point set (checked cheaply by spot-comparing
+    /// the first point).
+    pub fn with_table(mut self, table: &'a MsmTable<C>) -> Msm<'a, C> {
+        assert!(
+            table.len() >= self.points.len(),
+            "table covers {} points, MSM needs {}",
+            table.len(),
+            self.points.len()
+        );
+        if let (Some(first), Some(base)) = (self.points.first(), table.base_point(0)) {
+            assert!(*first == base, "table was built over a different point set");
+        }
+        self.table = Some(table);
+        self
+    }
+
+    /// Forces parallel chunking on or off. Without the `rayon` feature
+    /// this is a no-op and every kernel runs serially.
+    pub fn with_parallel(mut self, parallel: bool) -> Msm<'a, C> {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Computes `Σ kᵢ·Pᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars` and the point set have different lengths.
+    pub fn eval(&self, scalars: &[Scalar<C>]) -> Jacobian<C> {
+        assert_eq!(
+            self.points.len(),
+            scalars.len(),
+            "points/scalars length mismatch"
+        );
+        match self.strategy {
+            Strategy::Naive => naive(self.points, scalars),
+            Strategy::Wnaf => wnaf(self.points, scalars),
+            Strategy::Pippenger => pippenger_jacobian(self.points, scalars),
+            Strategy::BatchAffine => self.run_batch_affine(scalars),
+            Strategy::Auto => {
+                if let Some(table) = self.table {
+                    table.eval_parallel(scalars, self.parallel)
+                } else if self.points.len() < 32 {
+                    wnaf(self.points, scalars)
+                } else {
+                    self.run_batch_affine(scalars)
+                }
+            }
+        }
+    }
+
+    fn run_batch_affine(&self, scalars: &[Scalar<C>]) -> Jacobian<C> {
+        #[cfg(feature = "rayon")]
+        if self.parallel && scalars.len() >= 2 * MIN_PARALLEL_CHUNK {
+            let points = self.points;
+            return join_reduce(0..scalars.len(), parallel_leaf_size(scalars.len()), &|r| {
+                pippenger_batch_affine(&points[r.clone()], &scalars[r])
+            });
+        }
+        pippenger_batch_affine(self.points, scalars)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-base precomputation tables
+// ---------------------------------------------------------------------------
+
+/// Fixed-base windowed precomputation for an MSM point set.
 ///
-/// Panics if `points` and `scalars` have different lengths.
-pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    assert_eq!(
-        points.len(),
-        scalars.len(),
-        "points/scalars length mismatch"
-    );
+/// For each base point `Pᵢ` the table stores the shifted points
+/// `2^(w·c)·Pᵢ` for every `c`-bit digit window `w` (`c` =
+/// [`MsmTable::window`], chosen at build time to minimize the evaluation
+/// cost for the set's size). Every 256-bit scalar then decomposes into
+/// digits that each select *one* precomputed point, so evaluation is a
+/// single bucket-accumulation pass over `n·⌈256/c⌉` points followed by one
+/// running sum — no doubling chain. Bucket contents are summed in affine
+/// coordinates with a shared batched inversion per round
+/// ([`Fp::batch_invert`]).
+///
+/// Build cost is ~256 doublings per point (about one naive scalar
+/// multiplication per point) plus one batch normalization, paid once per
+/// task; memory is `⌈256/c⌉` affine points per base point.
+#[derive(Clone, Debug)]
+pub struct MsmTable<C: Curve> {
+    window: usize,
+    digits: usize,
+    shifts: Vec<Affine<C>>,
+}
+
+impl<C: Curve> MsmTable<C> {
+    /// Builds a table for `points` with a window chosen by
+    /// [`MsmTable::suggested_window`].
+    pub fn build(points: &[Affine<C>]) -> MsmTable<C> {
+        MsmTable::with_window(points, MsmTable::<C>::suggested_window(points.len()))
+    }
+
+    /// Builds a table with an explicit `window` size in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is outside `1..=16`.
+    pub fn with_window(points: &[Affine<C>], window: usize) -> MsmTable<C> {
+        assert!(
+            (1..=16).contains(&window),
+            "table window must be in 1..=16 bits"
+        );
+        let digits = 256usize.div_ceil(window);
+        let mut jac = Vec::with_capacity(points.len() * digits);
+        for p in points {
+            let mut cur = p.to_jacobian();
+            jac.push(cur);
+            for _ in 1..digits {
+                for _ in 0..window {
+                    cur = cur.double();
+                }
+                jac.push(cur);
+            }
+        }
+        MsmTable {
+            window,
+            digits,
+            shifts: Jacobian::batch_normalize(&jac),
+        }
+    }
+
+    /// The window size that minimizes the estimated evaluation cost for an
+    /// MSM over `n` points: `n·⌈256/c⌉` batch-affine additions (~6 field
+    /// muls each) plus a running sum over `2^c` buckets (~14 muls per
+    /// Jacobian op).
+    pub fn suggested_window(n: usize) -> usize {
+        let n = n.max(1);
+        (4..=16)
+            .min_by_key(|&c| 6 * n * 256usize.div_ceil(c) + 14 * (1usize << (c + 1)))
+            .expect("non-empty window range")
+    }
+
+    /// The digit window size in bits.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of base points the table covers.
+    pub fn len(&self) -> usize {
+        self.shifts.len() / self.digits
+    }
+
+    /// `true` if the table covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.shifts.is_empty()
+    }
+
+    /// The `i`-th base point (the `w = 0` shift), if in range.
+    pub fn base_point(&self, i: usize) -> Option<Affine<C>> {
+        self.shifts.get(i * self.digits).copied()
+    }
+
+    /// Approximate heap footprint in bytes (for capacity planning).
+    pub fn memory_bytes(&self) -> usize {
+        self.shifts.len() * std::mem::size_of::<Affine<C>>()
+    }
+
+    /// Evaluates `Σ kᵢ·Pᵢ` over the first `scalars.len()` base points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars` is longer than the table.
+    pub fn eval(&self, scalars: &[Scalar<C>]) -> Jacobian<C> {
+        self.eval_parallel(scalars, cfg!(feature = "rayon"))
+    }
+
+    /// [`MsmTable::eval`] with explicit parallelism control (no-op without
+    /// the `rayon` feature).
+    pub fn eval_parallel(&self, scalars: &[Scalar<C>], parallel: bool) -> Jacobian<C> {
+        assert!(
+            scalars.len() <= self.len(),
+            "scalar vector length {} exceeds table length {}",
+            scalars.len(),
+            self.len()
+        );
+        let _ = parallel;
+        #[cfg(feature = "rayon")]
+        if parallel && scalars.len() >= 2 * MIN_PARALLEL_CHUNK {
+            return join_reduce(0..scalars.len(), parallel_leaf_size(scalars.len()), &|r| {
+                self.eval_chunk(scalars, r)
+            });
+        }
+        self.eval_chunk(scalars, 0..scalars.len())
+    }
+
+    /// Serial kernel over the scalar index range `range`: one bucket pass
+    /// over every (point, digit) pair, then a single running sum.
+    fn eval_chunk(&self, scalars: &[Scalar<C>], range: std::ops::Range<usize>) -> Jacobian<C> {
+        let mut buckets: Vec<Vec<Affine<C>>> = vec![Vec::new(); (1 << self.window) - 1];
+        for i in range {
+            let k = scalars[i].to_canonical();
+            if k.is_zero() {
+                continue;
+            }
+            let row = &self.shifts[i * self.digits..(i + 1) * self.digits];
+            for (w, shift) in row.iter().enumerate() {
+                let digit = k.bits(w * self.window, self.window) as usize;
+                if digit != 0 && !shift.is_identity() {
+                    buckets[digit - 1].push(*shift);
+                }
+            }
+        }
+        bucket_running_sum(&batch_affine_sum_buckets(buckets))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+/// Naive MSM: independent double-and-add per term, deliberately
+/// unoptimized (models the paper's implementation).
+fn naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
     let mut acc = Jacobian::identity();
     for (p, k) in points.iter().zip(scalars) {
-        // Plain binary double-and-add, deliberately unoptimized.
         let bits = k.to_canonical();
         let mut term = Jacobian::identity();
         for i in (0..bits.bit_len()).rev() {
@@ -45,17 +341,8 @@ pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacob
     acc
 }
 
-/// MSM using a per-term width-5 wNAF ladder.
-///
-/// # Panics
-///
-/// Panics if `points` and `scalars` have different lengths.
-pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    assert_eq!(
-        points.len(),
-        scalars.len(),
-        "points/scalars length mismatch"
-    );
+/// Per-term width-5 wNAF ladder, summed.
+fn wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
     let mut acc = Jacobian::identity();
     for (p, k) in points.iter().zip(scalars) {
         acc = acc.add(&p.mul(k));
@@ -63,22 +350,13 @@ pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobi
     acc
 }
 
-/// Pippenger bucket MSM.
+/// Pippenger bucket MSM with Jacobian bucket accumulation.
 ///
 /// Splits each 256-bit scalar into windows of `c` bits, accumulates points
-/// into per-window buckets, and combines buckets with the running-sum trick.
-/// Cost is roughly `256/c · (2^c + n)` point additions, versus `n · 256`
-/// for the naive method.
-///
-/// # Panics
-///
-/// Panics if `points` and `scalars` have different lengths.
-pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    assert_eq!(
-        points.len(),
-        scalars.len(),
-        "points/scalars length mismatch"
-    );
+/// into per-window buckets, and combines buckets with the running-sum
+/// trick. Cost is roughly `256/c · (2^c + n)` point additions, versus
+/// `n · 256` for the naive method.
+fn pippenger_jacobian<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
     let n = points.len();
     if n == 0 {
         return Jacobian::identity();
@@ -92,19 +370,12 @@ pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> J
         // Buckets 1..2^c−1 (bucket 0 contributes nothing).
         let mut buckets = vec![Jacobian::<C>::identity(); (1 << c) - 1];
         for (k, p) in canonical.iter().zip(points) {
-            let digit = window_digit(k, w, c);
+            let digit = k.bits(w * c, c) as usize;
             if digit != 0 {
                 buckets[digit - 1] = buckets[digit - 1].add_affine(p);
             }
         }
-        // Running-sum trick: Σ i·Bᵢ with 2·(2^c − 1) additions.
-        let mut running = Jacobian::identity();
-        let mut sum = Jacobian::identity();
-        for bucket in buckets.iter().rev() {
-            running = running.add(bucket);
-            sum = sum.add(&running);
-        }
-        window_sums.push(sum);
+        window_sums.push(bucket_running_sum_jacobian(&buckets));
     }
 
     // Combine: result = Σ_w (window_sum_w << (w·c)), highest window first.
@@ -118,14 +389,136 @@ pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> J
     acc
 }
 
-/// Extracts the `w`-th `c`-bit window of `k` as an unsigned digit.
-fn window_digit(k: &crate::bigint::U256, w: usize, c: usize) -> usize {
-    let start = w * c;
-    let mut digit = 0usize;
-    for bit in (start..(start + c).min(256)).rev() {
-        digit = (digit << 1) | k.bit(bit) as usize;
+/// Pippenger with batch-affine bucket accumulation: per window, bucket
+/// contents are kept as affine point lists and summed by rounds of paired
+/// affine additions sharing one inversion ([`batch_affine_sum_buckets`]).
+fn pippenger_batch_affine<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    let n = points.len();
+    if n == 0 {
+        return Jacobian::identity();
     }
-    digit
+    let c = window_size(n);
+    let windows = 256usize.div_ceil(c);
+    let canonical: Vec<_> = scalars.iter().map(|s| s.to_canonical()).collect();
+
+    let mut window_sums = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let mut buckets: Vec<Vec<Affine<C>>> = vec![Vec::new(); (1 << c) - 1];
+        for (k, p) in canonical.iter().zip(points) {
+            let digit = k.bits(w * c, c) as usize;
+            if digit != 0 && !p.is_identity() {
+                buckets[digit - 1].push(*p);
+            }
+        }
+        window_sums.push(bucket_running_sum(&batch_affine_sum_buckets(buckets)));
+    }
+
+    let mut acc = Jacobian::identity();
+    for sum in window_sums.iter().rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc = acc.add(sum);
+    }
+    acc
+}
+
+/// Reduces each bucket's affine point list to a single point by repeated
+/// rounds of pairwise affine additions, amortizing the per-addition field
+/// division with one [`Fp::batch_invert`] per round across *all* buckets.
+///
+/// An affine addition `P + Q` needs `λ = (y_Q − y_P)/(x_Q − x_P)` (or
+/// `λ = (3x² + a)/(2y)` when doubling); batching the denominators makes
+/// each addition cost ~6 field multiplications amortized. Inverse pairs
+/// (`x_P = x_Q`, `y_P = −y_Q`) sum to the identity and are dropped; the
+/// curves have prime (odd) order, so no point has `y = 0` and the
+/// doubling denominator is never zero.
+fn batch_affine_sum_buckets<C: Curve>(mut buckets: Vec<Vec<Affine<C>>>) -> Vec<Affine<C>> {
+    let mut nums: Vec<Fp<C::Base>> = Vec::new();
+    let mut dens: Vec<Fp<C::Base>> = Vec::new();
+    loop {
+        // Phase 1: one numerator/denominator per addable pair, across all
+        // buckets in index order. A zero denominator marks an inverse pair
+        // (result = identity); batch_invert leaves zeros untouched, which
+        // phase 2 uses to drop them.
+        nums.clear();
+        dens.clear();
+        for bucket in &buckets {
+            for pair in bucket.chunks_exact(2) {
+                let (p, q) = (&pair[0], &pair[1]);
+                if p.x() == q.x() {
+                    if p.y() == q.y() {
+                        let xx = p.x().square();
+                        nums.push(xx.double() + xx + C::a());
+                        dens.push(p.y().double());
+                    } else {
+                        nums.push(Fp::ZERO);
+                        dens.push(Fp::ZERO);
+                    }
+                } else {
+                    nums.push(q.y() - p.y());
+                    dens.push(q.x() - p.x());
+                }
+            }
+        }
+        if nums.is_empty() {
+            break;
+        }
+        Fp::batch_invert(&mut dens);
+
+        // Phase 2: apply the additions, halving each bucket's list.
+        let mut pair_idx = 0;
+        for bucket in &mut buckets {
+            let pairs = bucket.len() / 2;
+            let mut out = 0;
+            for i in 0..pairs {
+                let (p, q) = (bucket[2 * i], bucket[2 * i + 1]);
+                let den_inv = dens[pair_idx];
+                let num = nums[pair_idx];
+                pair_idx += 1;
+                if den_inv.is_zero() {
+                    continue; // inverse pair: contributes the identity
+                }
+                let lambda = num * den_inv;
+                let x3 = lambda.square() - p.x() - q.x();
+                let y3 = lambda * (p.x() - x3) - p.y();
+                bucket[out] = Affine::from_xy_unchecked(x3, y3);
+                out += 1;
+            }
+            if bucket.len() % 2 == 1 {
+                bucket[out] = bucket[bucket.len() - 1];
+                out += 1;
+            }
+            bucket.truncate(out);
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|b| b.first().copied().unwrap_or_else(Affine::identity))
+        .collect()
+}
+
+/// Running-sum bucket combine over affine bucket sums:
+/// `Σ (i+1)·Bᵢ` with `2·len` point additions.
+fn bucket_running_sum<C: Curve>(sums: &[Affine<C>]) -> Jacobian<C> {
+    let mut running = Jacobian::identity();
+    let mut total = Jacobian::identity();
+    for s in sums.iter().rev() {
+        running = running.add_affine(s);
+        total = total.add(&running);
+    }
+    total
+}
+
+/// Running-sum bucket combine over Jacobian buckets.
+fn bucket_running_sum_jacobian<C: Curve>(buckets: &[Jacobian<C>]) -> Jacobian<C> {
+    let mut running = Jacobian::identity();
+    let mut total = Jacobian::identity();
+    for bucket in buckets.iter().rev() {
+        running = running.add(bucket);
+        total = total.add(&running);
+    }
+    total
 }
 
 /// Chooses the Pippenger window size for `n` terms (≈ log₂ n − 2, clamped).
@@ -134,20 +527,107 @@ fn window_size(n: usize) -> usize {
     log.saturating_sub(2).clamp(1, 16)
 }
 
-/// Picks an MSM strategy by input size: wNAF for small inputs (where
-/// Pippenger's bucket setup dominates) and Pippenger otherwise.
-pub fn msm_auto<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    if points.len() < 32 {
-        msm_wnaf(points, scalars)
-    } else {
-        msm_pippenger(points, scalars)
+// ---------------------------------------------------------------------------
+// Parallel reduction (rayon feature)
+// ---------------------------------------------------------------------------
+
+/// Below this many scalars per chunk, thread spawn overhead outweighs the
+/// parallel win.
+#[cfg(feature = "rayon")]
+const MIN_PARALLEL_CHUNK: usize = 128;
+
+/// Chunk size targeting one chunk per available thread.
+#[cfg(feature = "rayon")]
+fn parallel_leaf_size(n: usize) -> usize {
+    n.div_ceil(rayon::current_num_threads().max(1))
+        .max(MIN_PARALLEL_CHUNK)
+}
+
+/// Recursive fork/join reduction over an index range: leaves evaluate
+/// serially, parents fold `left.add(&right)`. The fold order is fixed by
+/// the recursion shape, and EC addition is exact, so the result is the
+/// same group element as the serial evaluation (bit-identical once
+/// affine-normalized).
+#[cfg(feature = "rayon")]
+fn join_reduce<C, F>(range: std::ops::Range<usize>, leaf: usize, eval: &F) -> Jacobian<C>
+where
+    C: Curve,
+    F: Fn(std::ops::Range<usize>) -> Jacobian<C> + Sync,
+{
+    if range.len() <= leaf {
+        return eval(range);
     }
+    let mid = range.start + range.len() / 2;
+    let (left, right) = rayon::join(
+        || join_reduce(range.start..mid, leaf, eval),
+        || join_reduce(mid..range.end, leaf, eval),
+    );
+    left.add(&right)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated free-function API (kept for one release)
+// ---------------------------------------------------------------------------
+
+/// Naive MSM: independent double-and-add per term, summed.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Msm::new(points).with_strategy(Strategy::Naive).eval(scalars)"
+)]
+pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    Msm::new(points)
+        .with_strategy(Strategy::Naive)
+        .eval(scalars)
+}
+
+/// MSM using a per-term width-5 wNAF ladder.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Msm::new(points).with_strategy(Strategy::Wnaf).eval(scalars)"
+)]
+pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    Msm::new(points).with_strategy(Strategy::Wnaf).eval(scalars)
+}
+
+/// Pippenger bucket MSM with Jacobian accumulation.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Msm::new(points).with_strategy(Strategy::Pippenger).eval(scalars)"
+)]
+pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    Msm::new(points)
+        .with_strategy(Strategy::Pippenger)
+        .eval(scalars)
+}
+
+/// Picks an MSM strategy by input size.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+#[deprecated(since = "0.2.0", note = "use Msm::new(points).eval(scalars)")]
+pub fn msm_auto<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
+    Msm::new(points).eval(scalars)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::curve::Secp256k1;
+    use crate::bigint::U256;
+    use crate::curve::{Secp256k1, Secp256r1};
+    use crate::field::FieldParams;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -160,46 +640,89 @@ mod tests {
         (points, scalars)
     }
 
+    fn eval_with(points: &[Affine<C>], scalars: &[Scalar<C>], s: Strategy) -> Jacobian<C> {
+        Msm::new(points).with_strategy(s).eval(scalars)
+    }
+
+    const ALL_STRATEGIES: [Strategy; 5] = [
+        Strategy::Naive,
+        Strategy::Wnaf,
+        Strategy::Pippenger,
+        Strategy::BatchAffine,
+        Strategy::Auto,
+    ];
+
     #[test]
     fn empty_input_is_identity() {
-        assert!(msm_naive::<C>(&[], &[]).is_identity());
-        assert!(msm_wnaf::<C>(&[], &[]).is_identity());
-        assert!(msm_pippenger::<C>(&[], &[]).is_identity());
+        for s in ALL_STRATEGIES {
+            assert!(eval_with(&[], &[], s).is_identity(), "{s:?}");
+        }
+        let table = MsmTable::<C>::build(&[]);
+        assert!(table.is_empty());
+        assert!(table.eval(&[]).is_identity());
     }
 
     #[test]
     fn single_term_matches_scalar_mul() {
         let (points, scalars) = random_instance(1, 1);
         let expect = points[0].mul(&scalars[0]);
-        assert_eq!(msm_naive(&points, &scalars), expect);
-        assert_eq!(msm_pippenger(&points, &scalars), expect);
+        for s in ALL_STRATEGIES {
+            assert_eq!(eval_with(&points, &scalars, s), expect, "{s:?}");
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), expect);
     }
 
     #[test]
     fn all_strategies_agree_small() {
         for n in [2, 3, 7, 16] {
             let (points, scalars) = random_instance(n, n as u64);
-            let naive = msm_naive(&points, &scalars);
-            assert_eq!(msm_wnaf(&points, &scalars), naive, "wnaf n={n}");
-            assert_eq!(msm_pippenger(&points, &scalars), naive, "pippenger n={n}");
-            assert_eq!(msm_auto(&points, &scalars), naive, "auto n={n}");
+            let reference = eval_with(&points, &scalars, Strategy::Naive);
+            for s in ALL_STRATEGIES {
+                assert_eq!(eval_with(&points, &scalars, s), reference, "{s:?} n={n}");
+            }
+            let table = MsmTable::build(&points);
+            assert_eq!(table.eval(&scalars), reference, "table n={n}");
+            assert_eq!(
+                Msm::new(&points).with_table(&table).eval(&scalars),
+                reference,
+                "auto+table n={n}"
+            );
         }
     }
 
     #[test]
     fn all_strategies_agree_medium() {
         let (points, scalars) = random_instance(100, 99);
-        let naive = msm_naive(&points, &scalars);
-        assert_eq!(msm_wnaf(&points, &scalars), naive);
-        assert_eq!(msm_pippenger(&points, &scalars), naive);
+        let reference = eval_with(&points, &scalars, Strategy::Naive);
+        for s in ALL_STRATEGIES {
+            assert_eq!(eval_with(&points, &scalars, s), reference, "{s:?}");
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), reference);
     }
 
     #[test]
     fn zero_scalars_yield_identity() {
         let (points, _) = random_instance(8, 42);
         let zeros = vec![Scalar::<C>::ZERO; 8];
-        assert!(msm_pippenger(&points, &zeros).is_identity());
-        assert!(msm_naive(&points, &zeros).is_identity());
+        for s in ALL_STRATEGIES {
+            assert!(eval_with(&points, &zeros, s).is_identity(), "{s:?}");
+        }
+        assert!(MsmTable::build(&points).eval(&zeros).is_identity());
+    }
+
+    #[test]
+    fn order_minus_one_scalar() {
+        // k = n − 1 ≡ −1: the largest canonical scalar, exercising the top
+        // digit window of every decomposition.
+        let (points, _) = random_instance(3, 5);
+        let minus_one =
+            Scalar::<C>::from_canonical(<C as Curve>::Scalar::MODULUS.wrapping_sub(&U256::ONE));
+        let scalars = vec![minus_one; 3];
+        let reference = eval_with(&points, &scalars, Strategy::Naive);
+        for s in ALL_STRATEGIES {
+            assert_eq!(eval_with(&points, &scalars, s), reference, "{s:?}");
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), reference);
     }
 
     #[test]
@@ -212,15 +735,174 @@ mod tests {
         let expect = points[3]
             .mul(&scalars[3])
             .add(&points[47].mul(&scalars[47]));
-        assert_eq!(msm_pippenger(&points, &scalars), expect);
+        for s in ALL_STRATEGIES {
+            assert_eq!(eval_with(&points, &scalars, s), expect, "{s:?}");
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), expect);
     }
 
     #[test]
-    fn window_digit_extraction() {
-        let k = crate::bigint::U256::from_u64(0b1011_0110);
-        assert_eq!(window_digit(&k, 0, 4), 0b0110);
-        assert_eq!(window_digit(&k, 1, 4), 0b1011);
-        assert_eq!(window_digit(&k, 2, 4), 0);
+    fn repeated_points_accumulate() {
+        // Same point many times with scalar 1 = n·P. Repeated equal points
+        // in one bucket force the batch-affine doubling branch.
+        let mut rng = StdRng::seed_from_u64(64);
+        let p = Affine::<C>::random(&mut rng);
+        let n = rng.gen_range(33..80); // large enough for the bucket paths
+        let points = vec![p; n];
+        let scalars = vec![Scalar::<C>::ONE; n];
+        let expect = p.mul(&Scalar::<C>::from_u64(n as u64));
+        for s in ALL_STRATEGIES {
+            assert_eq!(eval_with(&points, &scalars, s), expect, "{s:?}");
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), expect);
+    }
+
+    #[test]
+    fn inverse_pairs_cancel() {
+        // P and −P with equal scalars: batch-affine must drop the inverse
+        // pair instead of dividing by zero.
+        let mut rng = StdRng::seed_from_u64(81);
+        let p = Affine::<C>::random(&mut rng);
+        let q = Affine::<C>::random(&mut rng);
+        let points = vec![p, p.negate(), q, q, p, p.negate()];
+        let k = Scalar::<C>::from_u64(9);
+        let scalars = vec![k; 6];
+        let expect = q.mul(&(k + k));
+        assert_eq!(eval_with(&points, &scalars, Strategy::BatchAffine), expect);
+        assert_eq!(MsmTable::build(&points).eval(&scalars), expect);
+    }
+
+    #[test]
+    fn identity_points_are_ignored() {
+        let (mut points, scalars) = random_instance(40, 11);
+        points[7] = Affine::identity();
+        points[23] = Affine::identity();
+        let reference = eval_with(&points, &scalars, Strategy::Naive);
+        for s in ALL_STRATEGIES {
+            assert_eq!(eval_with(&points, &scalars, s), reference, "{s:?}");
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), reference);
+    }
+
+    #[test]
+    fn table_prefix_evaluation() {
+        // A table over n points evaluates shorter scalar vectors (the
+        // commit-to-a-prefix case in Pedersen keys).
+        let (points, scalars) = random_instance(20, 13);
+        let table = MsmTable::build(&points);
+        for m in [0, 1, 5, 20] {
+            let reference = eval_with(&points[..m], &scalars[..m], Strategy::Naive);
+            assert_eq!(table.eval(&scalars[..m]), reference, "prefix m={m}");
+        }
+    }
+
+    #[test]
+    fn table_windows_cover_all_sizes() {
+        for n in [1, 32, 1 << 10, 1 << 14, 1 << 20] {
+            let w = MsmTable::<C>::suggested_window(n);
+            assert!((4..=16).contains(&w), "n={n} w={w}");
+        }
+        // Bigger inputs never get smaller windows.
+        let mut last = 0;
+        for n in [1, 100, 10_000, 1_000_000] {
+            let w = MsmTable::<C>::suggested_window(n);
+            assert!(w >= last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn explicit_window_matches_default() {
+        let (points, scalars) = random_instance(12, 19);
+        let reference = eval_with(&points, &scalars, Strategy::Naive);
+        for w in [1, 4, 8, 13, 16] {
+            let table = MsmTable::with_window(&points, w);
+            assert_eq!(table.window(), w);
+            assert_eq!(table.eval(&scalars), reference, "window {w}");
+        }
+    }
+
+    #[test]
+    fn table_metadata() {
+        let (points, _) = random_instance(6, 3);
+        let table = MsmTable::with_window(&points, 8);
+        assert_eq!(table.len(), 6);
+        assert!(!table.is_empty());
+        assert_eq!(table.base_point(0).unwrap(), points[0]);
+        assert_eq!(table.base_point(5).unwrap(), points[5]);
+        assert!(table.base_point(6).is_none());
+        assert!(table.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different point set")]
+    fn mismatched_table_rejected() {
+        let (points_a, _) = random_instance(4, 1);
+        let (points_b, scalars) = random_instance(4, 2);
+        let table = MsmTable::build(&points_a);
+        Msm::new(&points_b).with_table(&table).eval(&scalars);
+    }
+
+    #[test]
+    fn both_curves_agree() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let points: Vec<Affine<Secp256r1>> = (0..40).map(|_| Affine::random(&mut rng)).collect();
+        let scalars: Vec<Scalar<Secp256r1>> = (0..40)
+            .map(|_| Scalar::<Secp256r1>::random(&mut rng))
+            .collect();
+        let reference = Msm::new(&points)
+            .with_strategy(Strategy::Naive)
+            .eval(&scalars);
+        for s in ALL_STRATEGIES {
+            assert_eq!(
+                Msm::new(&points).with_strategy(s).eval(&scalars),
+                reference,
+                "{s:?}"
+            );
+        }
+        assert_eq!(MsmTable::build(&points).eval(&scalars), reference);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let (points, scalars) = random_instance(10, 77);
+        let reference = eval_with(&points, &scalars, Strategy::Naive);
+        assert_eq!(msm_naive(&points, &scalars), reference);
+        assert_eq!(msm_wnaf(&points, &scalars), reference);
+        assert_eq!(msm_pippenger(&points, &scalars), reference);
+        assert_eq!(msm_auto(&points, &scalars), reference);
+    }
+
+    #[cfg(feature = "rayon")]
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // The acceptance property: with the rayon feature on, the parallel
+        // reduction returns the same group element as the serial path, and
+        // the canonical (affine / serialized) forms match byte for byte.
+        let (points, scalars) = random_instance(700, 2024);
+        let table = MsmTable::build(&points);
+        let serial = table.eval_parallel(&scalars, false);
+        let parallel = table.eval_parallel(&scalars, true);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_affine().to_compressed(),
+            parallel.to_affine().to_compressed()
+        );
+
+        let serial = Msm::new(&points)
+            .with_strategy(Strategy::BatchAffine)
+            .with_parallel(false)
+            .eval(&scalars);
+        let parallel = Msm::new(&points)
+            .with_strategy(Strategy::BatchAffine)
+            .with_parallel(true)
+            .eval(&scalars);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_affine().to_compressed(),
+            parallel.to_affine().to_compressed()
+        );
     }
 
     #[test]
@@ -232,17 +914,5 @@ mod tests {
             assert!((1..=16).contains(&w));
             last = w;
         }
-    }
-
-    #[test]
-    fn repeated_points_accumulate() {
-        // Same point many times with scalar 1 = n·P.
-        let mut rng = StdRng::seed_from_u64(64);
-        let p = Affine::<C>::random(&mut rng);
-        let n = rng.gen_range(33..80); // force the Pippenger path in msm_auto
-        let points = vec![p; n];
-        let scalars = vec![Scalar::<C>::ONE; n];
-        let expect = p.mul(&Scalar::<C>::from_u64(n as u64));
-        assert_eq!(msm_auto(&points, &scalars), expect);
     }
 }

@@ -29,17 +29,32 @@ use std::fmt;
 use crate::bigint::U256;
 use crate::curve::{Affine, Curve, Jacobian, Scalar};
 use crate::field::Fp;
-use crate::msm;
+use crate::msm::{Msm, MsmTable, Strategy};
 use crate::sha256::Sha256;
 
 /// Public parameters: a vector of generators with no known discrete-log
 /// relations, derived from a seed by hash-to-curve (try-and-increment), so
 /// any party can recompute and audit them ("nothing up my sleeve").
-#[derive(Clone, PartialEq, Eq)]
+///
+/// A key may additionally carry a fixed-base precomputation table
+/// ([`CommitKey::precompute`]) that every subsequent [`CommitKey::commit`]
+/// and [`CommitKey::batch_verify`] uses transparently. The table caches
+/// windowed shifts of the generators (derived data only), so two keys
+/// compare equal iff their generators and seed match, table or not.
+#[derive(Clone)]
 pub struct CommitKey<C: Curve> {
     generators: Vec<Affine<C>>,
     seed: Vec<u8>,
+    table: Option<MsmTable<C>>,
 }
+
+impl<C: Curve> PartialEq for CommitKey<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.generators == other.generators && self.seed == other.seed
+    }
+}
+
+impl<C: Curve> Eq for CommitKey<C> {}
 
 impl<C: Curve> CommitKey<C> {
     /// Derives `n` generators from `seed`.
@@ -48,7 +63,41 @@ impl<C: Curve> CommitKey<C> {
         CommitKey {
             generators,
             seed: seed.to_vec(),
+            table: None,
         }
+    }
+
+    /// [`CommitKey::setup`] followed by [`CommitKey::precompute`]: the
+    /// one-call constructor for long-lived task keys.
+    pub fn setup_precomputed(n: usize, seed: &[u8]) -> CommitKey<C> {
+        let mut key = CommitKey::setup(n, seed);
+        key.precompute();
+        key
+    }
+
+    /// Builds (or rebuilds) the fixed-base precomputation table over the
+    /// current generators. Costs about one naive scalar multiplication per
+    /// generator, paid once; afterwards each commitment is a single
+    /// batch-affine bucket pass with no doubling chain. Idempotent.
+    pub fn precompute(&mut self) {
+        self.table = Some(MsmTable::build(&self.generators));
+    }
+
+    /// Drops the precomputation table (frees its memory; commits fall back
+    /// to the table-free batch-affine path).
+    pub fn clear_precomputed(&mut self) {
+        self.table = None;
+    }
+
+    /// `true` if a precomputation table is attached.
+    pub fn is_precomputed(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Approximate heap footprint of the precomputation table in bytes
+    /// (0 when none is attached).
+    pub fn table_memory_bytes(&self) -> usize {
+        self.table.as_ref().map_or(0, MsmTable::memory_bytes)
     }
 
     /// Number of generators (the maximum committable vector length).
@@ -72,11 +121,17 @@ impl<C: Curve> CommitKey<C> {
     }
 
     /// Extends the key in place so it covers vectors of length `n`
-    /// (deterministic: the first generators never change).
+    /// (deterministic: the first generators never change). If a
+    /// precomputation table is attached it is rebuilt over the extended
+    /// generator set so it never goes stale.
     pub fn extend_to(&mut self, n: usize) {
+        let before = self.generators.len();
         for i in self.generators.len()..n {
             self.generators
                 .push(hash_to_curve::<C>(&self.seed, i as u64));
+        }
+        if self.generators.len() != before && self.table.is_some() {
+            self.precompute();
         }
     }
 
@@ -92,8 +147,13 @@ impl<C: Curve> CommitKey<C> {
             values.len(),
             self.generators.len()
         );
-        let point = msm::msm_auto(&self.generators[..values.len()], values);
-        Commitment { point }
+        let mut msm = Msm::new(&self.generators[..values.len()]);
+        if let Some(table) = &self.table {
+            msm = msm.with_table(table);
+        }
+        Commitment {
+            point: msm.eval(values),
+        }
     }
 
     /// Commits using the naive MSM (models the paper's unoptimized
@@ -105,7 +165,9 @@ impl<C: Curve> CommitKey<C> {
     pub fn commit_naive(&self, values: &[Scalar<C>]) -> Commitment<C> {
         assert!(values.len() <= self.generators.len());
         Commitment {
-            point: msm::msm_naive(&self.generators[..values.len()], values),
+            point: Msm::new(&self.generators[..values.len()])
+                .with_strategy(Strategy::Naive)
+                .eval(values),
         }
     }
 
@@ -182,7 +244,17 @@ impl<C: Curve> CommitKey<C> {
 
 impl<C: Curve> fmt::Debug for CommitKey<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CommitKey<{}>(n={})", C::NAME, self.generators.len())
+        write!(
+            f,
+            "CommitKey<{}>(n={}{})",
+            C::NAME,
+            self.generators.len(),
+            if self.table.is_some() {
+                ", precomputed"
+            } else {
+                ""
+            }
+        )
     }
 }
 
@@ -377,6 +449,67 @@ mod tests {
         let key = key(40);
         let v = random_vector(40, 4);
         assert_eq!(key.commit(&v), key.commit_naive(&v));
+    }
+
+    #[test]
+    fn precomputed_commit_matches_plain() {
+        let plain = key(48);
+        let pre = CommitKey::<K1>::setup_precomputed(48, b"test-seed");
+        assert!(pre.is_precomputed());
+        assert!(pre.table_memory_bytes() > 0);
+        for seed in 20..24 {
+            let v = random_vector(48, seed);
+            assert_eq!(plain.commit(&v), pre.commit(&v));
+            assert!(pre.verify(&v, &plain.commit(&v)));
+        }
+        // Shorter-than-key vectors take the table prefix path.
+        let short = random_vector(13, 70);
+        assert_eq!(plain.commit(&short), pre.commit(&short));
+    }
+
+    #[test]
+    fn precompute_is_idempotent_and_clearable() {
+        let mut key = key(8);
+        assert!(!key.is_precomputed());
+        assert_eq!(key.table_memory_bytes(), 0);
+        key.precompute();
+        let v = random_vector(8, 71);
+        let c = key.commit(&v);
+        key.precompute();
+        assert_eq!(key.commit(&v), c);
+        key.clear_precomputed();
+        assert!(!key.is_precomputed());
+        assert_eq!(key.commit(&v), c);
+    }
+
+    #[test]
+    fn extend_rebuilds_table() {
+        let mut small = CommitKey::<K1>::setup_precomputed(4, b"test-seed");
+        small.extend_to(12);
+        assert!(small.is_precomputed());
+        let v = random_vector(12, 72);
+        assert_eq!(small.commit(&v), key(12).commit(&v));
+    }
+
+    #[test]
+    fn equality_ignores_table() {
+        let plain = key(6);
+        let pre = CommitKey::<K1>::setup_precomputed(6, b"test-seed");
+        assert_eq!(plain, pre);
+        assert_ne!(plain, CommitKey::<K1>::setup(6, b"other-seed"));
+    }
+
+    #[test]
+    fn batch_verify_uses_table_transparently() {
+        let key = CommitKey::<K1>::setup_precomputed(8, b"test-seed");
+        let vectors: Vec<Vec<_>> = (0..4).map(|i| random_vector(8, 80 + i)).collect();
+        let commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
+        let items: Vec<(&[Scalar<K1>], &Commitment<K1>)> = vectors
+            .iter()
+            .map(Vec::as_slice)
+            .zip(commits.iter())
+            .collect();
+        assert!(key.batch_verify(&items));
     }
 
     #[test]

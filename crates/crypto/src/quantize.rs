@@ -160,7 +160,13 @@ mod tests {
 
     #[test]
     fn quantization_error_bounded() {
-        for v in [0.1f64, -0.3, std::f64::consts::PI, -std::f64::consts::E, 1e-6] {
+        for v in [
+            0.1f64,
+            -0.3,
+            std::f64::consts::PI,
+            -std::f64::consts::E,
+            1e-6,
+        ] {
             let err = (Quantized::from_f64(v).to_f64() - v).abs();
             assert!(err <= 0.5 / SCALE, "error {err} too large for {v}");
         }

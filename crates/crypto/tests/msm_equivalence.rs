@@ -1,0 +1,175 @@
+//! Property tests: every MSM kernel — wNAF, Jacobian Pippenger,
+//! batch-affine Pippenger, the precomputed table, and (with the `rayon`
+//! feature) the parallel reductions — must be *bit-identical* to the naive
+//! double-and-add reference, on both protocol curves.
+//!
+//! Equality is checked on the canonical compressed encoding, not just the
+//! projective equivalence class, because commitments travel as serialized
+//! bytes: two peers on different code paths must produce the same wire
+//! bytes, or verification breaks between them.
+//!
+//! Scalars mix random field elements with the adversarial edge values
+//! (zero and `group order − 1`); vector shapes cover empty, length 1, and
+//! bucket-sized inputs.
+
+use dfl_crypto::bigint::U256;
+use dfl_crypto::curve::{Affine, Curve, Jacobian, Scalar, Secp256k1, Secp256r1};
+use dfl_crypto::field::FieldParams;
+use dfl_crypto::msm::{Msm, MsmTable, Strategy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Decodes one `(point_seed, scalar_code)` pair into an MSM term.
+/// `scalar_code % 8`: 0 → zero, 1 → group order − 1 (the largest
+/// canonical scalar, exercising every top digit window), else random.
+fn term<C: Curve>(point_seed: u64, scalar_code: u64) -> (Affine<C>, Scalar<C>) {
+    let point = Affine::<C>::random(&mut StdRng::seed_from_u64(point_seed));
+    let scalar = match scalar_code % 8 {
+        0 => Scalar::<C>::ZERO,
+        1 => Scalar::<C>::from_canonical(<C as Curve>::Scalar::MODULUS.wrapping_sub(&U256::ONE)),
+        _ => Scalar::<C>::random(&mut StdRng::seed_from_u64(scalar_code)),
+    };
+    (point, scalar)
+}
+
+/// Canonical wire form of an MSM result.
+fn encode<C: Curve>(p: Jacobian<C>) -> [u8; 33] {
+    p.to_affine().to_compressed()
+}
+
+/// Asserts every kernel matches naive on this instance, byte for byte.
+fn assert_all_paths_agree<C: Curve>(pairs: &[(u64, u64)]) -> Result<(), TestCaseError> {
+    let (points, scalars): (Vec<Affine<C>>, Vec<Scalar<C>>) =
+        pairs.iter().map(|&(p, s)| term::<C>(p, s)).unzip();
+    let reference = encode(
+        Msm::new(&points)
+            .with_strategy(Strategy::Naive)
+            .eval(&scalars),
+    );
+    for strategy in [
+        Strategy::Wnaf,
+        Strategy::Pippenger,
+        Strategy::BatchAffine,
+        Strategy::Auto,
+    ] {
+        prop_assert_eq!(
+            encode(Msm::new(&points).with_strategy(strategy).eval(&scalars)),
+            reference,
+            "{:?} diverges from naive on {} ({} terms)",
+            strategy,
+            C::NAME,
+            points.len()
+        );
+    }
+
+    let table = MsmTable::build(&points);
+    prop_assert_eq!(
+        encode(table.eval_parallel(&scalars, false)),
+        reference,
+        "table path diverges from naive on {}",
+        C::NAME
+    );
+    prop_assert_eq!(
+        encode(Msm::new(&points).with_table(&table).eval(&scalars)),
+        reference,
+        "auto-with-table path diverges from naive on {}",
+        C::NAME
+    );
+
+    #[cfg(feature = "rayon")]
+    {
+        prop_assert_eq!(
+            encode(table.eval_parallel(&scalars, true)),
+            reference,
+            "parallel table path not bit-identical on {}",
+            C::NAME
+        );
+        prop_assert_eq!(
+            encode(
+                Msm::new(&points)
+                    .with_strategy(Strategy::BatchAffine)
+                    .with_parallel(true)
+                    .eval(&scalars)
+            ),
+            reference,
+            "parallel batch-affine path not bit-identical on {}",
+            C::NAME
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn prop_all_kernels_match_naive(
+        pairs in proptest::collection::vec((1u64..u64::MAX, 0u64..u64::MAX), 0..48),
+    ) {
+        assert_all_paths_agree::<Secp256k1>(&pairs)?;
+        assert_all_paths_agree::<Secp256r1>(&pairs)?;
+    }
+
+    #[test]
+    fn prop_single_term_matches_naive(seed in 1u64..u64::MAX, code in 0u64..u64::MAX) {
+        assert_all_paths_agree::<Secp256k1>(&[(seed, code)])?;
+        assert_all_paths_agree::<Secp256r1>(&[(seed, code)])?;
+    }
+
+    #[test]
+    fn prop_all_zero_scalars_give_identity(
+        seeds in proptest::collection::vec(1u64..u64::MAX, 1..20),
+    ) {
+        // scalar_code 0 → Scalar::ZERO for every term.
+        let pairs: Vec<(u64, u64)> = seeds.iter().map(|&s| (s, 0u64)).collect();
+        assert_all_paths_agree::<Secp256k1>(&pairs)?;
+        assert_all_paths_agree::<Secp256r1>(&pairs)?;
+        let (points, scalars): (Vec<Affine<Secp256k1>>, Vec<Scalar<Secp256k1>>) =
+            pairs.iter().map(|&(p, s)| term::<Secp256k1>(p, s)).unzip();
+        prop_assert!(Msm::new(&points).eval(&scalars).is_identity());
+    }
+
+    #[test]
+    fn prop_order_minus_one_scalars(
+        seeds in proptest::collection::vec(1u64..u64::MAX, 1..20),
+    ) {
+        // scalar_code 1 → n − 1 ≡ −1 for every term: the result must be
+        // the negated point sum, and every kernel must agree on it.
+        let pairs: Vec<(u64, u64)> = seeds.iter().map(|&s| (s, 1u64)).collect();
+        assert_all_paths_agree::<Secp256k1>(&pairs)?;
+        assert_all_paths_agree::<Secp256r1>(&pairs)?;
+        let (points, scalars): (Vec<Affine<Secp256r1>>, Vec<Scalar<Secp256r1>>) =
+            pairs.iter().map(|&(p, s)| term::<Secp256r1>(p, s)).unzip();
+        let mut negated_sum = Jacobian::<Secp256r1>::identity();
+        for p in &points {
+            negated_sum = negated_sum.add_affine(&p.negate());
+        }
+        prop_assert_eq!(
+            encode(Msm::new(&points).eval(&scalars)),
+            encode(negated_sum)
+        );
+    }
+}
+
+#[test]
+fn empty_input_all_paths() {
+    let points: Vec<Affine<Secp256k1>> = Vec::new();
+    let scalars: Vec<Scalar<Secp256k1>> = Vec::new();
+    for strategy in [
+        Strategy::Naive,
+        Strategy::Wnaf,
+        Strategy::Pippenger,
+        Strategy::BatchAffine,
+        Strategy::Auto,
+    ] {
+        assert!(
+            Msm::new(&points)
+                .with_strategy(strategy)
+                .eval(&scalars)
+                .is_identity(),
+            "{strategy:?}"
+        );
+    }
+    assert!(MsmTable::build(&points).eval(&scalars).is_identity());
+}

@@ -12,21 +12,19 @@
 //! Run with: `cargo run --release --example availability`
 
 use decentralized_fl::ml::{data, LogisticRegression, Model, SgdConfig};
-use decentralized_fl::netsim::SimDuration;
-use decentralized_fl::protocol::{run_task, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = TaskConfig {
-        trainers: 8,
-        partitions: 2,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        rounds: 2,
-        seed: 21,
-        t_train: SimDuration::from_secs(20),
-        t_sync: SimDuration::from_secs(40),
-        ..TaskConfig::default()
-    };
+    let base = TaskConfig::builder()
+        .trainers(8)
+        .partitions(2)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .rounds(2)
+        .seed(21)
+        .t_train(SimDuration::from_secs(20))
+        .t_sync(SimDuration::from_secs(40))
+        .build()?;
     let dataset = data::make_blobs(320, 3, 2, 0.5, 8);
     let clients = data::partition_iid(&dataset, base.trainers, 3);
     let model = LogisticRegression::new(3, 2);

@@ -1,0 +1,56 @@
+//! Records the commitment-pipeline before/after numbers into
+//! `BENCH_crypto.json`: every MSM kernel (naive, wNAF, Jacobian Pippenger,
+//! batch-affine Pippenger, precomputed table) plus the end-to-end Pedersen
+//! commit, on both protocol curves, at the acceptance size d = 8192.
+//!
+//! Run with: `cargo run --release --example bench_crypto`
+//! (add `--features parallel` to also record the multi-threaded table path;
+//! set `BENCH_CRYPTO_ELEMENTS` to override the vector length).
+
+use dfl_bench::{crypto_report, crypto_report_json};
+
+fn main() {
+    let elements = std::env::var("BENCH_CRYPTO_ELEMENTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8192);
+    println!("Commitment pipeline, d = {elements} (wall clock, this machine)");
+    println!(
+        "{:>12} {:>10} {:>10} {:>12} {:>14} {:>12} {:>10} {:>12} {:>10}",
+        "curve",
+        "naive",
+        "wnaf",
+        "pippenger",
+        "batch-affine",
+        "table-build",
+        "table",
+        "commit-naive",
+        "commit"
+    );
+    let profiles = crypto_report(elements);
+    for p in &profiles {
+        println!(
+            "{:>12} {:>10.1} {:>10.1} {:>12.1} {:>14.1} {:>12.1} {:>10.1} {:>12.1} {:>10.1}",
+            p.curve,
+            p.naive_ms,
+            p.wnaf_ms,
+            p.pippenger_ms,
+            p.batch_affine_ms,
+            p.table_build_ms,
+            p.table_ms,
+            p.commit_naive_ms,
+            p.commit_fast_ms
+        );
+        if let Some(par) = p.table_parallel_ms {
+            println!("{:>12} table (parallel): {par:.1} ms", "");
+        }
+        println!(
+            "{:>12} commit speedup over seed naive path: {:.1}x",
+            "",
+            p.commit_speedup()
+        );
+    }
+    let json = crypto_report_json(&profiles);
+    std::fs::write("BENCH_crypto.json", &json).expect("write BENCH_crypto.json");
+    println!("\nwrote BENCH_crypto.json");
+}

@@ -6,21 +6,20 @@
 //! Run with: `cargo run --release --example digits_mlp`
 
 use decentralized_fl::ml::{data, metrics, Mlp, Model, SgdConfig};
-use decentralized_fl::protocol::{run_task, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = TaskConfig {
-        trainers: 10,
-        partitions: 4,
-        aggregators_per_partition: 2,
-        ipfs_nodes: 5,
-        verifiable: true,
-        authenticate: true,
-        replication: 2,
-        rounds: 6,
-        seed: 31,
-        ..TaskConfig::default()
-    };
+    let cfg = TaskConfig::builder()
+        .trainers(10)
+        .partitions(4)
+        .aggregators_per_partition(2)
+        .ipfs_nodes(5)
+        .verifiable(true)
+        .authenticate(true)
+        .replication(2)
+        .rounds(6)
+        .seed(31)
+        .build()?;
 
     let pool = data::make_digits(3000, 0.15, 4);
     let train = pool.subset(&(0..2400).collect::<Vec<_>>());

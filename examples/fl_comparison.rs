@@ -14,7 +14,7 @@
 use decentralized_fl::ml::{
     data, metrics, FedAvg, Gossip, GossipTopology, LogisticRegression, Model, SgdConfig,
 };
-use decentralized_fl::protocol::{run_task, TaskConfig};
+use decentralized_fl::prelude::*;
 
 const ROUNDS: usize = 10;
 const PEERS: usize = 8;
@@ -68,15 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // scratch with identical seeds. (Its aggregation is exact FedAvg,
         // so accuracy must track column 1; we re-run to keep all three
         // columns independent.)
-        let cfg = TaskConfig {
-            trainers: PEERS,
-            partitions: 2,
-            aggregators_per_partition: 2,
-            ipfs_nodes: 4,
-            rounds: (round + 1) as u64,
-            seed,
-            ..TaskConfig::default()
-        };
+        let cfg = TaskConfig::builder()
+            .trainers(PEERS)
+            .partitions(2)
+            .aggregators_per_partition(2)
+            .ipfs_nodes(4)
+            .rounds((round + 1) as u64)
+            .seed(seed)
+            .build()?;
         let report = run_task(
             cfg,
             model.clone(),

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example merge_and_download`
 //! Optionally set `TRAINERS` (default 16) to move the optimum.
 
-use decentralized_fl::protocol::CommMode;
+use decentralized_fl::prelude::*;
 use dfl_bench::{fig1_config, fig1_param_count, run_network_experiment};
 
 fn main() {

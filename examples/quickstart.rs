@@ -5,22 +5,21 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use decentralized_fl::ml::{data, metrics, LogisticRegression, Model, SgdConfig};
-use decentralized_fl::protocol::{run_task, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A federated task: 8 trainers, the model split into 2 partitions, one
     // aggregator per partition, gradients travelling over 4 storage nodes,
     // with Pedersen-commitment verification of every aggregation.
-    let cfg = TaskConfig {
-        trainers: 8,
-        partitions: 2,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        verifiable: true,
-        rounds: 3,
-        seed: 7,
-        ..TaskConfig::default()
-    };
+    let cfg = TaskConfig::builder()
+        .trainers(8)
+        .partitions(2)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .verifiable(true)
+        .rounds(3)
+        .seed(7)
+        .build()?;
 
     // Synthetic two-class data, split IID across the trainers.
     let dataset = data::make_blobs(400, 4, 2, 0.5, 1);

@@ -8,22 +8,20 @@
 use decentralized_fl::ml::{
     data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig,
 };
-use decentralized_fl::netsim::SimDuration;
-use decentralized_fl::protocol::{run_task, Behavior, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = TaskConfig {
-        trainers: 8,
-        partitions: 2,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        verifiable: true,
-        rounds: 1,
-        seed: 3,
-        t_train: SimDuration::from_secs(15),
-        t_sync: SimDuration::from_secs(30),
-        ..TaskConfig::default()
-    };
+    let cfg = TaskConfig::builder()
+        .trainers(8)
+        .partitions(2)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .verifiable(true)
+        .rounds(1)
+        .seed(3)
+        .t_train(SimDuration::from_secs(15))
+        .t_sync(SimDuration::from_secs(30))
+        .build()?;
     let dataset = data::make_blobs(320, 3, 2, 0.5, 2);
     let clients = data::partition_iid(&dataset, cfg.trainers, 1);
     let model = LogisticRegression::new(3, 2);

@@ -16,6 +16,14 @@ pub use std::hint::black_box;
 /// Target measurement time per benchmark.
 const TARGET: Duration = Duration::from_millis(200);
 
+/// `cargo bench -- --test` smoke mode: run every benchmark exactly once to
+/// prove it executes, skipping calibration and measurement (the real
+/// criterion's test mode, which CI uses as a cheap "benches don't rot"
+/// gate).
+fn test_mode() -> bool {
+    std::env::args().skip(1).any(|a| a == "--test")
+}
+
 /// Top-level harness handle.
 #[derive(Default)]
 pub struct Criterion {
@@ -140,6 +148,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
         elapsed: Duration::ZERO,
     };
     f(&mut bencher);
+    if test_mode() {
+        println!("bench {label}: ok [test mode]");
+        return;
+    }
     let once = bencher.elapsed.max(Duration::from_nanos(1));
     let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
 

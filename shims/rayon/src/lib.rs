@@ -1,0 +1,95 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so the small fork/join subset of the `rayon 1.x` API that `dfl-crypto`
+//! uses is reimplemented here over `std::thread::scope`. Unlike real rayon
+//! there is no persistent work-stealing pool: every [`join`] spawns one OS
+//! thread for its right-hand side. Thread spawn costs ~10 µs, which is
+//! noise for the multi-millisecond MSM work this crate parallelizes, but
+//! callers should not use it for micro-tasks.
+//!
+//! Determinism note: `join(a, b)` always returns `(a(), b())` — the values
+//! are combined by the *caller* in a fixed order, so reductions written
+//! over `join` are order-deterministic even though the two closures run
+//! concurrently.
+
+use std::num::NonZeroUsize;
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results as `(ra, rb)`.
+///
+/// The closure `b` runs on a freshly spawned scoped thread while `a` runs
+/// on the calling thread, so borrowing from the caller's stack works
+/// exactly as with rayon's `join`.
+///
+/// # Panics
+///
+/// Propagates a panic from either closure, like rayon does.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Number of threads `join` trees should aim to keep busy: the machine's
+/// available parallelism (rayon reports its pool size here; the shim has
+/// no pool, so the hardware count is the honest equivalent).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let data = [1u64, 2, 3, 4];
+        let (left, right) = join(
+            || data[..2].iter().sum::<u64>(),
+            || data[2..].iter().sum::<u64>(),
+        );
+        assert_eq!((left, right), (3, 7));
+    }
+
+    #[test]
+    fn join_nests() {
+        fn sum(xs: &[u64]) -> u64 {
+            if xs.len() <= 1 {
+                return xs.iter().sum();
+            }
+            let mid = xs.len() / 2;
+            let (a, b) = join(|| sum(&xs[..mid]), || sum(&xs[mid..]));
+            a + b
+        }
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(sum(&xs), 5050);
+    }
+
+    #[test]
+    fn at_least_one_thread_reported() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_propagates_panic() {
+        let result = std::panic::catch_unwind(|| {
+            join(|| 1, || -> i32 { panic!("boom") });
+        });
+        assert!(result.is_err());
+    }
+}

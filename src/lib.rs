@@ -42,3 +42,7 @@ pub use dfl_ipfs as ipfs;
 pub use dfl_ml as ml;
 pub use dfl_netsim as netsim;
 pub use ipls as protocol;
+
+/// The protocol crate's prelude, re-exported at the umbrella level so
+/// examples can write `use decentralized_fl::prelude::*;`.
+pub use ipls::prelude;

@@ -5,8 +5,7 @@
 //! The topologies match the paper's; the partition size is scaled down 4×
 //! so the suite stays fast (all delays scale linearly, shapes unchanged).
 
-use decentralized_fl::netsim::SimDuration;
-use decentralized_fl::protocol::{CommMode, TaskConfig};
+use decentralized_fl::prelude::*;
 use dfl_bench::run_network_experiment;
 
 /// ~325 KB partition (the paper's 1.3 MB scaled by 4).
@@ -15,39 +14,39 @@ const FIG1_PARAMS: usize = 1_300_000 / 8 / 4;
 const FIG2_PARAMS: usize = 4 * 1_100_000 / 8 / 4;
 
 fn fig1_cfg(comm: CommMode, providers: usize) -> TaskConfig {
-    TaskConfig {
-        trainers: 16,
-        partitions: 1,
-        aggregators_per_partition: 1,
-        ipfs_nodes: if comm == CommMode::Indirect {
+    TaskConfig::builder()
+        .trainers(16)
+        .partitions(1)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(if comm == CommMode::Indirect {
             providers.max(1)
         } else {
             16
-        },
-        comm,
-        providers_per_aggregator: providers.max(1),
-        bandwidth_mbps: 10,
-        rounds: 1,
-        latency: SimDuration::from_millis(10),
-        seed: 1,
-        ..TaskConfig::default()
-    }
+        })
+        .comm(comm)
+        .providers_per_aggregator(providers.max(1))
+        .bandwidth_mbps(10)
+        .rounds(1)
+        .latency(SimDuration::from_millis(10))
+        .seed(1)
+        .build()
+        .unwrap()
 }
 
 fn fig2_cfg(aggregators_per_partition: usize) -> TaskConfig {
-    TaskConfig {
-        trainers: 16,
-        partitions: 4,
-        aggregators_per_partition,
-        ipfs_nodes: 8,
-        comm: CommMode::Indirect,
-        bandwidth_mbps: 20,
-        ipfs_bandwidth_mbps: Some(200),
-        rounds: 1,
-        latency: SimDuration::from_millis(10),
-        seed: 2,
-        ..TaskConfig::default()
-    }
+    TaskConfig::builder()
+        .trainers(16)
+        .partitions(4)
+        .aggregators_per_partition(aggregators_per_partition)
+        .ipfs_nodes(8)
+        .comm(CommMode::Indirect)
+        .bandwidth_mbps(20)
+        .ipfs_bandwidth_mbps(Some(200))
+        .rounds(1)
+        .latency(SimDuration::from_millis(10))
+        .seed(2)
+        .build()
+        .unwrap()
 }
 
 #[test]

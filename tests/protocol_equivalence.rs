@@ -6,7 +6,7 @@
 use decentralized_fl::ml::{
     data, metrics::param_distance, FedAvg, LogisticRegression, Mlp, Model, SgdConfig,
 };
-use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn sgd() -> SgdConfig {
     SgdConfig {
@@ -29,15 +29,15 @@ fn fedavg_reference(
 }
 
 fn base_cfg() -> TaskConfig {
-    TaskConfig {
-        trainers: 6,
-        partitions: 3,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        rounds: 2,
-        seed: 42,
-        ..TaskConfig::default()
-    }
+    TaskConfig::builder()
+        .trainers(6)
+        .partitions(3)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .rounds(2)
+        .seed(42)
+        .build()
+        .unwrap()
 }
 
 fn clients() -> Vec<data::Dataset> {

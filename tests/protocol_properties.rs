@@ -6,7 +6,7 @@
 use decentralized_fl::ml::{
     data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig,
 };
-use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+use decentralized_fl::prelude::*;
 use proptest::prelude::*;
 
 fn sgd() -> SgdConfig {
@@ -27,19 +27,19 @@ fn run_config(
     verifiable: bool,
     seed: u64,
 ) -> (Vec<f32>, Vec<f32>) {
-    let cfg = TaskConfig {
-        trainers,
-        partitions,
-        aggregators_per_partition,
-        ipfs_nodes,
-        comm,
-        providers_per_aggregator: 1 + (seed as usize % ipfs_nodes),
-        verifiable,
-        authenticate: verifiable && seed.is_multiple_of(2),
-        rounds: 1,
-        seed,
-        ..TaskConfig::default()
-    };
+    let cfg = TaskConfig::builder()
+        .trainers(trainers)
+        .partitions(partitions)
+        .aggregators_per_partition(aggregators_per_partition)
+        .ipfs_nodes(ipfs_nodes)
+        .comm(comm)
+        .providers_per_aggregator(1 + (seed as usize % ipfs_nodes))
+        .verifiable(verifiable)
+        .authenticate(verifiable && seed.is_multiple_of(2))
+        .rounds(1)
+        .seed(seed)
+        .build()
+        .expect("generated config is valid");
     let dataset = data::make_blobs(20 * trainers, 3, 2, 0.5, seed);
     let clients = data::partition_iid(&dataset, trainers, seed);
     let model = LogisticRegression::new(3, 2);

@@ -3,8 +3,7 @@
 //! retrieval.
 
 use decentralized_fl::ml::{data, LogisticRegression, Model, SgdConfig};
-use decentralized_fl::netsim::SimDuration;
-use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn sgd() -> SgdConfig {
     SgdConfig {
@@ -16,18 +15,18 @@ fn sgd() -> SgdConfig {
 }
 
 fn cfg() -> TaskConfig {
-    TaskConfig {
-        trainers: 6,
-        partitions: 2,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        comm: CommMode::Indirect,
-        rounds: 1,
-        seed: 77,
-        t_train: SimDuration::from_secs(20),
-        t_sync: SimDuration::from_secs(40),
-        ..TaskConfig::default()
-    }
+    TaskConfig::builder()
+        .trainers(6)
+        .partitions(2)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .comm(CommMode::Indirect)
+        .rounds(1)
+        .seed(77)
+        .t_train(SimDuration::from_secs(20))
+        .t_sync(SimDuration::from_secs(40))
+        .build()
+        .unwrap()
 }
 
 fn clients() -> Vec<data::Dataset> {

@@ -7,8 +7,7 @@
 //! trainers 0–5.
 
 use decentralized_fl::ml::{data, LogisticRegression, Model, SgdConfig};
-use decentralized_fl::netsim::{FaultPlan, NodeId, SimDuration, SimTime};
-use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn sgd() -> SgdConfig {
     SgdConfig {
@@ -20,21 +19,21 @@ fn sgd() -> SgdConfig {
 }
 
 fn cfg() -> TaskConfig {
-    TaskConfig {
-        trainers: 6,
-        partitions: 2,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        comm: CommMode::Indirect,
-        rounds: 1,
-        seed: 77,
-        replication: 2,
-        t_train: SimDuration::from_secs(20),
-        t_sync: SimDuration::from_secs(40),
+    TaskConfig::builder()
+        .trainers(6)
+        .partitions(2)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .comm(CommMode::Indirect)
+        .rounds(1)
+        .seed(77)
+        .replication(2)
+        .t_train(SimDuration::from_secs(20))
+        .t_sync(SimDuration::from_secs(40))
         // Short enough that failover finishes well inside t_sync.
-        fetch_timeout: SimDuration::from_secs(2),
-        ..TaskConfig::default()
-    }
+        .fetch_timeout(SimDuration::from_secs(2))
+        .build()
+        .unwrap()
 }
 
 fn clients() -> Vec<data::Dataset> {

@@ -2,7 +2,7 @@
 //! the §II invariants must hold for every valid configuration, not just
 //! the ones the examples use.
 
-use decentralized_fl::protocol::{CommMode, TaskConfig, Topology};
+use decentralized_fl::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -23,15 +23,15 @@ fn arb_config() -> impl Strategy<Value = (TaskConfig, usize)> {
                 _ => CommMode::MergeAndDownload,
             };
             (
-                TaskConfig {
-                    trainers: t,
-                    partitions: p,
-                    aggregators_per_partition: a,
-                    ipfs_nodes: n,
-                    providers_per_aggregator: providers.min(n),
-                    comm,
-                    ..TaskConfig::default()
-                },
+                TaskConfig::builder()
+                    .trainers(t)
+                    .partitions(p)
+                    .aggregators_per_partition(a)
+                    .ipfs_nodes(n)
+                    .providers_per_aggregator(providers.min(n))
+                    .comm(comm)
+                    .build()
+                    .expect("generated config is valid"),
                 params.max(p),
             )
         })

@@ -7,7 +7,7 @@
 use decentralized_fl::ml::{
     data, metrics::param_distance, FedAvg, LogisticRegression, Model, SgdConfig,
 };
-use decentralized_fl::protocol::{run_task, Behavior, TaskConfig};
+use decentralized_fl::prelude::*;
 
 fn sgd() -> SgdConfig {
     SgdConfig {
@@ -19,19 +19,19 @@ fn sgd() -> SgdConfig {
 }
 
 fn cfg(verifiable: bool) -> TaskConfig {
-    TaskConfig {
-        trainers: 6,
-        partitions: 2,
-        aggregators_per_partition: 1,
-        ipfs_nodes: 4,
-        rounds: 1,
-        verifiable,
-        seed: 5,
+    TaskConfig::builder()
+        .trainers(6)
+        .partitions(2)
+        .aggregators_per_partition(1)
+        .ipfs_nodes(4)
+        .rounds(1)
+        .verifiable(verifiable)
+        .seed(5)
         // Short deadlines keep failed-round simulations quick.
-        t_train: dfl_netsim::SimDuration::from_secs(30),
-        t_sync: dfl_netsim::SimDuration::from_secs(60),
-        ..TaskConfig::default()
-    }
+        .t_train(SimDuration::from_secs(30))
+        .t_sync(SimDuration::from_secs(60))
+        .build()
+        .unwrap()
 }
 
 fn clients() -> Vec<data::Dataset> {
