@@ -32,6 +32,14 @@ pub enum Behavior {
     /// Schnorr-authenticated registrations the forgery is discarded and
     /// the attack is caught.
     ForgeRegistration,
+    /// Computes the honest partial but *equivocates* during partial sync:
+    /// different partition peers are announced different partials (one
+    /// honest, one altered), each under a valid signature. Receivers of the
+    /// altered variant obtain a transferable proof of misbehavior — the
+    /// signed announcement plus the blob that fails its accumulated
+    /// commitment. Only meaningful with more than one aggregator per
+    /// partition; degenerates to `Honest` otherwise.
+    Equivocate,
 }
 
 impl Behavior {
@@ -53,5 +61,6 @@ mod tests {
         assert!(Behavior::AlterUpdate.is_malicious());
         assert!(Behavior::Offline.is_malicious());
         assert!(Behavior::ForgeRegistration.is_malicious());
+        assert!(Behavior::Equivocate.is_malicious());
     }
 }

@@ -13,8 +13,16 @@
 //! 4. uploads the globally updated partition and registers it with the
 //!    directory (which verifies it against the total accumulated
 //!    commitment);
-//! 5. if a peer never shows up by the sync deadline, downloads that peer's
-//!    trainer gradients itself and aggregates them on the peer's behalf.
+//! 5. if a peer never shows up by the sync deadline (or the earlier
+//!    `sync_watchdog`), downloads that peer's trainer gradients itself and
+//!    aggregates them on the peer's behalf.
+//!
+//! With `accountability` on, announcements are Schnorr-signed; a peer
+//! partial that fails commitment verification is packaged into a
+//! transferable [`Misbehavior`] proof, gossiped on the evidence topic,
+//! reported to the directory, and the offending slot is blacklisted and
+//! immediately recovered from the trainers' original gradient blobs — so
+//! the round completes with the same bits an honest run produces.
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -22,20 +30,26 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use dfl_crypto::quantize::{encode, Quantized};
+use dfl_crypto::schnorr::{Signature, SigningKey};
 use dfl_ipfs::{Cid, IpfsWire};
 use dfl_netsim::{Actor, Context, NodeId, SimTime};
 
+use crate::accountability::{
+    agg_signing_key, agg_verifying_key, Misbehavior, MisbehaviorKind, EVIDENCE_TOPIC,
+};
 use crate::adversary::Behavior;
 use crate::config::{CommMode, Topology};
 use crate::gradient::{
-    commit_blob, decode_blob, sum_gradients, verify_blob, ProtocolCommitment, ProtocolKey,
+    commit_blob, decode_blob, sum_gradients, verify_blob, ProtocolCommitment, ProtocolCurve,
+    ProtocolKey,
 };
 use crate::labels;
-use crate::messages::{Msg, SyncAnnounce};
+use crate::messages::{update_message, Msg, SyncAnnounce};
 
 const TK_POLL: u64 = 1 << 32;
 const TK_SYNC_DEADLINE: u64 = 2 << 32;
 const TK_FETCH: u64 = 3 << 32;
+const TK_WATCHDOG: u64 = 4 << 32;
 
 /// What an in-flight storage request is for.
 #[derive(Copy, Clone, Debug)]
@@ -46,6 +60,8 @@ enum Request {
     Merged,
     /// Upload of the partial update blob.
     PutPartial,
+    /// Upload of the equivocating second partial (`Behavior::Equivocate`).
+    PutAltered,
     /// Upload of the global update blob.
     PutGlobal,
     /// Download of a peer's partial update.
@@ -79,21 +95,52 @@ pub struct Aggregator {
     merges_sent: bool,
     /// Merged blobs received so far.
     merged: Vec<Vec<Quantized>>,
+    /// Trainers covered by the successful merges.
+    merged_members: Vec<usize>,
     /// My partial update, once computed.
     partial: Option<Vec<Quantized>>,
+    /// Global trainer indices summed into my partial.
+    partial_contributors: Vec<usize>,
     /// Peers' partials by slot index (mine included once computed).
     partials: HashMap<usize, Vec<Quantized>>,
-    /// Announced partial CIDs not yet fetched/verified: j → cid.
-    announced: HashMap<usize, Cid>,
+    /// Contributor sets (global trainer indices) behind each slot's
+    /// partial — peer-claimed, or observed during recovery.
+    slot_contributors: HashMap<usize, Vec<usize>>,
+    /// Peer announcements whose partials are not yet verified: j → announce
+    /// (kept afterwards as evidence material).
+    announced: HashMap<usize, SyncAnnounce>,
     /// Peer partial blobs fetched but not yet verified (waiting for the
     /// accumulated commitments): j → blob.
     unverified: HashMap<usize, Vec<u8>>,
     /// Accumulated commitment per slot from the directory.
     accumulators: Vec<Option<ProtocolCommitment>>,
+    /// Individual registered commitments by global trainer index (for
+    /// degraded-quorum verification and recovered-gradient checks).
+    commitments_seen: HashMap<usize, ProtocolCommitment>,
     /// Recovery bookkeeping: slot → trainers still to fetch.
     recovery_pending: HashMap<usize, HashSet<usize>>,
-    /// Recovery gradients collected: slot → vectors.
-    recovery_grads: HashMap<usize, Vec<Vec<Quantized>>>,
+    /// Recovery gradients collected: slot → trainer → vector.
+    recovery_grads: HashMap<usize, HashMap<usize, Vec<Quantized>>>,
+    /// Partition slots proven or suspected Byzantine; persists across
+    /// rounds: their announces are ignored and their trainer sets
+    /// proactively recovered at round start.
+    blacklist: HashSet<usize>,
+    /// `(offender global index, iter)` pairs already reported, so one
+    /// detection produces one evidence record.
+    accused: HashSet<(usize, u64)>,
+    /// Gossiped evidence that could not be re-verified yet (accumulators
+    /// still unknown).
+    pending_evidence: Vec<Misbehavior>,
+    /// Schnorr identity key (accountability mode).
+    signing_key: Option<SigningKey<ProtocolCurve>>,
+    /// `Behavior::Equivocate`: CIDs of the two uploaded partial variants.
+    equiv_honest: Option<Cid>,
+    equiv_altered: Option<Cid>,
+    /// The round's sync already completed through at least one recovered
+    /// slot (`ROUND_RECOVERED` recorded once).
+    round_recovered: bool,
+    /// Contributor set registered with the global update (`None` = full).
+    update_contributors: Option<Vec<u32>>,
     global_sent: bool,
     sync_recorded: bool,
     /// The t_sync deadline passed and `min_quorum` authorized completing
@@ -131,6 +178,10 @@ impl Aggregator {
         let (partition, j) = topo.agg_role(g);
         let expected = topo.trainer_set(partition, j);
         let slots = topo.config().aggregators_per_partition;
+        let signing_key = topo
+            .config()
+            .accountability
+            .then(|| agg_signing_key(topo.config().seed, g));
         Aggregator {
             g,
             partition,
@@ -147,13 +198,25 @@ impl Aggregator {
             merges_outstanding: 0,
             merges_sent: false,
             merged: Vec::new(),
+            merged_members: Vec::new(),
             partial: None,
+            partial_contributors: Vec::new(),
             partials: HashMap::new(),
+            slot_contributors: HashMap::new(),
             announced: HashMap::new(),
             unverified: HashMap::new(),
             accumulators: vec![None; slots],
+            commitments_seen: HashMap::new(),
             recovery_pending: HashMap::new(),
             recovery_grads: HashMap::new(),
+            blacklist: HashSet::new(),
+            accused: HashSet::new(),
+            pending_evidence: Vec::new(),
+            signing_key,
+            equiv_honest: None,
+            equiv_altered: None,
+            round_recovered: false,
+            update_contributors: None,
             global_sent: false,
             sync_recorded: false,
             deadline_degraded: false,
@@ -178,6 +241,10 @@ impl Aggregator {
 
     fn verifiable(&self) -> bool {
         self.key.is_some()
+    }
+
+    fn accountability(&self) -> bool {
+        self.topo.config().accountability
     }
 
     fn fresh_req(&mut self, purpose: Request) -> u64 {
@@ -243,13 +310,22 @@ impl Aggregator {
         self.merges_outstanding = 0;
         self.merges_sent = false;
         self.merged.clear();
+        self.merged_members.clear();
         self.partial = None;
+        self.partial_contributors.clear();
         self.partials.clear();
+        self.slot_contributors.clear();
         self.announced.clear();
         self.unverified.clear();
         self.accumulators = vec![None; self.topo.config().aggregators_per_partition];
+        self.commitments_seen.clear();
         self.recovery_pending.clear();
         self.recovery_grads.clear();
+        self.pending_evidence.clear();
+        self.equiv_honest = None;
+        self.equiv_altered = None;
+        self.round_recovered = false;
+        self.update_contributors = None;
         self.global_sent = false;
         self.sync_recorded = false;
         self.deadline_degraded = false;
@@ -282,6 +358,43 @@ impl Aggregator {
                 TK_SYNC_DEADLINE | (iter & 0xFFFF_FFFF),
             );
         }
+        // Early watchdog: recover unresponsive slots well before t_sync.
+        if self.multi() && self.topo.config().comm != CommMode::Direct {
+            if let Some(watchdog) = self.topo.config().sync_watchdog {
+                ctx.set_timer(watchdog, TK_WATCHDOG | (iter & 0xFFFF_FFFF));
+            }
+            // Blacklisted peers will not produce a usable partial: start
+            // re-downloading their trainer sets immediately instead of
+            // burning watchdog (or deadline) time on them again.
+            let mut listed: Vec<usize> = self.blacklist.iter().copied().collect();
+            listed.sort_unstable();
+            for j in listed {
+                self.start_recovery(ctx, j);
+            }
+        }
+    }
+
+    /// Begins download-all recovery of slot `j`'s trainer set (§III-D):
+    /// fetch the members' original gradient blobs from storage and
+    /// re-aggregate them on the slot's behalf. Idempotent per round.
+    fn start_recovery(&mut self, ctx: &mut Context<'_, Msg>, j: usize) {
+        if j == self.j
+            || self.topo.config().comm == CommMode::Direct
+            || self.partials.contains_key(&j)
+            || self.recovery_pending.contains_key(&j)
+            || self.recovery_grads.contains_key(&j)
+        {
+            return;
+        }
+        ctx.record(labels::DROPOUT_RECOVERY, j as f64);
+        let trainers: HashSet<usize> = self
+            .topo
+            .trainer_set(self.partition, j)
+            .into_iter()
+            .collect();
+        self.recovery_pending.insert(j, trainers);
+        self.recovery_grads.insert(j, HashMap::new());
+        self.start_polling(ctx);
     }
 
     fn start_polling(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -321,10 +434,16 @@ impl Aggregator {
             };
             ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
         }
-        // Recovery gradient discovery.
-        if !self.recovery_pending.is_empty() {
+        // Recovery gradient discovery; degraded-quorum verification also
+        // needs peer slots' individual commitments, which ride on the same
+        // gradient lists.
+        let mut slot_queries: HashSet<usize> = self.recovery_pending.keys().copied().collect();
+        if self.verifiable() {
+            slot_queries.extend(self.unverified.keys().copied());
+        }
+        if !slot_queries.is_empty() {
             outstanding = true;
-            let mut pending: Vec<usize> = self.recovery_pending.keys().copied().collect();
+            let mut pending: Vec<usize> = slot_queries.into_iter().collect();
             pending.sort_unstable(); // deterministic query order
             for j in pending {
                 let msg = Msg::QueryGradients {
@@ -358,12 +477,15 @@ impl Aggregator {
             return;
         }
         for (trainer, cid, commitment) in entries {
+            let c = commitment.and_then(|b| ProtocolCommitment::from_bytes(&b));
+            if let Some(c) = &c {
+                self.commitments_seen.insert(trainer, *c);
+            }
             let slot = trainer % self.topo.config().aggregators_per_partition;
             if slot == self.j {
                 if self.registered.contains_key(&trainer) {
                     continue;
                 }
-                let c = commitment.and_then(|b| ProtocolCommitment::from_bytes(&b));
                 self.registered.insert(trainer, (cid, c));
                 // Indirect mode fetches every gradient individually; merge
                 // mode only fetches ones whose merge failed (fallback).
@@ -373,13 +495,18 @@ impl Aggregator {
                     self.fetch_own_gradient(ctx, trainer, cid);
                 }
             } else if let Some(pending) = self.recovery_pending.get_mut(&slot) {
+                let Ok(provider) = self.topo.upload_target(self.partition, trainer) else {
+                    continue; // direct mode never starts recovery
+                };
                 if pending.remove(&trainer) {
                     let req = self.fresh_req(Request::Recovery { j: slot, trainer });
-                    let provider = self.topo.upload_target(self.partition, trainer);
                     self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
                 }
             }
         }
+        // Freshly learned commitments may unblock stashed peer partials
+        // and gossiped evidence.
+        self.retry_unverified(ctx);
         // Registration forgery: once the victim's real registration exists
         // (so ours lands last and wins the directory's last-write slot),
         // register a fabricated gradient under the victim's name.
@@ -415,11 +542,13 @@ impl Aggregator {
         if self.downloading.contains(&trainer) || self.gradients.contains_key(&trainer) {
             return;
         }
-        self.downloading.insert(trainer);
-        let req = self.fresh_req(Request::OwnGradient { trainer });
         // Fetch straight from the storage node the trainer uploaded to
         // (bitswap-style direct retrieval from the provider).
-        let provider = self.topo.upload_target(self.partition, trainer);
+        let Ok(provider) = self.topo.upload_target(self.partition, trainer) else {
+            return; // direct mode receives gradients over the wire instead
+        };
+        self.downloading.insert(trainer);
+        let req = self.fresh_req(Request::OwnGradient { trainer });
         self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
     }
 
@@ -437,10 +566,10 @@ impl Aggregator {
             let Some(&(cid, _)) = self.registered.get(&t) else {
                 continue;
             };
-            by_provider
-                .entry(self.topo.upload_target(self.partition, t))
-                .or_default()
-                .push((t, cid));
+            let Ok(provider) = self.topo.upload_target(self.partition, t) else {
+                continue; // merges only exist when storage is in the path
+            };
+            by_provider.entry(provider).or_default().push((t, cid));
         }
         let mut providers: Vec<NodeId> = by_provider.keys().copied().collect();
         providers.sort_unstable_by_key(|n| n.index());
@@ -508,7 +637,7 @@ impl Aggregator {
         self.maybe_aggregate(ctx);
     }
 
-    fn on_merged(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
+    fn on_merged(&mut self, ctx: &mut Context<'_, Msg>, members: &[(usize, Cid)], data: &[u8]) {
         let Some(vector) = decode_blob(data) else {
             return;
         };
@@ -517,6 +646,7 @@ impl Aggregator {
         // trainer's commitment with the gradient list.
         // Note: with drops in play the member set is what we requested.
         self.merged.push(vector);
+        self.merged_members.extend(members.iter().map(|&(t, _)| t));
         self.merges_outstanding -= 1;
         self.maybe_aggregate(ctx);
     }
@@ -525,62 +655,67 @@ impl Aggregator {
         if self.partial.is_some() {
             return;
         }
-        let vectors: Vec<Vec<Quantized>> = match self.topo.config().comm {
-            CommMode::MergeAndDownload => {
-                if !self.merges_sent
-                    || self.merges_outstanding > 0
-                    || !self.fallback_pending.is_empty()
-                {
-                    return;
-                }
-                // Merged blobs plus any gradients fetched individually
-                // after a failed merge, in deterministic trainer order.
-                let mut vectors = self.merged.clone();
-                let mut fallback: Vec<usize> = self.gradients.keys().copied().collect();
-                fallback.sort_unstable();
-                vectors.extend(fallback.into_iter().map(|t| self.gradients[&t].clone()));
-                vectors
-            }
-            _ => {
-                let dropped = self.dropped_trainers();
-                let needed: Vec<usize> = self
-                    .expected
-                    .iter()
-                    .filter(|t| !dropped.contains(t))
-                    .copied()
-                    .collect();
-                let have: Vec<usize> = needed
-                    .iter()
-                    .filter(|t| self.gradients.contains_key(t))
-                    .copied()
-                    .collect();
-                if have.len() < needed.len() {
-                    // Normally wait for the full set; a deadline-degraded
-                    // round may proceed once the quorum is in.
-                    match self.quorum_threshold() {
-                        Some(th) if self.deadline_degraded && have.len() >= th => {}
-                        _ => return,
-                    }
-                }
-                if self.behavior == Behavior::ForgeRegistration {
-                    let Some(fake) = self.forged.clone() else {
+        let (vectors, contributors): (Vec<Vec<Quantized>>, Vec<usize>) =
+            match self.topo.config().comm {
+                CommMode::MergeAndDownload => {
+                    if !self.merges_sent
+                        || self.merges_outstanding > 0
+                        || !self.fallback_pending.is_empty()
+                    {
                         return;
-                    };
-                    // Substitute the fabricated gradient for the victim's.
-                    have.iter()
-                        .map(|t| {
-                            if *t == self.expected[0] {
-                                fake.clone()
-                            } else {
-                                self.gradients[t].clone()
-                            }
-                        })
-                        .collect()
-                } else {
-                    have.iter().map(|t| self.gradients[t].clone()).collect()
+                    }
+                    // Merged blobs plus any gradients fetched individually
+                    // after a failed merge, in deterministic trainer order.
+                    let mut vectors = self.merged.clone();
+                    let mut fallback: Vec<usize> = self.gradients.keys().copied().collect();
+                    fallback.sort_unstable();
+                    vectors.extend(fallback.iter().map(|t| self.gradients[t].clone()));
+                    let mut contributors = self.merged_members.clone();
+                    contributors.extend(fallback);
+                    contributors.sort_unstable();
+                    (vectors, contributors)
                 }
-            }
-        };
+                _ => {
+                    let dropped = self.dropped_trainers();
+                    let needed: Vec<usize> = self
+                        .expected
+                        .iter()
+                        .filter(|t| !dropped.contains(t))
+                        .copied()
+                        .collect();
+                    let have: Vec<usize> = needed
+                        .iter()
+                        .filter(|t| self.gradients.contains_key(t))
+                        .copied()
+                        .collect();
+                    if have.len() < needed.len() {
+                        // Normally wait for the full set; a deadline-degraded
+                        // round may proceed once the quorum is in.
+                        match self.quorum_threshold() {
+                            Some(th) if self.deadline_degraded && have.len() >= th => {}
+                            _ => return,
+                        }
+                    }
+                    let vectors = if self.behavior == Behavior::ForgeRegistration {
+                        let Some(fake) = self.forged.clone() else {
+                            return;
+                        };
+                        // Substitute the fabricated gradient for the victim's.
+                        have.iter()
+                            .map(|t| {
+                                if *t == self.expected[0] {
+                                    fake.clone()
+                                } else {
+                                    self.gradients[t].clone()
+                                }
+                            })
+                            .collect()
+                    } else {
+                        have.iter().map(|t| self.gradients[t].clone()).collect()
+                    };
+                    (vectors, have)
+                }
+            };
         if vectors.is_empty() {
             return;
         }
@@ -593,7 +728,9 @@ impl Aggregator {
         };
         ctx.record(labels::GRADS_AGGREGATED, self.iter as f64);
         self.partial = Some(partial.clone());
+        self.partial_contributors = contributors.clone();
         self.partials.insert(self.j, partial.clone());
+        self.slot_contributors.insert(self.j, contributors);
 
         if self.multi() {
             // Upload the partial, then announce its hash over pub/sub.
@@ -610,9 +747,59 @@ impl Aggregator {
                 },
                 req,
             );
+            if self.behavior == Behavior::Equivocate {
+                // A second, poisoned variant of the partial: announced to
+                // half the peers in place of the honest one.
+                let mut altered = partial.clone();
+                altered[0] = Quantized(altered[0].0 + (1 << 20));
+                let req = self.fresh_req(Request::PutAltered);
+                self.send_retryable(
+                    ctx,
+                    gw,
+                    IpfsWire::Put {
+                        data: Bytes::from(encode(&altered)),
+                        req_id: req,
+                        replicate: 1,
+                    },
+                    req,
+                );
+            }
         } else {
             self.finish_global(ctx);
         }
+    }
+
+    /// Ranks of `partial_contributors` within `T_ij` (the announce format).
+    fn contributor_ranks(&self) -> Vec<u16> {
+        self.partial_contributors
+            .iter()
+            .filter_map(|t| self.expected.iter().position(|e| e == t))
+            .map(|r| r as u16)
+            .collect()
+    }
+
+    fn signed_announce(&self, cid: Cid) -> SyncAnnounce {
+        // A gradient-dropping attacker *lies* about its contributor set
+        // (claims everyone — empty = full claim): admitting the subset
+        // would be self-incriminating. The lie is what makes the partial
+        // provably bad — it fails the full slot accumulator.
+        let contributors = if matches!(self.behavior, Behavior::DropGradients { .. }) {
+            Vec::new()
+        } else {
+            self.contributor_ranks()
+        };
+        let mut announce = SyncAnnounce {
+            partition: self.partition,
+            agg_j: self.j,
+            iter: self.iter,
+            cid,
+            contributors,
+            signature: None,
+        };
+        if let Some(sk) = &self.signing_key {
+            announce.signature = Some(sk.sign(&announce.message()).to_bytes());
+        }
+        announce
     }
 
     // -- synchronization (multi-aggregator) ----------------------------------
@@ -622,12 +809,14 @@ impl Aggregator {
         match self.in_flight.remove(&req_id) {
             Some(Request::PutPartial) => {
                 self.uploads.push((self.gateway(), cid));
-                let announce = SyncAnnounce {
-                    partition: self.partition,
-                    agg_j: self.j,
-                    iter: self.iter,
-                    cid,
-                };
+                if self.behavior == Behavior::Equivocate {
+                    // Withhold the honest topic publish: each peer receives
+                    // its own (forged) per-peer announcement instead.
+                    self.equiv_honest = Some(cid);
+                    self.maybe_equivocate(ctx);
+                    return;
+                }
+                let announce = self.signed_announce(cid);
                 let publish = IpfsWire::Publish {
                     topic: self.topo.sync_topic(self.partition),
                     data: Bytes::from(announce.encode()),
@@ -636,17 +825,30 @@ impl Aggregator {
                 self.send_ipfs(ctx, gw, publish);
                 self.maybe_finish_sync(ctx);
             }
+            Some(Request::PutAltered) => {
+                self.uploads.push((self.gateway(), cid));
+                self.equiv_altered = Some(cid);
+                self.maybe_equivocate(ctx);
+            }
             Some(Request::PutGlobal) => {
                 let gw = match self.topo.config().comm {
                     CommMode::Direct => self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes),
                     _ => self.gateway(),
                 };
                 self.uploads.push((gw, cid));
+                let contributors = self.update_contributors.clone();
+                let signature = self.signing_key.as_ref().map(|sk| {
+                    let msg =
+                        update_message(self.g, self.partition, self.iter, &cid, &contributors);
+                    sk.sign(&msg).to_bytes()
+                });
                 let msg = Msg::RegisterUpdate {
                     aggregator: self.g,
                     partition: self.partition,
                     iter: self.iter,
                     cid,
+                    contributors,
+                    signature,
                 };
                 ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
             }
@@ -654,56 +856,316 @@ impl Aggregator {
         }
     }
 
-    fn on_deliver(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
+    /// `Behavior::Equivocate`: once both partial variants are stored, send
+    /// each partition peer a *direct*, validly signed announcement — the
+    /// altered CID to every other peer, the honest CID to the rest — so
+    /// different peers observe conflicting signed statements.
+    fn maybe_equivocate(&mut self, ctx: &mut Context<'_, Msg>) {
+        let (Some(honest), Some(altered)) = (self.equiv_honest, self.equiv_altered) else {
+            return;
+        };
+        let slots = self.topo.config().aggregators_per_partition;
+        let topic = self.topo.sync_topic(self.partition);
+        let me = self.topo.aggregator(self.g);
+        let mut send_altered = true; // altered first: 2-slot partitions still see the attack
+        for j in 0..slots {
+            if j == self.j {
+                continue;
+            }
+            let cid = if send_altered { altered } else { honest };
+            send_altered = !send_altered;
+            let announce = self.signed_announce(cid);
+            let deliver = IpfsWire::Deliver {
+                topic: topic.clone(),
+                data: Bytes::from(announce.encode()),
+                publisher: me,
+            };
+            let peer = self.topo.aggregator(self.topo.agg_index(self.partition, j));
+            self.send_ipfs(ctx, peer, deliver);
+        }
+        self.maybe_finish_sync(ctx);
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context<'_, Msg>, topic: &str, data: &[u8]) {
+        if topic == EVIDENCE_TOPIC {
+            self.on_evidence(ctx, data);
+            return;
+        }
         let Some(ann) = SyncAnnounce::decode(data) else {
             return;
         };
         if ann.partition != self.partition || ann.iter != self.iter || ann.agg_j == self.j {
             return;
         }
-        if self.partials.contains_key(&ann.agg_j) || self.announced.contains_key(&ann.agg_j) {
+        if self.partials.contains_key(&ann.agg_j)
+            || self.announced.contains_key(&ann.agg_j)
+            || self.blacklist.contains(&ann.agg_j)
+        {
             return;
         }
-        self.announced.insert(ann.agg_j, ann.cid);
-        let req = self.fresh_req(Request::PeerPartial { j: ann.agg_j });
+        // Accountability mode only acts on *signed* announcements: the
+        // signature is what makes a later commitment mismatch attributable.
+        if self.accountability() {
+            let Some(sig) = ann.signature.and_then(|b| Signature::from_bytes(&b)) else {
+                return;
+            };
+            let sender = self.topo.agg_index(self.partition, ann.agg_j);
+            let vk = agg_verifying_key(self.topo.config().seed, sender);
+            if !vk.verify(&ann.message(), &sig) {
+                return;
+            }
+        }
+        // Malformed contributor claims (out-of-range or duplicate ranks)
+        // can never verify; drop them outright.
+        let set_len = self.topo.trainer_set(self.partition, ann.agg_j).len();
+        let mut ranks = ann.contributors.clone();
+        ranks.sort_unstable();
+        ranks.dedup();
+        if ranks.len() != ann.contributors.len()
+            || ann.contributors.iter().any(|&r| r as usize >= set_len)
+        {
+            return;
+        }
+        // A subset claim below the quorum budget is illegitimate even if
+        // the blob opens the subset product (a lazy aggregator shrinking
+        // its workload): suspect it locally and recover the set instead.
+        if !ann.contributors.is_empty() && ann.contributors.len() < set_len {
+            let below_quorum = match self.quorum_threshold_for(set_len) {
+                Some(th) => ann.contributors.len() < th,
+                None => true, // no quorum configured: only full claims are honest
+            };
+            if below_quorum && self.accountability() {
+                self.blacklist_peer(ctx, ann.agg_j);
+                return;
+            }
+        }
+        let cid = ann.cid;
+        let j = ann.agg_j;
+        self.announced.insert(j, ann);
+        let req = self.fresh_req(Request::PeerPartial { j });
         // Partials are stored on the announcing peer's gateway; fetch from
         // there directly.
         let peer_gateway = self
             .topo
-            .aggregator_gateway(self.topo.agg_index(self.partition, ann.agg_j));
-        self.send_retryable(
-            ctx,
-            peer_gateway,
-            IpfsWire::Get {
-                cid: ann.cid,
-                req_id: req,
-            },
-            req,
-        );
+            .aggregator_gateway(self.topo.agg_index(self.partition, j));
+        self.send_retryable(ctx, peer_gateway, IpfsWire::Get { cid, req_id: req }, req);
+    }
+
+    /// The accumulated commitment an announced partial must open: the full
+    /// slot accumulator when no quorum is configured or the claim covers
+    /// the whole trainer set, else the product of the claimed subset's
+    /// individual registered commitments. `None` while the inputs are
+    /// still unknown (the poll loop keeps querying).
+    fn expected_accumulator(&self, ann: &SyncAnnounce) -> Option<ProtocolCommitment> {
+        let set = self.topo.trainer_set(self.partition, ann.agg_j);
+        let full_claim = ann.contributors.is_empty() || ann.contributors.len() == set.len();
+        if self.topo.config().min_quorum.is_none() || full_claim {
+            self.accumulators[ann.agg_j]
+        } else {
+            let mut acc = ProtocolCommitment::identity();
+            for &r in &ann.contributors {
+                let t = set.get(r as usize)?;
+                acc = acc.combine(self.commitments_seen.get(t)?);
+            }
+            Some(acc)
+        }
     }
 
     fn on_peer_partial(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
-        self.announced.remove(&j);
+        if self.partials.contains_key(&j) || self.blacklist.contains(&j) {
+            return;
+        }
+        let Some(ann) = self.announced.get(&j).cloned() else {
+            return;
+        };
         if self.verifiable() {
-            match &self.accumulators[j] {
+            match self.expected_accumulator(&ann) {
                 Some(acc) => {
                     let key = self.key.as_ref().expect("verifiable").clone();
-                    if !verify_blob(&key, data, acc) {
-                        // Malicious partial: ignore it. The sync deadline
-                        // will trigger recovery of T_ij's gradients.
+                    if !verify_blob(&key, data, &acc) {
+                        // Provably malicious partial: in accountability
+                        // mode, package the transferable evidence and
+                        // recover the slot immediately; otherwise ignore it
+                        // and let the sync deadline trigger recovery.
+                        self.unverified.remove(&j);
+                        if self.accountability() {
+                            self.convict_peer(ctx, &ann, &acc, data);
+                        }
                         return;
                     }
                 }
                 None => {
-                    // Accumulators not known yet; stash and re-check later.
+                    // Accumulators/commitments not known yet; stash and
+                    // re-check once the poll loop learns them.
                     self.unverified.insert(j, data.to_vec());
                     return;
                 }
             }
         }
-        if let Some(vector) = decode_blob(data) {
-            self.partials.insert(j, vector);
-            self.maybe_finish_sync(ctx);
+        let Some(vector) = decode_blob(data) else {
+            return;
+        };
+        self.unverified.remove(&j);
+        self.announced.remove(&j);
+        let set = self.topo.trainer_set(self.partition, j);
+        let claimed: Vec<usize> = if ann.contributors.is_empty() {
+            set
+        } else {
+            ann.contributors.iter().map(|&r| set[r as usize]).collect()
+        };
+        self.slot_contributors.insert(j, claimed);
+        self.partials.insert(j, vector);
+        self.maybe_finish_sync(ctx);
+    }
+
+    /// Packages the failed verification into a transferable [`Misbehavior`]
+    /// record, gossips it on the evidence topic, reports it to the
+    /// directory, and blacklists + recovers the slot.
+    fn convict_peer(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        ann: &SyncAnnounce,
+        expected: &ProtocolCommitment,
+        blob: &[u8],
+    ) {
+        let offender = self.topo.agg_index(self.partition, ann.agg_j);
+        ctx.record(labels::WASTED_BYTES, blob.len() as f64);
+        self.blacklist_peer(ctx, ann.agg_j);
+        let Some(offender_sig) = ann.signature else {
+            return; // unsigned: suspicion only, no transferable proof
+        };
+        if !self.accused.insert((offender, self.iter)) {
+            return; // already reported this offender for this round
+        }
+        ctx.record(labels::MISBEHAVIOR_DETECTED, offender as f64);
+        let mut record = Misbehavior {
+            kind: MisbehaviorKind::BadPartial,
+            partition: self.partition,
+            agg_j: ann.agg_j,
+            iter: self.iter,
+            cid: ann.cid,
+            contributors: ann.contributors.iter().map(|&r| r as u32).collect(),
+            accumulator: expected.to_bytes(),
+            blob: blob.to_vec(),
+            offender_sig,
+            detector: 0,
+            detector_sig: [0u8; 65],
+        };
+        let sk = self.signing_key.as_ref().expect("accountability keys");
+        record.sign_as_detector(self.g as u64, sk);
+        let bytes = record.encode();
+        let publish = IpfsWire::Publish {
+            topic: EVIDENCE_TOPIC.to_string(),
+            data: Bytes::from(bytes.clone()),
+        };
+        let gw = self.gateway();
+        self.send_ipfs(ctx, gw, publish);
+        let msg = Msg::ReportMisbehavior {
+            record: Bytes::from(bytes),
+        };
+        ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+    }
+
+    /// Locally blacklists partition slot `j` and recovers its trainer set.
+    /// Blacklisting is local state — no voting; gossiped evidence lets
+    /// every peer reach the same verdict independently.
+    fn blacklist_peer(&mut self, ctx: &mut Context<'_, Msg>, j: usize) {
+        if j == self.j {
+            return;
+        }
+        if self.blacklist.insert(j) {
+            let global = self.topo.agg_index(self.partition, j);
+            ctx.record(labels::PEER_BLACKLISTED, global as f64);
+        }
+        self.announced.remove(&j);
+        self.unverified.remove(&j);
+        self.start_recovery(ctx, j);
+    }
+
+    /// Handles gossiped misbehavior evidence: independently re-verify, and
+    /// blacklist the offender if the proof holds. Records that cannot be
+    /// checked yet (accumulator still unknown) are parked and retried as
+    /// the round's commitments arrive.
+    fn on_evidence(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
+        if !self.accountability() {
+            return;
+        }
+        let Some(record) = Misbehavior::decode(data) else {
+            return;
+        };
+        self.consider_evidence(ctx, record);
+    }
+
+    fn consider_evidence(&mut self, ctx: &mut Context<'_, Msg>, record: Misbehavior) {
+        // Only same-partition evidence affects this aggregator's blacklist,
+        // and only for the current round's accumulator view.
+        if record.partition != self.partition
+            || record.detector == self.g as u64
+            || record.agg_j == self.j
+            || self.blacklist.contains(&record.agg_j)
+        {
+            return;
+        }
+        match self.evidence_expected(&record) {
+            Some(expected) => {
+                let key = self.key.as_ref().expect("accountability keys").clone();
+                let slots = self.topo.config().aggregators_per_partition;
+                if record.verify(&key, self.topo.config().seed, slots, &expected) {
+                    self.blacklist_peer(ctx, record.agg_j);
+                }
+            }
+            None => self.pending_evidence.push(record),
+        }
+    }
+
+    /// Independently derives the accumulated commitment a gossiped evidence
+    /// record's claim must be checked against (same rule as
+    /// [`Self::expected_accumulator`]).
+    fn evidence_expected(&self, record: &Misbehavior) -> Option<ProtocolCommitment> {
+        match record.kind {
+            MisbehaviorKind::BadPartial => {
+                let set = self.topo.trainer_set(record.partition, record.agg_j);
+                let full_claim =
+                    record.contributors.is_empty() || record.contributors.len() == set.len();
+                if self.topo.config().min_quorum.is_none() || full_claim {
+                    self.accumulators[record.agg_j]
+                } else {
+                    let mut acc = ProtocolCommitment::identity();
+                    for &r in &record.contributors {
+                        let t = set.get(r as usize)?;
+                        acc = acc.combine(self.commitments_seen.get(t)?);
+                    }
+                    Some(acc)
+                }
+            }
+            MisbehaviorKind::BadUpdate => {
+                // A global update must open the product over its claimed
+                // contributors (the full membership when empty).
+                let contributors: Vec<usize> = if record.contributors.is_empty() {
+                    (0..self.topo.config().trainers).collect()
+                } else {
+                    record.contributors.iter().map(|&t| t as usize).collect()
+                };
+                let mut acc = ProtocolCommitment::identity();
+                for t in contributors {
+                    acc = acc.combine(self.commitments_seen.get(&t)?);
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// Re-runs verification for stashed peer partials and parked evidence
+    /// once new commitments or accumulators arrive.
+    fn retry_unverified(&mut self, ctx: &mut Context<'_, Msg>) {
+        let mut stashed: Vec<(usize, Vec<u8>)> = self.unverified.drain().collect();
+        stashed.sort_unstable_by_key(|(j, _)| *j); // deterministic order
+        for (j, blob) in stashed {
+            self.on_peer_partial(ctx, j, &blob);
+        }
+        let parked = std::mem::take(&mut self.pending_evidence);
+        for record in parked {
+            self.consider_evidence(ctx, record);
         }
     }
 
@@ -713,11 +1175,7 @@ impl Aggregator {
                 self.accumulators[j] = bytes.and_then(|b| ProtocolCommitment::from_bytes(&b));
             }
         }
-        // Re-run verification for stashed partials.
-        let stashed: Vec<(usize, Vec<u8>)> = self.unverified.drain().collect();
-        for (j, blob) in stashed {
-            self.on_peer_partial(ctx, j, &blob);
-        }
+        self.retry_unverified(ctx);
     }
 
     fn maybe_finish_sync(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -727,9 +1185,20 @@ impl Aggregator {
         let slots = self.topo.config().aggregators_per_partition;
         // A slot is satisfied by a verified peer partial or by recovery.
         let mut vectors = Vec::with_capacity(slots);
+        let mut contributors: Vec<u32> = Vec::new();
+        let mut recovered = false;
         for j in 0..slots {
             if let Some(v) = self.partials.get(&j) {
                 vectors.push(v.clone());
+                match self.slot_contributors.get(&j) {
+                    Some(set) => contributors.extend(set.iter().map(|&t| t as u32)),
+                    None => contributors.extend(
+                        self.topo
+                            .trainer_set(self.partition, j)
+                            .iter()
+                            .map(|&t| t as u32),
+                    ),
+                }
             } else if let Some(grads) = self.recovery_grads.get(&j) {
                 // Recovery normally needs the peer's whole trainer set; a
                 // deadline-degraded round accepts the per-set quorum.
@@ -742,17 +1211,37 @@ impl Aggregator {
                 if !enough || grads.is_empty() {
                     return;
                 }
-                match sum_gradients(grads) {
+                // Deterministic trainer order; the i128 sum is order-
+                // independent anyway, so the recovered slot reproduces the
+                // honest partial bit for bit.
+                let mut members: Vec<usize> = grads.keys().copied().collect();
+                members.sort_unstable();
+                let recovered_vecs: Vec<Vec<Quantized>> =
+                    members.iter().map(|t| grads[t].clone()).collect();
+                match sum_gradients(&recovered_vecs) {
                     Ok(sum) => vectors.push(sum),
                     Err(_) => {
                         ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
                         return;
                     }
                 }
+                contributors.extend(members.iter().map(|&t| t as u32));
+                recovered = true;
             } else {
                 return;
             }
         }
+        if recovered && !self.round_recovered {
+            self.round_recovered = true;
+            ctx.record(labels::ROUND_RECOVERED, self.iter as f64);
+        }
+        contributors.sort_unstable();
+        contributors.dedup();
+        self.update_contributors = if contributors.len() == self.topo.config().trainers {
+            None // full membership: the common case
+        } else {
+            Some(contributors)
+        };
         if !self.sync_recorded {
             self.sync_recorded = true;
             ctx.record(labels::SYNC_DONE, self.iter as f64);
@@ -771,6 +1260,17 @@ impl Aggregator {
         if self.global_sent {
             return;
         }
+        self.update_contributors = if self.partial_contributors.len() == self.topo.config().trainers
+        {
+            None
+        } else {
+            Some(
+                self.partial_contributors
+                    .iter()
+                    .map(|&t| t as u32)
+                    .collect(),
+            )
+        };
         if !self.sync_recorded {
             self.sync_recorded = true;
             ctx.record(labels::SYNC_DONE, self.iter as f64);
@@ -853,31 +1353,75 @@ impl Aggregator {
         if self.topo.config().comm == CommMode::Direct {
             return; // no storage copy to recover from — the §III-B failure
         }
+        // Download the missing peers' trainer gradients ourselves ("another
+        // aggregator downloads his gradients on his behalf"). A peer still
+        // silent at the hard deadline is suspect: in accountability mode it
+        // is blacklisted so later rounds recover it proactively instead of
+        // waiting out the timeout again (timeout suspicion is local only —
+        // silence yields no transferable proof).
         let slots = self.topo.config().aggregators_per_partition;
         for j in 0..slots {
-            if j == self.j
-                || self.partials.contains_key(&j)
-                || self.recovery_pending.contains_key(&j)
-            {
+            if j == self.j || self.partials.contains_key(&j) {
                 continue;
             }
-            // Download this dead peer's trainer gradients ourselves
-            // ("another aggregator downloads his gradients on his behalf").
-            ctx.record(labels::DROPOUT_RECOVERY, j as f64);
-            let trainers: HashSet<usize> = self
-                .topo
-                .trainer_set(self.partition, j)
-                .into_iter()
-                .collect();
-            self.recovery_pending.insert(j, trainers);
-            self.recovery_grads.insert(j, Vec::new());
+            if self.accountability() && !self.announced.contains_key(&j) {
+                self.blacklist_peer(ctx, j);
+            } else {
+                self.start_recovery(ctx, j);
+            }
         }
         self.start_polling(ctx);
     }
 
-    fn on_recovery_gradient(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
-        if let Some(vector) = decode_blob(data) {
-            self.recovery_grads.entry(j).or_default().push(vector);
+    /// The early watchdog (`sync_watchdog`): begins recovery of any slot
+    /// that has neither announced nor delivered a verifiable partial yet,
+    /// well before the hard `t_sync` deadline, so a round with a dead or
+    /// convicted aggregator still completes on time. Recovery is safe to
+    /// race with a slow-but-honest peer: the recovered sum and the peer's
+    /// partial are bit-identical, and whichever lands first is used.
+    fn on_watchdog(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+        if iter != self.iter || self.global_sent {
+            return;
+        }
+        let slots = self.topo.config().aggregators_per_partition;
+        for j in 0..slots {
+            if self.partials.contains_key(&j)
+                || self.announced.contains_key(&j)
+                || self.unverified.contains_key(&j)
+            {
+                continue; // alive (or mid-verification): let it finish
+            }
+            self.start_recovery(ctx, j);
+        }
+    }
+
+    fn on_recovery_gradient(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        j: usize,
+        trainer: usize,
+        data: &[u8],
+    ) {
+        let Some(vector) = decode_blob(data) else {
+            return;
+        };
+        // Each recovered blob is checked against the trainer's registered
+        // commitment: recovery must reproduce the honest partial exactly,
+        // so a corrupt storage copy is refetched rather than summed.
+        if let Some(key) = self.key.as_ref() {
+            let valid = self
+                .commitments_seen
+                .get(&trainer)
+                .is_some_and(|c| verify_blob(key, data, c));
+            if !valid {
+                ctx.record(labels::WASTED_BYTES, data.len() as f64);
+                self.recovery_pending.entry(j).or_default().insert(trainer);
+                self.start_polling(ctx);
+                return;
+            }
+        }
+        if let Some(grads) = self.recovery_grads.get_mut(&j) {
+            grads.insert(trainer, vector);
         }
         self.maybe_finish_sync(ctx);
     }
@@ -889,6 +1433,14 @@ impl Actor<Msg> for Aggregator {
         if self.multi() && self.behavior != Behavior::Offline {
             let sub = IpfsWire::Subscribe {
                 topic: self.topo.sync_topic(self.partition),
+            };
+            let gw = self.gateway();
+            self.send_ipfs(ctx, gw, sub);
+        }
+        // Evidence gossip rides its own topic (accountability mode).
+        if self.accountability() && self.behavior != Behavior::Offline {
+            let sub = IpfsWire::Subscribe {
+                topic: EVIDENCE_TOPIC.to_string(),
             };
             let gw = self.gateway();
             self.send_ipfs(ctx, gw, sub);
@@ -944,7 +1496,9 @@ impl Actor<Msg> for Aggregator {
                         self.on_own_gradient(ctx, trainer, &data)
                     }
                     Some(Request::PeerPartial { j }) => self.on_peer_partial(ctx, j, &data),
-                    Some(Request::Recovery { j, .. }) => self.on_recovery_gradient(ctx, j, &data),
+                    Some(Request::Recovery { j, trainer }) => {
+                        self.on_recovery_gradient(ctx, j, trainer, &data)
+                    }
                     _ => {}
                 }
             }
@@ -964,10 +1518,10 @@ impl Actor<Msg> for Aggregator {
             }
             Msg::Ipfs(IpfsWire::MergeOk { data, req_id }) => {
                 self.retry_wires.remove(&req_id);
-                self.merge_members.remove(&req_id);
+                let members = self.merge_members.remove(&req_id).unwrap_or_default();
                 if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
                     let data = data.to_vec();
-                    self.on_merged(ctx, &data);
+                    self.on_merged(ctx, &members, &data);
                 }
             }
             Msg::Ipfs(IpfsWire::MergeErr { req_id, .. }) => {
@@ -990,9 +1544,9 @@ impl Actor<Msg> for Aggregator {
                     self.maybe_aggregate(ctx);
                 }
             }
-            Msg::Ipfs(IpfsWire::Deliver { data, .. }) => {
+            Msg::Ipfs(IpfsWire::Deliver { topic, data, .. }) => {
                 let data = data.to_vec();
-                self.on_deliver(ctx, &data);
+                self.on_deliver(ctx, &topic, &data);
             }
             _ => {}
         }
@@ -1006,6 +1560,7 @@ impl Actor<Msg> for Aggregator {
             TK_POLL => self.poll(ctx),
             TK_SYNC_DEADLINE => self.on_sync_deadline(ctx, token & 0xFFFF_FFFF),
             TK_FETCH => self.on_fetch_retry(ctx, token & 0xFFFF_FFFF),
+            TK_WATCHDOG => self.on_watchdog(ctx, token & 0xFFFF_FFFF),
             _ => {}
         }
     }

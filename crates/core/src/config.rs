@@ -58,6 +58,17 @@ pub struct TaskConfig {
     /// trainer's name and defeat the §IV verification (see
     /// `Behavior::ForgeRegistration`).
     pub authenticate: bool,
+    /// Byzantine accountability: aggregators sign their partial-update
+    /// announcements and global-update registrations, detectors package
+    /// commitment mismatches into transferable `Misbehavior` proofs,
+    /// peers blacklist proven offenders, and the directory evicts them.
+    /// Requires `verifiable` (evidence is a commitment mismatch).
+    pub accountability: bool,
+    /// Optional early watchdog for partial-update sync: an aggregator that
+    /// has not seen a peer slot's announcement this long after round start
+    /// recovers that slot's trainer set from storage instead of waiting
+    /// for the full `t_sync` deadline. Must not exceed `t_sync`.
+    pub sync_watchdog: Option<SimDuration>,
     /// Total replicas per stored block (1 = no replication).
     pub replication: usize,
     /// Training rounds to run.
@@ -90,8 +101,10 @@ pub struct TaskConfig {
     /// Minimum number of trainers (globally) whose gradients must be in
     /// before the t_sync deadline lets the round complete without the
     /// rest. `None` keeps the strict behavior: a round waits for every
-    /// trainer, so one crashed trainer stalls it. Incompatible with
-    /// `verifiable` (the accumulated commitment needs every trainer).
+    /// trainer, so one crashed trainer stalls it. Composes with
+    /// `verifiable`: degraded partials carry their contributor set and are
+    /// verified against the product of the surviving members' individual
+    /// commitments instead of the full accumulated commitment.
     pub min_quorum: Option<usize>,
     /// Base timeout for storage-layer retrievals before the client gateway
     /// retries and then fails over to another provider. Must comfortably
@@ -125,6 +138,8 @@ impl Default for TaskConfig {
             trainer_verifies: false,
             compact_registration: false,
             authenticate: false,
+            accountability: false,
+            sync_watchdog: None,
             replication: 1,
             rounds: 1,
             bandwidth_mbps: 10,
@@ -165,8 +180,8 @@ impl TaskConfig {
     ///
     /// // Contradictory settings fail at build time.
     /// assert!(TaskConfig::builder()
-    ///     .verifiable(true)
-    ///     .min_quorum(Some(2))
+    ///     .accountability(true) // evidence needs commitments
+    ///     .verifiable(false)
     ///     .build()
     ///     .is_err());
     /// ```
@@ -223,9 +238,17 @@ impl TaskConfig {
             if !(1..=self.trainers).contains(&q) {
                 return err("min_quorum must be in 1..=trainers");
             }
-            if self.verifiable {
-                return err("min_quorum is incompatible with verifiable aggregation \
-                     (the accumulated commitment requires every trainer)");
+        }
+        if self.accountability && !self.verifiable {
+            return err("accountability requires verifiable mode \
+                 (misbehavior evidence is a commitment mismatch)");
+        }
+        if let Some(w) = self.sync_watchdog {
+            if w <= SimDuration::ZERO {
+                return err("sync_watchdog must be positive");
+            }
+            if w > self.t_sync {
+                return err("sync_watchdog must not exceed t_sync");
             }
         }
         if self.fetch_timeout <= SimDuration::ZERO {
@@ -286,6 +309,8 @@ impl TaskConfigBuilder {
         compact_registration: bool,
         trainer_verifies: bool,
         authenticate: bool,
+        accountability: bool,
+        sync_watchdog: Option<SimDuration>,
         replication: usize,
         rounds: u64,
         bandwidth_mbps: u64,
@@ -495,20 +520,23 @@ impl Topology {
     /// providers, chosen round-robin by the trainer's rank within `T_ij`;
     /// otherwise it is the trainer's own gateway.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when called in [`CommMode::Direct`], where gradients never
-    /// touch storage.
-    pub fn upload_target(&self, partition: usize, t: usize) -> NodeId {
+    /// Returns [`IplsError::NoStorageRoute`] in [`CommMode::Direct`],
+    /// where gradients never touch storage.
+    pub fn upload_target(&self, partition: usize, t: usize) -> Result<NodeId, IplsError> {
         match self.cfg.comm {
-            CommMode::Direct => panic!("direct mode uploads no gradients to storage"),
-            CommMode::Indirect => self.trainer_gateway(t),
+            CommMode::Direct => Err(IplsError::NoStorageRoute {
+                partition,
+                trainer: t,
+            }),
+            CommMode::Indirect => Ok(self.trainer_gateway(t)),
             CommMode::MergeAndDownload => {
                 let j = self.agg_for_trainer(partition, t);
                 let g = self.agg_index(partition, j);
                 let providers = self.providers(g);
                 let rank = t / self.cfg.aggregators_per_partition;
-                providers[rank % providers.len()]
+                Ok(providers[rank % providers.len()])
             }
         }
     }
@@ -587,15 +615,31 @@ mod tests {
     }
 
     #[test]
+    fn min_quorum_composes_with_verifiable() {
+        // The restriction lifted by the accountability subsystem: degraded
+        // quorums now verify against per-member commitments.
+        let cfg = TaskConfig::builder()
+            .verifiable(true)
+            .min_quorum(Some(2))
+            .build()
+            .unwrap();
+        assert!(cfg.verifiable && cfg.min_quorum == Some(2));
+    }
+
+    #[test]
     fn builder_rejects_invalid_at_build() {
         let err = TaskConfig::builder().trainers(0).build().unwrap_err();
         assert!(err.to_string().contains("trainer"));
         let err = TaskConfig::builder()
-            .verifiable(true)
-            .min_quorum(Some(1))
+            .accountability(true)
             .build()
             .unwrap_err();
-        assert!(err.to_string().contains("min_quorum"));
+        assert!(err.to_string().contains("accountability"));
+        let err = TaskConfig::builder()
+            .sync_watchdog(Some(SimDuration::from_secs(100_000)))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sync_watchdog"));
         let err = TaskConfig::builder()
             .t_train(SimDuration::from_secs(10))
             .t_sync(SimDuration::from_secs(5))
@@ -718,7 +762,7 @@ mod tests {
         let topo = Topology::new(cfg_16_trainers(), 100).unwrap();
         for partition in 0..4 {
             for t in 0..16 {
-                let target = topo.upload_target(partition, t);
+                let target = topo.upload_target(partition, t).unwrap();
                 let j = topo.agg_for_trainer(partition, t);
                 let providers = topo.providers(topo.agg_index(partition, j));
                 assert!(providers.contains(&target));
@@ -735,10 +779,25 @@ mod tests {
         let topo = Topology::new(cfg, 100).unwrap();
         let mut counts: std::collections::HashMap<NodeId, usize> = Default::default();
         for t in 0..16 {
-            *counts.entry(topo.upload_target(0, t)).or_default() += 1;
+            *counts.entry(topo.upload_target(0, t).unwrap()).or_default() += 1;
         }
         assert_eq!(counts.len(), 4);
         assert!(counts.values().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn direct_mode_upload_target_is_typed_error() {
+        // Regression: this used to panic instead of returning an error.
+        let mut cfg = cfg_16_trainers();
+        cfg.comm = CommMode::Direct;
+        let topo = Topology::new(cfg, 100).unwrap();
+        assert_eq!(
+            topo.upload_target(1, 5),
+            Err(IplsError::NoStorageRoute {
+                partition: 1,
+                trainer: 5,
+            })
+        );
     }
 
     #[test]

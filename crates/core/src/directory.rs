@@ -4,19 +4,34 @@
 //! commitments per partition and per aggregator slot (§IV-B), verifies
 //! registered updates against the accumulated commitments, answers
 //! participant queries, and drives the round schedule.
+//!
+//! With `accountability` on, the directory is also the eviction authority:
+//! a registered update that fails verification under the aggregator's own
+//! signature becomes a [`Misbehavior`] proof (the directory signs it as
+//! detector [`DIRECTORY_DETECTOR`] and gossips it on the evidence topic),
+//! and peer-reported evidence is independently re-verified before the
+//! offender is evicted — evicted aggregators' registrations are dropped.
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+
+use bytes::Bytes;
 
 use dfl_ipfs::{Cid, IpfsWire};
 use dfl_netsim::{Actor, Context, NodeId, SimDuration};
 
 use dfl_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 
+use crate::accountability::{
+    agg_verifying_key, directory_signing_key, Misbehavior, MisbehaviorKind, DIRECTORY_DETECTOR,
+    EVIDENCE_TOPIC,
+};
 use crate::config::Topology;
 use crate::gradient::{verify_blob, ProtocolCommitment, ProtocolCurve, ProtocolKey};
 use crate::labels;
-use crate::messages::{batch_registration_message, registration_message, Msg};
+use crate::messages::{
+    batch_registration_message, registration_message, update_message, Msg, SignatureBytes,
+};
 
 /// Timer token kinds (high 32 bits of the token).
 const TK_VERIFY: u64 = 1 << 32;
@@ -30,6 +45,13 @@ struct PendingVerify {
     cid: Cid,
     from: NodeId,
     verdict: bool,
+    /// Claimed contributor set (quorum-degraded updates; `None` = full).
+    contributors: Option<Vec<u32>>,
+    /// The registrant's signature (accountability mode) — what turns a
+    /// failed verification into transferable evidence.
+    signature: Option<SignatureBytes>,
+    /// The fetched update blob, kept for the evidence record.
+    blob: Vec<u8>,
 }
 
 /// Directory + bootstrapper actor.
@@ -60,6 +82,15 @@ pub struct Directory {
     rejected: usize,
     /// Trainer verifying keys (authenticated mode).
     trainer_keys: Vec<VerifyingKey<ProtocolCurve>>,
+    /// Evicted aggregators (global indices); their registrations are
+    /// dropped for the rest of the task.
+    evicted: HashSet<usize>,
+    /// `(offender, iter)` pairs evidence was already issued for.
+    evidence_issued: HashSet<(usize, u64)>,
+    /// Contributor sets of accepted quorum-degraded updates, so
+    /// `QueryTotalAccumulator` answers with the accumulator the accepted
+    /// update actually opens.
+    accepted_contributors: HashMap<(usize, u64), Vec<u32>>,
 }
 
 impl Directory {
@@ -95,6 +126,9 @@ impl Directory {
             next_verify: 0,
             rejected: 0,
             trainer_keys,
+            evicted: HashSet::new(),
+            evidence_issued: HashSet::new(),
+            accepted_contributors: HashMap::new(),
         }
     }
 
@@ -155,7 +189,7 @@ impl Directory {
     }
 
     /// Accumulated commitment over *all* trainers of a partition — what a
-    /// global update must open (§IV-B).
+    /// full-membership global update must open (§IV-B).
     fn accumulated_total(&self, partition: usize, iter: u64) -> Option<ProtocolCommitment> {
         let commits = self.commitments.get(&(partition, iter))?;
         if commits.len() != self.topo.config().trainers {
@@ -164,6 +198,55 @@ impl Directory {
         Some(ProtocolCommitment::accumulate(commits.values()))
     }
 
+    /// Product of the registered commitments of an explicit trainer subset
+    /// (quorum-degraded verification). `None` when any member's commitment
+    /// has not been registered.
+    fn accumulated_subset(
+        &self,
+        partition: usize,
+        iter: u64,
+        trainers: &[u32],
+    ) -> Option<ProtocolCommitment> {
+        let commits = self.commitments.get(&(partition, iter))?;
+        let mut acc = ProtocolCommitment::identity();
+        for t in trainers {
+            acc = acc.combine(commits.get(&(*t as usize))?);
+        }
+        Some(acc)
+    }
+
+    /// What an update claiming `contributors` must open: the full total
+    /// when `None`, the per-member subset product otherwise.
+    fn expected_for_update(
+        &self,
+        partition: usize,
+        iter: u64,
+        contributors: &Option<Vec<u32>>,
+    ) -> Option<ProtocolCommitment> {
+        match contributors {
+            None => self.accumulated_total(partition, iter),
+            Some(set) => self.accumulated_subset(partition, iter, set),
+        }
+    }
+
+    /// Whether a claimed contributor set is even admissible: only under a
+    /// configured quorum, well-formed (strictly ascending, in range), and
+    /// at least the quorum large.
+    fn contributors_admissible(&self, contributors: &Option<Vec<u32>>) -> bool {
+        let Some(set) = contributors else {
+            return true;
+        };
+        let Some(q) = self.topo.config().min_quorum else {
+            return false; // no quorum configured: only full-set updates
+        };
+        set.len() >= q
+            && set.windows(2).all(|w| w[0] < w[1])
+            && set
+                .last()
+                .is_none_or(|&t| (t as usize) < self.topo.config().trainers)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn on_register_update(
         &mut self,
         ctx: &mut Context<'_, Msg>,
@@ -172,10 +255,56 @@ impl Directory {
         partition: usize,
         iter: u64,
         cid: Cid,
+        contributors: Option<Vec<u32>>,
+        signature: Option<SignatureBytes>,
     ) {
-        if self.updates.contains_key(&(partition, iter)) {
+        if self.evicted.contains(&aggregator) {
+            // Evicted aggregators are out of the protocol: their
+            // registrations are dropped unconditionally.
+            ctx.record(labels::EVICTED_REJECTED, aggregator as f64);
+            return;
+        }
+        if self.topo.config().accountability {
+            // Accountability requires the registration to be signed by the
+            // aggregator's identity key — the signature is what makes a
+            // failed verification attributable (and evictable).
+            let message = update_message(aggregator, partition, iter, &cid, &contributors);
+            let authentic = signature
+                .and_then(|b| Signature::<ProtocolCurve>::from_bytes(&b))
+                .is_some_and(|sig| {
+                    agg_verifying_key(self.topo.config().seed, aggregator).verify(&message, &sig)
+                });
+            if !authentic {
+                ctx.record(labels::FORGED_REGISTRATION, aggregator as f64);
+                return;
+            }
+        }
+        if let Some(accepted) = self.updates.get(&(partition, iter)) {
             // Someone already registered a valid update; only the first
-            // counts (§IV-B).
+            // counts (§IV-B). But under accountability a *conflicting*
+            // registration (different bits for the same slot) is still
+            // audited: if the loser's blob fails verification, that is
+            // provable misbehavior even though the round already has its
+            // update — without the audit an attacker who loses the race
+            // escapes detection forever.
+            let audit = self.topo.config().accountability && self.key.is_some() && *accepted != cid;
+            if !audit {
+                return;
+            }
+        }
+        if !self.contributors_admissible(&contributors) {
+            let pv = PendingVerify {
+                partition,
+                iter,
+                aggregator,
+                cid,
+                from,
+                verdict: false,
+                contributors,
+                signature,
+                blob: Vec::new(),
+            };
+            self.reject_update(ctx, &pv);
             return;
         }
         if self.key.is_some() {
@@ -191,17 +320,30 @@ impl Directory {
                     cid,
                     from,
                     verdict: false,
+                    contributors,
+                    signature,
+                    blob: Vec::new(),
                 },
             );
             let get = IpfsWire::Get { cid, req_id };
             ctx.send(self.topo.ipfs_node(0), get.wire_bytes(), Msg::Ipfs(get));
         } else {
-            self.accept_update(ctx, partition, iter, cid);
+            self.accept_update(ctx, partition, iter, cid, contributors);
         }
     }
 
-    fn accept_update(&mut self, ctx: &mut Context<'_, Msg>, partition: usize, iter: u64, cid: Cid) {
+    fn accept_update(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        partition: usize,
+        iter: u64,
+        cid: Cid,
+        contributors: Option<Vec<u32>>,
+    ) {
         self.updates.insert((partition, iter), cid);
+        if let Some(set) = contributors {
+            self.accepted_contributors.insert((partition, iter), set);
+        }
         ctx.record(labels::UPDATE_REGISTERED, partition as f64);
     }
 
@@ -210,6 +352,10 @@ impl Directory {
         ctx.record(labels::VERIFICATION_FAILED, pv.partition as f64);
         // A second event keyed by the offender, for forensic reports.
         ctx.record("verification_failed_by", pv.aggregator as f64);
+        if !pv.blob.is_empty() {
+            ctx.record(labels::WASTED_BYTES, pv.blob.len() as f64);
+        }
+        self.maybe_issue_evidence(ctx, pv);
         let msg = Msg::UpdateRejected {
             partition: pv.partition,
             iter: pv.iter,
@@ -218,17 +364,120 @@ impl Directory {
         ctx.send(pv.from, msg.wire_bytes(), msg);
     }
 
+    /// Turns a failed, *signed* update verification into a transferable
+    /// `BadUpdate` proof: the directory evicts the offender directly (it
+    /// verified first-hand) and gossips the evidence so peer aggregators
+    /// blacklist the slot too.
+    fn maybe_issue_evidence(&mut self, ctx: &mut Context<'_, Msg>, pv: &PendingVerify) {
+        if !self.topo.config().accountability || pv.blob.is_empty() {
+            return;
+        }
+        let Some(offender_sig) = pv.signature else {
+            return;
+        };
+        let Some(expected) = self.expected_for_update(pv.partition, pv.iter, &pv.contributors)
+        else {
+            return; // commitments incomplete: nothing provable
+        };
+        if !self.evidence_issued.insert((pv.aggregator, pv.iter)) {
+            return;
+        }
+        ctx.record(labels::MISBEHAVIOR_DETECTED, pv.aggregator as f64);
+        let slots = self.topo.config().aggregators_per_partition;
+        let mut record = Misbehavior {
+            kind: MisbehaviorKind::BadUpdate,
+            partition: pv.partition,
+            agg_j: pv.aggregator % slots,
+            iter: pv.iter,
+            cid: pv.cid,
+            contributors: pv.contributors.clone().unwrap_or_default(),
+            accumulator: expected.to_bytes(),
+            blob: pv.blob.clone(),
+            offender_sig,
+            detector: 0,
+            detector_sig: [0u8; 65],
+        };
+        let sk = directory_signing_key(self.topo.config().seed);
+        record.sign_as_detector(DIRECTORY_DETECTOR, &sk);
+        self.evict(ctx, pv.aggregator);
+        let publish = IpfsWire::Publish {
+            topic: EVIDENCE_TOPIC.to_string(),
+            data: Bytes::from(record.encode()),
+        };
+        ctx.send(
+            self.topo.ipfs_node(0),
+            publish.wire_bytes(),
+            Msg::Ipfs(publish),
+        );
+    }
+
+    fn evict(&mut self, ctx: &mut Context<'_, Msg>, offender: usize) {
+        if self.evicted.insert(offender) {
+            ctx.record(labels::EVICTED, offender as f64);
+        }
+    }
+
+    /// Independently re-verifies peer-reported evidence and evicts the
+    /// offender when the proof holds. The expected accumulator is derived
+    /// from the directory's own registered commitments — never taken from
+    /// the report.
+    fn on_report(&mut self, ctx: &mut Context<'_, Msg>, record_bytes: &[u8]) {
+        if !self.topo.config().accountability {
+            return;
+        }
+        let Some(record) = Misbehavior::decode(record_bytes) else {
+            return;
+        };
+        let slots = self.topo.config().aggregators_per_partition;
+        let offender = record.offender(slots);
+        if offender >= self.topo.config().total_aggregators() || self.evicted.contains(&offender) {
+            return;
+        }
+        let expected = match record.kind {
+            MisbehaviorKind::BadPartial => {
+                let set = self.topo.trainer_set(record.partition, record.agg_j);
+                let full_claim =
+                    record.contributors.is_empty() || record.contributors.len() == set.len();
+                if self.topo.config().min_quorum.is_none() || full_claim {
+                    self.accumulated_for_slot(record.partition, record.iter, record.agg_j)
+                } else {
+                    let ranks: Option<Vec<u32>> = record
+                        .contributors
+                        .iter()
+                        .map(|&r| set.get(r as usize).map(|&t| t as u32))
+                        .collect();
+                    ranks.and_then(|ts| self.accumulated_subset(record.partition, record.iter, &ts))
+                }
+            }
+            MisbehaviorKind::BadUpdate => {
+                let contributors = if record.contributors.is_empty() {
+                    None
+                } else {
+                    Some(record.contributors.clone())
+                };
+                self.expected_for_update(record.partition, record.iter, &contributors)
+            }
+        };
+        let (Some(expected), Some(key)) = (expected, self.key.as_ref()) else {
+            return;
+        };
+        if record.verify(key, self.topo.config().seed, slots, &expected) {
+            self.evict(ctx, offender);
+        }
+    }
+
     fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8], ok: bool) {
         let Some(mut pv) = self.fetching.remove(&req_id) else {
             return;
         };
         let key = self.key.as_ref().expect("verifiable mode").clone();
         let verdict = ok
-            && match self.accumulated_total(pv.partition, pv.iter) {
+            && match self.expected_for_update(pv.partition, pv.iter, &pv.contributors) {
                 Some(acc) => verify_blob(&key, data, &acc),
                 None => false, // not all gradients registered: incomplete
             };
         pv.verdict = verdict;
+        pv.blob = data.to_vec();
         // Charge the virtual verification time, then apply the verdict.
         let elements = (data.len() / 8).max(1) as u64;
         let us = self.topo.config().commit_us_per_element * elements;
@@ -269,11 +518,13 @@ impl Actor<Msg> for Directory {
             let Some(pv) = self.verifying.remove(&(token & 0xFFFF_FFFF)) else {
                 return;
             };
-            if self.updates.contains_key(&(pv.partition, pv.iter)) {
-                return; // raced with an earlier valid registration
-            }
             if pv.verdict {
-                self.accept_update(ctx, pv.partition, pv.iter, pv.cid);
+                if !self.updates.contains_key(&(pv.partition, pv.iter)) {
+                    let contributors = pv.contributors.clone();
+                    self.accept_update(ctx, pv.partition, pv.iter, pv.cid, contributors);
+                }
+                // else: raced with an earlier valid registration; the
+                // audited blob verified, so there is nothing to report.
             } else {
                 self.reject_update(ctx, &pv);
             }
@@ -399,13 +650,32 @@ impl Actor<Msg> for Directory {
                 partition,
                 iter,
                 cid,
+                contributors,
+                signature,
             } => {
-                self.on_register_update(ctx, from, aggregator, partition, iter, cid);
+                self.on_register_update(
+                    ctx,
+                    from,
+                    aggregator,
+                    partition,
+                    iter,
+                    cid,
+                    contributors,
+                    signature,
+                );
+            }
+            Msg::ReportMisbehavior { record } => {
+                self.on_report(ctx, &record);
             }
             Msg::QueryTotalAccumulator { partition, iter } => {
-                let accumulated = self
-                    .accumulated_total(partition, iter)
-                    .map(|c| c.to_bytes());
+                // After a quorum-degraded round the accepted update opens
+                // the product over its contributor set, not the full total
+                // — answer with what the accepted update actually opens.
+                let accumulated = match self.accepted_contributors.get(&(partition, iter)) {
+                    Some(set) => self.accumulated_subset(partition, iter, set),
+                    None => self.accumulated_total(partition, iter),
+                }
+                .map(|c| c.to_bytes());
                 let reply = Msg::TotalAccumulator {
                     partition,
                     iter,

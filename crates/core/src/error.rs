@@ -15,6 +15,14 @@ pub enum IplsError {
     /// Summed quantized gradients exceeded the fixed-point range (would
     /// have wrapped or saturated silently).
     Overflow,
+    /// A storage upload target was requested in a communication mode that
+    /// never routes gradients through storage (`CommMode::Direct`).
+    NoStorageRoute {
+        /// Partition whose gradient was about to be routed.
+        partition: usize,
+        /// Trainer that asked for an upload target.
+        trainer: usize,
+    },
 }
 
 impl fmt::Display for IplsError {
@@ -34,6 +42,11 @@ impl fmt::Display for IplsError {
             IplsError::Overflow => {
                 write!(f, "quantized gradient sum overflowed the fixed-point range")
             }
+            IplsError::NoStorageRoute { partition, trainer } => write!(
+                f,
+                "no storage route for partition {partition} gradient of trainer {trainer}: \
+                 direct mode uploads no gradients to storage"
+            ),
         }
     }
 }

@@ -44,3 +44,25 @@ pub const MERGE_FALLBACK: &str = "merge_fallback";
 /// Aggregator: summing gradients overflowed the fixed-point range and the
 /// aggregate was abandoned rather than silently clamped (value = iter).
 pub const SUM_OVERFLOW: &str = "sum_overflow";
+/// A commitment mismatch was pinned on a specific aggregator — by a peer
+/// whose fetched partial failed verification, or by the directory whose
+/// registered update failed verification (value = offending aggregator's
+/// global index).
+pub const MISBEHAVIOR_DETECTED: &str = "misbehavior_detected";
+/// Directory: an aggregator was evicted on valid misbehavior evidence;
+/// its future update registrations are ignored (value = offender index).
+pub const EVICTED: &str = "evicted";
+/// Directory: a registration from an evicted aggregator was dropped
+/// (value = offender index).
+pub const EVICTED_REJECTED: &str = "evicted_rejected";
+/// Aggregator: a partition peer was locally blacklisted — either on
+/// re-verified misbehavior evidence or on watchdog timeout suspicion
+/// (value = the blacklisted slot's global aggregator index).
+pub const PEER_BLACKLISTED: &str = "peer_blacklisted";
+/// Aggregator: a round's partition sync completed using gradients
+/// re-downloaded from storage in place of at least one peer partial
+/// (value = iter).
+pub const ROUND_RECOVERED: &str = "round_recovered";
+/// Bytes fetched, stored, or uploaded for data that misbehavior later
+/// invalidated (value = byte count; summed by the runner).
+pub const WASTED_BYTES: &str = "wasted_bytes";

@@ -37,6 +37,7 @@
 //! # Ok::<(), ipls::IplsError>(())
 //! ```
 
+pub mod accountability;
 pub mod addressing;
 pub mod adversary;
 pub mod aggregator;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use dfl_netsim::{Fault, FaultPlan, LinkSpec, NodeId, SimDuration, SimTime};
 }
 
+pub use accountability::{Misbehavior, MisbehaviorKind};
 pub use addressing::{Addr, ObjectKind, Uploader};
 pub use adversary::Behavior;
 pub use aggregator::Aggregator;

@@ -65,6 +65,60 @@ pub fn registration_message(
     out
 }
 
+/// Canonical byte string an aggregator signs over a partial-update
+/// announcement (accountability mode): partition, slot, round, CID, and
+/// the claimed contributor ranks are all bound, so a later commitment
+/// mismatch against the blob is attributable to the signer.
+pub fn announce_message(
+    partition: usize,
+    agg_j: usize,
+    iter: u64,
+    cid: &Cid,
+    contributors: &[u16],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 2 * contributors.len());
+    out.extend_from_slice(b"ipls-sync-announce");
+    out.extend_from_slice(&(partition as u64).to_be_bytes());
+    out.extend_from_slice(&(agg_j as u64).to_be_bytes());
+    out.extend_from_slice(&iter.to_be_bytes());
+    out.extend_from_slice(cid.as_bytes());
+    out.extend_from_slice(&(contributors.len() as u16).to_be_bytes());
+    for rank in contributors {
+        out.extend_from_slice(&rank.to_be_bytes());
+    }
+    out
+}
+
+/// Canonical byte string an aggregator signs over a global-update
+/// registration (accountability mode). `contributors` is the claimed set
+/// of global trainer indices the update averages over (`None` = the full
+/// partition membership).
+pub fn update_message(
+    aggregator: usize,
+    partition: usize,
+    iter: u64,
+    cid: &Cid,
+    contributors: &Option<Vec<u32>>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    out.extend_from_slice(b"ipls-register-update");
+    out.extend_from_slice(&(aggregator as u64).to_be_bytes());
+    out.extend_from_slice(&(partition as u64).to_be_bytes());
+    out.extend_from_slice(&iter.to_be_bytes());
+    out.extend_from_slice(cid.as_bytes());
+    match contributors {
+        Some(set) => {
+            out.push(1);
+            out.extend_from_slice(&(set.len() as u32).to_be_bytes());
+            for t in set {
+                out.extend_from_slice(&t.to_be_bytes());
+            }
+        }
+        None => out.push(0),
+    }
+    out
+}
+
 /// Messages exchanged between task participants.
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -183,6 +237,11 @@ pub enum Msg {
         iter: u64,
         /// CID of the uploaded update blob.
         cid: Cid,
+        /// Global trainer indices the update averages over, when a quorum
+        /// degradation left out part of the membership (`None` = full set).
+        contributors: Option<Vec<u32>>,
+        /// Schnorr signature over [`update_message`] (accountability mode).
+        signature: Option<SignatureBytes>,
     },
 
     /// Directory → aggregator: the update was rejected (failed
@@ -223,6 +282,14 @@ pub enum Msg {
         iter: u64,
     },
 
+    /// Detector → directory: a serialized, transferable
+    /// [`Misbehavior`](crate::accountability::Misbehavior) proof. The
+    /// directory re-verifies it independently before evicting the offender.
+    ReportMisbehavior {
+        /// The encoded evidence record.
+        record: bytes::Bytes,
+    },
+
     /// Trainer → aggregator, direct mode only: the gradient blob itself,
     /// bypassing storage (the original IPLS design Fig. 1 compares against).
     DirectGradient {
@@ -254,7 +321,18 @@ impl Msg {
                     + if commitment.is_some() { 33 } else { 0 }
                     + if signature.is_some() { 65 } else { 0 }
             }
-            Msg::RegisterUpdate { .. } | Msg::UpdateInfo { cid: Some(_), .. } => CONTROL_BYTES + 32,
+            Msg::RegisterUpdate {
+                contributors,
+                signature,
+                ..
+            } => {
+                CONTROL_BYTES
+                    + 32
+                    + contributors.as_ref().map_or(0, |s| 4 * s.len() as u64)
+                    + if signature.is_some() { 65 } else { 0 }
+            }
+            Msg::UpdateInfo { cid: Some(_), .. } => CONTROL_BYTES + 32,
+            Msg::ReportMisbehavior { record } => CONTROL_BYTES + record.len() as u64,
             Msg::TotalAccumulator {
                 accumulated: Some(_),
                 ..
@@ -286,7 +364,7 @@ impl WireEmbed for Msg {
 /// Payload published on the sync topic when an aggregator finishes its
 /// partial update (§IV-B: "aggregators use the IPFS pub/sub functionality
 /// to publish their IPFS hashes for their partial updates").
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SyncAnnounce {
     /// Partition index.
     pub partition: usize,
@@ -296,32 +374,84 @@ pub struct SyncAnnounce {
     pub iter: u64,
     /// CID of the partial update blob.
     pub cid: Cid,
+    /// Ranks, within the slot's trainer set `T_ij`, of the trainers whose
+    /// gradients the partial sums (quorum degradation announces a subset;
+    /// the full set otherwise).
+    pub contributors: Vec<u16>,
+    /// Schnorr signature over [`announce_message`] (accountability mode);
+    /// unsigned announces are discarded by accountability-mode receivers.
+    pub signature: Option<SignatureBytes>,
 }
 
 impl SyncAnnounce {
+    /// The canonical byte string the announcement's signature covers.
+    pub fn message(&self) -> Vec<u8> {
+        announce_message(
+            self.partition,
+            self.agg_j,
+            self.iter,
+            &self.cid,
+            &self.contributors,
+        )
+    }
+
     /// Serializes to the pub/sub payload format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + 8 + 8 + 32);
+        let mut out = Vec::with_capacity(59 + 2 * self.contributors.len() + 65);
         out.extend_from_slice(&(self.partition as u64).to_le_bytes());
         out.extend_from_slice(&(self.agg_j as u64).to_le_bytes());
         out.extend_from_slice(&self.iter.to_le_bytes());
         out.extend_from_slice(self.cid.as_bytes());
+        out.extend_from_slice(&(self.contributors.len() as u16).to_le_bytes());
+        for rank in &self.contributors {
+            out.extend_from_slice(&rank.to_le_bytes());
+        }
+        match &self.signature {
+            Some(sig) => {
+                out.push(1);
+                out.extend_from_slice(sig);
+            }
+            None => out.push(0),
+        }
         out
     }
 
     /// Parses a pub/sub payload; `None` when malformed.
     pub fn decode(bytes: &[u8]) -> Option<SyncAnnounce> {
-        if bytes.len() != 56 {
+        if bytes.len() < 59 {
             return None;
         }
         let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
         let mut cid = [0u8; 32];
         cid.copy_from_slice(&bytes[24..56]);
+        let count = u16::from_le_bytes(bytes[56..58].try_into().expect("2 bytes")) as usize;
+        let mut at = 58;
+        if bytes.len() < at + 2 * count + 1 {
+            return None;
+        }
+        let mut contributors = Vec::with_capacity(count);
+        for _ in 0..count {
+            contributors.push(u16::from_le_bytes(
+                bytes[at..at + 2].try_into().expect("2 bytes"),
+            ));
+            at += 2;
+        }
+        let signature = match bytes[at] {
+            0 if bytes.len() == at + 1 => None,
+            1 if bytes.len() == at + 66 => {
+                let mut sig = [0u8; 65];
+                sig.copy_from_slice(&bytes[at + 1..at + 66]);
+                Some(sig)
+            }
+            _ => return None,
+        };
         Some(SyncAnnounce {
             partition: u64_at(0) as usize,
             agg_j: u64_at(8) as usize,
             iter: u64_at(16),
             cid: Cid::from_bytes(cid),
+            contributors,
+            signature,
         })
     }
 }
@@ -387,9 +517,37 @@ mod tests {
             agg_j: 1,
             iter: 42,
             cid: Cid::of(b"partial"),
+            contributors: vec![0, 2, 3],
+            signature: None,
         };
         let decoded = SyncAnnounce::decode(&ann.encode()).unwrap();
         assert_eq!(decoded, ann);
         assert_eq!(SyncAnnounce::decode(b"short"), None);
+
+        let signed = SyncAnnounce {
+            signature: Some([7u8; 65]),
+            ..ann.clone()
+        };
+        let decoded = SyncAnnounce::decode(&signed.encode()).unwrap();
+        assert_eq!(decoded, signed);
+
+        // Truncated signature or trailing garbage must not parse.
+        let mut bytes = signed.encode();
+        bytes.pop();
+        assert_eq!(SyncAnnounce::decode(&bytes), None);
+        let mut bytes = ann.encode();
+        bytes.push(0);
+        assert_eq!(SyncAnnounce::decode(&bytes), None);
+    }
+
+    #[test]
+    fn announce_message_binds_contributors() {
+        let cid = Cid::of(b"partial");
+        let a = announce_message(0, 1, 2, &cid, &[0, 1]);
+        let b = announce_message(0, 1, 2, &cid, &[0, 2]);
+        assert_ne!(a, b);
+        let c = update_message(3, 0, 2, &cid, &None);
+        let d = update_message(3, 0, 2, &cid, &Some(vec![0, 1, 2]));
+        assert_ne!(c, d);
     }
 }

@@ -62,6 +62,17 @@ pub struct TaskReport {
     pub quorum_degradations: usize,
     /// Number of merge RPC failures that degraded to plain per-CID fetches.
     pub merge_fallbacks: usize,
+    /// Misbehavior detections: commitment mismatches pinned on a specific
+    /// aggregator (by a peer during partial sync or by the directory).
+    pub detections: usize,
+    /// Aggregators the directory evicted on verified misbehavior evidence.
+    pub evictions: usize,
+    /// Rounds in which at least one aggregator completed the partition
+    /// sync from recovered gradients instead of a peer partial.
+    pub recovered_rounds: usize,
+    /// Bytes spent on data that misbehavior invalidated (bad partials,
+    /// rejected updates, corrupt recovered blobs).
+    pub wasted_bytes: u64,
     /// The raw simulation trace, for custom analysis.
     pub trace: Trace,
 }
@@ -288,6 +299,25 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
         dropout_recoveries: trace.find_all(labels::DROPOUT_RECOVERY).len(),
         quorum_degradations: trace.find_all(labels::QUORUM_DEGRADED).len(),
         merge_fallbacks: trace.find_all(labels::MERGE_FALLBACK).len(),
+        detections: trace.find_all(labels::MISBEHAVIOR_DETECTED).len(),
+        evictions: trace.find_all(labels::EVICTED).len(),
+        recovered_rounds: {
+            // Distinct rounds, not events: several aggregators may recover
+            // the same round independently.
+            let mut iters: Vec<u64> = trace
+                .find_all(labels::ROUND_RECOVERED)
+                .into_iter()
+                .map(|e| e.value as u64)
+                .collect();
+            iters.sort_unstable();
+            iters.dedup();
+            iters.len()
+        },
+        wasted_bytes: trace
+            .find_all(labels::WASTED_BYTES)
+            .into_iter()
+            .map(|e| e.value as u64)
+            .sum(),
         trace: trace.clone(),
     }
 }

@@ -256,7 +256,10 @@ impl<M: Model> Trainer<M> {
                         req_id,
                         replicate: self.topo.config().replication,
                     };
-                    let to = self.topo.upload_target(i, self.t);
+                    let to = self
+                        .topo
+                        .upload_target(i, self.t)
+                        .expect("storage-backed mode routes uploads through storage");
                     ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
                 }
                 self.arm_retry(ctx);
@@ -295,7 +298,10 @@ impl<M: Model> Trainer<M> {
                 req_id,
                 replicate: self.topo.config().replication,
             };
-            let to = self.topo.upload_target(partition, self.t);
+            let to = self
+                .topo
+                .upload_target(partition, self.t)
+                .expect("retries only exist for storage-backed uploads");
             ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
         }
         let mut gets: Vec<(u64, Cid)> = self
@@ -318,8 +324,11 @@ impl<M: Model> Trainer<M> {
         let Some(partition) = self.pending_acks.remove(&req_id) else {
             return;
         };
-        self.uploads
-            .push((self.topo.upload_target(partition, self.t), cid));
+        let target = self
+            .topo
+            .upload_target(partition, self.t)
+            .expect("puts are only acked in storage-backed modes");
+        self.uploads.push((target, cid));
         let commitment = self.blobs[&partition].1;
         if self.topo.config().compact_registration {
             // Accumulate; one batched registration goes out with the last

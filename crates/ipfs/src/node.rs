@@ -1467,6 +1467,49 @@ mod tests {
     }
 
     #[test]
+    fn gossip_reaches_every_remote_subscriber_exactly_once() {
+        // The evidence-gossip pattern of the accountability layer: one
+        // detector publishes a misbehavior record; every subscriber on
+        // every *other* gateway must receive exactly one Deliver carrying
+        // the true publisher id (peers filter their own detections by it),
+        // and the publisher must not hear its own record back.
+        let mut nodes = network(4);
+        let peers: Vec<NodeId> = (300..304).map(NodeId).collect();
+        for (i, &peer) in peers.iter().enumerate() {
+            nodes[i].handle(
+                peer,
+                IpfsWire::Subscribe {
+                    topic: "ipls/evidence".into(),
+                },
+            );
+        }
+        let detector = peers[1];
+        let o = nodes[1].handle(
+            detector,
+            IpfsWire::Publish {
+                topic: "ipls/evidence".into(),
+                data: Bytes::from_static(b"misbehavior-record"),
+            },
+        );
+        let replies = pump(&mut nodes, o.into_iter().map(|o| (NodeId(1), o)).collect());
+        for &peer in &peers {
+            let got: Vec<_> = replies
+                .iter()
+                .filter(|(to, w)| {
+                    *to == peer
+                        && matches!(
+                            w,
+                            IpfsWire::Deliver { topic, publisher, .. }
+                                if topic == "ipls/evidence" && *publisher == detector
+                        )
+                })
+                .collect();
+            let want = usize::from(peer != detector);
+            assert_eq!(got.len(), want, "peer {peer:?} deliveries");
+        }
+    }
+
+    #[test]
     fn lossy_node_loses_data() {
         let mut nodes = network(3);
         nodes[0].set_lossy(true);

@@ -180,14 +180,31 @@ fn fault_plan_node_ids_are_validated() {
 }
 
 #[test]
-fn quorum_rejected_in_verifiable_mode() {
-    // The accumulated commitment covers every trainer; a partial sum can
-    // never open it, so the combination must be refused up front.
+fn quorum_composes_with_verifiable_mode() {
+    // A degraded round can no longer open the full accumulated commitment,
+    // so the directory instead verifies the update against the product of
+    // the *claimed contributors'* individual commitments. Same crashed
+    // trainer as above, but with commitments on end to end.
     let mut c = cfg();
+    c.t_train = SimDuration::from_secs(2);
+    c.t_sync = SimDuration::from_secs(5);
     c.min_quorum = Some(5);
     c.verifiable = true;
-    let model = LogisticRegression::new(3, 2);
-    let params = model.params();
-    let err = run_task(c, model, params, clients(), sgd(), &[]).unwrap_err();
-    assert!(err.to_string().contains("min_quorum"), "got: {err}");
+    c.fault_plan = FaultPlan::new().crash_at(SimTime::from_micros(10_000), NodeId(12));
+    let report = run(c.clone());
+
+    assert!(
+        report.succeeded(&c),
+        "verifiable + quorum must complete the degraded round"
+    );
+    assert_eq!(report.quorum_degradations, 2);
+    assert_eq!(
+        report.verification_failures, 0,
+        "the subset update must open the per-member commitment product"
+    );
+    // The five survivors agree on the model.
+    assert_eq!(report.final_params.len(), 5);
+    let mut models = report.final_params.values();
+    let first = models.next().expect("five survivors");
+    assert!(models.all(|m| m == first));
 }

@@ -98,7 +98,7 @@ proptest! {
         let storage: HashSet<_> = topo.ipfs_ids().into_iter().collect();
         for partition in 0..cfg.partitions {
             for t in 0..cfg.trainers {
-                let target = topo.upload_target(partition, t);
+                let target = topo.upload_target(partition, t).expect("storage-backed mode");
                 prop_assert!(storage.contains(&target));
                 // And in merge mode, the target is one of the responsible
                 // aggregator's providers (so merges cover every gradient).
