@@ -1,0 +1,65 @@
+//! Criterion bench for the trace-query layer: the per-label count/sum and
+//! per-node lookup batteries through the seed's linear-scan access pattern
+//! ("scan") versus the interned-label index ("indexed"), on a deterministic
+//! 100 k-event synthetic trace, plus the hot `record` path itself.
+//!
+//! Run with `cargo bench -p dfl-bench --bench netsim_trace`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfl_bench::{synthetic_trace, trace_query_profile};
+use dfl_netsim::{NodeId, SimTime, Trace};
+
+const EVENTS: usize = 100_000;
+const LABELS: usize = 32;
+const NODES: usize = 64;
+
+fn bench_trace_queries(c: &mut Criterion) {
+    let trace = synthetic_trace(EVENTS, LABELS, NODES, 7);
+    let profile = trace_query_profile("synthetic", &trace, 3);
+    println!(
+        "\n=== Trace queries, {} events / {} labels ===\n\
+         aggregate: scan {:.3} ms vs indexed {:.3} ms ({:.0}x)\n\
+         find:      scan {:.3} ms vs indexed {:.3} ms ({:.0}x)\n",
+        profile.events,
+        profile.labels,
+        profile.scan_aggregate_ms,
+        profile.indexed_aggregate_ms,
+        profile.aggregate_speedup(),
+        profile.scan_find_ms,
+        profile.indexed_find_ms,
+        profile.find_speedup()
+    );
+
+    let mut group = c.benchmark_group("netsim_trace");
+    group.sample_size(20);
+    group.bench_function("scan_sum", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for e in trace.events() {
+                if trace.label_name(e.label) == "synthetic/label_00" {
+                    sum += e.value;
+                }
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    group.bench_function("indexed_sum", |b| {
+        b.iter(|| std::hint::black_box(trace.sum("synthetic/label_00")))
+    });
+    group.bench_function("indexed_find", |b| {
+        b.iter(|| std::hint::black_box(trace.find(NodeId(0), "synthetic/label_00").len()))
+    });
+    group.bench_function("record_seen_label", |b| {
+        let mut trace = Trace::new();
+        trace.record(SimTime::ZERO, NodeId(0), "bench/label", 1.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            trace.record(SimTime::from_micros(i), NodeId(0), "bench/label", 1.0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_queries);
+criterion_main!(benches);

@@ -40,7 +40,7 @@ use crate::accountability::{
 use crate::adversary::Behavior;
 use crate::config::{CommMode, Topology};
 use crate::gradient::{
-    commit_blob, decode_blob, sum_gradients, verify_blob, ProtocolCommitment, ProtocolCurve,
+    commit_blob, decode_blob, sum_gradients, verify_blob_timed, ProtocolCommitment, ProtocolCurve,
     ProtocolKey,
 };
 use crate::labels;
@@ -143,6 +143,9 @@ pub struct Aggregator {
     update_contributors: Option<Vec<u32>>,
     global_sent: bool,
     sync_recorded: bool,
+    /// `FETCH_START` recorded for this round (first own-gradient fetch or
+    /// merge RPC — the start of the merge-delay span).
+    fetch_started: bool,
     /// The t_sync deadline passed and `min_quorum` authorized completing
     /// the round with the gradients received so far.
     deadline_degraded: bool,
@@ -219,6 +222,7 @@ impl Aggregator {
             update_contributors: None,
             global_sent: false,
             sync_recorded: false,
+            fetch_started: false,
             deadline_degraded: false,
             merge_members: HashMap::new(),
             fallback_pending: HashSet::new(),
@@ -328,6 +332,7 @@ impl Aggregator {
         self.update_contributors = None;
         self.global_sent = false;
         self.sync_recorded = false;
+        self.fetch_started = false;
         self.deadline_degraded = false;
         self.merge_members.clear();
         self.fallback_pending.clear();
@@ -547,13 +552,25 @@ impl Aggregator {
         let Ok(provider) = self.topo.upload_target(self.partition, trainer) else {
             return; // direct mode receives gradients over the wire instead
         };
+        self.mark_fetch_start(ctx);
         self.downloading.insert(trainer);
         let req = self.fresh_req(Request::OwnGradient { trainer });
         self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
     }
 
+    /// Marks the start of this round's gradient-gathering span (merge
+    /// delay = `GRADS_AGGREGATED − FETCH_START`); no-op after the first
+    /// fetch of the round.
+    fn mark_fetch_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.fetch_started {
+            self.fetch_started = true;
+            ctx.record(labels::FETCH_START, self.iter as f64);
+        }
+    }
+
     fn send_merges(&mut self, ctx: &mut Context<'_, Msg>) {
         self.merges_sent = true;
+        self.mark_fetch_start(ctx);
         // Group my trainers' gradients by the provider they uploaded to.
         // Under quorum degradation not every trainer has registered;
         // unregistered ones are simply absent from the merge.
@@ -627,9 +644,9 @@ impl Aggregator {
         // In verifiable mode, check the blob against the trainer's
         // registered commitment before trusting it.
         if let (Some(key), Some((_, Some(commitment)))) =
-            (self.key.as_ref(), self.registered.get(&trainer))
+            (self.key.clone(), self.registered.get(&trainer).cloned())
         {
-            if !verify_blob(key, data, commitment) {
+            if !verify_blob_timed(ctx, &key, data, &commitment) {
                 return; // corrupt gradient; the poll loop will retry
             }
         }
@@ -982,7 +999,7 @@ impl Aggregator {
             match self.expected_accumulator(&ann) {
                 Some(acc) => {
                     let key = self.key.as_ref().expect("verifiable").clone();
-                    if !verify_blob(&key, data, &acc) {
+                    if !verify_blob_timed(ctx, &key, data, &acc) {
                         // Provably malicious partial: in accountability
                         // mode, package the transferable evidence and
                         // recover the slot immediately; otherwise ignore it
@@ -1408,11 +1425,11 @@ impl Aggregator {
         // Each recovered blob is checked against the trainer's registered
         // commitment: recovery must reproduce the honest partial exactly,
         // so a corrupt storage copy is refetched rather than summed.
-        if let Some(key) = self.key.as_ref() {
-            let valid = self
-                .commitments_seen
-                .get(&trainer)
-                .is_some_and(|c| verify_blob(key, data, c));
+        if let Some(key) = self.key.clone() {
+            let valid = match self.commitments_seen.get(&trainer).cloned() {
+                Some(c) => verify_blob_timed(ctx, &key, data, &c),
+                None => false,
+            };
             if !valid {
                 ctx.record(labels::WASTED_BYTES, data.len() as f64);
                 self.recovery_pending.entry(j).or_default().insert(trainer);

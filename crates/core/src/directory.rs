@@ -27,7 +27,7 @@ use crate::accountability::{
     EVIDENCE_TOPIC,
 };
 use crate::config::Topology;
-use crate::gradient::{verify_blob, ProtocolCommitment, ProtocolCurve, ProtocolKey};
+use crate::gradient::{verify_blob_timed, ProtocolCommitment, ProtocolCurve, ProtocolKey};
 use crate::labels;
 use crate::messages::{
     batch_registration_message, registration_message, update_message, Msg, SignatureBytes,
@@ -473,7 +473,7 @@ impl Directory {
         let key = self.key.as_ref().expect("verifiable mode").clone();
         let verdict = ok
             && match self.expected_for_update(pv.partition, pv.iter, &pv.contributors) {
-                Some(acc) => verify_blob(&key, data, &acc),
+                Some(acc) => verify_blob_timed(ctx, &key, data, &acc),
                 None => false, // not all gradients registered: incomplete
             };
         pv.verdict = verdict;

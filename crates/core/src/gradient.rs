@@ -102,6 +102,25 @@ pub fn verify_blob(key: &ProtocolKey, blob: &[u8], commitment: &ProtocolCommitme
     }
 }
 
+/// [`verify_blob`], recording the wall-clock cost into the run's
+/// [`labels::VERIFY_MS`](crate::labels::VERIFY_MS) histogram. Wall-clock
+/// time is real (not simulated) and varies run to run; determinism
+/// comparisons deliberately cover only events and byte counters.
+pub fn verify_blob_timed<M>(
+    ctx: &mut dfl_netsim::Context<'_, M>,
+    key: &ProtocolKey,
+    blob: &[u8],
+    commitment: &ProtocolCommitment,
+) -> bool {
+    let started = std::time::Instant::now();
+    let ok = verify_blob(key, blob, commitment);
+    ctx.observe(
+        crate::labels::VERIFY_MS,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    ok
+}
+
 /// Derives the protocol commitment key for a task: enough generators for
 /// the largest partition plus the counter element.
 ///

@@ -66,3 +66,11 @@ pub const ROUND_RECOVERED: &str = "round_recovered";
 /// Bytes fetched, stored, or uploaded for data that misbehavior later
 /// invalidated (value = byte count; summed by the runner).
 pub const WASTED_BYTES: &str = "wasted_bytes";
+/// Aggregator: started gathering its trainers' gradients — the first
+/// own-gradient fetch or merge RPC of the round (value = iter). The merge
+/// delay is `GRADS_AGGREGATED − FETCH_START`.
+pub const FETCH_START: &str = "fetch_start";
+/// Histogram label: wall-clock milliseconds spent verifying one gradient
+/// blob against its commitment (trainer, aggregator, and directory verify
+/// paths). Wall-clock — excluded from determinism comparisons.
+pub const VERIFY_MS: &str = "verify_ms";

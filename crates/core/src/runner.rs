@@ -32,6 +32,10 @@ pub struct RoundMetrics {
     /// Gradient-aggregation delay: first gradient hash written in the
     /// directory → all aggregators finished aggregating (§V).
     pub aggregation_delay: f64,
+    /// Mean per-aggregator gradient-gathering span: first own-gradient
+    /// fetch or merge RPC → that aggregator's gradients aggregated. Zero in
+    /// direct mode (no storage fetch).
+    pub merge_delay: f64,
     /// Synchronization delay: gradients aggregated → all partials combined.
     pub sync_delay: f64,
     /// Total aggregation delay (`aggregation_delay + sync_delay`).
@@ -70,9 +74,17 @@ pub struct TaskReport {
     /// Rounds in which at least one aggregator completed the partition
     /// sync from recovered gradients instead of a peer partial.
     pub recovered_rounds: usize,
-    /// Bytes spent on data that misbehavior invalidated (bad partials,
-    /// rejected updates, corrupt recovered blobs).
+    /// Bytes spent on data that never became useful: misbehavior-invalidated
+    /// data (bad partials, rejected updates, corrupt recovered blobs) plus
+    /// the wire waste in [`TaskReport::wire_wasted_bytes`].
     pub wasted_bytes: u64,
+    /// Bytes the network carried that no application consumed: partial
+    /// transfers torn by crashes and completed payloads dropped because the
+    /// receiver was down at delivery.
+    pub wire_wasted_bytes: u64,
+    /// Application bytes sent across all nodes over the whole task (the
+    /// run's total wire cost).
+    pub total_tx_bytes: u64,
     /// The raw simulation trace, for custom analysis.
     pub trace: Trace,
 }
@@ -224,33 +236,45 @@ pub fn run_task<M: Model + Clone + 'static>(
     Ok(build_report(&topo, &trace, &params))
 }
 
+/// One label's events bucketed by round: each event whose value is the
+/// round number lands in `out[round]` as `(node, seconds)`. One walk of the
+/// label's index, regardless of the round count.
+fn by_round(trace: &Trace, label: &str, rounds: u64) -> Vec<Vec<(NodeId, f64)>> {
+    let mut out = vec![Vec::new(); rounds as usize];
+    for e in trace.find_all(label) {
+        let iter = e.value;
+        if iter >= 0.0 && iter.fract() == 0.0 && (iter as u64) < rounds {
+            out[iter as usize].push((e.node, e.time.as_secs_f64()));
+        }
+    }
+    out
+}
+
 fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>) -> TaskReport {
     let cfg = topo.config();
-    let mut rounds = Vec::new();
 
-    for iter in 0..cfg.rounds {
-        let matches = |label: &str| -> Vec<(NodeId, f64)> {
-            trace
-                .find_all(label)
-                .into_iter()
-                .filter(|e| e.value == iter as f64)
-                .map(|e| (e.node, e.time.as_secs_f64()))
-                .collect()
-        };
-        let complete = matches(labels::ROUND_COMPLETE);
-        if complete.is_empty() {
+    // Bucket every per-round label once, instead of re-querying the trace
+    // for each round.
+    let complete = by_round(trace, labels::ROUND_COMPLETE, cfg.rounds);
+    let round_starts = by_round(trace, labels::ROUND_START, cfg.rounds);
+    let upload_starts = by_round(trace, labels::UPLOAD_START, cfg.rounds);
+    let upload_dones = by_round(trace, labels::UPLOAD_DONE, cfg.rounds);
+    let first_hashes = by_round(trace, labels::FIRST_GRADIENT_HASH, cfg.rounds);
+    let fetch_starts = by_round(trace, labels::FETCH_START, cfg.rounds);
+    let aggregated = by_round(trace, labels::GRADS_AGGREGATED, cfg.rounds);
+    let syncs = by_round(trace, labels::SYNC_DONE, cfg.rounds);
+
+    let mut rounds = Vec::new();
+    for iter in 0..cfg.rounds as usize {
+        if complete[iter].is_empty() {
             break; // this and later rounds did not finish
         }
-        let round_start = matches(labels::ROUND_START)
-            .first()
-            .map(|(_, t)| *t)
-            .unwrap_or(0.0);
-        let round_end = complete[0].1;
+        let round_start = round_starts[iter].first().map(|(_, t)| *t).unwrap_or(0.0);
+        let round_end = complete[iter][0].1;
 
         // Upload delays, paired per trainer.
-        let starts: HashMap<NodeId, f64> = matches(labels::UPLOAD_START).into_iter().collect();
-        let dones = matches(labels::UPLOAD_DONE);
-        let mut delays: Vec<f64> = dones
+        let starts: HashMap<NodeId, f64> = upload_starts[iter].iter().copied().collect();
+        let mut delays: Vec<f64> = upload_dones[iter]
             .iter()
             .filter_map(|(node, done)| starts.get(node).map(|start| done - start))
             .collect();
@@ -262,24 +286,37 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
         };
         let upload_delay_max = delays.last().copied().unwrap_or(0.0);
 
-        let first_hash = matches(labels::FIRST_GRADIENT_HASH)
+        let first_hash = first_hashes[iter]
             .first()
             .map(|(_, t)| *t)
             .unwrap_or(round_start);
-        let last_aggregated = matches(labels::GRADS_AGGREGATED)
+        let last_aggregated = aggregated[iter]
             .iter()
             .map(|(_, t)| *t)
             .fold(first_hash, f64::max);
-        let last_sync = matches(labels::SYNC_DONE)
+        let last_sync = syncs[iter]
             .iter()
             .map(|(_, t)| *t)
             .fold(last_aggregated, f64::max);
 
+        // Merge delay: per-aggregator fetch-start → grads-aggregated span.
+        let fetch_by_node: HashMap<NodeId, f64> = fetch_starts[iter].iter().copied().collect();
+        let spans: Vec<f64> = aggregated[iter]
+            .iter()
+            .filter_map(|(node, done)| fetch_by_node.get(node).map(|start| done - start))
+            .collect();
+        let merge_delay = if spans.is_empty() {
+            0.0
+        } else {
+            spans.iter().sum::<f64>() / spans.len() as f64
+        };
+
         rounds.push(RoundMetrics {
-            round: iter,
+            round: iter as u64,
             upload_delay_avg,
             upload_delay_max,
             aggregation_delay: last_aggregated - first_hash,
+            merge_delay,
             sync_delay: last_sync - last_aggregated,
             total_aggregation_delay: last_sync - first_hash,
             round_duration: round_end - round_start,
@@ -290,17 +327,25 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
         .map(|g| trace.bytes_received(topo.aggregator(g)))
         .collect();
 
+    // Wire waste: bytes the network carried that no application consumed
+    // (crash-torn partial transfers and payloads dropped at delivery).
+    // Per-label value sums are maintained incrementally by the trace.
+    let wire_wasted_bytes = (trace.sum(dfl_netsim::trace::net::FLOW_TORN_INBOUND)
+        + trace.sum(dfl_netsim::trace::net::FLOW_TORN_OUTBOUND)
+        + trace.sum(dfl_netsim::trace::net::FLOW_UNDELIVERED)) as u64;
+    let protocol_wasted_bytes = trace.sum(labels::WASTED_BYTES) as u64;
+
     TaskReport {
         completed_rounds: rounds.len() as u64,
         rounds,
         final_params: sink.clone(),
         aggregator_rx_bytes,
-        verification_failures: trace.find_all(labels::VERIFICATION_FAILED).len(),
-        dropout_recoveries: trace.find_all(labels::DROPOUT_RECOVERY).len(),
-        quorum_degradations: trace.find_all(labels::QUORUM_DEGRADED).len(),
-        merge_fallbacks: trace.find_all(labels::MERGE_FALLBACK).len(),
-        detections: trace.find_all(labels::MISBEHAVIOR_DETECTED).len(),
-        evictions: trace.find_all(labels::EVICTED).len(),
+        verification_failures: trace.count(labels::VERIFICATION_FAILED),
+        dropout_recoveries: trace.count(labels::DROPOUT_RECOVERY),
+        quorum_degradations: trace.count(labels::QUORUM_DEGRADED),
+        merge_fallbacks: trace.count(labels::MERGE_FALLBACK),
+        detections: trace.count(labels::MISBEHAVIOR_DETECTED),
+        evictions: trace.count(labels::EVICTED),
         recovered_rounds: {
             // Distinct rounds, not events: several aggregators may recover
             // the same round independently.
@@ -313,11 +358,9 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
             iters.dedup();
             iters.len()
         },
-        wasted_bytes: trace
-            .find_all(labels::WASTED_BYTES)
-            .into_iter()
-            .map(|e| e.value as u64)
-            .sum(),
+        wasted_bytes: protocol_wasted_bytes + wire_wasted_bytes,
+        wire_wasted_bytes,
+        total_tx_bytes: trace.total_bytes_sent(),
         trace: trace.clone(),
     }
 }

@@ -21,7 +21,7 @@ use dfl_crypto::schnorr::SigningKey;
 
 use crate::config::{CommMode, Topology};
 use crate::gradient::{
-    build_blob, commit_blob, decode_update, verify_blob, ProtocolCommitment, ProtocolCurve,
+    build_blob, commit_blob, decode_update, verify_blob_timed, ProtocolCommitment, ProtocolCurve,
     ProtocolKey,
 };
 use crate::labels;
@@ -444,8 +444,9 @@ impl<M: Model> Trainer<M> {
         if self.topo.config().trainer_verifies {
             match self.accumulators.get(&partition) {
                 Some(acc) => {
+                    let acc = *acc;
                     let key = self.key.as_ref().expect("verifiable mode").clone();
-                    if !verify_blob(&key, &data, acc) {
+                    if !verify_blob_timed(ctx, &key, &data, &acc) {
                         // Never accept an unverified update (the poll loop
                         // will re-fetch if a correct one appears).
                         ctx.record("trainer_rejected_update", partition as f64);

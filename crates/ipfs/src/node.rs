@@ -300,6 +300,34 @@ pub struct IpfsNode {
     next_timer: u64,
     /// Test hook: a lossy node discards stored data (models storage loss).
     lossy: bool,
+    /// Counter bumps not yet drained into a trace (see [`stats`]). The
+    /// hosting actor drains with [`IpfsNode::take_stats`] after every
+    /// `handle`/`on_timeout`.
+    stat_pending: Vec<(&'static str, u64)>,
+}
+
+/// Trace counter labels bumped by [`IpfsNode`] and drained into the shared
+/// [`Trace`](dfl_netsim::Trace) by [`IpfsActor`] (`Trace::counter(label)`
+/// reads them back after a run).
+pub mod stats {
+    /// Provider-record lookups started for a block not held locally.
+    pub const PROVIDER_LOOKUPS: &str = "ipfs/provider_lookups";
+    /// `Get` requests served straight from the local block store.
+    pub const CACHE_HITS: &str = "ipfs/cache_hits";
+    /// `Get` requests that required remote retrieval.
+    pub const CACHE_MISSES: &str = "ipfs/cache_misses";
+    /// `Merge` RPCs received.
+    pub const MERGE_RPCS: &str = "ipfs/merge_rpcs";
+    /// Blocks a merge had to retrieve from other providers.
+    pub const MERGE_REMOTE_FETCHES: &str = "ipfs/merge_remote_fetches";
+    /// Same-peer retransmissions after a timeout (backoff retries).
+    pub const RETRIES: &str = "ipfs/retries";
+    /// Failovers to the next provider / record holder.
+    pub const FAILOVERS: &str = "ipfs/failovers";
+    /// Provider records withdrawn after a peer failed to serve a block.
+    pub const RETRACTIONS: &str = "ipfs/retractions";
+    /// Retrievals that exhausted every candidate and failed.
+    pub const FETCH_FAILURES: &str = "ipfs/fetch_failures";
 }
 
 impl IpfsNode {
@@ -328,6 +356,7 @@ impl IpfsNode {
             timer_owner: HashMap::new(),
             next_timer: 0,
             lossy: false,
+            stat_pending: Vec::new(),
         }
     }
 
@@ -361,6 +390,23 @@ impl IpfsNode {
     /// after every `handle`/`on_timeout`.
     pub fn take_timer_requests(&mut self) -> Vec<(u64, SimDuration)> {
         std::mem::take(&mut self.timer_requests)
+    }
+
+    fn bump(&mut self, label: &'static str) {
+        self.stat_pending.push((label, 1));
+    }
+
+    fn bump_by(&mut self, label: &'static str, delta: u64) {
+        if delta > 0 {
+            self.stat_pending.push((label, delta));
+        }
+    }
+
+    /// Drains the counter bumps accumulated since the last drain, as
+    /// `(label, delta)` pairs (labels from [`stats`]). The hosting actor
+    /// adds them to the run's trace counters.
+    pub fn take_stats(&mut self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.stat_pending)
     }
 
     /// Drops all volatile request state — in-flight retrievals, merges, and
@@ -625,16 +671,14 @@ impl IpfsNode {
     }
 
     fn on_get(&mut self, from: NodeId, cid: Cid, req_id: u64) -> Vec<Outgoing> {
-        if let Some(block) = self.store.get(&cid) {
+        if let Some(data) = self.store.get(&cid).map(|b| b.data().clone()) {
+            self.bump(stats::CACHE_HITS);
             return vec![Outgoing {
                 to: from,
-                wire: IpfsWire::GetOk {
-                    cid,
-                    data: block.data().clone(),
-                    req_id,
-                },
+                wire: IpfsWire::GetOk { cid, data, req_id },
             }];
         }
+        self.bump(stats::CACHE_MISSES);
         let internal = self.fresh_req();
         self.pending.insert(
             internal,
@@ -652,6 +696,7 @@ impl IpfsNode {
     /// holder — our own record may be partial, e.g. listing only
     /// ourselves when we lost the data but a replica exists elsewhere).
     fn resolve(&mut self, cid: Cid, internal: u64) -> Vec<Outgoing> {
+        self.bump(stats::PROVIDER_LOOKUPS);
         let local: Vec<NodeId> = self
             .records
             .get(&cid)
@@ -748,6 +793,7 @@ impl IpfsNode {
                 // holder's record may be more complete.
                 if let Leg::Resolve { mut holders } = state.leg {
                     if !holders.is_empty() {
+                        self.bump(stats::FAILOVERS);
                         let next = holders.remove(0);
                         self.fetches.insert(
                             req_id,
@@ -839,6 +885,7 @@ impl IpfsNode {
                 let next = queue.remove(0);
                 state.peer = next;
                 state.attempt = 0;
+                self.bump(stats::FAILOVERS);
                 self.arm_timeout(internal);
                 vec![Outgoing {
                     to: next,
@@ -852,6 +899,7 @@ impl IpfsNode {
                 let next = holders.remove(0);
                 state.peer = next;
                 state.attempt = 0;
+                self.bump(stats::FAILOVERS);
                 self.arm_timeout(internal);
                 vec![Outgoing {
                     to: next,
@@ -869,6 +917,7 @@ impl IpfsNode {
     /// node is a record holder, and by `Retract` on the other holders.
     /// This is how records self-heal after a provider dies or loses data.
     fn retract_provider(&mut self, cid: Cid, provider: NodeId) -> Vec<Outgoing> {
+        self.bump(stats::RETRACTIONS);
         let held = self
             .records
             .get(&cid)
@@ -919,6 +968,7 @@ impl IpfsNode {
                     req_id: internal,
                 },
             };
+            self.bump(stats::RETRIES);
             self.arm_timeout(internal);
             return vec![Outgoing { to: peer, wire }];
         }
@@ -935,6 +985,7 @@ impl IpfsNode {
     }
 
     fn fail(&mut self, cid: Cid, internal: u64) -> Vec<Outgoing> {
+        self.bump(stats::FETCH_FAILURES);
         if let Some(state) = self.fetches.remove(&internal) {
             self.timer_owner.remove(&state.timer);
         }
@@ -967,12 +1018,14 @@ impl IpfsNode {
     }
 
     fn on_merge(&mut self, from: NodeId, cids: Vec<Cid>, req_id: u64) -> Vec<Outgoing> {
+        self.bump(stats::MERGE_RPCS);
         let merge_id = self.fresh_req();
         let missing: HashSet<Cid> = cids
             .iter()
             .filter(|c| !self.store.contains(c))
             .copied()
             .collect();
+        self.bump_by(stats::MERGE_REMOTE_FETCHES, missing.len() as u64);
         self.merges.insert(
             merge_id,
             PendingMerge {
@@ -1131,6 +1184,9 @@ impl IpfsActor {
         }
         for (token, delay) in self.node.take_timer_requests() {
             ctx.set_timer(delay, token);
+        }
+        for (label, delta) in self.node.take_stats() {
+            ctx.incr(label, delta);
         }
         let blocks = self.node.store().len();
         if blocks != self.last_reported_blocks {

@@ -17,7 +17,7 @@ use std::collections::{BinaryHeap, HashMap};
 use crate::fair::{max_min_rates, FlowDesc};
 use crate::fault::{Fault, FaultPlan};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Trace;
+use crate::trace::{net, Trace};
 
 /// Identifies a node in the simulation.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -172,6 +172,16 @@ impl<'a, M> Context<'a, M> {
         let now = self.now;
         let id = self.self_id;
         self.trace.record(now, id, label, value);
+    }
+
+    /// Adds `delta` to the typed counter `label` in the shared trace.
+    pub fn incr(&mut self, label: &str, delta: u64) {
+        self.trace.add(label, delta);
+    }
+
+    /// Adds a histogram sample under `label` in the shared trace.
+    pub fn observe(&mut self, label: &str, value: f64) {
+        self.trace.observe(label, value);
     }
 
     /// Read access to the trace (e.g. to check a milestone already happened).
@@ -366,7 +376,17 @@ impl<M> Simulation<M> {
                     if let Some(flow) = self.flows.remove(&flow_id) {
                         if self.down[flow.dst.0] {
                             // Receiver crashed after the transfer completed
-                            // but before delivery: the message is lost.
+                            // but before delivery: the message is lost, but
+                            // the full payload still traversed the network.
+                            if flow.total_bytes > 0 {
+                                self.trace.count_bytes(flow.src, flow.dst, flow.total_bytes);
+                                self.trace.record(
+                                    self.now,
+                                    flow.dst,
+                                    net::FLOW_UNDELIVERED,
+                                    flow.total_bytes as f64,
+                                );
+                            }
                             continue;
                         }
                         let msg = flow.msg.expect("deliver carries the message");
@@ -400,17 +420,49 @@ impl<M> Simulation<M> {
                     return;
                 }
                 self.down[node.0] = true;
-                self.trace.record(self.now, node, "fault/crash", 1.0);
+                self.trace.record(self.now, node, net::FAULT_CRASH, 1.0);
                 // Tear down every transfer touching the node: senders see
                 // the connection die (no delivery), receivers get nothing.
-                let torn: Vec<u64> = self
+                // The bytes already on the wire are still accounted — the
+                // sender transmitted them either way, and a surviving
+                // receiver took delivery of the (useless) prefix.
+                let mut torn: Vec<u64> = self
                     .flows
                     .iter()
                     .filter(|(_, f)| f.src == node || f.dst == node)
                     .map(|(&id, _)| id)
                     .collect();
+                torn.sort_unstable(); // deterministic trace order
                 for id in torn {
-                    self.flows.remove(&id);
+                    let flow = self.flows.remove(&id).expect("listed flow exists");
+                    let transferred = (flow.total_bytes as f64 - flow.bytes_remaining.max(0.0))
+                        .clamp(0.0, flow.total_bytes as f64)
+                        as u64;
+                    if transferred == 0 {
+                        continue;
+                    }
+                    if flow.dst == node {
+                        // Receiver crashed: the sender spent uplink on the
+                        // prefix, but no application ever received it.
+                        self.trace.count_tx(flow.src, transferred);
+                        self.trace.record(
+                            self.now,
+                            node,
+                            net::FLOW_TORN_INBOUND,
+                            transferred as f64,
+                        );
+                    } else {
+                        // Sender crashed: the surviving receiver did take
+                        // delivery of the truncated prefix.
+                        self.trace.count_tx(flow.src, transferred);
+                        self.trace.count_rx(flow.dst, transferred);
+                        self.trace.record(
+                            self.now,
+                            node,
+                            net::FLOW_TORN_OUTBOUND,
+                            transferred as f64,
+                        );
+                    }
                 }
                 self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
                 self.apply_commands(); // discards the down node's commands
@@ -421,12 +473,12 @@ impl<M> Simulation<M> {
                     return;
                 }
                 self.down[node.0] = false;
-                self.trace.record(self.now, node, "fault/recover", 1.0);
+                self.trace.record(self.now, node, net::FAULT_RECOVER, 1.0);
                 self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
                 self.apply_commands();
             }
             Fault::DataLoss(node) => {
-                self.trace.record(self.now, node, "fault/data_loss", 1.0);
+                self.trace.record(self.now, node, net::FAULT_DATA_LOSS, 1.0);
                 self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
                 self.apply_commands();
             }
@@ -435,7 +487,8 @@ impl<M> Simulation<M> {
                 up_bps,
                 down_bps,
             } => {
-                self.trace.record(self.now, node, "fault/degrade_link", 1.0);
+                self.trace
+                    .record(self.now, node, net::FAULT_DEGRADE_LINK, 1.0);
                 self.links[node.0].up_bps = up_bps;
                 self.links[node.0].down_bps = down_bps;
                 self.reallocate_and_schedule();
@@ -788,10 +841,17 @@ mod tests {
             );
             sim.add_node(Echo, link_10mbps());
             sim.run();
-            sim.trace()
+            let trace = sim.trace();
+            trace
                 .events()
                 .iter()
-                .map(|e| (e.time.as_micros(), e.label.clone(), e.value))
+                .map(|e| {
+                    (
+                        e.time.as_micros(),
+                        trace.label_name(e.label).to_string(),
+                        e.value,
+                    )
+                })
                 .collect()
         }
         assert_eq!(run_once(), run_once());
@@ -871,6 +931,143 @@ mod tests {
     }
 
     #[test]
+    fn receiver_crash_accounts_partial_bytes() {
+        // 1.25 MB at 10 Mbps takes ~1 s; the receiver crashes at 0.5 s,
+        // so ~625 kB were already on the wire. The sender's tx must
+        // include that prefix; no rx is accounted (nothing was delivered).
+        struct Sink;
+        impl Actor<&'static str> for Sink {
+            fn on_message(
+                &mut self,
+                _ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
+            }
+        }
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let client = sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
+        sim.add_node(Sink, link_10mbps());
+        sim.schedule_fault(SimTime::from_micros(500_000), Fault::Crash(server));
+        sim.run();
+        let tx = sim.trace().bytes_sent(client);
+        assert!(
+            (600_000..=650_000).contains(&tx),
+            "expected ~625 kB partial tx, got {tx}"
+        );
+        assert_eq!(sim.trace().bytes_received(server), 0);
+        let torn = sim.trace().find(server, net::FLOW_TORN_INBOUND);
+        assert_eq!(torn.len(), 1);
+        assert_eq!(torn[0].value as u64, tx);
+        // Conservation: tx − rx equals the torn-inbound partial.
+        let trace = sim.trace();
+        assert_eq!(
+            trace.total_bytes_sent() - trace.total_bytes_received(),
+            trace.sum(net::FLOW_TORN_INBOUND) as u64
+        );
+    }
+
+    #[test]
+    fn sender_crash_accounts_partial_bytes_on_both_sides() {
+        // The sender crashes mid-transfer: the surviving receiver took
+        // delivery of the truncated prefix, so both tx and rx include it.
+        struct Sink;
+        impl Actor<&'static str> for Sink {
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
+                ctx.record("arrived", 1.0);
+            }
+        }
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let client = sim.add_node(
+            Client {
+                server,
+                bytes: 1_250_000,
+            },
+            link_10mbps(),
+        );
+        sim.add_node(Sink, link_10mbps());
+        sim.schedule_fault(SimTime::from_micros(500_000), Fault::Crash(client));
+        sim.run();
+        let tx = sim.trace().bytes_sent(client);
+        assert!(
+            (600_000..=650_000).contains(&tx),
+            "expected ~625 kB partial tx, got {tx}"
+        );
+        assert_eq!(sim.trace().bytes_received(server), tx);
+        assert!(sim.trace().find(server, "arrived").is_empty());
+        let torn = sim.trace().find(client, net::FLOW_TORN_OUTBOUND);
+        assert_eq!(torn.len(), 1);
+        assert_eq!(torn[0].value as u64, tx);
+        assert_eq!(
+            sim.trace().total_bytes_sent(),
+            sim.trace().total_bytes_received()
+        );
+    }
+
+    #[test]
+    fn undelivered_message_to_down_node_is_counted() {
+        // Pings sent while the server is crashed complete their transfer
+        // (the engine only gates the sender) but are dropped at delivery:
+        // the payload traversed the network, so the bytes count and a
+        // `flow/undelivered` event marks the loss.
+        struct Pinger {
+            server: NodeId,
+        }
+        impl Actor<&'static str> for Pinger {
+            fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+                ctx.set_timer(SimDuration::from_secs(2), 0);
+            }
+            fn on_message(
+                &mut self,
+                _ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, &'static str>, _t: u64) {
+                ctx.send(self.server, 1_000, "ping");
+            }
+        }
+        struct Sink;
+        impl Actor<&'static str> for Sink {
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _f: NodeId,
+                _m: &'static str,
+            ) {
+                ctx.record("arrived", 1.0);
+            }
+        }
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let pinger = sim.add_node(Pinger { server }, link_10mbps());
+        sim.add_node(Sink, link_10mbps());
+        sim.schedule_fault(SimTime::from_micros(1_500_000), Fault::Crash(server));
+        sim.schedule_fault(SimTime::from_micros(3_500_000), Fault::Recover(server));
+        sim.run();
+        assert!(sim.trace().find(server, "arrived").is_empty());
+        let undelivered = sim.trace().find(server, net::FLOW_UNDELIVERED);
+        assert_eq!(undelivered.len(), 1);
+        assert_eq!(undelivered[0].value as u64, 1_000);
+        assert_eq!(sim.trace().bytes_sent(pinger), 1_000);
+        assert_eq!(sim.trace().bytes_received(server), 1_000);
+    }
+
+    #[test]
     fn degrade_link_slows_active_flow() {
         let mut sim = Simulation::new();
         let server = sim.reserve_id(1);
@@ -928,10 +1125,17 @@ mod tests {
                 .degrade_link_at(SimTime::from_micros(500_000), NodeId(0), mbps(2), mbps(2));
             sim.apply_fault_plan(&plan);
             sim.run();
-            sim.trace()
+            let trace = sim.trace();
+            trace
                 .events()
                 .iter()
-                .map(|e| (e.time.as_micros(), e.label.clone(), e.value))
+                .map(|e| {
+                    (
+                        e.time.as_micros(),
+                        trace.label_name(e.label).to_string(),
+                        e.value,
+                    )
+                })
                 .collect()
         }
         assert_eq!(run_once(), run_once());

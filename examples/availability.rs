@@ -85,17 +85,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nScenario: storage churn — every 10 s one storage node crashes for the given outage.\n"
     );
     println!(
-        "{:>10}  {:>9}  {:>17}  {:>7}",
-        "outage (s)", "rounds", "avg duration (s)", "quorum"
+        "{:>10}  {:>9}  {:>17}  {:>7}  {:>13}  {:>11}",
+        "outage (s)", "rounds", "avg duration (s)", "quorum", "total tx (B)", "wasted (B)"
     );
     for p in dfl_bench::churn_sweep() {
         println!(
-            "{:>10}  {:>6}/{}  {:>17.2}  {:>7}",
+            "{:>10}  {:>6}/{}  {:>17.2}  {:>7}  {:>13}  {:>11}",
             p.outage_secs,
             p.completed_rounds,
             p.rounds,
             p.avg_round_duration,
-            p.quorum_degradations
+            p.quorum_degradations,
+            p.total_tx_bytes,
+            p.wasted_bytes
         );
     }
     Ok(())

@@ -1,0 +1,69 @@
+//! Records the trace-query before/after numbers into `BENCH_netsim.json`:
+//! the standard query battery (per-label count/sum, per-node event lookup)
+//! timed through the seed's linear-scan access pattern and through the
+//! interned-label index, on a Fig. 2-scale protocol trace and on a
+//! million-event synthetic trace — plus the churn sweep's wire-cost
+//! accounting (total vs wasted bytes per outage length).
+//!
+//! Run with: `cargo run --release --example bench_netsim`
+//! (set `BENCH_NETSIM_EVENTS` to override the synthetic trace size).
+
+use dfl_bench::{churn_sweep, netsim_report, netsim_report_json};
+
+fn main() {
+    let events = std::env::var("BENCH_NETSIM_EVENTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1_000_000);
+
+    println!("Trace-query battery (wall clock, this machine)");
+    println!(
+        "{:>10} {:>9} {:>7} {:>14} {:>14} {:>9} {:>12} {:>12} {:>9}",
+        "source",
+        "events",
+        "labels",
+        "scan-agg (ms)",
+        "idx-agg (ms)",
+        "speedup",
+        "scan-find",
+        "idx-find",
+        "speedup"
+    );
+    let profiles = netsim_report(events);
+    for p in &profiles {
+        println!(
+            "{:>10} {:>9} {:>7} {:>14.3} {:>14.3} {:>8.0}x {:>12.3} {:>12.3} {:>8.0}x",
+            p.source,
+            p.events,
+            p.labels,
+            p.scan_aggregate_ms,
+            p.indexed_aggregate_ms,
+            p.aggregate_speedup(),
+            p.scan_find_ms,
+            p.indexed_find_ms,
+            p.find_speedup()
+        );
+    }
+
+    println!("\nChurn wire cost (bytes on the wire vs bytes wasted by churn)");
+    println!(
+        "{:>10} {:>9} {:>14} {:>14} {:>14}",
+        "outage (s)", "rounds", "total tx", "wire wasted", "wasted (all)"
+    );
+    let churn = churn_sweep();
+    for p in &churn {
+        println!(
+            "{:>10} {:>6}/{} {:>14} {:>14} {:>14}",
+            p.outage_secs,
+            p.completed_rounds,
+            p.rounds,
+            p.total_tx_bytes,
+            p.wire_wasted_bytes,
+            p.wasted_bytes
+        );
+    }
+
+    let json = netsim_report_json(&profiles, &churn);
+    std::fs::write("BENCH_netsim.json", &json).expect("write BENCH_netsim.json");
+    println!("\nwrote BENCH_netsim.json");
+}

@@ -1,10 +1,14 @@
 //! `dfl` — command-line driver for the decentralized FL system.
 //!
 //! ```text
-//! dfl run   [--trainers N] [--partitions N] [--aggregators N] [--nodes N]
-//!           [--rounds N] [--comm direct|indirect|merge] [--providers N]
-//!           [--verifiable] [--authenticate] [--compact] [--replication N]
-//!           [--bandwidth MBPS] [--seed S]
+//! dfl run    [--trainers N] [--partitions N] [--aggregators N] [--nodes N]
+//!            [--rounds N] [--comm direct|indirect|merge] [--providers N]
+//!            [--verifiable] [--authenticate] [--compact] [--replication N]
+//!            [--bandwidth MBPS] [--seed S]
+//! dfl report [same flags; --comm defaults to merge]
+//!            [--export-jsonl PATH] [--export-csv PATH]
+//!            # per-round latency breakdown, protocol counters,
+//!            # verify-time histogram, and byte accounting
 //! dfl fig1 | fig2 | fig3      # regenerate a paper figure's series
 //! ```
 //!
@@ -13,12 +17,13 @@
 use std::process::ExitCode;
 
 use decentralized_fl::ml::{data, metrics, LogisticRegression, Model, SgdConfig};
-use decentralized_fl::protocol::{run_task, CommMode, TaskConfig};
+use decentralized_fl::protocol::{run_task, CommMode, TaskConfig, TaskReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("fig1") => {
             print_fig1();
             ExitCode::SUCCESS
@@ -32,7 +37,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dfl <run|fig1|fig2|fig3> [flags]  (see --help in source)");
+            eprintln!("usage: dfl <run|report|fig1|fig2|fig3> [flags]  (see --help in source)");
             ExitCode::FAILURE
         }
     }
@@ -74,9 +79,9 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     }
 }
 
-fn try_run(rest: &[String]) -> Result<(), String> {
-    let flags = Flags(rest);
-    let comm = match flags.get("--comm").unwrap_or("indirect") {
+/// Builds a [`TaskConfig`] from the shared `run`/`report` flag set.
+fn parse_config(flags: &Flags<'_>, default_comm: &str) -> Result<TaskConfig, String> {
+    let comm = match flags.get("--comm").unwrap_or(default_comm) {
         "direct" => CommMode::Direct,
         "indirect" => CommMode::Indirect,
         "merge" => CommMode::MergeAndDownload,
@@ -99,6 +104,27 @@ fn try_run(rest: &[String]) -> Result<(), String> {
         ..TaskConfig::default()
     };
     cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+/// Runs a task under `cfg` on the standard synthetic workload.
+fn run_with_config(cfg: &TaskConfig) -> Result<TaskReport, String> {
+    let dataset = data::make_blobs(50 * cfg.trainers, 4, 3, 0.5, cfg.seed);
+    let clients = data::partition_iid(&dataset, cfg.trainers, cfg.seed);
+    let model = LogisticRegression::new(4, 3);
+    let initial = model.params();
+    let sgd = SgdConfig {
+        lr: 0.3,
+        batch_size: 16,
+        epochs: 1,
+        clip: None,
+    };
+    run_task(cfg.clone(), model, initial, clients, sgd, &[]).map_err(|e| e.to_string())
+}
+
+fn try_run(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let cfg = parse_config(&flags, "indirect")?;
 
     let dataset = data::make_blobs(50 * cfg.trainers, 4, 3, 0.5, cfg.seed);
     let clients = data::partition_iid(&dataset, cfg.trainers, cfg.seed);
@@ -150,6 +176,114 @@ fn try_run(rest: &[String]) -> Result<(), String> {
     let acc = metrics::accuracy(&evaluate.predict(&dataset.x), &dataset.y);
     println!("final training accuracy: {:.1}%", acc * 100.0);
     println!("verification failures: {}", report.verification_failures);
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> ExitCode {
+    match try_report(rest) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_report(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    // `merge` by default: the breakdown is most informative when gradients
+    // travel through storage (merge-and-download, §IV-B).
+    let cfg = parse_config(&flags, "merge")?;
+    let report = run_with_config(&cfg)?;
+
+    println!(
+        "run: {} trainers, {} partitions × {} aggregators, {} storage nodes, {:?}, \
+         {}/{} round(s) completed",
+        cfg.trainers,
+        cfg.partitions,
+        cfg.aggregators_per_partition,
+        cfg.ipfs_nodes,
+        cfg.comm,
+        report.completed_rounds,
+        cfg.rounds
+    );
+
+    println!();
+    println!("per-round latency breakdown (seconds of simulated time):");
+    println!(
+        "{:>6} {:>10} {:>9} {:>13} {:>8} {:>10}",
+        "round", "upload", "merge", "aggregation", "sync", "duration"
+    );
+    for r in &report.rounds {
+        println!(
+            "{:>6} {:>10.3} {:>9.3} {:>13.3} {:>8.3} {:>10.3}",
+            r.round,
+            r.upload_delay_avg,
+            r.merge_delay,
+            r.aggregation_delay,
+            r.sync_delay,
+            r.round_duration
+        );
+    }
+
+    let trace = &report.trace;
+    let counters: Vec<(&str, u64)> = trace.counters().collect();
+    if !counters.is_empty() {
+        println!();
+        println!("counters:");
+        for (name, value) in counters {
+            println!("  {name:<28} {value}");
+        }
+    }
+
+    for (name, h) in trace.histograms() {
+        println!();
+        println!(
+            "{name}: n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.max()
+        );
+    }
+
+    println!();
+    println!("byte accounting:");
+    println!("  total sent                   {}", report.total_tx_bytes);
+    println!(
+        "  total received               {}",
+        trace.total_bytes_received()
+    );
+    println!(
+        "  wire wasted (churn)          {}",
+        report.wire_wasted_bytes
+    );
+    println!("  wasted (all causes)          {}", report.wasted_bytes);
+    let per_agg: Vec<String> = report
+        .aggregator_rx_bytes
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    println!("  rx per aggregator            [{}]", per_agg.join(", "));
+
+    if let Some(path) = flags.get("--export-jsonl") {
+        let mut out = Vec::new();
+        trace
+            .write_jsonl(&mut out)
+            .map_err(|e| format!("serializing trace: {e}"))?;
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace exported to {path} (jsonl)");
+    }
+    if let Some(path) = flags.get("--export-csv") {
+        let mut out = Vec::new();
+        trace
+            .write_csv(&mut out)
+            .map_err(|e| format!("serializing trace: {e}"))?;
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace exported to {path} (csv)");
+    }
     Ok(())
 }
 
