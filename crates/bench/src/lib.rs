@@ -707,10 +707,14 @@ pub fn netsim_report(synthetic_events: usize) -> Vec<TraceQueryProfile> {
     ]
 }
 
-/// Hand-formats the trace-query profiles and churn wire costs as the
-/// `BENCH_netsim.json` document (same dependency-free scheme as
-/// [`crypto_report_json`]).
-pub fn netsim_report_json(profiles: &[TraceQueryProfile], churn: &[ChurnPoint]) -> String {
+/// Hand-formats the trace-query profiles, churn wire costs, and scale
+/// sweep as the `BENCH_netsim.json` document (same dependency-free scheme
+/// as [`crypto_report_json`]).
+pub fn netsim_report_json(
+    profiles: &[TraceQueryProfile],
+    churn: &[ChurnPoint],
+    scale: &[ScalePoint],
+) -> String {
     let mut out = String::from("{\n  \"trace_query\": [\n");
     for (i, p) in profiles.iter().enumerate() {
         out.push_str("    {\n");
@@ -764,6 +768,33 @@ pub fn netsim_report_json(profiles: &[TraceQueryProfile], churn: &[ChurnPoint]) 
         out.push_str(&format!(
             "    }}{}\n",
             if i + 1 < churn.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"scale\": [\n");
+    for (i, p) in scale.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"trainers\": {},\n", p.trainers));
+        out.push_str(&format!("      \"nodes\": {},\n", p.nodes));
+        out.push_str(&format!("      \"uploads\": {},\n", p.uploads));
+        out.push_str(&format!(
+            "      \"incremental_ms\": {},\n",
+            json_f64(p.incremental_ms)
+        ));
+        out.push_str(&format!(
+            "      \"reference_ms\": {},\n",
+            p.reference_ms.map_or("null".to_string(), json_f64)
+        ));
+        out.push_str(&format!(
+            "      \"speedup\": {},\n",
+            p.speedup().map_or("null".to_string(), json_f64)
+        ));
+        out.push_str(&format!(
+            "      \"peak_rss_kb\": {}\n",
+            p.peak_rss_kb.map_or("null".to_string(), |v| v.to_string())
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < scale.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -870,6 +901,219 @@ pub fn churn_sweep() -> Vec<ChurnPoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Swarm scale benchmark (incremental flow reallocation)
+// ---------------------------------------------------------------------------
+
+/// Message type of the synthetic swarm workload.
+#[derive(Clone, Copy, Debug)]
+pub enum SwarmMsg {
+    /// A gradient payload from a trainer.
+    Upload,
+    /// The provider's zero-byte acknowledgment.
+    Ack,
+}
+
+/// Uploads a gradient-sized payload per wave, the next wave gated on the
+/// provider's ack — so flow arrivals and completions churn continuously.
+struct SwarmTrainer {
+    provider: dfl_netsim::engine::NodeId,
+    bytes: u64,
+    waves_left: u32,
+    start_delay: SimDuration,
+}
+
+impl dfl_netsim::engine::Actor<SwarmMsg> for SwarmTrainer {
+    fn on_start(&mut self, ctx: &mut dfl_netsim::engine::Context<'_, SwarmMsg>) {
+        ctx.set_timer(self.start_delay, 0);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut dfl_netsim::engine::Context<'_, SwarmMsg>,
+        _from: dfl_netsim::engine::NodeId,
+        _msg: SwarmMsg,
+    ) {
+        self.waves_left -= 1;
+        if self.waves_left > 0 {
+            // Vary the next wave's size so rates keep shifting.
+            self.bytes = 60_000 + self.bytes % 50_000;
+            ctx.send(self.provider, self.bytes, SwarmMsg::Upload);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dfl_netsim::engine::Context<'_, SwarmMsg>, _token: u64) {
+        ctx.send(self.provider, self.bytes, SwarmMsg::Upload);
+    }
+}
+
+/// Counts uploads and acks each one with a zero-byte control message.
+struct SwarmProvider;
+
+impl dfl_netsim::engine::Actor<SwarmMsg> for SwarmProvider {
+    fn on_message(
+        &mut self,
+        ctx: &mut dfl_netsim::engine::Context<'_, SwarmMsg>,
+        from: dfl_netsim::engine::NodeId,
+        _msg: SwarmMsg,
+    ) {
+        ctx.incr("swarm/upload", 1);
+        ctx.send(from, 0, SwarmMsg::Ack);
+    }
+}
+
+/// Waves each trainer uploads in the swarm workload.
+pub const SWARM_WAVES: u32 = 2;
+
+/// Builds and runs the synthetic swarm: `trainers` nodes behind 10 Mbps
+/// links, each uploading [`SWARM_WAVES`] ~100–130 kB gradients (ack-gated)
+/// to one of `trainers/16` providers, paper-style. Returns the number of
+/// uploads that completed and the wall-clock milliseconds the run took.
+///
+/// The workload is deterministic, so the upload count is a correctness
+/// check: both allocators must complete every one of
+/// `trainers × SWARM_WAVES` uploads.
+pub fn swarm_run(trainers: usize, reference: bool) -> (u64, f64) {
+    let mut sim = swarm_sim(trainers, reference);
+    let start = Instant::now();
+    sim.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (sim.trace().counter("swarm/upload"), wall_ms)
+}
+
+/// Runs the swarm workload and returns a fingerprint of its full trace —
+/// the run-to-run determinism check at scale.
+pub fn swarm_trace_hash(trainers: usize, reference: bool) -> u64 {
+    let mut sim = swarm_sim(trainers, reference);
+    sim.run();
+    trace_fingerprint(sim.trace())
+}
+
+fn swarm_sim(trainers: usize, reference: bool) -> dfl_netsim::engine::Simulation<SwarmMsg> {
+    use dfl_netsim::engine::{LinkSpec, NodeId as NetNodeId, Simulation};
+    let providers = (trainers / 16).max(1);
+    let mut sim: Simulation<SwarmMsg> = Simulation::new();
+    sim.set_reference_allocator(reference);
+    let link = LinkSpec::symmetric_mbps(10, SimDuration::from_millis(10));
+    for i in 0..trainers {
+        sim.add_node(
+            SwarmTrainer {
+                provider: NetNodeId(trainers + (i % providers)),
+                bytes: 100_000 + (i as u64 * 7_919) % 30_000,
+                waves_left: SWARM_WAVES,
+                start_delay: SimDuration::from_millis((i % 64) as u64),
+            },
+            link,
+        );
+    }
+    for _ in 0..providers {
+        sim.add_node(SwarmProvider, link);
+    }
+    // Safety stop well past the contended completion horizon.
+    sim.set_time_limit(SimTime::from_micros(600_000_000));
+    sim
+}
+
+/// FNV-1a over every observable output of a run: each event's time, node,
+/// label name, and value bits, then every counter and per-node byte total.
+/// Two runs are behaviourally identical iff their fingerprints match
+/// (modulo hash collisions).
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in trace.events() {
+        eat(&e.time.as_micros().to_le_bytes());
+        eat(&(e.node.index() as u64).to_le_bytes());
+        eat(trace.label_name(e.label).as_bytes());
+        eat(&e.value.to_bits().to_le_bytes());
+    }
+    for (name, value) in trace.counters() {
+        eat(name.as_bytes());
+        eat(&value.to_le_bytes());
+    }
+    eat(&trace.total_bytes_sent().to_le_bytes());
+    eat(&trace.total_bytes_received().to_le_bytes());
+    h
+}
+
+/// One point of the netsim scale sweep: the swarm workload at `trainers`
+/// trainers, timed under the incremental allocator and (optionally) the
+/// reference global recompute.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Trainers in the swarm.
+    pub trainers: usize,
+    /// Total simulated nodes (trainers + providers).
+    pub nodes: usize,
+    /// Uploads completed (must equal `trainers × SWARM_WAVES`).
+    pub uploads: u64,
+    /// Wall-clock ms under the incremental component-scoped allocator.
+    pub incremental_ms: f64,
+    /// Wall-clock ms under the reference global allocator (`None` when the
+    /// point was too large to time the quadratic path).
+    pub reference_ms: Option<f64>,
+    /// Process peak resident set (VmHWM, kB) sampled after the incremental
+    /// run. Process-wide high-water mark: meaningful when points run in
+    /// ascending size order before other large allocations.
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl ScalePoint {
+    /// Reference / incremental wall-clock ratio, when both were timed.
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference_ms.map(|r| r / self.incremental_ms.max(1e-9))
+    }
+}
+
+/// Peak resident set size (VmHWM) of this process in kB, from
+/// `/proc/self/status`. `None` off Linux or if the field is missing.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Runs one scale point; times the reference allocator too when
+/// `with_reference` (and asserts both complete the same uploads).
+pub fn scale_point(trainers: usize, with_reference: bool) -> ScalePoint {
+    let (uploads, incremental_ms) = swarm_run(trainers, false);
+    assert_eq!(
+        uploads,
+        trainers as u64 * SWARM_WAVES as u64,
+        "incremental allocator dropped uploads at n={trainers}"
+    );
+    let peak = peak_rss_kb();
+    let reference_ms = with_reference.then(|| {
+        let (ref_uploads, ms) = swarm_run(trainers, true);
+        assert_eq!(ref_uploads, uploads, "allocators disagree at n={trainers}");
+        ms
+    });
+    ScalePoint {
+        trainers,
+        nodes: trainers + (trainers / 16).max(1),
+        uploads,
+        incremental_ms,
+        reference_ms,
+        peak_rss_kb: peak,
+    }
+}
+
+/// The scale sweep: one [`ScalePoint`] per entry of `sizes` (run in the
+/// given order; ascending keeps the RSS column meaningful). The reference
+/// allocator is only timed for sizes ≤ `reference_max` — beyond that the
+/// global-recompute path takes minutes per point.
+pub fn scale_sweep(sizes: &[usize], reference_max: usize) -> Vec<ScalePoint> {
+    sizes
+        .iter()
+        .map(|&n| scale_point(n, n <= reference_max))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -963,10 +1207,23 @@ mod tests {
             p.scan_find_ms,
             p.indexed_find_ms
         );
-        let json = netsim_report_json(std::slice::from_ref(&p), &[]);
+        let json = netsim_report_json(std::slice::from_ref(&p), &[], &[]);
         assert!(json.contains("\"source\": \"synthetic\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"churn_wire_cost\""));
+        assert!(json.contains("\"scale\""));
+    }
+
+    #[test]
+    fn swarm_scale_point_completes_and_allocators_agree() {
+        // A small swarm (64 trainers, 4 providers) through both
+        // allocators: every ack-gated upload wave must complete, and the
+        // two paths must agree on the outcome.
+        let point = scale_point(64, true);
+        assert_eq!(point.uploads, 64 * SWARM_WAVES as u64);
+        assert_eq!(point.nodes, 68);
+        assert!(point.incremental_ms > 0.0);
+        assert!(point.reference_ms.is_some());
     }
 
     #[test]

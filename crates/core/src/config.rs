@@ -123,6 +123,12 @@ pub struct TaskConfig {
     pub commit_precompute: bool,
     /// Master seed for all task randomness.
     pub seed: u64,
+    /// Run the network simulation under the reference global max–min
+    /// allocator instead of the incremental component-scoped one. Both are
+    /// bit-identical in output (the equivalence suite proves it); the
+    /// reference path exists as the oracle those tests compare against and
+    /// is far slower at scale.
+    pub reference_allocator: bool,
 }
 
 impl Default for TaskConfig {
@@ -156,6 +162,7 @@ impl Default for TaskConfig {
             commit_us_per_element: 0,
             commit_precompute: true,
             seed: 0,
+            reference_allocator: false,
         }
     }
 }
@@ -327,6 +334,7 @@ impl TaskConfigBuilder {
         commit_us_per_element: u64,
         commit_precompute: bool,
         seed: u64,
+        reference_allocator: bool,
     }
 
     /// Validates the assembled configuration and returns it.

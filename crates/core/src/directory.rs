@@ -195,6 +195,8 @@ impl Directory {
         if commits.len() != self.topo.config().trainers {
             return None;
         }
+        // Unordered map iteration is safe here: commitment accumulation is
+        // an exact group operation, so the product is order-independent.
         Some(ProtocolCommitment::accumulate(commits.values()))
     }
 

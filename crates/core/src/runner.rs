@@ -167,6 +167,7 @@ pub fn run_task<M: Model + Clone + 'static>(
     });
 
     let mut sim: Simulation<Msg> = Simulation::new();
+    sim.set_reference_allocator(cfg.reference_allocator);
     // Generous stop-gap: a stalled round ends the simulation at the limit.
     let limit_us = (cfg.t_sync.as_micros() + 120_000_000) * cfg.rounds;
     sim.set_time_limit(SimTime::from_micros(limit_us));
@@ -278,7 +279,7 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
             .iter()
             .filter_map(|(node, done)| starts.get(node).map(|start| done - start))
             .collect();
-        delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        delays.sort_by(f64::total_cmp);
         let upload_delay_avg = if delays.is_empty() {
             0.0
         } else {

@@ -742,12 +742,12 @@ impl IpfsNode {
     }
 
     /// Arms the timeout guarding request `internal`'s current attempt,
-    /// with exponential backoff across retries of the same peer.
+    /// with exponential backoff across retries of the same peer. A stale
+    /// id (request already resolved) arms nothing.
     fn arm_timeout(&mut self, internal: u64) {
-        let state = self
-            .fetches
-            .get_mut(&internal)
-            .expect("armed for live request");
+        let Some(state) = self.fetches.get_mut(&internal) else {
+            return;
+        };
         self.next_timer += 1;
         state.timer = self.next_timer;
         let backoff = self.policy.base_timeout.as_micros() << state.attempt.min(16);
@@ -918,12 +918,7 @@ impl IpfsNode {
     /// This is how records self-heal after a provider dies or loses data.
     fn retract_provider(&mut self, cid: Cid, provider: NodeId) -> Vec<Outgoing> {
         self.bump(stats::RETRACTIONS);
-        let held = self
-            .records
-            .get(&cid)
-            .is_some_and(|entry| entry.contains(&provider));
-        if held {
-            let entry = self.records.get_mut(&cid).expect("checked above");
+        if let Some(entry) = self.records.get_mut(&cid) {
             entry.retain(|p| *p != provider);
             if entry.is_empty() {
                 self.records.remove(&cid);
@@ -1058,7 +1053,9 @@ impl IpfsNode {
         if !done {
             return Vec::new();
         }
-        let merge = self.merges.remove(&merge_id).expect("checked above");
+        let Some(merge) = self.merges.remove(&merge_id) else {
+            return Vec::new();
+        };
         if merge.failed {
             return vec![Outgoing {
                 to: merge.client,
@@ -1068,17 +1065,28 @@ impl IpfsNode {
                 },
             }];
         }
-        let blobs: Vec<Bytes> = merge
-            .cids
-            .iter()
-            .map(|c| {
-                self.store
-                    .get(c)
-                    .map(|b| b.data().clone())
-                    .or_else(|| merge.fetched.get(c).cloned())
-                    .expect("block stored or buffered for this merge")
-            })
-            .collect();
+        // A block fetched earlier can vanish before assembly (a data-loss
+        // fault between fetch and finish) — fail the merge, don't panic.
+        let mut blobs: Vec<Bytes> = Vec::with_capacity(merge.cids.len());
+        for c in &merge.cids {
+            match self
+                .store
+                .get(c)
+                .map(|b| b.data().clone())
+                .or_else(|| merge.fetched.get(c).cloned())
+            {
+                Some(blob) => blobs.push(blob),
+                None => {
+                    return vec![Outgoing {
+                        to: merge.client,
+                        wire: IpfsWire::MergeErr {
+                            reason: format!("block {c:?} lost before merge"),
+                            req_id: merge.client_req,
+                        },
+                    }];
+                }
+            }
+        }
         match merge_blobs(&blobs) {
             Ok(data) => vec![Outgoing {
                 to: merge.client,

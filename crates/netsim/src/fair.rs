@@ -13,6 +13,9 @@
 //! into one IPFS provider split its downlink, while an aggregator fetching
 //! from many providers splits its own downlink.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 /// One directed flow between two nodes, described by the link constraints it
 /// crosses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -100,6 +103,165 @@ pub fn max_min_rates(flows: &[FlowDesc], up_bps: &[f64], down_bps: &[f64]) -> Ve
 /// Convenience: megabits/s → bits/s.
 pub const fn mbps(v: u64) -> f64 {
     (v * 1_000_000) as f64
+}
+
+/// An `f64` fair share with a total order (shares are finite and
+/// non-negative, so `total_cmp` agrees with the numeric order the reference
+/// scan uses).
+#[derive(Copy, Clone, Debug)]
+struct Share(f64);
+
+impl PartialEq for Share {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+impl Eq for Share {}
+impl PartialOrd for Share {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Share {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Incremental water-filler: same progressive algorithm as
+/// [`max_min_rates`], but the O(C) bottleneck scan per freeze round is
+/// replaced by a min-heap of constraint fair-shares with lazy invalidation,
+/// and all working storage persists across calls so the per-call cost is
+/// proportional to the flows passed in, not to the whole network.
+///
+/// Produces **bit-identical** rates to [`max_min_rates`]: the heap pops the
+/// `(share, constraint)` minimum — the same tie-break (lowest constraint
+/// index among equal shares) the reference's first-strict-minimum scan
+/// uses — flows freeze in input order, and every residual-capacity update
+/// performs the identical floating-point operation sequence.
+///
+/// Heap entries are invalidated lazily: every `(remaining, unfrozen)`
+/// mutation pushes a fresh entry, and a popped entry is discarded unless
+/// the share recomputed from current state equals the stored one.
+#[derive(Debug, Default)]
+pub struct WaterFiller {
+    /// Residual capacity per constraint (0..n uplinks, n..2n downlinks).
+    remaining: Vec<f64>,
+    /// Unfrozen flows crossing each constraint.
+    unfrozen: Vec<usize>,
+    /// Flow indices crossing each constraint, in input order. Only the
+    /// entries listed in `active` are populated; they are cleared on the
+    /// next call so the buffers keep their capacity.
+    crossing: Vec<Vec<u32>>,
+    /// Constraints touched by the current call.
+    active: Vec<usize>,
+    frozen: Vec<bool>,
+    heap: BinaryHeap<Reverse<(Share, usize)>>,
+}
+
+impl WaterFiller {
+    /// Creates a filler with empty scratch buffers.
+    pub fn new() -> WaterFiller {
+        WaterFiller::default()
+    }
+
+    /// Computes max–min fair rates for `flows` into `out` (cleared and
+    /// resized), given per-node capacities. Semantics and results are
+    /// exactly those of [`max_min_rates`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references a node index out of bounds or the
+    /// capacity arrays differ in length.
+    pub fn rates_into(
+        &mut self,
+        flows: &[FlowDesc],
+        up_bps: &[f64],
+        down_bps: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(up_bps.len(), down_bps.len(), "capacity arrays must align");
+        let n_nodes = up_bps.len();
+        if self.crossing.len() < 2 * n_nodes {
+            self.remaining.resize(2 * n_nodes, 0.0);
+            self.unfrozen.resize(2 * n_nodes, 0);
+            self.crossing.resize_with(2 * n_nodes, Vec::new);
+        }
+        for &c in &self.active {
+            self.crossing[c].clear();
+        }
+        self.active.clear();
+        self.heap.clear();
+
+        out.clear();
+        out.resize(flows.len(), 0.0);
+        self.frozen.clear();
+        self.frozen.resize(flows.len(), false);
+
+        for (i, f) in flows.iter().enumerate() {
+            assert!(
+                f.src < n_nodes && f.dst < n_nodes,
+                "flow references unknown node"
+            );
+            for c in [f.src, n_nodes + f.dst] {
+                if self.crossing[c].is_empty() {
+                    self.active.push(c);
+                }
+                self.crossing[c].push(i as u32);
+            }
+        }
+        for &c in &self.active {
+            self.remaining[c] = if c < n_nodes {
+                up_bps[c]
+            } else {
+                down_bps[c - n_nodes]
+            };
+            self.unfrozen[c] = self.crossing[c].len();
+            let share = (self.remaining[c] / self.unfrozen[c] as f64).max(0.0);
+            self.heap.push(Reverse((Share(share), c)));
+        }
+
+        let mut n_frozen = 0;
+        while n_frozen < flows.len() {
+            let Reverse((Share(share), bottleneck)) = self
+                .heap
+                .pop()
+                .expect("unfrozen flows imply an active constraint");
+            if self.unfrozen[bottleneck] == 0 {
+                continue; // fully frozen; stale entry
+            }
+            let current = (self.remaining[bottleneck] / self.unfrozen[bottleneck] as f64).max(0.0);
+            if current != share {
+                continue; // superseded by a fresher entry
+            }
+            // Freeze every unfrozen flow crossing the bottleneck at the
+            // share, charging its rate to the other constraint it crosses —
+            // in flow input order, exactly like the reference.
+            for k in 0..self.crossing[bottleneck].len() {
+                let i = self.crossing[bottleneck][k] as usize;
+                if self.frozen[i] {
+                    continue;
+                }
+                out[i] = share;
+                self.frozen[i] = true;
+                n_frozen += 1;
+                let f = flows[i];
+                for c in [f.src, n_nodes + f.dst] {
+                    if c != bottleneck {
+                        self.remaining[c] = (self.remaining[c] - share).max(0.0);
+                        self.unfrozen[c] -= 1;
+                        if self.unfrozen[c] > 0 {
+                            let s = (self.remaining[c] / self.unfrozen[c] as f64).max(0.0);
+                            self.heap.push(Reverse((Share(s), c)));
+                        }
+                    } else {
+                        self.unfrozen[c] -= 1;
+                    }
+                }
+            }
+            self.remaining[bottleneck] = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +457,56 @@ mod tests {
                     base[j],
                     rotated_rates[i]
                 );
+            }
+        }
+
+        #[test]
+        fn prop_waterfiller_bit_identical_to_reference(
+            n_nodes in 2usize..8,
+            flow_pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
+            caps in proptest::collection::vec(0u64..100, 16),
+        ) {
+            // The heap-based filler must reproduce the reference scan's
+            // rates *bit for bit* — including zero-capacity (starved)
+            // constraints and heavy share ties from equal capacities.
+            let flows: Vec<_> = flow_pairs
+                .iter()
+                .map(|&(s, d)| FlowDesc { src: s % n_nodes, dst: d % n_nodes })
+                .collect();
+            let up: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i])).collect();
+            let down: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i + 8])).collect();
+            let reference = max_min_rates(&flows, &up, &down);
+            let mut filler = WaterFiller::new();
+            let mut fast = Vec::new();
+            filler.rates_into(&flows, &up, &down, &mut fast);
+            prop_assert_eq!(&reference, &fast);
+        }
+
+        #[test]
+        fn prop_waterfiller_scratch_reuse_is_stateless(
+            n_nodes in 2usize..8,
+            rounds in proptest::collection::vec(
+                proptest::collection::vec((0usize..8, 0usize..8), 0..16),
+                1..6,
+            ),
+            caps in proptest::collection::vec(1u64..100, 16),
+        ) {
+            // Churn of adds/removes: one filler reused across a sequence of
+            // differing flow sets must match a fresh reference run each
+            // time — leftover scratch state from earlier calls must never
+            // leak into later results.
+            let up: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i])).collect();
+            let down: Vec<f64> = (0..n_nodes).map(|i| mbps(caps[i + 8])).collect();
+            let mut filler = WaterFiller::new();
+            let mut fast = Vec::new();
+            for pairs in &rounds {
+                let flows: Vec<_> = pairs
+                    .iter()
+                    .map(|&(s, d)| FlowDesc { src: s % n_nodes, dst: d % n_nodes })
+                    .collect();
+                let reference = max_min_rates(&flows, &up, &down);
+                filler.rates_into(&flows, &up, &down, &mut fast);
+                prop_assert_eq!(&reference, &fast);
             }
         }
 

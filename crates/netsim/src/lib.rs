@@ -28,4 +28,4 @@ pub mod trace;
 pub use engine::{Actor, Context, LinkSpec, NodeId, Simulation};
 pub use fault::{Fault, FaultPlan};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Histogram, Label, Trace, TraceEvent};
+pub use trace::{Histogram, Label, Trace, TraceEvent, TraceReadError};

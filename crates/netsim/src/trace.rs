@@ -23,10 +23,13 @@
 //! [`Trace::write_jsonl`] emits a self-contained JSON-lines document
 //! (events, counters, histograms, per-node byte totals, each line tagged
 //! with a `"type"` field); [`Trace::write_csv`] emits the event log as
-//! `time_us,node,label,value` rows.
+//! `time_us,node,label,value` rows. [`Trace::read_jsonl`] parses that
+//! document back into a [`Trace`], reporting malformed input as a typed
+//! [`TraceReadError`] with the offending line number.
 
 use std::collections::HashMap;
-use std::io::{self, Write};
+use std::fmt;
+use std::io::{self, BufRead, Write};
 
 use crate::engine::NodeId;
 use crate::time::SimTime;
@@ -493,6 +496,126 @@ impl Trace {
         Ok(())
     }
 
+    /// Parses a JSONL document produced by [`Trace::write_jsonl`] back
+    /// into a [`Trace`]. Blank lines are skipped; any malformed line is
+    /// reported with its 1-based line number. Event/counter/histogram
+    /// lines may appear in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceReadError::Io`] when the reader fails,
+    /// [`TraceReadError::Parse`] when a line is not valid JSON or does not
+    /// match the trace schema.
+    pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Trace, TraceReadError> {
+        let mut trace = Trace::new();
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            trace
+                .read_jsonl_line(text)
+                .map_err(|reason| TraceReadError::Parse {
+                    line: idx + 1,
+                    reason,
+                })?;
+        }
+        Ok(trace)
+    }
+
+    fn read_jsonl_line(&mut self, text: &str) -> Result<(), String> {
+        let obj = parse_json_object(text)?;
+        match str_field(&obj, "type")? {
+            "event" => {
+                let time = u64_field(&obj, "time_us")?;
+                let node = u64_field(&obj, "node")? as usize;
+                let label = str_field(&obj, "label")?.to_string();
+                let value = f64_field(&obj, "value")?;
+                self.record(SimTime::from_micros(time), NodeId(node), &label, value);
+            }
+            "counter" => {
+                let label = str_field(&obj, "label")?.to_string();
+                let value = u64_field(&obj, "value")?;
+                self.add(&label, value);
+            }
+            "histogram" => {
+                let label = str_field(&obj, "label")?.to_string();
+                let count = u64_field(&obj, "count")?;
+                let sum = f64_field(&obj, "sum")?;
+                let (min, max) = if count == 0 {
+                    (f64::INFINITY, f64::NEG_INFINITY)
+                } else {
+                    (f64_field(&obj, "min")?, f64_field(&obj, "max")?)
+                };
+                let buckets = match field(&obj, "buckets")? {
+                    JsonValue::Array(items) => items,
+                    other => return Err(format!("\"buckets\" must be an array, got {other:?}")),
+                };
+                let mut bounds = Vec::new();
+                let mut counts = Vec::new();
+                for (i, bucket) in buckets.iter().enumerate() {
+                    let JsonValue::Array(pair) = bucket else {
+                        return Err(format!("bucket {i} must be a [bound, count] pair"));
+                    };
+                    let [bound, n] = pair.as_slice() else {
+                        return Err(format!("bucket {i} must be a [bound, count] pair"));
+                    };
+                    let last = i + 1 == buckets.len();
+                    match bound {
+                        JsonValue::String(s) if s == "+inf" && last => {}
+                        JsonValue::Number(raw) if !last => {
+                            bounds.push(parse_f64(raw)?);
+                        }
+                        _ => {
+                            return Err(format!(
+                                "bucket {i} bound must be {} (got {bound:?})",
+                                if last { "\"+inf\"" } else { "a finite number" }
+                            ));
+                        }
+                    }
+                    counts.push(match n {
+                        JsonValue::Number(raw) => parse_u64(raw)?,
+                        other => {
+                            return Err(format!("bucket {i} count must be a number, got {other:?}"))
+                        }
+                    });
+                }
+                if buckets.is_empty() {
+                    return Err("histogram must have at least the +inf bucket".to_string());
+                }
+                if !bounds.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("histogram bounds must be strictly ascending".to_string());
+                }
+                if counts.iter().sum::<u64>() != count {
+                    return Err("histogram bucket counts do not sum to \"count\"".to_string());
+                }
+                let id = self.intern(&label);
+                self.histograms[id.index()] = Some(Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                    min,
+                    max,
+                });
+            }
+            "bytes" => {
+                let node = NodeId(u64_field(&obj, "node")? as usize);
+                let tx = u64_field(&obj, "tx")?;
+                let rx = u64_field(&obj, "rx")?;
+                if tx > 0 {
+                    self.count_tx(node, tx);
+                }
+                if rx > 0 {
+                    self.count_rx(node, rx);
+                }
+            }
+            other => return Err(format!("unknown line type {other:?}")),
+        }
+        Ok(())
+    }
+
     /// Writes the event log as CSV (`time_us,node,label,value`). Counters,
     /// histograms, and byte totals are JSONL-only.
     ///
@@ -551,6 +674,300 @@ fn csv_field(s: &str) -> String {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
+    }
+}
+
+/// Failure while reading a JSONL trace document ([`Trace::read_jsonl`]).
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line was not valid JSON or did not match the trace schema.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "reading trace: {e}"),
+            TraceReadError::Parse { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceReadError::Io(e) => Some(e),
+            TraceReadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> TraceReadError {
+        TraceReadError::Io(e)
+    }
+}
+
+/// A parsed JSON value — just the shapes the trace's own JSONL schema
+/// uses. Numbers keep their literal text so integers round-trip exactly
+/// (byte totals can exceed 2^53).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Number(String),
+    String(String),
+    Array(Vec<JsonValue>),
+}
+
+fn field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn str_field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
+    match field(obj, key)? {
+        JsonValue::String(s) => Ok(s),
+        other => Err(format!("field {key:?} must be a string, got {other:?}")),
+    }
+}
+
+fn u64_field(obj: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    match field(obj, key)? {
+        JsonValue::Number(raw) => parse_u64(raw),
+        other => Err(format!("field {key:?} must be an integer, got {other:?}")),
+    }
+}
+
+fn f64_field(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    match field(obj, key)? {
+        JsonValue::Number(raw) => parse_f64(raw),
+        other => Err(format!("field {key:?} must be a number, got {other:?}")),
+    }
+}
+
+fn parse_u64(raw: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|_| format!("expected an unsigned integer, got {raw:?}"))
+}
+
+fn parse_f64(raw: &str) -> Result<f64, String> {
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("expected a number, got {raw:?}"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("non-finite number {raw:?}"))
+    }
+}
+
+/// Parses one line as a flat JSON object. Rejects trailing garbage.
+fn parse_json_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let obj = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!(
+            "trailing characters after object at byte {}",
+            p.pos
+        ));
+    }
+    Ok(obj)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of line".to_string())
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != want {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                want as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos, other as char
+                    ));
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or ']' at byte {}, got {:?}",
+                                self.pos, other as char
+                            ));
+                        }
+                    }
+                }
+            }
+            b'n' => {
+                let rest = &self.bytes[self.pos..];
+                if rest.starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(JsonValue::Null)
+                } else {
+                    Err(format!("invalid literal at byte {}", self.pos))
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8 in number".to_string())?;
+        // Validate now so schema code can trust the literal.
+        raw.parse::<f64>()
+            .map_err(|_| format!("invalid number {raw:?}"))?;
+        Ok(JsonValue::Number(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid code point \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to a char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
     }
 }
 
@@ -734,5 +1151,86 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("time_us,node,label,value"));
         assert_eq!(lines.next(), Some("5,1,\"up,load\",1.5"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_read_jsonl() {
+        let mut trace = Trace::new();
+        trace.record(SimTime::from_micros(5), NodeId(1), "up,load", 1.5);
+        trace.record(SimTime::from_micros(9), NodeId(3), "q\"uote", -0.25);
+        trace.add("ipfs/retries", 2);
+        trace.observe("verify_ms", 3.0);
+        trace.observe("verify_ms", 700.0); // lands in the +inf bucket
+        trace.count_bytes(NodeId(0), NodeId(1), 42);
+        trace.count_tx(NodeId(7), u64::MAX / 3); // > 2^53: exercises exact integers
+
+        let mut jsonl = Vec::new();
+        trace.write_jsonl(&mut jsonl).unwrap();
+        let back = Trace::read_jsonl(&jsonl[..]).expect("round trip");
+
+        assert_eq!(back.events().len(), trace.events().len());
+        for (a, b) in back.events().iter().zip(trace.events()) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.node, b.node);
+            assert_eq!(back.label_name(a.label), trace.label_name(b.label));
+            assert_eq!(a.value, b.value);
+        }
+        assert_eq!(back.counter("ipfs/retries"), 2);
+        let h = back.histogram("verify_ms").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 703.0);
+        assert_eq!(h.min(), 3.0);
+        assert_eq!(h.max(), 700.0);
+        assert_eq!(
+            h.buckets().collect::<Vec<_>>(),
+            trace
+                .histogram("verify_ms")
+                .unwrap()
+                .buckets()
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(back.bytes_sent(NodeId(0)), 42);
+        assert_eq!(back.bytes_received(NodeId(1)), 42);
+        assert_eq!(back.bytes_sent(NodeId(7)), u64::MAX / 3);
+
+        // A re-export of the parsed trace is byte-identical.
+        let mut again = Vec::new();
+        back.write_jsonl(&mut again).unwrap();
+        assert_eq!(jsonl, again);
+    }
+
+    #[test]
+    fn read_jsonl_reports_line_numbers_on_corrupt_input() {
+        let doc =
+            "{\"type\":\"counter\",\"label\":\"ok\",\"value\":1}\n\n{\"type\":\"event\",oops\n";
+        match Trace::read_jsonl(doc.as_bytes()) {
+            Err(TraceReadError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error on line 3, got {other:?}"),
+        }
+
+        let unknown = "{\"type\":\"mystery\"}\n";
+        match Trace::read_jsonl(unknown.as_bytes()) {
+            Err(TraceReadError::Parse { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("mystery"), "reason: {reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        let missing = "{\"type\":\"event\",\"time_us\":5}\n";
+        match Trace::read_jsonl(missing.as_bytes()) {
+            Err(TraceReadError::Parse { line: 1, reason }) => {
+                assert!(reason.contains("node"), "reason: {reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        let bad_hist = "{\"type\":\"histogram\",\"label\":\"h\",\"count\":2,\"sum\":1.0,\"min\":0.1,\"max\":0.9,\"buckets\":[[1.0,1],[\"+inf\",0]]}\n";
+        match Trace::read_jsonl(bad_hist.as_bytes()) {
+            Err(TraceReadError::Parse { reason, .. }) => {
+                assert!(reason.contains("sum"), "reason: {reason}");
+            }
+            other => panic!("expected bucket-sum error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! The incremental component-scoped allocator must be observationally
+//! indistinguishable from the reference global `max_min_rates` recompute:
+//! identical event traces, identical byte ledgers, identical completion
+//! microseconds — bit for bit — across randomized workloads with flow
+//! churn, crashes, recoveries, and link degradation.
+
+use dfl_netsim::engine::{Actor, Context, LinkSpec, NodeId, Simulation};
+use dfl_netsim::fault::FaultPlan;
+use dfl_netsim::time::{SimDuration, SimTime};
+
+/// SplitMix64 — deterministic workload generator, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Replays a pre-generated send schedule: `(fire_at_us, dst, bytes)`.
+struct Scripted {
+    sends: Vec<(u64, NodeId, u64)>,
+    next: usize,
+}
+
+impl Actor<u32> for Scripted {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        if let Some(&(at, _, _)) = self.sends.first() {
+            ctx.set_timer(SimDuration::from_micros(at), 0);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: NodeId, msg: u32) {
+        ctx.record("delivered", msg as f64);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _token: u64) {
+        let now = ctx.now().as_micros();
+        while self.next < self.sends.len() && self.sends[self.next].0 <= now {
+            let (_, dst, bytes) = self.sends[self.next];
+            ctx.send(dst, bytes, self.next as u32);
+            self.next += 1;
+        }
+        if self.next < self.sends.len() {
+            let at = self.sends[self.next].0;
+            ctx.set_timer(SimDuration::from_micros(at - now), 0);
+        }
+    }
+}
+
+/// One randomized scenario: `n` nodes, each with a burst schedule of sends
+/// (including zero-byte control messages and self-sends), plus a fault mix.
+fn build(seed: u64, reference: bool) -> Simulation<u32> {
+    let mut rng = Rng(seed);
+    let n = 8 + (rng.below(16) as usize); // 8..24 nodes
+    let mut sim: Simulation<u32> = Simulation::new();
+    sim.set_reference_allocator(reference);
+
+    let mut schedules: Vec<Vec<(u64, NodeId, u64)>> = vec![Vec::new(); n];
+    for (i, sched) in schedules.iter_mut().enumerate() {
+        let n_sends = rng.below(6);
+        for _ in 0..n_sends {
+            let at = rng.below(4_000_000);
+            let dst = NodeId((rng.below(n as u64)) as usize);
+            // Mix: zero-byte control messages, small and mid payloads.
+            let bytes = match rng.below(4) {
+                0 => 0,
+                1 => 1 + rng.below(5_000),
+                _ => 50_000 + rng.below(1_500_000),
+            };
+            sched.push((at, dst, bytes));
+        }
+        sched.sort_unstable();
+        let _ = i;
+    }
+    for sched in schedules {
+        let mbps = 1 + rng.below(20);
+        let link = LinkSpec::symmetric_mbps(mbps, SimDuration::from_millis(1 + rng.below(20)));
+        sim.add_node(
+            Scripted {
+                sends: sched,
+                next: 0,
+            },
+            link,
+        );
+    }
+
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.below(5) {
+        let t = SimTime::from_micros(rng.below(5_000_000));
+        let node = NodeId(rng.below(n as u64) as usize);
+        match rng.below(4) {
+            0 => {
+                plan = plan.crash_at(t, node);
+                plan =
+                    plan.recover_at(t + SimDuration::from_micros(1 + rng.below(2_000_000)), node);
+            }
+            1 => {
+                // Degrade — sometimes all the way to a dead (starving) link,
+                // restored later so starved flows must wake up.
+                let dead = rng.below(3) == 0;
+                let cap = if dead {
+                    0.0
+                } else {
+                    1_000.0 + rng.below(10_000_000) as f64
+                };
+                plan = plan.degrade_link_at(t, node, cap, cap);
+                if dead {
+                    let back = 1_000_000.0 + rng.below(10_000_000) as f64;
+                    plan = plan.degrade_link_at(
+                        t + SimDuration::from_micros(1 + rng.below(2_000_000)),
+                        node,
+                        back,
+                        back,
+                    );
+                }
+            }
+            _ => {
+                plan = plan.degrade_link_at(
+                    t,
+                    node,
+                    1_000.0 + rng.below(20_000_000) as f64,
+                    1_000.0 + rng.below(20_000_000) as f64,
+                );
+            }
+        }
+    }
+    sim.apply_fault_plan(&plan);
+    sim.set_time_limit(SimTime::from_micros(60_000_000));
+    sim
+}
+
+/// One observed trace event: `(time µs, node, label, value)`.
+type ObservedEvent = (u64, usize, String, f64);
+
+/// The full observable outcome of a run: every trace event plus the
+/// per-node byte ledgers and the final simulated time.
+fn observe(mut sim: Simulation<u32>) -> (Vec<ObservedEvent>, Vec<(u64, u64)>, u64) {
+    sim.run();
+    let final_us = sim.now().as_micros();
+    let trace = sim.trace();
+    let events = trace
+        .events()
+        .iter()
+        .map(|e| {
+            (
+                e.time.as_micros(),
+                e.node.0,
+                trace.label_name(e.label).to_string(),
+                e.value,
+            )
+        })
+        .collect();
+    let bytes = (0..trace.events().len().max(64))
+        .map(|i| {
+            let id = NodeId(i);
+            (trace.bytes_sent(id), trace.bytes_received(id))
+        })
+        .collect();
+    (events, bytes, final_us)
+}
+
+#[test]
+fn incremental_matches_reference_across_random_workloads() {
+    for seed in 0..24u64 {
+        let fast = observe(build(seed, false));
+        let slow = observe(build(seed, true));
+        assert_eq!(
+            fast, slow,
+            "incremental and reference allocators diverged (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn incremental_mode_is_deterministic() {
+    for seed in [3u64, 11, 19] {
+        let a = observe(build(seed, false));
+        let b = observe(build(seed, false));
+        assert_eq!(a, b, "incremental run not reproducible (seed {seed})");
+    }
+}

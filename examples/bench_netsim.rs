@@ -1,22 +1,78 @@
-//! Records the trace-query before/after numbers into `BENCH_netsim.json`:
-//! the standard query battery (per-label count/sum, per-node event lookup)
-//! timed through the seed's linear-scan access pattern and through the
-//! interned-label index, on a Fig. 2-scale protocol trace and on a
-//! million-event synthetic trace — plus the churn sweep's wire-cost
-//! accounting (total vs wasted bytes per outage length).
+//! Records the netsim before/after numbers into `BENCH_netsim.json`:
+//! the swarm scale sweep (incremental component-scoped reallocation vs
+//! the reference global recompute, wall clock and peak RSS per swarm
+//! size), the trace-query battery (per-label count/sum, per-node event
+//! lookup) through the seed's linear-scan pattern and the interned-label
+//! index, and the churn sweep's wire-cost accounting.
 //!
 //! Run with: `cargo run --release --example bench_netsim`
-//! (set `BENCH_NETSIM_EVENTS` to override the synthetic trace size).
+//!
+//! Knobs:
+//! - `--test`: CI smoke mode — run only the 2k-trainer scale point (both
+//!   allocators), assert the speedup, skip the artifact write.
+//! - `BENCH_NETSIM_EVENTS`: synthetic trace size (default 1 000 000).
+//! - `BENCH_NETSIM_SCALE`: comma-separated swarm sizes
+//!   (default `2000,5000,10000`).
+//! - `BENCH_NETSIM_SCALE_REF_MAX`: largest size that also times the
+//!   reference allocator (default 2000 — the global recompute is the
+//!   "before" and takes minutes beyond that).
 
-use dfl_bench::{churn_sweep, netsim_report, netsim_report_json};
+use dfl_bench::{churn_sweep, netsim_report, netsim_report_json, scale_point, scale_sweep};
+
+fn print_scale(points: &[dfl_bench::ScalePoint]) {
+    println!(
+        "{:>9} {:>9} {:>9} {:>16} {:>14} {:>9} {:>12}",
+        "trainers", "nodes", "uploads", "reference (ms)", "incr (ms)", "speedup", "peak RSS kB"
+    );
+    for p in points {
+        println!(
+            "{:>9} {:>9} {:>9} {:>16} {:>14.1} {:>9} {:>12}",
+            p.trainers,
+            p.nodes,
+            p.uploads,
+            p.reference_ms.map_or("-".into(), |v| format!("{v:.1}")),
+            p.incremental_ms,
+            p.speedup().map_or("-".into(), |v| format!("{v:.0}x")),
+            p.peak_rss_kb.map_or("-".into(), |v| v.to_string()),
+        );
+    }
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        // CI smoke: the 2k-trainer point through both allocators.
+        println!("Swarm scale smoke (2000 trainers, both allocators)");
+        let point = scale_point(2_000, true);
+        print_scale(std::slice::from_ref(&point));
+        let speedup = point.speedup().expect("reference timed in smoke mode");
+        assert!(
+            speedup >= 10.0,
+            "incremental allocator must be ≥10x at 2k trainers, got {speedup:.1}x"
+        );
+        println!("ok: {speedup:.0}x at 2000 trainers");
+        return;
+    }
+
     let events = std::env::var("BENCH_NETSIM_EVENTS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1_000_000);
+    let sizes: Vec<usize> = std::env::var("BENCH_NETSIM_SCALE")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![2_000, 5_000, 10_000]);
+    let ref_max = std::env::var("BENCH_NETSIM_SCALE_REF_MAX")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2_000);
 
-    println!("Trace-query battery (wall clock, this machine)");
+    // Scale sweep first (ascending) so the peak-RSS column reflects the
+    // swarm runs, not the million-event query battery below.
+    println!("Swarm scale sweep (wall clock, this machine)");
+    let scale = scale_sweep(&sizes, ref_max);
+    print_scale(&scale);
+
+    println!("\nTrace-query battery (wall clock, this machine)");
     println!(
         "{:>10} {:>9} {:>7} {:>14} {:>14} {:>9} {:>12} {:>12} {:>9}",
         "source",
@@ -63,7 +119,7 @@ fn main() {
         );
     }
 
-    let json = netsim_report_json(&profiles, &churn);
+    let json = netsim_report_json(&profiles, &churn, &scale);
     std::fs::write("BENCH_netsim.json", &json).expect("write BENCH_netsim.json");
     println!("\nwrote BENCH_netsim.json");
 }

@@ -9,15 +9,64 @@
 //!            [--export-jsonl PATH] [--export-csv PATH]
 //!            # per-round latency breakdown, protocol counters,
 //!            # verify-time histogram, and byte accounting
+//! dfl report --from-jsonl PATH
+//!            # re-print counters/histograms/bytes from an exported trace
 //! dfl fig1 | fig2 | fig3      # regenerate a paper figure's series
 //! ```
 //!
 //! Build and run with `cargo run --release --bin dfl -- run --trainers 8`.
+//! Every failure path exits nonzero with a typed [`CliError`] on stderr.
 
+use std::fmt;
 use std::process::ExitCode;
 
 use decentralized_fl::ml::{data, metrics, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::netsim::{Trace, TraceReadError};
 use decentralized_fl::protocol::{run_task, CommMode, TaskConfig, TaskReport};
+
+/// Everything that can go wrong in the CLI, by failure domain. Each
+/// variant renders a one-line `error: ...` message and a nonzero exit.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line (unknown flag value, non-numeric argument, ...).
+    Usage(String),
+    /// Flags parsed but describe an invalid task configuration.
+    Config(String),
+    /// The task ran but failed (protocol error, incomplete rounds, ...).
+    Task(String),
+    /// A file could not be read or written.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// An exported trace file exists but does not parse.
+    Trace {
+        path: String,
+        source: TraceReadError,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Config(m) => write!(f, "invalid configuration: {m}"),
+            CliError::Task(m) => write!(f, "task failed: {m}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Trace { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Trace { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,12 +104,12 @@ impl<'a> Flags<'a> {
             .map(String::as_str)
     }
 
-    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+    fn num(&self, name: &str, default: u64) -> Result<u64, CliError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("{name} expects a number, got {v:?}")),
+                .map_err(|_| CliError::Usage(format!("{name} expects a number, got {v:?}"))),
         }
     }
 
@@ -80,12 +129,16 @@ fn cmd_run(rest: &[String]) -> ExitCode {
 }
 
 /// Builds a [`TaskConfig`] from the shared `run`/`report` flag set.
-fn parse_config(flags: &Flags<'_>, default_comm: &str) -> Result<TaskConfig, String> {
+fn parse_config(flags: &Flags<'_>, default_comm: &str) -> Result<TaskConfig, CliError> {
     let comm = match flags.get("--comm").unwrap_or(default_comm) {
         "direct" => CommMode::Direct,
         "indirect" => CommMode::Indirect,
         "merge" => CommMode::MergeAndDownload,
-        other => return Err(format!("unknown --comm {other:?} (direct|indirect|merge)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --comm {other:?} (direct|indirect|merge)"
+            )))
+        }
     };
     let cfg = TaskConfig {
         trainers: flags.num("--trainers", 8)? as usize,
@@ -103,12 +156,13 @@ fn parse_config(flags: &Flags<'_>, default_comm: &str) -> Result<TaskConfig, Str
         seed: flags.num("--seed", 0)?,
         ..TaskConfig::default()
     };
-    cfg.validate().map_err(|e| e.to_string())?;
+    cfg.validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
     Ok(cfg)
 }
 
 /// Runs a task under `cfg` on the standard synthetic workload.
-fn run_with_config(cfg: &TaskConfig) -> Result<TaskReport, String> {
+fn run_with_config(cfg: &TaskConfig) -> Result<TaskReport, CliError> {
     let dataset = data::make_blobs(50 * cfg.trainers, 4, 3, 0.5, cfg.seed);
     let clients = data::partition_iid(&dataset, cfg.trainers, cfg.seed);
     let model = LogisticRegression::new(4, 3);
@@ -119,10 +173,11 @@ fn run_with_config(cfg: &TaskConfig) -> Result<TaskReport, String> {
         epochs: 1,
         clip: None,
     };
-    run_task(cfg.clone(), model, initial, clients, sgd, &[]).map_err(|e| e.to_string())
+    run_task(cfg.clone(), model, initial, clients, sgd, &[])
+        .map_err(|e| CliError::Task(e.to_string()))
 }
 
-fn try_run(rest: &[String]) -> Result<(), String> {
+fn try_run(rest: &[String]) -> Result<(), CliError> {
     let flags = Flags(rest);
     let cfg = parse_config(&flags, "indirect")?;
 
@@ -150,7 +205,7 @@ fn try_run(rest: &[String]) -> Result<(), String> {
         cfg.rounds
     );
     let report = run_task(cfg.clone(), model.clone(), initial, clients, sgd, &[])
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Task(e.to_string()))?;
 
     for round in &report.rounds {
         println!(
@@ -163,14 +218,14 @@ fn try_run(rest: &[String]) -> Result<(), String> {
         );
     }
     if !report.succeeded(&cfg) {
-        return Err(format!(
+        return Err(CliError::Task(format!(
             "only {}/{} rounds completed (verification failures: {})",
             report.completed_rounds, cfg.rounds, report.verification_failures
-        ));
+        )));
     }
     let consensus = report
         .consensus_params()
-        .ok_or("trainers disagree on the final model")?;
+        .ok_or_else(|| CliError::Task("trainers disagree on the final model".to_string()))?;
     let mut evaluate = model;
     evaluate.set_params(&consensus);
     let acc = metrics::accuracy(&evaluate.predict(&dataset.x), &dataset.y);
@@ -189,8 +244,64 @@ fn cmd_report(rest: &[String]) -> ExitCode {
     }
 }
 
-fn try_report(rest: &[String]) -> Result<(), String> {
+/// Re-prints the trace-derived report sections from a previously exported
+/// JSONL trace (`--export-jsonl`), without re-running the simulation.
+fn report_from_jsonl(path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::open(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    let trace =
+        Trace::read_jsonl(std::io::BufReader::new(file)).map_err(|source| CliError::Trace {
+            path: path.to_string(),
+            source,
+        })?;
+
+    println!("trace: {path} ({} events)", trace.events().len());
+    print_trace_summary(&trace);
+    println!();
+    println!("byte accounting:");
+    println!(
+        "  total sent                   {}",
+        trace.total_bytes_sent()
+    );
+    println!(
+        "  total received               {}",
+        trace.total_bytes_received()
+    );
+    Ok(())
+}
+
+/// Counters and histograms — shared between live runs and `--from-jsonl`.
+fn print_trace_summary(trace: &Trace) {
+    let counters: Vec<(&str, u64)> = trace.counters().collect();
+    if !counters.is_empty() {
+        println!();
+        println!("counters:");
+        for (name, value) in counters {
+            println!("  {name:<28} {value}");
+        }
+    }
+
+    for (name, h) in trace.histograms() {
+        println!();
+        println!(
+            "{name}: n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.max()
+        );
+    }
+}
+
+fn try_report(rest: &[String]) -> Result<(), CliError> {
     let flags = Flags(rest);
+    if let Some(path) = flags.get("--from-jsonl") {
+        return report_from_jsonl(path);
+    }
     // `merge` by default: the breakdown is most informative when gradients
     // travel through storage (merge-and-download, §IV-B).
     let cfg = parse_config(&flags, "merge")?;
@@ -227,27 +338,7 @@ fn try_report(rest: &[String]) -> Result<(), String> {
     }
 
     let trace = &report.trace;
-    let counters: Vec<(&str, u64)> = trace.counters().collect();
-    if !counters.is_empty() {
-        println!();
-        println!("counters:");
-        for (name, value) in counters {
-            println!("  {name:<28} {value}");
-        }
-    }
-
-    for (name, h) in trace.histograms() {
-        println!();
-        println!(
-            "{name}: n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
-            h.count(),
-            h.mean(),
-            h.min(),
-            h.quantile(0.5),
-            h.quantile(0.95),
-            h.max()
-        );
-    }
+    print_trace_summary(trace);
 
     println!();
     println!("byte accounting:");
@@ -272,16 +363,22 @@ fn try_report(rest: &[String]) -> Result<(), String> {
         let mut out = Vec::new();
         trace
             .write_jsonl(&mut out)
-            .map_err(|e| format!("serializing trace: {e}"))?;
-        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+            .expect("writing to a Vec cannot fail");
+        std::fs::write(path, out).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
         println!("trace exported to {path} (jsonl)");
     }
     if let Some(path) = flags.get("--export-csv") {
         let mut out = Vec::new();
         trace
             .write_csv(&mut out)
-            .map_err(|e| format!("serializing trace: {e}"))?;
-        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+            .expect("writing to a Vec cannot fail");
+        std::fs::write(path, out).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
         println!("trace exported to {path} (csv)");
     }
     Ok(())

@@ -19,6 +19,8 @@
 //! trainers 0–5.
 
 use decentralized_fl::ml::{data, LogisticRegression, Model, SgdConfig};
+use decentralized_fl::netsim::engine::{Actor, Context, LinkSpec, Simulation};
+use decentralized_fl::netsim::fault::Fault;
 use decentralized_fl::netsim::trace::net;
 use decentralized_fl::prelude::*;
 use decentralized_fl::protocol::TaskReport;
@@ -168,6 +170,78 @@ fn churn_schedule_conserves_bytes() {
 }
 
 #[test]
+fn ten_thousand_concurrent_flows_conserve_bytes_exactly() {
+    // 2 500 groups of four senders blasting one sink — 10 000 concurrent
+    // shaped flows across 12 500 nodes, with a fifth of the sinks throttled
+    // to an awkward 1 234 567 bps mid-transfer so rates fold through
+    // non-round floating-point values. Accounting must stay *exact*: every
+    // delivered flow contributes precisely its wire size to both ledgers,
+    // with no epsilon slack anywhere.
+    struct Blast {
+        sink: decentralized_fl::netsim::engine::NodeId,
+        bytes: u64,
+    }
+    impl Actor<()> for Blast {
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.send(self.sink, self.bytes, ());
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+    }
+    struct Sink;
+    impl Actor<()> for Sink {
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+    }
+
+    const GROUPS: usize = 2_500;
+    let mut sim: Simulation<()> = Simulation::new();
+    let mut expected_total: u64 = 0;
+    let mut group_bytes = vec![0u64; GROUPS];
+    let mut payloads = Vec::new();
+    for (g, group_total) in group_bytes.iter_mut().enumerate() {
+        let link = LinkSpec::symmetric_mbps(1 + (g as u64 % 19), SimDuration::from_millis(5));
+        let sink = sim.reserve_id(4);
+        for k in 0..4 {
+            let bytes = 10_000 + ((g * 4 + k) * 7_919 % 90_000) as u64;
+            payloads.push(bytes);
+            expected_total += bytes;
+            *group_total += bytes;
+            sim.add_node(Blast { sink, bytes }, link);
+        }
+        sim.add_node(Sink, link);
+        if g % 5 == 0 {
+            sim.schedule_fault(
+                SimTime::from_micros(50_000),
+                Fault::DegradeLink {
+                    node: sink,
+                    up_bps: 1_234_567.0,
+                    down_bps: 1_234_567.0,
+                },
+            );
+        }
+    }
+    sim.run();
+
+    let trace = sim.trace();
+    assert_eq!(trace.total_bytes_sent(), expected_total);
+    assert_eq!(trace.total_bytes_received(), expected_total);
+    assert_eq!(trace.count(net::FLOW_TORN_INBOUND), 0);
+    assert_eq!(trace.count(net::FLOW_TORN_OUTBOUND), 0);
+    assert_eq!(trace.count(net::FLOW_UNDELIVERED), 0);
+    for g in 0..GROUPS {
+        let sink = NodeId(g * 5 + 4);
+        assert_eq!(
+            trace.bytes_received(sink),
+            group_bytes[g],
+            "sink {g} ledger not exact"
+        );
+        for k in 0..4 {
+            let sender = NodeId(g * 5 + k);
+            assert_eq!(trace.bytes_sent(sender), payloads[g * 4 + k]);
+        }
+    }
+}
+
+#[test]
 fn churn_wasted_bytes_regression() {
     // Pins the wasted-byte accounting for the standard churn point
     // (outage 4 s, period 10 s, churn seed 42 — the same point
@@ -178,7 +252,7 @@ fn churn_wasted_bytes_regression() {
     let point = dfl_bench::churn_run(SimDuration::from_secs(4), SimDuration::from_secs(10), 42);
     assert_eq!(point.completed_rounds, point.rounds);
     assert_eq!(
-        point.wire_wasted_bytes, 625_844,
+        point.wire_wasted_bytes, 625_564,
         "churn wire waste drifted from the pinned artifact value"
     );
     assert_eq!(point.wasted_bytes, point.wire_wasted_bytes);
