@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use dfl_crypto::curve::{Curve, Scalar, Secp256k1, Secp256r1};
 use dfl_crypto::msm::{self, Msm, MsmTable, Strategy};
-use dfl_crypto::pedersen::CommitKey;
+use dfl_crypto::pedersen::{BatchEntry, CommitKey, Commitment};
 use dfl_crypto::sha256::Sha256;
 use dfl_ml::{Dataset, Matrix, SgdConfig, SyntheticModel};
 use dfl_netsim::{FaultPlan, NodeId, SimDuration, SimTime, Trace};
@@ -456,9 +456,90 @@ fn json_f64(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// Before/after wall-clock of the commitment checks in one verifiable
+/// round: `trainers` gradient blobs of `elements` scalars each, verified
+/// one blob at a time (the arrival-order protocol path) versus with a
+/// single random-linear-combination batch over the whole round (the
+/// `batch_verify` deferred queue, [`CommitKey::batch_culprits`] on the
+/// all-honest fast path).
+#[derive(Clone, Debug)]
+pub struct VerifiableRoundPoint {
+    /// Trainers contributing one gradient blob each.
+    pub trainers: usize,
+    /// Scalars per blob (partition parameters plus the averaging counter).
+    pub elements: usize,
+    /// Per-blob verification of the whole round (ms).
+    pub per_blob_ms: f64,
+    /// One batched RLC check of the whole round (ms).
+    pub batched_ms: f64,
+}
+
+impl VerifiableRoundPoint {
+    /// Round-level speedup of the batched check over per-blob verification.
+    pub fn speedup(&self) -> f64 {
+        self.per_blob_ms / self.batched_ms.max(1e-9)
+    }
+}
+
+/// Measures one verifiable round of `trainers` × `elements` on the
+/// protocol curve. Each trainer's vector is the shared base plus one
+/// distinct single-element bump, so its commitment is built homomorphically
+/// (base commit ⊕ one single-generator mul) — setup stays O(trainers)
+/// scalar muls and the timed spans cover verification only.
+pub fn verifiable_round_point(trainers: usize, elements: usize) -> VerifiableRoundPoint {
+    let mut key = CommitKey::<Secp256k1>::setup(elements, b"bench-verifiable-round");
+    key.precompute();
+    let base = deterministic_scalars::<Secp256k1>(elements);
+    let base_commit = key.commit(&base);
+
+    let mut vectors: Vec<Vec<Scalar<Secp256k1>>> = Vec::with_capacity(trainers);
+    let mut commits: Vec<Commitment<Secp256k1>> = Vec::with_capacity(trainers);
+    for i in 0..trainers {
+        let k = i % elements;
+        let delta = Scalar::<Secp256k1>::from_u64(0x9E37u64.wrapping_mul(i as u64) & 0xFF_FFFF | 1);
+        let mut values = base.clone();
+        values[k] += delta;
+        let bump = key.generators()[k].mul(&delta);
+        vectors.push(values);
+        commits.push(Commitment::from_point(base_commit.point().add(&bump)));
+    }
+
+    let per_blob_ms = time_ms(|| {
+        for (values, commitment) in vectors.iter().zip(&commits) {
+            assert!(key.verify(values, std::hint::black_box(commitment)));
+        }
+    });
+    let entries: Vec<BatchEntry<'_, Secp256k1>> = vectors
+        .iter()
+        .zip(&commits)
+        .map(|(values, commitment)| BatchEntry::new(values, commitment))
+        .collect();
+    let batched_ms = time_ms(|| {
+        assert!(key
+            .batch_culprits(std::hint::black_box(&entries))
+            .is_empty());
+    });
+
+    VerifiableRoundPoint {
+        trainers,
+        elements,
+        per_blob_ms,
+        batched_ms,
+    }
+}
+
+/// The verifiable-round sweep recorded in `BENCH_crypto.json`: swarm sizes
+/// up to the paper's 10k-trainer scale at a fixed per-blob length.
+pub fn verifiable_round_sweep(sizes: &[usize], elements: usize) -> Vec<VerifiableRoundPoint> {
+    sizes
+        .iter()
+        .map(|&n| verifiable_round_point(n, elements))
+        .collect()
+}
+
 /// Hand-formats the report as the `BENCH_crypto.json` document (the repo
 /// carries no JSON dependency; the schema is flat enough to emit directly).
-pub fn crypto_report_json(profiles: &[MsmProfile]) -> String {
+pub fn crypto_report_json(profiles: &[MsmProfile], rounds: &[VerifiableRoundPoint]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"parallel_enabled\": {},\n  \"curves\": [\n",
@@ -502,6 +583,25 @@ pub fn crypto_report_json(profiles: &[MsmProfile]) -> String {
             "      \"commit_speedup\": {}\n    }}{}\n",
             json_f64(p.commit_speedup()),
             if i + 1 < profiles.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"verifiable_round\": [\n");
+    for (i, r) in rounds.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"trainers\": {},\n", r.trainers));
+        out.push_str(&format!("      \"elements\": {},\n", r.elements));
+        out.push_str(&format!(
+            "      \"per_blob_ms\": {},\n",
+            json_f64(r.per_blob_ms)
+        ));
+        out.push_str(&format!(
+            "      \"batched_ms\": {},\n",
+            json_f64(r.batched_ms)
+        ));
+        out.push_str(&format!(
+            "      \"speedup\": {}\n    }}{}\n",
+            json_f64(r.speedup()),
+            if i + 1 < rounds.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1164,11 +1264,30 @@ mod tests {
                 p.commit_fast_ms
             );
         }
-        let json = crypto_report_json(&profiles);
+        let rounds = verifiable_round_sweep(&[8], 64);
+        let json = crypto_report_json(&profiles, &rounds);
         assert!(json.contains("\"secp256k1\""));
         assert!(json.contains("\"secp256r1\""));
         assert!(json.contains("\"commit_speedup\""));
         assert_eq!(json.matches("\"elements\": 512").count(), 2);
+        assert!(json.contains("\"verifiable_round\""));
+        assert!(json.contains("\"trainers\": 8"));
+    }
+
+    #[test]
+    fn batched_round_check_beats_per_blob() {
+        // Round-level before/after at a test-sized swarm: one RLC batch
+        // over the round must already beat arrival-order per-blob
+        // verification at 32 blobs (the 10k-trainer sweep goes to
+        // BENCH_crypto.json via examples/bench_crypto.rs).
+        let point = verifiable_round_point(32, 128);
+        assert_eq!(point.trainers, 32);
+        assert!(
+            point.speedup() > 1.0,
+            "per-blob {:.2} ms vs batched {:.2} ms",
+            point.per_blob_ms,
+            point.batched_ms
+        );
     }
 
     #[test]

@@ -305,7 +305,7 @@ mod tests {
     fn valid_evidence() -> (Misbehavior, ProtocolKey, ProtocolCommitment) {
         let key = derive_key(8, SEED, false);
         let honest = build_blob(&[0.5f32; 8]);
-        let expected = commit_blob(&key, &honest);
+        let expected = commit_blob(&key, &honest).unwrap();
         let altered = build_blob(&[0.75f32; 8]);
         let cid = Cid::of(&altered);
         let ranks: Vec<u16> = vec![0, 1];
@@ -354,7 +354,7 @@ mod tests {
         // rejected: detection condition (5).
         let key = derive_key(8, SEED, false);
         let honest = build_blob(&[0.5f32; 8]);
-        let expected = commit_blob(&key, &honest);
+        let expected = commit_blob(&key, &honest).unwrap();
         let cid = Cid::of(&honest);
         let msg = announce_message(1, 1, 4, &cid, &[0, 1]);
         let mut record = Misbehavior {
@@ -396,7 +396,7 @@ mod tests {
         assert!(!doctored.verify(&key, SEED, SLOTS, &expected));
 
         // Wrong expected accumulator (verifier view mismatch).
-        let other = commit_blob(&key, &build_blob(&[0.9f32; 8]));
+        let other = commit_blob(&key, &build_blob(&[0.9f32; 8])).unwrap();
         assert!(!record.verify(&key, SEED, SLOTS, &other));
     }
 
@@ -404,7 +404,7 @@ mod tests {
     fn bad_update_evidence_binds_global_index() {
         let key = derive_key(8, SEED, false);
         let honest = build_blob(&[0.5f32; 8]);
-        let expected = commit_blob(&key, &honest);
+        let expected = commit_blob(&key, &honest).unwrap();
         let altered = build_blob(&[0.25f32; 8]);
         let cid = Cid::of(&altered);
         // Offender: partition 1, slot 1 → global index 3 (SLOTS = 2).

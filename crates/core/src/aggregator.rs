@@ -40,8 +40,8 @@ use crate::accountability::{
 use crate::adversary::Behavior;
 use crate::config::{CommMode, Topology};
 use crate::gradient::{
-    commit_blob, decode_blob, sum_gradients, verify_blob_timed, ProtocolCommitment, ProtocolCurve,
-    ProtocolKey,
+    commit_blob, decode_blob, flush_verify_queue, sum_gradients, verify_blob_timed,
+    verify_blobs_timed, ProtocolCommitment, ProtocolCurve, ProtocolKey,
 };
 use crate::labels;
 use crate::messages::{update_message, Msg, SyncAnnounce};
@@ -117,6 +117,10 @@ pub struct Aggregator {
     /// Individual registered commitments by global trainer index (for
     /// degraded-quorum verification and recovered-gradient checks).
     commitments_seen: HashMap<usize, ProtocolCommitment>,
+    /// Deferred verification queue (`batch_verify` mode): own-set gradient
+    /// blobs admitted optimistically at arrival, settled with one RLC
+    /// batch check when aggregation is about to consume them.
+    pending_verify: Vec<(usize, Vec<u8>, ProtocolCommitment)>,
     /// Recovery bookkeeping: slot → trainers still to fetch.
     recovery_pending: HashMap<usize, HashSet<usize>>,
     /// Recovery gradients collected: slot → trainer → vector.
@@ -210,6 +214,7 @@ impl Aggregator {
             unverified: HashMap::new(),
             accumulators: vec![None; slots],
             commitments_seen: HashMap::new(),
+            pending_verify: Vec::new(),
             recovery_pending: HashMap::new(),
             recovery_grads: HashMap::new(),
             blacklist: HashSet::new(),
@@ -323,6 +328,7 @@ impl Aggregator {
         self.unverified.clear();
         self.accumulators = vec![None; self.topo.config().aggregators_per_partition];
         self.commitments_seen.clear();
+        self.pending_verify.clear();
         self.recovery_pending.clear();
         self.recovery_grads.clear();
         self.pending_evidence.clear();
@@ -609,10 +615,11 @@ impl Aggregator {
         // A "lazy but plausible" fabrication: all zeros with counter 1.
         let fake_blob =
             crate::gradient::build_blob(&vec![0.0f32; self.topo.partition_len(self.partition)]);
-        let commitment = self
-            .key
-            .as_ref()
-            .map(|key| commit_blob(key, &fake_blob).to_bytes());
+        let commitment = self.key.as_ref().map(|key| {
+            commit_blob(key, &fake_blob)
+                .expect("locally built fabrication is well-formed")
+                .to_bytes()
+        });
         let msg = Msg::RegisterGradient {
             trainer: victim,
             partition: self.partition,
@@ -646,7 +653,16 @@ impl Aggregator {
         if let (Some(key), Some((_, Some(commitment)))) =
             (self.key.clone(), self.registered.get(&trainer).cloned())
         {
-            if !verify_blob_timed(ctx, &key, data, &commitment) {
+            if self.topo.config().batch_verify {
+                // Deferred mode: admit the vector optimistically and queue
+                // the blob; the flush in `maybe_aggregate` evicts it again
+                // if the batch check names it. Count it now — the instant
+                // the per-blob path verifies — so `blobs_verified` totals
+                // match per-blob mode even in rounds that never flush.
+                ctx.incr(labels::BLOBS_VERIFIED, 1);
+                self.pending_verify
+                    .push((trainer, data.to_vec(), commitment));
+            } else if !verify_blob_timed(ctx, &key, data, &commitment) {
                 return; // corrupt gradient; the poll loop will retry
             }
         }
@@ -668,8 +684,47 @@ impl Aggregator {
         self.maybe_aggregate(ctx);
     }
 
+    /// Whether `have` gradients satisfy the aggregation precondition: the
+    /// full `needed` set normally, or the quorum threshold once the round
+    /// is deadline-degraded.
+    fn have_enough(&self, have: usize, needed: usize) -> bool {
+        have >= needed
+            || (self.deadline_degraded && self.quorum_threshold().is_some_and(|th| have >= th))
+    }
+
+    /// Settles the deferred verification queue (`batch_verify` mode): one
+    /// RLC batch check over every own-set blob admitted optimistically
+    /// since the last flush, bisecting on failure so exactly the corrupt
+    /// blobs are evicted from `gradients` — the same state an
+    /// arrival-time per-blob rejection leaves (`registered` keeps its
+    /// entry in both modes). Returns the number of culprits.
+    fn flush_pending_verify(&mut self, ctx: &mut Context<'_, Msg>) -> usize {
+        if self.pending_verify.is_empty() {
+            return 0;
+        }
+        let pending = std::mem::take(&mut self.pending_verify);
+        let Some(key) = self.key.clone() else {
+            return 0; // unreachable: entries only queue in verifiable mode
+        };
+        let items: Vec<(&[u8], &ProtocolCommitment)> = pending
+            .iter()
+            .map(|(_, blob, c)| (blob.as_slice(), c))
+            .collect();
+        // Blobs were counted at enqueue time; the flush books only the
+        // wall-clock and batch-size metrics.
+        let culprits = flush_verify_queue(ctx, &key, &items);
+        for &i in &culprits {
+            self.gradients.remove(&pending[i].0);
+        }
+        culprits.len()
+    }
+
     fn maybe_aggregate(&mut self, ctx: &mut Context<'_, Msg>) {
         if self.partial.is_some() {
+            // Stragglers admitted after aggregation (quorum-degraded
+            // rounds) still get their deferred check here, at the same
+            // instant the per-blob path would have verified them.
+            self.flush_pending_verify(ctx);
             return;
         }
         let (vectors, contributors): (Vec<Vec<Quantized>>, Vec<usize>) =
@@ -681,6 +736,11 @@ impl Aggregator {
                     {
                         return;
                     }
+                    // Fallback fetches were admitted optimistically in
+                    // batch mode; settle them before summing. A convicted
+                    // blob simply drops out of the fallback set, exactly
+                    // as an arrival-time rejection would have kept it out.
+                    self.flush_pending_verify(ctx);
                     // Merged blobs plus any gradients fetched individually
                     // after a failed merge, in deterministic trainer order.
                     let mut vectors = self.merged.clone();
@@ -700,17 +760,25 @@ impl Aggregator {
                         .filter(|t| !dropped.contains(t))
                         .copied()
                         .collect();
-                    let have: Vec<usize> = needed
+                    let mut have: Vec<usize> = needed
                         .iter()
                         .filter(|t| self.gradients.contains_key(t))
                         .copied()
                         .collect();
-                    if have.len() < needed.len() {
-                        // Normally wait for the full set; a deadline-degraded
-                        // round may proceed once the quorum is in.
-                        match self.quorum_threshold() {
-                            Some(th) if self.deadline_degraded && have.len() >= th => {}
-                            _ => return,
+                    // Normally wait for the full set; a deadline-degraded
+                    // round may proceed once the quorum is in.
+                    if !self.have_enough(have.len(), needed.len()) {
+                        return;
+                    }
+                    // The round boundary: settle the deferred batch, then
+                    // re-check — an evicted culprit may put the set back
+                    // below quorum, in which case the round waits exactly
+                    // as it would have had the blob been rejected at
+                    // arrival.
+                    if self.flush_pending_verify(ctx) > 0 {
+                        have.retain(|t| self.gradients.contains_key(t));
+                        if !self.have_enough(have.len(), needed.len()) {
+                            return;
                         }
                     }
                     let vectors = if self.behavior == Behavior::ForgeRegistration {
@@ -989,6 +1057,19 @@ impl Aggregator {
     }
 
     fn on_peer_partial(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
+        self.process_peer_partial(ctx, j, data, None);
+    }
+
+    /// Handles one peer partial. `verdict` carries a verification result
+    /// precomputed by the batched stash drain ([`Self::retry_unverified`]);
+    /// `None` means verify here (the per-blob path).
+    fn process_peer_partial(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        j: usize,
+        data: &[u8],
+        verdict: Option<bool>,
+    ) {
         if self.partials.contains_key(&j) || self.blacklist.contains(&j) {
             return;
         }
@@ -998,8 +1079,14 @@ impl Aggregator {
         if self.verifiable() {
             match self.expected_accumulator(&ann) {
                 Some(acc) => {
-                    let key = self.key.as_ref().expect("verifiable").clone();
-                    if !verify_blob_timed(ctx, &key, data, &acc) {
+                    let valid = match verdict {
+                        Some(v) => v,
+                        None => {
+                            let key = self.key.as_ref().expect("verifiable").clone();
+                            verify_blob_timed(ctx, &key, data, &acc)
+                        }
+                    };
+                    if !valid {
                         // Provably malicious partial: in accountability
                         // mode, package the transferable evidence and
                         // recover the slot immediately; otherwise ignore it
@@ -1173,12 +1260,48 @@ impl Aggregator {
     }
 
     /// Re-runs verification for stashed peer partials and parked evidence
-    /// once new commitments or accumulators arrive.
+    /// once new commitments or accumulators arrive. In `batch_verify` mode
+    /// the whole drain is checked with one RLC batch up front; the
+    /// per-item processing below then replays the per-blob event order
+    /// (convictions, inserts, sync completion) using the precomputed
+    /// verdicts, so both modes produce identical event streams and name
+    /// identical culprits.
     fn retry_unverified(&mut self, ctx: &mut Context<'_, Msg>) {
         let mut stashed: Vec<(usize, Vec<u8>)> = self.unverified.drain().collect();
         stashed.sort_unstable_by_key(|(j, _)| *j); // deterministic order
-        for (j, blob) in stashed {
-            self.on_peer_partial(ctx, j, &blob);
+        let mut verdicts: Vec<Option<bool>> = vec![None; stashed.len()];
+        if self.topo.config().batch_verify && !stashed.is_empty() {
+            if let Some(key) = self.key.clone() {
+                // Precompute only for items the per-item pass would verify
+                // now: announced, not settled, accumulator known. The rest
+                // keep `None` and re-stash below, as per-blob mode does.
+                let mut idx: Vec<usize> = Vec::new();
+                let mut accs: Vec<ProtocolCommitment> = Vec::new();
+                for (i, (j, _)) in stashed.iter().enumerate() {
+                    if self.partials.contains_key(j) || self.blacklist.contains(j) {
+                        continue;
+                    }
+                    let Some(ann) = self.announced.get(j) else {
+                        continue;
+                    };
+                    if let Some(acc) = self.expected_accumulator(ann) {
+                        idx.push(i);
+                        accs.push(acc);
+                    }
+                }
+                let items: Vec<(&[u8], &ProtocolCommitment)> = idx
+                    .iter()
+                    .zip(&accs)
+                    .map(|(&i, acc)| (stashed[i].1.as_slice(), acc))
+                    .collect();
+                let culprits = verify_blobs_timed(ctx, &key, &items);
+                for (k, &i) in idx.iter().enumerate() {
+                    verdicts[i] = Some(!culprits.contains(&k));
+                }
+            }
+        }
+        for (i, (j, blob)) in stashed.iter().enumerate() {
+            self.process_peer_partial(ctx, *j, blob, verdicts[i]);
         }
         let parked = std::mem::take(&mut self.pending_evidence);
         for record in parked {
@@ -1427,6 +1550,12 @@ impl Aggregator {
         // so a corrupt storage copy is refetched rather than summed.
         if let Some(key) = self.key.clone() {
             let valid = match self.commitments_seen.get(&trainer).cloned() {
+                // Recovered blobs arrive as separate storage replies, so
+                // batch mode sees them as singleton batches — same ledger,
+                // same `WASTED_BYTES` timing on a corrupt copy.
+                Some(c) if self.topo.config().batch_verify => {
+                    verify_blobs_timed(ctx, &key, &[(data, &c)]).is_empty()
+                }
                 Some(c) => verify_blob_timed(ctx, &key, data, &c),
                 None => false,
             };

@@ -115,6 +115,15 @@ pub struct TaskConfig {
     /// (0 = commitments are free in simulated time; the real group
     /// operations still run when `verifiable` is set).
     pub commit_us_per_element: u64,
+    /// Defer commitment checks to round boundaries and verify each queue
+    /// with one random-linear-combination MSM ([`CommitKey::batch_check`]),
+    /// bisecting failures back to the exact per-blob culprits. Verdicts,
+    /// detection counters, and Misbehavior evidence are identical to the
+    /// per-blob path; only real-world wall-clock changes. Only meaningful
+    /// with `verifiable`.
+    ///
+    /// [`CommitKey::batch_check`]: dfl_crypto::pedersen::CommitKey::batch_check
+    pub batch_verify: bool,
     /// Build the commitment key's fixed-base MSM precomputation table at
     /// task start (one-time cost ≈ one scalar multiplication per
     /// generator), so every commit and verification in the run takes the
@@ -161,6 +170,7 @@ impl Default for TaskConfig {
             fetch_timeout: SimDuration::from_secs(30),
             commit_us_per_element: 0,
             commit_precompute: true,
+            batch_verify: false,
             seed: 0,
             reference_allocator: false,
         }
@@ -240,6 +250,10 @@ impl TaskConfig {
         }
         if self.trainer_verifies && !self.verifiable {
             return err("trainer verification requires verifiable mode");
+        }
+        if self.batch_verify && !self.verifiable {
+            return err("batch_verify requires verifiable mode \
+                 (there are no commitments to batch otherwise)");
         }
         if let Some(q) = self.min_quorum {
             if !(1..=self.trainers).contains(&q) {
@@ -333,6 +347,7 @@ impl TaskConfigBuilder {
         fetch_timeout: SimDuration,
         commit_us_per_element: u64,
         commit_precompute: bool,
+        batch_verify: bool,
         seed: u64,
         reference_allocator: bool,
     }
@@ -632,6 +647,21 @@ mod tests {
             .build()
             .unwrap();
         assert!(cfg.verifiable && cfg.min_quorum == Some(2));
+    }
+
+    #[test]
+    fn batch_verify_requires_verifiable() {
+        let err = TaskConfig::builder()
+            .batch_verify(true)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("batch_verify"));
+        let cfg = TaskConfig::builder()
+            .verifiable(true)
+            .batch_verify(true)
+            .build()
+            .unwrap();
+        assert!(cfg.batch_verify);
     }
 
     #[test]

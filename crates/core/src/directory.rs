@@ -27,7 +27,9 @@ use crate::accountability::{
     EVIDENCE_TOPIC,
 };
 use crate::config::Topology;
-use crate::gradient::{verify_blob_timed, ProtocolCommitment, ProtocolCurve, ProtocolKey};
+use crate::gradient::{
+    verify_blob_timed, verify_blobs_timed, ProtocolCommitment, ProtocolCurve, ProtocolKey,
+};
 use crate::labels;
 use crate::messages::{
     batch_registration_message, registration_message, update_message, Msg, SignatureBytes,
@@ -475,6 +477,12 @@ impl Directory {
         let key = self.key.as_ref().expect("verifiable mode").clone();
         let verdict = ok
             && match self.expected_for_update(pv.partition, pv.iter, &pv.contributors) {
+                // Audited updates arrive one storage reply at a time, so
+                // batch mode sees them as singleton batches; the ledger
+                // and the virtual TK_VERIFY charge below are unchanged.
+                Some(acc) if self.topo.config().batch_verify => {
+                    verify_blobs_timed(ctx, &key, &[(data, &acc)]).is_empty()
+                }
                 Some(acc) => verify_blob_timed(ctx, &key, data, &acc),
                 None => false, // not all gradients registered: incomplete
             };
@@ -744,7 +752,7 @@ mod tests {
 
         // Register commitments for trainers 0 and 2 (slot j=0 of |A_i|=2).
         let blob = crate::gradient::build_blob(&[1.0; 4]);
-        let c = commit_blob(&key, &blob);
+        let c = commit_blob(&key, &blob).unwrap();
         for t in [0usize, 2] {
             dir.commitments.entry((0, 0)).or_default().insert(t, c);
         }

@@ -15,6 +15,10 @@ pub enum IplsError {
     /// Summed quantized gradients exceeded the fixed-point range (would
     /// have wrapped or saturated silently).
     Overflow,
+    /// A gradient blob failed to decode: truncated, not 8-byte aligned, or
+    /// missing the counter element. Blobs arrive from remote (possibly
+    /// Byzantine) peers, so this is an error, never a panic.
+    MalformedBlob,
     /// A storage upload target was requested in a communication mode that
     /// never routes gradients through storage (`CommMode::Direct`).
     NoStorageRoute {
@@ -41,6 +45,12 @@ impl fmt::Display for IplsError {
             ),
             IplsError::Overflow => {
                 write!(f, "quantized gradient sum overflowed the fixed-point range")
+            }
+            IplsError::MalformedBlob => {
+                write!(
+                    f,
+                    "malformed gradient blob (truncated, unaligned, or missing the counter)"
+                )
             }
             IplsError::NoStorageRoute { partition, trainer } => write!(
                 f,

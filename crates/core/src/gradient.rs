@@ -86,12 +86,17 @@ pub fn sum_gradients(grads: &[Vec<Quantized>]) -> Result<Vec<Quantized>, IplsErr
 
 /// Commits to a blob's quantized vector (including the counter element).
 ///
+/// Returns [`IplsError::MalformedBlob`] when the blob does not decode —
+/// blobs can arrive from Byzantine peers (e.g. the recovery re-commit
+/// path), so a malformed one must never panic an honest node.
+///
 /// # Panics
 ///
-/// Panics if the blob is malformed or longer than the key.
-pub fn commit_blob(key: &ProtocolKey, blob: &[u8]) -> ProtocolCommitment {
-    let v = decode_blob(blob).expect("well-formed gradient blob");
-    key.commit(&to_scalars::<ProtocolCurve>(&v))
+/// Panics if the decoded vector is longer than the key (a configuration
+/// invariant: keys are derived for the task's maximum partition length).
+pub fn commit_blob(key: &ProtocolKey, blob: &[u8]) -> Result<ProtocolCommitment, IplsError> {
+    let v = decode_blob(blob).ok_or(IplsError::MalformedBlob)?;
+    Ok(key.commit(&to_scalars::<ProtocolCurve>(&v)))
 }
 
 /// Verifies that `blob` opens `commitment`.
@@ -118,7 +123,84 @@ pub fn verify_blob_timed<M>(
         crate::labels::VERIFY_MS,
         started.elapsed().as_secs_f64() * 1e3,
     );
+    ctx.incr(crate::labels::BLOBS_VERIFIED, 1);
+    ctx.observe(crate::labels::VERIFY_BATCHED, 1.0);
     ok
+}
+
+/// Verifies a whole queue of `(blob, commitment)` pairs with one
+/// random-linear-combination check ([`CommitKey::batch_check`]), bisecting
+/// on failure so the returned indices are exactly the pairs that
+/// [`verify_blob`] would reject one at a time — malformed blobs included.
+/// The blob bytes double as the Fiat–Shamir binding (they uniquely
+/// determine the decoded scalars), which keeps transcript hashing at 8
+/// bytes per element.
+///
+/// Books one [`labels::VERIFY_MS`](crate::labels::VERIFY_MS) sample for
+/// the whole flush, bumps
+/// [`labels::BLOBS_VERIFIED`](crate::labels::BLOBS_VERIFIED) by the queue
+/// length, and records the batch size under
+/// [`labels::VERIFY_BATCHED`](crate::labels::VERIFY_BATCHED) — the same
+/// ledger totals as running [`verify_blob_timed`] per blob.
+///
+/// Use this when the batch is verified at the same simulated instant the
+/// per-blob path would have verified each item (singleton batches, stash
+/// drains). Deferred queues that count blobs at enqueue time call
+/// [`flush_verify_queue`] instead.
+///
+/// Returns the sorted indices of the failing pairs (empty = all verified).
+pub fn verify_blobs_timed<M>(
+    ctx: &mut dfl_netsim::Context<'_, M>,
+    key: &ProtocolKey,
+    items: &[(&[u8], &ProtocolCommitment)],
+) -> Vec<usize> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    ctx.incr(crate::labels::BLOBS_VERIFIED, items.len() as u64);
+    flush_verify_queue(ctx, key, items)
+}
+
+/// [`verify_blobs_timed`] minus the
+/// [`labels::BLOBS_VERIFIED`](crate::labels::BLOBS_VERIFIED) bump: books
+/// the [`labels::VERIFY_MS`](crate::labels::VERIFY_MS) wall-clock sample
+/// and the [`labels::VERIFY_BATCHED`](crate::labels::VERIFY_BATCHED) batch
+/// size, but leaves blob counting to the caller. Deferred verification
+/// queues bump the counter when a blob is *enqueued* — the instant the
+/// per-blob path verifies it — so counter totals stay identical across
+/// modes even in rounds that stall before any flush happens.
+pub fn flush_verify_queue<M>(
+    ctx: &mut dfl_netsim::Context<'_, M>,
+    key: &ProtocolKey,
+    items: &[(&[u8], &ProtocolCommitment)],
+) -> Vec<usize> {
+    use dfl_crypto::pedersen::BatchEntry;
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let started = std::time::Instant::now();
+    // Malformed blobs can never open a commitment: convict them up front
+    // and batch the RLC over the decodable remainder.
+    let mut culprits: Vec<usize> = Vec::new();
+    let mut decoded: Vec<(usize, Vec<dfl_crypto::curve::Scalar<ProtocolCurve>>)> = Vec::new();
+    for (i, (blob, _)) in items.iter().enumerate() {
+        match decode_blob(blob) {
+            Some(v) => decoded.push((i, to_scalars::<ProtocolCurve>(&v))),
+            None => culprits.push(i),
+        }
+    }
+    let entries: Vec<BatchEntry<'_, ProtocolCurve>> = decoded
+        .iter()
+        .map(|(i, scalars)| BatchEntry::with_binding(scalars, items[*i].1, items[*i].0))
+        .collect();
+    culprits.extend(key.batch_culprits(&entries).iter().map(|&j| decoded[j].0));
+    culprits.sort_unstable();
+    ctx.observe(
+        crate::labels::VERIFY_MS,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    ctx.observe(crate::labels::VERIFY_BATCHED, items.len() as f64);
+    culprits
 }
 
 /// Derives the protocol commitment key for a task: enough generators for
@@ -197,8 +279,8 @@ mod tests {
         let key = derive_key(4, 7, false);
         let b1 = build_blob(&[1.0, -2.0, 0.5, 0.0]);
         let b2 = build_blob(&[0.5, 2.0, 1.5, -1.0]);
-        let c1 = commit_blob(&key, &b1);
-        let c2 = commit_blob(&key, &b2);
+        let c1 = commit_blob(&key, &b1).unwrap();
+        let c2 = commit_blob(&key, &b2).unwrap();
         assert!(verify_blob(&key, &b1, &c1));
         assert!(!verify_blob(&key, &b1, &c2));
 
@@ -220,7 +302,10 @@ mod tests {
             build_blob(&[2.0, 2.0]),
             build_blob(&[3.0, 3.0]),
         ];
-        let commits: Vec<_> = blobs.iter().map(|b| commit_blob(&key, b)).collect();
+        let commits: Vec<_> = blobs
+            .iter()
+            .map(|b| commit_blob(&key, b).unwrap())
+            .collect();
         let acc = Commitment::accumulate(&commits);
         // Malicious aggregator drops blob 1.
         let partial = sum_gradients(&[
@@ -236,7 +321,10 @@ mod tests {
         // Correctness (§III-A): perturbing one element fails verification.
         let key = derive_key(2, 7, false);
         let blobs = [build_blob(&[1.0, 1.0]), build_blob(&[2.0, 2.0])];
-        let commits: Vec<_> = blobs.iter().map(|b| commit_blob(&key, b)).collect();
+        let commits: Vec<_> = blobs
+            .iter()
+            .map(|b| commit_blob(&key, b).unwrap())
+            .collect();
         let acc = Commitment::accumulate(&commits);
         let mut summed = sum_gradients(&[
             decode_blob(&blobs[0]).unwrap(),
@@ -266,6 +354,31 @@ mod tests {
     }
 
     #[test]
+    fn commit_blob_rejects_malformed_instead_of_panicking() {
+        // Regression: a truncated blob from a Byzantine peer used to hit
+        // `expect("well-formed gradient blob")` and take the node down.
+        let key = derive_key(4, 7, false);
+        let good = build_blob(&[1.0, -2.0, 0.5, 0.0]);
+        let truncated = &good[..good.len() - 3]; // not 8-byte aligned
+        assert_eq!(
+            commit_blob(&key, truncated).unwrap_err(),
+            IplsError::MalformedBlob
+        );
+        assert_eq!(
+            commit_blob(&key, &[]).unwrap_err(),
+            IplsError::MalformedBlob
+        );
+        // Counter-only blob (one element) is malformed too.
+        let counter_only = encode(&[Quantized::from_f64(1.0)]);
+        assert_eq!(
+            commit_blob(&key, &counter_only).unwrap_err(),
+            IplsError::MalformedBlob
+        );
+        // And the well-formed blob still commits.
+        assert!(commit_blob(&key, &good).is_ok());
+    }
+
+    #[test]
     fn key_derivation_deterministic_per_task() {
         let a = derive_key(3, 1, false);
         let b = derive_key(3, 1, false);
@@ -285,8 +398,8 @@ mod tests {
         assert!(fast.is_precomputed() && !plain.is_precomputed());
         assert_eq!(plain, fast, "table must not affect key identity");
         let blob = build_blob(&[1.5, -0.25, 3.0, 0.125]);
-        let c = commit_blob(&plain, &blob);
-        assert_eq!(c, commit_blob(&fast, &blob));
+        let c = commit_blob(&plain, &blob).unwrap();
+        assert_eq!(c, commit_blob(&fast, &blob).unwrap());
         assert!(verify_blob(&fast, &blob, &c));
     }
 }

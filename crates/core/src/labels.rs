@@ -74,3 +74,15 @@ pub const FETCH_START: &str = "fetch_start";
 /// blob against its commitment (trainer, aggregator, and directory verify
 /// paths). Wall-clock — excluded from determinism comparisons.
 pub const VERIFY_MS: &str = "verify_ms";
+/// Counter: total gradient blobs whose commitment was checked. The
+/// per-blob path bumps it by 1 per verification; the batched path bumps it
+/// by 1 at the instant each blob *would* have been verified per-blob
+/// (enqueue time for deferred queues, drain time for stash drains), so the
+/// total is identical in both modes — even in rounds that stall before a
+/// flush — and `dfl report` never under-counts verification work.
+pub const BLOBS_VERIFIED: &str = "blobs_verified";
+/// Histogram label: verification batch size — one sample per verify call
+/// (1.0 on the per-blob path, the queue length on the batched path).
+/// Batch sizes depend only on simulated behaviour, but the histogram
+/// channel keeps batched and per-blob fingerprints comparable.
+pub const VERIFY_BATCHED: &str = "verify_batched";

@@ -21,8 +21,8 @@ use dfl_crypto::schnorr::SigningKey;
 
 use crate::config::{CommMode, Topology};
 use crate::gradient::{
-    build_blob, commit_blob, decode_update, verify_blob_timed, ProtocolCommitment, ProtocolCurve,
-    ProtocolKey,
+    build_blob, commit_blob, decode_update, flush_verify_queue, verify_blob_timed,
+    ProtocolCommitment, ProtocolCurve, ProtocolKey,
 };
 use crate::labels;
 use crate::messages::{batch_registration_message, registration_message, Msg};
@@ -69,6 +69,10 @@ pub struct Trainer<M: Model> {
     accumulators: HashMap<usize, ProtocolCommitment>,
     /// Update blobs awaiting an accumulator to verify against.
     unverified_updates: HashMap<usize, Vec<u8>>,
+    /// Deferred verification queue (`batch_verify` mode): update blobs
+    /// accepted optimistically, settled with one RLC batch check when the
+    /// last partition arrives and the round is about to finish.
+    pending_verify: Vec<(usize, Vec<u8>, ProtocolCommitment)>,
     /// Blocks uploaded in the current round, released at the next round
     /// (ephemeral storage lifecycle, §VI).
     uploads: Vec<(NodeId, Cid)>,
@@ -123,6 +127,7 @@ impl<M: Model> Trainer<M> {
             batch_entries: Vec::new(),
             accumulators: HashMap::new(),
             unverified_updates: HashMap::new(),
+            pending_verify: Vec::new(),
             uploads: Vec::new(),
             signing_key,
             polling: false,
@@ -167,6 +172,7 @@ impl<M: Model> Trainer<M> {
         self.batch_entries.clear();
         self.accumulators.clear();
         self.unverified_updates.clear();
+        self.pending_verify.clear();
 
         // Release last round's gradient blobs: they have served their
         // purpose once the round completed (§VI ephemeral-data lifecycle).
@@ -193,7 +199,9 @@ impl<M: Model> Trainer<M> {
             let blob = build_blob(&new_params[s..e]);
             let commitment = self.key.as_ref().map(|key| {
                 commit_elements += (e - s + 1) as u64;
-                commit_blob(key, &blob).to_bytes()
+                commit_blob(key, &blob)
+                    .expect("locally built blob is well-formed")
+                    .to_bytes()
             });
             self.blobs.insert(i, (blob, commitment));
         }
@@ -446,7 +454,15 @@ impl<M: Model> Trainer<M> {
                 Some(acc) => {
                     let acc = *acc;
                     let key = self.key.as_ref().expect("verifiable mode").clone();
-                    if !verify_blob_timed(ctx, &key, &data, &acc) {
+                    if self.topo.config().batch_verify {
+                        // Deferred mode: accept optimistically and queue
+                        // the blob for the end-of-round flush. Count it
+                        // now — the instant the per-blob path verifies —
+                        // so `blobs_verified` totals match per-blob mode
+                        // even in rounds that never complete.
+                        ctx.incr(labels::BLOBS_VERIFIED, 1);
+                        self.pending_verify.push((partition, data.clone(), acc));
+                    } else if !verify_blob_timed(ctx, &key, &data, &acc) {
                         // Never accept an unverified update (the poll loop
                         // will re-fetch if a correct one appears).
                         ctx.record("trainer_rejected_update", partition as f64);
@@ -467,9 +483,37 @@ impl<M: Model> Trainer<M> {
             return;
         }
         self.received.insert(partition, averaged);
-        if self.received.len() == self.topo.config().partitions {
+        if self.received.len() == self.topo.config().partitions && self.flush_pending_verify(ctx) {
             self.finish_round(ctx);
         }
+    }
+
+    /// Settles the deferred update-verification queue (`batch_verify`
+    /// mode) with one RLC batch check; returns whether the round may
+    /// finish (no culprits). A culprit partition is rejected exactly as
+    /// the per-blob path rejects it at arrival — dropped from `received`
+    /// so the poll loop re-fetches it.
+    fn flush_pending_verify(&mut self, ctx: &mut Context<'_, Msg>) -> bool {
+        if self.pending_verify.is_empty() {
+            return true;
+        }
+        let Some(key) = self.key.clone() else {
+            return true; // unreachable: entries only queue in verifiable mode
+        };
+        let pending = std::mem::take(&mut self.pending_verify);
+        let items: Vec<(&[u8], &ProtocolCommitment)> = pending
+            .iter()
+            .map(|(_, blob, acc)| (blob.as_slice(), acc))
+            .collect();
+        // Blobs were counted at enqueue time; the flush books only the
+        // wall-clock and batch-size metrics.
+        let culprits = flush_verify_queue(ctx, &key, &items);
+        for &i in &culprits {
+            let partition = pending[i].0;
+            ctx.record("trainer_rejected_update", partition as f64);
+            self.received.remove(&partition);
+        }
+        culprits.is_empty()
     }
 
     fn finish_round(&mut self, ctx: &mut Context<'_, Msg>) {

@@ -534,11 +534,11 @@ fn window_size(n: usize) -> usize {
 /// Below this many scalars per chunk, thread spawn overhead outweighs the
 /// parallel win.
 #[cfg(feature = "rayon")]
-const MIN_PARALLEL_CHUNK: usize = 128;
+pub(crate) const MIN_PARALLEL_CHUNK: usize = 128;
 
 /// Chunk size targeting one chunk per available thread.
 #[cfg(feature = "rayon")]
-fn parallel_leaf_size(n: usize) -> usize {
+pub(crate) fn parallel_leaf_size(n: usize) -> usize {
     n.div_ceil(rayon::current_num_threads().max(1))
         .max(MIN_PARALLEL_CHUNK)
 }

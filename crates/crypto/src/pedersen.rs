@@ -180,66 +180,331 @@ impl<C: Curve> CommitKey<C> {
     }
 
     /// Verifies many `(values, commitment)` pairs at once with a random
-    /// linear combination: sample coefficients `rᵢ`, check that
-    /// `commit(Σ rᵢ·vᵢ) = Σ rᵢ·Cᵢ`. One length-`n` MSM plus `k` short
-    /// scalar multiplications replaces `k` full MSMs — the §VI
-    /// "minimize the query load of the directory service" direction, since
-    /// a directory can batch all partitions of a round into one check.
-    ///
-    /// Sound for adversarially chosen inputs: if any pair fails
-    /// individually, the batched identity holds with probability ≤ 1/2¹²⁸
-    /// over the coefficients, which are derived by hashing the full input
-    /// (Fiat–Shamir style), so the prover cannot choose openings after
-    /// seeing them.
+    /// linear combination. Convenience wrapper over [`CommitKey::batch_check`]
+    /// for callers without binding bytes.
     ///
     /// Returns `true` for an empty batch.
     pub fn batch_verify(&self, items: &[(&[Scalar<C>], &Commitment<C>)]) -> bool {
-        if items.is_empty() {
+        let entries: Vec<BatchEntry<'_, C>> = items
+            .iter()
+            .map(|(values, commitment)| BatchEntry::new(values, commitment))
+            .collect();
+        self.batch_check(&entries)
+    }
+
+    /// Verifies a whole batch of openings with one random linear
+    /// combination: sample coefficients `rᵢ`, check that
+    /// `commit(Σ rᵢ·vᵢ) = Σ rᵢ·Cᵢ`. One length-`width` MSM plus one
+    /// `k`-point Pippenger MSM replaces `k` full MSMs — the §VI
+    /// "minimize the query load of the directory service" direction, since
+    /// a node can batch every opening of a round boundary into one check.
+    ///
+    /// Sound for adversarially chosen inputs: if any pair fails
+    /// individually, the batched identity holds with probability ≤ 1/2¹²⁸
+    /// over the coefficients, which are derived by hashing a transcript of
+    /// the full input (Fiat–Shamir style), so the prover cannot choose
+    /// openings after seeing them. Entries longer than the key can never
+    /// verify and fail the batch outright.
+    ///
+    /// With the `rayon` feature the transcript hashing and the scalar
+    /// accumulation shard across threads; field arithmetic is exact, so
+    /// the result is bit-identical to the serial evaluation.
+    ///
+    /// Returns `true` for an empty batch.
+    pub fn batch_check(&self, entries: &[BatchEntry<'_, C>]) -> bool {
+        if entries.is_empty() {
             return true;
         }
-        if items.iter().any(|(v, _)| v.len() > self.generators.len()) {
+        if entries
+            .iter()
+            .any(|e| e.values.len() > self.generators.len())
+        {
             return false;
         }
-        // Derive the combination coefficients from a transcript of every
-        // input so they are unpredictable to whoever produced the items.
-        let mut transcript = Sha256::new();
-        transcript.update(b"dfl-pedersen-batch");
-        transcript.update(&self.seed);
-        for (values, commitment) in items {
-            transcript.update(&(values.len() as u64).to_be_bytes());
-            for v in values.iter() {
-                transcript.update(&v.to_be_bytes());
+        let coeffs = self.batch_coefficients(entries);
+        let points = normalized_points(entries);
+        let idxs: Vec<usize> = (0..entries.len()).collect();
+        self.check_subset(entries, &coeffs, &points, &idxs)
+    }
+
+    /// Identifies exactly which entries of a failing batch do not open:
+    /// returns the sorted indices whose `(values, commitment)` pair fails
+    /// [`CommitKey::verify`], by bisecting the batch with the *same*
+    /// Fiat–Shamir coefficients (derived once from the full transcript,
+    /// reused per subrange so a cheating prover cannot adapt). Singleton
+    /// ranges fall back to a direct [`CommitKey::verify`], so the culprit
+    /// set matches sequential per-item verification exactly.
+    ///
+    /// Cost is one subrange check per bisection node on the path to each
+    /// culprit: `O(b · log k)` extra MSMs for `b` culprits in a batch of
+    /// `k`, and a single whole-batch check when everything is valid.
+    pub fn batch_culprits(&self, entries: &[BatchEntry<'_, C>]) -> Vec<usize> {
+        // Over-long vectors can never open; convict them directly and keep
+        // the RLC domain to the checkable entries.
+        let (overlong, in_range): (Vec<usize>, Vec<usize>) =
+            (0..entries.len()).partition(|&i| entries[i].values.len() > self.generators.len());
+        let mut culprits = overlong;
+        if !in_range.is_empty() {
+            let coeffs = self.batch_coefficients(entries);
+            let points = normalized_points(entries);
+            self.bisect(entries, &coeffs, &points, &in_range, &mut culprits);
+        }
+        culprits.sort_unstable();
+        culprits
+    }
+
+    /// Fiat–Shamir coefficients for a batch: hash each entry to a leaf
+    /// digest, chain the leaves (in index order) into a root, and derive
+    /// `rᵢ = H(root ‖ i)` reduced into the scalar field. Leaves hash the
+    /// binding bytes when present (cheaper than 32 B per scalar) and the
+    /// scalar encodings otherwise; per-leaf hashing is independent, so it
+    /// shards across threads while the root stays index-ordered and
+    /// bit-identical.
+    fn batch_coefficients(&self, entries: &[BatchEntry<'_, C>]) -> Vec<Scalar<C>> {
+        let leaf = |e: &BatchEntry<'_, C>| -> [u8; 32] {
+            let mut h = Sha256::new();
+            h.update(&(e.values.len() as u64).to_be_bytes());
+            match e.binding {
+                // Domain-separate the two leaf encodings so a binding can
+                // never collide with a scalar transcript.
+                Some(bytes) => {
+                    h.update(b"B");
+                    h.update(&(bytes.len() as u64).to_be_bytes());
+                    h.update(bytes);
+                }
+                None => {
+                    h.update(b"S");
+                    for v in e.values.iter() {
+                        h.update(&v.to_be_bytes());
+                    }
+                }
             }
-            transcript.update(&commitment.to_bytes());
+            h.update(&e.commitment.to_bytes());
+            h.finalize()
+        };
+        let leaves = hash_leaves(entries, &leaf);
+
+        let mut transcript = Sha256::new();
+        transcript.update(b"dfl-pedersen-batch-v2");
+        transcript.update(&self.seed);
+        transcript.update(&(entries.len() as u64).to_be_bytes());
+        for digest in &leaves {
+            transcript.update(digest);
         }
         let root = transcript.finalize();
-        let coeff = |i: usize| -> Scalar<C> {
-            let mut h = Sha256::new();
-            h.update(&root);
-            h.update(&(i as u64).to_be_bytes());
-            // A uniform 256-bit value reduced once; bias ≤ 2⁻¹²⁸ for the
-            // secp group orders.
-            Scalar::<C>::from_canonical(
-                crate::bigint::U256::from_be_bytes(h.finalize())
-                    .reduce_once(&<C::Scalar as crate::field::FieldParams>::MODULUS),
-            )
-        };
 
-        let width = items.iter().map(|(v, _)| v.len()).max().unwrap_or(0);
-        let mut combined_values = vec![Scalar::<C>::ZERO; width];
-        let mut combined_commitment = Jacobian::<C>::identity();
-        for (i, (values, commitment)) in items.iter().enumerate() {
-            let r = coeff(i);
-            for (acc, v) in combined_values.iter_mut().zip(values.iter()) {
-                *acc += r * *v;
-            }
-            combined_commitment = combined_commitment.add(&commitment.point().to_affine().mul(&r));
-        }
+        (0..entries.len())
+            .map(|i| {
+                let mut h = Sha256::new();
+                h.update(&root);
+                h.update(&(i as u64).to_be_bytes());
+                // A uniform 256-bit value reduced once; bias ≤ 2⁻¹²⁸ for
+                // the secp group orders.
+                Scalar::<C>::from_canonical(
+                    crate::bigint::U256::from_be_bytes(h.finalize())
+                        .reduce_once(&<C::Scalar as crate::field::FieldParams>::MODULUS),
+                )
+            })
+            .collect()
+    }
+
+    /// One RLC check over the entries selected by `idxs`:
+    /// `commit(Σ rᵢ·vᵢ) = Σ rᵢ·Cᵢ` with the precomputed coefficients.
+    fn check_subset(
+        &self,
+        entries: &[BatchEntry<'_, C>],
+        coeffs: &[Scalar<C>],
+        points: &[Affine<C>],
+        idxs: &[usize],
+    ) -> bool {
+        let width = idxs
+            .iter()
+            .map(|&i| entries[i].values.len())
+            .max()
+            .unwrap_or(0);
+        let combined_values = accumulate_values(entries, coeffs, idxs, width);
+        let sub_points: Vec<Affine<C>> = idxs.iter().map(|&i| points[i]).collect();
+        let sub_coeffs: Vec<Scalar<C>> = idxs.iter().map(|&i| coeffs[i]).collect();
+        let combined_commitment = Msm::new(&sub_points).eval(&sub_coeffs);
         self.commit(&combined_values)
             == Commitment {
                 point: combined_commitment,
             }
     }
+
+    /// Recursive culprit search: a passing subrange is vouched for by the
+    /// RLC identity; a failing one splits in half. Coefficients are fixed
+    /// up front, so subrange checks stay sound against adaptive provers.
+    fn bisect(
+        &self,
+        entries: &[BatchEntry<'_, C>],
+        coeffs: &[Scalar<C>],
+        points: &[Affine<C>],
+        idxs: &[usize],
+        culprits: &mut Vec<usize>,
+    ) {
+        match idxs {
+            [] => {}
+            // Exact sequential semantics at the leaves: the verdict for a
+            // single entry is a direct recommit-and-compare, never an RLC.
+            &[i] => {
+                let e = &entries[i];
+                if !self.verify(e.values, e.commitment) {
+                    culprits.push(i);
+                }
+            }
+            _ => {
+                if self.check_subset(entries, coeffs, points, idxs) {
+                    return;
+                }
+                let mid = idxs.len() / 2;
+                self.bisect(entries, coeffs, points, &idxs[..mid], culprits);
+                self.bisect(entries, coeffs, points, &idxs[mid..], culprits);
+            }
+        }
+    }
+}
+
+/// One opening queued for batched verification: a claimed value vector,
+/// the commitment it should open, and optionally the canonical wire bytes
+/// the values were decoded from.
+///
+/// When `binding` is set, the Fiat–Shamir transcript hashes those bytes
+/// *instead of* the scalar encodings — for the protocol's 8-byte
+/// fixed-point elements that is ~4× less hashing per element. Soundness
+/// then requires the binding to *determine* the values: the caller must
+/// derive `values` from `binding` by a fixed injective decoding (as
+/// `decode_blob` does), never accept them separately.
+#[derive(Copy, Clone, Debug)]
+pub struct BatchEntry<'a, C: Curve> {
+    values: &'a [Scalar<C>],
+    commitment: &'a Commitment<C>,
+    binding: Option<&'a [u8]>,
+}
+
+impl<'a, C: Curve> BatchEntry<'a, C> {
+    /// An entry whose transcript leaf hashes the scalar encodings.
+    pub fn new(values: &'a [Scalar<C>], commitment: &'a Commitment<C>) -> BatchEntry<'a, C> {
+        BatchEntry {
+            values,
+            commitment,
+            binding: None,
+        }
+    }
+
+    /// An entry whose transcript leaf hashes `binding` in place of the
+    /// scalars. `binding` must uniquely determine `values` (see the type
+    /// docs); the commitment is always hashed alongside either way.
+    pub fn with_binding(
+        values: &'a [Scalar<C>],
+        commitment: &'a Commitment<C>,
+        binding: &'a [u8],
+    ) -> BatchEntry<'a, C> {
+        BatchEntry {
+            values,
+            commitment,
+            binding: Some(binding),
+        }
+    }
+
+    /// The claimed opening.
+    pub fn values(&self) -> &'a [Scalar<C>] {
+        self.values
+    }
+
+    /// The commitment the values should open.
+    pub fn commitment(&self) -> &'a Commitment<C> {
+        self.commitment
+    }
+}
+
+/// Normalizes every entry's commitment to affine in one shared inversion,
+/// so subrange checks can run a batch-affine Pippenger MSM over them.
+fn normalized_points<C: Curve>(entries: &[BatchEntry<'_, C>]) -> Vec<Affine<C>> {
+    let jacobians: Vec<Jacobian<C>> = entries.iter().map(|e| e.commitment.point()).collect();
+    Jacobian::batch_normalize(&jacobians)
+}
+
+/// `Σ rᵢ·vᵢ` over the selected entries, as a `width`-element vector.
+/// Sharded across threads under the `rayon` feature: field addition is
+/// exact and associative, so any shard split merges to the same bits.
+fn accumulate_values<C: Curve>(
+    entries: &[BatchEntry<'_, C>],
+    coeffs: &[Scalar<C>],
+    idxs: &[usize],
+    width: usize,
+) -> Vec<Scalar<C>> {
+    let serial = |idxs: &[usize]| -> Vec<Scalar<C>> {
+        let mut acc = vec![Scalar::<C>::ZERO; width];
+        for &i in idxs {
+            let r = coeffs[i];
+            for (slot, v) in acc.iter_mut().zip(entries[i].values.iter()) {
+                *slot += r * *v;
+            }
+        }
+        acc
+    };
+    #[cfg(feature = "rayon")]
+    if idxs.len() >= 2 * crate::msm::MIN_PARALLEL_CHUNK {
+        return join_merge(
+            idxs,
+            crate::msm::parallel_leaf_size(idxs.len()),
+            &serial,
+            &|mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    }
+    serial(idxs)
+}
+
+/// Hashes one transcript leaf per entry, in index order. Leaves are
+/// independent, so under the `rayon` feature they shard across threads;
+/// the output vector order (and thus the root) is identical either way.
+fn hash_leaves<C: Curve>(
+    entries: &[BatchEntry<'_, C>],
+    leaf: &(dyn Fn(&BatchEntry<'_, C>) -> [u8; 32] + Sync),
+) -> Vec<[u8; 32]> {
+    let serial =
+        |chunk: &[BatchEntry<'_, C>]| -> Vec<[u8; 32]> { chunk.iter().map(leaf).collect() };
+    #[cfg(feature = "rayon")]
+    if entries.len() >= 2 * crate::msm::MIN_PARALLEL_CHUNK {
+        return join_merge(
+            entries,
+            crate::msm::parallel_leaf_size(entries.len()),
+            &serial,
+            &|mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+    }
+    serial(entries)
+}
+
+/// Recursive fork/join over a slice: leaves evaluate serially, parents
+/// merge `(left, right)` in a fixed order — same shape as the MSM
+/// reduction, generic over the accumulator type.
+#[cfg(feature = "rayon")]
+fn join_merge<T, R, E, M>(items: &[T], leaf: usize, eval: &E, merge: &M) -> R
+where
+    T: Sync,
+    R: Send,
+    E: Fn(&[T]) -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    if items.len() <= leaf {
+        return eval(items);
+    }
+    let mid = items.len() / 2;
+    let (left, right) = rayon::join(
+        || join_merge(&items[..mid], leaf, eval, merge),
+        || join_merge(&items[mid..], leaf, eval, merge),
+    );
+    merge(left, right)
 }
 
 impl<C: Curve> fmt::Debug for CommitKey<C> {
@@ -285,6 +550,14 @@ impl<C: Curve> Commitment<C> {
     pub fn accumulate<'a, I: IntoIterator<Item = &'a Commitment<C>>>(iter: I) -> Commitment<C> {
         iter.into_iter()
             .fold(Commitment::identity(), |acc, c| acc.combine(c))
+    }
+
+    /// Wraps a raw group element as a commitment. Callers that already
+    /// hold a point — e.g. a homomorphic single-generator bump
+    /// `Δ·Hₖ` computed with [`crate::msm::Msm`] — can build the combined
+    /// commitment without re-running a full commit.
+    pub fn from_point(point: Jacobian<C>) -> Commitment<C> {
+        Commitment { point }
     }
 
     /// The underlying group element.
@@ -602,8 +875,165 @@ mod tests {
         assert!(!key.batch_verify(&[(&too_long, &cs)]));
     }
 
+    /// Builds a batch of `n` openings over `key`, then corrupts the
+    /// commitments at `bad` (either by offsetting the commitment or by
+    /// perturbing a value, alternating) so sequential verification fails
+    /// at exactly those indices.
+    fn corrupted_batch(
+        key: &CommitKey<K1>,
+        n: usize,
+        bad: &[usize],
+        seed: u64,
+    ) -> (Vec<Vec<Scalar<K1>>>, Vec<Commitment<K1>>) {
+        let vectors: Vec<Vec<_>> = (0..n)
+            .map(|i| random_vector(key.len(), seed + i as u64))
+            .collect();
+        let mut commits: Vec<_> = vectors.iter().map(|v| key.commit(v)).collect();
+        for (k, &i) in bad.iter().enumerate() {
+            if k % 2 == 0 {
+                commits[i] =
+                    commits[i].combine(&key.commit(&random_vector(key.len(), 500 + k as u64)));
+            } else {
+                let mut altered = vectors[i].clone();
+                altered[0] += Scalar::<K1>::ONE;
+                commits[i] = key.commit(&altered);
+            }
+        }
+        (vectors, commits)
+    }
+
+    fn entries<'a, C: crate::curve::Curve>(
+        vectors: &'a [Vec<Scalar<C>>],
+        commits: &'a [Commitment<C>],
+    ) -> Vec<BatchEntry<'a, C>> {
+        vectors
+            .iter()
+            .zip(commits)
+            .map(|(v, c)| BatchEntry::new(v, c))
+            .collect()
+    }
+
+    #[test]
+    fn batch_check_matches_batch_verify_semantics() {
+        let key = key(8);
+        let (vectors, commits) = corrupted_batch(&key, 6, &[], 100);
+        assert!(key.batch_check(&entries(&vectors, &commits)));
+        let (vectors, commits) = corrupted_batch(&key, 6, &[2], 110);
+        assert!(!key.batch_check(&entries(&vectors, &commits)));
+        assert!(key.batch_check(&[]), "empty batch is trivially valid");
+    }
+
+    #[test]
+    fn batch_culprits_empty_when_all_valid() {
+        let key = key(8);
+        let (vectors, commits) = corrupted_batch(&key, 7, &[], 120);
+        assert!(key.batch_culprits(&entries(&vectors, &commits)).is_empty());
+    }
+
+    #[test]
+    fn batch_culprits_names_exact_offenders() {
+        let key = key(8);
+        for bad in [
+            vec![0],
+            vec![4],
+            vec![1, 5],
+            vec![0, 3, 6],
+            (0..7).collect(),
+        ] {
+            let (vectors, commits) = corrupted_batch(&key, 7, &bad, 130);
+            let found = key.batch_culprits(&entries(&vectors, &commits));
+            assert_eq!(found, bad, "culprit set must match the corrupted set");
+        }
+    }
+
+    #[test]
+    fn batch_culprits_flags_overlong_entries() {
+        let key = key(4);
+        let good = random_vector(4, 140);
+        let cg = key.commit(&good);
+        let long = random_vector(5, 141);
+        let e = [BatchEntry::new(&good, &cg), BatchEntry::new(&long, &cg)];
+        assert!(!key.batch_check(&e));
+        assert_eq!(key.batch_culprits(&e), vec![1]);
+    }
+
+    #[test]
+    fn binding_entries_accept_and_reject() {
+        // Binding bytes replace the scalar transcript but the verdicts and
+        // the culprit sets are unchanged.
+        let key = key(6);
+        let (vectors, mut commits) = corrupted_batch(&key, 5, &[], 150);
+        let bindings: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 48]).collect();
+        fn make<'a>(
+            vectors: &'a [Vec<Scalar<K1>>],
+            commits: &'a [Commitment<K1>],
+            bindings: &'a [Vec<u8>],
+        ) -> Vec<BatchEntry<'a, K1>> {
+            vectors
+                .iter()
+                .zip(commits)
+                .zip(bindings)
+                .map(|((v, c), b)| BatchEntry::with_binding(v, c, b))
+                .collect()
+        }
+        assert!(key.batch_check(&make(&vectors, &commits, &bindings)));
+        commits[3] = commits[3].combine(&key.commit(&random_vector(6, 160)));
+        assert!(!key.batch_check(&make(&vectors, &commits, &bindings)));
+        assert_eq!(
+            key.batch_culprits(&make(&vectors, &commits, &bindings)),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn batch_culprits_both_curves() {
+        let r1 = CommitKey::<Secp256r1>::setup(5, b"r1-batch");
+        let mut rng = StdRng::seed_from_u64(170);
+        let vectors: Vec<Vec<_>> = (0..4)
+            .map(|_| {
+                (0..5)
+                    .map(|_| Scalar::<Secp256r1>::random(&mut rng))
+                    .collect()
+            })
+            .collect();
+        let mut commits: Vec<_> = vectors.iter().map(|v| r1.commit(v)).collect();
+        commits[2] = commits[2].combine(&r1.commit(&vectors[0]));
+        let e: Vec<BatchEntry<'_, Secp256r1>> = vectors
+            .iter()
+            .zip(&commits)
+            .map(|(v, c)| BatchEntry::new(v, c))
+            .collect();
+        assert!(!r1.batch_check(&e));
+        assert_eq!(r1.batch_culprits(&e), vec![2]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The batched verdict and the bisected culprit set must match
+        /// sequential per-item verification exactly, over randomized
+        /// good/bad mixes. CI runs this under both the default and the
+        /// `rayon` features, covering the serial and sharded paths.
+        #[test]
+        fn prop_batch_matches_sequential(
+            len in 1usize..12,
+            mask in 0u64..4096,
+            seed in 0u64..1_000,
+        ) {
+            let key = key(6);
+            let bad: Vec<usize> = (0..len).filter(|i| mask >> i & 1 == 1).collect();
+            let (vectors, commits) = corrupted_batch(&key, len, &bad, 1_000 + seed);
+            let sequential: Vec<usize> = vectors
+                .iter()
+                .zip(&commits)
+                .enumerate()
+                .filter(|(_, (v, c))| !key.verify(v, c))
+                .map(|(i, _)| i)
+                .collect();
+            let e = entries(&vectors, &commits);
+            prop_assert_eq!(key.batch_check(&e), sequential.is_empty());
+            prop_assert_eq!(key.batch_culprits(&e), sequential);
+        }
 
         #[test]
         fn prop_homomorphism_small_vectors(

@@ -1,15 +1,47 @@
 //! Records the commitment-pipeline before/after numbers into
 //! `BENCH_crypto.json`: every MSM kernel (naive, wNAF, Jacobian Pippenger,
 //! batch-affine Pippenger, precomputed table) plus the end-to-end Pedersen
-//! commit, on both protocol curves, at the acceptance size d = 8192.
+//! commit, on both protocol curves, at the acceptance size d = 8192 — and
+//! the verifiable-round sweep (per-blob vs one RLC batch per round) up to
+//! the paper's 10k-trainer swarm.
 //!
 //! Run with: `cargo run --release --example bench_crypto`
-//! (add `--features parallel` to also record the multi-threaded table path;
-//! set `BENCH_CRYPTO_ELEMENTS` to override the vector length).
+//! (add `--features parallel` to also record the multi-threaded paths;
+//! set `BENCH_CRYPTO_ELEMENTS` to override the vector length and
+//! `BENCH_VERIFIABLE_TRAINERS` to override the largest sweep point).
+//!
+//! `-- --test` runs the CI smoke check instead: a small verifiable round
+//! at d = 8192 where the batched check must beat per-blob verification.
 
-use dfl_bench::{crypto_report, crypto_report_json};
+use dfl_bench::{
+    crypto_report, crypto_report_json, verifiable_round_point, verifiable_round_sweep,
+};
+
+/// CI smoke mode: quick, asserting, no JSON write. Batching must beat
+/// per-blob at the acceptance blob length even for a handful of blobs.
+fn smoke() {
+    let point = verifiable_round_point(4, 8192);
+    println!(
+        "smoke: 4 trainers x d=8192: per-blob {:.1} ms, batched {:.1} ms ({:.1}x)",
+        point.per_blob_ms,
+        point.batched_ms,
+        point.speedup()
+    );
+    assert!(
+        point.speedup() > 1.0,
+        "batched round check must beat per-blob at d=8192: \
+         per-blob {:.2} ms vs batched {:.2} ms",
+        point.per_blob_ms,
+        point.batched_ms
+    );
+    println!("smoke: OK");
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        smoke();
+        return;
+    }
     let elements = std::env::var("BENCH_CRYPTO_ELEMENTS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -50,7 +82,34 @@ fn main() {
             p.commit_speedup()
         );
     }
-    let json = crypto_report_json(&profiles);
+
+    // Verifiable-round before/after: d = 257 matches the protocol's
+    // 256-parameter partitions plus the averaging-counter element.
+    let max_trainers = std::env::var("BENCH_VERIFIABLE_TRAINERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10_000);
+    let sizes: Vec<usize> = [100, 1_000, max_trainers]
+        .into_iter()
+        .filter(|&n| n <= max_trainers)
+        .collect();
+    println!("\nVerifiable round, d = 257 per blob (wall clock, this machine)");
+    println!(
+        "{:>10} {:>14} {:>12} {:>9}",
+        "trainers", "per-blob(ms)", "batched(ms)", "speedup"
+    );
+    let rounds = verifiable_round_sweep(&sizes, 257);
+    for r in &rounds {
+        println!(
+            "{:>10} {:>14.1} {:>12.1} {:>8.1}x",
+            r.trainers,
+            r.per_blob_ms,
+            r.batched_ms,
+            r.speedup()
+        );
+    }
+
+    let json = crypto_report_json(&profiles, &rounds);
     std::fs::write("BENCH_crypto.json", &json).expect("write BENCH_crypto.json");
     println!("\nwrote BENCH_crypto.json");
 }

@@ -59,3 +59,36 @@ fn verifiable_protocol_run_is_run_to_run_deterministic() {
         "verifiable run diverged across identical runs"
     );
 }
+
+#[test]
+fn batched_verification_preserves_trace_fingerprint() {
+    // Deferred batch verification changes only wall-clock cost: the event
+    // stream, counter totals, and byte ledger of an honest run must be
+    // bit-identical to per-blob mode — with `--features parallel`, across
+    // thread counts too. `trainer_verifies` puts every deferred queue
+    // (aggregator own-set, peer-partial drain, trainer downloads,
+    // directory audit) in the loop.
+    let per_blob = TaskConfig {
+        verifiable: true,
+        trainer_verifies: true,
+        ..fig2_config()
+    };
+    let batched = TaskConfig {
+        batch_verify: true,
+        ..per_blob.clone()
+    };
+    let params = 1_024;
+    let baseline = run_network_experiment(per_blob, params);
+    let deferred = run_network_experiment(batched.clone(), params);
+    let again = run_network_experiment(batched, params);
+    assert_eq!(
+        trace_fingerprint(&baseline.trace),
+        trace_fingerprint(&deferred.trace),
+        "batched verification changed the observable trace of an honest run"
+    );
+    assert_eq!(
+        trace_fingerprint(&deferred.trace),
+        trace_fingerprint(&again.trace),
+        "batched verifiable run diverged across identical runs"
+    );
+}
