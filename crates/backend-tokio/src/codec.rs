@@ -1,0 +1,1064 @@
+//! Binary wire codec for [`Msg`] — the serialization the simulator never
+//! needed (it ships Rust values) but real sockets do.
+//!
+//! Layout: one tag byte per variant, little-endian fixed-width integers
+//! (`usize` as `u64`, lengths as `u32`), length-prefixed byte strings, and
+//! `Option`s as a presence byte. Every variant of [`Msg`] and the embedded
+//! [`IpfsWire`] round-trips — the golden-vector and round-trip tests below
+//! pin the format.
+
+use bytes::Bytes;
+use dfl_ipfs::{Cid, IpfsWire};
+use dfl_netsim::NodeId;
+use ipls::messages::{CommitmentBytes, SignatureBytes};
+use ipls::Msg;
+
+/// A malformed frame: truncated input, unknown tag, or trailing bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was being decoded when the input ran out or made no sense.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err<T>(context: &'static str) -> Result<T, DecodeError> {
+    Err(DecodeError { context })
+}
+
+// -- writer -----------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Writer {
+        let mut buf = Vec::with_capacity(64);
+        buf.push(tag);
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn cid(&mut self, cid: &Cid) {
+        self.buf.extend_from_slice(cid.as_bytes());
+    }
+
+    fn node(&mut self, id: NodeId) {
+        self.u64(id.index() as u64);
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        self.u32(data.len() as u32);
+        self.buf.extend_from_slice(data);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn commitment(&mut self, c: &Option<CommitmentBytes>) {
+        match c {
+            Some(c) => {
+                self.u8(1);
+                self.buf.extend_from_slice(c);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn signature(&mut self, s: &Option<SignatureBytes>) {
+        match s {
+            Some(s) => {
+                self.u8(1);
+                self.buf.extend_from_slice(s);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn entries(&mut self, entries: &[(usize, Cid, Option<CommitmentBytes>)]) {
+        self.u32(entries.len() as u32);
+        for (i, cid, commitment) in entries {
+            self.usize(*i);
+            self.cid(cid);
+            self.commitment(commitment);
+        }
+    }
+}
+
+// -- reader -----------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.at < n {
+            return err(context);
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self, context: &'static str) -> Result<usize, DecodeError> {
+        Ok(self.u64(context)? as usize)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn cid(&mut self, context: &'static str) -> Result<Cid, DecodeError> {
+        let raw: [u8; 32] = self.take(32, context)?.try_into().expect("32 bytes");
+        Ok(Cid::from_bytes(raw))
+    }
+
+    fn node(&mut self, context: &'static str) -> Result<NodeId, DecodeError> {
+        Ok(NodeId(self.u64(context)? as usize))
+    }
+
+    fn bytes(&mut self, context: &'static str) -> Result<Bytes, DecodeError> {
+        let len = self.u32(context)? as usize;
+        Ok(Bytes::from(self.take(len, context)?.to_vec()))
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, DecodeError> {
+        let raw = self.bytes(context)?;
+        String::from_utf8(raw.to_vec()).or(err(context))
+    }
+
+    fn commitment(
+        &mut self,
+        context: &'static str,
+    ) -> Result<Option<CommitmentBytes>, DecodeError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take(33, context)?.try_into().expect("33 bytes"))),
+            _ => err(context),
+        }
+    }
+
+    fn signature(&mut self, context: &'static str) -> Result<Option<SignatureBytes>, DecodeError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take(65, context)?.try_into().expect("65 bytes"))),
+            _ => err(context),
+        }
+    }
+
+    fn entries(
+        &mut self,
+        context: &'static str,
+    ) -> Result<Vec<(usize, Cid, Option<CommitmentBytes>)>, DecodeError> {
+        let count = self.u32(context)? as usize;
+        let mut out = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let i = self.usize(context)?;
+            let cid = self.cid(context)?;
+            let commitment = self.commitment(context)?;
+            out.push((i, cid, commitment));
+        }
+        Ok(out)
+    }
+
+    fn finish(&self, context: &'static str) -> Result<(), DecodeError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            err(context)
+        }
+    }
+}
+
+// -- Msg --------------------------------------------------------------------
+
+const TAG_IPFS: u8 = 0;
+const TAG_START_ROUND: u8 = 1;
+const TAG_REGISTER_GRADIENT: u8 = 2;
+const TAG_REGISTER_BATCH: u8 = 3;
+const TAG_QUERY_GRADIENTS: u8 = 4;
+const TAG_GRADIENT_LIST: u8 = 5;
+const TAG_QUERY_ACCUMULATORS: u8 = 6;
+const TAG_ACCUMULATORS: u8 = 7;
+const TAG_QUERY_TOTAL_ACC: u8 = 8;
+const TAG_TOTAL_ACC: u8 = 9;
+const TAG_REGISTER_UPDATE: u8 = 10;
+const TAG_UPDATE_REJECTED: u8 = 11;
+const TAG_QUERY_UPDATE: u8 = 12;
+const TAG_UPDATE_INFO: u8 = 13;
+const TAG_TRAINER_DONE: u8 = 14;
+const TAG_REPORT_MISBEHAVIOR: u8 = 15;
+const TAG_DIRECT_GRADIENT: u8 = 16;
+
+/// Serializes a message to its frame payload.
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut w;
+    match msg {
+        Msg::Ipfs(wire) => {
+            w = Writer::new(TAG_IPFS);
+            encode_wire(&mut w, wire);
+        }
+        Msg::StartRound { iter } => {
+            w = Writer::new(TAG_START_ROUND);
+            w.u64(*iter);
+        }
+        Msg::RegisterGradient {
+            trainer,
+            partition,
+            iter,
+            cid,
+            commitment,
+            signature,
+        } => {
+            w = Writer::new(TAG_REGISTER_GRADIENT);
+            w.usize(*trainer);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.cid(cid);
+            w.commitment(commitment);
+            w.signature(signature);
+        }
+        Msg::RegisterGradientBatch {
+            trainer,
+            iter,
+            entries,
+            signature,
+        } => {
+            w = Writer::new(TAG_REGISTER_BATCH);
+            w.usize(*trainer);
+            w.u64(*iter);
+            w.entries(entries);
+            w.signature(signature);
+        }
+        Msg::QueryGradients {
+            partition,
+            agg_j,
+            iter,
+        } => {
+            w = Writer::new(TAG_QUERY_GRADIENTS);
+            w.usize(*partition);
+            w.usize(*agg_j);
+            w.u64(*iter);
+        }
+        Msg::GradientList {
+            partition,
+            iter,
+            entries,
+        } => {
+            w = Writer::new(TAG_GRADIENT_LIST);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.entries(entries);
+        }
+        Msg::QueryAccumulators { partition, iter } => {
+            w = Writer::new(TAG_QUERY_ACCUMULATORS);
+            w.usize(*partition);
+            w.u64(*iter);
+        }
+        Msg::Accumulators {
+            partition,
+            iter,
+            accumulated,
+        } => {
+            w = Writer::new(TAG_ACCUMULATORS);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.u32(accumulated.len() as u32);
+            for acc in accumulated {
+                w.commitment(acc);
+            }
+        }
+        Msg::QueryTotalAccumulator { partition, iter } => {
+            w = Writer::new(TAG_QUERY_TOTAL_ACC);
+            w.usize(*partition);
+            w.u64(*iter);
+        }
+        Msg::TotalAccumulator {
+            partition,
+            iter,
+            accumulated,
+        } => {
+            w = Writer::new(TAG_TOTAL_ACC);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.commitment(accumulated);
+        }
+        Msg::RegisterUpdate {
+            aggregator,
+            partition,
+            iter,
+            cid,
+            contributors,
+            signature,
+        } => {
+            w = Writer::new(TAG_REGISTER_UPDATE);
+            w.usize(*aggregator);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.cid(cid);
+            match contributors {
+                Some(set) => {
+                    w.u8(1);
+                    w.u32(set.len() as u32);
+                    for t in set {
+                        w.u32(*t);
+                    }
+                }
+                None => w.u8(0),
+            }
+            w.signature(signature);
+        }
+        Msg::UpdateRejected {
+            partition,
+            iter,
+            reason,
+        } => {
+            w = Writer::new(TAG_UPDATE_REJECTED);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.string(reason);
+        }
+        Msg::QueryUpdate { partition, iter } => {
+            w = Writer::new(TAG_QUERY_UPDATE);
+            w.usize(*partition);
+            w.u64(*iter);
+        }
+        Msg::UpdateInfo {
+            partition,
+            iter,
+            cid,
+        } => {
+            w = Writer::new(TAG_UPDATE_INFO);
+            w.usize(*partition);
+            w.u64(*iter);
+            match cid {
+                Some(cid) => {
+                    w.u8(1);
+                    w.cid(cid);
+                }
+                None => w.u8(0),
+            }
+        }
+        Msg::TrainerDone { trainer, iter } => {
+            w = Writer::new(TAG_TRAINER_DONE);
+            w.usize(*trainer);
+            w.u64(*iter);
+        }
+        Msg::ReportMisbehavior { record } => {
+            w = Writer::new(TAG_REPORT_MISBEHAVIOR);
+            w.bytes(record);
+        }
+        Msg::DirectGradient {
+            trainer,
+            partition,
+            iter,
+            data,
+        } => {
+            w = Writer::new(TAG_DIRECT_GRADIENT);
+            w.usize(*trainer);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.bytes(data);
+        }
+    }
+    w.buf
+}
+
+/// Parses a frame payload back into a message.
+pub fn decode_msg(buf: &[u8]) -> Result<Msg, DecodeError> {
+    let mut r = Reader::new(buf);
+    let tag = r.u8("msg tag")?;
+    let msg = match tag {
+        TAG_IPFS => Msg::Ipfs(decode_wire(&mut r)?),
+        TAG_START_ROUND => Msg::StartRound {
+            iter: r.u64("StartRound")?,
+        },
+        TAG_REGISTER_GRADIENT => Msg::RegisterGradient {
+            trainer: r.usize("RegisterGradient")?,
+            partition: r.usize("RegisterGradient")?,
+            iter: r.u64("RegisterGradient")?,
+            cid: r.cid("RegisterGradient")?,
+            commitment: r.commitment("RegisterGradient")?,
+            signature: r.signature("RegisterGradient")?,
+        },
+        TAG_REGISTER_BATCH => Msg::RegisterGradientBatch {
+            trainer: r.usize("RegisterGradientBatch")?,
+            iter: r.u64("RegisterGradientBatch")?,
+            entries: r.entries("RegisterGradientBatch")?,
+            signature: r.signature("RegisterGradientBatch")?,
+        },
+        TAG_QUERY_GRADIENTS => Msg::QueryGradients {
+            partition: r.usize("QueryGradients")?,
+            agg_j: r.usize("QueryGradients")?,
+            iter: r.u64("QueryGradients")?,
+        },
+        TAG_GRADIENT_LIST => Msg::GradientList {
+            partition: r.usize("GradientList")?,
+            iter: r.u64("GradientList")?,
+            entries: r.entries("GradientList")?,
+        },
+        TAG_QUERY_ACCUMULATORS => Msg::QueryAccumulators {
+            partition: r.usize("QueryAccumulators")?,
+            iter: r.u64("QueryAccumulators")?,
+        },
+        TAG_ACCUMULATORS => {
+            let partition = r.usize("Accumulators")?;
+            let iter = r.u64("Accumulators")?;
+            let count = r.u32("Accumulators")? as usize;
+            let mut accumulated = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                accumulated.push(r.commitment("Accumulators")?);
+            }
+            Msg::Accumulators {
+                partition,
+                iter,
+                accumulated,
+            }
+        }
+        TAG_QUERY_TOTAL_ACC => Msg::QueryTotalAccumulator {
+            partition: r.usize("QueryTotalAccumulator")?,
+            iter: r.u64("QueryTotalAccumulator")?,
+        },
+        TAG_TOTAL_ACC => Msg::TotalAccumulator {
+            partition: r.usize("TotalAccumulator")?,
+            iter: r.u64("TotalAccumulator")?,
+            accumulated: r.commitment("TotalAccumulator")?,
+        },
+        TAG_REGISTER_UPDATE => {
+            let aggregator = r.usize("RegisterUpdate")?;
+            let partition = r.usize("RegisterUpdate")?;
+            let iter = r.u64("RegisterUpdate")?;
+            let cid = r.cid("RegisterUpdate")?;
+            let contributors = match r.u8("RegisterUpdate")? {
+                0 => None,
+                1 => {
+                    let count = r.u32("RegisterUpdate")? as usize;
+                    let mut set = Vec::with_capacity(count.min(1 << 16));
+                    for _ in 0..count {
+                        set.push(r.u32("RegisterUpdate")?);
+                    }
+                    Some(set)
+                }
+                _ => return err("RegisterUpdate contributors flag"),
+            };
+            Msg::RegisterUpdate {
+                aggregator,
+                partition,
+                iter,
+                cid,
+                contributors,
+                signature: r.signature("RegisterUpdate")?,
+            }
+        }
+        TAG_UPDATE_REJECTED => Msg::UpdateRejected {
+            partition: r.usize("UpdateRejected")?,
+            iter: r.u64("UpdateRejected")?,
+            reason: r.string("UpdateRejected")?,
+        },
+        TAG_QUERY_UPDATE => Msg::QueryUpdate {
+            partition: r.usize("QueryUpdate")?,
+            iter: r.u64("QueryUpdate")?,
+        },
+        TAG_UPDATE_INFO => Msg::UpdateInfo {
+            partition: r.usize("UpdateInfo")?,
+            iter: r.u64("UpdateInfo")?,
+            cid: match r.u8("UpdateInfo")? {
+                0 => None,
+                1 => Some(r.cid("UpdateInfo")?),
+                _ => return err("UpdateInfo cid flag"),
+            },
+        },
+        TAG_TRAINER_DONE => Msg::TrainerDone {
+            trainer: r.usize("TrainerDone")?,
+            iter: r.u64("TrainerDone")?,
+        },
+        TAG_REPORT_MISBEHAVIOR => Msg::ReportMisbehavior {
+            record: r.bytes("ReportMisbehavior")?,
+        },
+        TAG_DIRECT_GRADIENT => Msg::DirectGradient {
+            trainer: r.usize("DirectGradient")?,
+            partition: r.usize("DirectGradient")?,
+            iter: r.u64("DirectGradient")?,
+            data: r.bytes("DirectGradient")?,
+        },
+        _ => return err("unknown msg tag"),
+    };
+    r.finish("trailing bytes")?;
+    Ok(msg)
+}
+
+// -- IpfsWire ---------------------------------------------------------------
+
+const WIRE_PUT: u8 = 0;
+const WIRE_GET: u8 = 1;
+const WIRE_MERGE: u8 = 2;
+const WIRE_UNPIN: u8 = 3;
+const WIRE_SUBSCRIBE: u8 = 4;
+const WIRE_PUBLISH: u8 = 5;
+const WIRE_PUT_ACK: u8 = 6;
+const WIRE_GET_OK: u8 = 7;
+const WIRE_GET_ERR: u8 = 8;
+const WIRE_MERGE_OK: u8 = 9;
+const WIRE_MERGE_ERR: u8 = 10;
+const WIRE_DELIVER: u8 = 11;
+const WIRE_FIND_PROVIDERS: u8 = 12;
+const WIRE_PROVIDERS: u8 = 13;
+const WIRE_ANNOUNCE: u8 = 14;
+const WIRE_FETCH_BLOCK: u8 = 15;
+const WIRE_FETCH_OK: u8 = 16;
+const WIRE_FETCH_ERR: u8 = 17;
+const WIRE_REPLICATE: u8 = 18;
+const WIRE_RETRACT: u8 = 19;
+const WIRE_UNPIN_REPLICA: u8 = 20;
+const WIRE_PUB_GOSSIP: u8 = 21;
+
+fn encode_wire(w: &mut Writer, wire: &IpfsWire) {
+    match wire {
+        IpfsWire::Put {
+            data,
+            req_id,
+            replicate,
+        } => {
+            w.u8(WIRE_PUT);
+            w.bytes(data);
+            w.u64(*req_id);
+            w.usize(*replicate);
+        }
+        IpfsWire::Get { cid, req_id } => {
+            w.u8(WIRE_GET);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::Merge { cids, req_id } => {
+            w.u8(WIRE_MERGE);
+            w.u32(cids.len() as u32);
+            for cid in cids {
+                w.cid(cid);
+            }
+            w.u64(*req_id);
+        }
+        IpfsWire::Unpin { cid, replicate } => {
+            w.u8(WIRE_UNPIN);
+            w.cid(cid);
+            w.usize(*replicate);
+        }
+        IpfsWire::Subscribe { topic } => {
+            w.u8(WIRE_SUBSCRIBE);
+            w.string(topic);
+        }
+        IpfsWire::Publish { topic, data } => {
+            w.u8(WIRE_PUBLISH);
+            w.string(topic);
+            w.bytes(data);
+        }
+        IpfsWire::PutAck { cid, req_id } => {
+            w.u8(WIRE_PUT_ACK);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::GetOk { cid, data, req_id } => {
+            w.u8(WIRE_GET_OK);
+            w.cid(cid);
+            w.bytes(data);
+            w.u64(*req_id);
+        }
+        IpfsWire::GetErr { cid, req_id } => {
+            w.u8(WIRE_GET_ERR);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::MergeOk { data, req_id } => {
+            w.u8(WIRE_MERGE_OK);
+            w.bytes(data);
+            w.u64(*req_id);
+        }
+        IpfsWire::MergeErr { reason, req_id } => {
+            w.u8(WIRE_MERGE_ERR);
+            w.string(reason);
+            w.u64(*req_id);
+        }
+        IpfsWire::Deliver {
+            topic,
+            data,
+            publisher,
+        } => {
+            w.u8(WIRE_DELIVER);
+            w.string(topic);
+            w.bytes(data);
+            w.node(*publisher);
+        }
+        IpfsWire::FindProviders { cid, req_id } => {
+            w.u8(WIRE_FIND_PROVIDERS);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::Providers {
+            cid,
+            providers,
+            req_id,
+        } => {
+            w.u8(WIRE_PROVIDERS);
+            w.cid(cid);
+            w.u32(providers.len() as u32);
+            for p in providers {
+                w.node(*p);
+            }
+            w.u64(*req_id);
+        }
+        IpfsWire::Announce { cid, provider } => {
+            w.u8(WIRE_ANNOUNCE);
+            w.cid(cid);
+            w.node(*provider);
+        }
+        IpfsWire::FetchBlock { cid, req_id } => {
+            w.u8(WIRE_FETCH_BLOCK);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::FetchOk { cid, data, req_id } => {
+            w.u8(WIRE_FETCH_OK);
+            w.cid(cid);
+            w.bytes(data);
+            w.u64(*req_id);
+        }
+        IpfsWire::FetchErr { cid, req_id } => {
+            w.u8(WIRE_FETCH_ERR);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::Replicate { data } => {
+            w.u8(WIRE_REPLICATE);
+            w.bytes(data);
+        }
+        IpfsWire::Retract { cid, provider } => {
+            w.u8(WIRE_RETRACT);
+            w.cid(cid);
+            w.node(*provider);
+        }
+        IpfsWire::UnpinReplica { cid } => {
+            w.u8(WIRE_UNPIN_REPLICA);
+            w.cid(cid);
+        }
+        IpfsWire::PubGossip {
+            topic,
+            data,
+            publisher,
+        } => {
+            w.u8(WIRE_PUB_GOSSIP);
+            w.string(topic);
+            w.bytes(data);
+            w.node(*publisher);
+        }
+    }
+}
+
+fn decode_wire(r: &mut Reader<'_>) -> Result<IpfsWire, DecodeError> {
+    let tag = r.u8("wire tag")?;
+    Ok(match tag {
+        WIRE_PUT => IpfsWire::Put {
+            data: r.bytes("Put")?,
+            req_id: r.u64("Put")?,
+            replicate: r.usize("Put")?,
+        },
+        WIRE_GET => IpfsWire::Get {
+            cid: r.cid("Get")?,
+            req_id: r.u64("Get")?,
+        },
+        WIRE_MERGE => {
+            let count = r.u32("Merge")? as usize;
+            let mut cids = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                cids.push(r.cid("Merge")?);
+            }
+            IpfsWire::Merge {
+                cids,
+                req_id: r.u64("Merge")?,
+            }
+        }
+        WIRE_UNPIN => IpfsWire::Unpin {
+            cid: r.cid("Unpin")?,
+            replicate: r.usize("Unpin")?,
+        },
+        WIRE_SUBSCRIBE => IpfsWire::Subscribe {
+            topic: r.string("Subscribe")?,
+        },
+        WIRE_PUBLISH => IpfsWire::Publish {
+            topic: r.string("Publish")?,
+            data: r.bytes("Publish")?,
+        },
+        WIRE_PUT_ACK => IpfsWire::PutAck {
+            cid: r.cid("PutAck")?,
+            req_id: r.u64("PutAck")?,
+        },
+        WIRE_GET_OK => IpfsWire::GetOk {
+            cid: r.cid("GetOk")?,
+            data: r.bytes("GetOk")?,
+            req_id: r.u64("GetOk")?,
+        },
+        WIRE_GET_ERR => IpfsWire::GetErr {
+            cid: r.cid("GetErr")?,
+            req_id: r.u64("GetErr")?,
+        },
+        WIRE_MERGE_OK => IpfsWire::MergeOk {
+            data: r.bytes("MergeOk")?,
+            req_id: r.u64("MergeOk")?,
+        },
+        WIRE_MERGE_ERR => IpfsWire::MergeErr {
+            reason: r.string("MergeErr")?,
+            req_id: r.u64("MergeErr")?,
+        },
+        WIRE_DELIVER => IpfsWire::Deliver {
+            topic: r.string("Deliver")?,
+            data: r.bytes("Deliver")?,
+            publisher: r.node("Deliver")?,
+        },
+        WIRE_FIND_PROVIDERS => IpfsWire::FindProviders {
+            cid: r.cid("FindProviders")?,
+            req_id: r.u64("FindProviders")?,
+        },
+        WIRE_PROVIDERS => {
+            let cid = r.cid("Providers")?;
+            let count = r.u32("Providers")? as usize;
+            let mut providers = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                providers.push(r.node("Providers")?);
+            }
+            IpfsWire::Providers {
+                cid,
+                providers,
+                req_id: r.u64("Providers")?,
+            }
+        }
+        WIRE_ANNOUNCE => IpfsWire::Announce {
+            cid: r.cid("Announce")?,
+            provider: r.node("Announce")?,
+        },
+        WIRE_FETCH_BLOCK => IpfsWire::FetchBlock {
+            cid: r.cid("FetchBlock")?,
+            req_id: r.u64("FetchBlock")?,
+        },
+        WIRE_FETCH_OK => IpfsWire::FetchOk {
+            cid: r.cid("FetchOk")?,
+            data: r.bytes("FetchOk")?,
+            req_id: r.u64("FetchOk")?,
+        },
+        WIRE_FETCH_ERR => IpfsWire::FetchErr {
+            cid: r.cid("FetchErr")?,
+            req_id: r.u64("FetchErr")?,
+        },
+        WIRE_REPLICATE => IpfsWire::Replicate {
+            data: r.bytes("Replicate")?,
+        },
+        WIRE_RETRACT => IpfsWire::Retract {
+            cid: r.cid("Retract")?,
+            provider: r.node("Retract")?,
+        },
+        WIRE_UNPIN_REPLICA => IpfsWire::UnpinReplica {
+            cid: r.cid("UnpinReplica")?,
+        },
+        WIRE_PUB_GOSSIP => IpfsWire::PubGossip {
+            topic: r.string("PubGossip")?,
+            data: r.bytes("PubGossip")?,
+            publisher: r.node("PubGossip")?,
+        },
+        _ => return err("unknown wire tag"),
+    })
+}
+
+// -- framing ----------------------------------------------------------------
+
+/// Writes one `[u32 len][u64 from][payload]` frame.
+pub fn write_frame(w: &mut impl std::io::Write, from: NodeId, msg: &Msg) -> std::io::Result<()> {
+    let payload = encode_msg(msg);
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&(from.index() as u64).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<(NodeId, Msg)>> {
+    let mut header = [0u8; 12];
+    let mut read = 0;
+    while read < header.len() {
+        match r.read(&mut header[read..])? {
+            0 if read == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF mid-header",
+                ))
+            }
+            n => read += n,
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let from = NodeId(u64::from_le_bytes(header[4..12].try_into().expect("8 bytes")) as usize);
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let msg = decode_msg(&payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(Some((from, msg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Msg) -> Msg {
+        let encoded = encode_msg(&msg);
+        decode_msg(&encoded).expect("decodes")
+    }
+
+    fn sample_msgs() -> Vec<Msg> {
+        let cid = Cid::of(b"blob");
+        vec![
+            Msg::StartRound { iter: 7 },
+            Msg::RegisterGradient {
+                trainer: 3,
+                partition: 1,
+                iter: 2,
+                cid,
+                commitment: Some([9u8; 33]),
+                signature: Some([7u8; 65]),
+            },
+            Msg::RegisterGradientBatch {
+                trainer: 1,
+                iter: 4,
+                entries: vec![(0, cid, None), (1, Cid::of(b"x"), Some([2u8; 33]))],
+                signature: None,
+            },
+            Msg::QueryGradients {
+                partition: 0,
+                agg_j: 2,
+                iter: 9,
+            },
+            Msg::GradientList {
+                partition: 2,
+                iter: 1,
+                entries: vec![(5, cid, Some([1u8; 33]))],
+            },
+            Msg::QueryAccumulators {
+                partition: 1,
+                iter: 3,
+            },
+            Msg::Accumulators {
+                partition: 1,
+                iter: 3,
+                accumulated: vec![None, Some([4u8; 33])],
+            },
+            Msg::QueryTotalAccumulator {
+                partition: 0,
+                iter: 5,
+            },
+            Msg::TotalAccumulator {
+                partition: 0,
+                iter: 5,
+                accumulated: Some([6u8; 33]),
+            },
+            Msg::RegisterUpdate {
+                aggregator: 4,
+                partition: 2,
+                iter: 6,
+                cid,
+                contributors: Some(vec![0, 3, 11]),
+                signature: Some([1u8; 65]),
+            },
+            Msg::UpdateRejected {
+                partition: 1,
+                iter: 2,
+                reason: "bad accumulator".to_string(),
+            },
+            Msg::QueryUpdate {
+                partition: 3,
+                iter: 8,
+            },
+            Msg::UpdateInfo {
+                partition: 3,
+                iter: 8,
+                cid: Some(cid),
+            },
+            Msg::TrainerDone {
+                trainer: 2,
+                iter: 9,
+            },
+            Msg::ReportMisbehavior {
+                record: Bytes::from(vec![1, 2, 3, 4]),
+            },
+            Msg::DirectGradient {
+                trainer: 0,
+                partition: 1,
+                iter: 2,
+                data: Bytes::from(vec![8; 40]),
+            },
+        ]
+    }
+
+    fn sample_wires() -> Vec<IpfsWire> {
+        let cid = Cid::of(b"chunk");
+        vec![
+            IpfsWire::Put {
+                data: Bytes::from(vec![1, 2, 3]),
+                req_id: 1,
+                replicate: 2,
+            },
+            IpfsWire::Get { cid, req_id: 2 },
+            IpfsWire::Merge {
+                cids: vec![cid, Cid::of(b"other")],
+                req_id: 3,
+            },
+            IpfsWire::Unpin { cid, replicate: 2 },
+            IpfsWire::Subscribe {
+                topic: "ipls/sync/1".to_string(),
+            },
+            IpfsWire::Publish {
+                topic: "ipls/evidence".to_string(),
+                data: Bytes::from(vec![9]),
+            },
+            IpfsWire::PutAck { cid, req_id: 4 },
+            IpfsWire::GetOk {
+                cid,
+                data: Bytes::from(vec![5; 17]),
+                req_id: 5,
+            },
+            IpfsWire::GetErr { cid, req_id: 6 },
+            IpfsWire::MergeOk {
+                data: Bytes::from(vec![7; 9]),
+                req_id: 7,
+            },
+            IpfsWire::MergeErr {
+                reason: "missing member".to_string(),
+                req_id: 8,
+            },
+            IpfsWire::Deliver {
+                topic: "ipls/sync/0".to_string(),
+                data: Bytes::from(vec![3; 5]),
+                publisher: NodeId(4),
+            },
+            IpfsWire::FindProviders { cid, req_id: 9 },
+            IpfsWire::Providers {
+                cid,
+                providers: vec![NodeId(1), NodeId(3)],
+                req_id: 10,
+            },
+            IpfsWire::Announce {
+                cid,
+                provider: NodeId(2),
+            },
+            IpfsWire::FetchBlock { cid, req_id: 11 },
+            IpfsWire::FetchOk {
+                cid,
+                data: Bytes::from(vec![2; 6]),
+                req_id: 12,
+            },
+            IpfsWire::FetchErr { cid, req_id: 13 },
+            IpfsWire::Replicate {
+                data: Bytes::from(vec![6; 8]),
+            },
+            IpfsWire::Retract {
+                cid,
+                provider: NodeId(5),
+            },
+            IpfsWire::UnpinReplica { cid },
+            IpfsWire::PubGossip {
+                topic: "ipls/evidence".to_string(),
+                data: Bytes::from(vec![4; 3]),
+                publisher: NodeId(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_msg_variant_round_trips() {
+        for msg in sample_msgs() {
+            let back = round_trip(msg.clone());
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn every_wire_variant_round_trips() {
+        for wire in sample_wires() {
+            let msg = Msg::Ipfs(wire);
+            let back = round_trip(msg.clone());
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        for msg in sample_msgs() {
+            let encoded = encode_msg(&msg);
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode_msg(&encoded[..cut]).is_err(),
+                    "truncated {msg:?} at {cut} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut encoded = encode_msg(&Msg::StartRound { iter: 1 });
+        encoded.push(0);
+        assert!(decode_msg(&encoded).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        for msg in sample_msgs() {
+            write_frame(&mut buf, NodeId(3), &msg).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut count = 0;
+        while let Some((from, _msg)) = read_frame(&mut cursor).unwrap() {
+            assert_eq!(from, NodeId(3));
+            count += 1;
+        }
+        assert_eq!(count, sample_msgs().len());
+    }
+}

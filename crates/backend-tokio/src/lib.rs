@@ -1,0 +1,385 @@
+//! Real-socket backend for the sans-io IPLS protocol cores.
+//!
+//! The netsim backend ([`ipls::runner::run_task`]) interprets
+//! [`ProtocolAction`]s against a simulated
+//! network; this crate interprets the *same* actions against localhost TCP
+//! sockets and wall-clock timers, driving the *same* state machines
+//! ([`ipls::Directory`], [`ipls::Aggregator`], [`ipls::Trainer`],
+//! [`ipls::protocol::IpfsCore`]) unmodified. Nothing protocol-specific
+//! lives here — only transport:
+//!
+//! - every node gets a TCP listener on an ephemeral port; [`codec`] frames
+//!   messages as `[u32 len][u64 sender][payload]`;
+//! - each node runs on its own blocking thread, draining a channel fed by
+//!   socket-reader threads and timer threads;
+//! - `Send` actions write frames over cached per-peer connections,
+//!   `SetTimer` actions become sleeping threads, and `now` is real elapsed
+//!   time since the run started.
+//!
+//! Because training is seeded per `(task seed, round, trainer)` and
+//! aggregation is exact and order-independent, a healthy run produces the
+//! **same final model bytes** as a simulation of the same [`TaskConfig`] —
+//! the end-to-end test in this crate asserts exactly that.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dfl_ipfs::{IpfsNode, RetryPolicy};
+use dfl_ml::{Dataset, Model, SgdConfig};
+use dfl_netsim::{NodeId, SimTime};
+use ipls::adversary::Behavior;
+use ipls::config::{TaskConfig, Topology};
+use ipls::error::IplsError;
+use ipls::labels;
+use ipls::protocol::{Actions, IpfsCore, ProtocolAction, ProtocolCore, ProtocolEvent};
+use ipls::trainer::ParamSink;
+use ipls::{Aggregator, Directory, Msg, Trainer};
+
+pub mod codec;
+
+/// What a TCP task run produced. The socket backend has no [`Trace`], so
+/// this is the subset of [`ipls::runner::TaskReport`] that exists outside
+/// the simulator: the learned model and how far the task got.
+///
+/// [`Trace`]: dfl_netsim::Trace
+#[derive(Clone, Debug)]
+pub struct TcpTaskReport {
+    /// Final model parameters per trainer index.
+    pub final_params: HashMap<usize, Vec<f32>>,
+    /// Rounds that ran to completion.
+    pub completed_rounds: u64,
+}
+
+impl TcpTaskReport {
+    /// The parameter vector all trainers converged to, if they agree
+    /// (mirrors [`ipls::runner::TaskReport::consensus_params`]).
+    pub fn consensus_params(&self) -> Option<Vec<f32>> {
+        let mut iter = self.final_params.values();
+        let first = iter.next()?.clone();
+        for other in iter {
+            if *other != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
+/// An event delivered to a node's protocol thread.
+enum NodeEvent {
+    /// A decoded frame from a peer.
+    Msg { from: NodeId, msg: Msg },
+    /// A timer set by the node fired.
+    Timer { token: u64 },
+}
+
+/// Cross-thread state shared by every node of one run.
+struct Shared {
+    /// Listener address per node index.
+    addrs: Vec<SocketAddr>,
+    /// Run start; `now` for handlers is elapsed time since it.
+    epoch: Instant,
+    /// Set once to stop every node loop and acceptor.
+    shutdown: AtomicBool,
+    /// Directory `round_complete` records seen.
+    completed_rounds: AtomicU64,
+    /// Flipped under the mutex when the directory records `task_complete`.
+    done: Mutex<bool>,
+    /// Signals `done`.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn mark_done(&self) {
+        *self.done.lock().expect("done flag") = true;
+        self.done_cv.notify_all();
+    }
+
+    /// Waits until `task_complete` or the deadline; `true` on completion.
+    fn wait_done(&self, deadline: Duration) -> bool {
+        let guard = self.done.lock().expect("done flag");
+        let (guard, _) = self
+            .done_cv
+            .wait_timeout_while(guard, deadline, |done| !*done)
+            .expect("done flag");
+        *guard
+    }
+}
+
+/// Opens (or reuses) the connection to `to` and writes one frame.
+/// A peer that is already gone (post-completion races) drops the frame.
+fn send_frame(
+    me: NodeId,
+    to: NodeId,
+    msg: &Msg,
+    conns: &mut HashMap<usize, std::net::TcpStream>,
+    shared: &Shared,
+) {
+    for attempt in 0..2 {
+        let entry = conns.entry(to.index());
+        let stream = match entry {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match std::net::TcpStream::connect(shared.addrs[to.index()]) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        v.insert(stream)
+                    }
+                    Err(_) => return,
+                }
+            }
+        };
+        match codec::write_frame(stream, me, msg) {
+            Ok(()) => return,
+            // Stale connection (peer restarted or closed): reconnect once.
+            Err(_) if attempt == 0 => {
+                conns.remove(&to.index());
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Interprets one batch of actions against sockets and wall-clock timers.
+fn flush_actions(
+    me: NodeId,
+    out: &mut Actions<Msg>,
+    conns: &mut HashMap<usize, std::net::TcpStream>,
+    timer_tx: &mpsc::Sender<NodeEvent>,
+    shared: &Arc<Shared>,
+) {
+    for action in out.drain() {
+        match action {
+            ProtocolAction::Send { to, msg } => send_frame(me, to, &msg, conns, shared),
+            ProtocolAction::SetTimer { delay, token } => {
+                let tx = timer_tx.clone();
+                let wait = Duration::from_micros(delay.as_micros());
+                // One sleeping thread per armed timer. Loops that re-arm
+                // (trainer polls) keep at most one in flight per node, and
+                // long never-firing deadlines die with the process.
+                std::thread::spawn(move || {
+                    std::thread::sleep(wait);
+                    let _ = tx.send(NodeEvent::Timer { token });
+                });
+            }
+            ProtocolAction::Record { label, value } => {
+                if label == labels::ROUND_COMPLETE {
+                    shared.completed_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+                if label == labels::TASK_COMPLETE {
+                    let _ = value; // rounds count; completed_rounds tracks it
+                    shared.mark_done();
+                }
+            }
+            // No trace to feed outside the simulator.
+            ProtocolAction::Incr { .. } | ProtocolAction::Observe { .. } => {}
+        }
+    }
+}
+
+/// Accepts inbound connections for one node, spawning a frame-decoding
+/// reader thread per connection. Woken by a dummy connect at shutdown.
+fn accept_loop(listener: std::net::TcpListener, tx: mpsc::Sender<NodeEvent>, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(conn) = conn else { break };
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut reader = std::io::BufReader::new(conn);
+            while let Ok(Some((from, msg))) = codec::read_frame(&mut reader) {
+                if tx.send(NodeEvent::Msg { from, msg }).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Drives one protocol core: Start, then events off the channel until
+/// shutdown. The core never learns it is not in the simulator.
+fn node_loop(
+    me: NodeId,
+    mut core: Box<dyn ProtocolCore<Msg = Msg> + Send>,
+    rx: mpsc::Receiver<NodeEvent>,
+    tx: mpsc::Sender<NodeEvent>,
+    shared: Arc<Shared>,
+) {
+    let mut conns = HashMap::new();
+    let mut out = Actions::new();
+    core.handle(shared.now(), ProtocolEvent::Start, &mut out);
+    flush_actions(me, &mut out, &mut conns, &tx, &shared);
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let event = match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(NodeEvent::Msg { from, msg }) => ProtocolEvent::Message { from, msg },
+            Ok(NodeEvent::Timer { token }) => ProtocolEvent::Timer { token },
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        core.handle(shared.now(), event, &mut out);
+        flush_actions(me, &mut out, &mut conns, &tx, &shared);
+    }
+}
+
+/// Runs a full task over localhost TCP and reports the outcome.
+///
+/// Mirrors [`ipls::runner::run_task`] with all aggregators honest and no
+/// fault plan (real sockets don't take fault injections), plus a
+/// wall-clock completion deadline of `t_sync × rounds + 60 s`.
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid or the task misses
+/// the deadline.
+pub fn run_task_over_tcp<M: Model + Clone + Send + 'static>(
+    cfg: TaskConfig,
+    model: M,
+    initial_params: Vec<f32>,
+    datasets: Vec<Dataset>,
+    sgd: SgdConfig,
+) -> Result<TcpTaskReport, IplsError> {
+    let topo = Arc::new(Topology::new(cfg.clone(), initial_params.len())?);
+    if datasets.len() != cfg.trainers {
+        return Err(IplsError::InvalidConfig(format!(
+            "{} datasets for {} trainers",
+            datasets.len(),
+            cfg.trainers
+        )));
+    }
+    if model.param_count() != initial_params.len() {
+        return Err(IplsError::InvalidConfig(
+            "model parameter count does not match initial parameters".to_string(),
+        ));
+    }
+
+    let key = cfg.verifiable.then(|| {
+        Arc::new(ipls::gradient::derive_key(
+            topo.max_partition_len(),
+            cfg.seed,
+            cfg.commit_precompute,
+        ))
+    });
+    let sink: ParamSink = Arc::new(Mutex::new(HashMap::new()));
+
+    // Same node-id layout as the simulator: directory, storage nodes,
+    // aggregators, trainers.
+    let mut cores: Vec<Box<dyn ProtocolCore<Msg = Msg> + Send>> = Vec::new();
+    cores.push(Box::new(Directory::new(topo.clone(), key.clone())));
+    let roster = IpfsNode::roster_for(&topo.ipfs_ids());
+    for k in 0..cfg.ipfs_nodes {
+        let mut node = IpfsNode::new(topo.ipfs_node(k), roster.clone());
+        node.set_retry_policy(RetryPolicy {
+            base_timeout: cfg.fetch_timeout,
+            ..RetryPolicy::default()
+        });
+        cores.push(Box::new(IpfsCore::<Msg>::new(node)));
+    }
+    for g in 0..cfg.total_aggregators() {
+        cores.push(Box::new(Aggregator::new(
+            g,
+            topo.clone(),
+            key.clone(),
+            Behavior::Honest,
+        )));
+    }
+    for (t, dataset) in datasets.into_iter().enumerate() {
+        cores.push(Box::new(Trainer::new(
+            t,
+            topo.clone(),
+            key.clone(),
+            model.clone(),
+            initial_params.clone(),
+            dataset,
+            sgd,
+            sink.clone(),
+        )));
+    }
+    debug_assert_eq!(cores.len(), topo.node_count());
+
+    let deadline =
+        Duration::from_micros(cfg.t_sync.as_micros() * cfg.rounds) + Duration::from_secs(60);
+
+    let rt = tokio::runtime::Runtime::new()
+        .map_err(|e| IplsError::InvalidConfig(format!("runtime: {e}")))?;
+    let completed = rt.block_on(async {
+        // Bind every node's listener first so the address table is
+        // complete before any core runs.
+        let mut listeners = Vec::with_capacity(cores.len());
+        let mut addrs = Vec::with_capacity(cores.len());
+        for _ in 0..cores.len() {
+            let listener = tokio::net::TcpListener::bind("127.0.0.1:0")
+                .await
+                .map_err(|e| IplsError::InvalidConfig(format!("bind: {e}")))?;
+            addrs.push(
+                listener
+                    .local_addr()
+                    .map_err(|e| IplsError::InvalidConfig(format!("local_addr: {e}")))?,
+            );
+            listeners.push(listener);
+        }
+        let shared = Arc::new(Shared {
+            addrs,
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            completed_rounds: AtomicU64::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        let mut nodes = Vec::with_capacity(cores.len());
+        for (index, (core, listener)) in cores.into_iter().zip(listeners).enumerate() {
+            let me = NodeId(index);
+            let (tx, rx) = mpsc::channel();
+            let std_listener = listener
+                .into_std()
+                .map_err(|e| IplsError::InvalidConfig(format!("listener: {e}")))?;
+            let acceptor_tx = tx.clone();
+            let acceptor_shared = shared.clone();
+            tokio::task::spawn_blocking(move || {
+                accept_loop(std_listener, acceptor_tx, acceptor_shared)
+            });
+            let node_shared = shared.clone();
+            nodes.push(tokio::task::spawn_blocking(move || {
+                node_loop(me, core, rx, tx, node_shared)
+            }));
+        }
+
+        let waiter_shared = shared.clone();
+        let completed = tokio::task::spawn_blocking(move || waiter_shared.wait_done(deadline))
+            .await
+            .expect("completion waiter");
+
+        // Stop the node loops, then poke every listener so blocked
+        // accept() calls observe the flag and exit.
+        shared.shutdown.store(true, Ordering::Relaxed);
+        for addr in &shared.addrs {
+            let _ = std::net::TcpStream::connect(*addr);
+        }
+        for node in nodes {
+            let _ = node.await;
+        }
+        Ok::<_, IplsError>((completed, shared.completed_rounds.load(Ordering::Relaxed)))
+    })?;
+    let (done, completed_rounds) = completed;
+    if !done {
+        return Err(IplsError::RoundFailed {
+            round: completed_rounds,
+            reason: format!("TCP task missed its completion deadline ({deadline:?})"),
+        });
+    }
+
+    let final_params = sink.lock().expect("param sink").clone();
+    Ok(TcpTaskReport {
+        final_params,
+        completed_rounds,
+    })
+}

@@ -25,14 +25,14 @@
 //! the round completes with the same bits an honest run produces.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
 use dfl_crypto::quantize::{encode, Quantized};
 use dfl_crypto::schnorr::{Signature, SigningKey};
 use dfl_ipfs::{Cid, IpfsWire};
-use dfl_netsim::{Actor, Context, NodeId, SimTime};
+use dfl_netsim::{NodeId, SimTime};
 
 use crate::accountability::{
     agg_signing_key, agg_verifying_key, Misbehavior, MisbehaviorKind, EVIDENCE_TOPIC,
@@ -45,6 +45,7 @@ use crate::gradient::{
 };
 use crate::labels;
 use crate::messages::{update_message, Msg, SyncAnnounce};
+use crate::protocol::{Actions, ProtocolCore, ProtocolEvent};
 
 const TK_POLL: u64 = 1 << 32;
 const TK_SYNC_DEADLINE: u64 = 2 << 32;
@@ -75,8 +76,8 @@ pub struct Aggregator {
     g: usize,
     partition: usize,
     j: usize,
-    topo: Rc<Topology>,
-    key: Option<Rc<ProtocolKey>>,
+    topo: Arc<Topology>,
+    key: Option<Arc<ProtocolKey>>,
     behavior: Behavior,
 
     // -- per-round state ----------------------------------------------------
@@ -178,8 +179,8 @@ impl Aggregator {
     /// Creates the aggregator for global index `g`.
     pub fn new(
         g: usize,
-        topo: Rc<Topology>,
-        key: Option<Rc<ProtocolKey>>,
+        topo: Arc<Topology>,
+        key: Option<Arc<ProtocolKey>>,
         behavior: Behavior,
     ) -> Aggregator {
         let (partition, j) = topo.agg_role(g);
@@ -262,8 +263,8 @@ impl Aggregator {
         self.next_req
     }
 
-    fn send_ipfs(&mut self, ctx: &mut Context<'_, Msg>, to: NodeId, wire: IpfsWire) {
-        ctx.send(to, wire.wire_bytes(), Msg::Ipfs(wire));
+    fn send_ipfs(&mut self, out: &mut Actions<Msg>, to: NodeId, wire: IpfsWire) {
+        out.send(to, Msg::Ipfs(wire));
     }
 
     /// Sends a storage request that must survive a dead target: if no reply
@@ -271,16 +272,16 @@ impl Aggregator {
     /// re-issued to the next storage node, round-robin, until the round
     /// ends or a reply lands. Late replies from earlier targets dedupe via
     /// `in_flight`.
-    fn send_retryable(&mut self, ctx: &mut Context<'_, Msg>, to: NodeId, wire: IpfsWire, req: u64) {
+    fn send_retryable(&mut self, out: &mut Actions<Msg>, to: NodeId, wire: IpfsWire, req: u64) {
         self.retry_wires.insert(req, (to, wire.clone()));
-        ctx.set_timer(
+        out.set_timer(
             self.topo.config().fetch_timeout,
             TK_FETCH | (req & 0xFFFF_FFFF),
         );
-        self.send_ipfs(ctx, to, wire);
+        self.send_ipfs(out, to, wire);
     }
 
-    fn on_fetch_retry(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+    fn on_fetch_retry(&mut self, out: &mut Actions<Msg>, req: u64) {
         if !self.in_flight.contains_key(&req) {
             self.retry_wires.remove(&req);
             return; // answered (or the round moved on) meanwhile
@@ -291,7 +292,7 @@ impl Aggregator {
         let ids = self.topo.ipfs_ids();
         let idx = ids.iter().position(|n| *n == last).unwrap_or(0);
         let next = ids[(idx + 1) % ids.len()];
-        self.send_retryable(ctx, next, wire, req);
+        self.send_retryable(out, next, wire, req);
     }
 
     /// How many of `expected` must be in before a degraded round may
@@ -310,9 +311,9 @@ impl Aggregator {
         })
     }
 
-    fn begin_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn begin_round(&mut self, now: SimTime, out: &mut Actions<Msg>, iter: u64) {
         self.iter = iter;
-        self.round_start = ctx.now();
+        self.round_start = now;
         self.registered.clear();
         self.gradients.clear();
         self.downloading.clear();
@@ -350,7 +351,7 @@ impl Aggregator {
         let replicate = self.topo.config().replication;
         for (target, cid) in std::mem::take(&mut self.uploads) {
             let unpin = IpfsWire::Unpin { cid, replicate };
-            self.send_ipfs(ctx, target, unpin);
+            self.send_ipfs(out, target, unpin);
         }
         // (Unpins are best-effort control messages; an Offline aggregator
         // below never uploaded anything last round anyway.)
@@ -360,11 +361,11 @@ impl Aggregator {
         // Direct mode receives gradients without polling, but the poll
         // loop also fetches accumulated commitments for peer verification
         // and drives dropout recovery, so it runs in every mode.
-        self.start_polling(ctx);
+        self.start_polling(out);
         // The deadline drives peer recovery (multi-aggregator) and quorum
         // degradation, so it is armed whenever either can trigger.
         if self.multi() || self.topo.config().min_quorum.is_some() {
-            ctx.set_timer(
+            out.set_timer(
                 self.topo.config().t_sync,
                 TK_SYNC_DEADLINE | (iter & 0xFFFF_FFFF),
             );
@@ -372,7 +373,7 @@ impl Aggregator {
         // Early watchdog: recover unresponsive slots well before t_sync.
         if self.multi() && self.topo.config().comm != CommMode::Direct {
             if let Some(watchdog) = self.topo.config().sync_watchdog {
-                ctx.set_timer(watchdog, TK_WATCHDOG | (iter & 0xFFFF_FFFF));
+                out.set_timer(watchdog, TK_WATCHDOG | (iter & 0xFFFF_FFFF));
             }
             // Blacklisted peers will not produce a usable partial: start
             // re-downloading their trainer sets immediately instead of
@@ -380,7 +381,7 @@ impl Aggregator {
             let mut listed: Vec<usize> = self.blacklist.iter().copied().collect();
             listed.sort_unstable();
             for j in listed {
-                self.start_recovery(ctx, j);
+                self.start_recovery(out, j);
             }
         }
     }
@@ -388,7 +389,7 @@ impl Aggregator {
     /// Begins download-all recovery of slot `j`'s trainer set (§III-D):
     /// fetch the members' original gradient blobs from storage and
     /// re-aggregate them on the slot's behalf. Idempotent per round.
-    fn start_recovery(&mut self, ctx: &mut Context<'_, Msg>, j: usize) {
+    fn start_recovery(&mut self, out: &mut Actions<Msg>, j: usize) {
         if j == self.j
             || self.topo.config().comm == CommMode::Direct
             || self.partials.contains_key(&j)
@@ -397,7 +398,7 @@ impl Aggregator {
         {
             return;
         }
-        ctx.record(labels::DROPOUT_RECOVERY, j as f64);
+        out.record(labels::DROPOUT_RECOVERY, j as f64);
         let trainers: HashSet<usize> = self
             .topo
             .trainer_set(self.partition, j)
@@ -405,17 +406,17 @@ impl Aggregator {
             .collect();
         self.recovery_pending.insert(j, trainers);
         self.recovery_grads.insert(j, HashMap::new());
-        self.start_polling(ctx);
+        self.start_polling(out);
     }
 
-    fn start_polling(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn start_polling(&mut self, out: &mut Actions<Msg>) {
         if !self.polling {
             self.polling = true;
-            ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+            out.set_timer(self.topo.config().poll_interval, TK_POLL);
         }
     }
 
-    fn poll(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn poll(&mut self, out: &mut Actions<Msg>) {
         let mut outstanding = false;
         // Gradient discovery (lines 28–34 of Algorithm 1).
         let grads_done = self.partial.is_some() || self.registered.len() == self.expected.len();
@@ -426,7 +427,7 @@ impl Aggregator {
                 agg_j: self.j,
                 iter: self.iter,
             };
-            ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            out.send(self.topo.directory(), msg);
         }
         // Merge requests may need re-issuing after a MergeErr.
         if self.topo.config().comm == CommMode::MergeAndDownload
@@ -434,7 +435,7 @@ impl Aggregator {
             && self.partial.is_none()
             && self.merge_ready()
         {
-            self.send_merges(ctx);
+            self.send_merges(out);
         }
         // Accumulated commitments for peer verification (§IV-B).
         if self.verifiable() && self.multi() && self.accumulators.iter().any(Option::is_none) {
@@ -443,7 +444,7 @@ impl Aggregator {
                 partition: self.partition,
                 iter: self.iter,
             };
-            ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            out.send(self.topo.directory(), msg);
         }
         // Recovery gradient discovery; degraded-quorum verification also
         // needs peer slots' individual commitments, which ride on the same
@@ -462,12 +463,12 @@ impl Aggregator {
                     agg_j: j,
                     iter: self.iter,
                 };
-                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+                out.send(self.topo.directory(), msg);
             }
         }
         if outstanding || !self.global_sent {
             if !self.global_sent {
-                ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+                out.set_timer(self.topo.config().poll_interval, TK_POLL);
             } else {
                 self.polling = false;
             }
@@ -480,7 +481,7 @@ impl Aggregator {
 
     fn on_gradient_list(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        out: &mut Actions<Msg>,
         iter: u64,
         entries: Vec<(usize, Cid, Option<[u8; 33]>)>,
     ) {
@@ -503,7 +504,7 @@ impl Aggregator {
                 if self.topo.config().comm == CommMode::Indirect
                     || self.fallback_pending.contains(&trainer)
                 {
-                    self.fetch_own_gradient(ctx, trainer, cid);
+                    self.fetch_own_gradient(out, trainer, cid);
                 }
             } else if let Some(pending) = self.recovery_pending.get_mut(&slot) {
                 let Ok(provider) = self.topo.upload_target(self.partition, trainer) else {
@@ -511,13 +512,13 @@ impl Aggregator {
                 };
                 if pending.remove(&trainer) {
                     let req = self.fresh_req(Request::Recovery { j: slot, trainer });
-                    self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
+                    self.send_retryable(out, provider, IpfsWire::Get { cid, req_id: req }, req);
                 }
             }
         }
         // Freshly learned commitments may unblock stashed peer partials
         // and gossiped evidence.
-        self.retry_unverified(ctx);
+        self.retry_unverified(out);
         // Registration forgery: once the victim's real registration exists
         // (so ours lands last and wins the directory's last-write slot),
         // register a fabricated gradient under the victim's name.
@@ -525,7 +526,7 @@ impl Aggregator {
             && self.forged.is_none()
             && self.registered.len() == self.expected.len()
         {
-            self.send_forged_registration(ctx);
+            self.send_forged_registration(out);
         }
         // Merge-and-download: once every trainer of T_ij has registered
         // (or a quorum, after the deadline), issue one merge request per
@@ -534,7 +535,7 @@ impl Aggregator {
             && !self.merges_sent
             && self.merge_ready()
         {
-            self.send_merges(ctx);
+            self.send_merges(out);
         }
     }
 
@@ -549,7 +550,7 @@ impl Aggregator {
                     .is_some_and(|th| self.registered.len() >= th))
     }
 
-    fn fetch_own_gradient(&mut self, ctx: &mut Context<'_, Msg>, trainer: usize, cid: Cid) {
+    fn fetch_own_gradient(&mut self, out: &mut Actions<Msg>, trainer: usize, cid: Cid) {
         if self.downloading.contains(&trainer) || self.gradients.contains_key(&trainer) {
             return;
         }
@@ -558,25 +559,25 @@ impl Aggregator {
         let Ok(provider) = self.topo.upload_target(self.partition, trainer) else {
             return; // direct mode receives gradients over the wire instead
         };
-        self.mark_fetch_start(ctx);
+        self.mark_fetch_start(out);
         self.downloading.insert(trainer);
         let req = self.fresh_req(Request::OwnGradient { trainer });
-        self.send_retryable(ctx, provider, IpfsWire::Get { cid, req_id: req }, req);
+        self.send_retryable(out, provider, IpfsWire::Get { cid, req_id: req }, req);
     }
 
     /// Marks the start of this round's gradient-gathering span (merge
     /// delay = `GRADS_AGGREGATED − FETCH_START`); no-op after the first
     /// fetch of the round.
-    fn mark_fetch_start(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn mark_fetch_start(&mut self, out: &mut Actions<Msg>) {
         if !self.fetch_started {
             self.fetch_started = true;
-            ctx.record(labels::FETCH_START, self.iter as f64);
+            out.record(labels::FETCH_START, self.iter as f64);
         }
     }
 
-    fn send_merges(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn send_merges(&mut self, out: &mut Actions<Msg>) {
         self.merges_sent = true;
-        self.mark_fetch_start(ctx);
+        self.mark_fetch_start(out);
         // Group my trainers' gradients by the provider they uploaded to.
         // Under quorum degradation not every trainer has registered;
         // unregistered ones are simply absent from the merge.
@@ -602,7 +603,7 @@ impl Aggregator {
             let cids = members.iter().map(|&(_, cid)| cid).collect();
             let req = self.fresh_req(Request::Merged);
             self.merge_members.insert(req, members);
-            self.send_retryable(ctx, provider, IpfsWire::Merge { cids, req_id: req }, req);
+            self.send_retryable(out, provider, IpfsWire::Merge { cids, req_id: req }, req);
         }
     }
 
@@ -610,7 +611,7 @@ impl Aggregator {
     /// registers it under that trainer's name (no valid signature — the
     /// attacker does not hold the trainer's key), and remembers it for
     /// substitution during aggregation.
-    fn send_forged_registration(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn send_forged_registration(&mut self, out: &mut Actions<Msg>) {
         let victim = self.expected[0];
         // A "lazy but plausible" fabrication: all zeros with counter 1.
         let fake_blob =
@@ -628,7 +629,7 @@ impl Aggregator {
             commitment,
             signature: None, // cannot be forged without the trainer's key
         };
-        ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        out.send(self.topo.directory(), msg);
         self.forged = Some(decode_blob(&fake_blob).expect("well-formed fabrication"));
     }
 
@@ -642,7 +643,7 @@ impl Aggregator {
         }
     }
 
-    fn on_own_gradient(&mut self, ctx: &mut Context<'_, Msg>, trainer: usize, data: &[u8]) {
+    fn on_own_gradient(&mut self, out: &mut Actions<Msg>, trainer: usize, data: &[u8]) {
         self.downloading.remove(&trainer);
         self.fallback_pending.remove(&trainer);
         let Some(vector) = decode_blob(data) else {
@@ -659,18 +660,18 @@ impl Aggregator {
                 // if the batch check names it. Count it now — the instant
                 // the per-blob path verifies — so `blobs_verified` totals
                 // match per-blob mode even in rounds that never flush.
-                ctx.incr(labels::BLOBS_VERIFIED, 1);
+                out.incr(labels::BLOBS_VERIFIED, 1);
                 self.pending_verify
                     .push((trainer, data.to_vec(), commitment));
-            } else if !verify_blob_timed(ctx, &key, data, &commitment) {
+            } else if !verify_blob_timed(out, &key, data, &commitment) {
                 return; // corrupt gradient; the poll loop will retry
             }
         }
         self.gradients.insert(trainer, vector);
-        self.maybe_aggregate(ctx);
+        self.maybe_aggregate(out);
     }
 
-    fn on_merged(&mut self, ctx: &mut Context<'_, Msg>, members: &[(usize, Cid)], data: &[u8]) {
+    fn on_merged(&mut self, out: &mut Actions<Msg>, members: &[(usize, Cid)], data: &[u8]) {
         let Some(vector) = decode_blob(data) else {
             return;
         };
@@ -681,7 +682,7 @@ impl Aggregator {
         self.merged.push(vector);
         self.merged_members.extend(members.iter().map(|&(t, _)| t));
         self.merges_outstanding -= 1;
-        self.maybe_aggregate(ctx);
+        self.maybe_aggregate(out);
     }
 
     /// Whether `have` gradients satisfy the aggregation precondition: the
@@ -698,7 +699,7 @@ impl Aggregator {
     /// blobs are evicted from `gradients` — the same state an
     /// arrival-time per-blob rejection leaves (`registered` keeps its
     /// entry in both modes). Returns the number of culprits.
-    fn flush_pending_verify(&mut self, ctx: &mut Context<'_, Msg>) -> usize {
+    fn flush_pending_verify(&mut self, out: &mut Actions<Msg>) -> usize {
         if self.pending_verify.is_empty() {
             return 0;
         }
@@ -712,19 +713,19 @@ impl Aggregator {
             .collect();
         // Blobs were counted at enqueue time; the flush books only the
         // wall-clock and batch-size metrics.
-        let culprits = flush_verify_queue(ctx, &key, &items);
+        let culprits = flush_verify_queue(out, &key, &items);
         for &i in &culprits {
             self.gradients.remove(&pending[i].0);
         }
         culprits.len()
     }
 
-    fn maybe_aggregate(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn maybe_aggregate(&mut self, out: &mut Actions<Msg>) {
         if self.partial.is_some() {
             // Stragglers admitted after aggregation (quorum-degraded
             // rounds) still get their deferred check here, at the same
             // instant the per-blob path would have verified them.
-            self.flush_pending_verify(ctx);
+            self.flush_pending_verify(out);
             return;
         }
         let (vectors, contributors): (Vec<Vec<Quantized>>, Vec<usize>) =
@@ -740,7 +741,7 @@ impl Aggregator {
                     // batch mode; settle them before summing. A convicted
                     // blob simply drops out of the fallback set, exactly
                     // as an arrival-time rejection would have kept it out.
-                    self.flush_pending_verify(ctx);
+                    self.flush_pending_verify(out);
                     // Merged blobs plus any gradients fetched individually
                     // after a failed merge, in deterministic trainer order.
                     let mut vectors = self.merged.clone();
@@ -775,7 +776,7 @@ impl Aggregator {
                     // below quorum, in which case the round waits exactly
                     // as it would have had the blob been rejected at
                     // arrival.
-                    if self.flush_pending_verify(ctx) > 0 {
+                    if self.flush_pending_verify(out) > 0 {
                         have.retain(|t| self.gradients.contains_key(t));
                         if !self.have_enough(have.len(), needed.len()) {
                             return;
@@ -807,11 +808,11 @@ impl Aggregator {
         let partial = match sum_gradients(&vectors) {
             Ok(partial) => partial,
             Err(_) => {
-                ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
+                out.record(labels::SUM_OVERFLOW, self.iter as f64);
                 return;
             }
         };
-        ctx.record(labels::GRADS_AGGREGATED, self.iter as f64);
+        out.record(labels::GRADS_AGGREGATED, self.iter as f64);
         self.partial = Some(partial.clone());
         self.partial_contributors = contributors.clone();
         self.partials.insert(self.j, partial.clone());
@@ -823,7 +824,7 @@ impl Aggregator {
             let req = self.fresh_req(Request::PutPartial);
             let gw = self.gateway();
             self.send_retryable(
-                ctx,
+                out,
                 gw,
                 IpfsWire::Put {
                     data: Bytes::from(blob),
@@ -839,7 +840,7 @@ impl Aggregator {
                 altered[0] = Quantized(altered[0].0 + (1 << 20));
                 let req = self.fresh_req(Request::PutAltered);
                 self.send_retryable(
-                    ctx,
+                    out,
                     gw,
                     IpfsWire::Put {
                         data: Bytes::from(encode(&altered)),
@@ -850,7 +851,7 @@ impl Aggregator {
                 );
             }
         } else {
-            self.finish_global(ctx);
+            self.finish_global(out);
         }
     }
 
@@ -889,7 +890,7 @@ impl Aggregator {
 
     // -- synchronization (multi-aggregator) ----------------------------------
 
-    fn on_put_ack(&mut self, ctx: &mut Context<'_, Msg>, cid: Cid, req_id: u64) {
+    fn on_put_ack(&mut self, out: &mut Actions<Msg>, cid: Cid, req_id: u64) {
         self.retry_wires.remove(&req_id);
         match self.in_flight.remove(&req_id) {
             Some(Request::PutPartial) => {
@@ -898,7 +899,7 @@ impl Aggregator {
                     // Withhold the honest topic publish: each peer receives
                     // its own (forged) per-peer announcement instead.
                     self.equiv_honest = Some(cid);
-                    self.maybe_equivocate(ctx);
+                    self.maybe_equivocate(out);
                     return;
                 }
                 let announce = self.signed_announce(cid);
@@ -907,13 +908,13 @@ impl Aggregator {
                     data: Bytes::from(announce.encode()),
                 };
                 let gw = self.gateway();
-                self.send_ipfs(ctx, gw, publish);
-                self.maybe_finish_sync(ctx);
+                self.send_ipfs(out, gw, publish);
+                self.maybe_finish_sync(out);
             }
             Some(Request::PutAltered) => {
                 self.uploads.push((self.gateway(), cid));
                 self.equiv_altered = Some(cid);
-                self.maybe_equivocate(ctx);
+                self.maybe_equivocate(out);
             }
             Some(Request::PutGlobal) => {
                 let gw = match self.topo.config().comm {
@@ -935,7 +936,7 @@ impl Aggregator {
                     contributors,
                     signature,
                 };
-                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+                out.send(self.topo.directory(), msg);
             }
             _ => {}
         }
@@ -945,7 +946,7 @@ impl Aggregator {
     /// each partition peer a *direct*, validly signed announcement — the
     /// altered CID to every other peer, the honest CID to the rest — so
     /// different peers observe conflicting signed statements.
-    fn maybe_equivocate(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn maybe_equivocate(&mut self, out: &mut Actions<Msg>) {
         let (Some(honest), Some(altered)) = (self.equiv_honest, self.equiv_altered) else {
             return;
         };
@@ -966,14 +967,14 @@ impl Aggregator {
                 publisher: me,
             };
             let peer = self.topo.aggregator(self.topo.agg_index(self.partition, j));
-            self.send_ipfs(ctx, peer, deliver);
+            self.send_ipfs(out, peer, deliver);
         }
-        self.maybe_finish_sync(ctx);
+        self.maybe_finish_sync(out);
     }
 
-    fn on_deliver(&mut self, ctx: &mut Context<'_, Msg>, topic: &str, data: &[u8]) {
+    fn on_deliver(&mut self, out: &mut Actions<Msg>, topic: &str, data: &[u8]) {
         if topic == EVIDENCE_TOPIC {
-            self.on_evidence(ctx, data);
+            self.on_evidence(out, data);
             return;
         }
         let Some(ann) = SyncAnnounce::decode(data) else {
@@ -1020,7 +1021,7 @@ impl Aggregator {
                 None => true, // no quorum configured: only full claims are honest
             };
             if below_quorum && self.accountability() {
-                self.blacklist_peer(ctx, ann.agg_j);
+                self.blacklist_peer(out, ann.agg_j);
                 return;
             }
         }
@@ -1033,7 +1034,7 @@ impl Aggregator {
         let peer_gateway = self
             .topo
             .aggregator_gateway(self.topo.agg_index(self.partition, j));
-        self.send_retryable(ctx, peer_gateway, IpfsWire::Get { cid, req_id: req }, req);
+        self.send_retryable(out, peer_gateway, IpfsWire::Get { cid, req_id: req }, req);
     }
 
     /// The accumulated commitment an announced partial must open: the full
@@ -1056,8 +1057,8 @@ impl Aggregator {
         }
     }
 
-    fn on_peer_partial(&mut self, ctx: &mut Context<'_, Msg>, j: usize, data: &[u8]) {
-        self.process_peer_partial(ctx, j, data, None);
+    fn on_peer_partial(&mut self, out: &mut Actions<Msg>, j: usize, data: &[u8]) {
+        self.process_peer_partial(out, j, data, None);
     }
 
     /// Handles one peer partial. `verdict` carries a verification result
@@ -1065,7 +1066,7 @@ impl Aggregator {
     /// `None` means verify here (the per-blob path).
     fn process_peer_partial(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        out: &mut Actions<Msg>,
         j: usize,
         data: &[u8],
         verdict: Option<bool>,
@@ -1083,7 +1084,7 @@ impl Aggregator {
                         Some(v) => v,
                         None => {
                             let key = self.key.as_ref().expect("verifiable").clone();
-                            verify_blob_timed(ctx, &key, data, &acc)
+                            verify_blob_timed(out, &key, data, &acc)
                         }
                     };
                     if !valid {
@@ -1093,7 +1094,7 @@ impl Aggregator {
                         // and let the sync deadline trigger recovery.
                         self.unverified.remove(&j);
                         if self.accountability() {
-                            self.convict_peer(ctx, &ann, &acc, data);
+                            self.convict_peer(out, &ann, &acc, data);
                         }
                         return;
                     }
@@ -1119,7 +1120,7 @@ impl Aggregator {
         };
         self.slot_contributors.insert(j, claimed);
         self.partials.insert(j, vector);
-        self.maybe_finish_sync(ctx);
+        self.maybe_finish_sync(out);
     }
 
     /// Packages the failed verification into a transferable [`Misbehavior`]
@@ -1127,21 +1128,21 @@ impl Aggregator {
     /// directory, and blacklists + recovers the slot.
     fn convict_peer(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        out: &mut Actions<Msg>,
         ann: &SyncAnnounce,
         expected: &ProtocolCommitment,
         blob: &[u8],
     ) {
         let offender = self.topo.agg_index(self.partition, ann.agg_j);
-        ctx.record(labels::WASTED_BYTES, blob.len() as f64);
-        self.blacklist_peer(ctx, ann.agg_j);
+        out.record(labels::WASTED_BYTES, blob.len() as f64);
+        self.blacklist_peer(out, ann.agg_j);
         let Some(offender_sig) = ann.signature else {
             return; // unsigned: suspicion only, no transferable proof
         };
         if !self.accused.insert((offender, self.iter)) {
             return; // already reported this offender for this round
         }
-        ctx.record(labels::MISBEHAVIOR_DETECTED, offender as f64);
+        out.record(labels::MISBEHAVIOR_DETECTED, offender as f64);
         let mut record = Misbehavior {
             kind: MisbehaviorKind::BadPartial,
             partition: self.partition,
@@ -1163,44 +1164,44 @@ impl Aggregator {
             data: Bytes::from(bytes.clone()),
         };
         let gw = self.gateway();
-        self.send_ipfs(ctx, gw, publish);
+        self.send_ipfs(out, gw, publish);
         let msg = Msg::ReportMisbehavior {
             record: Bytes::from(bytes),
         };
-        ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        out.send(self.topo.directory(), msg);
     }
 
     /// Locally blacklists partition slot `j` and recovers its trainer set.
     /// Blacklisting is local state — no voting; gossiped evidence lets
     /// every peer reach the same verdict independently.
-    fn blacklist_peer(&mut self, ctx: &mut Context<'_, Msg>, j: usize) {
+    fn blacklist_peer(&mut self, out: &mut Actions<Msg>, j: usize) {
         if j == self.j {
             return;
         }
         if self.blacklist.insert(j) {
             let global = self.topo.agg_index(self.partition, j);
-            ctx.record(labels::PEER_BLACKLISTED, global as f64);
+            out.record(labels::PEER_BLACKLISTED, global as f64);
         }
         self.announced.remove(&j);
         self.unverified.remove(&j);
-        self.start_recovery(ctx, j);
+        self.start_recovery(out, j);
     }
 
     /// Handles gossiped misbehavior evidence: independently re-verify, and
     /// blacklist the offender if the proof holds. Records that cannot be
     /// checked yet (accumulator still unknown) are parked and retried as
     /// the round's commitments arrive.
-    fn on_evidence(&mut self, ctx: &mut Context<'_, Msg>, data: &[u8]) {
+    fn on_evidence(&mut self, out: &mut Actions<Msg>, data: &[u8]) {
         if !self.accountability() {
             return;
         }
         let Some(record) = Misbehavior::decode(data) else {
             return;
         };
-        self.consider_evidence(ctx, record);
+        self.consider_evidence(out, record);
     }
 
-    fn consider_evidence(&mut self, ctx: &mut Context<'_, Msg>, record: Misbehavior) {
+    fn consider_evidence(&mut self, out: &mut Actions<Msg>, record: Misbehavior) {
         // Only same-partition evidence affects this aggregator's blacklist,
         // and only for the current round's accumulator view.
         if record.partition != self.partition
@@ -1215,7 +1216,7 @@ impl Aggregator {
                 let key = self.key.as_ref().expect("accountability keys").clone();
                 let slots = self.topo.config().aggregators_per_partition;
                 if record.verify(&key, self.topo.config().seed, slots, &expected) {
-                    self.blacklist_peer(ctx, record.agg_j);
+                    self.blacklist_peer(out, record.agg_j);
                 }
             }
             None => self.pending_evidence.push(record),
@@ -1266,7 +1267,7 @@ impl Aggregator {
     /// (convictions, inserts, sync completion) using the precomputed
     /// verdicts, so both modes produce identical event streams and name
     /// identical culprits.
-    fn retry_unverified(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn retry_unverified(&mut self, out: &mut Actions<Msg>) {
         let mut stashed: Vec<(usize, Vec<u8>)> = self.unverified.drain().collect();
         stashed.sort_unstable_by_key(|(j, _)| *j); // deterministic order
         let mut verdicts: Vec<Option<bool>> = vec![None; stashed.len()];
@@ -1294,31 +1295,31 @@ impl Aggregator {
                     .zip(&accs)
                     .map(|(&i, acc)| (stashed[i].1.as_slice(), acc))
                     .collect();
-                let culprits = verify_blobs_timed(ctx, &key, &items);
+                let culprits = verify_blobs_timed(out, &key, &items);
                 for (k, &i) in idx.iter().enumerate() {
                     verdicts[i] = Some(!culprits.contains(&k));
                 }
             }
         }
         for (i, (j, blob)) in stashed.iter().enumerate() {
-            self.process_peer_partial(ctx, *j, blob, verdicts[i]);
+            self.process_peer_partial(out, *j, blob, verdicts[i]);
         }
         let parked = std::mem::take(&mut self.pending_evidence);
         for record in parked {
-            self.consider_evidence(ctx, record);
+            self.consider_evidence(out, record);
         }
     }
 
-    fn on_accumulators(&mut self, ctx: &mut Context<'_, Msg>, accumulated: Vec<Option<[u8; 33]>>) {
+    fn on_accumulators(&mut self, out: &mut Actions<Msg>, accumulated: Vec<Option<[u8; 33]>>) {
         for (j, bytes) in accumulated.into_iter().enumerate() {
             if self.accumulators[j].is_none() {
                 self.accumulators[j] = bytes.and_then(|b| ProtocolCommitment::from_bytes(&b));
             }
         }
-        self.retry_unverified(ctx);
+        self.retry_unverified(out);
     }
 
-    fn maybe_finish_sync(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn maybe_finish_sync(&mut self, out: &mut Actions<Msg>) {
         if self.global_sent || self.partial.is_none() {
             return;
         }
@@ -1361,7 +1362,7 @@ impl Aggregator {
                 match sum_gradients(&recovered_vecs) {
                     Ok(sum) => vectors.push(sum),
                     Err(_) => {
-                        ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
+                        out.record(labels::SUM_OVERFLOW, self.iter as f64);
                         return;
                     }
                 }
@@ -1373,7 +1374,7 @@ impl Aggregator {
         }
         if recovered && !self.round_recovered {
             self.round_recovered = true;
-            ctx.record(labels::ROUND_RECOVERED, self.iter as f64);
+            out.record(labels::ROUND_RECOVERED, self.iter as f64);
         }
         contributors.sort_unstable();
         contributors.dedup();
@@ -1384,19 +1385,19 @@ impl Aggregator {
         };
         if !self.sync_recorded {
             self.sync_recorded = true;
-            ctx.record(labels::SYNC_DONE, self.iter as f64);
+            out.record(labels::SYNC_DONE, self.iter as f64);
         }
         let global = match sum_gradients(&vectors) {
             Ok(global) => global,
             Err(_) => {
-                ctx.record(labels::SUM_OVERFLOW, self.iter as f64);
+                out.record(labels::SUM_OVERFLOW, self.iter as f64);
                 return;
             }
         };
-        self.upload_global(ctx, global);
+        self.upload_global(out, global);
     }
 
-    fn finish_global(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn finish_global(&mut self, out: &mut Actions<Msg>) {
         if self.global_sent {
             return;
         }
@@ -1413,13 +1414,13 @@ impl Aggregator {
         };
         if !self.sync_recorded {
             self.sync_recorded = true;
-            ctx.record(labels::SYNC_DONE, self.iter as f64);
+            out.record(labels::SYNC_DONE, self.iter as f64);
         }
         let global = self.partial.clone().expect("partial computed");
-        self.upload_global(ctx, global);
+        self.upload_global(out, global);
     }
 
-    fn upload_global(&mut self, ctx: &mut Context<'_, Msg>, mut global: Vec<Quantized>) {
+    fn upload_global(&mut self, out: &mut Actions<Msg>, mut global: Vec<Quantized>) {
         self.global_sent = true;
         if self.behavior == Behavior::AlterUpdate {
             // Poison the first element (correctness violation, §III-A).
@@ -1433,7 +1434,7 @@ impl Aggregator {
                 let req = self.fresh_req(Request::PutGlobal);
                 let gw = self.topo.ipfs_node(self.g % self.topo.config().ipfs_nodes);
                 self.send_retryable(
-                    ctx,
+                    out,
                     gw,
                     IpfsWire::Put {
                         data: Bytes::from(blob),
@@ -1447,7 +1448,7 @@ impl Aggregator {
                 let req = self.fresh_req(Request::PutGlobal);
                 let gw = self.gateway();
                 self.send_retryable(
-                    ctx,
+                    out,
                     gw,
                     IpfsWire::Put {
                         data: Bytes::from(blob),
@@ -1462,7 +1463,7 @@ impl Aggregator {
 
     // -- dropout recovery ----------------------------------------------------
 
-    fn on_sync_deadline(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn on_sync_deadline(&mut self, out: &mut Actions<Msg>, iter: u64) {
         if iter != self.iter || self.global_sent || self.behavior == Behavior::Offline {
             return;
         }
@@ -1477,15 +1478,15 @@ impl Aggregator {
                 _ => self.registered.len(),
             };
             let missing = self.expected.len().saturating_sub(received);
-            ctx.record(labels::QUORUM_DEGRADED, missing as f64);
+            out.record(labels::QUORUM_DEGRADED, missing as f64);
             if self.topo.config().comm == CommMode::MergeAndDownload
                 && !self.merges_sent
                 && self.merge_ready()
             {
-                self.send_merges(ctx);
+                self.send_merges(out);
             }
-            self.maybe_aggregate(ctx);
-            self.maybe_finish_sync(ctx);
+            self.maybe_aggregate(out);
+            self.maybe_finish_sync(out);
             if self.global_sent {
                 return;
             }
@@ -1505,12 +1506,12 @@ impl Aggregator {
                 continue;
             }
             if self.accountability() && !self.announced.contains_key(&j) {
-                self.blacklist_peer(ctx, j);
+                self.blacklist_peer(out, j);
             } else {
-                self.start_recovery(ctx, j);
+                self.start_recovery(out, j);
             }
         }
-        self.start_polling(ctx);
+        self.start_polling(out);
     }
 
     /// The early watchdog (`sync_watchdog`): begins recovery of any slot
@@ -1519,7 +1520,7 @@ impl Aggregator {
     /// convicted aggregator still completes on time. Recovery is safe to
     /// race with a slow-but-honest peer: the recovered sum and the peer's
     /// partial are bit-identical, and whichever lands first is used.
-    fn on_watchdog(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn on_watchdog(&mut self, out: &mut Actions<Msg>, iter: u64) {
         if iter != self.iter || self.global_sent {
             return;
         }
@@ -1531,13 +1532,13 @@ impl Aggregator {
             {
                 continue; // alive (or mid-verification): let it finish
             }
-            self.start_recovery(ctx, j);
+            self.start_recovery(out, j);
         }
     }
 
     fn on_recovery_gradient(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        out: &mut Actions<Msg>,
         j: usize,
         trainer: usize,
         data: &[u8],
@@ -1554,34 +1555,47 @@ impl Aggregator {
                 // batch mode sees them as singleton batches — same ledger,
                 // same `WASTED_BYTES` timing on a corrupt copy.
                 Some(c) if self.topo.config().batch_verify => {
-                    verify_blobs_timed(ctx, &key, &[(data, &c)]).is_empty()
+                    verify_blobs_timed(out, &key, &[(data, &c)]).is_empty()
                 }
-                Some(c) => verify_blob_timed(ctx, &key, data, &c),
+                Some(c) => verify_blob_timed(out, &key, data, &c),
                 None => false,
             };
             if !valid {
-                ctx.record(labels::WASTED_BYTES, data.len() as f64);
+                out.record(labels::WASTED_BYTES, data.len() as f64);
                 self.recovery_pending.entry(j).or_default().insert(trainer);
-                self.start_polling(ctx);
+                self.start_polling(out);
                 return;
             }
         }
         if let Some(grads) = self.recovery_grads.get_mut(&j) {
             grads.insert(trainer, vector);
         }
-        self.maybe_finish_sync(ctx);
+        self.maybe_finish_sync(out);
     }
 }
 
-impl Actor<Msg> for Aggregator {
-    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+impl ProtocolCore for Aggregator {
+    type Msg = Msg;
+
+    fn handle(&mut self, now: SimTime, event: ProtocolEvent<Msg>, out: &mut Actions<Msg>) {
+        match event {
+            ProtocolEvent::Start => self.on_start(out),
+            ProtocolEvent::Message { msg, .. } => self.on_message(now, out, msg),
+            ProtocolEvent::Timer { token } => self.on_timer(out, token),
+            ProtocolEvent::Fault { .. } => {}
+        }
+    }
+}
+
+impl Aggregator {
+    fn on_start(&mut self, out: &mut Actions<Msg>) {
         // Subscribe once to the partition's sync topic (pub/sub, §IV-B).
         if self.multi() && self.behavior != Behavior::Offline {
             let sub = IpfsWire::Subscribe {
                 topic: self.topo.sync_topic(self.partition),
             };
             let gw = self.gateway();
-            self.send_ipfs(ctx, gw, sub);
+            self.send_ipfs(out, gw, sub);
         }
         // Evidence gossip rides its own topic (accountability mode).
         if self.accountability() && self.behavior != Behavior::Offline {
@@ -1589,29 +1603,29 @@ impl Actor<Msg> for Aggregator {
                 topic: EVIDENCE_TOPIC.to_string(),
             };
             let gw = self.gateway();
-            self.send_ipfs(ctx, gw, sub);
+            self.send_ipfs(out, gw, sub);
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+    fn on_message(&mut self, now: SimTime, out: &mut Actions<Msg>, msg: Msg) {
         if self.behavior == Behavior::Offline {
             return;
         }
         match msg {
-            Msg::StartRound { iter } => self.begin_round(ctx, iter),
+            Msg::StartRound { iter } => self.begin_round(now, out, iter),
             Msg::GradientList {
                 partition,
                 iter,
                 entries,
             } if partition == self.partition => {
-                self.on_gradient_list(ctx, iter, entries);
+                self.on_gradient_list(out, iter, entries);
             }
             Msg::Accumulators {
                 partition,
                 iter,
                 accumulated,
             } if partition == self.partition && iter == self.iter => {
-                self.on_accumulators(ctx, accumulated);
+                self.on_accumulators(out, accumulated);
             }
             Msg::DirectGradient {
                 trainer,
@@ -1624,7 +1638,7 @@ impl Actor<Msg> for Aggregator {
                 }
                 if let Some(vector) = decode_blob(&data) {
                     self.gradients.insert(trainer, vector);
-                    self.maybe_aggregate(ctx);
+                    self.maybe_aggregate(out);
                 }
             }
             Msg::UpdateRejected { .. } => {
@@ -1633,17 +1647,17 @@ impl Actor<Msg> for Aggregator {
                 // will supersede, or the round stalls and the experiment
                 // reports the failure.
             }
-            Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(ctx, cid, req_id),
+            Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(out, cid, req_id),
             Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
                 self.retry_wires.remove(&req_id);
                 let data = data.to_vec();
                 match self.in_flight.remove(&req_id) {
                     Some(Request::OwnGradient { trainer }) => {
-                        self.on_own_gradient(ctx, trainer, &data)
+                        self.on_own_gradient(out, trainer, &data)
                     }
-                    Some(Request::PeerPartial { j }) => self.on_peer_partial(ctx, j, &data),
+                    Some(Request::PeerPartial { j }) => self.on_peer_partial(out, j, &data),
                     Some(Request::Recovery { j, trainer }) => {
-                        self.on_recovery_gradient(ctx, j, trainer, &data)
+                        self.on_recovery_gradient(out, j, trainer, &data)
                     }
                     _ => {}
                 }
@@ -1667,7 +1681,7 @@ impl Actor<Msg> for Aggregator {
                 let members = self.merge_members.remove(&req_id).unwrap_or_default();
                 if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
                     let data = data.to_vec();
-                    self.on_merged(ctx, &members, &data);
+                    self.on_merged(out, &members, &data);
                 }
             }
             Msg::Ipfs(IpfsWire::MergeErr { req_id, .. }) => {
@@ -1679,34 +1693,34 @@ impl Actor<Msg> for Aggregator {
                 if let Some(Request::Merged) = self.in_flight.remove(&req_id) {
                     self.merges_outstanding = self.merges_outstanding.saturating_sub(1);
                     let members = self.merge_members.remove(&req_id).unwrap_or_default();
-                    ctx.record(labels::MERGE_FALLBACK, members.len() as f64);
+                    out.record(labels::MERGE_FALLBACK, members.len() as f64);
                     for (trainer, cid) in members {
                         if self.gradients.contains_key(&trainer) {
                             continue;
                         }
                         self.fallback_pending.insert(trainer);
-                        self.fetch_own_gradient(ctx, trainer, cid);
+                        self.fetch_own_gradient(out, trainer, cid);
                     }
-                    self.maybe_aggregate(ctx);
+                    self.maybe_aggregate(out);
                 }
             }
             Msg::Ipfs(IpfsWire::Deliver { topic, data, .. }) => {
                 let data = data.to_vec();
-                self.on_deliver(ctx, &topic, &data);
+                self.on_deliver(out, &topic, &data);
             }
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+    fn on_timer(&mut self, out: &mut Actions<Msg>, token: u64) {
         if self.behavior == Behavior::Offline {
             return;
         }
         match token & !0xFFFF_FFFF {
-            TK_POLL => self.poll(ctx),
-            TK_SYNC_DEADLINE => self.on_sync_deadline(ctx, token & 0xFFFF_FFFF),
-            TK_FETCH => self.on_fetch_retry(ctx, token & 0xFFFF_FFFF),
-            TK_WATCHDOG => self.on_watchdog(ctx, token & 0xFFFF_FFFF),
+            TK_POLL => self.poll(out),
+            TK_SYNC_DEADLINE => self.on_sync_deadline(out, token & 0xFFFF_FFFF),
+            TK_FETCH => self.on_fetch_retry(out, token & 0xFFFF_FFFF),
+            TK_WATCHDOG => self.on_watchdog(out, token & 0xFFFF_FFFF),
             _ => {}
         }
     }

@@ -13,12 +13,12 @@
 //! offender is evicted — evicted aggregators' registrations are dropped.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
 use dfl_ipfs::{Cid, IpfsWire};
-use dfl_netsim::{Actor, Context, NodeId, SimDuration};
+use dfl_netsim::{NodeId, SimDuration, SimTime};
 
 use dfl_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 
@@ -34,6 +34,7 @@ use crate::labels;
 use crate::messages::{
     batch_registration_message, registration_message, update_message, Msg, SignatureBytes,
 };
+use crate::protocol::{Actions, ProtocolCore, ProtocolEvent};
 
 /// Timer token kinds (high 32 bits of the token).
 const TK_VERIFY: u64 = 1 << 32;
@@ -58,8 +59,8 @@ struct PendingVerify {
 
 /// Directory + bootstrapper actor.
 pub struct Directory {
-    topo: Rc<Topology>,
-    key: Option<Rc<ProtocolKey>>,
+    topo: Arc<Topology>,
+    key: Option<Arc<ProtocolKey>>,
     /// Gradient registrations: (partition, iter) → (trainer → cid).
     gradients: HashMap<(usize, u64), HashMap<usize, Cid>>,
     /// Individual gradient commitments: (partition, iter) → trainer → C.
@@ -98,7 +99,7 @@ pub struct Directory {
 impl Directory {
     /// Creates the directory actor. `key` must be `Some` exactly when the
     /// task runs in verifiable mode.
-    pub fn new(topo: Rc<Topology>, key: Option<Rc<ProtocolKey>>) -> Directory {
+    pub fn new(topo: Arc<Topology>, key: Option<Arc<ProtocolKey>>) -> Directory {
         assert_eq!(
             key.is_some(),
             topo.config().verifiable,
@@ -161,17 +162,17 @@ impl Directory {
         vk.verify(&message, &sig)
     }
 
-    fn broadcast_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn broadcast_round(&mut self, out: &mut Actions<Msg>, iter: u64) {
         if !self.announced.insert(iter) {
             return;
         }
-        ctx.record(labels::ROUND_START, iter as f64);
+        out.record(labels::ROUND_START, iter as f64);
         let msg = Msg::StartRound { iter };
         for g in 0..self.topo.config().total_aggregators() {
-            ctx.send(self.topo.aggregator(g), msg.wire_bytes(), msg.clone());
+            out.send(self.topo.aggregator(g), msg.clone());
         }
         for t in 0..self.topo.config().trainers {
-            ctx.send(self.topo.trainer(t), msg.wire_bytes(), msg.clone());
+            out.send(self.topo.trainer(t), msg.clone());
         }
     }
 
@@ -253,7 +254,7 @@ impl Directory {
     #[allow(clippy::too_many_arguments)]
     fn on_register_update(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        out: &mut Actions<Msg>,
         from: NodeId,
         aggregator: usize,
         partition: usize,
@@ -265,7 +266,7 @@ impl Directory {
         if self.evicted.contains(&aggregator) {
             // Evicted aggregators are out of the protocol: their
             // registrations are dropped unconditionally.
-            ctx.record(labels::EVICTED_REJECTED, aggregator as f64);
+            out.record(labels::EVICTED_REJECTED, aggregator as f64);
             return;
         }
         if self.topo.config().accountability {
@@ -279,7 +280,7 @@ impl Directory {
                     agg_verifying_key(self.topo.config().seed, aggregator).verify(&message, &sig)
                 });
             if !authentic {
-                ctx.record(labels::FORGED_REGISTRATION, aggregator as f64);
+                out.record(labels::FORGED_REGISTRATION, aggregator as f64);
                 return;
             }
         }
@@ -308,7 +309,7 @@ impl Directory {
                 signature,
                 blob: Vec::new(),
             };
-            self.reject_update(ctx, &pv);
+            self.reject_update(out, &pv);
             return;
         }
         if self.key.is_some() {
@@ -330,15 +331,15 @@ impl Directory {
                 },
             );
             let get = IpfsWire::Get { cid, req_id };
-            ctx.send(self.topo.ipfs_node(0), get.wire_bytes(), Msg::Ipfs(get));
+            out.send(self.topo.ipfs_node(0), Msg::Ipfs(get));
         } else {
-            self.accept_update(ctx, partition, iter, cid, contributors);
+            self.accept_update(out, partition, iter, cid, contributors);
         }
     }
 
     fn accept_update(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        out: &mut Actions<Msg>,
         partition: usize,
         iter: u64,
         cid: Cid,
@@ -348,31 +349,31 @@ impl Directory {
         if let Some(set) = contributors {
             self.accepted_contributors.insert((partition, iter), set);
         }
-        ctx.record(labels::UPDATE_REGISTERED, partition as f64);
+        out.record(labels::UPDATE_REGISTERED, partition as f64);
     }
 
-    fn reject_update(&mut self, ctx: &mut Context<'_, Msg>, pv: &PendingVerify) {
+    fn reject_update(&mut self, out: &mut Actions<Msg>, pv: &PendingVerify) {
         self.rejected += 1;
-        ctx.record(labels::VERIFICATION_FAILED, pv.partition as f64);
+        out.record(labels::VERIFICATION_FAILED, pv.partition as f64);
         // A second event keyed by the offender, for forensic reports.
-        ctx.record("verification_failed_by", pv.aggregator as f64);
+        out.record("verification_failed_by", pv.aggregator as f64);
         if !pv.blob.is_empty() {
-            ctx.record(labels::WASTED_BYTES, pv.blob.len() as f64);
+            out.record(labels::WASTED_BYTES, pv.blob.len() as f64);
         }
-        self.maybe_issue_evidence(ctx, pv);
+        self.maybe_issue_evidence(out, pv);
         let msg = Msg::UpdateRejected {
             partition: pv.partition,
             iter: pv.iter,
             reason: "update does not open the accumulated commitment".to_string(),
         };
-        ctx.send(pv.from, msg.wire_bytes(), msg);
+        out.send(pv.from, msg);
     }
 
     /// Turns a failed, *signed* update verification into a transferable
     /// `BadUpdate` proof: the directory evicts the offender directly (it
     /// verified first-hand) and gossips the evidence so peer aggregators
     /// blacklist the slot too.
-    fn maybe_issue_evidence(&mut self, ctx: &mut Context<'_, Msg>, pv: &PendingVerify) {
+    fn maybe_issue_evidence(&mut self, out: &mut Actions<Msg>, pv: &PendingVerify) {
         if !self.topo.config().accountability || pv.blob.is_empty() {
             return;
         }
@@ -386,7 +387,7 @@ impl Directory {
         if !self.evidence_issued.insert((pv.aggregator, pv.iter)) {
             return;
         }
-        ctx.record(labels::MISBEHAVIOR_DETECTED, pv.aggregator as f64);
+        out.record(labels::MISBEHAVIOR_DETECTED, pv.aggregator as f64);
         let slots = self.topo.config().aggregators_per_partition;
         let mut record = Misbehavior {
             kind: MisbehaviorKind::BadUpdate,
@@ -403,21 +404,17 @@ impl Directory {
         };
         let sk = directory_signing_key(self.topo.config().seed);
         record.sign_as_detector(DIRECTORY_DETECTOR, &sk);
-        self.evict(ctx, pv.aggregator);
+        self.evict(out, pv.aggregator);
         let publish = IpfsWire::Publish {
             topic: EVIDENCE_TOPIC.to_string(),
             data: Bytes::from(record.encode()),
         };
-        ctx.send(
-            self.topo.ipfs_node(0),
-            publish.wire_bytes(),
-            Msg::Ipfs(publish),
-        );
+        out.send(self.topo.ipfs_node(0), Msg::Ipfs(publish));
     }
 
-    fn evict(&mut self, ctx: &mut Context<'_, Msg>, offender: usize) {
+    fn evict(&mut self, out: &mut Actions<Msg>, offender: usize) {
         if self.evicted.insert(offender) {
-            ctx.record(labels::EVICTED, offender as f64);
+            out.record(labels::EVICTED, offender as f64);
         }
     }
 
@@ -425,7 +422,7 @@ impl Directory {
     /// offender when the proof holds. The expected accumulator is derived
     /// from the directory's own registered commitments — never taken from
     /// the report.
-    fn on_report(&mut self, ctx: &mut Context<'_, Msg>, record_bytes: &[u8]) {
+    fn on_report(&mut self, out: &mut Actions<Msg>, record_bytes: &[u8]) {
         if !self.topo.config().accountability {
             return;
         }
@@ -466,11 +463,11 @@ impl Directory {
             return;
         };
         if record.verify(key, self.topo.config().seed, slots, &expected) {
-            self.evict(ctx, offender);
+            self.evict(out, offender);
         }
     }
 
-    fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8], ok: bool) {
+    fn on_update_blob(&mut self, out: &mut Actions<Msg>, req_id: u64, data: &[u8], ok: bool) {
         let Some(mut pv) = self.fetching.remove(&req_id) else {
             return;
         };
@@ -481,9 +478,9 @@ impl Directory {
                 // batch mode sees them as singleton batches; the ledger
                 // and the virtual TK_VERIFY charge below are unchanged.
                 Some(acc) if self.topo.config().batch_verify => {
-                    verify_blobs_timed(ctx, &key, &[(data, &acc)]).is_empty()
+                    verify_blobs_timed(out, &key, &[(data, &acc)]).is_empty()
                 }
-                Some(acc) => verify_blob_timed(ctx, &key, data, &acc),
+                Some(acc) => verify_blob_timed(out, &key, data, &acc),
                 None => false, // not all gradients registered: incomplete
             };
         pv.verdict = verdict;
@@ -494,10 +491,10 @@ impl Directory {
         self.next_verify += 1;
         let token = TK_VERIFY | self.next_verify;
         self.verifying.insert(self.next_verify, pv);
-        ctx.set_timer(SimDuration::from_micros(us), token);
+        out.set_timer(SimDuration::from_micros(us), token);
     }
 
-    fn maybe_finish_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn maybe_finish_round(&mut self, out: &mut Actions<Msg>, iter: u64) {
         // With a quorum configured, the round completes once that many
         // trainers report done: a crashed trainer must not stall the task.
         let needed = self
@@ -509,21 +506,37 @@ impl Directory {
         if !enough || !self.completed.insert(iter) {
             return;
         }
-        ctx.record(labels::ROUND_COMPLETE, iter as f64);
+        out.record(labels::ROUND_COMPLETE, iter as f64);
         if iter + 1 < self.topo.config().rounds {
-            self.broadcast_round(ctx, iter + 1);
+            self.broadcast_round(out, iter + 1);
         } else {
-            ctx.record(labels::TASK_COMPLETE, self.topo.config().rounds as f64);
+            out.record(labels::TASK_COMPLETE, self.topo.config().rounds as f64);
         }
     }
 }
 
-impl Actor<Msg> for Directory {
-    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.broadcast_round(ctx, 0);
-    }
+impl ProtocolCore for Directory {
+    type Msg = Msg;
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+    fn handle(&mut self, _now: SimTime, event: ProtocolEvent<Msg>, out: &mut Actions<Msg>) {
+        let (from, msg) = match event {
+            ProtocolEvent::Start => {
+                self.broadcast_round(out, 0);
+                return;
+            }
+            ProtocolEvent::Timer { token } => {
+                self.on_timer(out, token);
+                return;
+            }
+            ProtocolEvent::Fault { .. } => return,
+            ProtocolEvent::Message { from, msg } => (from, msg),
+        };
+        self.on_message(out, from, msg);
+    }
+}
+
+impl Directory {
+    fn on_timer(&mut self, out: &mut Actions<Msg>, token: u64) {
         if token & TK_VERIFY != 0 {
             let Some(pv) = self.verifying.remove(&(token & 0xFFFF_FFFF)) else {
                 return;
@@ -531,17 +544,17 @@ impl Actor<Msg> for Directory {
             if pv.verdict {
                 if !self.updates.contains_key(&(pv.partition, pv.iter)) {
                     let contributors = pv.contributors.clone();
-                    self.accept_update(ctx, pv.partition, pv.iter, pv.cid, contributors);
+                    self.accept_update(out, pv.partition, pv.iter, pv.cid, contributors);
                 }
                 // else: raced with an earlier valid registration; the
                 // audited blob verified, so there is nothing to report.
             } else {
-                self.reject_update(ctx, &pv);
+                self.reject_update(out, &pv);
             }
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+    fn on_message(&mut self, out: &mut Actions<Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::RegisterGradientBatch {
                 trainer,
@@ -560,11 +573,11 @@ impl Actor<Msg> for Directory {
                     true
                 };
                 if !authentic {
-                    ctx.record(labels::FORGED_REGISTRATION, trainer as f64);
+                    out.record(labels::FORGED_REGISTRATION, trainer as f64);
                     return;
                 }
                 if self.first_hash_seen.insert(iter) {
-                    ctx.record(labels::FIRST_GRADIENT_HASH, iter as f64);
+                    out.record(labels::FIRST_GRADIENT_HASH, iter as f64);
                 }
                 for (partition, cid, commitment) in entries {
                     self.gradients
@@ -598,11 +611,11 @@ impl Actor<Msg> for Directory {
                     &signature,
                 ) {
                     // Forged or unsigned registration: discard and flag.
-                    ctx.record(labels::FORGED_REGISTRATION, trainer as f64);
+                    out.record(labels::FORGED_REGISTRATION, trainer as f64);
                     return;
                 }
                 if self.first_hash_seen.insert(iter) {
-                    ctx.record(labels::FIRST_GRADIENT_HASH, iter as f64);
+                    out.record(labels::FIRST_GRADIENT_HASH, iter as f64);
                 }
                 self.gradients
                     .entry((partition, iter))
@@ -638,7 +651,7 @@ impl Actor<Msg> for Directory {
                     iter,
                     entries,
                 };
-                ctx.send(from, reply.wire_bytes(), reply);
+                out.send(from, reply);
             }
             Msg::QueryAccumulators { partition, iter } => {
                 let accumulated: Vec<Option<[u8; 33]>> =
@@ -653,7 +666,7 @@ impl Actor<Msg> for Directory {
                     iter,
                     accumulated,
                 };
-                ctx.send(from, reply.wire_bytes(), reply);
+                out.send(from, reply);
             }
             Msg::RegisterUpdate {
                 aggregator,
@@ -664,7 +677,7 @@ impl Actor<Msg> for Directory {
                 signature,
             } => {
                 self.on_register_update(
-                    ctx,
+                    out,
                     from,
                     aggregator,
                     partition,
@@ -675,7 +688,7 @@ impl Actor<Msg> for Directory {
                 );
             }
             Msg::ReportMisbehavior { record } => {
-                self.on_report(ctx, &record);
+                self.on_report(out, &record);
             }
             Msg::QueryTotalAccumulator { partition, iter } => {
                 // After a quorum-degraded round the accepted update opens
@@ -691,7 +704,7 @@ impl Actor<Msg> for Directory {
                     iter,
                     accumulated,
                 };
-                ctx.send(from, reply.wire_bytes(), reply);
+                out.send(from, reply);
             }
             Msg::QueryUpdate { partition, iter } => {
                 let cid = self.updates.get(&(partition, iter)).copied();
@@ -700,18 +713,18 @@ impl Actor<Msg> for Directory {
                     iter,
                     cid,
                 };
-                ctx.send(from, reply.wire_bytes(), reply);
+                out.send(from, reply);
             }
             Msg::TrainerDone { trainer, iter } => {
                 self.done.entry(iter).or_default().insert(trainer);
-                self.maybe_finish_round(ctx, iter);
+                self.maybe_finish_round(out, iter);
             }
             Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
                 let data = data.to_vec();
-                self.on_update_blob(ctx, req_id, &data, true);
+                self.on_update_blob(out, req_id, &data, true);
             }
             Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
-                self.on_update_blob(ctx, req_id, &[], false);
+                self.on_update_blob(out, req_id, &[], false);
             }
             // Other storage responses (acks for nothing we sent) and
             // protocol messages not addressed to the directory are ignored.
@@ -725,7 +738,7 @@ mod tests {
     use super::*;
     use crate::config::TaskConfig;
 
-    fn topo(verifiable: bool) -> Rc<Topology> {
+    fn topo(verifiable: bool) -> Arc<Topology> {
         let cfg = TaskConfig {
             trainers: 4,
             partitions: 2,
@@ -734,7 +747,7 @@ mod tests {
             verifiable,
             ..TaskConfig::default()
         };
-        Rc::new(Topology::new(cfg, 8).unwrap())
+        Arc::new(Topology::new(cfg, 8).unwrap())
     }
 
     #[test]
@@ -747,7 +760,7 @@ mod tests {
     fn accumulators_require_full_trainer_set() {
         use crate::gradient::{commit_blob, derive_key};
         let topo = topo(true);
-        let key = Rc::new(derive_key(topo.max_partition_len(), 0, true));
+        let key = Arc::new(derive_key(topo.max_partition_len(), 0, true));
         let mut dir = Directory::new(topo.clone(), Some(key.clone()));
 
         // Register commitments for trainers 0 and 2 (slot j=0 of |A_i|=2).

@@ -13,6 +13,7 @@ use dfl_crypto::pedersen::{CommitKey, Commitment};
 use dfl_crypto::quantize::{decode, encode, to_scalars, Quantized};
 
 use crate::error::IplsError;
+use crate::protocol::Actions;
 
 /// The curve the protocol's commitments use.
 pub type ProtocolCurve = Secp256k1;
@@ -112,19 +113,19 @@ pub fn verify_blob(key: &ProtocolKey, blob: &[u8], commitment: &ProtocolCommitme
 /// time is real (not simulated) and varies run to run; determinism
 /// comparisons deliberately cover only events and byte counters.
 pub fn verify_blob_timed<M>(
-    ctx: &mut dfl_netsim::Context<'_, M>,
+    out: &mut Actions<M>,
     key: &ProtocolKey,
     blob: &[u8],
     commitment: &ProtocolCommitment,
 ) -> bool {
     let started = std::time::Instant::now();
     let ok = verify_blob(key, blob, commitment);
-    ctx.observe(
+    out.observe(
         crate::labels::VERIFY_MS,
         started.elapsed().as_secs_f64() * 1e3,
     );
-    ctx.incr(crate::labels::BLOBS_VERIFIED, 1);
-    ctx.observe(crate::labels::VERIFY_BATCHED, 1.0);
+    out.incr(crate::labels::BLOBS_VERIFIED, 1);
+    out.observe(crate::labels::VERIFY_BATCHED, 1.0);
     ok
 }
 
@@ -150,15 +151,15 @@ pub fn verify_blob_timed<M>(
 ///
 /// Returns the sorted indices of the failing pairs (empty = all verified).
 pub fn verify_blobs_timed<M>(
-    ctx: &mut dfl_netsim::Context<'_, M>,
+    out: &mut Actions<M>,
     key: &ProtocolKey,
     items: &[(&[u8], &ProtocolCommitment)],
 ) -> Vec<usize> {
     if items.is_empty() {
         return Vec::new();
     }
-    ctx.incr(crate::labels::BLOBS_VERIFIED, items.len() as u64);
-    flush_verify_queue(ctx, key, items)
+    out.incr(crate::labels::BLOBS_VERIFIED, items.len() as u64);
+    flush_verify_queue(out, key, items)
 }
 
 /// [`verify_blobs_timed`] minus the
@@ -170,7 +171,7 @@ pub fn verify_blobs_timed<M>(
 /// per-blob path verifies it — so counter totals stay identical across
 /// modes even in rounds that stall before any flush happens.
 pub fn flush_verify_queue<M>(
-    ctx: &mut dfl_netsim::Context<'_, M>,
+    out: &mut Actions<M>,
     key: &ProtocolKey,
     items: &[(&[u8], &ProtocolCommitment)],
 ) -> Vec<usize> {
@@ -195,11 +196,11 @@ pub fn flush_verify_queue<M>(
         .collect();
     culprits.extend(key.batch_culprits(&entries).iter().map(|&j| decoded[j].0));
     culprits.sort_unstable();
-    ctx.observe(
+    out.observe(
         crate::labels::VERIFY_MS,
         started.elapsed().as_secs_f64() * 1e3,
     );
-    ctx.observe(crate::labels::VERIFY_BATCHED, items.len() as f64);
+    out.observe(crate::labels::VERIFY_BATCHED, items.len() as f64);
     culprits
 }
 

@@ -20,8 +20,13 @@
 //! * **storage nodes** (from [`dfl_ipfs`]) provide availability, provider
 //!   routing, replication, and storage-side pre-aggregation.
 //!
-//! [`runner::run_task`] assembles all of this and reports the delay
-//! metrics of §V.
+//! The three protocol state machines are **sans-io** ([`protocol`]): they
+//! consume [`ProtocolEvent`]s and emit [`ProtocolAction`]s, and never touch
+//! a socket, clock, or simulator directly. A backend interprets the
+//! actions: [`runner::run_task`] drives the cores inside the deterministic
+//! network simulator and reports the delay metrics of §V, while the
+//! `dfl-backend-tokio` crate drives the identical cores over real TCP
+//! sockets.
 //!
 //! ```
 //! use dfl_ml::{data, LogisticRegression, Model, SgdConfig};
@@ -47,6 +52,7 @@ pub mod error;
 pub mod gradient;
 pub mod labels;
 pub mod messages;
+pub mod protocol;
 pub mod runner;
 pub mod trainer;
 
@@ -55,6 +61,7 @@ pub mod trainer;
 /// Covers what nearly every experiment touches — configuration
 /// ([`TaskConfig`] and its builder, [`CommMode`], [`Topology`]), the
 /// runner entry points ([`run_task`], [`TaskReport`], [`RoundMetrics`]),
+/// the sans-io protocol boundary ([`ProtocolEvent`], [`ProtocolAction`]),
 /// adversary [`Behavior`], the error type, and the network-simulation
 /// vocabulary types ([`prelude::SimDuration`], [`prelude::SimTime`],
 /// [`prelude::FaultPlan`], [`prelude::Fault`], [`prelude::LinkSpec`],
@@ -63,17 +70,22 @@ pub mod prelude {
     pub use crate::adversary::Behavior;
     pub use crate::config::{CommMode, TaskConfig, TaskConfigBuilder, Topology};
     pub use crate::error::IplsError;
+    pub use crate::protocol::{ProtocolAction, ProtocolEvent};
     pub use crate::runner::{run_task, RoundMetrics, TaskReport};
     pub use dfl_netsim::{Fault, FaultPlan, LinkSpec, NodeId, SimDuration, SimTime};
 }
 
-pub use accountability::{Misbehavior, MisbehaviorKind};
-pub use addressing::{Addr, ObjectKind, Uploader};
+// The crate-root surface: the state machines, the event/action boundary
+// they speak, the configuration and runner entry points, and the message
+// enum backends transport. Everything else (addressing tuples, evidence
+// records, wire payloads, trace labels) is deliberately *not* re-exported
+// here — reach through the owning module so internals read as internals.
 pub use adversary::Behavior;
 pub use aggregator::Aggregator;
 pub use config::{CommMode, TaskConfig, TaskConfigBuilder, Topology};
 pub use directory::Directory;
 pub use error::IplsError;
-pub use messages::{Msg, SyncAnnounce};
+pub use messages::Msg;
+pub use protocol::{ProtocolAction, ProtocolCore, ProtocolEvent};
 pub use runner::{run_task, RoundMetrics, TaskReport};
 pub use trainer::Trainer;

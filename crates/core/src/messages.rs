@@ -304,6 +304,12 @@ pub enum Msg {
     },
 }
 
+impl crate::protocol::WireCost for Msg {
+    fn wire_bytes(&self) -> u64 {
+        Msg::wire_bytes(self)
+    }
+}
+
 impl Msg {
     /// Wire size of the message in bytes.
     pub fn wire_bytes(&self) -> u64 {
@@ -549,5 +555,114 @@ mod tests {
         let c = update_message(3, 0, 2, &cid, &None);
         let d = update_message(3, 0, 2, &cid, &Some(vec![0, 1, 2]));
         assert_ne!(c, d);
+    }
+
+    // -- golden vectors -----------------------------------------------------
+    //
+    // The canonical signing byte strings are a wire format: every deployed
+    // signer and verifier must build the identical bytes, so the layout may
+    // never drift. These tests pin it byte for byte against hardcoded hex —
+    // if one fails, the change is a protocol break, not a refactor.
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn registration_message_golden_vector() {
+        let cid = Cid::from_bytes([0xab; 32]);
+        let expected = concat!(
+            "69706c732d72656769737465722d6772616469656e74", // "ipls-register-gradient"
+            "0000000000000003",                             // trainer 3
+            "0000000000000001",                             // partition 1
+            "0000000000000002",                             // iter 2
+            "abababababababababababababababababababababababababababababababab",
+            "01", // commitment present
+            "cdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd",
+        );
+        assert_eq!(
+            hex(&registration_message(3, 1, 2, &cid, &Some([0xcd; 33]))),
+            expected
+        );
+
+        let expected_bare = concat!(
+            "69706c732d72656769737465722d6772616469656e74",
+            "0000000000000003",
+            "0000000000000001",
+            "0000000000000002",
+            "abababababababababababababababababababababababababababababababab",
+            "00", // no commitment
+        );
+        assert_eq!(
+            hex(&registration_message(3, 1, 2, &cid, &None)),
+            expected_bare
+        );
+    }
+
+    #[test]
+    fn batch_registration_message_golden_vector() {
+        let entries = vec![
+            (0usize, Cid::from_bytes([0x11; 32]), None),
+            (1usize, Cid::from_bytes([0x22; 32]), Some([0x33; 33])),
+        ];
+        let expected = concat!(
+            "69706c732d72656769737465722d6261746368", // "ipls-register-batch"
+            "0000000000000002",                       // trainer 2
+            "0000000000000005",                       // iter 5
+            // entry (partition 0, cid 0x11…, no commitment)
+            "0000000000000000",
+            "1111111111111111111111111111111111111111111111111111111111111111",
+            "00",
+            // entry (partition 1, cid 0x22…, commitment 0x33…)
+            "0000000000000001",
+            "2222222222222222222222222222222222222222222222222222222222222222",
+            "01",
+            "333333333333333333333333333333333333333333333333333333333333333333",
+        );
+        assert_eq!(hex(&batch_registration_message(2, 5, &entries)), expected);
+    }
+
+    #[test]
+    fn announce_message_golden_vector() {
+        let cid = Cid::from_bytes([0x44; 32]);
+        let expected = concat!(
+            "69706c732d73796e632d616e6e6f756e6365", // "ipls-sync-announce"
+            "0000000000000001",                     // partition 1
+            "0000000000000000",                     // agg_j 0
+            "0000000000000007",                     // iter 7
+            "4444444444444444444444444444444444444444444444444444444444444444",
+            "0003",         // 3 contributors
+            "000000020005", // ranks 0, 2, 5
+        );
+        assert_eq!(hex(&announce_message(1, 0, 7, &cid, &[0, 2, 5])), expected);
+    }
+
+    #[test]
+    fn update_message_golden_vector() {
+        let cid = Cid::from_bytes([0x55; 32]);
+        let expected = concat!(
+            "69706c732d72656769737465722d757064617465", // "ipls-register-update"
+            "0000000000000004",                         // aggregator 4
+            "0000000000000000",                         // partition 0
+            "0000000000000009",                         // iter 9
+            "5555555555555555555555555555555555555555555555555555555555555555",
+            "01",               // contributor set present
+            "00000002",         // 2 contributors
+            "0000000100000003", // trainers 1, 3
+        );
+        assert_eq!(
+            hex(&update_message(4, 0, 9, &cid, &Some(vec![1, 3]))),
+            expected
+        );
+
+        let expected_full = concat!(
+            "69706c732d72656769737465722d757064617465",
+            "0000000000000004",
+            "0000000000000000",
+            "0000000000000009",
+            "5555555555555555555555555555555555555555555555555555555555555555",
+            "00", // full membership
+        );
+        assert_eq!(hex(&update_message(4, 0, 9, &cid, &None)), expected_full);
     }
 }

@@ -2,11 +2,10 @@
 //! aggregators, trainers), runs the configured number of rounds, and
 //! extracts the delay metrics the paper's evaluation reports.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use dfl_ipfs::{IpfsActor, IpfsNode, RetryPolicy};
+use dfl_ipfs::{IpfsNode, RetryPolicy};
 use dfl_ml::{Dataset, Model, SgdConfig};
 use dfl_netsim::{NodeId, SimTime, Simulation, Trace};
 
@@ -17,6 +16,7 @@ use crate::error::IplsError;
 use crate::gradient::{derive_key, ProtocolKey};
 use crate::labels;
 use crate::messages::Msg;
+use crate::protocol::{IpfsCore, NetsimAdapter};
 use crate::trainer::{ParamSink, Trainer};
 use crate::Aggregator;
 
@@ -128,7 +128,7 @@ pub fn run_task<M: Model + Clone + 'static>(
     sgd: SgdConfig,
     behaviors: &[(usize, Behavior)],
 ) -> Result<TaskReport, IplsError> {
-    let topo = Rc::new(Topology::new(cfg.clone(), initial_params.len())?);
+    let topo = Arc::new(Topology::new(cfg.clone(), initial_params.len())?);
     if datasets.len() != cfg.trainers {
         return Err(IplsError::InvalidConfig(format!(
             "{} datasets for {} trainers",
@@ -158,8 +158,8 @@ pub fn run_task<M: Model + Clone + 'static>(
         }
     }
 
-    let key: Option<Rc<ProtocolKey>> = cfg.verifiable.then(|| {
-        Rc::new(derive_key(
+    let key: Option<Arc<ProtocolKey>> = cfg.verifiable.then(|| {
+        Arc::new(derive_key(
             topo.max_partition_len(),
             cfg.seed,
             cfg.commit_precompute,
@@ -173,10 +173,13 @@ pub fn run_task<M: Model + Clone + 'static>(
     sim.set_time_limit(SimTime::from_micros(limit_us));
 
     let link = cfg.link();
-    let sink: ParamSink = Rc::new(RefCell::new(HashMap::new()));
+    let sink: ParamSink = Arc::new(Mutex::new(HashMap::new()));
 
     // Node 0: the directory (bootstrapper).
-    let dir_id = sim.add_node(Directory::new(topo.clone(), key.clone()), link);
+    let dir_id = sim.add_node(
+        NetsimAdapter::new(Directory::new(topo.clone(), key.clone())),
+        link,
+    );
     assert_eq!(dir_id, topo.directory());
 
     // Storage nodes (possibly on faster infrastructure links).
@@ -191,7 +194,7 @@ pub fn run_task<M: Model + Clone + 'static>(
         if cfg.lossy_ipfs_nodes.contains(&k) {
             node.set_lossy(true);
         }
-        let id = sim.add_node(IpfsActor::new(node), ipfs_link);
+        let id = sim.add_node(NetsimAdapter::new(IpfsCore::new(node)), ipfs_link);
         assert_eq!(id, topo.ipfs_node(k));
     }
 
@@ -205,7 +208,12 @@ pub fn run_task<M: Model + Clone + 'static>(
     };
     for g in 0..cfg.total_aggregators() {
         let id = sim.add_node(
-            Aggregator::new(g, topo.clone(), key.clone(), behavior_of(g)),
+            NetsimAdapter::new(Aggregator::new(
+                g,
+                topo.clone(),
+                key.clone(),
+                behavior_of(g),
+            )),
             link,
         );
         assert_eq!(id, topo.aggregator(g));
@@ -214,7 +222,7 @@ pub fn run_task<M: Model + Clone + 'static>(
     // Trainers.
     for (t, dataset) in datasets.into_iter().enumerate() {
         let id = sim.add_node(
-            Trainer::new(
+            NetsimAdapter::new(Trainer::new(
                 t,
                 topo.clone(),
                 key.clone(),
@@ -223,7 +231,7 @@ pub fn run_task<M: Model + Clone + 'static>(
                 dataset,
                 sgd,
                 sink.clone(),
-            ),
+            )),
             link,
         );
         assert_eq!(id, topo.trainer(t));
@@ -233,7 +241,7 @@ pub fn run_task<M: Model + Clone + 'static>(
 
     sim.run();
     let trace = sim.into_trace();
-    let params = sink.borrow().clone();
+    let params = sink.lock().expect("param sink").clone();
     Ok(build_report(&topo, &trace, &params))
 }
 

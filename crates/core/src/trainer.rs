@@ -7,15 +7,14 @@
 //! directory, then poll for the globally updated partitions, divide by the
 //! counter, and rebuild the model.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
 use dfl_ipfs::{Cid, IpfsWire};
 use dfl_ml::{local_update, Dataset, Model, SgdConfig};
-use dfl_netsim::{Actor, Context, NodeId, SimDuration, SimTime};
+use dfl_netsim::{NodeId, SimDuration, SimTime};
 
 use dfl_crypto::schnorr::SigningKey;
 
@@ -26,20 +25,22 @@ use crate::gradient::{
 };
 use crate::labels;
 use crate::messages::{batch_registration_message, registration_message, Msg};
+use crate::protocol::{Actions, ProtocolCore, ProtocolEvent};
 
 const TK_TRAIN: u64 = 1 << 32;
 const TK_POLL: u64 = 2 << 32;
 const TK_RETRY: u64 = 3 << 32;
 
 /// Shared sink the runner reads trainers' final parameters from after the
-/// simulation ends.
-pub type ParamSink = Rc<RefCell<HashMap<usize, Vec<f32>>>>;
+/// run ends. `Arc<Mutex<..>>` so socket backends can host each trainer on
+/// its own thread; in the single-threaded simulator the lock is free.
+pub type ParamSink = Arc<Mutex<HashMap<usize, Vec<f32>>>>;
 
 /// The trainer actor.
 pub struct Trainer<M: Model> {
     t: usize,
-    topo: Rc<Topology>,
-    key: Option<Rc<ProtocolKey>>,
+    topo: Arc<Topology>,
+    key: Option<Arc<ProtocolKey>>,
     model: M,
     dataset: Dataset,
     sgd: SgdConfig,
@@ -89,8 +90,8 @@ impl<M: Model> Trainer<M> {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         t: usize,
-        topo: Rc<Topology>,
-        key: Option<Rc<ProtocolKey>>,
+        topo: Arc<Topology>,
+        key: Option<Arc<ProtocolKey>>,
         model: M,
         initial_params: Vec<f32>,
         dataset: Dataset,
@@ -159,9 +160,9 @@ impl<M: Model> Trainer<M> {
         self.topo.config().seed + self.iter * 1000 + self.t as u64
     }
 
-    fn begin_round(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn begin_round(&mut self, now: SimTime, out: &mut Actions<Msg>, iter: u64) {
         self.iter = iter;
-        self.round_start = ctx.now();
+        self.round_start = now;
         self.finished = false;
         self.blobs.clear();
         self.pending_acks.clear();
@@ -179,7 +180,7 @@ impl<M: Model> Trainer<M> {
         let replicate = self.topo.config().replication;
         for (target, cid) in std::mem::take(&mut self.uploads) {
             let unpin = IpfsWire::Unpin { cid, replicate };
-            ctx.send(target, unpin.wire_bytes(), Msg::Ipfs(unpin));
+            out.send(target, Msg::Ipfs(unpin));
         }
 
         // Train now (real computation), charge the virtual compute time,
@@ -208,17 +209,17 @@ impl<M: Model> Trainer<M> {
 
         let compute = self.topo.config().train_compute
             + SimDuration::from_micros(self.topo.config().commit_us_per_element * commit_elements);
-        ctx.set_timer(compute, TK_TRAIN);
+        out.set_timer(compute, TK_TRAIN);
     }
 
-    fn upload(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn upload(&mut self, now: SimTime, out: &mut Actions<Msg>) {
         // Abort the round if training blew the t_train deadline
         // (Algorithm 1, lines 10–12): skip uploading, but keep polling so
         // the trainer still picks up the next global model.
         let deadline = self.round_start + self.topo.config().t_train;
-        if ctx.now() > deadline {
-            ctx.record("train_abort", self.iter as f64);
-            self.start_polling(ctx);
+        if now > deadline {
+            out.record("train_abort", self.iter as f64);
+            self.start_polling(out);
             return;
         }
 
@@ -234,7 +235,7 @@ impl<M: Model> Trainer<M> {
                         iter: self.iter,
                         data: Bytes::from(blob.clone()),
                     };
-                    ctx.send(to, msg.wire_bytes(), msg);
+                    out.send(to, msg);
                     // Register the hash (and commitment) with the directory
                     // so the aggregation-delay metric and the verification
                     // path work identically across communication modes.
@@ -248,12 +249,12 @@ impl<M: Model> Trainer<M> {
                         commitment: *commitment,
                         signature,
                     };
-                    ctx.send(self.topo.directory(), register.wire_bytes(), register);
+                    out.send(self.topo.directory(), register);
                 }
-                self.start_polling(ctx);
+                self.start_polling(out);
             }
             CommMode::Indirect | CommMode::MergeAndDownload => {
-                ctx.record(labels::UPLOAD_START, self.iter as f64);
+                out.record(labels::UPLOAD_START, self.iter as f64);
                 for i in 0..self.topo.config().partitions {
                     let (blob, _) = &self.blobs[&i];
                     let req_id = self.next_req + 1;
@@ -268,9 +269,9 @@ impl<M: Model> Trainer<M> {
                         .topo
                         .upload_target(i, self.t)
                         .expect("storage-backed mode routes uploads through storage");
-                    ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
+                    out.send(to, Msg::Ipfs(put));
                 }
-                self.arm_retry(ctx);
+                self.arm_retry(out);
             }
         }
     }
@@ -278,20 +279,20 @@ impl<M: Model> Trainer<M> {
     /// Arms the storage-retransmission timer: a Put or Get sent to a
     /// storage node that crashes before answering is silently lost, so
     /// anything still unanswered after `fetch_timeout` is re-sent.
-    fn arm_retry(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn arm_retry(&mut self, out: &mut Actions<Msg>) {
         if !self.retrying {
             self.retrying = true;
             let token = TK_RETRY | (self.iter & 0xFFFF_FFFF);
-            ctx.set_timer(self.topo.config().fetch_timeout, token);
+            out.set_timer(self.topo.config().fetch_timeout, token);
         }
     }
 
-    fn on_retry(&mut self, ctx: &mut Context<'_, Msg>, iter: u64) {
+    fn on_retry(&mut self, out: &mut Actions<Msg>, iter: u64) {
         self.retrying = false;
         if iter != self.iter || self.finished {
             // Stale timer from a previous round; re-cover the current one.
             if !self.pending_acks.is_empty() || !self.pending_gets.is_empty() {
-                self.arm_retry(ctx);
+                self.arm_retry(out);
             }
             return;
         }
@@ -310,7 +311,7 @@ impl<M: Model> Trainer<M> {
                 .topo
                 .upload_target(partition, self.t)
                 .expect("retries only exist for storage-backed uploads");
-            ctx.send(to, put.wire_bytes(), Msg::Ipfs(put));
+            out.send(to, Msg::Ipfs(put));
         }
         let mut gets: Vec<(u64, Cid)> = self
             .pending_gets
@@ -321,14 +322,14 @@ impl<M: Model> Trainer<M> {
         let gateway = self.topo.trainer_gateway(self.t);
         for (req_id, cid) in gets {
             let get = IpfsWire::Get { cid, req_id };
-            ctx.send(gateway, get.wire_bytes(), Msg::Ipfs(get));
+            out.send(gateway, Msg::Ipfs(get));
         }
         if !self.pending_acks.is_empty() || !self.pending_gets.is_empty() {
-            self.arm_retry(ctx);
+            self.arm_retry(out);
         }
     }
 
-    fn on_put_ack(&mut self, ctx: &mut Context<'_, Msg>, cid: Cid, req_id: u64) {
+    fn on_put_ack(&mut self, out: &mut Actions<Msg>, cid: Cid, req_id: u64) {
         let Some(partition) = self.pending_acks.remove(&req_id) else {
             return;
         };
@@ -352,7 +353,7 @@ impl<M: Model> Trainer<M> {
                 commitment,
                 signature,
             };
-            ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+            out.send(self.topo.directory(), msg);
         }
         self.acked += 1;
         if self.acked == self.topo.config().partitions {
@@ -368,22 +369,22 @@ impl<M: Model> Trainer<M> {
                     entries,
                     signature,
                 };
-                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+                out.send(self.topo.directory(), msg);
             }
             // Upload delay = last store acknowledgment − upload start (§V).
-            ctx.record(labels::UPLOAD_DONE, self.iter as f64);
-            self.start_polling(ctx);
+            out.record(labels::UPLOAD_DONE, self.iter as f64);
+            self.start_polling(out);
         }
     }
 
-    fn start_polling(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn start_polling(&mut self, out: &mut Actions<Msg>) {
         if !self.polling {
             self.polling = true;
-            ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+            out.set_timer(self.topo.config().poll_interval, TK_POLL);
         }
     }
 
-    fn poll(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn poll(&mut self, out: &mut Actions<Msg>) {
         if self.finished {
             self.polling = false;
             return;
@@ -396,7 +397,7 @@ impl<M: Model> Trainer<M> {
                     partition: i,
                     iter: self.iter,
                 };
-                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+                out.send(self.topo.directory(), msg);
             }
             if self.topo.config().trainer_verifies
                 && !self.received.contains_key(&i)
@@ -407,17 +408,17 @@ impl<M: Model> Trainer<M> {
                     partition: i,
                     iter: self.iter,
                 };
-                ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+                out.send(self.topo.directory(), msg);
             }
         }
         if outstanding || !self.fetching.is_empty() {
-            ctx.set_timer(self.topo.config().poll_interval, TK_POLL);
+            out.set_timer(self.topo.config().poll_interval, TK_POLL);
         } else {
             self.polling = false;
         }
     }
 
-    fn on_update_info(&mut self, ctx: &mut Context<'_, Msg>, partition: usize, cid: Option<Cid>) {
+    fn on_update_info(&mut self, out: &mut Actions<Msg>, partition: usize, cid: Option<Cid>) {
         let Some(cid) = cid else { return };
         if self.finished
             || self.received.contains_key(&partition)
@@ -431,21 +432,21 @@ impl<M: Model> Trainer<M> {
         self.pending_gets.insert(req_id, (partition, cid));
         let get = IpfsWire::Get { cid, req_id };
         let gateway = self.topo.trainer_gateway(self.t);
-        ctx.send(gateway, get.wire_bytes(), Msg::Ipfs(get));
-        self.arm_retry(ctx);
+        out.send(gateway, Msg::Ipfs(get));
+        self.arm_retry(out);
     }
 
-    fn on_update_blob(&mut self, ctx: &mut Context<'_, Msg>, req_id: u64, data: &[u8]) {
+    fn on_update_blob(&mut self, out: &mut Actions<Msg>, req_id: u64, data: &[u8]) {
         let Some((partition, _)) = self.pending_gets.remove(&req_id) else {
             return;
         };
         self.fetching.remove(&partition);
-        self.accept_update(ctx, partition, data.to_vec());
+        self.accept_update(out, partition, data.to_vec());
     }
 
     /// Validates (and in trainer-verification mode, cryptographically
     /// verifies) a downloaded update blob, then applies it.
-    fn accept_update(&mut self, ctx: &mut Context<'_, Msg>, partition: usize, data: Vec<u8>) {
+    fn accept_update(&mut self, out: &mut Actions<Msg>, partition: usize, data: Vec<u8>) {
         if self.finished || self.received.contains_key(&partition) {
             return;
         }
@@ -460,12 +461,12 @@ impl<M: Model> Trainer<M> {
                         // now — the instant the per-blob path verifies —
                         // so `blobs_verified` totals match per-blob mode
                         // even in rounds that never complete.
-                        ctx.incr(labels::BLOBS_VERIFIED, 1);
+                        out.incr(labels::BLOBS_VERIFIED, 1);
                         self.pending_verify.push((partition, data.clone(), acc));
-                    } else if !verify_blob_timed(ctx, &key, &data, &acc) {
+                    } else if !verify_blob_timed(out, &key, &data, &acc) {
                         // Never accept an unverified update (the poll loop
                         // will re-fetch if a correct one appears).
-                        ctx.record("trainer_rejected_update", partition as f64);
+                        out.record("trainer_rejected_update", partition as f64);
                         return;
                     }
                 }
@@ -483,8 +484,8 @@ impl<M: Model> Trainer<M> {
             return;
         }
         self.received.insert(partition, averaged);
-        if self.received.len() == self.topo.config().partitions && self.flush_pending_verify(ctx) {
-            self.finish_round(ctx);
+        if self.received.len() == self.topo.config().partitions && self.flush_pending_verify(out) {
+            self.finish_round(out);
         }
     }
 
@@ -493,7 +494,7 @@ impl<M: Model> Trainer<M> {
     /// finish (no culprits). A culprit partition is rejected exactly as
     /// the per-blob path rejects it at arrival — dropped from `received`
     /// so the poll loop re-fetches it.
-    fn flush_pending_verify(&mut self, ctx: &mut Context<'_, Msg>) -> bool {
+    fn flush_pending_verify(&mut self, out: &mut Actions<Msg>) -> bool {
         if self.pending_verify.is_empty() {
             return true;
         }
@@ -507,16 +508,16 @@ impl<M: Model> Trainer<M> {
             .collect();
         // Blobs were counted at enqueue time; the flush books only the
         // wall-clock and batch-size metrics.
-        let culprits = flush_verify_queue(ctx, &key, &items);
+        let culprits = flush_verify_queue(out, &key, &items);
         for &i in &culprits {
             let partition = pending[i].0;
-            ctx.record("trainer_rejected_update", partition as f64);
+            out.record("trainer_rejected_update", partition as f64);
             self.received.remove(&partition);
         }
         culprits.is_empty()
     }
 
-    fn finish_round(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn finish_round(&mut self, out: &mut Actions<Msg>) {
         self.finished = true;
         // Rebuild the full model by concatenating updated partitions
         // (Algorithm 1, line 23).
@@ -524,27 +525,45 @@ impl<M: Model> Trainer<M> {
             let (s, e) = self.topo.partition_range(i);
             self.params[s..e].copy_from_slice(&values);
         }
-        self.sink.borrow_mut().insert(self.t, self.params.clone());
-        ctx.record(labels::TRAINER_ROUND_DONE, self.iter as f64);
+        self.sink
+            .lock()
+            .expect("param sink")
+            .insert(self.t, self.params.clone());
+        out.record(labels::TRAINER_ROUND_DONE, self.iter as f64);
         let msg = Msg::TrainerDone {
             trainer: self.t,
             iter: self.iter,
         };
-        ctx.send(self.topo.directory(), msg.wire_bytes(), msg);
+        out.send(self.topo.directory(), msg);
         self.polling = false;
     }
 }
 
-impl<M: Model> Actor<Msg> for Trainer<M> {
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+impl<M: Model> ProtocolCore for Trainer<M> {
+    type Msg = Msg;
+
+    fn handle(&mut self, now: SimTime, event: ProtocolEvent<Msg>, out: &mut Actions<Msg>) {
+        let msg = match event {
+            ProtocolEvent::Message { msg, .. } => msg,
+            ProtocolEvent::Timer { token } => {
+                match token & !0xFFFF_FFFF {
+                    TK_TRAIN => self.upload(now, out),
+                    TK_POLL => self.poll(out),
+                    TK_RETRY => self.on_retry(out, token & 0xFFFF_FFFF),
+                    _ => {}
+                }
+                return;
+            }
+            ProtocolEvent::Start | ProtocolEvent::Fault { .. } => return,
+        };
         match msg {
-            Msg::StartRound { iter } => self.begin_round(ctx, iter),
+            Msg::StartRound { iter } => self.begin_round(now, out, iter),
             Msg::UpdateInfo {
                 partition,
                 iter,
                 cid,
             } if iter == self.iter => {
-                self.on_update_info(ctx, partition, cid);
+                self.on_update_info(out, partition, cid);
             }
             Msg::TotalAccumulator {
                 partition,
@@ -554,14 +573,14 @@ impl<M: Model> Actor<Msg> for Trainer<M> {
                 if let Some(c) = accumulated.and_then(|b| ProtocolCommitment::from_bytes(&b)) {
                     self.accumulators.entry(partition).or_insert(c);
                     if let Some(blob) = self.unverified_updates.remove(&partition) {
-                        self.accept_update(ctx, partition, blob);
+                        self.accept_update(out, partition, blob);
                     }
                 }
             }
-            Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(ctx, cid, req_id),
+            Msg::Ipfs(IpfsWire::PutAck { cid, req_id }) => self.on_put_ack(out, cid, req_id),
             Msg::Ipfs(IpfsWire::GetOk { data, req_id, .. }) => {
                 let data = data.to_vec();
-                self.on_update_blob(ctx, req_id, &data);
+                self.on_update_blob(out, req_id, &data);
             }
             Msg::Ipfs(IpfsWire::GetErr { req_id, .. }) => {
                 // Allow the poll loop to retry the partition.
@@ -569,15 +588,6 @@ impl<M: Model> Actor<Msg> for Trainer<M> {
                     self.fetching.remove(&partition);
                 }
             }
-            _ => {}
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
-        match token & !0xFFFF_FFFF {
-            TK_TRAIN => self.upload(ctx),
-            TK_POLL => self.poll(ctx),
-            TK_RETRY => self.on_retry(ctx, token & 0xFFFF_FFFF),
             _ => {}
         }
     }

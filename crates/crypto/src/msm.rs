@@ -70,10 +70,6 @@ pub enum Strategy {
 }
 
 /// Builder-style MSM entry point: `Msm::new(points).eval(scalars)`.
-///
-/// Replaces the former `msm_naive` / `msm_wnaf` / `msm_pippenger` /
-/// `msm_auto` free functions (still present as deprecated wrappers for one
-/// release).
 #[derive(Copy, Clone, Debug)]
 pub struct Msm<'a, C: Curve> {
     points: &'a [Affine<C>],
@@ -565,63 +561,6 @@ where
     left.add(&right)
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated free-function API (kept for one release)
-// ---------------------------------------------------------------------------
-
-/// Naive MSM: independent double-and-add per term, summed.
-///
-/// # Panics
-///
-/// Panics if `points` and `scalars` have different lengths.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Msm::new(points).with_strategy(Strategy::Naive).eval(scalars)"
-)]
-pub fn msm_naive<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    Msm::new(points)
-        .with_strategy(Strategy::Naive)
-        .eval(scalars)
-}
-
-/// MSM using a per-term width-5 wNAF ladder.
-///
-/// # Panics
-///
-/// Panics if `points` and `scalars` have different lengths.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Msm::new(points).with_strategy(Strategy::Wnaf).eval(scalars)"
-)]
-pub fn msm_wnaf<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    Msm::new(points).with_strategy(Strategy::Wnaf).eval(scalars)
-}
-
-/// Pippenger bucket MSM with Jacobian accumulation.
-///
-/// # Panics
-///
-/// Panics if `points` and `scalars` have different lengths.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Msm::new(points).with_strategy(Strategy::Pippenger).eval(scalars)"
-)]
-pub fn msm_pippenger<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    Msm::new(points)
-        .with_strategy(Strategy::Pippenger)
-        .eval(scalars)
-}
-
-/// Picks an MSM strategy by input size.
-///
-/// # Panics
-///
-/// Panics if `points` and `scalars` have different lengths.
-#[deprecated(since = "0.2.0", note = "use Msm::new(points).eval(scalars)")]
-pub fn msm_auto<C: Curve>(points: &[Affine<C>], scalars: &[Scalar<C>]) -> Jacobian<C> {
-    Msm::new(points).eval(scalars)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -861,17 +800,6 @@ mod tests {
             );
         }
         assert_eq!(MsmTable::build(&points).eval(&scalars), reference);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let (points, scalars) = random_instance(10, 77);
-        let reference = eval_with(&points, &scalars, Strategy::Naive);
-        assert_eq!(msm_naive(&points, &scalars), reference);
-        assert_eq!(msm_wnaf(&points, &scalars), reference);
-        assert_eq!(msm_pippenger(&points, &scalars), reference);
-        assert_eq!(msm_auto(&points, &scalars), reference);
     }
 
     #[cfg(feature = "rayon")]

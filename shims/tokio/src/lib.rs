@@ -1,0 +1,209 @@
+//! Offline stand-in for the `tokio` crate.
+//!
+//! The build has no network access, so (like every crate in `shims/`) this
+//! reimplements the API subset the workspace uses on top of the standard
+//! library. The futures returned here complete their work *inside the
+//! first `poll`* — blocking on the underlying std call — so the
+//! [`runtime::Runtime::block_on`] executor is a plain poll loop and
+//! concurrency comes from [`task::spawn_blocking`] OS threads. That is a
+//! faithful-enough execution model for `dfl-backend-tokio`, whose node
+//! loops are blocking threads by design; swap in the real tokio and the
+//! same code runs unchanged with a work-stealing reactor instead.
+
+use std::future::Future;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(|_| RAW, |_| {}, |_| {}, |_| {});
+    const RAW: RawWaker = RawWaker::new(std::ptr::null(), &VTABLE);
+    // SAFETY: the vtable functions are all no-ops over a null pointer.
+    unsafe { Waker::from_raw(RAW) }
+}
+
+/// Single-threaded executor driving ready-on-first-poll futures.
+pub mod runtime {
+    use super::*;
+
+    /// The shim runtime. Holds no reactor: futures block internally.
+    pub struct Runtime {}
+
+    impl Runtime {
+        /// Builds a runtime.
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime {})
+        }
+
+        /// Polls `fut` to completion on the calling thread.
+        pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+            let mut fut = Box::pin(fut);
+            let waker = noop_waker();
+            let mut cx = Context::from_waker(&waker);
+            loop {
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(out) => return out,
+                    // Shim futures block inside poll, so Pending only
+                    // appears if a user future yields voluntarily; spin
+                    // with a short sleep rather than busy-wait.
+                    Poll::Pending => std::thread::sleep(std::time::Duration::from_millis(1)),
+                }
+            }
+        }
+    }
+}
+
+/// TCP types with async signatures over blocking std sockets.
+pub mod net {
+    use std::io;
+    use std::net::SocketAddr;
+
+    /// Async-flavoured wrapper around [`std::net::TcpListener`].
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+        pub async fn bind(addr: &str) -> io::Result<TcpListener> {
+            Ok(TcpListener {
+                inner: std::net::TcpListener::bind(addr)?,
+            })
+        }
+
+        /// The bound local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Waits for one inbound connection.
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, peer) = self.inner.accept()?;
+            Ok((TcpStream { inner: stream }, peer))
+        }
+
+        /// Unwraps into the blocking std listener (for use on a
+        /// [`crate::task::spawn_blocking`] thread).
+        pub fn into_std(self) -> io::Result<std::net::TcpListener> {
+            Ok(self.inner)
+        }
+    }
+
+    /// Async-flavoured wrapper around [`std::net::TcpStream`].
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr`.
+        pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            Ok(TcpStream {
+                inner: std::net::TcpStream::connect(addr)?,
+            })
+        }
+
+        /// Unwraps into the blocking std stream.
+        pub fn into_std(self) -> io::Result<std::net::TcpStream> {
+            Ok(self.inner)
+        }
+    }
+}
+
+/// Blocking-task offload.
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    /// Error joining a spawned task (the closure panicked).
+    #[derive(Debug)]
+    pub struct JoinError;
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "spawned task panicked")
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    /// Handle to a spawned blocking task; awaiting it joins the thread.
+    pub struct JoinHandle<T> {
+        thread: Option<std::thread::JoinHandle<T>>,
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let handle = self
+                .thread
+                .take()
+                .expect("JoinHandle polled after completion");
+            Poll::Ready(handle.join().map_err(|_| JoinError))
+        }
+    }
+
+    /// Runs `f` on a dedicated OS thread; the returned handle resolves to
+    /// its result.
+    pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle {
+            thread: Some(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Wall-clock timers.
+pub mod time {
+    /// Sleeps for `duration` (blocking inside the first poll).
+    pub async fn sleep(duration: std::time::Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_runs_async_chains() {
+        let rt = runtime::Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let handle = task::spawn_blocking(|| 21 * 2);
+            handle.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn listener_and_stream_round_trip() {
+        use std::io::{Read, Write};
+        let rt = runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = task::spawn_blocking(move || {
+                let std_listener = listener.into_std().unwrap();
+                let (mut conn, _) = std_listener.accept().unwrap();
+                let mut buf = [0u8; 4];
+                conn.read_exact(&mut buf).unwrap();
+                buf
+            });
+            let stream = net::TcpStream::connect(addr).await.unwrap();
+            let mut std_stream = stream.into_std().unwrap();
+            std_stream.write_all(b"ping").unwrap();
+            drop(std_stream);
+            assert_eq!(&server.await.unwrap(), b"ping");
+        });
+    }
+
+    #[test]
+    fn sleep_elapses() {
+        let rt = runtime::Runtime::new().unwrap();
+        let start = std::time::Instant::now();
+        rt.block_on(time::sleep(std::time::Duration::from_millis(10)));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+}
