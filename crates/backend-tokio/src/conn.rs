@@ -1,0 +1,468 @@
+//! Supervised per-peer outbound connections.
+//!
+//! The first backend cut connected inside the `Send` action and silently
+//! `return`ed on any connect or write failure — a frame could vanish with
+//! no trace and no retry beyond one reconnect. Here every `(me, peer)`
+//! pair gets a dedicated writer thread fed by a **bounded** queue:
+//!
+//! * the node loop enqueues encoded-able messages without blocking; a
+//!   full queue drops the *newest* frame (the protocol's own retries
+//!   regenerate state, so old queued frames are worth more than new
+//!   ones), counts it, and raises a delivery-failure event;
+//! * the writer owns the TCP stream, reconnecting under deterministic
+//!   seeded exponential backoff with jitter ([`BackoffPolicy`]) and
+//!   giving up on a frame only after `max_attempts`, which again counts
+//!   and raises [`NodeEvent::SendFailed`];
+//! * the fault-injection shim sits exactly between codec and socket: the
+//!   writer asks [`NetFaults::verdict`] about each frame and then drops,
+//!   resets, truncates, duplicates, or delays the already-encoded bytes.
+//!
+//! Every way a frame can die increments a dedicated [`DeliveryStats`]
+//! counter — the run report can prove (and tests assert) that no loss is
+//! silent.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dfl_netsim::{ChaosRng, NodeId};
+use ipls::Msg;
+
+use crate::fault::{NetFaults, Verdict};
+use crate::{codec, NodeEvent};
+
+/// Reconnect/retry knobs for the supervised writers. The same shape as
+/// `dfl_ipfs::RetryPolicy` (base interval that doubles per attempt, a
+/// bounded attempt budget), specialised to connection supervision: the
+/// backoff is jittered from a SplitMix64 stream seeded per `(seed, me,
+/// peer)`, so a run's retry timing is deterministic given its seed.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// First retry delay; doubles each subsequent attempt.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Delivery attempts per frame (connect + write counts as one).
+    pub max_attempts: u32,
+    /// Bounded outbound queue depth per peer; a full queue drops the
+    /// newest frame with accounting.
+    pub queue_depth: usize,
+    /// Seed of the jitter streams.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(25),
+            max: Duration::from_secs(1),
+            max_attempts: 6,
+            queue_depth: 1024,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered delay before retry `attempt` (1-based): exponential
+    /// from `base`, capped at `max`, scaled by a deterministic 50–150 %
+    /// jitter draw.
+    fn delay(&self, attempt: u32, rng: &mut ChaosRng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1))
+            .min(self.max);
+        exp * (50 + rng.roll_pct()) / 100
+    }
+}
+
+/// Monotonic accounting for every frame the transport handles. One
+/// instance is shared by all of a run's nodes; the run report snapshots
+/// it so no loss is silent.
+#[derive(Debug, Default)]
+pub struct DeliveryStats {
+    /// Frames written to a socket (excluding chaos-injected duplicates).
+    pub frames_sent: AtomicU64,
+    /// Frames dropped because the peer's bounded queue was full.
+    pub frames_dropped_queue_full: AtomicU64,
+    /// Frames dropped after the writer exhausted its delivery attempts.
+    pub frames_dropped_retries: AtomicU64,
+    /// Outbound frames (queued sends and discarded crash-time actions)
+    /// dropped because the sending node was down.
+    pub frames_dropped_down: AtomicU64,
+    /// Outbound frames dropped by an [`Isolate`](dfl_netsim::Fault)
+    /// partition on either endpoint.
+    pub frames_dropped_partition: AtomicU64,
+    /// Inbound frames discarded because the receiving node was down.
+    pub frames_discarded_down: AtomicU64,
+    /// Timer firings discarded because the node was down (netsim
+    /// semantics: a crashed node's timers die at fire time).
+    pub timers_discarded_down: AtomicU64,
+    /// Chaos verdicts: frames silently dropped.
+    pub chaos_dropped: AtomicU64,
+    /// Chaos verdicts: connections reset (the frame was lost).
+    pub chaos_resets: AtomicU64,
+    /// Chaos verdicts: frames truncated mid-write.
+    pub chaos_truncated: AtomicU64,
+    /// Chaos verdicts: frames written twice.
+    pub chaos_duplicated: AtomicU64,
+    /// Chaos verdicts: frames delayed before the write.
+    pub chaos_delayed: AtomicU64,
+    /// Successful connection (re-)establishments after the first.
+    pub reconnects: AtomicU64,
+    /// Individual failed connect attempts (each later retried or given
+    /// up with `frames_dropped_retries`).
+    pub connect_failures: AtomicU64,
+}
+
+impl DeliveryStats {
+    /// A plain-integer copy for reports.
+    pub fn snapshot(&self) -> DeliveryReport {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        DeliveryReport {
+            frames_sent: get(&self.frames_sent),
+            frames_dropped_queue_full: get(&self.frames_dropped_queue_full),
+            frames_dropped_retries: get(&self.frames_dropped_retries),
+            frames_dropped_down: get(&self.frames_dropped_down),
+            frames_dropped_partition: get(&self.frames_dropped_partition),
+            frames_discarded_down: get(&self.frames_discarded_down),
+            timers_discarded_down: get(&self.timers_discarded_down),
+            chaos_dropped: get(&self.chaos_dropped),
+            chaos_resets: get(&self.chaos_resets),
+            chaos_truncated: get(&self.chaos_truncated),
+            chaos_duplicated: get(&self.chaos_duplicated),
+            chaos_delayed: get(&self.chaos_delayed),
+            reconnects: get(&self.reconnects),
+            connect_failures: get(&self.connect_failures),
+        }
+    }
+}
+
+/// Frozen [`DeliveryStats`], embedded in the run report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field-for-field mirror of DeliveryStats
+pub struct DeliveryReport {
+    pub frames_sent: u64,
+    pub frames_dropped_queue_full: u64,
+    pub frames_dropped_retries: u64,
+    pub frames_dropped_down: u64,
+    pub frames_dropped_partition: u64,
+    pub frames_discarded_down: u64,
+    pub timers_discarded_down: u64,
+    pub chaos_dropped: u64,
+    pub chaos_resets: u64,
+    pub chaos_truncated: u64,
+    pub chaos_duplicated: u64,
+    pub chaos_delayed: u64,
+    pub reconnects: u64,
+    pub connect_failures: u64,
+}
+
+impl DeliveryReport {
+    /// Frames the transport itself failed to deliver — supervision giving
+    /// up, not injected faults or crash-gated discards.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped_queue_full + self.frames_dropped_retries
+    }
+
+    /// Frames lost to injected faults (chaos and partitions).
+    pub fn frames_faulted(&self) -> u64 {
+        self.chaos_dropped
+            + self.chaos_resets
+            + self.chaos_truncated
+            + self.frames_dropped_partition
+    }
+
+    /// Every accounted loss, of any cause.
+    pub fn frames_lost_total(&self) -> u64 {
+        self.frames_dropped() + self.frames_faulted() + self.frames_dropped_down
+    }
+}
+
+/// The node-loop handle to one peer's supervised writer.
+pub(crate) struct PeerSender {
+    queue: mpsc::SyncSender<Msg>,
+    to: NodeId,
+    stats: Arc<DeliveryStats>,
+    failure_tx: mpsc::Sender<NodeEvent>,
+}
+
+impl PeerSender {
+    /// Spawns the writer thread for `me → to`.
+    pub(crate) fn spawn(
+        me: NodeId,
+        to: NodeId,
+        addr: std::net::SocketAddr,
+        policy: BackoffPolicy,
+        faults: Arc<NetFaults>,
+        stats: Arc<DeliveryStats>,
+        failure_tx: mpsc::Sender<NodeEvent>,
+    ) -> PeerSender {
+        let (queue, rx) = mpsc::sync_channel::<Msg>(policy.queue_depth.max(1));
+        let writer_stats = stats.clone();
+        let writer_failures = failure_tx.clone();
+        std::thread::spawn(move || {
+            Writer {
+                me,
+                to,
+                addr,
+                policy,
+                faults,
+                stats: writer_stats,
+                failure_tx: writer_failures,
+                rng: ChaosRng::for_node(
+                    policy.seed ^ (to.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                    me,
+                ),
+                conn: None,
+                last_gen: 0,
+                ever_connected: false,
+            }
+            .run(rx);
+        });
+        PeerSender {
+            queue,
+            to,
+            stats,
+            failure_tx,
+        }
+    }
+
+    /// Enqueues a frame without blocking. A full queue drops the newest
+    /// frame (counted + delivery-failure event) — the protocol's own
+    /// retry machinery regenerates anything that mattered.
+    pub(crate) fn send(&self, msg: Msg) {
+        match self.queue.try_send(msg) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.stats
+                    .frames_dropped_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = self.failure_tx.send(NodeEvent::SendFailed { to: self.to });
+            }
+        }
+    }
+}
+
+/// The writer-thread state for one peer connection.
+struct Writer {
+    me: NodeId,
+    to: NodeId,
+    addr: std::net::SocketAddr,
+    policy: BackoffPolicy,
+    faults: Arc<NetFaults>,
+    stats: Arc<DeliveryStats>,
+    failure_tx: mpsc::Sender<NodeEvent>,
+    rng: ChaosRng,
+    conn: Option<TcpStream>,
+    last_gen: u64,
+    ever_connected: bool,
+}
+
+impl Writer {
+    fn run(mut self, rx: mpsc::Receiver<Msg>) {
+        while let Ok(msg) = rx.recv() {
+            // A crash bumps the sender's connection generation: drop the
+            // cached stream so the peer observes a reset.
+            let gen = self.faults.conn_gen(self.me);
+            if gen != self.last_gen {
+                self.last_gen = gen;
+                self.conn = None;
+            }
+            let bytes = codec::encode_frame(self.me, &msg);
+            let count = |field: &AtomicU64| field.fetch_add(1, Ordering::Relaxed);
+            match self.faults.verdict(self.me, self.to) {
+                Verdict::SenderDown => {
+                    count(&self.stats.frames_dropped_down);
+                }
+                Verdict::Isolated => {
+                    count(&self.stats.frames_dropped_partition);
+                }
+                Verdict::ChaosDrop => {
+                    count(&self.stats.chaos_dropped);
+                }
+                Verdict::ChaosReset => {
+                    self.conn = None;
+                    count(&self.stats.chaos_resets);
+                }
+                Verdict::ChaosTruncate => {
+                    if self.ensure_conn().is_some() {
+                        let torn = &bytes[..bytes.len() / 2];
+                        if let Some(conn) = self.conn.as_mut() {
+                            use std::io::Write as _;
+                            let _ = conn.write_all(torn);
+                        }
+                    }
+                    // Kill the connection mid-frame: the receiver sees a
+                    // torn frame and a clean decode error.
+                    self.conn = None;
+                    count(&self.stats.chaos_truncated);
+                }
+                Verdict::ChaosDup => {
+                    self.deliver(&bytes);
+                    if self.deliver_quiet(&bytes) {
+                        count(&self.stats.chaos_duplicated);
+                    }
+                }
+                Verdict::ChaosDelay(delay) => {
+                    std::thread::sleep(delay);
+                    count(&self.stats.chaos_delayed);
+                    self.deliver(&bytes);
+                }
+                Verdict::Deliver => {
+                    self.deliver(&bytes);
+                }
+            }
+        }
+    }
+
+    /// Writes one frame under the retry budget, accounting the outcome
+    /// and raising a delivery-failure event on exhaustion.
+    fn deliver(&mut self, bytes: &[u8]) {
+        if self.deliver_quiet(bytes) {
+            self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        } else if self.faults.is_down(self.me) {
+            // Crashed mid-retry: the loss is crash-gated, and a down
+            // node's core receives no events.
+            self.stats
+                .frames_dropped_down
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats
+                .frames_dropped_retries
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = self.failure_tx.send(NodeEvent::SendFailed { to: self.to });
+        }
+    }
+
+    /// The bare retry loop: `true` once the frame is on the wire.
+    fn deliver_quiet(&mut self, bytes: &[u8]) -> bool {
+        use std::io::Write as _;
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                std::thread::sleep(self.policy.delay(attempt - 1, &mut self.rng));
+                if self.faults.is_down(self.me) {
+                    return false;
+                }
+            }
+            if self.ensure_conn().is_none() {
+                continue;
+            }
+            let conn = self.conn.as_mut().expect("ensured connection");
+            match conn.write_all(bytes) {
+                Ok(()) => return true,
+                // Stale or reset connection: reconnect and retry.
+                Err(_) => self.conn = None,
+            }
+        }
+        false
+    }
+
+    fn ensure_conn(&mut self) -> Option<()> {
+        if self.conn.is_some() {
+            return Some(());
+        }
+        match TcpStream::connect(self.addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                if self.ever_connected {
+                    self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                self.ever_connected = true;
+                self.last_gen = self.faults.conn_gen(self.me);
+                self.conn = Some(stream);
+                Some(())
+            }
+            Err(_) => {
+                self.stats.connect_failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_within_bounds() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(200),
+            ..BackoffPolicy::default()
+        };
+        let mut rng = ChaosRng::for_node(1, NodeId(0));
+        let mut prev_cap = Duration::ZERO;
+        for attempt in 1..=8 {
+            let d = policy.delay(attempt, &mut rng);
+            // Jitter spans 50–150 % of the exponential step, which itself
+            // is capped at `max`.
+            assert!(d <= policy.max * 3 / 2, "attempt {attempt}: {d:?}");
+            let cap = policy
+                .base
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(policy.max);
+            assert!(d >= cap / 4, "attempt {attempt}: {d:?} vs cap {cap:?}");
+            prev_cap = prev_cap.max(cap);
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let policy = BackoffPolicy::default();
+        let seq = |seed| {
+            let mut rng = ChaosRng::for_node(seed, NodeId(3));
+            (1..=6)
+                .map(|a| policy.delay(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn queue_overflow_is_counted_and_raises_send_failed() {
+        // No listener on this address: the writer blocks in backoff while
+        // the bounded queue fills.
+        let faults = Arc::new(NetFaults::new(2));
+        let stats = Arc::new(DeliveryStats::default());
+        let (tx, rx) = mpsc::channel();
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(1),
+            max_attempts: 3,
+            queue_depth: 1,
+            seed: 1,
+        };
+        let dead = std::net::SocketAddr::from(([127, 0, 0, 1], 1));
+        let sender = PeerSender::spawn(
+            NodeId(0),
+            NodeId(1),
+            dead,
+            policy,
+            faults,
+            stats.clone(),
+            tx,
+        );
+        for _ in 0..16 {
+            sender.send(Msg::StartRound { iter: 0 });
+        }
+        let mut failures = 0;
+        while let Ok(event) = rx.recv_timeout(Duration::from_secs(5)) {
+            if matches!(event, NodeEvent::SendFailed { to } if to == NodeId(1)) {
+                failures += 1;
+            }
+            let dropped = stats.frames_dropped_queue_full.load(Ordering::Relaxed)
+                + stats.frames_dropped_retries.load(Ordering::Relaxed);
+            if dropped >= 8 && failures > 0 {
+                break;
+            }
+        }
+        assert!(failures > 0, "overflow must raise SendFailed");
+        assert!(stats.frames_dropped_queue_full.load(Ordering::Relaxed) > 0);
+        assert_eq!(stats.frames_sent.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! One heap-based timer thread per node.
+//!
+//! The first backend cut spawned a sleeping thread per `SetTimer` action;
+//! a trainer polling every 20 ms over a minute-long run leaks thousands of
+//! short-lived threads, and a long never-firing watchdog pins one for the
+//! whole process. [`TimerWheel`] replaces that with a single thread per
+//! node parked on a [`Condvar`] over a [`BinaryHeap`] of deadlines:
+//! arming a timer is a heap push + notify, and cancellation is a
+//! generation bump that lets stale entries drain without firing.
+//!
+//! Fired tokens are delivered as [`NodeEvent::Timer`] on the node's event
+//! channel, exactly like the old per-timer threads did — the node loop is
+//! still the only consumer and decides (e.g. while crashed) whether a
+//! firing is delivered to the core or discarded, mirroring netsim's
+//! "timers die at fire time while the node is down" semantics.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{lock, NodeEvent};
+
+/// A pending timer: fire `token` at `deadline` unless the wheel's
+/// generation has moved past `gen` (cancellation).
+#[derive(PartialEq, Eq)]
+struct Entry {
+    deadline: Instant,
+    seq: u64,
+    token: u64,
+    gen: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        // Earliest deadline first (BinaryHeap is a max-heap); ties break
+        // by arming order so same-instant timers fire in push order.
+        Reverse((self.deadline, self.seq)).cmp(&Reverse((other.deadline, other.seq)))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct State {
+    heap: BinaryHeap<Entry>,
+    gen: u64,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// A single timer thread multiplexing every timer one node arms.
+pub(crate) struct TimerWheel {
+    inner: Arc<Inner>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TimerWheel {
+    /// Spawns the wheel thread; fired tokens go to `tx`.
+    pub(crate) fn spawn(tx: mpsc::Sender<NodeEvent>) -> TimerWheel {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                gen: 0,
+                next_seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker = inner.clone();
+        let thread = std::thread::spawn(move || run(&worker, &tx));
+        TimerWheel {
+            inner,
+            thread: Some(thread),
+        }
+    }
+
+    /// Arms a timer firing `delay` from now.
+    pub(crate) fn arm(&self, delay: Duration, token: u64) {
+        let mut state = lock(&self.inner.state);
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let gen = state.gen;
+        state.heap.push(Entry {
+            deadline: Instant::now() + delay,
+            seq,
+            token,
+            gen,
+        });
+        drop(state);
+        self.inner.cv.notify_one();
+    }
+
+    /// Cancels every pending timer (armed-but-unfired entries never
+    /// deliver; timers armed after the call are unaffected).
+    pub(crate) fn cancel_all(&self) {
+        let mut state = lock(&self.inner.state);
+        state.gen += 1;
+        state.heap.clear();
+        drop(state);
+        self.inner.cv.notify_one();
+    }
+
+    /// Number of pending (un-fired, un-cancelled) timers.
+    #[cfg(test)]
+    pub(crate) fn pending(&self) -> usize {
+        lock(&self.inner.state).heap.len()
+    }
+}
+
+impl Drop for TimerWheel {
+    fn drop(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.cv.notify_one();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run(inner: &Inner, tx: &mpsc::Sender<NodeEvent>) {
+    let mut state = lock(&inner.state);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        match state.heap.peek() {
+            None => {
+                state = inner
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            Some(next) if next.deadline > now => {
+                let wait = next.deadline - now;
+                state = inner
+                    .cv
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .0;
+            }
+            Some(_) => {
+                let entry = state.heap.pop().expect("peeked entry");
+                if entry.gen == state.gen {
+                    // Release the lock while sending: an unbounded mpsc
+                    // send never blocks, but keeping the critical section
+                    // minimal keeps `arm` cheap on the hot path.
+                    drop(state);
+                    if tx.send(NodeEvent::Timer { token: entry.token }).is_err() {
+                        return; // node loop gone; nothing left to time
+                    }
+                    state = lock(&inner.state);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_from_one_thread() {
+        let (tx, rx) = mpsc::channel();
+        let wheel = TimerWheel::spawn(tx);
+        wheel.arm(Duration::from_millis(30), 3);
+        wheel.arm(Duration::from_millis(10), 1);
+        wheel.arm(Duration::from_millis(20), 2);
+        let mut tokens = Vec::new();
+        for _ in 0..3 {
+            match rx.recv_timeout(Duration::from_secs(5)).expect("fires") {
+                NodeEvent::Timer { token } => tokens.push(token),
+                _ => unreachable!("wheel only emits timers"),
+            }
+        }
+        assert_eq!(tokens, vec![1, 2, 3]);
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_all_suppresses_pending_timers_only() {
+        let (tx, rx) = mpsc::channel();
+        let wheel = TimerWheel::spawn(tx);
+        wheel.arm(Duration::from_millis(20), 7);
+        wheel.arm(Duration::from_millis(25), 8);
+        wheel.cancel_all();
+        wheel.arm(Duration::from_millis(10), 9);
+        match rx.recv_timeout(Duration::from_secs(5)).expect("fires") {
+            NodeEvent::Timer { token } => assert_eq!(token, 9),
+            _ => unreachable!(),
+        }
+        // The cancelled tokens must never arrive.
+        assert!(rx.recv_timeout(Duration::from_millis(60)).is_err());
+    }
+
+    #[test]
+    fn same_deadline_fires_in_arming_order() {
+        let (tx, rx) = mpsc::channel();
+        let wheel = TimerWheel::spawn(tx);
+        for token in 0..8 {
+            wheel.arm(Duration::ZERO, token);
+        }
+        let mut tokens = Vec::new();
+        for _ in 0..8 {
+            match rx.recv_timeout(Duration::from_secs(5)).expect("fires") {
+                NodeEvent::Timer { token } => tokens.push(token),
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(tokens, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -65,4 +65,31 @@ fn tcp_run_matches_netsim_model_bytes() {
         sim_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
         "TCP and netsim final model bytes differ"
     );
+
+    // A healthy run loses nothing, and every category proves it: the
+    // supervised writers never gave up, no queue overflowed, no fault
+    // was injected.
+    let delivery = tcp_report.delivery;
+    assert_eq!(delivery.frames_dropped(), 0, "healthy run dropped frames");
+    assert_eq!(delivery.frames_faulted(), 0, "no faults were injected");
+    assert_eq!(delivery.frames_dropped_down, 0, "no node was crashed");
+    assert!(delivery.frames_sent > 0, "frames flowed over TCP");
+
+    // The Incr sink mirrors what the simulator traces: storage nodes
+    // served provider lookups in both backends. (Exact totals may differ
+    // — real-time retries are timing-dependent — but the sink must flow.)
+    assert!(
+        tcp_report.counter("ipfs/provider_lookups") > 0,
+        "storage counters must flow into the TCP report; got {:?}",
+        tcp_report.counters
+    );
+    assert!(
+        sim_report.trace.counter("ipfs/provider_lookups") > 0,
+        "netsim oracle also counts provider lookups"
+    );
+    assert_eq!(
+        tcp_report.quorum_degradations(),
+        0,
+        "healthy run must not degrade quorum"
+    );
 }

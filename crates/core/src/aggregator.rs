@@ -1583,6 +1583,7 @@ impl ProtocolCore for Aggregator {
             ProtocolEvent::Message { msg, .. } => self.on_message(now, out, msg),
             ProtocolEvent::Timer { token } => self.on_timer(out, token),
             ProtocolEvent::Fault { .. } => {}
+            ProtocolEvent::DeliveryFailure { .. } => out.incr(labels::DELIVERY_FAILED, 1),
         }
     }
 }

@@ -529,6 +529,10 @@ impl ProtocolCore for Directory {
                 return;
             }
             ProtocolEvent::Fault { .. } => return,
+            ProtocolEvent::DeliveryFailure { .. } => {
+                out.incr(labels::DELIVERY_FAILED, 1);
+                return;
+            }
             ProtocolEvent::Message { from, msg } => (from, msg),
         };
         self.on_message(out, from, msg);

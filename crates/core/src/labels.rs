@@ -86,3 +86,9 @@ pub const BLOBS_VERIFIED: &str = "blobs_verified";
 /// Batch sizes depend only on simulated behaviour, but the histogram
 /// channel keeps batched and per-blob fingerprints comparable.
 pub const VERIFY_BATCHED: &str = "verify_batched";
+/// Counter: the backend reported a delivery failure
+/// ([`ProtocolEvent::DeliveryFailure`](crate::ProtocolEvent)) — an
+/// outbound message was dropped after connection supervision exhausted
+/// its retries or the per-peer queue overflowed. Only real-socket
+/// backends emit these; in netsim every loss is injected and traced.
+pub const DELIVERY_FAILED: &str = "delivery_failed";

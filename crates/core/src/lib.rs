@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::error::IplsError;
     pub use crate::protocol::{ProtocolAction, ProtocolEvent};
     pub use crate::runner::{run_task, RoundMetrics, TaskReport};
-    pub use dfl_netsim::{Fault, FaultPlan, LinkSpec, NodeId, SimDuration, SimTime};
+    pub use dfl_netsim::{ChaosSpec, Fault, FaultPlan, LinkSpec, NodeId, SimDuration, SimTime};
 }
 
 // The crate-root surface: the state machines, the event/action boundary

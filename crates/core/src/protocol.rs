@@ -56,6 +56,17 @@ pub enum ProtocolEvent<M> {
         /// The fault kind.
         fault: Fault,
     },
+    /// The backend gave up delivering a previously queued `Send` to `to`
+    /// (connection supervision exhausted its retries, or the outbound
+    /// queue overflowed). Purely informational: cores typically count it
+    /// ([`labels::DELIVERY_FAILED`](crate::labels::DELIVERY_FAILED)) and
+    /// rely on the existing timeout/retry machinery for recovery. The
+    /// netsim backend never emits it — simulated sends either deliver or
+    /// are dropped by an injected fault, which the trace accounts for.
+    DeliveryFailure {
+        /// The destination the backend failed to reach.
+        to: NodeId,
+    },
 }
 
 /// An effect a protocol state machine asks its backend to perform.
@@ -327,8 +338,13 @@ impl<M: WireEmbed> ProtocolCore for IpfsCore<M> {
                     self.last_reported_blocks = 0;
                     out.record("store_blocks", 0.0);
                 }
-                Fault::Recover(_) | Fault::DegradeLink { .. } => {}
+                // Recovery, link shaping, partitions and frame chaos are
+                // transport-level: the storage state machine is unaffected.
+                _ => {}
             },
+            ProtocolEvent::DeliveryFailure { .. } => {
+                out.incr(crate::labels::DELIVERY_FAILED, 1);
+            }
         }
     }
 }
@@ -362,7 +378,7 @@ mod tests {
                     out.incr("echoed", 1);
                 }
                 ProtocolEvent::Timer { token } => self.timer_token = token,
-                ProtocolEvent::Fault { .. } => {}
+                ProtocolEvent::Fault { .. } | ProtocolEvent::DeliveryFailure { .. } => {}
             }
         }
     }

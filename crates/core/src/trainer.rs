@@ -555,6 +555,10 @@ impl<M: Model> ProtocolCore for Trainer<M> {
                 return;
             }
             ProtocolEvent::Start | ProtocolEvent::Fault { .. } => return,
+            ProtocolEvent::DeliveryFailure { .. } => {
+                out.incr(labels::DELIVERY_FAILED, 1);
+                return;
+            }
         };
         match msg {
             Msg::StartRound { iter } => self.begin_round(now, out, iter),

@@ -1229,7 +1229,9 @@ impl<M: WireEmbed> Actor<M> for IpfsActor {
                 self.last_reported_blocks = 0;
                 ctx.record("store_blocks", 0.0);
             }
-            Fault::Recover(_) | Fault::DegradeLink { .. } => {}
+            // Recovery, link shaping, partitions and frame chaos are
+            // transport-level: the storage state machine is unaffected.
+            _ => {}
         }
     }
 }

@@ -259,6 +259,12 @@ pub struct Simulation<M> {
     links: Vec<LinkSpec>,
     /// Which nodes are currently crashed (no callbacks, no traffic).
     down: Vec<bool>,
+    /// Which nodes are currently partitioned away (callbacks run, but no
+    /// traffic crosses to or from any other node).
+    isolated: Vec<bool>,
+    /// Per-node outbound chaos process (spec + its roll stream), installed
+    /// by [`Fault::Chaos`].
+    chaos: Vec<Option<(crate::fault::ChaosSpec, crate::fault::ChaosRng)>>,
     queue: BinaryHeap<Reverse<(SimTime, u64)>>,
     queued: HashMap<(SimTime, u64), EventKind>,
     seq: u64,
@@ -314,6 +320,8 @@ impl<M> Simulation<M> {
             actors: Vec::new(),
             links: Vec::new(),
             down: Vec::new(),
+            isolated: Vec::new(),
+            chaos: Vec::new(),
             queue: BinaryHeap::new(),
             queued: HashMap::new(),
             seq: 0,
@@ -367,6 +375,8 @@ impl<M> Simulation<M> {
         self.actors.push(Some(Box::new(actor)));
         self.links.push(link);
         self.down.push(false);
+        self.isolated.push(false);
+        self.chaos.push(None);
         self.node_flows.push(Vec::new());
         self.node_ctrl.push(Vec::new());
         self.up_bps.push(link.up_bps);
@@ -604,6 +614,32 @@ impl<M> Simulation<M> {
                 self.realloc_seeds.push(node.0);
                 self.reallocate();
             }
+            Fault::Isolate(node) => {
+                if self.isolated[node.0] {
+                    return;
+                }
+                self.isolated[node.0] = true;
+                self.trace.record(self.now, node, net::FAULT_ISOLATE, 1.0);
+                self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
+                self.apply_commands();
+            }
+            Fault::Heal(node) => {
+                if !self.isolated[node.0] {
+                    return;
+                }
+                self.isolated[node.0] = false;
+                self.trace.record(self.now, node, net::FAULT_HEAL, 1.0);
+                self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
+                self.apply_commands();
+            }
+            Fault::Chaos { node, spec } => {
+                self.chaos[node.0] = (!spec.is_noop())
+                    .then(|| (spec, crate::fault::ChaosRng::for_node(spec.seed, node)));
+                self.trace
+                    .record(self.now, node, net::FAULT_CHAOS, spec.loss_pct() as f64);
+                self.dispatch(node, |actor, ctx| actor.on_fault(ctx, fault));
+                self.apply_commands();
+            }
         }
     }
 
@@ -621,6 +657,35 @@ impl<M> Simulation<M> {
                         // A crashed node cannot transmit (its on_fault may
                         // still run, but its output is discarded).
                         continue;
+                    }
+                    if from != to {
+                        // Partition and chaos apply to the network between
+                        // distinct nodes; loopback traffic is untouched.
+                        // Messages destroyed here never enter the network:
+                        // no tx/rx bytes are accounted, only the chaos
+                        // labels below. (Flows already in flight when a
+                        // cut forms still arrive — the partition stops new
+                        // traffic, it does not tear existing transfers.)
+                        if self.isolated[from.0] || self.isolated[to.0] {
+                            self.trace.record(
+                                self.now,
+                                from,
+                                net::CHAOS_PARTITION_DROP,
+                                bytes as f64,
+                            );
+                            continue;
+                        }
+                        if let Some((spec, rng)) = self.chaos[from.0].as_mut() {
+                            if rng.roll_pct() < spec.loss_pct() {
+                                self.trace.record(
+                                    self.now,
+                                    from,
+                                    net::CHAOS_FRAME_DROP,
+                                    bytes as f64,
+                                );
+                                continue;
+                            }
+                        }
                     }
                     let id = self.next_flow_id;
                     self.next_flow_id += 1;
@@ -1547,5 +1612,117 @@ mod tests {
         sim.set_time_limit(SimTime::from_micros(10_500_000));
         sim.run();
         assert!(sim.now().as_secs_f64() <= 10.5);
+    }
+
+    /// A pinger that sends one message to the server every second and
+    /// counts replies — the workload for the partition/chaos fault tests.
+    struct PeriodicPinger {
+        server: NodeId,
+        sent: usize,
+    }
+    impl Actor<&'static str> for PeriodicPinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, &'static str>,
+            _f: NodeId,
+            _m: &'static str,
+        ) {
+            ctx.record("reply", 1.0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, &'static str>, _token: u64) {
+            if self.sent < 10 {
+                self.sent += 1;
+                ctx.send(self.server, 1_000, "ping");
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_exchanges_no_traffic_until_healed() {
+        // Pings at 1s..=10s; the server is partitioned during [2.5s, 6.5s]:
+        // pings sent at 3,4,5,6 s vanish (booked on the sender), the rest
+        // round-trip. Unlike a crash, the server's state machine keeps
+        // running throughout.
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let client = sim.add_node(PeriodicPinger { server, sent: 0 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        sim.schedule_fault(SimTime::from_micros(2_500_000), Fault::Isolate(server));
+        sim.schedule_fault(SimTime::from_micros(6_500_000), Fault::Heal(server));
+        sim.run();
+        assert_eq!(sim.trace().find(client, "reply").len(), 6);
+        let dropped = sim.trace().find(client, net::CHAOS_PARTITION_DROP);
+        assert_eq!(dropped.len(), 4);
+        // Dropped messages never entered the network.
+        assert_eq!(sim.trace().bytes_sent(client), 6_000);
+        assert_eq!(sim.trace().find(server, net::FAULT_ISOLATE).len(), 1);
+        assert_eq!(sim.trace().find(server, net::FAULT_HEAL).len(), 1);
+    }
+
+    #[test]
+    fn chaos_drops_the_seeded_fraction_of_outbound_frames() {
+        let spec = crate::fault::ChaosSpec {
+            drop_pct: 50,
+            reset_pct: 50,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let client = sim.add_node(PeriodicPinger { server, sent: 0 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        // loss = 100%: every outbound ping is destroyed at the sender.
+        sim.schedule_fault(SimTime::ZERO, Fault::Chaos { node: client, spec });
+        sim.run();
+        assert_eq!(sim.trace().find(client, "reply").len(), 0);
+        assert_eq!(sim.trace().find(client, net::CHAOS_FRAME_DROP).len(), 10);
+        assert_eq!(sim.trace().bytes_sent(client), 0);
+
+        // A no-op spec uninstalls the process.
+        let mut sim = Simulation::new();
+        let server = sim.reserve_id(1);
+        let client = sim.add_node(PeriodicPinger { server, sent: 0 }, link_10mbps());
+        sim.add_node(Echo, link_10mbps());
+        sim.schedule_fault(SimTime::ZERO, Fault::Chaos { node: client, spec });
+        sim.schedule_fault(
+            SimTime::from_micros(4_500_000),
+            Fault::Chaos {
+                node: client,
+                spec: crate::fault::ChaosSpec::default(),
+            },
+        );
+        sim.run();
+        // Pings at 5..=10 s survive once chaos is lifted.
+        assert_eq!(sim.trace().find(client, "reply").len(), 6);
+    }
+
+    #[test]
+    fn partial_chaos_loss_is_deterministic() {
+        let run = || {
+            let spec = crate::fault::ChaosSpec {
+                drop_pct: 40,
+                seed: 7,
+                ..Default::default()
+            };
+            let mut sim = Simulation::new();
+            let server = sim.reserve_id(1);
+            let client = sim.add_node(PeriodicPinger { server, sent: 0 }, link_10mbps());
+            sim.add_node(Echo, link_10mbps());
+            sim.schedule_fault(SimTime::ZERO, Fault::Chaos { node: client, spec });
+            sim.run();
+            (
+                sim.trace().find(client, "reply").len(),
+                sim.trace().find(client, net::CHAOS_FRAME_DROP).len(),
+            )
+        };
+        let (replies, drops) = run();
+        assert_eq!((replies, drops), run());
+        assert_eq!(replies + drops, 10);
+        assert!(drops > 0, "40% loss over 10 frames should drop something");
+        assert!(replies > 0, "40% loss should not drop everything");
     }
 }

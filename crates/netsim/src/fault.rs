@@ -21,9 +21,107 @@
 //!   they next ask for the data.
 //! * **DegradeLink** — the node's access-link capacities are replaced and
 //!   all active flows are re-shaped from that instant.
+//! * **Isolate / Heal** — a transient partition: while isolated, the node
+//!   exchanges no traffic with any *other* node (loopback is unaffected,
+//!   and the node itself keeps running — unlike a crash, no state is lost
+//!   and timers keep firing).
+//! * **Chaos** — a seeded per-frame failure process ([`ChaosSpec`]) on the
+//!   node's *outbound* traffic: drops, connection resets, truncations,
+//!   duplicates, and delays. The simulator and the real-socket backend
+//!   interpret the same spec (see the field docs for the per-backend
+//!   mapping), so one scripted plan drives chaos on both.
+//!
+//! This module is deliberately engine-independent (it only needs
+//! [`NodeId`] and the clock types), so real-socket backends consume the
+//! exact same plan type the simulator does.
 
 use crate::engine::NodeId;
 use crate::time::{SimDuration, SimTime};
+
+/// A seeded per-frame failure process applied to one node's outbound
+/// traffic. Percentages are rolled per frame, in the order the fields are
+/// declared, from one deterministic SplitMix64 stream per `(node, seed)` —
+/// the same plan replays the same fault sequence on a given backend.
+///
+/// The two backends interpret the spec as faithfully as their transport
+/// allows:
+///
+/// * **netsim** — `drop_pct`, `reset_pct`, and `truncate_pct` all destroy
+///   the frame before it enters the network (in the fluid flow model a
+///   reset or truncation *is* the loss of the message). `dup_pct` and
+///   `delay_pct` are ignored: the simulator's messages are moves of owned
+///   values with modelled transfer latency, so duplication and extra
+///   delay have no meaningful fluid-model counterpart.
+/// * **backend-tokio** — `drop_pct` silently skips the write,
+///   `reset_pct` kills the live connection (the frame is lost and the
+///   writer must reconnect), `truncate_pct` writes a frame prefix and then
+///   kills the connection (the receiver sees a torn frame), `dup_pct`
+///   writes the frame twice (the protocol must deduplicate), and
+///   `delay_pct` sleeps `delay` before writing (head-of-line blocking on
+///   that peer's queue).
+///
+/// All knobs at zero (the [`Default`]) disables chaos on the node.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct ChaosSpec {
+    /// Percent of frames dropped outright (0–100).
+    pub drop_pct: u8,
+    /// Percent of frames lost to a connection reset (0–100).
+    pub reset_pct: u8,
+    /// Percent of frames truncated mid-write (0–100).
+    pub truncate_pct: u8,
+    /// Percent of frames duplicated (0–100; sockets only).
+    pub dup_pct: u8,
+    /// Percent of frames delayed by `delay` before the write (0–100;
+    /// sockets only).
+    pub delay_pct: u8,
+    /// How long a delayed frame waits.
+    pub delay: SimDuration,
+    /// Seed of the node's fault stream.
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Percent of frames that never arrive (drop + reset + truncate).
+    pub fn loss_pct(&self) -> u32 {
+        self.drop_pct as u32 + self.reset_pct as u32 + self.truncate_pct as u32
+    }
+
+    /// Whether the spec injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.loss_pct() == 0 && self.dup_pct == 0 && self.delay_pct == 0
+    }
+}
+
+/// The deterministic per-frame roll stream backing a [`ChaosSpec`]
+/// (SplitMix64). Both backends draw from this generator so a plan's fault
+/// sequence is reproducible per backend.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A stream seeded for `node` from the spec's seed.
+    pub fn for_node(seed: u64, node: NodeId) -> ChaosRng {
+        ChaosRng {
+            state: seed ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A roll in `0..100`, the unit every [`ChaosSpec`] percentage uses.
+    pub fn roll_pct(&mut self) -> u32 {
+        (self.next_u64() % 100) as u32
+    }
+}
 
 /// One injectable failure.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -41,6 +139,19 @@ pub enum Fault {
         up_bps: f64,
         down_bps: f64,
     },
+    /// Partition the node away from every other node (loopback traffic
+    /// and the node's own execution are unaffected).
+    Isolate(NodeId),
+    /// Lift an [`Fault::Isolate`] partition.
+    Heal(NodeId),
+    /// Install (or, with a no-op spec, remove) a seeded per-frame failure
+    /// process on the node's outbound traffic.
+    Chaos {
+        /// The node whose outbound frames are subjected to the spec.
+        node: NodeId,
+        /// The failure process.
+        spec: ChaosSpec,
+    },
 }
 
 impl Fault {
@@ -48,7 +159,8 @@ impl Fault {
     pub fn node(&self) -> NodeId {
         match *self {
             Fault::Crash(n) | Fault::Recover(n) | Fault::DataLoss(n) => n,
-            Fault::DegradeLink { node, .. } => node,
+            Fault::Isolate(n) | Fault::Heal(n) => n,
+            Fault::DegradeLink { node, .. } | Fault::Chaos { node, .. } => node,
         }
     }
 }
@@ -102,6 +214,21 @@ impl FaultPlan {
                 down_bps,
             },
         )
+    }
+
+    /// Partitions `node` away from every other node at `t`.
+    pub fn isolate_at(self, t: SimTime, node: NodeId) -> FaultPlan {
+        self.at(t, Fault::Isolate(node))
+    }
+
+    /// Lifts `node`'s partition at `t`.
+    pub fn heal_at(self, t: SimTime, node: NodeId) -> FaultPlan {
+        self.at(t, Fault::Heal(node))
+    }
+
+    /// Installs a seeded outbound failure process on `node` at `t`.
+    pub fn chaos_at(self, t: SimTime, node: NodeId, spec: ChaosSpec) -> FaultPlan {
+        self.at(t, Fault::Chaos { node, spec })
     }
 
     /// A churn schedule: starting at `start` and every `period` until `end`,
@@ -172,6 +299,47 @@ mod tests {
         );
         assert!(!plan.is_empty());
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn chaos_and_partition_builders() {
+        let spec = ChaosSpec {
+            drop_pct: 5,
+            reset_pct: 20,
+            ..ChaosSpec::default()
+        };
+        let plan = FaultPlan::new()
+            .chaos_at(SimTime::from_micros(0), NodeId(2), spec)
+            .isolate_at(SimTime::from_micros(10), NodeId(1))
+            .heal_at(SimTime::from_micros(20), NodeId(1));
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(
+            plan.events()[0],
+            (
+                SimTime::from_micros(0),
+                Fault::Chaos {
+                    node: NodeId(2),
+                    spec
+                }
+            )
+        );
+        assert_eq!(plan.events()[1].1.node(), NodeId(1));
+        assert_eq!(spec.loss_pct(), 25);
+        assert!(!spec.is_noop());
+        assert!(ChaosSpec::default().is_noop());
+    }
+
+    #[test]
+    fn chaos_rng_is_deterministic_and_node_scoped() {
+        let mut a = ChaosRng::for_node(7, NodeId(3));
+        let mut b = ChaosRng::for_node(7, NodeId(3));
+        let mut c = ChaosRng::for_node(7, NodeId(4));
+        let seq_a: Vec<u32> = (0..32).map(|_| a.roll_pct()).collect();
+        let seq_b: Vec<u32> = (0..32).map(|_| b.roll_pct()).collect();
+        let seq_c: Vec<u32> = (0..32).map(|_| c.roll_pct()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+        assert!(seq_a.iter().all(|&r| r < 100));
     }
 
     #[test]

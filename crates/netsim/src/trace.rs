@@ -61,6 +61,22 @@ pub mod net {
     /// bytes). The whole payload traversed the network, so both tx and rx
     /// are accounted.
     pub const FLOW_UNDELIVERED: &str = "flow/undelivered";
+    /// A node was partitioned away from the rest of the network
+    /// (value = 1).
+    pub const FAULT_ISOLATE: &str = "fault/isolate";
+    /// A node's partition was lifted (value = 1).
+    pub const FAULT_HEAL: &str = "fault/heal";
+    /// A chaos spec was installed on (or removed from) a node's outbound
+    /// traffic (value = the spec's loss percentage).
+    pub const FAULT_CHAOS: &str = "fault/chaos";
+    /// A message was destroyed before entering the network because one of
+    /// its endpoints was isolated (recorded on the sender; value = payload
+    /// bytes). Nothing traversed the network: neither tx nor rx count it.
+    pub const CHAOS_PARTITION_DROP: &str = "chaos/partition_drop";
+    /// A message was destroyed before entering the network by the sender's
+    /// chaos spec — the fluid-model reading of a drop, reset, or
+    /// truncation (recorded on the sender; value = payload bytes).
+    pub const CHAOS_FRAME_DROP: &str = "chaos/frame_drop";
 }
 
 /// An interned trace label: a dense id into the trace's label registry.
