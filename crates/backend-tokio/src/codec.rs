@@ -88,6 +88,12 @@ impl Writer {
         }
     }
 
+    /// A mandatory commitment — no presence byte (overlay partials always
+    /// carry one; the overlay requires verifiable mode).
+    fn commitment_raw(&mut self, c: &CommitmentBytes) {
+        self.buf.extend_from_slice(c);
+    }
+
     fn signature(&mut self, s: &Option<SignatureBytes>) {
         match s {
             Some(s) => {
@@ -187,6 +193,11 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Counterpart of [`Writer::commitment_raw`].
+    fn commitment_raw(&mut self, context: &'static str) -> Result<CommitmentBytes, DecodeError> {
+        Ok(self.take(33, context)?.try_into().expect("33 bytes"))
+    }
+
     fn entries(
         &mut self,
         context: &'static str,
@@ -230,6 +241,8 @@ const TAG_UPDATE_INFO: u8 = 13;
 const TAG_TRAINER_DONE: u8 = 14;
 const TAG_REPORT_MISBEHAVIOR: u8 = 15;
 const TAG_DIRECT_GRADIENT: u8 = 16;
+const TAG_OVERLAY_PARTIAL: u8 = 17;
+const TAG_OVERLAY_UPDATE: u8 = 18;
 
 /// Serializes a message to its frame payload.
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
@@ -401,6 +414,36 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             w.u64(*iter);
             w.bytes(data);
         }
+        Msg::OverlayPartial {
+            trainer,
+            partition,
+            iter,
+            data,
+            count,
+            commitment,
+            signature,
+        } => {
+            w = Writer::new(TAG_OVERLAY_PARTIAL);
+            w.usize(*trainer);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.bytes(data);
+            w.u64(*count);
+            w.commitment_raw(commitment);
+            w.signature(signature);
+        }
+        Msg::OverlayUpdate {
+            partition,
+            iter,
+            data,
+            signature,
+        } => {
+            w = Writer::new(TAG_OVERLAY_UPDATE);
+            w.usize(*partition);
+            w.u64(*iter);
+            w.bytes(data);
+            w.signature(signature);
+        }
     }
     w.buf
 }
@@ -521,6 +564,21 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, DecodeError> {
             partition: r.usize("DirectGradient")?,
             iter: r.u64("DirectGradient")?,
             data: r.bytes("DirectGradient")?,
+        },
+        TAG_OVERLAY_PARTIAL => Msg::OverlayPartial {
+            trainer: r.usize("OverlayPartial")?,
+            partition: r.usize("OverlayPartial")?,
+            iter: r.u64("OverlayPartial")?,
+            data: r.bytes("OverlayPartial")?,
+            count: r.u64("OverlayPartial")?,
+            commitment: r.commitment_raw("OverlayPartial")?,
+            signature: r.signature("OverlayPartial")?,
+        },
+        TAG_OVERLAY_UPDATE => Msg::OverlayUpdate {
+            partition: r.usize("OverlayUpdate")?,
+            iter: r.u64("OverlayUpdate")?,
+            data: r.bytes("OverlayUpdate")?,
+            signature: r.signature("OverlayUpdate")?,
         },
         _ => return err("unknown msg tag"),
     };
@@ -970,6 +1028,36 @@ mod tests {
                 partition: 1,
                 iter: 2,
                 data: Bytes::from(vec![8; 40]),
+            },
+            Msg::OverlayPartial {
+                trainer: 6,
+                partition: 0,
+                iter: 3,
+                data: Bytes::from(vec![5; 24]),
+                count: 9,
+                commitment: [3u8; 33],
+                signature: Some([8u8; 65]),
+            },
+            Msg::OverlayPartial {
+                trainer: 1,
+                partition: 1,
+                iter: 0,
+                data: Bytes::from(vec![1; 8]),
+                count: 1,
+                commitment: [0u8; 33],
+                signature: None,
+            },
+            Msg::OverlayUpdate {
+                partition: 2,
+                iter: 4,
+                data: Bytes::from(vec![7; 16]),
+                signature: Some([2u8; 65]),
+            },
+            Msg::OverlayUpdate {
+                partition: 0,
+                iter: 1,
+                data: Bytes::from(vec![9; 4]),
+                signature: None,
             },
         ]
     }

@@ -20,7 +20,8 @@ use dfl_crypto::pedersen::{BatchEntry, CommitKey, Commitment};
 use dfl_crypto::sha256::Sha256;
 use dfl_ml::{Dataset, Matrix, SgdConfig, SyntheticModel};
 use dfl_netsim::{FaultPlan, NodeId, SimDuration, SimTime, Trace};
-use ipls::{run_task, CommMode, TaskConfig, TaskReport};
+use ipls::overlay::OverlayTree;
+use ipls::{labels, run_task, CommMode, TaskConfig, TaskReport};
 
 /// Bytes per encoded parameter on the wire (fixed-point i64).
 pub const BYTES_PER_ELEMENT: usize = 8;
@@ -814,6 +815,7 @@ pub fn netsim_report_json(
     profiles: &[TraceQueryProfile],
     churn: &[ChurnPoint],
     scale: &[ScalePoint],
+    overlay: &[OverlayPoint],
 ) -> String {
     let mut out = String::from("{\n  \"trace_query\": [\n");
     for (i, p) in profiles.iter().enumerate() {
@@ -895,6 +897,33 @@ pub fn netsim_report_json(
         out.push_str(&format!(
             "    }}{}\n",
             if i + 1 < scale.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"overlay\": [\n");
+    for (i, p) in overlay.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"trainers\": {},\n", p.trainers));
+        out.push_str(&format!("      \"branching\": {},\n", p.branching));
+        out.push_str(&format!("      \"levels\": {},\n", p.levels));
+        out.push_str(&format!(
+            "      \"completed_rounds\": {},\n",
+            p.completed_rounds
+        ));
+        out.push_str(&format!("      \"agg_msgs_max\": {},\n", p.agg_msgs_max));
+        out.push_str(&format!("      \"work_bound\": {},\n", p.work_bound));
+        out.push_str(&format!("      \"fan_in_max\": {},\n", p.fan_in_max));
+        out.push_str(&format!(
+            "      \"partials_forwarded\": {},\n",
+            p.partials_forwarded
+        ));
+        out.push_str(&format!(
+            "      \"round_secs\": {},\n",
+            json_f64(p.round_secs)
+        ));
+        out.push_str(&format!("      \"wall_ms\": {}\n", json_f64(p.wall_ms)));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < overlay.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1214,6 +1243,139 @@ pub fn scale_sweep(sizes: &[usize], reference_max: usize) -> Vec<ScalePoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical aggregation overlay sweep
+// ---------------------------------------------------------------------------
+
+/// Branching factor used by the overlay sweep (fan-in bound per level).
+pub const OVERLAY_BRANCHING: usize = 8;
+
+/// One point of the overlay sweep: a full verifiable round through the
+/// multi-level aggregation overlay at `trainers` trainers, with the
+/// per-node work extracted from the trace.
+#[derive(Clone, Debug)]
+pub struct OverlayPoint {
+    /// Trainers in the swarm.
+    pub trainers: usize,
+    /// Overlay branching factor `b`.
+    pub branching: usize,
+    /// Levels in the overlay tree (a flat round would be 1 level of
+    /// `trainers` fan-in; the overlay caps fan-in at `b` per level).
+    pub levels: usize,
+    /// Rounds that completed (must equal the configured rounds).
+    pub completed_rounds: u64,
+    /// Overlay messages processed by the busiest aggregator — the
+    /// sub-linearity headline. Bounded by `work_bound`, not by `trainers`.
+    pub agg_msgs_max: u64,
+    /// The per-node work bound the overlay guarantees: `b × levels`.
+    pub work_bound: u64,
+    /// Child partials received by the busiest interior trainer (fan-in;
+    /// at most `b` per round).
+    pub fan_in_max: u64,
+    /// Partial aggregates forwarded across the whole overlay.
+    pub partials_forwarded: u64,
+    /// Duration of the completed round (simulated seconds).
+    pub round_secs: f64,
+    /// Wall-clock milliseconds the simulation took on this machine.
+    pub wall_ms: f64,
+}
+
+/// Overlay sweep base setup: one verifiable partition, one aggregator,
+/// branching-8 overlay, direct communication (the overlay replaces the
+/// storage upload path entirely — partials travel trainer-to-trainer).
+pub fn overlay_config(trainers: usize) -> TaskConfig {
+    TaskConfig {
+        trainers,
+        partitions: 1,
+        aggregators_per_partition: 1,
+        ipfs_nodes: 1,
+        comm: CommMode::Direct,
+        verifiable: true,
+        batch_verify: true,
+        commit_precompute: true,
+        overlay_branching: Some(OVERLAY_BRANCHING),
+        rounds: 1,
+        bandwidth_mbps: 50,
+        latency: SimDuration::from_millis(5),
+        poll_interval: SimDuration::from_millis(100),
+        t_train: SimDuration::from_secs(60),
+        t_sync: SimDuration::from_secs(120),
+        seed: 11,
+        ..TaskConfig::default()
+    }
+}
+
+/// Parameter count of the overlay sweep's synthetic model. Small on
+/// purpose: the sweep measures message-topology work, which does not
+/// depend on the payload size.
+pub fn overlay_param_count() -> usize {
+    32
+}
+
+/// Runs one overlay point and checks the per-node work bounds: the
+/// busiest aggregator must process at most `b × levels` overlay messages
+/// and the busiest interior trainer at most `b` child partials per round.
+///
+/// # Panics
+///
+/// Panics if the round fails to complete or either bound is exceeded.
+pub fn overlay_point(trainers: usize) -> OverlayPoint {
+    let cfg = overlay_config(trainers);
+    let branching = cfg.overlay_branching.expect("overlay config has branching");
+    let rounds = cfg.rounds;
+    let start = Instant::now();
+    let report = run_network_experiment(cfg.clone(), overlay_param_count());
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.succeeded(&cfg),
+        "overlay round incomplete at n={trainers}: {}/{} rounds",
+        report.completed_rounds,
+        rounds
+    );
+
+    // One pass over the trace: per-node counts of the two work labels.
+    let mut agg_msgs: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let mut fan_in: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    for e in report.trace.events() {
+        let name = report.trace.label_name(e.label);
+        if name == labels::OVERLAY_AGG_MSG {
+            *agg_msgs.entry(e.node.index()).or_insert(0) += 1;
+        } else if name == labels::OVERLAY_CHILD_RECV {
+            *fan_in.entry(e.node.index()).or_insert(0) += 1;
+        }
+    }
+    let agg_msgs_max = agg_msgs.values().copied().max().unwrap_or(0);
+    let fan_in_max = fan_in.values().copied().max().unwrap_or(0);
+    let levels = OverlayTree::new(trainers, branching, cfg.seed).levels();
+    let work_bound = (branching * levels) as u64 * rounds;
+    assert!(
+        agg_msgs_max <= work_bound,
+        "aggregator processed {agg_msgs_max} overlay messages at n={trainers}, bound {work_bound}"
+    );
+    assert!(
+        fan_in_max <= branching as u64 * rounds,
+        "interior fan-in {fan_in_max} exceeds branching {branching} at n={trainers}"
+    );
+
+    OverlayPoint {
+        trainers,
+        branching,
+        levels,
+        completed_rounds: report.completed_rounds,
+        agg_msgs_max,
+        work_bound,
+        fan_in_max,
+        partials_forwarded: report.trace.count(labels::OVERLAY_FORWARDED) as u64,
+        round_secs: report.rounds.first().map_or(0.0, |r| r.round_duration),
+        wall_ms,
+    }
+}
+
+/// The overlay sweep: one [`OverlayPoint`] per swarm size, ascending.
+pub fn overlay_sweep(sizes: &[usize]) -> Vec<OverlayPoint> {
+    sizes.iter().map(|&n| overlay_point(n)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1326,11 +1488,33 @@ mod tests {
             p.scan_find_ms,
             p.indexed_find_ms
         );
-        let json = netsim_report_json(std::slice::from_ref(&p), &[], &[]);
+        let json = netsim_report_json(std::slice::from_ref(&p), &[], &[], &[]);
         assert!(json.contains("\"source\": \"synthetic\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"churn_wire_cost\""));
         assert!(json.contains("\"scale\""));
+        assert!(json.contains("\"overlay\""));
+    }
+
+    #[test]
+    fn overlay_point_completes_with_bounded_per_node_work() {
+        // 200 trainers at branching 8 is a 3-level overlay; overlay_point
+        // asserts internally that the round completes, the aggregator
+        // processes ≤ b × levels overlay messages, and no interior node
+        // sees more than b child partials.
+        let point = overlay_point(200);
+        assert_eq!(point.trainers, 200);
+        assert_eq!(point.branching, OVERLAY_BRANCHING);
+        assert!(point.levels >= 3, "200 trainers at b=8 is ≥3 levels");
+        assert_eq!(point.completed_rounds, 1);
+        // The headline property: aggregator work is a constant (one root
+        // partial per round), far below the flat round's 200 messages.
+        assert!(point.agg_msgs_max <= point.work_bound);
+        assert!(point.agg_msgs_max < 200);
+        assert!(point.fan_in_max > 0 && point.fan_in_max <= 8);
+        let json = netsim_report_json(&[], &[], &[], std::slice::from_ref(&point));
+        assert!(json.contains("\"trainers\": 200"));
+        assert!(json.contains("\"agg_msgs_max\""));
     }
 
     #[test]

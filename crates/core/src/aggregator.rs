@@ -39,12 +39,15 @@ use crate::accountability::{
 };
 use crate::adversary::Behavior;
 use crate::config::{CommMode, Topology};
+use crate::error::IplsError;
 use crate::gradient::{
     commit_blob, decode_blob, flush_verify_queue, sum_gradients, verify_blob_timed,
     verify_blobs_timed, ProtocolCommitment, ProtocolCurve, ProtocolKey,
 };
 use crate::labels;
-use crate::messages::{update_message, Msg, SyncAnnounce};
+use crate::messages::{
+    overlay_partial_message, overlay_update_message, update_message, Msg, SyncAnnounce,
+};
 use crate::protocol::{Actions, ProtocolCore, ProtocolEvent};
 
 const TK_POLL: u64 = 1 << 32;
@@ -358,6 +361,12 @@ impl Aggregator {
         if self.behavior == Behavior::Offline {
             return;
         }
+        // Overlay mode is push-driven: the tree root delivers one composed
+        // partial and this aggregator pushes one update back down. There
+        // is nothing to poll for and no peer sync to deadline.
+        if self.topo.overlay().is_some() {
+            return;
+        }
         // Direct mode receives gradients without polling, but the poll
         // loop also fetches accumulated commitments for peer verification
         // and drives dropout recovery, so it runs in every mode.
@@ -599,12 +608,39 @@ impl Aggregator {
         providers.sort_unstable_by_key(|n| n.index());
         self.merges_outstanding = providers.len();
         for provider in providers {
-            let members = by_provider.remove(&provider).expect("listed provider");
+            // The member lists derive from directory registration state —
+            // remote, possibly Byzantine input. A provider with no group
+            // is booked and skipped, never a panic.
+            let members = match Self::take_provider_group(&mut by_provider, provider) {
+                Ok(members) => members,
+                Err(_) => {
+                    self.merges_outstanding -= 1;
+                    out.incr(labels::UNLISTED_PROVIDER, 1);
+                    continue;
+                }
+            };
             let cids = members.iter().map(|&(_, cid)| cid).collect();
             let req = self.fresh_req(Request::Merged);
             self.merge_members.insert(req, members);
             self.send_retryable(out, provider, IpfsWire::Merge { cids, req_id: req }, req);
         }
+    }
+
+    /// Pops `provider`'s member group out of the grouped registration map.
+    ///
+    /// # Errors
+    ///
+    /// [`IplsError::UnlistedProvider`] when the merge grouping names a
+    /// provider absent from the member map — registration state reaches
+    /// this aggregator through directory messages, so an inconsistent
+    /// (or maliciously crafted) list must surface as a typed error.
+    fn take_provider_group(
+        by_provider: &mut HashMap<NodeId, Vec<(usize, Cid)>>,
+        provider: NodeId,
+    ) -> Result<Vec<(usize, Cid)>, IplsError> {
+        by_provider.remove(&provider).ok_or(IplsError::UnlistedProvider {
+            provider: provider.index(),
+        })
     }
 
     /// Fabricates a zero-ish gradient for the first trainer of `T_ij`,
@@ -1083,6 +1119,8 @@ impl Aggregator {
                     let valid = match verdict {
                         Some(v) => v,
                         None => {
+                            // Truly local invariant: verifiable() is the
+                            // key's presence test, never remote input.
                             let key = self.key.as_ref().expect("verifiable").clone();
                             verify_blob_timed(out, &key, data, &acc)
                         }
@@ -1156,6 +1194,8 @@ impl Aggregator {
             detector: 0,
             detector_sig: [0u8; 65],
         };
+        // Truly local invariant: convictions only happen in accountability
+        // mode, which derives the signing key at construction.
         let sk = self.signing_key.as_ref().expect("accountability keys");
         record.sign_as_detector(self.g as u64, sk);
         let bytes = record.encode();
@@ -1213,6 +1253,9 @@ impl Aggregator {
         }
         match self.evidence_expected(&record) {
             Some(expected) => {
+                // Truly local invariant: on_evidence gates on
+                // accountability(), and validate ties that to verifiable —
+                // the commitment key exists whenever evidence is handled.
                 let key = self.key.as_ref().expect("accountability keys").clone();
                 let slots = self.topo.config().aggregators_per_partition;
                 if record.verify(&key, self.topo.config().seed, slots, &expected) {
@@ -1416,6 +1459,8 @@ impl Aggregator {
             self.sync_recorded = true;
             out.record(labels::SYNC_DONE, self.iter as f64);
         }
+        // Truly local invariant: finish_global's only caller runs after
+        // this aggregator computed its own partial.
         let global = self.partial.clone().expect("partial computed");
         self.upload_global(out, global);
     }
@@ -1709,8 +1754,102 @@ impl Aggregator {
                 let data = data.to_vec();
                 self.on_deliver(out, &topic, &data);
             }
+            Msg::OverlayPartial {
+                trainer,
+                partition,
+                iter,
+                data,
+                count,
+                commitment,
+                signature,
+            } => self.on_overlay_partial(out, trainer, partition, iter, &data, count, commitment, signature),
             _ => {}
         }
+    }
+
+    /// Overlay mode: the tree root delivered the fully composed partial
+    /// for this partition. Verify the composed Pedersen opening (and the
+    /// root's signature), then push the final update back down the tree.
+    ///
+    /// The root's blob bytes are reused **verbatim** as the update payload:
+    /// they already encode the exact i128 sum the flat path would compute
+    /// over the same leaves, so flat and overlay rounds produce
+    /// bit-identical models.
+    #[allow(clippy::too_many_arguments)]
+    fn on_overlay_partial(
+        &mut self,
+        out: &mut Actions<Msg>,
+        trainer: usize,
+        partition: usize,
+        iter: u64,
+        data: &Bytes,
+        count: u64,
+        commitment: [u8; 33],
+        signature: Option<[u8; 65]>,
+    ) {
+        let Some(tree) = self.topo.overlay() else {
+            return; // flat mode: stray frame, nothing listens here
+        };
+        if self.behavior == Behavior::Offline {
+            return;
+        }
+        // Every message processed in overlay mode is booked: per-node
+        // event counts of this label are the bench's per-aggregator work
+        // measurement (bounded by partitions, not by trainers).
+        out.record(labels::OVERLAY_AGG_MSG, iter as f64);
+        if iter != self.iter || self.global_sent {
+            return;
+        }
+        // Only the tree root speaks for the swarm, and only for my
+        // partition.
+        if partition != self.partition || trainer != tree.root() {
+            out.record(labels::OVERLAY_PARTIAL_REJECTED, trainer as f64);
+            return;
+        }
+        let Some(point) = ProtocolCommitment::from_bytes(&commitment) else {
+            out.record(labels::OVERLAY_PARTIAL_REJECTED, trainer as f64);
+            return;
+        };
+        if self.topo.config().authenticate {
+            let seed = self.topo.config().seed.to_be_bytes();
+            let vk = SigningKey::<ProtocolCurve>::derive(&seed, trainer as u64).verifying_key();
+            let msg =
+                overlay_partial_message(trainer, partition, iter, count, &Cid::of(data), &commitment);
+            let authentic = signature
+                .and_then(|b| Signature::<ProtocolCurve>::from_bytes(&b))
+                .is_some_and(|sig| vk.verify(&msg, &sig));
+            if !authentic {
+                out.record(labels::OVERLAY_PARTIAL_REJECTED, trainer as f64);
+                return;
+            }
+        }
+        // Truly local invariant: TaskConfig::validate requires verifiable
+        // mode for the overlay, so the commitment key exists.
+        let key = self.key.as_ref().expect("overlay requires verifiable mode").clone();
+        if !verify_blob_timed(out, &key, data, &point) {
+            out.record(labels::OVERLAY_PARTIAL_REJECTED, trainer as f64);
+            return;
+        }
+        out.record(labels::GRADS_AGGREGATED, self.iter as f64);
+        out.record(labels::SYNC_DONE, self.iter as f64);
+        self.global_sent = true;
+        let cid = Cid::of(data);
+        let update_sig = self.topo.config().authenticate.then(|| {
+            let msg = overlay_update_message(self.g, self.partition, self.iter, &cid);
+            agg_signing_key(self.topo.config().seed, self.g)
+                .sign(&msg)
+                .to_bytes()
+        });
+        out.send(
+            self.topo.trainer(tree.root()),
+            Msg::OverlayUpdate {
+                partition: self.partition,
+                iter: self.iter,
+                data: data.clone(),
+                signature: update_sig,
+            },
+        );
+        out.record(labels::OVERLAY_UPDATE_PUSHED, self.iter as f64);
     }
 
     fn on_timer(&mut self, out: &mut Actions<Msg>, token: u64) {
@@ -1724,5 +1863,27 @@ impl Aggregator {
             TK_WATCHDOG => self.on_watchdog(out, token & 0xFFFF_FFFF),
             _ => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a merge group naming a provider absent from the member
+    /// map surfaces as [`IplsError::UnlistedProvider`] — the member lists
+    /// derive from directory (remote, possibly Byzantine) messages, so
+    /// this used to panic via `.expect("listed provider")`.
+    #[test]
+    fn unlisted_provider_is_a_typed_error_not_a_panic() {
+        let mut by_provider: HashMap<NodeId, Vec<(usize, Cid)>> = HashMap::new();
+        by_provider.insert(NodeId(3), vec![(0, Cid::of(b"g"))]);
+        // The listed provider resolves its group exactly once...
+        assert!(Aggregator::take_provider_group(&mut by_provider, NodeId(3)).is_ok());
+        // ...and an unlisted (or doubly listed) provider is an error.
+        let err = Aggregator::take_provider_group(&mut by_provider, NodeId(3)).unwrap_err();
+        assert!(matches!(err, IplsError::UnlistedProvider { provider: 3 }));
+        let err = Aggregator::take_provider_group(&mut by_provider, NodeId(9)).unwrap_err();
+        assert!(matches!(err, IplsError::UnlistedProvider { provider: 9 }));
     }
 }

@@ -130,6 +130,19 @@ pub struct TaskConfig {
     /// table fast path. Results are bit-identical either way; only
     /// real-world wall-clock changes. Only meaningful with `verifiable`.
     pub commit_precompute: bool,
+    /// Multi-level aggregation overlay (Handel-style): `Some(b)` arranges
+    /// each trainer set into a deterministic `b`-ary tree seeded from
+    /// `seed`. Leaves send their gradient one hop up; every interior
+    /// trainer verifies its children's Pedersen openings, composes the
+    /// commitments homomorphically, signs its level partial, and forwards
+    /// one blob upward, so per-node fan-in is bounded by `b` at every
+    /// level and the aggregator receives a single root partial per round.
+    /// The final model is disseminated back down the same tree. `None`
+    /// (default) keeps flat aggregation — the trace-fingerprint oracle the
+    /// overlay is checked against. Requires `verifiable` (interior
+    /// verification is a commitment check) and a single aggregator per
+    /// partition (partial sync across slots stays flat-mode-only).
+    pub overlay_branching: Option<usize>,
     /// Master seed for all task randomness.
     pub seed: u64,
     /// Run the network simulation under the reference global max–min
@@ -171,6 +184,7 @@ impl Default for TaskConfig {
             commit_us_per_element: 0,
             commit_precompute: true,
             batch_verify: false,
+            overlay_branching: None,
             seed: 0,
             reference_allocator: false,
         }
@@ -275,6 +289,24 @@ impl TaskConfig {
         if self.fetch_timeout <= SimDuration::ZERO {
             return err("fetch_timeout must be positive");
         }
+        if let Some(b) = self.overlay_branching {
+            if b < 2 {
+                return err("overlay_branching must be at least 2");
+            }
+            if !self.verifiable {
+                return err("overlay aggregation requires verifiable mode \
+                     (interior nodes verify child partials against commitments)");
+            }
+            if self.aggregators_per_partition != 1 {
+                return err("overlay aggregation requires a single aggregator per partition \
+                     (cross-slot partial sync is flat-mode-only)");
+            }
+            if self.trainer_verifies {
+                return err("overlay aggregation replaces trainer-side update verification \
+                     (no directory accumulator exists; each hop verifies child openings \
+                     and the aggregator signs the pushed update)");
+            }
+        }
         Ok(())
     }
 
@@ -348,6 +380,7 @@ impl TaskConfigBuilder {
         commit_us_per_element: u64,
         commit_precompute: bool,
         batch_verify: bool,
+        overlay_branching: Option<usize>,
         seed: u64,
         reference_allocator: bool,
     }
@@ -577,6 +610,17 @@ impl Topology {
     /// The pub/sub topic aggregators of partition `i` synchronize on.
     pub fn sync_topic(&self, partition: usize) -> String {
         format!("ipls/sync/{partition}")
+    }
+
+    /// The multi-level aggregation tree, when `overlay_branching` is
+    /// configured. Topology-owned so every backend derives the identical
+    /// levels from the shared `TaskConfig`; the tree is a pure function of
+    /// `(trainers, branching, seed)` and costs O(1) to build, so each call
+    /// may construct it afresh.
+    pub fn overlay(&self) -> Option<crate::overlay::OverlayTree> {
+        self.cfg.overlay_branching.map(|b| {
+            crate::overlay::OverlayTree::new(self.cfg.trainers, b, self.cfg.seed)
+        })
     }
 }
 
@@ -836,6 +880,44 @@ mod tests {
                 trainer: 5,
             })
         );
+    }
+
+    #[test]
+    fn overlay_knob_is_validated() {
+        // Overlay without verifiable mode: rejected.
+        let err = TaskConfig::builder()
+            .overlay_branching(Some(4))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("verifiable"));
+        // Degenerate branching: rejected.
+        let err = TaskConfig::builder()
+            .verifiable(true)
+            .overlay_branching(Some(1))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 2"));
+        // Multiple aggregator slots: rejected.
+        let err = TaskConfig::builder()
+            .verifiable(true)
+            .aggregators_per_partition(2)
+            .overlay_branching(Some(4))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("single aggregator"));
+        // The valid shape builds, and the topology exposes the tree.
+        let cfg = TaskConfig::builder()
+            .trainers(16)
+            .verifiable(true)
+            .overlay_branching(Some(4))
+            .build()
+            .unwrap();
+        let topo = Topology::new(cfg, 16).unwrap();
+        let tree = topo.overlay().unwrap();
+        assert_eq!(tree.len(), 16);
+        // Flat default: no tree.
+        let topo = Topology::new(TaskConfig::default(), 16).unwrap();
+        assert!(topo.overlay().is_none());
     }
 
     #[test]

@@ -471,7 +471,15 @@ impl Directory {
         let Some(mut pv) = self.fetching.remove(&req_id) else {
             return;
         };
-        let key = self.key.as_ref().expect("verifiable mode").clone();
+        // An update blob reply reaching the verification path without a
+        // commitment key means a storage frame was spoofed or misrouted
+        // into a non-verifiable task
+        // ([`IplsError::MissingCommitKey`](crate::IplsError)): book it and
+        // drop the reply instead of panicking.
+        let Some(key) = self.key.clone() else {
+            out.incr(labels::MISSING_COMMIT_KEY, 1);
+            return;
+        };
         let verdict = ok
             && match self.expected_for_update(pv.partition, pv.iter, &pv.contributors) {
                 // Audited updates arrive one storage reply at a time, so
@@ -782,5 +790,37 @@ mod tests {
             dir.commitments.entry((0, 0)).or_default().insert(t, c);
         }
         assert!(dir.accumulated_total(0, 0).is_some());
+    }
+
+    /// Regression: a storage reply reaching the update-verification path
+    /// in a non-verifiable task (spoofed or misrouted frame) must be
+    /// booked ([`IplsError::MissingCommitKey`](crate::IplsError)) and
+    /// dropped — it used to kill the directory via
+    /// `.expect("verifiable mode")`.
+    #[test]
+    fn update_blob_without_commit_key_is_booked_not_fatal() {
+        use crate::protocol::{Actions, ProtocolAction};
+        let mut dir = Directory::new(topo(false), None);
+        dir.fetching.insert(
+            5,
+            PendingVerify {
+                partition: 0,
+                iter: 0,
+                aggregator: 0,
+                cid: Cid::of(b"u"),
+                from: NodeId(1),
+                verdict: false,
+                contributors: None,
+                signature: None,
+                blob: Vec::new(),
+            },
+        );
+        let mut out = Actions::new();
+        dir.on_update_blob(&mut out, 5, b"update-bytes", true);
+        let booked = out.drain().any(|a| {
+            matches!(a, ProtocolAction::Incr { label, .. } if label == labels::MISSING_COMMIT_KEY)
+        });
+        assert!(booked, "missing commit key must increment the counter");
+        assert!(dir.verifying.is_empty(), "nothing must reach the verdict stage");
     }
 }

@@ -27,6 +27,25 @@ pub enum IplsError {
         /// Trainer that asked for an upload target.
         trainer: usize,
     },
+    /// A merge group referenced a provider that is absent from the grouped
+    /// member map. The member lists derive from directory `GradientList`
+    /// messages — remote, possibly Byzantine input — so the mismatch is an
+    /// error, never a panic.
+    UnlistedProvider {
+        /// Simulation node index of the missing provider.
+        provider: usize,
+    },
+    /// A storage acknowledgment arrived for a request this node never
+    /// routed through storage: a misrouted or duplicated frame from a
+    /// remote backend (observed from the TCP transport).
+    MisroutedAck {
+        /// The acknowledged request id.
+        req_id: u64,
+    },
+    /// A cryptographic verification step ran without a commitment key —
+    /// a remote message steered a non-verifiable node onto a verifying
+    /// code path.
+    MissingCommitKey,
 }
 
 impl fmt::Display for IplsError {
@@ -57,6 +76,17 @@ impl fmt::Display for IplsError {
                 "no storage route for partition {partition} gradient of trainer {trainer}: \
                  direct mode uploads no gradients to storage"
             ),
+            IplsError::UnlistedProvider { provider } => write!(
+                f,
+                "merge group references provider node {provider} absent from the member map"
+            ),
+            IplsError::MisroutedAck { req_id } => write!(
+                f,
+                "storage acknowledgment for request {req_id} that was never routed through storage"
+            ),
+            IplsError::MissingCommitKey => {
+                write!(f, "verification requested without a commitment key")
+            }
         }
     }
 }
@@ -76,5 +106,10 @@ mod tests {
             aggregator: 1,
         };
         assert!(e.to_string().contains("partition 2"));
+        let e = IplsError::UnlistedProvider { provider: 7 };
+        assert!(e.to_string().contains("provider node 7"));
+        let e = IplsError::MisroutedAck { req_id: 41 };
+        assert!(e.to_string().contains("request 41"));
+        assert!(IplsError::MissingCommitKey.to_string().contains("key"));
     }
 }

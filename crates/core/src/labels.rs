@@ -92,3 +92,45 @@ pub const VERIFY_BATCHED: &str = "verify_batched";
 /// its retries or the per-peer queue overflowed. Only real-socket
 /// backends emit these; in netsim every loss is injected and traced.
 pub const DELIVERY_FAILED: &str = "delivery_failed";
+/// Counter: a merge group named a provider absent from the grouped member
+/// map ([`IplsError::UnlistedProvider`](crate::IplsError)). The member
+/// lists derive from directory messages, so the mismatch is booked and the
+/// provider skipped instead of panicking.
+pub const UNLISTED_PROVIDER: &str = "unlisted_provider";
+/// Counter: a storage acknowledgment arrived for a request this node never
+/// routed through storage ([`IplsError::MisroutedAck`](crate::IplsError))
+/// — a misrouted or duplicated frame from a remote backend. Dropped.
+pub const MISROUTED_ACK: &str = "misrouted_ack";
+/// Counter: an update blob reply reached a verification path without a
+/// commitment key ([`IplsError::MissingCommitKey`](crate::IplsError)).
+/// Dropped instead of panicking.
+pub const MISSING_COMMIT_KEY: &str = "missing_commit_key";
+/// Trainer (overlay mode): forwarded its level's partial — own gradient
+/// plus verified child partials — one hop up the aggregation tree
+/// (value = partition index).
+pub const OVERLAY_FORWARDED: &str = "overlay_forwarded";
+/// Trainer (overlay mode): received one child's partial (value =
+/// partition index). Per-node event counts of this label bound the
+/// measured fan-in at every interior node.
+pub const OVERLAY_CHILD_RECV: &str = "overlay_child_recv";
+/// Trainer (overlay mode): a child partial failed its Pedersen opening
+/// or signature check and was excluded from the level's sum (value = the
+/// offending child's trainer index).
+pub const OVERLAY_CHILD_REJECTED: &str = "overlay_child_rejected";
+/// Trainer (overlay mode): the level deadline fired before every child
+/// delivered; the partial went up with the contributions that arrived
+/// (value = number of children missing).
+pub const OVERLAY_TIMEOUT: &str = "overlay_timeout";
+/// Aggregator (overlay mode): processed one protocol message (value =
+/// iter). Per-aggregator event counts of this label are the sub-linear
+/// per-node work measurement of the overlay bench.
+pub const OVERLAY_AGG_MSG: &str = "overlay_agg_msg";
+/// Aggregator (overlay mode): a root partial failed verification and was
+/// dropped (value = the claimed root trainer index).
+pub const OVERLAY_PARTIAL_REJECTED: &str = "overlay_partial_rejected";
+/// Aggregator (overlay mode): pushed the final partition update into the
+/// dissemination tree (value = iter).
+pub const OVERLAY_UPDATE_PUSHED: &str = "overlay_update_pushed";
+/// Trainer (overlay mode): an update pushed down the tree failed its
+/// aggregator signature check and was dropped (value = partition).
+pub const OVERLAY_UPDATE_REJECTED: &str = "overlay_update_rejected";

@@ -52,6 +52,7 @@ pub mod error;
 pub mod gradient;
 pub mod labels;
 pub mod messages;
+pub mod overlay;
 pub mod protocol;
 pub mod runner;
 pub mod trainer;

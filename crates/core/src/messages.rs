@@ -119,6 +119,49 @@ pub fn update_message(
     out
 }
 
+/// Canonical byte string a trainer signs over the overlay level partial it
+/// forwards up the aggregation tree: sender, partition, round, contributor
+/// count, the blob's content hash, and the composed commitment are all
+/// bound, so a parent (or the aggregator, for the root) can attribute a
+/// bad partial to the exact hop that produced it. Domain-separated from
+/// every flat-mode signing context.
+pub fn overlay_partial_message(
+    trainer: usize,
+    partition: usize,
+    iter: u64,
+    count: u64,
+    cid: &Cid,
+    commitment: &CommitmentBytes,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(b"ipls-overlay-partial");
+    out.extend_from_slice(&(trainer as u64).to_be_bytes());
+    out.extend_from_slice(&(partition as u64).to_be_bytes());
+    out.extend_from_slice(&iter.to_be_bytes());
+    out.extend_from_slice(&count.to_be_bytes());
+    out.extend_from_slice(cid.as_bytes());
+    out.extend_from_slice(commitment);
+    out
+}
+
+/// Canonical byte string an aggregator signs over the final update it
+/// pushes down the overlay dissemination tree (the overlay counterpart of
+/// [`update_message`]; trainers check it before applying or forwarding).
+pub fn overlay_update_message(
+    aggregator: usize,
+    partition: usize,
+    iter: u64,
+    cid: &Cid,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    out.extend_from_slice(b"ipls-overlay-update");
+    out.extend_from_slice(&(aggregator as u64).to_be_bytes());
+    out.extend_from_slice(&(partition as u64).to_be_bytes());
+    out.extend_from_slice(&iter.to_be_bytes());
+    out.extend_from_slice(cid.as_bytes());
+    out
+}
+
 /// Messages exchanged between task participants.
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -302,6 +345,45 @@ pub enum Msg {
         /// The encoded gradient blob.
         data: bytes::Bytes,
     },
+
+    /// Trainer → overlay parent (or tree root → aggregator): one level's
+    /// partial aggregate — the sender's gradient summed with its verified
+    /// children's partials, the homomorphically composed commitment, and
+    /// how many trainers the sum covers.
+    OverlayPartial {
+        /// Sending trainer's index.
+        trainer: usize,
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// The encoded partial-sum blob (values + summed counter).
+        data: bytes::Bytes,
+        /// Trainers whose gradients the partial covers.
+        count: u64,
+        /// Composed Pedersen commitment over the partial.
+        commitment: CommitmentBytes,
+        /// Schnorr signature over [`overlay_partial_message`]
+        /// (authenticated mode).
+        signature: Option<SignatureBytes>,
+    },
+
+    /// Aggregator → tree root, then trainer → children: the final
+    /// partition update disseminated down the overlay tree (replaces the
+    /// flat mode's directory polling, so dissemination is O(|T|) messages
+    /// with per-node fan-out bounded by the branching factor).
+    OverlayUpdate {
+        /// Partition index.
+        partition: usize,
+        /// Round number.
+        iter: u64,
+        /// The aggregated update blob (same encoding as the flat global
+        /// update, so depth-1 overlays reproduce flat rounds bit for bit).
+        data: bytes::Bytes,
+        /// Schnorr signature over [`overlay_update_message`]
+        /// (authenticated mode).
+        signature: Option<SignatureBytes>,
+    },
 }
 
 impl crate::protocol::WireCost for Msg {
@@ -344,6 +426,14 @@ impl Msg {
                 ..
             } => CONTROL_BYTES + 33,
             Msg::DirectGradient { data, .. } => CONTROL_BYTES + data.len() as u64,
+            Msg::OverlayPartial {
+                data, signature, ..
+            } => {
+                CONTROL_BYTES + data.len() as u64 + 33 + if signature.is_some() { 65 } else { 0 }
+            }
+            Msg::OverlayUpdate {
+                data, signature, ..
+            } => CONTROL_BYTES + data.len() as u64 + if signature.is_some() { 65 } else { 0 },
             Msg::RegisterGradientBatch {
                 entries, signature, ..
             } => {
@@ -664,5 +754,64 @@ mod tests {
             "00", // full membership
         );
         assert_eq!(hex(&update_message(4, 0, 9, &cid, &None)), expected_full);
+    }
+
+    #[test]
+    fn overlay_partial_message_golden_vector() {
+        let cid = Cid::from_bytes([0xab; 32]);
+        let expected = concat!(
+            "69706c732d6f7665726c61792d7061727469616c", // "ipls-overlay-partial"
+            "0000000000000003",                         // trainer 3
+            "0000000000000001",                         // partition 1
+            "0000000000000002",                         // iter 2
+            "0000000000000005",                         // count 5
+            "abababababababababababababababababababababababababababababababab",
+            "cdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd",
+        );
+        assert_eq!(
+            hex(&overlay_partial_message(3, 1, 2, 5, &cid, &[0xcd; 33])),
+            expected
+        );
+    }
+
+    #[test]
+    fn overlay_update_message_golden_vector() {
+        let cid = Cid::from_bytes([0x55; 32]);
+        let expected = concat!(
+            "69706c732d6f7665726c61792d757064617465", // "ipls-overlay-update"
+            "0000000000000004",                       // aggregator 4
+            "0000000000000000",                       // partition 0
+            "0000000000000009",                       // iter 9
+            "5555555555555555555555555555555555555555555555555555555555555555",
+        );
+        assert_eq!(hex(&overlay_update_message(4, 0, 9, &cid)), expected);
+    }
+
+    #[test]
+    fn overlay_wire_sizes_scale_with_content() {
+        let partial = Msg::OverlayPartial {
+            trainer: 0,
+            partition: 0,
+            iter: 0,
+            data: bytes::Bytes::from(vec![0u8; 100]),
+            count: 1,
+            commitment: [0u8; 33],
+            signature: None,
+        };
+        let update = Msg::OverlayUpdate {
+            partition: 0,
+            iter: 0,
+            data: bytes::Bytes::from(vec![0u8; 100]),
+            signature: None,
+        };
+        // Partial carries the 33-byte commitment on top of the payload.
+        assert_eq!(partial.wire_bytes(), update.wire_bytes() + 33);
+        let update_signed = Msg::OverlayUpdate {
+            partition: 0,
+            iter: 0,
+            data: bytes::Bytes::from(vec![0u8; 100]),
+            signature: Some([0u8; 65]),
+        };
+        assert_eq!(update_signed.wire_bytes(), update.wire_bytes() + 65);
     }
 }

@@ -16,20 +16,34 @@ use dfl_ipfs::{Cid, IpfsWire};
 use dfl_ml::{local_update, Dataset, Model, SgdConfig};
 use dfl_netsim::{NodeId, SimDuration, SimTime};
 
-use dfl_crypto::schnorr::SigningKey;
+use dfl_crypto::quantize::encode;
+use dfl_crypto::schnorr::{Signature, SigningKey};
 
+use crate::accountability::agg_verifying_key;
 use crate::config::{CommMode, Topology};
 use crate::gradient::{
-    build_blob, commit_blob, decode_update, flush_verify_queue, verify_blob_timed,
-    ProtocolCommitment, ProtocolCurve, ProtocolKey,
+    build_blob, commit_blob, decode_blob, decode_update, flush_verify_queue, sum_gradients,
+    verify_blob_timed, verify_blobs_timed, ProtocolCommitment, ProtocolCurve, ProtocolKey,
 };
 use crate::labels;
-use crate::messages::{batch_registration_message, registration_message, Msg};
+use crate::messages::{
+    batch_registration_message, overlay_partial_message, overlay_update_message,
+    registration_message, Msg,
+};
+use crate::overlay::OverlayTree;
 use crate::protocol::{Actions, ProtocolCore, ProtocolEvent};
 
 const TK_TRAIN: u64 = 1 << 32;
 const TK_POLL: u64 = 2 << 32;
 const TK_RETRY: u64 = 3 << 32;
+/// Overlay-mode level deadline (low 32 bits carry the round it was armed
+/// for, so stale timers from finished rounds are ignored).
+const TK_OVERLAY: u64 = 4 << 32;
+
+/// One buffered child partial: the child's trainer index, its composed
+/// blob, the number of gradients folded into it, the claimed commitment,
+/// and the child's signature (authenticated mode).
+type ChildPartial = (usize, Vec<u8>, u64, [u8; 33], Option<[u8; 65]>);
 
 /// Shared sink the runner reads trainers' final parameters from after the
 /// run ends. `Arc<Mutex<..>>` so socket backends can host each trainer on
@@ -83,6 +97,20 @@ pub struct Trainer<M: Model> {
     /// Whether a storage-retransmission timer is armed.
     retrying: bool,
     next_req: u64,
+
+    // -- overlay mode --------------------------------------------------------
+    /// Child partials buffered per `(iter, partition)`. Keyed by round
+    /// because a fast child can send its level's partial before this
+    /// node's own `StartRound` arrives.
+    overlay_children: HashMap<(u64, usize), Vec<ChildPartial>>,
+    /// Children already counted into a `(iter, partition)` buffer —
+    /// duplicates (retransmissions, Byzantine replays) are dropped.
+    overlay_seen: HashSet<(u64, usize, usize)>,
+    /// Own blobs are built and the node may compose/forward (set when the
+    /// TK_TRAIN timer fires, i.e. local training finished).
+    overlay_ready: bool,
+    /// Partitions whose level partial already went up this round.
+    overlay_sent: HashSet<usize>,
 }
 
 impl<M: Model> Trainer<M> {
@@ -134,6 +162,10 @@ impl<M: Model> Trainer<M> {
             polling: false,
             retrying: false,
             next_req: 0,
+            overlay_children: HashMap::new(),
+            overlay_seen: HashSet::new(),
+            overlay_ready: false,
+            overlay_sent: HashSet::new(),
         }
     }
 
@@ -174,6 +206,12 @@ impl<M: Model> Trainer<M> {
         self.accumulators.clear();
         self.unverified_updates.clear();
         self.pending_verify.clear();
+        self.overlay_ready = false;
+        self.overlay_sent.clear();
+        // Keep buffered partials for this and later rounds (children may
+        // race ahead of our StartRound); drop anything older.
+        self.overlay_children.retain(|&(i, _), _| i >= iter);
+        self.overlay_seen.retain(|&(i, _, _)| i >= iter);
 
         // Release last round's gradient blobs: they have served their
         // purpose once the round completed (§VI ephemeral-data lifecycle).
@@ -213,6 +251,14 @@ impl<M: Model> Trainer<M> {
     }
 
     fn upload(&mut self, now: SimTime, out: &mut Actions<Msg>) {
+        // Overlay mode replaces both the upload and the download path:
+        // partials climb the aggregation tree, the final model rides the
+        // same edges back down, and lateness is governed by the per-level
+        // deadline rather than the flat t_train cut-off.
+        if let Some(tree) = self.topo.overlay() {
+            self.upload_overlay(out, &tree);
+            return;
+        }
         // Abort the round if training blew the t_train deadline
         // (Algorithm 1, lines 10–12): skip uploading, but keep polling so
         // the trainer still picks up the next global model.
@@ -265,6 +311,9 @@ impl<M: Model> Trainer<M> {
                         req_id,
                         replicate: self.topo.config().replication,
                     };
+                    // Truly local invariant: this match arm only runs in the
+                    // storage-backed comm modes, where every partition has a
+                    // storage route by construction.
                     let to = self
                         .topo
                         .upload_target(i, self.t)
@@ -273,6 +322,265 @@ impl<M: Model> Trainer<M> {
                 }
                 self.arm_retry(out);
             }
+        }
+    }
+
+    /// Overlay upload: leaves forward their partial immediately; interior
+    /// nodes arm the level deadline and forward each partition as its
+    /// children complete (buffered partials may already be waiting).
+    fn upload_overlay(&mut self, out: &mut Actions<Msg>, tree: &OverlayTree) {
+        out.record(labels::UPLOAD_START, self.iter as f64);
+        self.overlay_ready = true;
+        if !tree.children(self.t).is_empty() {
+            // Deeper interior nodes get earlier deadlines, so a partial
+            // forwarded on timeout still has a level's budget to climb
+            // each remaining hop before its ancestors give up in turn.
+            let depth_below = (tree.levels() - tree.level(self.t)) as u64;
+            let deadline =
+                SimDuration::from_micros(self.topo.config().t_sync.as_micros() * depth_below);
+            out.set_timer(deadline, TK_OVERLAY | (self.iter & 0xFFFF_FFFF));
+        }
+        for i in 0..self.topo.config().partitions {
+            self.try_forward_overlay(out, tree, i, false);
+        }
+    }
+
+    /// Composes and forwards one partition's level partial once every
+    /// child contribution has arrived (or unconditionally when `force` —
+    /// the level deadline — says so). Each child's Pedersen opening (and
+    /// signature, when authenticated) is verified, the accepted blobs are
+    /// summed with this node's own gradient, the commitments are combined
+    /// homomorphically, and a single blob goes one hop up — to the parent
+    /// trainer, or from the root to the partition's aggregator.
+    fn try_forward_overlay(
+        &mut self,
+        out: &mut Actions<Msg>,
+        tree: &OverlayTree,
+        partition: usize,
+        force: bool,
+    ) {
+        if !self.overlay_ready || self.overlay_sent.contains(&partition) {
+            return;
+        }
+        let expected = tree.children(self.t).len();
+        let arrived = self
+            .overlay_children
+            .get(&(self.iter, partition))
+            .map_or(0, Vec::len);
+        if arrived < expected {
+            if !force {
+                return;
+            }
+            out.record(labels::OVERLAY_TIMEOUT, (expected - arrived) as f64);
+        }
+        self.overlay_sent.insert(partition);
+        let buffered = self
+            .overlay_children
+            .remove(&(self.iter, partition))
+            .unwrap_or_default();
+
+        // Validate the children: parseable commitment, authentic
+        // signature, then one batched Pedersen opening check over the
+        // survivors (the batch is empty at leaves and costs nothing).
+        let key = self
+            .key
+            .as_ref()
+            .expect("overlay requires verifiable mode") // TaskConfig::validate
+            .clone();
+        let seed = self.topo.config().seed.to_be_bytes();
+        let mut candidates: Vec<(usize, Vec<u8>, u64, ProtocolCommitment)> = Vec::new();
+        for (child, blob, count, commitment, signature) in buffered {
+            let Some(point) = ProtocolCommitment::from_bytes(&commitment) else {
+                out.record(labels::OVERLAY_CHILD_REJECTED, child as f64);
+                continue;
+            };
+            if self.topo.config().authenticate {
+                let vk = SigningKey::<ProtocolCurve>::derive(&seed, child as u64).verifying_key();
+                let msg = overlay_partial_message(
+                    child,
+                    partition,
+                    self.iter,
+                    count,
+                    &Cid::of(&blob),
+                    &commitment,
+                );
+                let authentic = signature
+                    .and_then(|b| Signature::<ProtocolCurve>::from_bytes(&b))
+                    .is_some_and(|sig| vk.verify(&msg, &sig));
+                if !authentic {
+                    out.record(labels::OVERLAY_CHILD_REJECTED, child as f64);
+                    continue;
+                }
+            }
+            candidates.push((child, blob, count, point));
+        }
+        let items: Vec<(&[u8], &ProtocolCommitment)> = candidates
+            .iter()
+            .map(|(_, blob, _, point)| (blob.as_slice(), point))
+            .collect();
+        let culprits: HashSet<usize> = verify_blobs_timed(out, &key, &items).into_iter().collect();
+
+        // Sum the accepted child partials with this node's own gradient.
+        // The i128-exact summation makes the composed total bit-identical
+        // to the flat aggregator's sum of the same leaves, independent of
+        // tree shape — addition never rounds, so association is free.
+        let (own_blob, own_commitment) = self.blobs[&partition].clone();
+        let own_commitment = own_commitment.expect("overlay requires verifiable mode");
+        let mut grads = Vec::with_capacity(1 + candidates.len());
+        let mut commits = Vec::with_capacity(1 + candidates.len());
+        let mut count = 1u64;
+        grads.push(decode_blob(&own_blob).expect("locally built blob is well-formed"));
+        commits.push(
+            ProtocolCommitment::from_bytes(&own_commitment)
+                .expect("locally built commitment is a curve point"),
+        );
+        for (i, (child, blob, child_count, point)) in candidates.iter().enumerate() {
+            if culprits.contains(&i) {
+                out.record(labels::OVERLAY_CHILD_REJECTED, *child as f64);
+                continue;
+            }
+            let accepted = decode_blob(blob).filter(|d| d.len() == grads[0].len());
+            let Some(decoded) = accepted else {
+                // Opens its commitment but doesn't decode to this
+                // partition's shape: drop it like any other bad child.
+                out.record(labels::OVERLAY_CHILD_REJECTED, *child as f64);
+                continue;
+            };
+            grads.push(decoded);
+            commits.push(*point);
+            count += child_count;
+        }
+        let summed = match sum_gradients(&grads) {
+            Ok(s) => s,
+            Err(_) => {
+                out.record(labels::SUM_OVERFLOW, self.iter as f64);
+                return;
+            }
+        };
+        let blob = if grads.len() == 1 {
+            own_blob // no accepted children: the partial is the own blob verbatim
+        } else {
+            encode(&summed)
+        };
+        let commitment = ProtocolCommitment::accumulate(commits.iter()).to_bytes();
+        let cid = Cid::of(&blob);
+        let signature = self.signing_key.as_ref().map(|k| {
+            let msg =
+                overlay_partial_message(self.t, partition, self.iter, count, &cid, &commitment);
+            k.sign(&msg).to_bytes()
+        });
+        let to = match tree.parent(self.t) {
+            Some(p) => self.topo.trainer(p),
+            // The root hands the fully composed partial to the
+            // partition's (single) aggregator slot.
+            None => self.topo.aggregator(self.topo.agg_index(partition, 0)),
+        };
+        out.send(
+            to,
+            Msg::OverlayPartial {
+                trainer: self.t,
+                partition,
+                iter: self.iter,
+                data: Bytes::from(blob),
+                count,
+                commitment,
+                signature,
+            },
+        );
+        out.record(labels::OVERLAY_FORWARDED, partition as f64);
+        if self.overlay_sent.len() == self.topo.config().partitions {
+            out.record(labels::UPLOAD_DONE, self.iter as f64);
+        }
+    }
+
+    /// Buffers one child partial (de-duplicated) and forwards the level if
+    /// it is now complete. Partials for future rounds are held until this
+    /// node's own `StartRound` catches up.
+    #[allow(clippy::too_many_arguments)]
+    fn on_overlay_partial(
+        &mut self,
+        out: &mut Actions<Msg>,
+        tree: &OverlayTree,
+        trainer: usize,
+        partition: usize,
+        iter: u64,
+        data: Bytes,
+        count: u64,
+        commitment: [u8; 33],
+        signature: Option<[u8; 65]>,
+    ) {
+        if iter < self.iter {
+            return; // late for a level that already went up — harmless
+        }
+        // Only accept partials from this node's actual children: the tree
+        // is a pure function of the shared config, so a partial arriving
+        // from anywhere else is misrouted or forged.
+        if trainer >= tree.len()
+            || tree.parent(trainer) != Some(self.t)
+            || partition >= self.topo.config().partitions
+        {
+            out.record(labels::OVERLAY_CHILD_REJECTED, trainer as f64);
+            return;
+        }
+        if !self.overlay_seen.insert((iter, partition, trainer)) {
+            return; // duplicate (retransmission or replay)
+        }
+        out.record(labels::OVERLAY_CHILD_RECV, partition as f64);
+        self.overlay_children
+            .entry((iter, partition))
+            .or_default()
+            .push((trainer, data.to_vec(), count, commitment, signature));
+        if iter == self.iter {
+            self.try_forward_overlay(out, tree, partition, false);
+        }
+    }
+
+    /// Applies a final update pushed down the dissemination tree and
+    /// relays it verbatim to this node's children.
+    fn on_overlay_update(
+        &mut self,
+        out: &mut Actions<Msg>,
+        tree: &OverlayTree,
+        partition: usize,
+        data: Bytes,
+        signature: Option<[u8; 65]>,
+    ) {
+        if self.finished || self.received.contains_key(&partition) {
+            return; // already applied — and already relayed downward
+        }
+        if self.topo.config().authenticate {
+            let g = self.topo.agg_index(partition, 0);
+            let vk = agg_verifying_key(self.topo.config().seed, g);
+            let msg = overlay_update_message(g, partition, self.iter, &Cid::of(&data));
+            let authentic = signature
+                .and_then(|b| Signature::<ProtocolCurve>::from_bytes(&b))
+                .is_some_and(|sig| vk.verify(&msg, &sig));
+            if !authentic {
+                out.record(labels::OVERLAY_UPDATE_REJECTED, partition as f64);
+                return;
+            }
+        }
+        // Relay before applying: the subtree is waiting on this hop.
+        for child in tree.children(self.t) {
+            out.send(
+                self.topo.trainer(child),
+                Msg::OverlayUpdate {
+                    partition,
+                    iter: self.iter,
+                    data: data.clone(),
+                    signature,
+                },
+            );
+        }
+        let Some((averaged, _count)) = decode_update(&data) else {
+            return;
+        };
+        if averaged.len() != self.topo.partition_len(partition) {
+            return;
+        }
+        self.received.insert(partition, averaged);
+        if self.received.len() == self.topo.config().partitions {
+            self.finish_round(out);
         }
     }
 
@@ -307,6 +615,8 @@ impl<M: Model> Trainer<M> {
                 req_id,
                 replicate: self.topo.config().replication,
             };
+            // Truly local invariant: pending_acks is only populated by the
+            // storage-backed upload path, never from remote input.
             let to = self
                 .topo
                 .upload_target(partition, self.t)
@@ -333,10 +643,16 @@ impl<M: Model> Trainer<M> {
         let Some(partition) = self.pending_acks.remove(&req_id) else {
             return;
         };
-        let target = self
-            .topo
-            .upload_target(partition, self.t)
-            .expect("puts are only acked in storage-backed modes");
+        // A storage acknowledgment whose partition has no storage route is
+        // a misrouted or duplicated frame from the backend — per-node
+        // request ids are small integers, so a frame delivered to the
+        // wrong node can collide with a live id here
+        // ([`IplsError::MisroutedAck`](crate::IplsError)). Book and drop
+        // it rather than killing the node.
+        let Ok(target) = self.topo.upload_target(partition, self.t) else {
+            out.incr(labels::MISROUTED_ACK, 1);
+            return;
+        };
         self.uploads.push((target, cid));
         let commitment = self.blobs[&partition].1;
         if self.topo.config().compact_registration {
@@ -454,6 +770,9 @@ impl<M: Model> Trainer<M> {
             match self.accumulators.get(&partition) {
                 Some(acc) => {
                     let acc = *acc;
+                    // Truly local invariant: TaskConfig::validate rejects
+                    // trainer_verifies without verifiable, so the key
+                    // always exists on this path.
                     let key = self.key.as_ref().expect("verifiable mode").clone();
                     if self.topo.config().batch_verify {
                         // Deferred mode: accept optimistically and queue
@@ -550,6 +869,17 @@ impl<M: Model> ProtocolCore for Trainer<M> {
                     TK_TRAIN => self.upload(now, out),
                     TK_POLL => self.poll(out),
                     TK_RETRY => self.on_retry(out, token & 0xFFFF_FFFF),
+                    TK_OVERLAY => {
+                        // Level deadline: forward every partition still
+                        // waiting on children, with whatever arrived.
+                        if (token & 0xFFFF_FFFF) == (self.iter & 0xFFFF_FFFF) && !self.finished {
+                            if let Some(tree) = self.topo.overlay() {
+                                for i in 0..self.topo.config().partitions {
+                                    self.try_forward_overlay(out, &tree, i, true);
+                                }
+                            }
+                        }
+                    }
                     _ => {}
                 }
                 return;
@@ -592,7 +922,89 @@ impl<M: Model> ProtocolCore for Trainer<M> {
                     self.fetching.remove(&partition);
                 }
             }
+            Msg::OverlayPartial {
+                trainer,
+                partition,
+                iter,
+                data,
+                count,
+                commitment,
+                signature,
+            } => {
+                if let Some(tree) = self.topo.overlay() {
+                    self.on_overlay_partial(
+                        out, &tree, trainer, partition, iter, data, count, commitment, signature,
+                    );
+                }
+            }
+            Msg::OverlayUpdate {
+                partition,
+                iter,
+                data,
+                signature,
+            } if iter == self.iter => {
+                if let Some(tree) = self.topo.overlay() {
+                    self.on_overlay_update(out, &tree, partition, data, signature);
+                }
+            }
             _ => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaskConfig;
+    use crate::protocol::ProtocolAction;
+    use dfl_ml::{data, LogisticRegression};
+
+    /// Regression: a storage acknowledgment colliding with a live request
+    /// id in a mode with no storage route must be booked
+    /// ([`IplsError::MisroutedAck`](crate::IplsError)) and dropped — it
+    /// used to kill the node via
+    /// `.expect("puts are only acked in storage-backed modes")`.
+    #[test]
+    fn misrouted_put_ack_is_booked_not_fatal() {
+        let cfg = TaskConfig {
+            trainers: 2,
+            partitions: 1,
+            comm: CommMode::Direct,
+            ..TaskConfig::default()
+        };
+        let model = LogisticRegression::new(2, 2);
+        let params = model.params();
+        let topo = Arc::new(Topology::new(cfg, params.len()).unwrap());
+        let dataset = data::make_blobs(8, 2, 2, 0.5, 1);
+        let sink: ParamSink = Arc::new(Mutex::new(HashMap::new()));
+        let mut trainer = Trainer::new(
+            0,
+            topo,
+            None,
+            model,
+            params,
+            dataset,
+            SgdConfig::default(),
+            sink,
+        );
+        // A frame delivered to the wrong node whose req_id collides with
+        // a live one — per-node request ids are small integers.
+        trainer.pending_acks.insert(7, 0);
+        let mut out = Actions::new();
+        trainer.handle(
+            SimTime::ZERO,
+            ProtocolEvent::Message {
+                from: NodeId(1),
+                msg: Msg::Ipfs(IpfsWire::PutAck {
+                    cid: Cid::of(b"x"),
+                    req_id: 7,
+                }),
+            },
+            &mut out,
+        );
+        let booked = out.drain().any(
+            |a| matches!(a, ProtocolAction::Incr { label, .. } if label == labels::MISROUTED_ACK),
+        );
+        assert!(booked, "misrouted ack must increment the counter");
     }
 }

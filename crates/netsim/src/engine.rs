@@ -448,8 +448,32 @@ impl<M> Simulation<M> {
 
     /// Runs until the event queue drains (or the time limit is hit).
     pub fn run(&mut self) {
-        while let Some(Reverse(key)) = self.queue.pop() {
+        loop {
+            let Some(Reverse(key)) = self.queue.pop() else {
+                // Flows born in the final instant are still unrated — their
+                // completions are the only future events left, so flush and
+                // keep going until rating stops producing new events.
+                if self.realloc_seeds.is_empty() {
+                    break;
+                }
+                self.reallocate();
+                continue;
+            };
             let (time, _) = key;
+            if time > self.now && !self.realloc_seeds.is_empty() {
+                // Instant-batched reallocation: every dispatch at the
+                // current instant deferred its component recompute to this
+                // boundary. Max–min rates depend only on the final flow set
+                // of the instant (flows created mid-instant have zero
+                // elapsed time), so one recompute here assigns exactly the
+                // rates the per-dispatch recomputes would have converged
+                // to — while turning an N-message same-instant burst from
+                // N component walks into one. The flush may predict
+                // completions earlier than `time`, so re-queue and re-pop.
+                self.queue.push(Reverse(key));
+                self.reallocate();
+                continue;
+            }
             if let Some(limit) = self.limit {
                 if time > limit {
                     break;
@@ -740,7 +764,10 @@ impl<M> Simulation<M> {
                 }
             }
         }
-        self.reallocate();
+        // No reallocate here: seeds accumulate across every dispatch of the
+        // current instant and are flushed once, when `run` is about to
+        // advance the clock (or by an explicit flush on a same-instant
+        // completion/fault path). See the batching comment in `run`.
     }
 
     /// Completes every flow whose predicted `done_at` is due, then

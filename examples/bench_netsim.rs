@@ -10,14 +10,22 @@
 //! Knobs:
 //! - `--test`: CI smoke mode — run only the 2k-trainer scale point (both
 //!   allocators), assert the speedup, skip the artifact write.
+//! - `--overlay-smoke`: CI smoke mode for the aggregation overlay — one
+//!   10k-trainer verifiable round through the branching-8 overlay, with
+//!   the per-node work bounds asserted, skip the artifact write.
 //! - `BENCH_NETSIM_EVENTS`: synthetic trace size (default 1 000 000).
 //! - `BENCH_NETSIM_SCALE`: comma-separated swarm sizes
 //!   (default `2000,5000,10000`).
 //! - `BENCH_NETSIM_SCALE_REF_MAX`: largest size that also times the
 //!   reference allocator (default 2000 — the global recompute is the
 //!   "before" and takes minutes beyond that).
+//! - `BENCH_NETSIM_OVERLAY`: comma-separated overlay swarm sizes
+//!   (default `1000,10000,100000`).
 
-use dfl_bench::{churn_sweep, netsim_report, netsim_report_json, scale_point, scale_sweep};
+use dfl_bench::{
+    churn_sweep, netsim_report, netsim_report_json, overlay_point, overlay_sweep, scale_point,
+    scale_sweep,
+};
 
 fn print_scale(points: &[dfl_bench::ScalePoint]) {
     println!(
@@ -38,7 +46,39 @@ fn print_scale(points: &[dfl_bench::ScalePoint]) {
     }
 }
 
+fn print_overlay(points: &[dfl_bench::OverlayPoint]) {
+    println!(
+        "{:>9} {:>9} {:>7} {:>13} {:>11} {:>11} {:>12} {:>13}",
+        "trainers", "branching", "levels", "agg msgs max", "work bound", "fan-in max", "round (s)", "wall (ms)"
+    );
+    for p in points {
+        println!(
+            "{:>9} {:>9} {:>7} {:>13} {:>11} {:>11} {:>12.2} {:>13.1}",
+            p.trainers,
+            p.branching,
+            p.levels,
+            p.agg_msgs_max,
+            p.work_bound,
+            p.fan_in_max,
+            p.round_secs,
+            p.wall_ms,
+        );
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--overlay-smoke") {
+        // CI smoke: one 10k-trainer verifiable round through the overlay.
+        // overlay_point asserts completion and the per-node work bounds.
+        println!("Overlay smoke (10000 trainers, branching 8, verifiable)");
+        let point = overlay_point(10_000);
+        print_overlay(std::slice::from_ref(&point));
+        println!(
+            "ok: busiest aggregator processed {} overlay messages (bound {}, flat would be {})",
+            point.agg_msgs_max, point.work_bound, point.trainers
+        );
+        return;
+    }
     if std::env::args().any(|a| a == "--test") {
         // CI smoke: the 2k-trainer point through both allocators.
         println!("Swarm scale smoke (2000 trainers, both allocators)");
@@ -119,7 +159,15 @@ fn main() {
         );
     }
 
-    let json = netsim_report_json(&profiles, &churn, &scale);
+    let overlay_sizes: Vec<usize> = std::env::var("BENCH_NETSIM_OVERLAY")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1_000, 10_000, 100_000]);
+    println!("\nAggregation overlay sweep (verifiable rounds, per-node work)");
+    let overlay = overlay_sweep(&overlay_sizes);
+    print_overlay(&overlay);
+
+    let json = netsim_report_json(&profiles, &churn, &scale, &overlay);
     std::fs::write("BENCH_netsim.json", &json).expect("write BENCH_netsim.json");
     println!("\nwrote BENCH_netsim.json");
 }

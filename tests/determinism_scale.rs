@@ -5,7 +5,7 @@
 //! thread-scheduling leak into observable behaviour fails here.
 
 use decentralized_fl::prelude::TaskConfig;
-use dfl_bench::{fig2_config, run_network_experiment, trace_fingerprint};
+use dfl_bench::{fig2_config, overlay_config, run_network_experiment, trace_fingerprint};
 
 #[test]
 fn two_thousand_node_swarm_is_run_to_run_deterministic() {
@@ -91,4 +91,66 @@ fn batched_verification_preserves_trace_fingerprint() {
         trace_fingerprint(&again.trace),
         "batched verifiable run diverged across identical runs"
     );
+}
+
+#[test]
+fn overlay_round_is_run_to_run_deterministic() {
+    // A 3-level overlay (96 trainers at branching 8) with commitment
+    // verification at every interior hop: the full trace — partial
+    // forwarding order, deadline timers, dissemination — must be
+    // bit-identical across runs, with `--features parallel` too.
+    let cfg = overlay_config(96);
+    let params = dfl_bench::overlay_param_count();
+    let first = run_network_experiment(cfg.clone(), params);
+    let second = run_network_experiment(cfg, params);
+    assert_eq!(
+        first.trace.events().len(),
+        second.trace.events().len(),
+        "event counts diverged across identical overlay runs"
+    );
+    assert_eq!(
+        trace_fingerprint(&first.trace),
+        trace_fingerprint(&second.trace),
+        "overlay run diverged across identical runs"
+    );
+}
+
+#[test]
+fn depth_one_overlay_matches_flat_aggregation_bit_for_bit() {
+    // The flat verifiable round is the overlay's oracle: a depth-1
+    // overlay (branching ≥ trainers − 1, so the root is every other
+    // trainer's parent) performs the same exact i128 gradient sum as the
+    // flat aggregator and must converge every trainer to bit-identical
+    // f32 parameters.
+    let trainers = 16;
+    let params = dfl_bench::overlay_param_count();
+    let flat = TaskConfig {
+        overlay_branching: None,
+        ..overlay_config(trainers)
+    };
+    let depth_one = TaskConfig {
+        overlay_branching: Some(trainers - 1),
+        ..overlay_config(trainers)
+    };
+    let flat_report = run_network_experiment(flat.clone(), params);
+    let overlay_report = run_network_experiment(depth_one.clone(), params);
+    assert!(flat_report.succeeded(&flat), "flat round incomplete");
+    assert!(
+        overlay_report.succeeded(&depth_one),
+        "depth-1 overlay round incomplete"
+    );
+    let flat_params = flat_report
+        .consensus_params()
+        .expect("flat trainers agree on the final model");
+    let overlay_params = overlay_report
+        .consensus_params()
+        .expect("overlay trainers agree on the final model");
+    assert_eq!(flat_params.len(), overlay_params.len());
+    for (i, (a, b)) in flat_params.iter().zip(&overlay_params).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "parameter {i} diverged: flat {a} vs overlay {b}"
+        );
+    }
 }
