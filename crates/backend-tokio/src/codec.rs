@@ -610,6 +610,11 @@ const WIRE_REPLICATE: u8 = 18;
 const WIRE_RETRACT: u8 = 19;
 const WIRE_UNPIN_REPLICA: u8 = 20;
 const WIRE_PUB_GOSSIP: u8 = 21;
+const WIRE_PUT_CHUNKED: u8 = 22;
+const WIRE_CHUNK_WANT: u8 = 23;
+const WIRE_CHUNK_FILL: u8 = 24;
+const WIRE_GET_CHUNK: u8 = 25;
+const WIRE_PUT_CHUNKED_ERR: u8 = 26;
 
 fn encode_wire(w: &mut Writer, wire: &IpfsWire) {
     match wire {
@@ -748,6 +753,42 @@ fn encode_wire(w: &mut Writer, wire: &IpfsWire) {
             w.bytes(data);
             w.node(*publisher);
         }
+        IpfsWire::PutChunked {
+            manifest,
+            req_id,
+            replicate,
+        } => {
+            w.u8(WIRE_PUT_CHUNKED);
+            w.bytes(manifest);
+            w.u64(*req_id);
+            w.usize(*replicate);
+        }
+        IpfsWire::ChunkWant { cids, req_id } => {
+            w.u8(WIRE_CHUNK_WANT);
+            w.u32(cids.len() as u32);
+            for cid in cids {
+                w.cid(cid);
+            }
+            w.u64(*req_id);
+        }
+        IpfsWire::ChunkFill { chunks, req_id } => {
+            w.u8(WIRE_CHUNK_FILL);
+            w.u32(chunks.len() as u32);
+            for chunk in chunks {
+                w.bytes(chunk);
+            }
+            w.u64(*req_id);
+        }
+        IpfsWire::GetChunk { cid, req_id } => {
+            w.u8(WIRE_GET_CHUNK);
+            w.cid(cid);
+            w.u64(*req_id);
+        }
+        IpfsWire::PutChunkedErr { reason, req_id } => {
+            w.u8(WIRE_PUT_CHUNKED_ERR);
+            w.string(reason);
+            w.u64(*req_id);
+        }
     }
 }
 
@@ -859,6 +900,41 @@ fn decode_wire(r: &mut Reader<'_>) -> Result<IpfsWire, DecodeError> {
             topic: r.string("PubGossip")?,
             data: r.bytes("PubGossip")?,
             publisher: r.node("PubGossip")?,
+        },
+        WIRE_PUT_CHUNKED => IpfsWire::PutChunked {
+            manifest: r.bytes("PutChunked")?,
+            req_id: r.u64("PutChunked")?,
+            replicate: r.usize("PutChunked")?,
+        },
+        WIRE_CHUNK_WANT => {
+            let count = r.u32("ChunkWant")? as usize;
+            let mut cids = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                cids.push(r.cid("ChunkWant")?);
+            }
+            IpfsWire::ChunkWant {
+                cids,
+                req_id: r.u64("ChunkWant")?,
+            }
+        }
+        WIRE_CHUNK_FILL => {
+            let count = r.u32("ChunkFill")? as usize;
+            let mut chunks = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                chunks.push(r.bytes("ChunkFill")?);
+            }
+            IpfsWire::ChunkFill {
+                chunks,
+                req_id: r.u64("ChunkFill")?,
+            }
+        }
+        WIRE_GET_CHUNK => IpfsWire::GetChunk {
+            cid: r.cid("GetChunk")?,
+            req_id: r.u64("GetChunk")?,
+        },
+        WIRE_PUT_CHUNKED_ERR => IpfsWire::PutChunkedErr {
+            reason: r.string("PutChunkedErr")?,
+            req_id: r.u64("PutChunkedErr")?,
         },
         _ => return err("unknown wire tag"),
     })
@@ -1133,6 +1209,24 @@ mod tests {
                 data: Bytes::from(vec![4; 3]),
                 publisher: NodeId(0),
             },
+            IpfsWire::PutChunked {
+                manifest: Bytes::from(vec![8; 56]),
+                req_id: 14,
+                replicate: 2,
+            },
+            IpfsWire::ChunkWant {
+                cids: vec![cid, Cid::of(b"want")],
+                req_id: 14,
+            },
+            IpfsWire::ChunkFill {
+                chunks: vec![Bytes::from(vec![1; 64]), Bytes::from(vec![2; 10])],
+                req_id: 14,
+            },
+            IpfsWire::GetChunk { cid, req_id: 15 },
+            IpfsWire::PutChunkedErr {
+                reason: "bad magic".to_string(),
+                req_id: 16,
+            },
         ]
     }
 
@@ -1155,7 +1249,8 @@ mod tests {
 
     #[test]
     fn truncation_is_an_error_not_a_panic() {
-        for msg in sample_msgs() {
+        let wires = sample_wires().into_iter().map(Msg::Ipfs);
+        for msg in sample_msgs().into_iter().chain(wires) {
             let encoded = encode_msg(&msg);
             for cut in 0..encoded.len() {
                 assert!(

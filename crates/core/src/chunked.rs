@@ -1,0 +1,530 @@
+//! Client-side planner for chunked content-addressed storage.
+//!
+//! When [`TaskConfig::chunked_storage`] is on, trainers and aggregators
+//! stop shipping opaque partition blobs and instead negotiate chunk DAGs
+//! with the storage layer:
+//!
+//! * **Uploads** send a [`Manifest`] first (`PutChunked`); the provider
+//!   answers with the want-list of chunk CIDs it does not already hold
+//!   (`ChunkWant`), and only those chunks ride the wire in the `ChunkFill`.
+//!   Chunks unchanged since the previous round dedup to zero payload
+//!   bytes.
+//! * **Downloads** fetch the manifest through the ordinary `Get` path,
+//!   then stripe one `GetChunk` per distinct chunk CID across the storage
+//!   nodes, reassembling and CID-verifying before the blob is decoded.
+//!
+//! [`ChunkedClient`] owns the bookkeeping both actors share: in-flight
+//! upload negotiations (for retransmission and dedup accounting) and
+//! in-flight reassemblies (mapping chunk request ids back to their
+//! manifest fetch). It is sans-io like the cores that embed it — every
+//! method returns wires for the caller to send.
+//!
+//! [`TaskConfig::chunked_storage`]: crate::config::TaskConfig::chunked_storage
+//! [`Manifest`]: dfl_ipfs::chunker::Manifest
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use dfl_ipfs::chunker::{self, Reassembly};
+use dfl_ipfs::{Cid, IpfsWire};
+use dfl_netsim::NodeId;
+
+/// Wire accounting for one finished upload negotiation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Chunks actually shipped in a `ChunkFill`.
+    pub sent: u64,
+    /// Payload bytes those chunks carried.
+    pub sent_bytes: u64,
+    /// Distinct chunks the provider already held (never sent).
+    pub deduped: u64,
+    /// Payload bytes dedup elided from the wire.
+    pub saved_bytes: u64,
+}
+
+/// What a freshly decoded manifest asks the caller to do next.
+#[derive(Debug)]
+pub enum ManifestOutcome {
+    /// Issue one `GetChunk` per entry: `(slot index, chunk cid)`, one per
+    /// distinct CID (duplicate slots are filled locally on receipt).
+    Requests(Vec<(usize, Cid)>),
+    /// The blob had no chunks (empty partition); it is already complete.
+    Done { tag: u64, blob: Vec<u8> },
+}
+
+/// Result of feeding a chunk response into the planner.
+#[derive(Debug)]
+pub enum ChunkProgress {
+    /// The request id is not a chunk request of this planner.
+    NotMine,
+    /// Accepted; more chunks are still outstanding.
+    Progress,
+    /// The last chunk landed and the blob reassembled and verified.
+    Done {
+        manifest_req: u64,
+        tag: u64,
+        blob: Vec<u8>,
+    },
+    /// Verification failed; the whole fetch was cancelled. The returned
+    /// request ids are the sibling chunk requests the caller should
+    /// forget.
+    Corrupt {
+        manifest_req: u64,
+        tag: u64,
+        cancelled: Vec<u64>,
+    },
+}
+
+struct Upload {
+    manifest: Bytes,
+    /// Chunk payloads by CID, for answering the provider's want-list.
+    chunks: HashMap<Cid, Bytes>,
+    replicate: usize,
+    sent: u64,
+    sent_bytes: u64,
+    /// Distinct chunk count and payload bytes — the dedup baseline.
+    distinct: u64,
+    distinct_bytes: u64,
+}
+
+struct Fetch {
+    tag: u64,
+    reassembly: Reassembly,
+}
+
+struct ChunkReq {
+    manifest_req: u64,
+    index: usize,
+    to: NodeId,
+    cid: Cid,
+}
+
+/// Sans-io upload/download planner for chunked storage (see module docs).
+pub struct ChunkedClient {
+    chunk_size: usize,
+    uploads: HashMap<u64, Upload>,
+    fetches: HashMap<u64, Fetch>,
+    chunk_reqs: HashMap<u64, ChunkReq>,
+}
+
+impl ChunkedClient {
+    pub fn new(chunk_size: usize) -> ChunkedClient {
+        ChunkedClient {
+            chunk_size,
+            uploads: HashMap::new(),
+            fetches: HashMap::new(),
+            chunk_reqs: HashMap::new(),
+        }
+    }
+
+    /// Drops every in-flight negotiation and fetch (round boundary).
+    pub fn reset(&mut self) {
+        self.uploads.clear();
+        self.fetches.clear();
+        self.chunk_reqs.clear();
+    }
+
+    // -- uploads ------------------------------------------------------------
+
+    /// Splits `blob` and returns the `PutChunked` wire opening the
+    /// negotiation under `req_id` (the caller's put request id).
+    pub fn begin_upload(&mut self, req_id: u64, blob: &[u8], replicate: usize) -> IpfsWire {
+        let (manifest, blocks) = chunker::split(blob, self.chunk_size);
+        let manifest_bytes = manifest.encode();
+        let chunks: HashMap<Cid, Bytes> = blocks
+            .into_iter()
+            .map(|b| (b.cid(), b.data().clone()))
+            .collect();
+        let distinct = chunks.len() as u64;
+        let distinct_bytes = chunks.values().map(|d| d.len() as u64).sum();
+        self.uploads.insert(
+            req_id,
+            Upload {
+                manifest: manifest_bytes.clone(),
+                chunks,
+                replicate,
+                sent: 0,
+                sent_bytes: 0,
+                distinct,
+                distinct_bytes,
+            },
+        );
+        IpfsWire::PutChunked {
+            manifest: manifest_bytes,
+            req_id,
+            replicate,
+        }
+    }
+
+    /// Rebuilds the opening wire of a still-unacked upload, for
+    /// retransmission. The provider treats a repeated `PutChunked` as a
+    /// fresh negotiation.
+    pub fn upload_wire(&self, req_id: u64) -> Option<IpfsWire> {
+        self.uploads.get(&req_id).map(|u| IpfsWire::PutChunked {
+            manifest: u.manifest.clone(),
+            req_id,
+            replicate: u.replicate,
+        })
+    }
+
+    /// Answers a provider's want-list with the matching chunk payloads
+    /// (want-list order). Returns `None` for want-lists that belong to no
+    /// live upload (stale) or name chunks this upload never had (forged).
+    pub fn on_chunk_want(&mut self, req_id: u64, cids: &[Cid]) -> Option<IpfsWire> {
+        let upload = self.uploads.get_mut(&req_id)?;
+        let mut chunks = Vec::with_capacity(cids.len());
+        for cid in cids {
+            chunks.push(upload.chunks.get(cid)?.clone());
+        }
+        // A re-negotiated want-list supersedes the previous one.
+        upload.sent = chunks.len() as u64;
+        upload.sent_bytes = chunks.iter().map(|d| d.len() as u64).sum();
+        Some(IpfsWire::ChunkFill { chunks, req_id })
+    }
+
+    /// Settles an acked upload and returns its dedup accounting.
+    pub fn finish_upload(&mut self, req_id: u64) -> Option<DedupStats> {
+        self.uploads.remove(&req_id).map(|u| DedupStats {
+            sent: u.sent,
+            sent_bytes: u.sent_bytes,
+            deduped: u.distinct - u.sent,
+            saved_bytes: u.distinct_bytes - u.sent_bytes,
+        })
+    }
+
+    // -- downloads ----------------------------------------------------------
+
+    /// Feeds a fetched manifest in. `manifest_req` is the request id of
+    /// the manifest `Get`, `tag` an opaque caller token (the partition for
+    /// trainers) carried back on completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error for malformed manifest bytes; no fetch
+    /// state is created.
+    pub fn on_manifest(
+        &mut self,
+        manifest_req: u64,
+        tag: u64,
+        data: &[u8],
+    ) -> Result<ManifestOutcome, chunker::ChunkError> {
+        let manifest = chunker::Manifest::decode(data)?;
+        let reassembly = Reassembly::new(manifest);
+        if reassembly.is_complete() {
+            return Ok(ManifestOutcome::Done {
+                tag,
+                blob: reassembly.assemble()?,
+            });
+        }
+        let mut requests = Vec::new();
+        let mut seen = HashMap::new();
+        for (index, &(cid, _)) in reassembly.manifest().chunks().iter().enumerate() {
+            if seen.insert(cid, index).is_none() {
+                requests.push((index, cid));
+            }
+        }
+        self.fetches.insert(manifest_req, Fetch { tag, reassembly });
+        Ok(ManifestOutcome::Requests(requests))
+    }
+
+    /// Records an issued chunk request so its response (and retries) can
+    /// be routed back to the owning reassembly.
+    pub fn register_chunk_req(
+        &mut self,
+        chunk_req: u64,
+        manifest_req: u64,
+        index: usize,
+        to: NodeId,
+        cid: Cid,
+    ) {
+        self.chunk_reqs.insert(
+            chunk_req,
+            ChunkReq {
+                manifest_req,
+                index,
+                to,
+                cid,
+            },
+        );
+    }
+
+    /// Feeds a chunk response in; fills every slot expecting that CID.
+    pub fn chunk_received(&mut self, chunk_req: u64, data: &Bytes) -> ChunkProgress {
+        let Some(req) = self.chunk_reqs.remove(&chunk_req) else {
+            return ChunkProgress::NotMine;
+        };
+        let Some(fetch) = self.fetches.get_mut(&req.manifest_req) else {
+            return ChunkProgress::Progress; // fetch already cancelled
+        };
+        // Fill the requested slot plus any duplicate slots naming the same
+        // CID (only distinct CIDs are requested over the wire).
+        let dup_slots: Vec<usize> = fetch
+            .reassembly
+            .manifest()
+            .chunks()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(cid, _))| cid == req.cid && i != req.index)
+            .map(|(i, _)| i)
+            .collect();
+        let mut fill = fetch.reassembly.fill(req.index, data.clone());
+        for slot in dup_slots {
+            if fill.is_err() {
+                break;
+            }
+            fill = fetch.reassembly.fill(slot, data.clone());
+        }
+        if fill.is_err() {
+            let manifest_req = req.manifest_req;
+            let tag = fetch.tag;
+            let cancelled = self.cancel_fetch(manifest_req);
+            return ChunkProgress::Corrupt {
+                manifest_req,
+                tag,
+                cancelled,
+            };
+        }
+        if !fetch.reassembly.is_complete() {
+            return ChunkProgress::Progress;
+        }
+        let fetch = self
+            .fetches
+            .remove(&req.manifest_req)
+            .expect("fetch checked present above");
+        match fetch.reassembly.assemble() {
+            Ok(blob) => ChunkProgress::Done {
+                manifest_req: req.manifest_req,
+                tag: fetch.tag,
+                blob,
+            },
+            // Unreachable in practice — every slot was CID-verified on
+            // fill — but assemble's length check stays typed.
+            Err(_) => ChunkProgress::Corrupt {
+                manifest_req: req.manifest_req,
+                tag: fetch.tag,
+                cancelled: self.cancel_fetch(req.manifest_req),
+            },
+        }
+    }
+
+    /// Routes a failed chunk request: cancels the owning fetch entirely
+    /// and returns `(tag, sibling chunk request ids)` so the caller can
+    /// drop its own records. `None` when the id is not a chunk request.
+    pub fn chunk_failed(&mut self, chunk_req: u64) -> Option<(u64, Vec<u64>)> {
+        let req = self.chunk_reqs.remove(&chunk_req)?;
+        let tag = self.fetches.get(&req.manifest_req).map(|f| f.tag)?;
+        Some((tag, self.cancel_fetch(req.manifest_req)))
+    }
+
+    /// Drops a fetch and every chunk request that belongs to it, returning
+    /// the dropped chunk request ids.
+    pub fn cancel_fetch(&mut self, manifest_req: u64) -> Vec<u64> {
+        self.fetches.remove(&manifest_req);
+        let mut dropped: Vec<u64> = self
+            .chunk_reqs
+            .iter()
+            .filter(|(_, r)| r.manifest_req == manifest_req)
+            .map(|(&id, _)| id)
+            .collect();
+        dropped.sort_unstable();
+        for id in &dropped {
+            self.chunk_reqs.remove(id);
+        }
+        dropped
+    }
+
+    /// All in-flight chunk requests as re-sendable wires, in request-id
+    /// order (deterministic retransmission).
+    pub fn outstanding_chunk_wires(&self) -> Vec<(NodeId, IpfsWire)> {
+        let mut reqs: Vec<(&u64, &ChunkReq)> = self.chunk_reqs.iter().collect();
+        reqs.sort_unstable_by_key(|(&id, _)| id);
+        reqs.into_iter()
+            .map(|(&req_id, r)| (r.to, IpfsWire::GetChunk { cid: r.cid, req_id }))
+            .collect()
+    }
+
+    /// Whether any upload negotiation or chunk fetch is still in flight
+    /// (drives the caller's retransmission timer).
+    pub fn busy(&self) -> bool {
+        !self.uploads.is_empty() || !self.chunk_reqs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn upload_negotiation_tracks_dedup() {
+        let mut c = ChunkedClient::new(64);
+        let data = blob(200); // chunks of 64/64/64/8, all distinct
+        let wire = c.begin_upload(1, &data, 1);
+        let IpfsWire::PutChunked { manifest, .. } = wire else {
+            panic!("expected PutChunked");
+        };
+        let m = chunker::Manifest::decode(&manifest).unwrap();
+        assert_eq!(m.chunks().len(), 4);
+        // Provider wants only the last two chunks.
+        let want: Vec<Cid> = m.chunks()[2..].iter().map(|&(cid, _)| cid).collect();
+        let fill = c.on_chunk_want(1, &want).unwrap();
+        let IpfsWire::ChunkFill { chunks, req_id: 1 } = fill else {
+            panic!("expected ChunkFill");
+        };
+        assert_eq!(chunks.len(), 2);
+        let stats = c.finish_upload(1).unwrap();
+        assert_eq!(stats.sent, 2);
+        assert_eq!(stats.sent_bytes, 64 + 8);
+        assert_eq!(stats.deduped, 2);
+        assert_eq!(stats.saved_bytes, 128);
+        assert!(c.finish_upload(1).is_none());
+    }
+
+    #[test]
+    fn fully_deduped_upload_never_sees_a_want_list() {
+        let mut c = ChunkedClient::new(64);
+        c.begin_upload(3, &blob(100), 1);
+        let stats = c.finish_upload(3).unwrap();
+        assert_eq!(stats.sent, 0);
+        assert_eq!(stats.deduped, 2);
+        assert_eq!(stats.saved_bytes, 100);
+    }
+
+    #[test]
+    fn forged_want_list_is_refused() {
+        let mut c = ChunkedClient::new(64);
+        c.begin_upload(1, &blob(100), 1);
+        assert!(c.on_chunk_want(1, &[Cid::of(b"never uploaded")]).is_none());
+        assert!(c.on_chunk_want(99, &[]).is_none());
+    }
+
+    #[test]
+    fn fetch_reassembles_across_chunk_responses() {
+        let mut c = ChunkedClient::new(64);
+        let data = blob(150);
+        let (manifest, blocks) = chunker::split(&data, 64);
+        let outcome = c.on_manifest(10, 7, &manifest.encode()).unwrap();
+        let ManifestOutcome::Requests(reqs) = outcome else {
+            panic!("expected requests");
+        };
+        assert_eq!(reqs.len(), 3);
+        for (k, &(index, cid)) in reqs.iter().enumerate() {
+            c.register_chunk_req(100 + k as u64, 10, index, NodeId(k), cid);
+        }
+        // Deliver out of order.
+        let progress = c.chunk_received(102, blocks[2].data());
+        assert!(matches!(progress, ChunkProgress::Progress));
+        let progress = c.chunk_received(100, blocks[0].data());
+        assert!(matches!(progress, ChunkProgress::Progress));
+        match c.chunk_received(101, blocks[1].data()) {
+            ChunkProgress::Done {
+                manifest_req: 10,
+                tag: 7,
+                blob,
+            } => assert_eq!(blob, data),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_chunk_slots_fill_from_one_response() {
+        let mut c = ChunkedClient::new(64);
+        let data = vec![3u8; 192]; // three identical chunks
+        let (manifest, blocks) = chunker::split(&data, 64);
+        let ManifestOutcome::Requests(reqs) = c.on_manifest(1, 0, &manifest.encode()).unwrap()
+        else {
+            panic!("expected requests");
+        };
+        assert_eq!(reqs.len(), 1, "one request per distinct CID");
+        c.register_chunk_req(50, 1, reqs[0].0, NodeId(0), reqs[0].1);
+        match c.chunk_received(50, blocks[0].data()) {
+            ChunkProgress::Done { blob, .. } => assert_eq!(blob, data),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_blob_completes_without_requests() {
+        let mut c = ChunkedClient::new(64);
+        let (manifest, _) = chunker::split(&[], 64);
+        match c.on_manifest(1, 4, &manifest.encode()).unwrap() {
+            ManifestOutcome::Done { tag: 4, blob } => assert!(blob.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_manifest_is_a_typed_error() {
+        let mut c = ChunkedClient::new(64);
+        assert!(c.on_manifest(1, 0, b"garbage").is_err());
+        assert!(!c.busy());
+    }
+
+    #[test]
+    fn corrupt_chunk_cancels_the_whole_fetch() {
+        let mut c = ChunkedClient::new(64);
+        let data = blob(150);
+        let (manifest, _) = chunker::split(&data, 64);
+        let ManifestOutcome::Requests(reqs) = c.on_manifest(1, 9, &manifest.encode()).unwrap()
+        else {
+            panic!("expected requests");
+        };
+        for (k, &(index, cid)) in reqs.iter().enumerate() {
+            c.register_chunk_req(200 + k as u64, 1, index, NodeId(0), cid);
+        }
+        match c.chunk_received(200, &Bytes::from_static(b"wrong bytes, right length?")) {
+            ChunkProgress::Corrupt {
+                manifest_req: 1,
+                tag: 9,
+                cancelled,
+            } => assert_eq!(cancelled, vec![201, 202]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!c.busy());
+    }
+
+    #[test]
+    fn chunk_failure_cancels_siblings() {
+        let mut c = ChunkedClient::new(64);
+        let data = blob(150);
+        let (manifest, _) = chunker::split(&data, 64);
+        let ManifestOutcome::Requests(reqs) = c.on_manifest(1, 2, &manifest.encode()).unwrap()
+        else {
+            panic!("expected requests");
+        };
+        for (k, &(index, cid)) in reqs.iter().enumerate() {
+            c.register_chunk_req(300 + k as u64, 1, index, NodeId(0), cid);
+        }
+        let (tag, cancelled) = c.chunk_failed(301).unwrap();
+        assert_eq!(tag, 2);
+        assert_eq!(cancelled, vec![300, 302]);
+        assert!(c.chunk_failed(300).is_none());
+    }
+
+    #[test]
+    fn outstanding_wires_are_deterministic() {
+        let mut c = ChunkedClient::new(64);
+        let data = blob(150);
+        let (manifest, _) = chunker::split(&data, 64);
+        let ManifestOutcome::Requests(reqs) = c.on_manifest(1, 0, &manifest.encode()).unwrap()
+        else {
+            panic!("expected requests");
+        };
+        for (k, &(index, cid)) in reqs.iter().enumerate() {
+            c.register_chunk_req(400 + k as u64, 1, index, NodeId(k % 2), cid);
+        }
+        let wires = c.outstanding_chunk_wires();
+        let ids: Vec<u64> = wires
+            .iter()
+            .map(|(_, w)| match w {
+                IpfsWire::GetChunk { req_id, .. } => *req_id,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![400, 401, 402]);
+    }
+}

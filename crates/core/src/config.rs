@@ -143,6 +143,20 @@ pub struct TaskConfig {
     /// verification is a commitment check) and a single aggregator per
     /// partition (partial sync across slots stays flat-mode-only).
     pub overlay_branching: Option<usize>,
+    /// Store gradient blobs as content-addressed chunk DAGs instead of one
+    /// opaque block per partition: uploads ship a manifest first and only
+    /// the chunks the provider does not already hold (cross-round dedup),
+    /// downloads stripe chunk requests across all storage nodes with
+    /// per-chunk retry/failover, and every chunk is re-hashed against its
+    /// CID before reassembly. Off by default — the blob path is the
+    /// trace-fingerprint oracle. Incompatible with
+    /// [`CommMode::MergeAndDownload`] (the merge RPC pre-aggregates raw
+    /// blobs server-side and would sum manifest bytes).
+    pub chunked_storage: bool,
+    /// Chunk payload size in bytes when `chunked_storage` is on. Must be
+    /// at least [`dfl_ipfs::chunker::MIN_CHUNK_SIZE`]; blobs that are not
+    /// a multiple carry a short final chunk.
+    pub chunk_size: usize,
     /// Master seed for all task randomness.
     pub seed: u64,
     /// Run the network simulation under the reference global max–min
@@ -185,6 +199,8 @@ impl Default for TaskConfig {
             commit_precompute: true,
             batch_verify: false,
             overlay_branching: None,
+            chunked_storage: false,
+            chunk_size: dfl_ipfs::chunker::DEFAULT_CHUNK_SIZE,
             seed: 0,
             reference_allocator: false,
         }
@@ -289,6 +305,15 @@ impl TaskConfig {
         if self.fetch_timeout <= SimDuration::ZERO {
             return err("fetch_timeout must be positive");
         }
+        if self.chunked_storage {
+            if self.chunk_size < dfl_ipfs::chunker::MIN_CHUNK_SIZE {
+                return err("chunk_size is below the minimum chunk size");
+            }
+            if self.comm == CommMode::MergeAndDownload {
+                return err("chunked_storage is incompatible with merge-and-download \
+                     (the merge RPC pre-aggregates raw blobs and would sum manifest bytes)");
+            }
+        }
         if let Some(b) = self.overlay_branching {
             if b < 2 {
                 return err("overlay_branching must be at least 2");
@@ -298,13 +323,17 @@ impl TaskConfig {
                      (interior nodes verify child partials against commitments)");
             }
             if self.aggregators_per_partition != 1 {
-                return err("overlay aggregation requires a single aggregator per partition \
-                     (cross-slot partial sync is flat-mode-only)");
+                return err(
+                    "overlay aggregation requires a single aggregator per partition \
+                     (cross-slot partial sync is flat-mode-only)",
+                );
             }
             if self.trainer_verifies {
-                return err("overlay aggregation replaces trainer-side update verification \
+                return err(
+                    "overlay aggregation replaces trainer-side update verification \
                      (no directory accumulator exists; each hop verifies child openings \
-                     and the aggregator signs the pushed update)");
+                     and the aggregator signs the pushed update)",
+                );
             }
         }
         Ok(())
@@ -381,6 +410,8 @@ impl TaskConfigBuilder {
         commit_precompute: bool,
         batch_verify: bool,
         overlay_branching: Option<usize>,
+        chunked_storage: bool,
+        chunk_size: usize,
         seed: u64,
         reference_allocator: bool,
     }
@@ -618,9 +649,9 @@ impl Topology {
     /// `(trainers, branching, seed)` and costs O(1) to build, so each call
     /// may construct it afresh.
     pub fn overlay(&self) -> Option<crate::overlay::OverlayTree> {
-        self.cfg.overlay_branching.map(|b| {
-            crate::overlay::OverlayTree::new(self.cfg.trainers, b, self.cfg.seed)
-        })
+        self.cfg
+            .overlay_branching
+            .map(|b| crate::overlay::OverlayTree::new(self.cfg.trainers, b, self.cfg.seed))
     }
 }
 
@@ -691,6 +722,37 @@ mod tests {
             .build()
             .unwrap();
         assert!(cfg.verifiable && cfg.min_quorum == Some(2));
+    }
+
+    #[test]
+    fn chunked_storage_validation() {
+        // Default-off keeps any chunk_size acceptable.
+        assert!(TaskConfig::builder().chunk_size(1).build().is_ok());
+        // Enabled: chunk_size must clear the floor.
+        assert!(TaskConfig::builder()
+            .chunked_storage(true)
+            .chunk_size(dfl_ipfs::chunker::MIN_CHUNK_SIZE - 1)
+            .build()
+            .is_err());
+        assert!(TaskConfig::builder()
+            .chunked_storage(true)
+            .chunk_size(dfl_ipfs::chunker::MIN_CHUNK_SIZE)
+            .build()
+            .is_ok());
+        // Merge-and-download pre-aggregates raw blobs server-side, which
+        // chunked manifests would corrupt.
+        assert!(TaskConfig::builder()
+            .chunked_storage(true)
+            .comm(CommMode::MergeAndDownload)
+            .build()
+            .is_err());
+        // Direct mode never touches storage for gradients, but the flag
+        // still validates (the global model path can use it).
+        assert!(TaskConfig::builder()
+            .chunked_storage(true)
+            .comm(CommMode::Direct)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -428,9 +428,7 @@ impl Msg {
             Msg::DirectGradient { data, .. } => CONTROL_BYTES + data.len() as u64,
             Msg::OverlayPartial {
                 data, signature, ..
-            } => {
-                CONTROL_BYTES + data.len() as u64 + 33 + if signature.is_some() { 65 } else { 0 }
-            }
+            } => CONTROL_BYTES + data.len() as u64 + 33 + if signature.is_some() { 65 } else { 0 },
             Msg::OverlayUpdate {
                 data, signature, ..
             } => CONTROL_BYTES + data.len() as u64 + if signature.is_some() { 65 } else { 0 },

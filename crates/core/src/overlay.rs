@@ -185,7 +185,11 @@ mod tests {
             let positions: HashSet<u64> = (0..n).map(|t| tree.position(t)).collect();
             assert_eq!(positions.len(), n, "positions collide at n={n}");
             for t in 0..n {
-                assert_eq!(tree.trainer_at(tree.position(t)), t, "inverse broken at n={n}");
+                assert_eq!(
+                    tree.trainer_at(tree.position(t)),
+                    t,
+                    "inverse broken at n={n}"
+                );
             }
         }
     }
@@ -246,6 +250,9 @@ mod tests {
         let c = OverlayTree::new(97, 4, 2);
         let order_a: Vec<u64> = (0..97).map(|t| a.position(t)).collect();
         let order_c: Vec<u64> = (0..97).map(|t| c.position(t)).collect();
-        assert_ne!(order_a, order_c, "different seeds should shuffle differently");
+        assert_ne!(
+            order_a, order_c,
+            "different seeds should shuffle differently"
+        );
     }
 }

@@ -85,6 +85,17 @@ pub struct TaskReport {
     /// Application bytes sent across all nodes over the whole task (the
     /// run's total wire cost).
     pub total_tx_bytes: u64,
+    /// Chunked storage: chunks clients actually shipped in `ChunkFill`s
+    /// (zero unless `TaskConfig::chunked_storage`).
+    pub chunks_sent: u64,
+    /// Chunked storage: distinct chunks providers already held, elided
+    /// from the wire by cross-round dedup.
+    pub chunks_deduped: u64,
+    /// Chunked storage: payload bytes dedup kept off the wire.
+    pub dedup_bytes_saved: u64,
+    /// Chunked storage: chunk download requests issued per storage-node
+    /// index — how evenly striped fetches spread across providers.
+    pub chunk_stripe: Vec<u64>,
     /// The raw simulation trace, for custom analysis.
     pub trace: Trace,
 }
@@ -370,6 +381,20 @@ fn build_report(topo: &Topology, trace: &Trace, sink: &HashMap<usize, Vec<f32>>)
         wasted_bytes: protocol_wasted_bytes + wire_wasted_bytes,
         wire_wasted_bytes,
         total_tx_bytes: trace.total_bytes_sent(),
+        chunks_sent: trace.counter(labels::CHUNKS_SENT),
+        chunks_deduped: trace.counter(labels::CHUNKS_DEDUPED),
+        dedup_bytes_saved: trace.counter(labels::DEDUP_BYTES_SAVED),
+        chunk_stripe: {
+            // Striping spread: each CHUNK_STRIPE event's value is the
+            // storage-node index one chunk request went to.
+            let mut spread = vec![0u64; cfg.ipfs_nodes];
+            for e in trace.find_all(labels::CHUNK_STRIPE) {
+                if e.value >= 0.0 && (e.value as usize) < spread.len() {
+                    spread[e.value as usize] += 1;
+                }
+            }
+            spread
+        },
         trace: trace.clone(),
     }
 }
